@@ -1,0 +1,337 @@
+//! The application graph (Definition 5): an SDFG annotated with resource
+//! requirements and a throughput constraint.
+
+use std::error::Error;
+use std::fmt;
+
+use sdfrs_platform::ProcessorType;
+use sdfrs_sdf::analysis::deadlock::check_deadlock_free;
+use sdfrs_sdf::{ActorId, ChannelId, Rational, SdfError, SdfGraph};
+
+use crate::requirements::{ActorRequirements, ChannelRequirements};
+
+/// Errors raised while assembling or validating an application graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AppError {
+    /// The underlying SDFG is inconsistent or deadlocks.
+    Sdf(SdfError),
+    /// An actor supports no processor type at all (Γ = ∞ everywhere).
+    Unmappable {
+        /// The actor without any finite Γ entry.
+        actor: ActorId,
+    },
+    /// The throughput constraint must be positive.
+    NonPositiveConstraint,
+}
+
+impl fmt::Display for AppError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AppError::Sdf(e) => write!(f, "invalid application SDFG: {e}"),
+            AppError::Unmappable { actor } => {
+                write!(f, "actor {actor} cannot be bound to any processor type")
+            }
+            AppError::NonPositiveConstraint => {
+                write!(f, "throughput constraint must be positive")
+            }
+        }
+    }
+}
+
+impl Error for AppError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AppError::Sdf(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SdfError> for AppError {
+    fn from(e: SdfError) -> Self {
+        AppError::Sdf(e)
+    }
+}
+
+/// An application graph *(A, D, Γ, Θ, λ)* — Definition 5 of the paper.
+///
+/// * the structure *(A, D)* is an [`SdfGraph`] (actor execution times in
+///   the structure are ignored; timing comes from Γ once bound);
+/// * Γ is stored as one [`ActorRequirements`] per actor;
+/// * Θ as one [`ChannelRequirements`] per channel;
+/// * λ is the minimum required throughput in **graph iterations per time
+///   unit** (equivalently: the output actor must fire at least
+///   `γ(output) · λ` times per time unit).
+///
+/// # Examples
+///
+/// ```
+/// use sdfrs_appmodel::{ApplicationGraph, ActorRequirements, ChannelRequirements};
+/// use sdfrs_platform::ProcessorType;
+/// use sdfrs_sdf::{Rational, SdfGraph};
+///
+/// # fn main() -> Result<(), sdfrs_appmodel::AppError> {
+/// let mut g = SdfGraph::new("tiny");
+/// let a = g.add_actor("a", 0);
+/// let b = g.add_actor("b", 0);
+/// g.add_channel("d", a, 1, b, 1, 0);
+/// let app = ApplicationGraph::builder(g, Rational::new(1, 100))
+///     .actor(a, ActorRequirements::new().on(ProcessorType::new("p"), 2, 8))
+///     .actor(b, ActorRequirements::new().on(ProcessorType::new("p"), 3, 8))
+///     .channel_default(ChannelRequirements::new(8, 2, 2, 2, 4))
+///     .output_actor(b)
+///     .build()?;
+/// assert_eq!(app.throughput_constraint(), Rational::new(1, 100));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApplicationGraph {
+    graph: SdfGraph,
+    actor_reqs: Vec<ActorRequirements>,
+    channel_reqs: Vec<ChannelRequirements>,
+    throughput_constraint: Rational,
+    output_actor: ActorId,
+}
+
+impl ApplicationGraph {
+    /// Starts building an application graph around an SDFG structure.
+    pub fn builder(graph: SdfGraph, throughput_constraint: Rational) -> ApplicationGraphBuilder {
+        ApplicationGraphBuilder {
+            actor_reqs: vec![ActorRequirements::new(); graph.actor_count()],
+            channel_reqs: vec![ChannelRequirements::new(1, 1, 1, 1, 1); graph.channel_count()],
+            output_actor: ActorId::from_index(graph.actor_count().saturating_sub(1)),
+            graph,
+            throughput_constraint,
+        }
+    }
+
+    /// The application's SDFG structure.
+    pub fn graph(&self) -> &SdfGraph {
+        &self.graph
+    }
+
+    /// Γ restricted to one actor.
+    pub fn actor_requirements(&self, actor: ActorId) -> &ActorRequirements {
+        &self.actor_reqs[actor.index()]
+    }
+
+    /// Θ of one channel.
+    pub fn channel_requirements(&self, channel: ChannelId) -> &ChannelRequirements {
+        &self.channel_reqs[channel.index()]
+    }
+
+    /// The throughput constraint λ (iterations per time unit).
+    pub fn throughput_constraint(&self) -> Rational {
+        self.throughput_constraint
+    }
+
+    /// The designated output actor used for reporting firing periods.
+    pub fn output_actor(&self) -> ActorId {
+        self.output_actor
+    }
+
+    /// Execution time of `actor` on `pt` (`None` encodes Γ = ∞).
+    pub fn execution_time(&self, actor: ActorId, pt: &ProcessorType) -> Option<u64> {
+        self.actor_reqs[actor.index()].execution_time(pt)
+    }
+
+    /// Memory requirement of `actor` on `pt` (`None` encodes Γ = ∞).
+    pub fn actor_memory(&self, actor: ActorId, pt: &ProcessorType) -> Option<u64> {
+        self.actor_reqs[actor.index()].memory(pt)
+    }
+
+    /// Worst-case execution time of `actor` over all supported types.
+    pub fn max_execution_time(&self, actor: ActorId) -> u64 {
+        self.actor_reqs[actor.index()]
+            .max_execution_time()
+            .expect("validated application graphs have mappable actors")
+    }
+
+    /// Replaces the throughput constraint, returning a new application.
+    pub fn with_throughput_constraint(mut self, lambda: Rational) -> Self {
+        self.throughput_constraint = lambda;
+        self
+    }
+}
+
+/// Builder for [`ApplicationGraph`], validating on
+/// [`build`](ApplicationGraphBuilder::build).
+#[derive(Debug, Clone)]
+pub struct ApplicationGraphBuilder {
+    graph: SdfGraph,
+    actor_reqs: Vec<ActorRequirements>,
+    channel_reqs: Vec<ChannelRequirements>,
+    throughput_constraint: Rational,
+    output_actor: ActorId,
+}
+
+impl ApplicationGraphBuilder {
+    /// Sets Γ for one actor.
+    pub fn actor(mut self, actor: ActorId, reqs: ActorRequirements) -> Self {
+        self.actor_reqs[actor.index()] = reqs;
+        self
+    }
+
+    /// Sets Θ for one channel.
+    pub fn channel(mut self, channel: ChannelId, reqs: ChannelRequirements) -> Self {
+        self.channel_reqs[channel.index()] = reqs;
+        self
+    }
+
+    /// Sets Θ for every channel that has not been set explicitly (applies
+    /// to all channels; call before per-channel overrides).
+    pub fn channel_default(mut self, reqs: ChannelRequirements) -> Self {
+        for slot in &mut self.channel_reqs {
+            *slot = reqs;
+        }
+        self
+    }
+
+    /// Designates the actor whose output the throughput constraint refers
+    /// to (defaults to the last actor added).
+    pub fn output_actor(mut self, actor: ActorId) -> Self {
+        self.output_actor = actor;
+        self
+    }
+
+    /// Validates and assembles the application graph.
+    ///
+    /// # Errors
+    ///
+    /// * [`AppError::Sdf`] if the structure is inconsistent or deadlocks;
+    /// * [`AppError::Unmappable`] if some actor has no finite Γ entry;
+    /// * [`AppError::NonPositiveConstraint`] if λ ≤ 0.
+    pub fn build(self) -> Result<ApplicationGraph, AppError> {
+        self.graph.validate()?;
+        check_deadlock_free(&self.graph)?;
+        if self.throughput_constraint <= Rational::ZERO {
+            return Err(AppError::NonPositiveConstraint);
+        }
+        for (id, _) in self.graph.actors() {
+            if self.actor_reqs[id.index()].support_count() == 0 {
+                return Err(AppError::Unmappable { actor: id });
+            }
+        }
+        Ok(ApplicationGraph {
+            graph: self.graph,
+            actor_reqs: self.actor_reqs,
+            channel_reqs: self.channel_reqs,
+            throughput_constraint: self.throughput_constraint,
+            output_actor: self.output_actor,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(n: &str) -> ProcessorType {
+        ProcessorType::new(n)
+    }
+
+    fn base_graph() -> (SdfGraph, ActorId, ActorId) {
+        let mut g = SdfGraph::new("g");
+        let a = g.add_actor("a", 0);
+        let b = g.add_actor("b", 0);
+        g.add_channel("d", a, 1, b, 1, 0);
+        (g, a, b)
+    }
+
+    #[test]
+    fn builds_valid_application() {
+        let (g, a, b) = base_graph();
+        let app = ApplicationGraph::builder(g, Rational::new(1, 10))
+            .actor(a, ActorRequirements::new().on(pt("p"), 1, 2))
+            .actor(
+                b,
+                ActorRequirements::new().on(pt("p"), 3, 4).on(pt("q"), 1, 1),
+            )
+            .channel(
+                ChannelId::from_index(0),
+                ChannelRequirements::new(8, 1, 2, 2, 4),
+            )
+            .output_actor(b)
+            .build()
+            .unwrap();
+        assert_eq!(app.execution_time(a, &pt("p")), Some(1));
+        assert_eq!(app.execution_time(a, &pt("q")), None);
+        assert_eq!(app.actor_memory(b, &pt("q")), Some(1));
+        assert_eq!(app.max_execution_time(b), 3);
+        assert_eq!(app.output_actor(), b);
+        assert_eq!(
+            app.channel_requirements(ChannelId::from_index(0))
+                .token_size,
+            8
+        );
+    }
+
+    #[test]
+    fn unmappable_actor_rejected() {
+        let (g, a, _) = base_graph();
+        let err = ApplicationGraph::builder(g, Rational::ONE)
+            .actor(a, ActorRequirements::new().on(pt("p"), 1, 1))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, AppError::Unmappable { .. }));
+        assert!(err.to_string().contains("cannot be bound"));
+    }
+
+    #[test]
+    fn deadlocking_structure_rejected() {
+        let mut g = SdfGraph::new("dead");
+        let a = g.add_actor("a", 0);
+        let b = g.add_actor("b", 0);
+        g.add_channel("ab", a, 1, b, 1, 0);
+        g.add_channel("ba", b, 1, a, 1, 0);
+        let err = ApplicationGraph::builder(g, Rational::ONE)
+            .actor(a, ActorRequirements::new().on(pt("p"), 1, 1))
+            .actor(b, ActorRequirements::new().on(pt("p"), 1, 1))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, AppError::Sdf(SdfError::Deadlock { .. })));
+    }
+
+    #[test]
+    fn non_positive_constraint_rejected() {
+        let (g, a, b) = base_graph();
+        let err = ApplicationGraph::builder(g, Rational::ZERO)
+            .actor(a, ActorRequirements::new().on(pt("p"), 1, 1))
+            .actor(b, ActorRequirements::new().on(pt("p"), 1, 1))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, AppError::NonPositiveConstraint);
+    }
+
+    #[test]
+    fn constraint_can_be_replaced() {
+        let (g, a, b) = base_graph();
+        let app = ApplicationGraph::builder(g, Rational::new(1, 10))
+            .actor(a, ActorRequirements::new().on(pt("p"), 1, 1))
+            .actor(b, ActorRequirements::new().on(pt("p"), 1, 1))
+            .build()
+            .unwrap();
+        let app = app.with_throughput_constraint(Rational::new(1, 20));
+        assert_eq!(app.throughput_constraint(), Rational::new(1, 20));
+    }
+
+    #[test]
+    fn channel_default_applies_everywhere() {
+        let mut g = SdfGraph::new("two");
+        let a = g.add_actor("a", 0);
+        let b = g.add_actor("b", 0);
+        g.add_channel("d0", a, 1, b, 1, 0);
+        g.add_channel("d1", a, 1, b, 1, 0);
+        let app = ApplicationGraph::builder(g, Rational::ONE)
+            .actor(a, ActorRequirements::new().on(pt("p"), 1, 1))
+            .actor(b, ActorRequirements::new().on(pt("p"), 1, 1))
+            .channel_default(ChannelRequirements::new(16, 3, 3, 3, 8))
+            .build()
+            .unwrap();
+        for ch in [ChannelId::from_index(0), ChannelId::from_index(1)] {
+            assert_eq!(app.channel_requirements(ch).token_size, 16);
+            assert_eq!(app.channel_requirements(ch).buffer_tile, 3);
+        }
+    }
+}

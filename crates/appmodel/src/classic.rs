@@ -1,0 +1,168 @@
+//! Classic multirate SDF benchmarks from the literature — the graphs the
+//! SDF³ ecosystem ships alongside the paper's H.263/MP3 models. They
+//! exercise deeply multirate repetition vectors that stress the HSDF
+//! blow-up argument far beyond single-rate examples.
+
+use sdfrs_platform::ProcessorType;
+use sdfrs_sdf::{Rational, SdfGraph};
+
+use crate::app::ApplicationGraph;
+use crate::requirements::{ActorRequirements, ChannelRequirements};
+
+/// The CD-to-DAT sample-rate converter (Bhattacharyya et al.): a chain of
+/// five rate-conversion stages taking 44.1 kHz audio to 48 kHz, i.e. a
+/// 147 : 160 overall ratio.
+///
+/// Stage rates: 1/1 → 2/3 → 2/7 → 8/7 → 5/1, giving the repetition vector
+/// (147, 147, 98, 28, 32, 160) — 612 actors in the HSDF equivalent from
+/// just 6 SDF actors.
+///
+/// # Examples
+///
+/// ```
+/// use sdfrs_sdf::hsdf::hsdf_size;
+/// let app = sdfrs_appmodel::classic::cd_to_dat(sdfrs_sdf::Rational::new(1, 10_000));
+/// let gamma = app.graph().repetition_vector()?;
+/// assert_eq!(gamma.as_slice(), &[147, 147, 98, 28, 32, 160]);
+/// assert_eq!(hsdf_size(app.graph())?, 612);
+/// # Ok::<(), sdfrs_sdf::SdfError>(())
+/// ```
+pub fn cd_to_dat(lambda: Rational) -> ApplicationGraph {
+    let dsp = ProcessorType::new("dsp");
+    let risc = ProcessorType::new("risc");
+    let mut g = SdfGraph::new("cd2dat");
+    let cd = g.add_actor("cd", 0);
+    let fir1 = g.add_actor("fir1", 0);
+    let fir2 = g.add_actor("fir2", 0);
+    let fir3 = g.add_actor("fir3", 0);
+    let fir4 = g.add_actor("fir4", 0);
+    let dat = g.add_actor("dat", 0);
+    g.add_channel("c_cd_f1", cd, 1, fir1, 1, 0);
+    g.add_channel("c_f1_f2", fir1, 2, fir2, 3, 0);
+    g.add_channel("c_f2_f3", fir2, 2, fir3, 7, 0);
+    g.add_channel("c_f3_f4", fir3, 8, fir4, 7, 0);
+    g.add_channel("c_f4_dat", fir4, 5, dat, 1, 0);
+    // Flow control: one frame in flight (147 cd samples per iteration).
+    g.add_channel("c_dat_cd", dat, 147, cd, 160, 147 * 160);
+
+    let stage = |tau_dsp: u64, tau_risc: u64, mu: u64| {
+        ActorRequirements::new()
+            .on(dsp.clone(), tau_dsp, mu)
+            .on(risc.clone(), tau_risc, mu * 2)
+    };
+    ApplicationGraph::builder(g, lambda)
+        .actor(cd, stage(1, 2, 64))
+        .actor(fir1, stage(2, 5, 256))
+        .actor(fir2, stage(3, 7, 256))
+        .actor(fir3, stage(3, 7, 512))
+        .actor(fir4, stage(2, 5, 256))
+        .actor(dat, stage(1, 2, 64))
+        .channel_default(ChannelRequirements::new(16, 24, 24, 24, 512))
+        .output_actor(dat)
+        .build()
+        .expect("cd2dat is a valid application graph")
+}
+
+/// A satellite-receiver-style graph (after Ritz et al.): two parallel
+/// demodulation chains feeding a shared decoder, with multirate filter
+/// banks.
+///
+/// # Examples
+///
+/// ```
+/// let app = sdfrs_appmodel::classic::satellite_receiver(sdfrs_sdf::Rational::new(1, 50_000));
+/// assert_eq!(app.graph().actor_count(), 10);
+/// assert!(app.graph().repetition_vector().is_ok());
+/// ```
+pub fn satellite_receiver(lambda: Rational) -> ApplicationGraph {
+    let dsp = ProcessorType::new("dsp");
+    let acc = ProcessorType::new("acc");
+    let mut g = SdfGraph::new("satellite");
+    let frontend = g.add_actor("frontend", 0);
+    let chan_a = g.add_actor("chan_a", 0);
+    let chan_b = g.add_actor("chan_b", 0);
+    let filt_a1 = g.add_actor("filt_a1", 0);
+    let filt_a2 = g.add_actor("filt_a2", 0);
+    let filt_b1 = g.add_actor("filt_b1", 0);
+    let filt_b2 = g.add_actor("filt_b2", 0);
+    let demod_a = g.add_actor("demod_a", 0);
+    let demod_b = g.add_actor("demod_b", 0);
+    let decoder = g.add_actor("decoder", 0);
+
+    g.add_channel("s_fe_a", frontend, 1, chan_a, 1, 0);
+    g.add_channel("s_fe_b", frontend, 1, chan_b, 1, 0);
+    // Polyphase banks: 4 subsamples per channel symbol, decimated by 2
+    // per stage.
+    g.add_channel("s_a_f1", chan_a, 4, filt_a1, 1, 0);
+    g.add_channel("s_f1_f2a", filt_a1, 1, filt_a2, 2, 0);
+    g.add_channel("s_b_f1", chan_b, 4, filt_b1, 1, 0);
+    g.add_channel("s_f1_f2b", filt_b1, 1, filt_b2, 2, 0);
+    g.add_channel("s_f2_da", filt_a2, 1, demod_a, 2, 0);
+    g.add_channel("s_f2_db", filt_b2, 1, demod_b, 2, 0);
+    g.add_channel("s_da_dec", demod_a, 1, decoder, 1, 0);
+    g.add_channel("s_db_dec", demod_b, 1, decoder, 1, 0);
+    // Rate control from the decoder back to the front end.
+    g.add_channel("s_dec_fe", decoder, 1, frontend, 1, 2);
+
+    let hw = |tau_dsp: u64, tau_acc: u64, mu: u64| {
+        ActorRequirements::new()
+            .on(dsp.clone(), tau_dsp, mu)
+            .on(acc.clone(), tau_acc, mu / 2)
+    };
+    ApplicationGraph::builder(g, lambda)
+        .actor(frontend, ActorRequirements::new().on(dsp.clone(), 8, 1_024))
+        .actor(chan_a, hw(6, 3, 512))
+        .actor(chan_b, hw(6, 3, 512))
+        .actor(filt_a1, hw(2, 1, 256))
+        .actor(filt_a2, hw(3, 1, 256))
+        .actor(filt_b1, hw(2, 1, 256))
+        .actor(filt_b2, hw(3, 1, 256))
+        .actor(demod_a, hw(5, 2, 512))
+        .actor(demod_b, hw(5, 2, 512))
+        .actor(decoder, ActorRequirements::new().on(dsp, 10, 2_048))
+        .channel_default(ChannelRequirements::new(32, 16, 16, 16, 1_024))
+        .output_actor(decoder)
+        .build()
+        .expect("satellite receiver is a valid application graph")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdfrs_sdf::analysis::deadlock::is_live;
+    use sdfrs_sdf::hsdf::hsdf_size;
+
+    #[test]
+    fn cd2dat_repetition_vector() {
+        let app = cd_to_dat(Rational::new(1, 10_000));
+        let gamma = app.graph().repetition_vector().unwrap();
+        assert_eq!(gamma.as_slice(), &[147, 147, 98, 28, 32, 160]);
+        assert_eq!(hsdf_size(app.graph()).unwrap(), 612);
+        assert!(is_live(app.graph()));
+    }
+
+    #[test]
+    fn satellite_structure() {
+        let app = satellite_receiver(Rational::new(1, 50_000));
+        let gamma = app.graph().repetition_vector().unwrap();
+        let g = app.graph();
+        // Front end fires once per iteration; the filter banks run 4× /
+        // 2× per channel.
+        assert_eq!(gamma[g.actor_by_name("frontend").unwrap()], 1);
+        assert_eq!(gamma[g.actor_by_name("filt_a1").unwrap()], 4);
+        assert_eq!(gamma[g.actor_by_name("filt_a2").unwrap()], 2);
+        assert_eq!(gamma[g.actor_by_name("decoder").unwrap()], 1);
+        assert!(is_live(g));
+    }
+
+    #[test]
+    fn both_are_multirate() {
+        // cd2dat explodes by two orders of magnitude; the satellite
+        // receiver roughly doubles.
+        let cd = cd_to_dat(Rational::new(1, 10_000));
+        assert_eq!(hsdf_size(cd.graph()).unwrap(), 612);
+        let sat = satellite_receiver(Rational::new(1, 50_000));
+        let size = hsdf_size(sat.graph()).unwrap() as usize;
+        assert!(size > sat.graph().actor_count(), "HSDF must grow: {size}");
+    }
+}

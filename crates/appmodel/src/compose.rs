@@ -1,0 +1,179 @@
+//! Composition of application graphs.
+//!
+//! The paper allocates applications one at a time, which is what keeps
+//! per-application guarantees independent. For *design-time* what-if
+//! studies it is still useful to view several applications as one
+//! disjoint-union graph — e.g. to compute the combined HSDF size the
+//! paper quotes for the multimedia system (3×4754 + 13 = 14275) or to
+//! feed the whole use-case into a single analysis.
+
+use sdfrs_sdf::{Rational, SdfGraph};
+
+use crate::app::{AppError, ApplicationGraph};
+
+/// Disjoint union of several application graphs.
+///
+/// Actors and channels keep their names (they must remain unique across
+/// the inputs — reference applications use instance-prefixed names for
+/// exactly this reason). The combined throughput constraint is the
+/// *tightest* (largest) λ of the inputs: a combined analysis at that rate
+/// conservatively covers every member.
+///
+/// # Errors
+///
+/// * [`AppError`] variants if the union fails validation (e.g. duplicate
+///   names across inputs).
+///
+/// # Panics
+///
+/// Panics if `apps` is empty.
+///
+/// # Examples
+///
+/// ```
+/// use sdfrs_appmodel::apps::{h263_decoder, mp3_decoder};
+/// use sdfrs_appmodel::compose::compose;
+/// use sdfrs_sdf::{hsdf::hsdf_size, Rational};
+///
+/// # fn main() -> Result<(), sdfrs_appmodel::AppError> {
+/// let apps = vec![
+///     h263_decoder(0, Rational::new(1, 100_000)),
+///     h263_decoder(1, Rational::new(1, 100_000)),
+///     h263_decoder(2, Rational::new(1, 100_000)),
+///     mp3_decoder(Rational::new(1, 3_000)),
+/// ];
+/// let combined = compose("multimedia", &apps)?;
+/// assert_eq!(combined.graph().actor_count(), 3 * 4 + 13);
+/// assert_eq!(hsdf_size(combined.graph()).unwrap(), 14275);
+/// # Ok(())
+/// # }
+/// ```
+pub fn compose(name: &str, apps: &[ApplicationGraph]) -> Result<ApplicationGraph, AppError> {
+    assert!(!apps.is_empty(), "compose needs at least one application");
+    let mut graph = SdfGraph::new(name);
+    let mut actor_offsets = Vec::with_capacity(apps.len());
+    for app in apps {
+        actor_offsets.push(graph.actor_count());
+        for (_, actor) in app.graph().actors() {
+            graph.add_actor(actor.name(), actor.execution_time());
+        }
+    }
+    for (app, &offset) in apps.iter().zip(&actor_offsets) {
+        for (_, ch) in app.graph().channels() {
+            graph.add_channel(
+                ch.name(),
+                sdfrs_sdf::ActorId::from_index(offset + ch.src().index()),
+                ch.production_rate(),
+                sdfrs_sdf::ActorId::from_index(offset + ch.dst().index()),
+                ch.consumption_rate(),
+                ch.initial_tokens(),
+            );
+        }
+    }
+
+    let lambda = apps
+        .iter()
+        .map(|a| a.throughput_constraint())
+        .fold(Rational::ZERO, Rational::max);
+    // The output actor of the *last* member keeps its role (matching the
+    // member ordering semantics of the multi-application protocol).
+    let last_offset = *actor_offsets.last().expect("non-empty");
+    let last = apps.last().expect("non-empty");
+    let output = sdfrs_sdf::ActorId::from_index(last_offset + last.output_actor().index());
+
+    let mut builder = ApplicationGraph::builder(graph, lambda).output_actor(output);
+    let mut channel_index = 0usize;
+    for (app, &offset) in apps.iter().zip(&actor_offsets) {
+        for (a, _) in app.graph().actors() {
+            builder = builder.actor(
+                sdfrs_sdf::ActorId::from_index(offset + a.index()),
+                app.actor_requirements(a).clone(),
+            );
+        }
+        for d in app.graph().channel_ids() {
+            builder = builder.channel(
+                sdfrs_sdf::ChannelId::from_index(channel_index),
+                *app.channel_requirements(d),
+            );
+            channel_index += 1;
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::{h263_decoder, mp3_decoder, paper_example};
+    use sdfrs_sdf::analysis::deadlock::is_live;
+    use sdfrs_sdf::hsdf::hsdf_size;
+
+    #[test]
+    fn multimedia_union_matches_the_paper() {
+        let apps = vec![
+            h263_decoder(0, Rational::new(1, 100_000)),
+            h263_decoder(1, Rational::new(1, 100_000)),
+            h263_decoder(2, Rational::new(1, 100_000)),
+            mp3_decoder(Rational::new(1, 3_000)),
+        ];
+        let combined = compose("multimedia", &apps).unwrap();
+        assert_eq!(combined.graph().actor_count(), 25);
+        assert_eq!(hsdf_size(combined.graph()).unwrap(), 14275);
+        assert!(is_live(combined.graph()));
+        // Tightest constraint wins: 1/3000 > 1/100000.
+        assert_eq!(combined.throughput_constraint(), Rational::new(1, 3_000));
+    }
+
+    #[test]
+    fn requirements_are_carried_over() {
+        let apps = vec![
+            h263_decoder(0, Rational::new(1, 100_000)),
+            mp3_decoder(Rational::new(1, 3_000)),
+        ];
+        let combined = compose("pair", &apps).unwrap();
+        let g = combined.graph();
+        let vld = g.actor_by_name("vld0").unwrap();
+        let huff = g.actor_by_name("huffman").unwrap();
+        let generic = sdfrs_platform::ProcessorType::new("generic");
+        assert_eq!(
+            combined.execution_time(vld, &generic),
+            apps[0].execution_time(apps[0].graph().actor_by_name("vld0").unwrap(), &generic)
+        );
+        assert_eq!(
+            combined.execution_time(huff, &generic),
+            apps[1].execution_time(apps[1].graph().actor_by_name("huffman").unwrap(), &generic)
+        );
+        // Output actor comes from the last member.
+        assert_eq!(g.actor(combined.output_actor()).name(), "synth");
+    }
+
+    #[test]
+    fn name_collisions_are_rejected() {
+        // Two copies of the same instance share actor names.
+        let apps = vec![
+            h263_decoder(0, Rational::new(1, 10)),
+            h263_decoder(0, Rational::new(1, 10)),
+        ];
+        assert!(compose("dup", &apps).is_err());
+    }
+
+    #[test]
+    fn single_member_is_identity_shaped() {
+        let app = paper_example();
+        let combined = compose("solo", &[app.clone()]).unwrap();
+        assert_eq!(combined.graph().actor_count(), app.graph().actor_count());
+        assert_eq!(
+            combined.throughput_constraint(),
+            app.throughput_constraint()
+        );
+        let gamma_a = app.graph().repetition_vector().unwrap();
+        let gamma_c = combined.graph().repetition_vector().unwrap();
+        assert_eq!(gamma_a.as_slice(), gamma_c.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one application")]
+    fn empty_compose_panics() {
+        let _ = compose("none", &[]);
+    }
+}

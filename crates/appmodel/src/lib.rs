@@ -1,0 +1,31 @@
+//! Application model for the `sdfrs` workspace.
+//!
+//! An [`ApplicationGraph`] is the 5-tuple *(A, D, Γ, Θ, λ)* of Definition 5
+//! in the DAC 2007 paper: an SDFG structure, per-actor processor-type
+//! requirements Γ ([`ActorRequirements`]), per-channel storage/bandwidth
+//! requirements Θ ([`ChannelRequirements`]) and a throughput constraint λ.
+//!
+//! The [`apps`] module provides the paper's reference applications — the
+//! running example of Fig 3 / Table 2, the H.263 decoder of Fig 1, and the
+//! MP3 decoder of the Sec 10.3 multimedia system.
+//!
+//! # Example
+//!
+//! ```
+//! use sdfrs_appmodel::apps::paper_example;
+//! use sdfrs_platform::ProcessorType;
+//!
+//! let app = paper_example();
+//! let a3 = app.graph().actor_by_name("a3").unwrap();
+//! assert_eq!(app.execution_time(a3, &ProcessorType::new("p2")), Some(2));
+//! ```
+
+pub mod app;
+pub mod apps;
+pub mod classic;
+pub mod compose;
+pub mod requirements;
+pub mod textio;
+
+pub use app::{AppError, ApplicationGraph, ApplicationGraphBuilder};
+pub use requirements::{ActorRequirements, ChannelRequirements};

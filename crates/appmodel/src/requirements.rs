@@ -1,0 +1,203 @@
+//! Resource requirement annotations: the functions Γ and Θ of Definition 5.
+
+use std::collections::BTreeMap;
+
+use sdfrs_platform::ProcessorType;
+
+/// Per-processor-type execution time and memory requirement of one actor
+/// (the function Γ restricted to one actor).
+///
+/// A processor type that is absent from the map corresponds to Γ = (∞, ∞):
+/// the actor cannot be bound to that type.
+///
+/// # Examples
+///
+/// ```
+/// use sdfrs_appmodel::ActorRequirements;
+/// use sdfrs_platform::ProcessorType;
+/// let req = ActorRequirements::new()
+///     .on(ProcessorType::new("p1"), 1, 10)
+///     .on(ProcessorType::new("p2"), 4, 15);
+/// assert_eq!(req.execution_time(&ProcessorType::new("p1")), Some(1));
+/// assert_eq!(req.execution_time(&ProcessorType::new("p3")), None);
+/// assert_eq!(req.max_execution_time(), Some(4));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ActorRequirements {
+    entries: BTreeMap<ProcessorType, (u64, u64)>,
+}
+
+impl ActorRequirements {
+    /// No supported processor types yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or replaces) support for `pt` with execution time `tau` and
+    /// memory requirement `mu` (builder style).
+    pub fn on(mut self, pt: ProcessorType, tau: u64, mu: u64) -> Self {
+        self.entries.insert(pt, (tau, mu));
+        self
+    }
+
+    /// Execution time τ on `pt`, or `None` if the actor cannot run there.
+    pub fn execution_time(&self, pt: &ProcessorType) -> Option<u64> {
+        self.entries.get(pt).map(|&(tau, _)| tau)
+    }
+
+    /// Memory requirement μ on `pt`, or `None` if unsupported.
+    pub fn memory(&self, pt: &ProcessorType) -> Option<u64> {
+        self.entries.get(pt).map(|&(_, mu)| mu)
+    }
+
+    /// `true` if the actor can be bound to a processor of type `pt`.
+    pub fn supports(&self, pt: &ProcessorType) -> bool {
+        self.entries.contains_key(pt)
+    }
+
+    /// The supported processor types, in name order.
+    pub fn supported_types(&self) -> impl Iterator<Item = &ProcessorType> + '_ {
+        self.entries.keys()
+    }
+
+    /// The worst-case execution time over all supported types
+    /// (`sup{ τ_{a,pt} | τ_{a,pt} ≠ ∞ }` of Eqn 1), or `None` if the actor
+    /// supports nothing.
+    pub fn max_execution_time(&self) -> Option<u64> {
+        self.entries.values().map(|&(tau, _)| tau).max()
+    }
+
+    /// Number of supported processor types.
+    pub fn support_count(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// Per-channel requirements: the 5-tuple Θ(d) = (sz, α_tile, α_src,
+/// α_dst, β) of Definition 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelRequirements {
+    /// Token size *sz* in bits.
+    pub token_size: u64,
+    /// Buffer capacity (in tokens) when both endpoints share a tile.
+    pub buffer_tile: u64,
+    /// Buffer capacity (tokens) in the source tile when the channel crosses
+    /// tiles.
+    pub buffer_src: u64,
+    /// Buffer capacity (tokens) in the destination tile when the channel
+    /// crosses tiles.
+    pub buffer_dst: u64,
+    /// Bandwidth β (bits/time-unit) claimed when the channel crosses tiles.
+    pub bandwidth: u64,
+}
+
+impl ChannelRequirements {
+    /// Creates the 5-tuple in the paper's order.
+    pub fn new(
+        token_size: u64,
+        buffer_tile: u64,
+        buffer_src: u64,
+        buffer_dst: u64,
+        bandwidth: u64,
+    ) -> Self {
+        ChannelRequirements {
+            token_size,
+            buffer_tile,
+            buffer_src,
+            buffer_dst,
+            bandwidth,
+        }
+    }
+
+    /// Memory (bits) claimed on a single tile when the channel stays local:
+    /// `α_tile · sz`.
+    pub fn memory_tile(&self) -> u64 {
+        self.buffer_tile * self.token_size
+    }
+
+    /// Memory (bits) claimed in the source tile when crossing tiles:
+    /// `α_src · sz`.
+    pub fn memory_src(&self) -> u64 {
+        self.buffer_src * self.token_size
+    }
+
+    /// Memory (bits) claimed in the destination tile when crossing tiles:
+    /// `α_dst · sz`.
+    pub fn memory_dst(&self) -> u64 {
+        self.buffer_dst * self.token_size
+    }
+
+    /// Time to push one token through a connection's bandwidth share:
+    /// `⌈sz / β⌉` (the transfer component of Υ(c) in Sec 8.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth` is zero (the channel may not cross tiles).
+    pub fn transfer_time(&self) -> u64 {
+        assert!(
+            self.bandwidth > 0,
+            "transfer time undefined for channels with zero bandwidth"
+        );
+        self.token_size.div_ceil(self.bandwidth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(n: &str) -> ProcessorType {
+        ProcessorType::new(n)
+    }
+
+    #[test]
+    fn actor_requirements_lookup() {
+        let r = ActorRequirements::new()
+            .on(pt("p1"), 3, 13)
+            .on(pt("p2"), 2, 10);
+        assert_eq!(r.execution_time(&pt("p1")), Some(3));
+        assert_eq!(r.memory(&pt("p2")), Some(10));
+        assert!(!r.supports(&pt("p9")));
+        assert_eq!(r.max_execution_time(), Some(3));
+        assert_eq!(r.support_count(), 2);
+        let types: Vec<_> = r.supported_types().map(|p| p.name().to_string()).collect();
+        assert_eq!(types, vec!["p1", "p2"]);
+    }
+
+    #[test]
+    fn empty_requirements() {
+        let r = ActorRequirements::new();
+        assert_eq!(r.max_execution_time(), None);
+        assert_eq!(r.support_count(), 0);
+    }
+
+    #[test]
+    fn replacing_an_entry() {
+        let r = ActorRequirements::new().on(pt("p"), 5, 5).on(pt("p"), 7, 9);
+        assert_eq!(r.execution_time(&pt("p")), Some(7));
+        assert_eq!(r.support_count(), 1);
+    }
+
+    #[test]
+    fn channel_memory_products() {
+        // d2 of the paper: (100, 2, 2, 2, 10).
+        let c = ChannelRequirements::new(100, 2, 2, 2, 10);
+        assert_eq!(c.memory_tile(), 200);
+        assert_eq!(c.memory_src(), 200);
+        assert_eq!(c.memory_dst(), 200);
+        // ⌈100/10⌉ = 10: with ℒ = 1 this gives the paper's Υ(c) = 11.
+        assert_eq!(c.transfer_time(), 10);
+    }
+
+    #[test]
+    fn transfer_time_rounds_up() {
+        let c = ChannelRequirements::new(7, 1, 1, 1, 2);
+        assert_eq!(c.transfer_time(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero bandwidth")]
+    fn zero_bandwidth_transfer_panics() {
+        ChannelRequirements::new(1, 1, 0, 0, 0).transfer_time();
+    }
+}

@@ -1,0 +1,543 @@
+//! Line-based text format for application graphs and platforms.
+//!
+//! A deliberately trivial format — one record per line, `key value`
+//! pairs, `#` comments — so graphs can be exchanged with scripts and
+//! version control without a serialization dependency.
+//!
+//! Application file (`.sdfa`):
+//!
+//! ```text
+//! app h263 lambda 1/100000
+//! actor vld pt generic tau 120 mu 4096
+//! actor iq pt generic tau 2 mu 512 pt acc tau 1 mu 256
+//! channel d0 vld 2376 iq 1 tokens 0 sz 16 atile 2400 asrc 2400 adst 2400 beta 256
+//! output iq
+//! ```
+//!
+//! Platform file (`.sdfp`):
+//!
+//! ```text
+//! arch mesh
+//! tile t1 pt p1 wheel 10 mem 700 conn 5 bwin 100 bwout 100
+//! connection t1 t2 latency 1
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{ActorRequirements, ApplicationGraph, ChannelRequirements};
+use sdfrs_platform::{ArchitectureGraph, ProcessorType, Tile};
+use sdfrs_sdf::{Rational, SdfGraph};
+
+/// Errors raised while parsing the text formats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the problem.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_u64(line: usize, token: &str, what: &str) -> Result<u64, ParseError> {
+    token
+        .parse()
+        .map_err(|_| err(line, format!("expected a number for {what}, got {token:?}")))
+}
+
+fn parse_rational(line: usize, token: &str) -> Result<Rational, ParseError> {
+    let (num, den) = match token.split_once('/') {
+        Some((n, d)) => (n, d),
+        None => (token, "1"),
+    };
+    let n: i128 = num
+        .parse()
+        .map_err(|_| err(line, format!("bad rational numerator {num:?}")))?;
+    let d: i128 = den
+        .parse()
+        .map_err(|_| err(line, format!("bad rational denominator {den:?}")))?;
+    if d == 0 {
+        return Err(err(line, "rational denominator is zero"));
+    }
+    Ok(Rational::new(n, d))
+}
+
+/// Expects `tokens[i] == key` and returns the following value token.
+fn keyed<'a>(
+    line: usize,
+    tokens: &'a [&'a str],
+    i: usize,
+    key: &str,
+) -> Result<&'a str, ParseError> {
+    if tokens.get(i) != Some(&key) {
+        return Err(err(
+            line,
+            format!(
+                "expected keyword {key:?} at position {i}, got {:?}",
+                tokens.get(i)
+            ),
+        ));
+    }
+    tokens
+        .get(i + 1)
+        .copied()
+        .ok_or_else(|| err(line, format!("missing value after {key:?}")))
+}
+
+/// Parses an application graph from the `.sdfa` text format.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] naming the offending line, or a semantic
+/// error message (line 0) if the assembled graph fails validation.
+pub fn parse_application(input: &str) -> Result<ApplicationGraph, ParseError> {
+    let mut name = String::from("app");
+    let mut lambda = Rational::ONE;
+    let mut graph = SdfGraph::new("pending");
+    let mut actor_reqs: Vec<ActorRequirements> = Vec::new();
+    let mut channel_reqs: Vec<ChannelRequirements> = Vec::new();
+    let mut output: Option<String> = None;
+
+    for (idx, raw) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens[0] {
+            "app" => {
+                name = tokens
+                    .get(1)
+                    .ok_or_else(|| err(line_no, "app needs a name"))?
+                    .to_string();
+                lambda = parse_rational(line_no, keyed(line_no, &tokens, 2, "lambda")?)?;
+            }
+            "actor" => {
+                let actor_name = *tokens
+                    .get(1)
+                    .ok_or_else(|| err(line_no, "actor needs a name"))?;
+                let mut reqs = ActorRequirements::new();
+                let mut i = 2;
+                while i < tokens.len() {
+                    let pt = keyed(line_no, &tokens, i, "pt")?;
+                    let tau = parse_u64(line_no, keyed(line_no, &tokens, i + 2, "tau")?, "tau")?;
+                    let mu = parse_u64(line_no, keyed(line_no, &tokens, i + 4, "mu")?, "mu")?;
+                    reqs = reqs.on(ProcessorType::new(pt), tau, mu);
+                    i += 6;
+                }
+                graph.add_actor(actor_name, 0);
+                actor_reqs.push(reqs);
+            }
+            "channel" => {
+                if tokens.len() < 6 {
+                    return Err(err(line_no, "channel needs: name src p dst q ..."));
+                }
+                let ch_name = tokens[1];
+                let src = graph
+                    .actor_by_name(tokens[2])
+                    .ok_or_else(|| err(line_no, format!("unknown actor {:?}", tokens[2])))?;
+                let p = parse_u64(line_no, tokens[3], "production rate")?;
+                let dst = graph
+                    .actor_by_name(tokens[4])
+                    .ok_or_else(|| err(line_no, format!("unknown actor {:?}", tokens[4])))?;
+                let q = parse_u64(line_no, tokens[5], "consumption rate")?;
+                if p == 0 || q == 0 {
+                    return Err(err(line_no, "rates must be positive"));
+                }
+                let tokens_n = parse_u64(line_no, keyed(line_no, &tokens, 6, "tokens")?, "tokens")?;
+                let sz = parse_u64(line_no, keyed(line_no, &tokens, 8, "sz")?, "sz")?;
+                let atile = parse_u64(line_no, keyed(line_no, &tokens, 10, "atile")?, "atile")?;
+                let asrc = parse_u64(line_no, keyed(line_no, &tokens, 12, "asrc")?, "asrc")?;
+                let adst = parse_u64(line_no, keyed(line_no, &tokens, 14, "adst")?, "adst")?;
+                let beta = parse_u64(line_no, keyed(line_no, &tokens, 16, "beta")?, "beta")?;
+                graph.add_channel(ch_name, src, p, dst, q, tokens_n);
+                channel_reqs.push(ChannelRequirements::new(sz, atile, asrc, adst, beta));
+            }
+            "output" => {
+                output = Some(
+                    tokens
+                        .get(1)
+                        .ok_or_else(|| err(line_no, "output needs an actor name"))?
+                        .to_string(),
+                );
+            }
+            other => return Err(err(line_no, format!("unknown record {other:?}"))),
+        }
+    }
+
+    let mut renamed = SdfGraph::new(name);
+    for (_, a) in graph.actors() {
+        renamed.add_actor(a.name(), 0);
+    }
+    for (_, c) in graph.channels() {
+        renamed.add_channel(
+            c.name(),
+            c.src(),
+            c.production_rate(),
+            c.dst(),
+            c.consumption_rate(),
+            c.initial_tokens(),
+        );
+    }
+    let output_actor = match output {
+        Some(n) => renamed
+            .actor_by_name(&n)
+            .ok_or_else(|| err(0, format!("output names unknown actor {n:?}")))?,
+        None => {
+            if renamed.actor_count() == 0 {
+                return Err(err(0, "application has no actors"));
+            }
+            sdfrs_sdf::ActorId::from_index(renamed.actor_count() - 1)
+        }
+    };
+    let mut builder = ApplicationGraph::builder(renamed, lambda).output_actor(output_actor);
+    for (i, r) in actor_reqs.into_iter().enumerate() {
+        builder = builder.actor(sdfrs_sdf::ActorId::from_index(i), r);
+    }
+    for (i, r) in channel_reqs.into_iter().enumerate() {
+        builder = builder.channel(sdfrs_sdf::ChannelId::from_index(i), r);
+    }
+    builder.build().map_err(|e| err(0, e.to_string()))
+}
+
+/// Parses a *bundle*: several applications in one file, each starting at
+/// an `app` record. The single-application format is a bundle of one.
+///
+/// # Errors
+///
+/// Propagates the first member's [`ParseError`], with line numbers
+/// relative to the whole file.
+///
+/// # Examples
+///
+/// ```
+/// use sdfrs_appmodel::textio::parse_applications;
+/// let text = "\
+/// app one lambda 1/4
+/// actor a pt p tau 1 mu 1
+/// output a
+/// app two lambda 1/8
+/// actor b pt p tau 2 mu 2
+/// output b
+/// ";
+/// let apps = parse_applications(text)?;
+/// assert_eq!(apps.len(), 2);
+/// assert_eq!(apps[1].graph().name(), "two");
+/// # Ok::<(), sdfrs_appmodel::textio::ParseError>(())
+/// ```
+pub fn parse_applications(input: &str) -> Result<Vec<ApplicationGraph>, ParseError> {
+    // Split on `app` record starts, keeping line offsets for error
+    // reporting.
+    let mut chunks: Vec<(usize, Vec<&str>)> = Vec::new();
+    for (idx, raw) in input.lines().enumerate() {
+        let is_app = raw
+            .split('#')
+            .next()
+            .unwrap_or("")
+            .trim_start()
+            .starts_with("app ");
+        if is_app || chunks.is_empty() {
+            chunks.push((idx, Vec::new()));
+        }
+        chunks.last_mut().expect("chunk exists").1.push(raw);
+    }
+    let mut apps = Vec::new();
+    for (offset, lines) in chunks {
+        let meaningful = lines
+            .iter()
+            .any(|l| !l.split('#').next().unwrap_or("").trim().is_empty());
+        if !meaningful {
+            continue;
+        }
+        let text = lines.join("\n");
+        let app = parse_application(&text).map_err(|e| ParseError {
+            line: if e.line == 0 { 0 } else { e.line + offset },
+            message: e.message,
+        })?;
+        apps.push(app);
+    }
+    Ok(apps)
+}
+
+/// Writes several applications as one bundle.
+pub fn write_applications(apps: &[ApplicationGraph]) -> String {
+    apps.iter().map(write_application).collect()
+}
+
+/// Writes an application graph in the `.sdfa` text format.
+pub fn write_application(app: &ApplicationGraph) -> String {
+    let g = app.graph();
+    let mut out = String::new();
+    let lambda = app.throughput_constraint();
+    out.push_str(&format!(
+        "app {} lambda {}/{}\n",
+        g.name(),
+        lambda.numer(),
+        lambda.denom()
+    ));
+    for (a, actor) in g.actors() {
+        out.push_str(&format!("actor {}", actor.name()));
+        let reqs = app.actor_requirements(a);
+        for pt in reqs.supported_types() {
+            out.push_str(&format!(
+                " pt {} tau {} mu {}",
+                pt.name(),
+                reqs.execution_time(pt).expect("supported"),
+                reqs.memory(pt).expect("supported")
+            ));
+        }
+        out.push('\n');
+    }
+    for (d, c) in g.channels() {
+        let th = app.channel_requirements(d);
+        out.push_str(&format!(
+            "channel {} {} {} {} {} tokens {} sz {} atile {} asrc {} adst {} beta {}\n",
+            c.name(),
+            g.actor(c.src()).name(),
+            c.production_rate(),
+            g.actor(c.dst()).name(),
+            c.consumption_rate(),
+            c.initial_tokens(),
+            th.token_size,
+            th.buffer_tile,
+            th.buffer_src,
+            th.buffer_dst,
+            th.bandwidth
+        ));
+    }
+    out.push_str(&format!("output {}\n", g.actor(app.output_actor()).name()));
+    out
+}
+
+/// Parses an architecture graph from the `.sdfp` text format.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] naming the offending line.
+pub fn parse_platform(input: &str) -> Result<ArchitectureGraph, ParseError> {
+    let mut arch = ArchitectureGraph::new("platform");
+    let mut named = false;
+    for (idx, raw) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens[0] {
+            "arch" => {
+                let name = tokens
+                    .get(1)
+                    .ok_or_else(|| err(line_no, "arch needs a name"))?;
+                if named {
+                    return Err(err(line_no, "duplicate arch record"));
+                }
+                let mut renamed = ArchitectureGraph::new(*name);
+                for (_, t) in arch.tiles() {
+                    renamed.add_tile(t.clone());
+                }
+                arch = renamed;
+                named = true;
+            }
+            "tile" => {
+                let name = *tokens
+                    .get(1)
+                    .ok_or_else(|| err(line_no, "tile needs a name"))?;
+                let pt = keyed(line_no, &tokens, 2, "pt")?;
+                let wheel = parse_u64(line_no, keyed(line_no, &tokens, 4, "wheel")?, "wheel")?;
+                let mem = parse_u64(line_no, keyed(line_no, &tokens, 6, "mem")?, "mem")?;
+                let conn = parse_u64(line_no, keyed(line_no, &tokens, 8, "conn")?, "conn")?;
+                let bwin = parse_u64(line_no, keyed(line_no, &tokens, 10, "bwin")?, "bwin")?;
+                let bwout = parse_u64(line_no, keyed(line_no, &tokens, 12, "bwout")?, "bwout")?;
+                arch.add_tile(Tile::new(
+                    name,
+                    ProcessorType::new(pt),
+                    wheel,
+                    mem,
+                    conn as u32,
+                    bwin,
+                    bwout,
+                ));
+            }
+            "connection" => {
+                let src = arch
+                    .tile_by_name(tokens.get(1).copied().unwrap_or(""))
+                    .ok_or_else(|| err(line_no, "unknown source tile"))?;
+                let dst = arch
+                    .tile_by_name(tokens.get(2).copied().unwrap_or(""))
+                    .ok_or_else(|| err(line_no, "unknown destination tile"))?;
+                let latency =
+                    parse_u64(line_no, keyed(line_no, &tokens, 3, "latency")?, "latency")?;
+                arch.add_connection(src, dst, latency);
+            }
+            other => return Err(err(line_no, format!("unknown record {other:?}"))),
+        }
+    }
+    Ok(arch)
+}
+
+/// Writes an architecture graph in the `.sdfp` text format.
+pub fn write_platform(arch: &ArchitectureGraph) -> String {
+    let mut out = format!("arch {}\n", arch.name());
+    for (_, t) in arch.tiles() {
+        out.push_str(&format!(
+            "tile {} pt {} wheel {} mem {} conn {} bwin {} bwout {}\n",
+            t.name(),
+            t.processor_type().name(),
+            t.wheel_size(),
+            t.memory(),
+            t.max_connections(),
+            t.bandwidth_in(),
+            t.bandwidth_out()
+        ));
+    }
+    for (_, c) in arch.connections() {
+        out.push_str(&format!(
+            "connection {} {} latency {}\n",
+            arch.tile(c.src()).name(),
+            arch.tile(c.dst()).name(),
+            c.latency()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::{example_platform, h263_decoder, mp3_decoder, paper_example};
+
+    #[test]
+    fn application_roundtrip() {
+        for app in [
+            paper_example(),
+            h263_decoder(0, Rational::new(1, 100_000)),
+            mp3_decoder(Rational::new(1, 3_000)),
+        ] {
+            let text = write_application(&app);
+            let parsed = parse_application(&text).unwrap_or_else(|e| {
+                panic!("failed to reparse {}: {e}\n{text}", app.graph().name())
+            });
+            assert_eq!(parsed.graph(), app.graph());
+            assert_eq!(parsed.throughput_constraint(), app.throughput_constraint());
+            assert_eq!(parsed.output_actor(), app.output_actor());
+            for (a, _) in app.graph().actors() {
+                assert_eq!(parsed.actor_requirements(a), app.actor_requirements(a));
+            }
+            for d in app.graph().channel_ids() {
+                assert_eq!(parsed.channel_requirements(d), app.channel_requirements(d));
+            }
+        }
+    }
+
+    #[test]
+    fn platform_roundtrip() {
+        let arch = example_platform();
+        let text = write_platform(&arch);
+        let parsed = parse_platform(&text).unwrap();
+        assert_eq!(parsed, arch);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text =
+            "\n# a comment\napp demo lambda 1/4  # trailing\nactor a pt p tau 1 mu 1\noutput a\n";
+        let app = parse_application(text).unwrap();
+        assert_eq!(app.graph().name(), "demo");
+        assert_eq!(app.throughput_constraint(), Rational::new(1, 4));
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let text = "app demo lambda 1/4\nactor a pt p tau X mu 1\noutput a\n";
+        let e = parse_application(text).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("tau"));
+    }
+
+    #[test]
+    fn unknown_actor_in_channel_rejected() {
+        let text = "app demo lambda 1\nactor a pt p tau 1 mu 1\nchannel d a 1 ghost 1 tokens 0 sz 1 atile 1 asrc 1 adst 1 beta 1\n";
+        let e = parse_application(text).unwrap_err();
+        assert!(e.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn unknown_record_rejected() {
+        assert!(parse_application("bogus x\n").is_err());
+        assert!(parse_platform("bogus x\n").is_err());
+    }
+
+    #[test]
+    fn semantic_errors_surface() {
+        // Inconsistent rates are caught by the builder.
+        let text = "app demo lambda 1\nactor a pt p tau 1 mu 1\nactor b pt p tau 1 mu 1\n\
+                    channel d0 a 1 b 1 tokens 0 sz 1 atile 1 asrc 1 adst 1 beta 1\n\
+                    channel d1 b 2 a 1 tokens 0 sz 1 atile 1 asrc 1 adst 1 beta 1\noutput b\n";
+        let e = parse_application(text).unwrap_err();
+        assert!(e.to_string().contains("consistent"), "{e}");
+    }
+
+    #[test]
+    fn platform_connections_need_known_tiles() {
+        let text = "arch a\ntile t pt p wheel 1 mem 1 conn 1 bwin 1 bwout 1\nconnection t ghost latency 1\n";
+        assert!(parse_platform(text).is_err());
+    }
+}
+
+#[cfg(test)]
+mod bundle_tests {
+    use super::*;
+    use crate::apps::{h263_decoder, mp3_decoder};
+
+    #[test]
+    fn bundle_roundtrip() {
+        let apps = vec![
+            h263_decoder(0, Rational::new(1, 100_000)),
+            h263_decoder(1, Rational::new(1, 100_000)),
+            mp3_decoder(Rational::new(1, 3_000)),
+        ];
+        let text = write_applications(&apps);
+        let parsed = parse_applications(&text).unwrap();
+        assert_eq!(parsed.len(), 3);
+        for (p, a) in parsed.iter().zip(&apps) {
+            assert_eq!(p.graph(), a.graph());
+        }
+    }
+
+    #[test]
+    fn single_app_is_a_bundle_of_one() {
+        let apps =
+            parse_applications("app solo lambda 1/2\nactor a pt p tau 1 mu 1\noutput a\n").unwrap();
+        assert_eq!(apps.len(), 1);
+        assert_eq!(apps[0].graph().name(), "solo");
+    }
+
+    #[test]
+    fn bundle_errors_carry_global_line_numbers() {
+        let text = "app one lambda 1/4\nactor a pt p tau 1 mu 1\noutput a\n\
+                    app two lambda 1/8\nactor b pt p tau X mu 2\noutput b\n";
+        let e = parse_applications(text).unwrap_err();
+        assert_eq!(e.line, 5, "line number must be file-relative: {e}");
+    }
+
+    #[test]
+    fn empty_input_is_an_empty_bundle() {
+        assert_eq!(parse_applications("\n# nothing\n").unwrap().len(), 0);
+    }
+}

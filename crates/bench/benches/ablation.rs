@@ -1,0 +1,96 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * the reverse-order re-binding optimization of Sec 9.1 (on/off);
+//! * the per-tile slice refinement of Sec 9.3 (on/off);
+//! * schedule minimization (minimized vs raw list-scheduler output);
+//! * event-driven TDMA clock advancement (the engine jumps to the next
+//!   completion) vs the worst case of many tiny wheel revolutions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sdfrs_appmodel::apps::{example_platform, paper_example};
+use sdfrs_core::binding_aware::BindingAwareGraph;
+use sdfrs_core::constrained::constrained_throughput;
+use sdfrs_core::flow::{allocate, FlowConfig};
+use sdfrs_core::list_sched::ListScheduler;
+use sdfrs_core::Binding;
+use sdfrs_gen::{AppGenerator, GeneratorConfig};
+use sdfrs_platform::mesh::{mesh_platform, MeshConfig};
+use sdfrs_platform::{PlatformState, ProcessorType, TileId};
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+
+    // --- Binding optimization pass on/off, on a generated app where it
+    // has actual work to do.
+    let mesh = mesh_platform("mesh", &MeshConfig::default());
+    let state = PlatformState::new(&mesh);
+    let types = vec![
+        ProcessorType::new("risc"),
+        ProcessorType::new("dsp"),
+        ProcessorType::new("acc"),
+    ];
+    let mut gen = AppGenerator::new(GeneratorConfig::mixed(), types, 5);
+    let app = gen.generate("ablate");
+    for optimize in [true, false] {
+        let mut flow = FlowConfig::default();
+        flow.bind.optimize = optimize;
+        group.bench_function(format!("flow_optimize_{optimize}"), |b| {
+            b.iter(|| {
+                let _ = allocate(&app, &mesh, &state, &flow);
+            })
+        });
+    }
+
+    // --- Slice refinement on/off.
+    for refine in [true, false] {
+        let mut flow = FlowConfig::default();
+        flow.slice.refine = refine;
+        group.bench_function(format!("flow_refine_{refine}"), |b| {
+            b.iter(|| {
+                let _ = allocate(&app, &mesh, &state, &flow);
+            })
+        });
+    }
+
+    // --- Schedule minimization: analysis cost with the raw vs the
+    // minimized schedule (same semantics, different position spaces).
+    let paper = paper_example();
+    let arch = example_platform();
+    let g = paper.graph();
+    let mut binding = Binding::new(g.actor_count());
+    binding.bind(g.actor_by_name("a1").unwrap(), TileId::from_index(0));
+    binding.bind(g.actor_by_name("a2").unwrap(), TileId::from_index(0));
+    binding.bind(g.actor_by_name("a3").unwrap(), TileId::from_index(1));
+    let ba = BindingAwareGraph::build(&paper, &arch, &binding, &[5, 5]).unwrap();
+    let raw = ListScheduler::new(&ba).construct_raw().unwrap();
+    let minimized = raw.minimized();
+    let a3 = ba.graph().actor_by_name("a3").unwrap();
+    group.bench_function("constrained_raw_schedule", |b| {
+        b.iter(|| constrained_throughput(&ba, &raw, a3).unwrap())
+    });
+    group.bench_function("constrained_minimized_schedule", |b| {
+        b.iter(|| constrained_throughput(&ba, &minimized, a3).unwrap())
+    });
+
+    // --- Connection model: the paper's simple c actor vs the pipelined
+    // NoC refinement (Sec 8.1's "more detailed model" remark).
+    use sdfrs_core::binding_aware::ConnectionModel;
+    use sdfrs_sdf::analysis::selftimed::SelfTimedExecutor;
+    for (label, model) in [
+        ("simple", ConnectionModel::Simple),
+        ("pipelined", ConnectionModel::PipelinedHops),
+    ] {
+        let ba =
+            BindingAwareGraph::build_with_model(&paper, &arch, &binding, &[5, 5], model).unwrap();
+        let a3 = ba.graph().actor_by_name("a3").unwrap();
+        group.bench_function(format!("connection_model_{label}"), |b| {
+            b.iter(|| SelfTimedExecutor::new(ba.graph()).throughput(a3).unwrap())
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

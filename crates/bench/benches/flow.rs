@@ -1,0 +1,98 @@
+//! Criterion benches for the three flow steps (Sec 9) and the complete
+//! strategy — the quantities behind the paper's "5 seconds per graph"
+//! and "90% of the run-time is slice allocation" observations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sdfrs_appmodel::apps::{example_platform, h263_decoder, mp3_decoder, paper_example};
+use sdfrs_core::bind::{bind_actors, BindConfig};
+use sdfrs_core::binding_aware::BindingAwareGraph;
+use sdfrs_core::cost::CostWeights;
+use sdfrs_core::flow::{allocate, FlowConfig};
+use sdfrs_core::list_sched::construct_schedules;
+use sdfrs_core::slice::{allocate_slices, SliceConfig};
+use sdfrs_gen::{AppGenerator, GeneratorConfig};
+use sdfrs_platform::mesh::{mesh_platform, multimedia_platform, MeshConfig};
+use sdfrs_platform::{PlatformState, ProcessorType};
+use sdfrs_sdf::Rational;
+
+fn bench_flow_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow_steps");
+    let app = paper_example();
+    let arch = example_platform();
+    let state = PlatformState::new(&arch);
+
+    group.bench_function("bind", |b| {
+        b.iter(|| bind_actors(&app, &arch, &state, &BindConfig::default()).unwrap())
+    });
+
+    let binding = bind_actors(&app, &arch, &state, &BindConfig::default()).unwrap();
+    let ba = BindingAwareGraph::build(&app, &arch, &binding, &[5, 5]).unwrap();
+    group.bench_function("list_schedule", |b| {
+        b.iter(|| construct_schedules(&ba).unwrap())
+    });
+
+    let schedules = construct_schedules(&ba).unwrap();
+    group.bench_function("slice_allocation", |b| {
+        b.iter(|| {
+            let mut ba = ba.clone();
+            allocate_slices(
+                &mut ba,
+                &schedules,
+                &app,
+                &arch,
+                &state,
+                &binding,
+                &SliceConfig::default(),
+            )
+            .unwrap()
+        })
+    });
+
+    group.bench_function("full_flow_paper_example", |b| {
+        b.iter(|| allocate(&app, &arch, &state, &FlowConfig::default()).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_flow_applications(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow_applications");
+    group.sample_size(10);
+
+    let arch = multimedia_platform();
+    let state = PlatformState::new(&arch);
+    let flow = FlowConfig::with_weights(CostWeights::MULTIMEDIA);
+
+    let h263 = h263_decoder(0, Rational::new(1, 150_000));
+    group.bench_function("h263", |b| {
+        b.iter(|| allocate(&h263, &arch, &state, &flow).unwrap())
+    });
+
+    let mp3 = mp3_decoder(Rational::new(1, 3_000));
+    group.bench_function("mp3", |b| {
+        b.iter(|| allocate(&mp3, &arch, &state, &flow).unwrap())
+    });
+
+    // A generated mixed application on a 3×3 mesh: the Sec 10.2 per-graph
+    // cost (paper: 5 seconds on a 2007 P4).
+    let mesh = mesh_platform("mesh", &MeshConfig::default());
+    let mesh_state = PlatformState::new(&mesh);
+    let types = vec![
+        ProcessorType::new("risc"),
+        ProcessorType::new("dsp"),
+        ProcessorType::new("acc"),
+    ];
+    let mut gen = AppGenerator::new(GeneratorConfig::mixed(), types, 99);
+    let generated = gen.generate("bench");
+    group.bench_function("generated_mixed", |b| {
+        b.iter(|| {
+            // Some generated graphs may be infeasible on a given platform;
+            // both outcomes are valid work for this bench.
+            let _ = allocate(&generated, &mesh, &mesh_state, &FlowConfig::default());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_flow_steps, bench_flow_applications);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion benches for the HSDF baseline (Fig 1 / Sec 1): conversion
+//! cost and maximum-cycle-mean analysis versus the SDF-direct state space.
+//!
+//! The paper's headline: throughput analysis on the H.263 HSDFG takes 21
+//! minutes where the SDFG-based flow needs under 3 — the *ratio* is what
+//! this bench reproduces.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sdfrs_bench::hsdf_cmp::timed_h263;
+use sdfrs_sdf::analysis::mcr::hsdf_max_cycle_mean;
+use sdfrs_sdf::analysis::selftimed::SelfTimedExecutor;
+use sdfrs_sdf::hsdf::convert_to_hsdf;
+use sdfrs_sdf::SdfGraph;
+
+/// A multirate chain with increasing blow-up factor.
+fn multirate_chain(factor: u64) -> SdfGraph {
+    let mut g = SdfGraph::new(format!("chain_{factor}"));
+    let a = g.add_actor("a", 3);
+    let b = g.add_actor("b", 1);
+    let c = g.add_actor("c", 2);
+    g.add_self_edge(a, 1);
+    g.add_self_edge(b, 1);
+    g.add_self_edge(c, 1);
+    g.add_channel("ab", a, factor, b, 1, 0);
+    g.add_channel("ba", b, 1, a, factor, 2 * factor);
+    g.add_channel("bc", b, 1, c, factor, 0);
+    g.add_channel("cb", c, factor, b, 1, 2 * factor);
+    g
+}
+
+fn bench_hsdf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hsdf_mcm");
+
+    for factor in [8u64, 32, 128] {
+        let g = multirate_chain(factor);
+        group.bench_function(format!("convert_factor_{factor}"), |b| {
+            b.iter(|| convert_to_hsdf(&g).unwrap())
+        });
+        let h = convert_to_hsdf(&g).unwrap();
+        group.bench_function(format!("mcm_factor_{factor}"), |b| {
+            b.iter(|| hsdf_max_cycle_mean(&h.graph).unwrap())
+        });
+        let reference = g.actor_ids().next().unwrap();
+        group.bench_function(format!("sdf_direct_factor_{factor}"), |b| {
+            b.iter(|| SelfTimedExecutor::new(&g).throughput(reference).unwrap())
+        });
+    }
+
+    // Two independent MCM algorithms head to head on the same HSDFG.
+    let h = convert_to_hsdf(&multirate_chain(32)).unwrap();
+    group.bench_function("howard_vs_karp_howard", |b| {
+        b.iter(|| hsdf_max_cycle_mean(&h.graph).unwrap())
+    });
+    group.bench_function("howard_vs_karp_karp", |b| {
+        b.iter(|| sdfrs_sdf::analysis::karp::karp_max_cycle_mean(&h.graph).unwrap())
+    });
+
+    // The real H.263: conversion alone (MCM on 4754 nodes is benched once
+    // with few samples — it is the slow baseline by design).
+    let h263 = timed_h263();
+    group.sample_size(10);
+    group.bench_function("h263_convert", |b| {
+        b.iter(|| convert_to_hsdf(&h263).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_hsdf);
+criterion_main!(benches);

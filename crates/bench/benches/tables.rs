@@ -1,0 +1,41 @@
+//! Criterion benches regenerating the paper's tables and figures at a
+//! reduced scale (the full-scale runs live in the `repro` binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sdfrs_bench::table4::{run_experiment_with_weights, ExperimentConfig};
+use sdfrs_bench::{fig5, table3, table5};
+use sdfrs_core::cost::CostWeights;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tables");
+
+    group.bench_function("fig5_all_three_state_spaces", |b| b.iter(fig5::compute));
+
+    group.bench_function("table3_four_bindings", |b| {
+        b.iter(|| table3::compute().unwrap())
+    });
+
+    // One reduced Table 4 cell per iteration: the tuned weights on every
+    // set, one sequence of five applications, all three platforms.
+    group.sample_size(10);
+    let config = ExperimentConfig {
+        sequences: 1,
+        apps_per_sequence: 5,
+        ..ExperimentConfig::default()
+    };
+    group.bench_function("table4_reduced_cell", |b| {
+        b.iter(|| run_experiment_with_weights(&config, vec![CostWeights::TUNED]))
+    });
+
+    let experiment =
+        run_experiment_with_weights(&config, vec![CostWeights::MEMORY, CostWeights::TUNED]);
+    group.bench_function("table5_normalization", |b| {
+        b.iter(|| table5::compute(&experiment, "mixed"))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Criterion benches for the throughput-analysis kernels (Fig 5 / Sec 8):
+//! the self-timed state space, the binding-aware variant, and the
+//! schedule/TDMA-constrained execution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sdfrs_appmodel::apps::{example_platform, paper_example};
+use sdfrs_bench::hsdf_cmp::timed_h263;
+use sdfrs_core::binding_aware::BindingAwareGraph;
+use sdfrs_core::constrained::constrained_throughput;
+use sdfrs_core::list_sched::construct_schedules;
+use sdfrs_core::Binding;
+use sdfrs_platform::TileId;
+use sdfrs_sdf::analysis::selftimed::SelfTimedExecutor;
+
+fn example_ba() -> BindingAwareGraph {
+    let app = paper_example();
+    let arch = example_platform();
+    let g = app.graph();
+    let mut binding = Binding::new(g.actor_count());
+    binding.bind(g.actor_by_name("a1").unwrap(), TileId::from_index(0));
+    binding.bind(g.actor_by_name("a2").unwrap(), TileId::from_index(0));
+    binding.bind(g.actor_by_name("a3").unwrap(), TileId::from_index(1));
+    BindingAwareGraph::build(&app, &arch, &binding, &[5, 5]).unwrap()
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("throughput");
+
+    // Fig 5(a): plain self-timed state space of the example.
+    let app = paper_example();
+    let mut plain = app.graph().clone();
+    plain.set_execution_time(plain.actor_by_name("a1").unwrap(), 1);
+    plain.set_execution_time(plain.actor_by_name("a2").unwrap(), 1);
+    plain.set_execution_time(plain.actor_by_name("a3").unwrap(), 2);
+    let a3_plain = plain.actor_by_name("a3").unwrap();
+    group.bench_function("fig5a_self_timed", |b| {
+        b.iter(|| SelfTimedExecutor::new(&plain).throughput(a3_plain).unwrap())
+    });
+
+    // Fig 5(b): binding-aware graph.
+    let ba = example_ba();
+    let a3 = ba.graph().actor_by_name("a3").unwrap();
+    group.bench_function("fig5b_binding_aware", |b| {
+        b.iter(|| SelfTimedExecutor::new(ba.graph()).throughput(a3).unwrap())
+    });
+
+    // Fig 5(c): constrained by schedules + TDMA.
+    let schedules = construct_schedules(&ba).unwrap();
+    group.bench_function("fig5c_constrained", |b| {
+        b.iter(|| constrained_throughput(&ba, &schedules, a3).unwrap())
+    });
+
+    // The H.263 decoder: the workload the paper's Sec 1 runtime argument
+    // is about, analyzed directly on the 4-actor SDFG.
+    let h263 = timed_h263();
+    let mc = h263.actor_by_name("mc0").unwrap();
+    group.sample_size(20);
+    group.bench_function("h263_sdf_state_space", |b| {
+        b.iter(|| SelfTimedExecutor::new(&h263).throughput(mc).unwrap())
+    });
+
+    group.finish();
+}
+
+fn bench_companion_analyses(c: &mut Criterion) {
+    let mut group = c.benchmark_group("companion_analyses");
+    let h263 = timed_h263();
+    let mc = h263.actor_by_name("mc0").unwrap();
+
+    group.bench_function("structural_bounds_h263", |b| {
+        b.iter(|| sdfrs_sdf::analysis::bounds::throughput_bounds(&h263, 10_000).unwrap())
+    });
+    group.sample_size(10);
+    group.bench_function("latency_h263", |b| {
+        b.iter(|| sdfrs_sdf::analysis::latency::iteration_latency(&h263, mc, 2).unwrap())
+    });
+    group.bench_function("occupancy_h263", |b| {
+        b.iter(|| sdfrs_sdf::analysis::occupancy::max_occupancy(&h263, 1_000_000).unwrap())
+    });
+    group.bench_function("state_space_export_example", |b| {
+        let app = paper_example();
+        let mut g = app.graph().clone();
+        g.set_execution_time(g.actor_by_name("a1").unwrap(), 1);
+        g.set_execution_time(g.actor_by_name("a2").unwrap(), 1);
+        g.set_execution_time(g.actor_by_name("a3").unwrap(), 2);
+        b.iter(|| SelfTimedExecutor::new(&g).explore_state_space().unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput, bench_companion_analyses);
+criterion_main!(benches);

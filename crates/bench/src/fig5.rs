@@ -1,0 +1,150 @@
+//! E1–E3: the three state spaces of Figure 5.
+//!
+//! * (a) the application SDFG executed self-timed with the bound execution
+//!   times — a3 fires every 2 time units;
+//! * (b) the binding-aware SDFG (50% slices assumed) — every 29;
+//! * (c) the execution constrained by static orders and the TDMA wheels —
+//!   every 30.
+
+use sdfrs_appmodel::apps::{example_platform, paper_example};
+use sdfrs_core::binding_aware::BindingAwareGraph;
+use sdfrs_core::constrained::constrained_throughput;
+use sdfrs_core::list_sched::construct_schedules;
+use sdfrs_core::Binding;
+use sdfrs_platform::TileId;
+use sdfrs_sdf::analysis::selftimed::SelfTimedExecutor;
+use sdfrs_sdf::Rational;
+
+/// The three firing periods of actor a3 in Fig 5.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fig5 {
+    /// Fig 5(a): period in the plain self-timed execution.
+    pub period_application: Rational,
+    /// Fig 5(b): period in the binding-aware SDFG.
+    pub period_binding_aware: Rational,
+    /// Fig 5(c): period under static orders + 50% TDMA wheels.
+    pub period_constrained: Rational,
+    /// States explored in each of the three analyses.
+    pub states: [usize; 3],
+}
+
+/// Computes the three state spaces as DOT graphs (the actual figure).
+///
+/// # Panics
+///
+/// Panics if the bundled paper example fails to analyze (a regression).
+pub fn compute_dot() -> [String; 3] {
+    let app = paper_example();
+    let arch = example_platform();
+    let g = app.graph();
+    let a1 = g.actor_by_name("a1").expect("example actor");
+    let a2 = g.actor_by_name("a2").expect("example actor");
+    let a3 = g.actor_by_name("a3").expect("example actor");
+
+    let mut timed = g.clone();
+    timed.set_execution_time(a1, 1);
+    timed.set_execution_time(a2, 1);
+    timed.set_execution_time(a3, 2);
+    let ssa = SelfTimedExecutor::new(&timed)
+        .explore_state_space()
+        .expect("fig5a explores");
+
+    let mut binding = Binding::new(g.actor_count());
+    binding.bind(a1, TileId::from_index(0));
+    binding.bind(a2, TileId::from_index(0));
+    binding.bind(a3, TileId::from_index(1));
+    let ba = BindingAwareGraph::build(&app, &arch, &binding, &[5, 5]).expect("fig5b builds");
+    let ssb = SelfTimedExecutor::new(ba.graph())
+        .explore_state_space()
+        .expect("fig5b explores");
+
+    let schedules = construct_schedules(&ba).expect("fig5c schedules");
+    let ssc = sdfrs_core::ConstrainedExecutor::new(&ba, &schedules)
+        .explore_state_space()
+        .expect("fig5c explores");
+
+    [
+        ssa.to_dot("fig5a_application"),
+        ssb.to_dot("fig5b_binding_aware"),
+        ssc.to_dot("fig5c_constrained"),
+    ]
+}
+
+/// Computes all three Fig 5 periods.
+///
+/// # Panics
+///
+/// Panics if the bundled paper example fails to analyze (a regression).
+pub fn compute() -> Fig5 {
+    let app = paper_example();
+    let arch = example_platform();
+    let g = app.graph();
+    let a1 = g.actor_by_name("a1").expect("example actor");
+    let a2 = g.actor_by_name("a2").expect("example actor");
+    let a3 = g.actor_by_name("a3").expect("example actor");
+
+    // (a) application SDFG with the bound execution times (1, 1, 2).
+    let mut timed = g.clone();
+    timed.set_execution_time(a1, 1);
+    timed.set_execution_time(a2, 1);
+    timed.set_execution_time(a3, 2);
+    let ra = SelfTimedExecutor::new(&timed)
+        .throughput(a3)
+        .expect("fig5a analyzes");
+
+    // (b) binding-aware SDFG, a1/a2 on t1, a3 on t2, 50% slices.
+    let mut binding = Binding::new(g.actor_count());
+    binding.bind(a1, TileId::from_index(0));
+    binding.bind(a2, TileId::from_index(0));
+    binding.bind(a3, TileId::from_index(1));
+    let ba = BindingAwareGraph::build(&app, &arch, &binding, &[5, 5]).expect("fig5b builds");
+    let ba_a3 = ba.ba_actor(a3);
+    let rb = SelfTimedExecutor::new(ba.graph())
+        .throughput(ba_a3)
+        .expect("fig5b analyzes");
+
+    // (c) constrained by the constructed static orders + 50% wheels.
+    let schedules = construct_schedules(&ba).expect("fig5c schedules");
+    let rc = constrained_throughput(&ba, &schedules, ba_a3).expect("fig5c analyzes");
+
+    Fig5 {
+        period_application: ra.actor_throughput.recip(),
+        period_binding_aware: rb.actor_throughput.recip(),
+        period_constrained: rc.actor_throughput.recip(),
+        states: [ra.states_explored, rb.states_explored, rc.states_explored],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periods_match_the_paper() {
+        let f = compute();
+        assert_eq!(f.period_application, Rational::from_integer(2));
+        assert_eq!(f.period_binding_aware, Rational::from_integer(29));
+        assert_eq!(f.period_constrained, Rational::from_integer(30));
+        assert!(f.states.iter().all(|&s| s > 0));
+    }
+}
+
+#[cfg(test)]
+mod dot_tests {
+    use super::*;
+
+    #[test]
+    fn dot_state_spaces_reflect_the_periods() {
+        let [a, b, c] = compute_dot();
+        for (dot, name) in [(&a, "fig5a"), (&b, "fig5b"), (&c, "fig5c")] {
+            assert!(dot.contains("digraph"), "{name}");
+            assert!(dot.contains("s0 -> s1"), "{name}");
+            assert!(dot.contains("color=red"), "{name} marks the cycle entry");
+        }
+        // Fig 5(a) fires a1 first (its self-edge token is available).
+        assert!(a.contains("a1"));
+        // Fig 5(b)/(c) involve the connection actor.
+        assert!(b.contains("c_d2"));
+        assert!(c.contains("c_d2"));
+    }
+}

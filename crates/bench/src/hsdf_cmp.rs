@@ -1,0 +1,221 @@
+//! E9: the Fig 1 / Sec 1 problem-size argument — the H.263 decoder's HSDF
+//! equivalent has 4754 actors, and throughput analysis on the HSDFG (the
+//! maximum-cycle-ratio baseline) is far slower than the state-space
+//! technique working directly on the 4-actor SDFG.
+
+use std::time::{Duration, Instant};
+
+use sdfrs_appmodel::apps::h263_decoder;
+use sdfrs_platform::ProcessorType;
+use sdfrs_sdf::analysis::mcr::{hsdf_max_cycle_mean, CycleRatio};
+use sdfrs_sdf::analysis::selftimed::SelfTimedExecutor;
+use sdfrs_sdf::hsdf::convert_to_hsdf;
+use sdfrs_sdf::{Rational, SdfGraph};
+
+/// Comparison of the two throughput techniques on the H.263 decoder.
+#[derive(Debug, Clone)]
+pub struct HsdfComparison {
+    /// Actors in the SDFG (4).
+    pub sdf_actors: usize,
+    /// Actors in the HSDF equivalent (4754).
+    pub hsdf_actors: usize,
+    /// Channels in the HSDF equivalent.
+    pub hsdf_channels: usize,
+    /// Iteration throughput from the SDF state-space technique.
+    pub sdf_throughput: Rational,
+    /// Iteration throughput from MCM on the HSDFG (must agree).
+    pub hsdf_throughput: Rational,
+    /// Time for the state-space analysis on the SDFG.
+    pub sdf_time: Duration,
+    /// Time for conversion + MCM on the HSDFG.
+    pub hsdf_time: Duration,
+}
+
+/// A timed H.263 graph: actors carry their generic-processor execution
+/// times, every actor is serialized by a self-edge, and channel buffers
+/// are bounded so the state space is finite.
+pub fn timed_h263() -> SdfGraph {
+    let app = h263_decoder(0, Rational::new(1, 1_000_000));
+    let src = app.graph();
+    let generic = ProcessorType::new("generic");
+    let mut g = SdfGraph::new("h263_timed");
+    for (a, actor) in src.actors() {
+        let tau = app
+            .execution_time(a, &generic)
+            .expect("all h263 actors run on the generic processor");
+        g.add_actor(actor.name(), tau);
+    }
+    for (a, _) in src.actors() {
+        if !src.has_self_edge(a) {
+            g.add_self_edge(a, 1);
+        }
+    }
+    for (d, ch) in src.channels() {
+        g.add_channel(
+            ch.name(),
+            ch.src(),
+            ch.production_rate(),
+            ch.dst(),
+            ch.consumption_rate(),
+            ch.initial_tokens(),
+        );
+        g.add_channel(
+            format!("buf_{}", ch.name()),
+            ch.dst(),
+            ch.consumption_rate(),
+            ch.src(),
+            ch.production_rate(),
+            app.channel_requirements(d).buffer_tile,
+        );
+    }
+    g
+}
+
+/// Runs both techniques and reports sizes, results and runtimes.
+///
+/// # Panics
+///
+/// Panics if the two techniques disagree on the throughput — they compute
+/// the same quantity and must match exactly.
+pub fn compare() -> HsdfComparison {
+    let g = timed_h263();
+    let mc = g.actor_by_name("mc0").expect("h263 has an mc actor");
+
+    let t0 = Instant::now();
+    let sdf_result = SelfTimedExecutor::new(&g)
+        .throughput(mc)
+        .expect("h263 analyzes");
+    let sdf_time = t0.elapsed();
+
+    let t0 = Instant::now();
+    let h = convert_to_hsdf(&g).expect("h263 converts");
+    let ratio = match hsdf_max_cycle_mean(&h.graph).expect("mcm computes") {
+        CycleRatio::Ratio(r) => r,
+        other => panic!("h263 HSDF must have cycles: {other:?}"),
+    };
+    let hsdf_time = t0.elapsed();
+
+    let comparison = HsdfComparison {
+        sdf_actors: g.actor_count(),
+        hsdf_actors: h.graph.actor_count(),
+        hsdf_channels: h.graph.channel_count(),
+        sdf_throughput: sdf_result.iteration_throughput,
+        hsdf_throughput: ratio.recip(),
+        sdf_time,
+        hsdf_time,
+    };
+    assert_eq!(
+        comparison.sdf_throughput, comparison.hsdf_throughput,
+        "state-space and MCM throughput must agree"
+    );
+    comparison
+}
+
+/// Flow-level comparison (the paper's headline): run the slice-allocation
+/// step of the multimedia H.263 decoder once with the paper's SDFG-direct
+/// analysis and once with the HSDF+MCM baseline, timing both.
+#[derive(Debug, Clone)]
+pub struct FlowComparison {
+    /// Wall-clock and check count of the SDFG-direct slice allocation.
+    pub sdf_time: Duration,
+    /// Throughput checks of the SDFG-direct run.
+    pub sdf_checks: usize,
+    /// Wall-clock of the HSDF-baseline slice allocation.
+    pub hsdf_time: Duration,
+    /// Throughput checks of the baseline run.
+    pub hsdf_checks: usize,
+    /// Largest HSDF graph the baseline had to build.
+    pub peak_hsdf_actors: usize,
+    /// Total slices allocated by each (SDFG-direct, baseline).
+    pub slices: (u64, u64),
+}
+
+/// Runs both slice allocators on the same H.263 binding.
+///
+/// # Panics
+///
+/// Panics if either allocator fails on the bundled model (a regression).
+pub fn compare_flows() -> FlowComparison {
+    use sdfrs_core::baseline::allocate_baseline;
+    use sdfrs_core::bind::{bind_actors, BindConfig};
+    use sdfrs_core::binding_aware::BindingAwareGraph;
+    use sdfrs_core::cost::CostWeights;
+    use sdfrs_core::list_sched::construct_schedules;
+    use sdfrs_core::slice::{allocate_slices, SliceConfig};
+    use sdfrs_platform::mesh::multimedia_platform;
+    use sdfrs_platform::PlatformState;
+
+    let app = h263_decoder(0, Rational::new(1, 100_000));
+    let arch = multimedia_platform();
+    let state = PlatformState::new(&arch);
+    let binding = bind_actors(
+        &app,
+        &arch,
+        &state,
+        &BindConfig::with_weights(CostWeights::MULTIMEDIA),
+    )
+    .expect("h263 binds");
+    let half: Vec<u64> = arch
+        .tile_ids()
+        .map(|t| (state.available_wheel(&arch, t) / 2).max(1))
+        .collect();
+
+    let mut ba = BindingAwareGraph::build(&app, &arch, &binding, &half).expect("builds");
+    let schedules = construct_schedules(&ba).expect("schedules");
+    let t0 = Instant::now();
+    let exact = allocate_slices(
+        &mut ba,
+        &schedules,
+        &app,
+        &arch,
+        &state,
+        &binding,
+        &SliceConfig::default(),
+    )
+    .expect("exact slice allocation");
+    let sdf_time = t0.elapsed();
+
+    let mut ba2 = BindingAwareGraph::build(&app, &arch, &binding, &half).expect("builds");
+    let t0 = Instant::now();
+    let (base, stats) =
+        allocate_baseline(&mut ba2, &app, &arch, &state, &binding).expect("baseline allocation");
+    let hsdf_time = t0.elapsed();
+
+    FlowComparison {
+        sdf_time,
+        sdf_checks: exact.throughput_checks,
+        hsdf_time,
+        hsdf_checks: stats.throughput_checks,
+        peak_hsdf_actors: stats.peak_hsdf_actors,
+        slices: (exact.slices.iter().sum(), base.slices.iter().sum()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_the_paper() {
+        let c = compare();
+        assert_eq!(c.sdf_actors, 4 /* self-edges add no actors */);
+        assert_eq!(c.hsdf_actors, 4754);
+        assert!(c.hsdf_channels >= 4754, "HSDF edges at least cover actors");
+    }
+
+    #[test]
+    fn flow_comparison_shapes() {
+        let c = compare_flows();
+        // The baseline's conservatism never allocates fewer slices.
+        assert!(c.slices.1 >= c.slices.0, "{:?}", c.slices);
+        assert!(c.peak_hsdf_actors >= 4754, "the blow-up is real");
+        assert!(c.sdf_checks > 0 && c.hsdf_checks > 0);
+    }
+
+    #[test]
+    fn techniques_agree() {
+        let c = compare();
+        assert_eq!(c.sdf_throughput, c.hsdf_throughput);
+        assert!(c.sdf_throughput > Rational::ZERO);
+    }
+}

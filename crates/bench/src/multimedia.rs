@@ -1,0 +1,110 @@
+//! E8: the Sec 10.3 multimedia system — three H.263 decoders and an MP3
+//! decoder bound to a 2×2 mesh with two generic processors and two
+//! accelerators, using the (2, 0, 1) tile-cost function.
+
+use std::time::{Duration, Instant};
+
+use sdfrs_appmodel::apps::{h263_decoder, mp3_decoder};
+use sdfrs_appmodel::ApplicationGraph;
+use sdfrs_core::cost::CostWeights;
+use sdfrs_core::flow::FlowConfig;
+use sdfrs_core::multi_app::{allocate_until_failure, MultiAppResult};
+use sdfrs_platform::mesh::multimedia_platform;
+use sdfrs_sdf::hsdf::hsdf_size;
+use sdfrs_sdf::Rational;
+
+/// Outcome of the multimedia experiment.
+#[derive(Debug)]
+pub struct Multimedia {
+    /// The allocation run (4 applications expected to bind).
+    pub result: MultiAppResult,
+    /// Wall-clock time of the whole run.
+    pub elapsed: Duration,
+    /// Fraction of the run spent in slice allocation (paper: ~90%).
+    pub slice_fraction: f64,
+    /// Throughput computations in the slice-allocation steps (paper: 34).
+    pub slice_checks: usize,
+    /// HSDF sizes of the four applications (paper: 3 × 4754 + 13 = 14275).
+    pub hsdf_sizes: Vec<u64>,
+}
+
+/// The four applications of the multimedia system. `lambda_h263` /
+/// `lambda_mp3` are per-application iteration-throughput constraints.
+pub fn applications(lambda_h263: Rational, lambda_mp3: Rational) -> Vec<ApplicationGraph> {
+    let mut apps: Vec<ApplicationGraph> = (0..3).map(|i| h263_decoder(i, lambda_h263)).collect();
+    apps.push(mp3_decoder(lambda_mp3));
+    apps
+}
+
+/// Default constraints: demanding enough to need real slices, loose
+/// enough that all four applications fit the 2×2 platform (three decoders
+/// share the two generic processors and two accelerators).
+pub fn default_constraints() -> (Rational, Rational) {
+    (Rational::new(1, 100_000), Rational::new(1, 3_000))
+}
+
+/// Runs the multimedia experiment.
+pub fn run() -> Multimedia {
+    let (lh, lm) = default_constraints();
+    run_with(lh, lm)
+}
+
+/// Runs the experiment with explicit constraints.
+pub fn run_with(lambda_h263: Rational, lambda_mp3: Rational) -> Multimedia {
+    let apps = applications(lambda_h263, lambda_mp3);
+    let hsdf_sizes = apps
+        .iter()
+        .map(|a| hsdf_size(a.graph()).expect("reference apps are consistent"))
+        .collect();
+    let arch = multimedia_platform();
+    let flow = FlowConfig::with_weights(CostWeights::MULTIMEDIA);
+    let start = Instant::now();
+    let result = allocate_until_failure(&apps, &arch, &flow);
+    let elapsed = start.elapsed();
+    let slice_time: Duration = result.stats.iter().map(|s| s.slice_time).sum();
+    let total_time: Duration = result.stats.iter().map(|s| s.total_time()).sum();
+    let slice_fraction = if total_time.is_zero() {
+        0.0
+    } else {
+        slice_time.as_secs_f64() / total_time.as_secs_f64()
+    };
+    let slice_checks = result.stats.iter().map(|s| s.throughput_checks).sum();
+    Multimedia {
+        result,
+        elapsed,
+        slice_fraction,
+        slice_checks,
+        hsdf_sizes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hsdf_total_matches_paper() {
+        let (lh, lm) = default_constraints();
+        let apps = applications(lh, lm);
+        let total: u64 = apps.iter().map(|a| hsdf_size(a.graph()).unwrap()).sum();
+        assert_eq!(total, 14275);
+    }
+
+    #[test]
+    fn all_four_applications_bind() {
+        let m = run();
+        assert_eq!(
+            m.result.bound_count(),
+            4,
+            "multimedia system must fit the 2×2 mesh (failure: {:?})",
+            m.result.failure
+        );
+        assert!(m.slice_checks > 0);
+        // Every allocation meets its constraint.
+        let (lh, lm) = default_constraints();
+        for (i, alloc) in m.result.allocations.iter().enumerate() {
+            let lambda = if i < 3 { lh } else { lm };
+            assert!(alloc.guaranteed_throughput() >= lambda, "app {i}");
+        }
+    }
+}

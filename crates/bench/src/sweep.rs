@@ -1,0 +1,89 @@
+//! Weight-space sweep: evaluate a grid of (c1, c2, c3) settings on one
+//! benchmark set — the search that produced the paper's 5th cost function
+//! ("Based on these observations, we devised a 5th tile-cost function
+//! (0, 1, 2) ...", Sec 10.2).
+
+use sdfrs_core::cost::CostWeights;
+
+use crate::table4::{run_experiment_with_weights, ExperimentConfig};
+
+/// One sweep result: weights and the average number of applications bound
+/// on the chosen set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// The evaluated weights.
+    pub weights: CostWeights,
+    /// Average bound count on the swept set.
+    pub avg_bound: f64,
+}
+
+/// The default grid: every (c1, c2, c3) ∈ {0, 1, 2}³ except (0, 0, 0).
+pub fn weight_grid() -> Vec<CostWeights> {
+    let mut grid = Vec::new();
+    for c1 in 0..=2 {
+        for c2 in 0..=2 {
+            for c3 in 0..=2 {
+                if c1 + c2 + c3 > 0 {
+                    grid.push(CostWeights::new(c1 as f64, c2 as f64, c3 as f64));
+                }
+            }
+        }
+    }
+    grid
+}
+
+/// Runs the sweep on one set (`"processing"`, `"memory"`,
+/// `"communication"` or `"mixed"`), returning points sorted best-first.
+pub fn sweep(config: &ExperimentConfig, set: &str, grid: Vec<CostWeights>) -> Vec<SweepPoint> {
+    let experiment = run_experiment_with_weights(config, grid);
+    let set_idx = experiment
+        .sets
+        .iter()
+        .position(|s| *s == set)
+        .expect("known benchmark set");
+    let table = experiment.table4();
+    let mut points: Vec<SweepPoint> = experiment
+        .weights
+        .iter()
+        .zip(table.iter())
+        .map(|(w, row)| SweepPoint {
+            weights: *w,
+            avg_bound: row[set_idx],
+        })
+        .collect();
+    points.sort_by(|a, b| {
+        b.avg_bound
+            .partial_cmp(&a.avg_bound)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_covers_26_points() {
+        let grid = weight_grid();
+        assert_eq!(grid.len(), 26);
+        assert!(grid.contains(&CostWeights::new(0.0, 1.0, 2.0)));
+        assert!(!grid.contains(&CostWeights::new(0.0, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn sweep_orders_best_first() {
+        let config = ExperimentConfig {
+            sequences: 1,
+            apps_per_sequence: 5,
+            ..ExperimentConfig::default()
+        };
+        let points = sweep(
+            &config,
+            "processing",
+            vec![CostWeights::PROCESSING, CostWeights::TUNED],
+        );
+        assert_eq!(points.len(), 2);
+        assert!(points[0].avg_bound >= points[1].avg_bound);
+    }
+}

@@ -1,0 +1,430 @@
+//! `sdfrs` — command-line driver for the resource-allocation flow.
+//!
+//! ```text
+//! sdfrs analyze <app.sdfa>                   consistency, γ, HSDF size, deadlock
+//! sdfrs throughput <app.sdfa>                best-case single-tile throughput
+//! sdfrs flow <app.sdfa> <platform.sdfp>      run the full allocation strategy
+//!       [--weights c1,c2,c3] [--pipelined-noc]
+//! sdfrs trace <app.sdfa> <platform.sdfp> <horizon>
+//!                                            allocate, then print a Gantt chart
+//! sdfrs buffers <app.sdfa>                   minimal storage distribution for λ
+//! sdfrs multiapp <platform.sdfp> <app.sdfa>...
+//!                                            allocate applications in sequence
+//! sdfrs verify <app.sdfa> <platform.sdfp>    allocate, then independently
+//!                                            re-verify the result
+//! sdfrs generate <set> <seed> <count> [dir]  emit generated applications
+//! sdfrs example <name>                       print a bundled model; names:
+//!     paper h263 mp3 cd2dat satellite platform
+//!     daytona eclipse hijdra stepnp
+//! sdfrs dot <app.sdfa>                       Graphviz export
+//! ```
+
+use std::fs;
+use std::process::ExitCode;
+
+use sdfrs_appmodel::apps;
+use sdfrs_core::cost::CostWeights;
+use sdfrs_core::flow::{allocate, FlowConfig};
+use sdfrs_gen::{AppGenerator, GeneratorConfig};
+use sdfrs_platform::{PlatformState, ProcessorType};
+use sdfrs_sdf::analysis::deadlock::check_deadlock_free;
+use sdfrs_sdf::hsdf::hsdf_size;
+use sdfrs_sdf::Rational;
+
+use sdfrs_appmodel::textio as format;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("sdfrs: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn read(path: &str) -> Result<String, String> {
+    fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn load_app(path: &str) -> Result<sdfrs_appmodel::ApplicationGraph, String> {
+    format::parse_application(&read(path)?).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let command = args.first().map(String::as_str).unwrap_or("help");
+    match command {
+        "analyze" => analyze(args.get(1).ok_or("analyze needs an application file")?),
+        "throughput" => throughput(args.get(1).ok_or("throughput needs an application file")?),
+        "flow" => flow(
+            args.get(1).ok_or("flow needs an application file")?,
+            args.get(2).ok_or("flow needs a platform file")?,
+            &args[3..],
+        ),
+        "trace" => trace(
+            args.get(1).ok_or("trace needs an application file")?,
+            args.get(2).ok_or("trace needs a platform file")?,
+            args.get(3).map(String::as_str).unwrap_or("100"),
+        ),
+        "buffers" => buffers(args.get(1).ok_or("buffers needs an application file")?),
+        "verify" => verify(
+            args.get(1).ok_or("verify needs an application file")?,
+            args.get(2).ok_or("verify needs a platform file")?,
+        ),
+        "multiapp" => multiapp(
+            args.get(1).ok_or("multiapp needs a platform file")?,
+            &args[2..],
+        ),
+        "generate" => generate(
+            args.get(1).ok_or("generate needs a set name")?,
+            args.get(2).ok_or("generate needs a seed")?,
+            args.get(3).ok_or("generate needs a count")?,
+            args.get(4).map(String::as_str),
+        ),
+        "example" => example(args.get(1).ok_or("example needs a model name")?),
+        "dot" => dot(args.get(1).ok_or("dot needs an application file")?),
+        "help" | "--help" | "-h" => {
+            println!(
+                "commands: analyze, throughput, flow, trace, buffers, multiapp, verify, generate, example, dot"
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?} (try help)")),
+    }
+}
+
+fn analyze(path: &str) -> Result<(), String> {
+    let app = load_app(path)?;
+    let g = app.graph();
+    println!("application {}", g.name());
+    println!("  actors:   {}", g.actor_count());
+    println!("  channels: {}", g.channel_count());
+    let gamma = g.repetition_vector().map_err(|e| e.to_string())?;
+    print!("  repetition vector:");
+    for (a, actor) in g.actors() {
+        print!(" {}={}", actor.name(), gamma[a]);
+    }
+    println!();
+    println!(
+        "  HSDF equivalent:   {} actors",
+        hsdf_size(g).map_err(|e| e.to_string())?
+    );
+    match check_deadlock_free(g) {
+        Ok(()) => println!("  liveness:          deadlock-free"),
+        Err(e) => println!("  liveness:          {e}"),
+    }
+    println!(
+        "  throughput constraint λ = {}",
+        app.throughput_constraint()
+    );
+    match sdfrs_sdf::analysis::bounds::throughput_bounds(g, 10_000) {
+        Ok(bounds) => match bounds.tightest() {
+            Some(b) => println!("  structural throughput bound ≤ {b}"),
+            None => println!("  structural throughput bound: unconstrained"),
+        },
+        Err(e) => println!("  structural throughput bound: {e}"),
+    }
+    Ok(())
+}
+
+fn throughput(path: &str) -> Result<(), String> {
+    let app = load_app(path)?;
+    let thr = sdfrs_gen::reference_throughput(&app);
+    println!(
+        "best-case single-tile iteration throughput: {} ({:.6} iterations/time-unit)",
+        thr,
+        thr.to_f64()
+    );
+    println!(
+        "throughput constraint λ = {} ({:.1}% of best case)",
+        app.throughput_constraint(),
+        (app.throughput_constraint() / thr).to_f64() * 100.0
+    );
+    Ok(())
+}
+
+fn parse_weights(spec: &str) -> Result<CostWeights, String> {
+    let spec = spec.strip_prefix("--weights=").unwrap_or(spec);
+    let parts: Vec<&str> = spec.split(',').collect();
+    if parts.len() != 3 {
+        return Err(format!("weights must be c1,c2,c3 (got {spec:?})"));
+    }
+    let mut vals = [0.0f64; 3];
+    for (i, p) in parts.iter().enumerate() {
+        vals[i] = p.trim().parse().map_err(|_| format!("bad weight {p:?}"))?;
+    }
+    Ok(CostWeights::new(vals[0], vals[1], vals[2]))
+}
+
+fn flow_config(options: &[String]) -> Result<FlowConfig, String> {
+    let mut config = FlowConfig::with_weights(CostWeights::BALANCED);
+    for opt in options {
+        if opt.starts_with("--weights") {
+            config.bind.weights = parse_weights(opt)?;
+        } else if opt == "--pipelined-noc" {
+            config.connection_model = sdfrs_core::ConnectionModel::PipelinedHops;
+        } else {
+            return Err(format!("unknown option {opt:?}"));
+        }
+    }
+    Ok(config)
+}
+
+fn flow(app_path: &str, platform_path: &str, options: &[String]) -> Result<(), String> {
+    let app = load_app(app_path)?;
+    let arch = format::parse_platform(&read(platform_path)?)
+        .map_err(|e| format!("{platform_path}: {e}"))?;
+    let config = flow_config(options)?;
+    let state = PlatformState::new(&arch);
+    let (alloc, stats) = allocate(&app, &arch, &state, &config).map_err(|e| e.to_string())?;
+    print!(
+        "{}",
+        sdfrs_core::report::render_allocation(&app, &arch, &alloc, Some(&stats))
+    );
+    Ok(())
+}
+
+fn trace(app_path: &str, platform_path: &str, horizon: &str) -> Result<(), String> {
+    use sdfrs_core::binding_aware::BindingAwareGraph;
+    use sdfrs_core::gantt;
+    use sdfrs_core::ConstrainedExecutor;
+
+    let app = load_app(app_path)?;
+    let arch = format::parse_platform(&read(platform_path)?)
+        .map_err(|e| format!("{platform_path}: {e}"))?;
+    let horizon: u64 = horizon
+        .parse()
+        .map_err(|_| format!("bad horizon {horizon:?}"))?;
+    let state = PlatformState::new(&arch);
+    let (alloc, _) =
+        allocate(&app, &arch, &state, &FlowConfig::default()).map_err(|e| e.to_string())?;
+    let ba = BindingAwareGraph::build(&app, &arch, &alloc.binding, &alloc.slices)
+        .map_err(|e| e.to_string())?;
+    let trace = ConstrainedExecutor::new(&ba, &alloc.schedules)
+        .trace(horizon)
+        .map_err(|e| e.to_string())?;
+    print!("{}", gantt::render(&ba, &trace, 0, horizon));
+    println!(
+        "(guaranteed throughput {}; '#' compute, '/' interconnect, '·' idle)",
+        alloc.guaranteed_throughput()
+    );
+    println!();
+    print!("{}", gantt::render_by_tile(&ba, &trace, 0, horizon));
+    println!("(per tile: actor initials inside the TDMA slice, '▁' slice idle, '·' foreign slice)");
+    Ok(())
+}
+
+fn verify(app_path: &str, platform_path: &str) -> Result<(), String> {
+    use sdfrs_core::verify::verify_allocation;
+    let app = load_app(app_path)?;
+    let arch = format::parse_platform(&read(platform_path)?)
+        .map_err(|e| format!("{platform_path}: {e}"))?;
+    let state = PlatformState::new(&arch);
+    let (alloc, _) =
+        allocate(&app, &arch, &state, &FlowConfig::default()).map_err(|e| e.to_string())?;
+    let violations = verify_allocation(&app, &arch, &state, &alloc)
+        .map_err(|e| format!("verifier failed to run: {e}"))?;
+    if violations.is_empty() {
+        println!(
+            "allocation verified: guarantee {} ≥ λ {} and all Sec 7 constraints hold",
+            alloc.guaranteed_throughput(),
+            app.throughput_constraint()
+        );
+        Ok(())
+    } else {
+        for v in &violations {
+            eprintln!("violation: {v:?}");
+        }
+        Err(format!("{} violation(s) found", violations.len()))
+    }
+}
+
+fn multiapp(platform_path: &str, app_paths: &[String]) -> Result<(), String> {
+    use sdfrs_core::multi_app::allocate_until_failure;
+    if app_paths.is_empty() {
+        return Err("multiapp needs at least one application file".into());
+    }
+    let arch = format::parse_platform(&read(platform_path)?)
+        .map_err(|e| format!("{platform_path}: {e}"))?;
+    // Each file may hold a single application or a bundle of them.
+    let mut apps = Vec::new();
+    for p in app_paths {
+        let parsed = format::parse_applications(&read(p)?).map_err(|e| format!("{p}: {e}"))?;
+        apps.extend(parsed);
+    }
+    let result = allocate_until_failure(&apps, &arch, &FlowConfig::default());
+    for (i, alloc) in result.allocations.iter().enumerate() {
+        print!(
+            "{}",
+            sdfrs_core::report::render_allocation(&apps[i], &arch, alloc, Some(&result.stats[i]))
+        );
+        println!();
+    }
+    match &result.failure {
+        Some(e) => println!(
+            "stopped after {} of {} applications: {e}",
+            result.bound_count(),
+            apps.len()
+        ),
+        None => println!("all {} applications allocated", apps.len()),
+    }
+    let total = result.total_usage();
+    println!(
+        "total claimed: wheel {} memory {} connections {} bw {}/{}",
+        total.wheel, total.memory, total.connections, total.bandwidth_in, total.bandwidth_out
+    );
+    Ok(())
+}
+
+fn buffers(path: &str) -> Result<(), String> {
+    use sdfrs_core::buffers::minimal_storage_distribution;
+    let app = load_app(path)?;
+    let dist = minimal_storage_distribution(&app, app.throughput_constraint(), 500_000)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "minimal single-tile storage distribution for λ = {}:",
+        app.throughput_constraint()
+    );
+    for (d, ch) in app.graph().channels() {
+        println!(
+            "  {:<12} {} → {}: {} tokens (Θ declares {})",
+            ch.name(),
+            app.graph().actor(ch.src()).name(),
+            app.graph().actor(ch.dst()).name(),
+            dist.capacities[d.index()],
+            app.channel_requirements(d).buffer_tile
+        );
+    }
+    println!(
+        "total {} tokens, achieved throughput {}",
+        dist.total(),
+        dist.throughput
+    );
+    Ok(())
+}
+
+fn generate(set: &str, seed: &str, count: &str, dir: Option<&str>) -> Result<(), String> {
+    let config = match set {
+        "processing" => GeneratorConfig::processing_intensive(),
+        "memory" => GeneratorConfig::memory_intensive(),
+        "communication" => GeneratorConfig::communication_intensive(),
+        "mixed" => GeneratorConfig::mixed(),
+        other => return Err(format!("unknown set {other:?}")),
+    };
+    let seed: u64 = seed.parse().map_err(|_| format!("bad seed {seed:?}"))?;
+    let count: usize = count.parse().map_err(|_| format!("bad count {count:?}"))?;
+    let types = vec![
+        ProcessorType::new("risc"),
+        ProcessorType::new("dsp"),
+        ProcessorType::new("acc"),
+    ];
+    let mut gen = AppGenerator::new(config, types, seed);
+    for app in gen.generate_sequence(set, count) {
+        let text = format::write_application(&app);
+        match dir {
+            Some(d) => {
+                let path = format!("{d}/{}.sdfa", app.graph().name());
+                fs::write(&path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+                println!("wrote {path}");
+            }
+            None => println!("{text}"),
+        }
+    }
+    Ok(())
+}
+
+fn example(name: &str) -> Result<(), String> {
+    use sdfrs_appmodel::classic;
+    use sdfrs_platform::presets;
+    match name {
+        "paper" => print!("{}", format::write_application(&apps::paper_example())),
+        "h263" => print!(
+            "{}",
+            format::write_application(&apps::h263_decoder(0, Rational::new(1, 100_000)))
+        ),
+        "mp3" => print!(
+            "{}",
+            format::write_application(&apps::mp3_decoder(Rational::new(1, 3_000)))
+        ),
+        "cd2dat" => print!(
+            "{}",
+            format::write_application(&classic::cd_to_dat(Rational::new(1, 40_000)))
+        ),
+        "satellite" => print!(
+            "{}",
+            format::write_application(&classic::satellite_receiver(Rational::new(1, 2_000)))
+        ),
+        "platform" => print!("{}", format::write_platform(&apps::example_platform())),
+        "daytona" => print!("{}", format::write_platform(&presets::daytona())),
+        "eclipse" => print!("{}", format::write_platform(&presets::eclipse())),
+        "hijdra" => print!("{}", format::write_platform(&presets::hijdra())),
+        "stepnp" => print!("{}", format::write_platform(&presets::step_np())),
+        other => {
+            return Err(format!(
+                "unknown example {other:?} (paper|h263|mp3|cd2dat|satellite|platform|daytona|eclipse|hijdra|stepnp)"
+            ))
+        }
+    }
+    Ok(())
+}
+
+fn dot(path: &str) -> Result<(), String> {
+    let app = load_app(path)?;
+    print!("{}", sdfrs_sdf::dot::to_dot(app.graph()));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_parse() {
+        let w = parse_weights("--weights=1,0,2").unwrap();
+        assert_eq!(w, CostWeights::new(1.0, 0.0, 2.0));
+        let w = parse_weights("0.5, 1.5, 0").unwrap();
+        assert_eq!(w, CostWeights::new(0.5, 1.5, 0.0));
+        assert!(parse_weights("1,2").is_err());
+        assert!(parse_weights("a,b,c").is_err());
+    }
+
+    #[test]
+    fn flow_config_options() {
+        let c = flow_config(&[]).unwrap();
+        assert_eq!(c.connection_model, sdfrs_core::ConnectionModel::Simple);
+        let c = flow_config(&["--pipelined-noc".into()]).unwrap();
+        assert_eq!(
+            c.connection_model,
+            sdfrs_core::ConnectionModel::PipelinedHops
+        );
+        let c = flow_config(&["--weights=2,0,1".into()]).unwrap();
+        assert_eq!(c.bind.weights, CostWeights::new(2.0, 0.0, 1.0));
+        assert!(flow_config(&["--bogus".into()]).is_err());
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run(&["nonsense".into()]).is_err());
+        assert!(run(&["help".into()]).is_ok());
+    }
+
+    #[test]
+    fn examples_print() {
+        for name in [
+            "paper",
+            "h263",
+            "mp3",
+            "cd2dat",
+            "satellite",
+            "platform",
+            "daytona",
+            "eclipse",
+            "hijdra",
+            "stepnp",
+        ] {
+            assert!(example(name).is_ok(), "{name}");
+        }
+        assert!(example("nope").is_err());
+    }
+}

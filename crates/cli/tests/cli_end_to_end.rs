@@ -1,0 +1,127 @@
+//! End-to-end tests driving the actual `sdfrs` binary.
+
+use std::process::Command;
+
+fn sdfrs(args: &[&str]) -> (String, String, bool) {
+    let output = Command::new(env!("CARGO_BIN_EXE_sdfrs"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+        output.status.success(),
+    )
+}
+
+fn write_temp(name: &str, content: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("sdfrs_test_{}_{name}", std::process::id()));
+    std::fs::write(&path, content).expect("temp file writes");
+    path
+}
+
+#[test]
+fn example_analyze_flow_roundtrip() {
+    // Dump the paper example and platform, then run the whole pipeline.
+    let (app_text, _, ok) = sdfrs(&["example", "paper"]);
+    assert!(ok);
+    let (platform_text, _, ok) = sdfrs(&["example", "platform"]);
+    assert!(ok);
+    let app = write_temp("app.sdfa", &app_text);
+    let platform = write_temp("platform.sdfp", &platform_text);
+
+    let (out, _, ok) = sdfrs(&["analyze", app.to_str().unwrap()]);
+    assert!(ok, "{out}");
+    assert!(out.contains("a1=2 a2=2 a3=1"), "{out}");
+    assert!(out.contains("HSDF equivalent:   5 actors"), "{out}");
+    assert!(out.contains("deadlock-free"), "{out}");
+
+    let (out, _, ok) = sdfrs(&[
+        "flow",
+        app.to_str().unwrap(),
+        platform.to_str().unwrap(),
+        "--weights=1,0,0",
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("guaranteed throughput: 1/30"), "{out}");
+    assert!(out.contains("(a1 a2)*"), "{out}");
+
+    let (out, _, ok) = sdfrs(&[
+        "trace",
+        app.to_str().unwrap(),
+        platform.to_str().unwrap(),
+        "62",
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("a1"), "{out}");
+    assert!(out.contains('#'), "{out}");
+
+    let _ = std::fs::remove_file(app);
+    let _ = std::fs::remove_file(platform);
+}
+
+#[test]
+fn bad_input_fails_with_line_number() {
+    let bad = write_temp("bad.sdfa", "app x lambda 1/4\nactor a pt p tau NOPE mu 1\n");
+    let (_, err, ok) = sdfrs(&["analyze", bad.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(err.contains("line 2"), "{err}");
+    let _ = std::fs::remove_file(bad);
+}
+
+#[test]
+fn unknown_command_is_reported() {
+    let (_, err, ok) = sdfrs(&["frobnicate"]);
+    assert!(!ok);
+    assert!(err.contains("unknown command"), "{err}");
+}
+
+#[test]
+fn generate_emits_parseable_applications() {
+    let (out, _, ok) = sdfrs(&["generate", "mixed", "7", "2"]);
+    assert!(ok);
+    // Each generated app must round-trip through analyze.
+    let first = out
+        .split("app ")
+        .nth(1)
+        .map(|chunk| format!("app {chunk}"))
+        .expect("at least one app emitted");
+    let first = first.split("\napp ").next().unwrap().to_string();
+    let path = write_temp("gen.sdfa", &first);
+    let (out, err, ok) = sdfrs(&["analyze", path.to_str().unwrap()]);
+    assert!(ok, "stdout: {out}\nstderr: {err}");
+    assert!(out.contains("deadlock-free"));
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn multiapp_allocates_two_copies() {
+    let (app_text, _, _) = sdfrs(&["example", "paper"]);
+    let (platform_text, _, _) = sdfrs(&["example", "platform"]);
+    let app = write_temp("m_app.sdfa", &app_text);
+    let platform = write_temp("m_platform.sdfp", &platform_text);
+    let (out, _, ok) = sdfrs(&[
+        "multiapp",
+        platform.to_str().unwrap(),
+        app.to_str().unwrap(),
+        app.to_str().unwrap(),
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("all 2 applications allocated"), "{out}");
+    let _ = std::fs::remove_file(app);
+    let _ = std::fs::remove_file(platform);
+}
+
+#[test]
+fn preset_platforms_parse_back() {
+    for name in ["daytona", "eclipse", "hijdra", "stepnp"] {
+        let (text, _, ok) = sdfrs(&["example", name]);
+        assert!(ok, "{name}");
+        let path = write_temp(&format!("{name}.sdfp"), &text);
+        // A platform file is not an application: analyze must fail cleanly.
+        let (_, err, ok) = sdfrs(&["analyze", path.to_str().unwrap()]);
+        assert!(!ok, "{name}");
+        assert!(!err.is_empty());
+        let _ = std::fs::remove_file(path);
+    }
+}

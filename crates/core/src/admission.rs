@@ -1,0 +1,306 @@
+//! The improvement mechanisms Sec 10.1 names but leaves as future work:
+//!
+//! * "a design-time preprocessing step that orders the applications to
+//!   optimize the order in which they are handled" — [`order_applications`];
+//! * "a (run-time) mechanism that rejects an application and continues
+//!   with the next one" — [`allocate_skipping_failures`];
+//! * "a platform dimensioning step" — [`dimension_platform`], which grows
+//!   a mesh until a given application set fits.
+
+use sdfrs_appmodel::ApplicationGraph;
+use sdfrs_platform::mesh::{mesh_platform, MeshConfig};
+use sdfrs_platform::{ArchitectureGraph, PlatformState};
+use sdfrs_sdf::Rational;
+
+use crate::error::MapError;
+use crate::flow::{allocate, Allocation, FlowConfig, FlowStats};
+
+/// Strategies for ordering applications before allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionOrder {
+    /// Keep the arrival order (the paper's baseline protocol).
+    Arrival,
+    /// Most demanding first: largest γ-weighted worst-case work first, so
+    /// heavy applications grab resources while the platform is empty.
+    HeaviestFirst,
+    /// Least demanding first: maximizes the *count* of admitted
+    /// applications (classic bin-packing intuition).
+    LightestFirst,
+    /// Tightest throughput constraint first: the applications with the
+    /// least scheduling slack choose their tiles first.
+    TightestConstraintFirst,
+}
+
+/// The γ-weighted worst-case computation demand of an application: the
+/// denominator of `l_p` (Sec 9.1), a platform-independent weight proxy.
+pub fn application_work(app: &ApplicationGraph) -> u128 {
+    let gamma = app
+        .graph()
+        .repetition_vector()
+        .expect("application graphs are consistent");
+    app.graph()
+        .actor_ids()
+        .map(|a| gamma[a] as u128 * app.max_execution_time(a) as u128)
+        .sum()
+}
+
+/// Returns indices into `apps` in the chosen allocation order.
+pub fn order_applications(apps: &[ApplicationGraph], order: AdmissionOrder) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..apps.len()).collect();
+    match order {
+        AdmissionOrder::Arrival => {}
+        AdmissionOrder::HeaviestFirst => {
+            idx.sort_by_key(|&i| std::cmp::Reverse(application_work(&apps[i])));
+        }
+        AdmissionOrder::LightestFirst => {
+            idx.sort_by_key(|&i| application_work(&apps[i]));
+        }
+        AdmissionOrder::TightestConstraintFirst => {
+            // Tightness = λ · work: how much of a processor the app needs
+            // per time unit. Descending.
+            idx.sort_by(|&a, &b| {
+                let ta = apps[a].throughput_constraint()
+                    * Rational::from_integer(application_work(&apps[a]) as i128);
+                let tb = apps[b].throughput_constraint()
+                    * Rational::from_integer(application_work(&apps[b]) as i128);
+                tb.cmp(&ta).then(a.cmp(&b))
+            });
+        }
+    }
+    idx
+}
+
+/// Dynamic best-fit admission: at every step, try each remaining
+/// application and admit the one whose allocation claims the least total
+/// TDMA wheel time; skip applications that fit nowhere. More expensive
+/// than a static order (it runs the flow speculatively), but it packs the
+/// platform tighter — the strongest form of the "ordering" improvement
+/// Sec 10.1 suggests.
+pub fn allocate_best_fit(
+    apps: &[ApplicationGraph],
+    arch: &ArchitectureGraph,
+    config: &FlowConfig,
+) -> AdmissionResult {
+    let mut state = PlatformState::new(arch);
+    let mut remaining: Vec<usize> = (0..apps.len()).collect();
+    let mut admitted = Vec::new();
+    let mut rejected: Vec<(usize, MapError)> = Vec::new();
+    while !remaining.is_empty() {
+        let mut best: Option<(usize, Allocation, FlowStats, u64)> = None;
+        let mut round_errors = Vec::new();
+        for &i in &remaining {
+            match allocate(&apps[i], arch, &state, config) {
+                Ok((alloc, stats)) => {
+                    let wheel: u64 = alloc.usage.iter().map(|u| u.wheel).sum();
+                    let better = best.as_ref().is_none_or(|(_, _, _, w)| wheel < *w);
+                    if better {
+                        best = Some((i, alloc, stats, wheel));
+                    }
+                }
+                Err(e) => round_errors.push((i, e)),
+            }
+        }
+        match best {
+            Some((i, alloc, stats, _)) => {
+                alloc.claim_on(arch, &mut state);
+                admitted.push((i, alloc, stats));
+                remaining.retain(|&x| x != i);
+            }
+            None => {
+                // Nothing fits any more: everything left is rejected.
+                rejected.extend(round_errors);
+                break;
+            }
+        }
+    }
+    AdmissionResult {
+        admitted,
+        rejected,
+        final_state: state,
+    }
+}
+
+/// Outcome of an admission run that skips failing applications.
+#[derive(Debug)]
+pub struct AdmissionResult {
+    /// `(application index, allocation, stats)` for every admitted app.
+    pub admitted: Vec<(usize, Allocation, FlowStats)>,
+    /// `(application index, error)` for every rejected app.
+    pub rejected: Vec<(usize, MapError)>,
+    /// Platform state after all admissions.
+    pub final_state: PlatformState,
+}
+
+impl AdmissionResult {
+    /// Number of admitted applications.
+    pub fn admitted_count(&self) -> usize {
+        self.admitted.len()
+    }
+}
+
+/// Allocates applications in the given order, *skipping* applications that
+/// fail instead of stopping (the run-time mechanism of Sec 10.1).
+pub fn allocate_skipping_failures(
+    apps: &[ApplicationGraph],
+    arch: &ArchitectureGraph,
+    config: &FlowConfig,
+    order: AdmissionOrder,
+) -> AdmissionResult {
+    let mut state = PlatformState::new(arch);
+    let mut admitted = Vec::new();
+    let mut rejected = Vec::new();
+    for i in order_applications(apps, order) {
+        match allocate(&apps[i], arch, &state, config) {
+            Ok((alloc, stats)) => {
+                alloc.claim_on(arch, &mut state);
+                admitted.push((i, alloc, stats));
+            }
+            Err(e) => rejected.push((i, e)),
+        }
+    }
+    AdmissionResult {
+        admitted,
+        rejected,
+        final_state: state,
+    }
+}
+
+/// Grows a square mesh until every application in `apps` can be admitted
+/// (in arrival order, with skipping disabled), up to `max_side` tiles per
+/// side. Returns the platform and its side length, or `None` if even the
+/// largest mesh cannot host the set — the "platform dimensioning step" of
+/// Sec 10.1.
+pub fn dimension_platform(
+    apps: &[ApplicationGraph],
+    base: &MeshConfig,
+    config: &FlowConfig,
+    max_side: usize,
+) -> Option<(ArchitectureGraph, usize)> {
+    for side in 1..=max_side {
+        let cfg = MeshConfig {
+            rows: side,
+            cols: side,
+            ..base.clone()
+        };
+        let arch = mesh_platform(format!("mesh{side}x{side}"), &cfg);
+        let result = crate::multi_app::allocate_until_failure(apps, &arch, config);
+        if result.bound_count() == apps.len() {
+            return Some((arch, side));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdfrs_appmodel::apps::paper_example;
+
+    fn scaled_example(period: i128) -> ApplicationGraph {
+        paper_example().with_throughput_constraint(Rational::new(1, period))
+    }
+
+    #[test]
+    fn work_is_gamma_weighted() {
+        let app = paper_example();
+        // γ = (2,2,1); sup τ = (4,7,3) ⇒ 8 + 14 + 3 = 25.
+        assert_eq!(application_work(&app), 25);
+    }
+
+    #[test]
+    fn orderings_permute_consistently() {
+        let apps = vec![scaled_example(30), scaled_example(300), scaled_example(100)];
+        assert_eq!(
+            order_applications(&apps, AdmissionOrder::Arrival),
+            vec![0, 1, 2]
+        );
+        // Same work everywhere ⇒ heaviest/lightest keep arrival order
+        // (stable sort).
+        assert_eq!(
+            order_applications(&apps, AdmissionOrder::HeaviestFirst),
+            vec![0, 1, 2]
+        );
+        // Tightest λ first: 1/30 > 1/100 > 1/300.
+        assert_eq!(
+            order_applications(&apps, AdmissionOrder::TightestConstraintFirst),
+            vec![0, 2, 1]
+        );
+    }
+
+    #[test]
+    fn skipping_admits_later_applications() {
+        use sdfrs_appmodel::apps::example_platform;
+        // App 1 is impossible; the skipper admits apps 0 and 2 anyway.
+        let apps = vec![scaled_example(60), scaled_example(2), scaled_example(60)];
+        let arch = example_platform();
+        let result = allocate_skipping_failures(
+            &apps,
+            &arch,
+            &FlowConfig::default(),
+            AdmissionOrder::Arrival,
+        );
+        assert_eq!(result.admitted_count(), 2);
+        assert_eq!(result.rejected.len(), 1);
+        assert_eq!(result.rejected[0].0, 1);
+        // Contrast: stop-on-failure binds only the first.
+        let stop = crate::multi_app::allocate_until_failure(&apps, &arch, &FlowConfig::default());
+        assert_eq!(stop.bound_count(), 1);
+    }
+
+    #[test]
+    fn best_fit_admits_at_least_as_many_as_arrival_order() {
+        use sdfrs_appmodel::apps::example_platform;
+        let apps = vec![
+            scaled_example(40),
+            scaled_example(120),
+            scaled_example(60),
+            scaled_example(200),
+        ];
+        let arch = example_platform();
+        let arrival = allocate_skipping_failures(
+            &apps,
+            &arch,
+            &FlowConfig::default(),
+            AdmissionOrder::Arrival,
+        );
+        let best_fit = allocate_best_fit(&apps, &arch, &FlowConfig::default());
+        assert!(
+            best_fit.admitted_count() >= arrival.admitted_count(),
+            "best-fit {} < arrival {}",
+            best_fit.admitted_count(),
+            arrival.admitted_count()
+        );
+        // Accounting stays consistent.
+        assert_eq!(
+            best_fit.admitted_count()
+                + best_fit.rejected.len()
+                + (apps.len() - best_fit.admitted_count() - best_fit.rejected.len()),
+            apps.len()
+        );
+    }
+
+    #[test]
+    fn dimensioning_finds_a_fitting_mesh() {
+        use sdfrs_platform::ProcessorType;
+        // Three copies of the example need more wheel than one tiny tile.
+        let apps = vec![scaled_example(60), scaled_example(60), scaled_example(60)];
+        let base = MeshConfig {
+            processor_types: vec![ProcessorType::new("p1"), ProcessorType::new("p2")],
+            wheel_size: 10,
+            memory: 4_096,
+            max_connections: 8,
+            bandwidth_in: 1_000,
+            bandwidth_out: 1_000,
+            hop_latency: 1,
+            rows: 1,
+            cols: 1,
+        };
+        let (arch, side) = dimension_platform(&apps, &base, &FlowConfig::default(), 4)
+            .expect("a 4×4 mesh is plenty");
+        assert!(side >= 1);
+        assert_eq!(arch.tile_count(), side * side);
+        // And the set indeed fits the dimensioned platform.
+        let check = crate::multi_app::allocate_until_failure(&apps, &arch, &FlowConfig::default());
+        assert_eq!(check.bound_count(), 3);
+    }
+}

@@ -1,0 +1,208 @@
+//! The binding function ℬ : A → T (Definition 6) and the channel
+//! partitioning it induces (the sets `A_t`, `D_{t,tile}`, `D_{t,src}`,
+//! `D_{t,dst}` of Section 7).
+
+use sdfrs_appmodel::ApplicationGraph;
+use sdfrs_platform::TileId;
+use sdfrs_sdf::{ActorId, ChannelId};
+
+use crate::error::MapError;
+
+/// A (possibly partial) binding of application actors to platform tiles.
+///
+/// # Examples
+///
+/// ```
+/// use sdfrs_core::Binding;
+/// use sdfrs_platform::TileId;
+/// use sdfrs_sdf::ActorId;
+/// let mut b = Binding::new(3);
+/// let a0 = ActorId::from_index(0);
+/// b.bind(a0, TileId::from_index(1));
+/// assert_eq!(b.tile_of(a0), Some(TileId::from_index(1)));
+/// assert!(!b.is_complete());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Binding {
+    tiles: Vec<Option<TileId>>,
+}
+
+impl Binding {
+    /// An empty binding for `actor_count` actors.
+    pub fn new(actor_count: usize) -> Self {
+        Binding {
+            tiles: vec![None; actor_count],
+        }
+    }
+
+    /// Number of actors covered (bound or not).
+    pub fn len(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// `true` if the binding covers no actors.
+    pub fn is_empty(&self) -> bool {
+        self.tiles.is_empty()
+    }
+
+    /// Binds `actor` to `tile` (replacing any previous binding).
+    pub fn bind(&mut self, actor: ActorId, tile: TileId) {
+        self.tiles[actor.index()] = Some(tile);
+    }
+
+    /// Removes the binding of `actor`.
+    pub fn unbind(&mut self, actor: ActorId) {
+        self.tiles[actor.index()] = None;
+    }
+
+    /// The tile `actor` is bound to, if any.
+    pub fn tile_of(&self, actor: ActorId) -> Option<TileId> {
+        self.tiles[actor.index()]
+    }
+
+    /// `true` when every actor is bound.
+    pub fn is_complete(&self) -> bool {
+        self.tiles.iter().all(Option::is_some)
+    }
+
+    /// The tile of `actor`, or an [`MapError::UnboundActor`] error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::UnboundActor`] when the actor is unbound.
+    pub fn require(&self, actor: ActorId) -> Result<TileId, MapError> {
+        self.tile_of(actor).ok_or(MapError::UnboundActor { actor })
+    }
+
+    /// Actors bound to `tile` (the set `A_t`), in actor order.
+    pub fn actors_on(&self, tile: TileId) -> Vec<ActorId> {
+        self.tiles
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| **t == Some(tile))
+            .map(|(i, _)| ActorId::from_index(i))
+            .collect()
+    }
+
+    /// The distinct tiles used by this binding, ascending.
+    pub fn used_tiles(&self) -> Vec<TileId> {
+        let mut used: Vec<TileId> = self.tiles.iter().flatten().copied().collect();
+        used.sort();
+        used.dedup();
+        used
+    }
+
+    /// Partitions the application's channels relative to `tile`:
+    /// `(D_{t,tile}, D_{t,src}, D_{t,dst})` of Section 7. Channels with an
+    /// unbound endpoint are skipped (partial bindings occur during the
+    /// binding step).
+    pub fn channel_partition(&self, app: &ApplicationGraph, tile: TileId) -> ChannelPartition {
+        let mut part = ChannelPartition::default();
+        for (id, ch) in app.graph().channels() {
+            let (src, dst) = (self.tile_of(ch.src()), self.tile_of(ch.dst()));
+            match (src, dst) {
+                (Some(s), Some(d)) if s == tile && d == tile => part.local.push(id),
+                (Some(s), Some(d)) if s == tile && d != tile => part.outgoing.push(id),
+                (Some(s), Some(d)) if d == tile && s != tile => part.incoming.push(id),
+                _ => {}
+            }
+        }
+        part
+    }
+}
+
+/// The channel sets of Section 7 for one tile.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ChannelPartition {
+    /// `D_{t,tile}`: both endpoints on the tile.
+    pub local: Vec<ChannelId>,
+    /// `D_{t,src}`: source on the tile, destination elsewhere.
+    pub outgoing: Vec<ChannelId>,
+    /// `D_{t,dst}`: destination on the tile, source elsewhere.
+    pub incoming: Vec<ChannelId>,
+}
+
+impl ChannelPartition {
+    /// Number of NI connections this tile needs:
+    /// `|D_{t,src}| + |D_{t,dst}|` (constraint 3 of Sec 7).
+    pub fn connection_count(&self) -> usize {
+        self.outgoing.len() + self.incoming.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdfrs_appmodel::apps::paper_example;
+
+    #[test]
+    fn bind_unbind_roundtrip() {
+        let mut b = Binding::new(2);
+        let a = ActorId::from_index(0);
+        assert_eq!(b.tile_of(a), None);
+        b.bind(a, TileId::from_index(1));
+        assert_eq!(b.tile_of(a), Some(TileId::from_index(1)));
+        b.unbind(a);
+        assert_eq!(b.tile_of(a), None);
+        assert!(b.require(a).is_err());
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn completeness_and_used_tiles() {
+        let mut b = Binding::new(3);
+        let t0 = TileId::from_index(0);
+        let t1 = TileId::from_index(1);
+        b.bind(ActorId::from_index(0), t0);
+        b.bind(ActorId::from_index(1), t0);
+        assert!(!b.is_complete());
+        b.bind(ActorId::from_index(2), t1);
+        assert!(b.is_complete());
+        assert_eq!(b.used_tiles(), vec![t0, t1]);
+        assert_eq!(b.actors_on(t0).len(), 2);
+        assert_eq!(b.actors_on(t1), vec![ActorId::from_index(2)]);
+    }
+
+    #[test]
+    fn paper_example_partition() {
+        // a1, a2 on t1; a3 on t2 (the binding of Sec 8.1).
+        let app = paper_example();
+        let g = app.graph();
+        let t1 = TileId::from_index(0);
+        let t2 = TileId::from_index(1);
+        let mut b = Binding::new(g.actor_count());
+        b.bind(g.actor_by_name("a1").unwrap(), t1);
+        b.bind(g.actor_by_name("a2").unwrap(), t1);
+        b.bind(g.actor_by_name("a3").unwrap(), t2);
+
+        let p1 = b.channel_partition(&app, t1);
+        let d1 = g.channel_by_name("d1").unwrap();
+        let d2 = g.channel_by_name("d2").unwrap();
+        let d3 = g.channel_by_name("d3").unwrap();
+        assert_eq!(p1.local, vec![d1, d3]);
+        assert_eq!(p1.outgoing, vec![d2]);
+        assert!(p1.incoming.is_empty());
+        assert_eq!(p1.connection_count(), 1);
+
+        let p2 = b.channel_partition(&app, t2);
+        assert!(p2.local.is_empty());
+        assert!(p2.outgoing.is_empty());
+        assert_eq!(p2.incoming, vec![d2]);
+    }
+
+    #[test]
+    fn partial_binding_skips_unbound_channels() {
+        let app = paper_example();
+        let g = app.graph();
+        let t1 = TileId::from_index(0);
+        let mut b = Binding::new(g.actor_count());
+        b.bind(g.actor_by_name("a1").unwrap(), t1);
+        // d1's destination a2 is unbound: not classified anywhere.
+        let p = b.channel_partition(&app, t1);
+        let d3 = g.channel_by_name("d3").unwrap();
+        assert_eq!(p.local, vec![d3]);
+        assert!(p.outgoing.is_empty());
+        assert!(p.incoming.is_empty());
+    }
+}

@@ -1,0 +1,379 @@
+//! Buffer-requirement exploration — the companion analysis of reference
+//! \[21\] (Stuijk et al., DAC 2006): how small can the per-channel buffer
+//! capacities α be while still meeting a throughput constraint?
+//!
+//! The allocation flow takes Θ's buffer capacities as given; this module
+//! answers the upstream question of choosing them. It performs a greedy
+//! descent: starting from a working distribution, every channel's capacity
+//! is binary-searched down to its individual minimum while the others stay
+//! fixed, repeating until a fixpoint. The result is a locally minimal
+//! *storage distribution* (not the full Pareto space of \[21\], which the
+//! paper does not need).
+
+use sdfrs_appmodel::ApplicationGraph;
+use sdfrs_sdf::analysis::selftimed::SelfTimedExecutor;
+use sdfrs_sdf::{Rational, SdfError, SdfGraph};
+
+use crate::error::MapError;
+
+/// A storage distribution: one buffer capacity per application channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StorageDistribution {
+    /// Buffer capacity (tokens) per channel index.
+    pub capacities: Vec<u64>,
+    /// Throughput achieved under these capacities (single ideal tile,
+    /// best-case execution times).
+    pub throughput: Rational,
+}
+
+impl StorageDistribution {
+    /// Total tokens of storage across all channels.
+    pub fn total(&self) -> u64 {
+        self.capacities.iter().sum()
+    }
+}
+
+/// Builds the single-tile analysis graph: best-case execution times,
+/// self-edges, and buffer back-edges with the given capacities.
+fn bounded_graph(app: &ApplicationGraph, capacities: &[u64]) -> SdfGraph {
+    let src = app.graph();
+    let mut g = SdfGraph::new(format!("{}_buf", src.name()));
+    for (a, actor) in src.actors() {
+        let best = app
+            .actor_requirements(a)
+            .supported_types()
+            .filter_map(|pt| app.execution_time(a, pt))
+            .min()
+            .expect("validated apps support some type");
+        g.add_actor(actor.name(), best);
+    }
+    for (a, _) in src.actors() {
+        if !src.has_self_edge(a) {
+            g.add_self_edge(a, 1);
+        }
+    }
+    for (d, ch) in src.channels() {
+        g.add_channel(
+            ch.name(),
+            ch.src(),
+            ch.production_rate(),
+            ch.dst(),
+            ch.consumption_rate(),
+            ch.initial_tokens(),
+        );
+        g.add_channel(
+            format!("buf_{}", ch.name()),
+            ch.dst(),
+            ch.consumption_rate(),
+            ch.src(),
+            ch.production_rate(),
+            capacities[d.index()],
+        );
+    }
+    g
+}
+
+/// Throughput under a candidate distribution, or `None` if it deadlocks.
+fn evaluate(
+    app: &ApplicationGraph,
+    capacities: &[u64],
+    budget: usize,
+) -> Result<Option<Rational>, MapError> {
+    let g = bounded_graph(app, capacities);
+    let reference = app.output_actor();
+    match SelfTimedExecutor::new(&g)
+        .with_state_budget(budget)
+        .throughput(reference)
+    {
+        Ok(r) => Ok(Some(r.iteration_throughput)),
+        Err(SdfError::Deadlock { .. }) => Ok(None),
+        Err(e) => Err(MapError::Sdf(e)),
+    }
+}
+
+/// Finds a locally minimal storage distribution meeting `lambda`.
+///
+/// The search starts from each channel's Θ capacity (α_tile) — or from a
+/// safe `p + q` default where that is smaller — and shrinks greedily.
+///
+/// # Errors
+///
+/// * [`MapError::ConstraintUnsatisfiable`] if even the starting
+///   distribution misses `lambda`;
+/// * analysis errors propagate as [`MapError::Sdf`].
+///
+/// # Examples
+///
+/// ```
+/// use sdfrs_appmodel::apps::paper_example;
+/// use sdfrs_core::buffers::minimal_storage_distribution;
+/// use sdfrs_sdf::Rational;
+///
+/// # fn main() -> Result<(), sdfrs_core::MapError> {
+/// let app = paper_example();
+/// // The single-tile best case reaches 1/4 iterations per time unit.
+/// let dist = minimal_storage_distribution(&app, Rational::new(1, 8), 100_000)?;
+/// assert!(dist.throughput >= Rational::new(1, 8));
+/// # Ok(())
+/// # }
+/// ```
+pub fn minimal_storage_distribution(
+    app: &ApplicationGraph,
+    lambda: Rational,
+    state_budget: usize,
+) -> Result<StorageDistribution, MapError> {
+    let g = app.graph();
+    let mut capacities: Vec<u64> = g
+        .channels()
+        .map(|(d, ch)| {
+            let declared = app.channel_requirements(d).buffer_tile;
+            declared.max(ch.production_rate() + ch.consumption_rate())
+        })
+        .collect();
+    let start = evaluate(app, &capacities, state_budget)?
+        .filter(|thr| *thr >= lambda)
+        .ok_or(MapError::ConstraintUnsatisfiable)?;
+    let mut throughput = start;
+
+    loop {
+        let mut changed = false;
+        for d in g.channel_ids() {
+            let upper = capacities[d.index()];
+            if upper <= 1 {
+                continue;
+            }
+            let mut lo = 1u64;
+            let mut hi = upper;
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                let mut candidate = capacities.clone();
+                candidate[d.index()] = mid;
+                match evaluate(app, &candidate, state_budget)? {
+                    Some(thr) if thr >= lambda => hi = mid,
+                    _ => lo = mid + 1,
+                }
+            }
+            if hi < upper {
+                capacities[d.index()] = hi;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    if let Some(thr) = evaluate(app, &capacities, state_budget)? {
+        throughput = thr;
+    }
+    Ok(StorageDistribution {
+        capacities,
+        throughput,
+    })
+}
+
+/// Sweeps the throughput/storage trade-off: for each constraint in
+/// `lambdas`, the locally minimal distribution (the \[21\]-style trade-off
+/// curve used to pick Θ).
+///
+/// # Errors
+///
+/// Propagates per-point failures.
+pub fn storage_tradeoff(
+    app: &ApplicationGraph,
+    lambdas: &[Rational],
+    state_budget: usize,
+) -> Result<Vec<(Rational, StorageDistribution)>, MapError> {
+    lambdas
+        .iter()
+        .map(|&l| Ok((l, minimal_storage_distribution(app, l, state_budget)?)))
+        .collect()
+}
+
+/// A point on the storage/throughput Pareto frontier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParetoPoint {
+    /// The storage distribution at this point.
+    pub distribution: StorageDistribution,
+    /// Total storage (tokens) — the x-axis of the trade-off plot.
+    pub total_storage: u64,
+}
+
+/// Explores the storage/throughput Pareto frontier by greedy hill
+/// climbing (the exploration of reference \[21\], in its greedy form):
+/// starting from a minimal live distribution, repeatedly grow the single
+/// channel whose +1 token improves throughput the most, recording every
+/// point where the throughput strictly increases, until `max_total`
+/// storage or the unbounded maximum is reached.
+///
+/// The returned points are strictly increasing in both storage and
+/// throughput (a staircase of Pareto-optimal *greedy* points; the exact
+/// frontier of \[21\] requires exhaustive search, which the allocation
+/// flow does not need).
+///
+/// # Errors
+///
+/// Propagates analysis failures; an empty result means even the smallest
+/// live distribution exceeds `max_total`.
+pub fn pareto_frontier(
+    app: &ApplicationGraph,
+    max_total: u64,
+    state_budget: usize,
+) -> Result<Vec<ParetoPoint>, MapError> {
+    let g = app.graph();
+    // Smallest plausible distribution: p + q − gcd(p, q) per channel is
+    // the classic minimal single-channel bound; grow from just below it
+    // until the graph is live.
+    let mut capacities: Vec<u64> = g
+        .channels()
+        .map(|(_, ch)| {
+            let p = ch.production_rate();
+            let q = ch.consumption_rate();
+            p + q - sdfrs_sdf::rational::gcd(p as u128, q as u128) as u64
+        })
+        .collect();
+    // Ensure liveness by growing channels round-robin (bounded attempts).
+    let mut throughput = loop {
+        match evaluate(app, &capacities, state_budget)? {
+            Some(thr) => break thr,
+            None => {
+                for c in capacities.iter_mut() {
+                    *c += 1;
+                }
+                if capacities.iter().sum::<u64>() > max_total {
+                    return Ok(Vec::new());
+                }
+            }
+        }
+    };
+
+    let mut points = vec![ParetoPoint {
+        distribution: StorageDistribution {
+            capacities: capacities.clone(),
+            throughput,
+        },
+        total_storage: capacities.iter().sum(),
+    }];
+
+    // The ceiling: throughput with effectively unbounded buffers.
+    let unbounded: Vec<u64> = g
+        .channels()
+        .map(|(_, ch)| 16 * (ch.production_rate() + ch.consumption_rate()))
+        .collect();
+    let ceiling =
+        evaluate(app, &unbounded, state_budget)?.ok_or(MapError::ConstraintUnsatisfiable)?;
+
+    while throughput < ceiling && capacities.iter().sum::<u64>() < max_total {
+        // Try +1 on each channel; keep the best improvement.
+        let mut best: Option<(usize, Rational)> = None;
+        for d in g.channel_ids() {
+            let mut candidate = capacities.clone();
+            candidate[d.index()] += 1;
+            if let Some(thr) = evaluate(app, &candidate, state_budget)? {
+                if thr > throughput && best.is_none_or(|(_, b)| thr > b) {
+                    best = Some((d.index(), thr));
+                }
+            }
+        }
+        match best {
+            Some((idx, thr)) => {
+                capacities[idx] += 1;
+                throughput = thr;
+                points.push(ParetoPoint {
+                    distribution: StorageDistribution {
+                        capacities: capacities.clone(),
+                        throughput,
+                    },
+                    total_storage: capacities.iter().sum(),
+                });
+            }
+            None => break, // local plateau: no single token helps
+        }
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdfrs_appmodel::apps::paper_example;
+
+    #[test]
+    fn distribution_meets_constraint() {
+        let app = paper_example();
+        let dist = minimal_storage_distribution(&app, Rational::new(1, 8), 100_000).unwrap();
+        assert!(dist.throughput >= Rational::new(1, 8));
+        assert!(dist.capacities.iter().all(|&c| c >= 1));
+    }
+
+    #[test]
+    fn local_minimality() {
+        // Reducing any single channel by one token must break the
+        // constraint (or the distribution was not minimal).
+        let app = paper_example();
+        let lambda = Rational::new(1, 8);
+        let dist = minimal_storage_distribution(&app, lambda, 100_000).unwrap();
+        for d in app.graph().channel_ids() {
+            if dist.capacities[d.index()] == 1 {
+                continue;
+            }
+            let mut smaller = dist.capacities.clone();
+            smaller[d.index()] -= 1;
+            let thr = evaluate(&app, &smaller, 100_000).unwrap();
+            assert!(
+                thr.is_none() || thr.unwrap() < lambda,
+                "channel {d} was reducible"
+            );
+        }
+    }
+
+    #[test]
+    fn tighter_constraints_need_no_less_storage() {
+        let app = paper_example();
+        let loose = minimal_storage_distribution(&app, Rational::new(1, 32), 100_000).unwrap();
+        let tight = minimal_storage_distribution(&app, Rational::new(1, 8), 100_000).unwrap();
+        assert!(tight.total() >= loose.total());
+    }
+
+    #[test]
+    fn impossible_constraint_rejected() {
+        let app = paper_example();
+        // Faster than the a1 self-edge allows (a1 fires ≤ 1/time, γ=2 ⇒
+        // iterations ≤ 1/2; ask for 1/1).
+        let err = minimal_storage_distribution(&app, Rational::ONE, 100_000).unwrap_err();
+        assert_eq!(err, MapError::ConstraintUnsatisfiable);
+    }
+
+    #[test]
+    fn pareto_frontier_is_a_staircase() {
+        let app = paper_example();
+        let points = pareto_frontier(&app, 40, 200_000).unwrap();
+        assert!(!points.is_empty());
+        for pair in points.windows(2) {
+            assert!(pair[1].total_storage > pair[0].total_storage);
+            assert!(
+                pair[1].distribution.throughput > pair[0].distribution.throughput,
+                "every recorded point must strictly improve"
+            );
+        }
+        // The frontier reaches the example's serialization limit 1/4
+        // (a1's self-edge: γ(a1)·τ = 2·... with best-case times 1/1/2 the
+        // bottleneck is a3: γ=1, τ=2 — or d2's feeding rate; just check a
+        // sensible ceiling is approached).
+        let last = points.last().unwrap();
+        assert!(last.distribution.throughput >= Rational::new(1, 8));
+    }
+
+    #[test]
+    fn tradeoff_curve_is_monotone() {
+        let app = paper_example();
+        let lambdas = [
+            Rational::new(1, 32),
+            Rational::new(1, 16),
+            Rational::new(1, 8),
+        ];
+        let curve = storage_tradeoff(&app, &lambdas, 100_000).unwrap();
+        for pair in curve.windows(2) {
+            assert!(pair[0].1.total() <= pair[1].1.total());
+        }
+    }
+}

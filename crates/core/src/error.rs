@@ -1,0 +1,125 @@
+//! Error types of the resource-allocation flow.
+
+use std::error::Error;
+use std::fmt;
+
+use sdfrs_platform::TileId;
+use sdfrs_sdf::{ActorId, ChannelId, SdfError};
+
+/// Errors raised by binding, scheduling, slice allocation or throughput
+/// analysis of a mapped application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapError {
+    /// The analysis substrate failed (inconsistent graph, deadlock,
+    /// exploration budget).
+    Sdf(SdfError),
+    /// No tile can host `actor` without violating a resource constraint
+    /// (Sec 9.1: "When all tiles are tried and no valid binding is found,
+    /// the problem is considered infeasible").
+    NoFeasibleTile {
+        /// The actor that could not be bound.
+        actor: ActorId,
+    },
+    /// A channel crosses two tiles with no point-to-point connection
+    /// between them.
+    MissingConnection {
+        /// The channel that needs the connection.
+        channel: ChannelId,
+        /// Source tile of the required connection.
+        src: TileId,
+        /// Destination tile of the required connection.
+        dst: TileId,
+    },
+    /// Even the entire remaining time wheels cannot satisfy the throughput
+    /// constraint (Sec 9.3: the slice allocation "ends unsuccessfully").
+    ConstraintUnsatisfiable,
+    /// An actor is not bound although the operation requires a complete
+    /// binding.
+    UnboundActor {
+        /// The unbound actor.
+        actor: ActorId,
+    },
+    /// A channel was bound across tiles although its Θ forbids it (zero
+    /// bandwidth, or a destination buffer smaller than its initial
+    /// tokens).
+    ChannelNotMappable {
+        /// The offending channel.
+        channel: ChannelId,
+    },
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::Sdf(e) => write!(f, "analysis failed: {e}"),
+            MapError::NoFeasibleTile { actor } => {
+                write!(
+                    f,
+                    "no tile can host actor {actor} within its resource limits"
+                )
+            }
+            MapError::MissingConnection { channel, src, dst } => write!(
+                f,
+                "channel {channel} requires a connection {src}→{dst} which the platform lacks"
+            ),
+            MapError::ConstraintUnsatisfiable => write!(
+                f,
+                "throughput constraint unsatisfiable even with the full remaining time wheels"
+            ),
+            MapError::UnboundActor { actor } => {
+                write!(f, "actor {actor} is not bound to any tile")
+            }
+            MapError::ChannelNotMappable { channel } => write!(
+                f,
+                "channel {channel} cannot cross tiles (zero bandwidth or undersized buffers)"
+            ),
+        }
+    }
+}
+
+impl Error for MapError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MapError::Sdf(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SdfError> for MapError {
+    fn from(e: SdfError) -> Self {
+        MapError::Sdf(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        assert!(MapError::NoFeasibleTile {
+            actor: ActorId::from_index(0)
+        }
+        .to_string()
+        .contains("no tile"));
+        assert!(MapError::MissingConnection {
+            channel: ChannelId::from_index(1),
+            src: TileId::from_index(0),
+            dst: TileId::from_index(1),
+        }
+        .to_string()
+        .contains("t0→t1"));
+        assert!(MapError::ConstraintUnsatisfiable
+            .to_string()
+            .contains("unsatisfiable"));
+        assert!(MapError::UnboundActor {
+            actor: ActorId::from_index(3)
+        }
+        .to_string()
+        .contains("a3"));
+        let e: MapError = SdfError::Empty.into();
+        assert!(e.to_string().contains("no actors"));
+        assert!(e.source().is_some());
+    }
+}

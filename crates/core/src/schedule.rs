@@ -1,0 +1,235 @@
+//! Static-order schedules (Section 4) and their minimization (Section 9.2).
+//!
+//! A practical static-order schedule is a finite *prefix* seen once
+//! followed by a finite *period* repeated forever: `prefix (period)*`.
+
+use std::fmt;
+
+use sdfrs_sdf::{ActorId, SdfGraph};
+
+/// A static-order schedule `prefix (period)*` over actor firings.
+///
+/// # Examples
+///
+/// ```
+/// use sdfrs_core::StaticOrderSchedule;
+/// use sdfrs_sdf::ActorId;
+/// let a = ActorId::from_index(0);
+/// let b = ActorId::from_index(1);
+/// let s = StaticOrderSchedule::new(vec![a], vec![a, b]);
+/// assert_eq!(s.at(0), a);         // prefix
+/// assert_eq!(s.at(1), a);         // period[0]
+/// assert_eq!(s.at(2), b);         // period[1]
+/// assert_eq!(s.at(3), a);         // wraps
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StaticOrderSchedule {
+    prefix: Vec<ActorId>,
+    period: Vec<ActorId>,
+}
+
+impl StaticOrderSchedule {
+    /// Creates a schedule from an explicit prefix and period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the period is empty (the schedule must be infinite).
+    pub fn new(prefix: Vec<ActorId>, period: Vec<ActorId>) -> Self {
+        assert!(
+            !period.is_empty(),
+            "static-order schedules need a non-empty period"
+        );
+        StaticOrderSchedule { prefix, period }
+    }
+
+    /// The transient prefix.
+    pub fn prefix(&self) -> &[ActorId] {
+        &self.prefix
+    }
+
+    /// The repeated period.
+    pub fn period(&self) -> &[ActorId] {
+        &self.period
+    }
+
+    /// The actor scheduled at (infinite) position `pos`.
+    pub fn at(&self, pos: usize) -> ActorId {
+        if pos < self.prefix.len() {
+            self.prefix[pos]
+        } else {
+            self.period[(pos - self.prefix.len()) % self.period.len()]
+        }
+    }
+
+    /// Canonicalizes a position so equal execution states compare equal:
+    /// positions inside the prefix stay, later ones fold into
+    /// `prefix_len + offset_in_period`.
+    pub fn canonical_position(&self, pos: usize) -> usize {
+        if pos < self.prefix.len() {
+            pos
+        } else {
+            self.prefix.len() + (pos - self.prefix.len()) % self.period.len()
+        }
+    }
+
+    /// Minimizes the schedule (the optimization of Sec 9.2): the period is
+    /// reduced to its primitive root, then trailing prefix entries that
+    /// merely repeat the period are folded into it. The paper's example —
+    /// prefix `a1a2a1a2a1a2a1a2a1` with period `(a2a1)⁴` — minimizes to
+    /// `(a1a2)*`.
+    pub fn minimized(&self) -> StaticOrderSchedule {
+        let mut period = primitive_root(&self.period);
+        let mut prefix = self.prefix.clone();
+        while let Some(&last) = prefix.last() {
+            if last == *period.last().expect("period non-empty") {
+                prefix.pop();
+                let moved = period.pop().expect("period non-empty");
+                period.insert(0, moved);
+            } else {
+                break;
+            }
+        }
+        StaticOrderSchedule { prefix, period }
+    }
+
+    /// Renders the schedule using the actor names of `graph`, e.g.
+    /// `"a1 (a2 a3)*"`.
+    pub fn display<'a>(&'a self, graph: &'a SdfGraph) -> ScheduleDisplay<'a> {
+        ScheduleDisplay {
+            schedule: self,
+            graph,
+        }
+    }
+}
+
+/// Smallest repeating unit of a sequence (e.g. `abab → ab`).
+fn primitive_root(seq: &[ActorId]) -> Vec<ActorId> {
+    let n = seq.len();
+    for len in 1..=n {
+        if !n.is_multiple_of(len) {
+            continue;
+        }
+        if seq.chunks(len).all(|c| c == &seq[..len]) {
+            return seq[..len].to_vec();
+        }
+    }
+    seq.to_vec()
+}
+
+/// Helper returned by [`StaticOrderSchedule::display`].
+#[derive(Debug)]
+pub struct ScheduleDisplay<'a> {
+    schedule: &'a StaticOrderSchedule,
+    graph: &'a SdfGraph,
+}
+
+impl fmt::Display for ScheduleDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for a in self.schedule.prefix() {
+            write!(f, "{} ", self.graph.actor(*a).name())?;
+        }
+        write!(f, "(")?;
+        for (i, a) in self.schedule.period().iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{}", self.graph.actor(*a).name())?;
+        }
+        write!(f, ")*")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn aid(i: usize) -> ActorId {
+        ActorId::from_index(i)
+    }
+
+    #[test]
+    fn indexing_wraps() {
+        let s = StaticOrderSchedule::new(vec![aid(9)], vec![aid(0), aid(1), aid(2)]);
+        assert_eq!(s.at(0), aid(9));
+        assert_eq!(s.at(1), aid(0));
+        assert_eq!(s.at(4), aid(0));
+        assert_eq!(s.at(6), aid(2));
+        assert_eq!(s.canonical_position(0), 0);
+        assert_eq!(s.canonical_position(4), 1);
+        assert_eq!(s.canonical_position(7), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty period")]
+    fn empty_period_panics() {
+        StaticOrderSchedule::new(vec![], vec![]);
+    }
+
+    #[test]
+    fn primitive_root_reduces() {
+        assert_eq!(
+            primitive_root(&[aid(0), aid(1), aid(0), aid(1)]),
+            vec![aid(0), aid(1)]
+        );
+        assert_eq!(primitive_root(&[aid(0), aid(0), aid(0)]), vec![aid(0)]);
+        assert_eq!(
+            primitive_root(&[aid(0), aid(1), aid(1)]),
+            vec![aid(0), aid(1), aid(1)]
+        );
+    }
+
+    /// The paper's Sec 9.2 example: 17-state list-scheduler output reduces
+    /// to `(a1 a2)*`.
+    #[test]
+    fn paper_schedule_minimizes_to_a1a2() {
+        let a1 = aid(0);
+        let a2 = aid(1);
+        let prefix = vec![a1, a2, a1, a2, a1, a2, a1, a2, a1];
+        let period = vec![a2, a1, a2, a1, a2, a1, a2, a1];
+        let s = StaticOrderSchedule::new(prefix, period).minimized();
+        assert!(s.prefix().is_empty());
+        assert_eq!(s.period(), &[a1, a2]);
+    }
+
+    #[test]
+    fn minimization_keeps_genuine_transients() {
+        // b (a)* cannot fold b into the period.
+        let s = StaticOrderSchedule::new(vec![aid(1)], vec![aid(0)]).minimized();
+        assert_eq!(s.prefix(), &[aid(1)]);
+        assert_eq!(s.period(), &[aid(0)]);
+    }
+
+    #[test]
+    fn minimization_is_idempotent() {
+        let s = StaticOrderSchedule::new(
+            vec![aid(0), aid(1), aid(0)],
+            vec![aid(1), aid(0), aid(1), aid(0)],
+        );
+        let once = s.minimized();
+        let twice = once.minimized();
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn minimized_schedule_equivalent_to_original() {
+        // The infinite firing sequences must agree position by position.
+        let original =
+            StaticOrderSchedule::new(vec![aid(0), aid(1), aid(0), aid(1)], vec![aid(0), aid(1)]);
+        let min = original.minimized();
+        for pos in 0..50 {
+            assert_eq!(original.at(pos), min.at(pos), "mismatch at {pos}");
+        }
+        assert!(min.prefix().is_empty());
+    }
+
+    #[test]
+    fn display_format() {
+        let mut g = SdfGraph::new("g");
+        let a = g.add_actor("a1", 1);
+        let b = g.add_actor("a2", 1);
+        let s = StaticOrderSchedule::new(vec![a], vec![a, b]);
+        assert_eq!(s.display(&g).to_string(), "a1 (a1 a2)*");
+        let s2 = StaticOrderSchedule::new(vec![], vec![b]);
+        assert_eq!(s2.display(&g).to_string(), "(a2)*");
+    }
+}

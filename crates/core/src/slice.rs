@@ -1,0 +1,401 @@
+//! TDMA time-slice allocation (Section 9.3).
+//!
+//! Two binary searches:
+//!
+//! 1. A *global* search over a common fraction of each used tile's
+//!    remaining wheel, between one time unit and the entire remaining
+//!    wheel. It stops as soon as the guaranteed throughput lies within 10%
+//!    above the constraint and fails if even the full remaining wheels are
+//!    insufficient.
+//! 2. A *per-tile refinement* that shrinks individual slices below the
+//!    equal-fraction solution, using `⌊l_p(t)·ω_t / max_t' l_p(t')⌋` as a
+//!    lower bound — imperfectly balanced load means lightly loaded tiles
+//!    need less wheel time.
+
+use sdfrs_appmodel::ApplicationGraph;
+#[cfg(test)]
+use sdfrs_platform::TileId;
+use sdfrs_platform::{ArchitectureGraph, PlatformState};
+use sdfrs_sdf::analysis::selftimed::ThroughputResult;
+use sdfrs_sdf::Rational;
+
+use crate::binding::Binding;
+use crate::binding_aware::BindingAwareGraph;
+use crate::constrained::{ConstrainedExecutor, TileSchedules};
+use crate::cost::tile_loads;
+use crate::error::MapError;
+
+/// Configuration of the slice-allocation step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SliceConfig {
+    /// Early-stop tolerance of the global search: stop once
+    /// `λ ≤ thr ≤ (1 + tolerance)·λ`. The paper uses 10%.
+    pub tolerance: Rational,
+    /// Maximum refinement passes over the tiles (each pass may shrink
+    /// several slices; passes repeat until a fixpoint or this cap).
+    pub max_refine_passes: usize,
+    /// State budget per throughput evaluation.
+    pub state_budget: usize,
+    /// Skip the per-tile refinement (for the ablation benches).
+    pub refine: bool,
+}
+
+impl Default for SliceConfig {
+    fn default() -> Self {
+        SliceConfig {
+            tolerance: Rational::new(1, 10),
+            max_refine_passes: 3,
+            state_budget: crate::constrained::DEFAULT_STATE_BUDGET,
+            refine: true,
+        }
+    }
+}
+
+/// Result of the slice allocation.
+#[derive(Debug, Clone)]
+pub struct SliceAllocation {
+    /// Allocated slice per tile index (0 for tiles without actors).
+    pub slices: Vec<u64>,
+    /// Guaranteed throughput under the final allocation.
+    pub achieved: ThroughputResult,
+    /// Throughput evaluations performed (the count reported in Sec 10).
+    pub throughput_checks: usize,
+}
+
+/// Evaluates the guaranteed throughput under `slices`, at the output actor.
+fn evaluate(
+    ba: &mut BindingAwareGraph,
+    schedules: &TileSchedules,
+    app: &ApplicationGraph,
+    slices: &[u64],
+    budget: usize,
+    checks: &mut usize,
+) -> Result<ThroughputResult, MapError> {
+    *checks += 1;
+    ba.set_slices(slices);
+    let reference = ba.ba_actor(app.output_actor());
+    ConstrainedExecutor::new(ba, schedules)
+        .with_state_budget(budget)
+        .throughput(reference)
+        .map_err(MapError::from)
+}
+
+/// Allocates TDMA slices meeting the application's throughput constraint
+/// (Sec 9.3).
+///
+/// `binding` must be the binding the binding-aware graph was built from;
+/// `state` provides the remaining wheel per tile.
+///
+/// # Errors
+///
+/// * [`MapError::ConstraintUnsatisfiable`] if even the full remaining
+///   wheels cannot reach λ;
+/// * analysis errors propagate as [`MapError::Sdf`].
+pub fn allocate_slices(
+    ba: &mut BindingAwareGraph,
+    schedules: &TileSchedules,
+    app: &ApplicationGraph,
+    arch: &ArchitectureGraph,
+    state: &PlatformState,
+    binding: &Binding,
+    config: &SliceConfig,
+) -> Result<SliceAllocation, MapError> {
+    let lambda = app.throughput_constraint();
+    let ceiling = lambda * (Rational::ONE + config.tolerance);
+    let used = binding.used_tiles();
+    let mut checks = 0usize;
+
+    let remaining: Vec<u64> = arch
+        .tile_ids()
+        .map(|t| state.available_wheel(arch, t))
+        .collect();
+    let slice_for = |k: u64, big_k: u64| -> Vec<u64> {
+        // Equal fractions of each tile's remaining wheel, at least 1 unit.
+        arch.tile_ids()
+            .map(|t| {
+                if used.contains(&t) {
+                    (remaining[t.index()] * k / big_k).max(1)
+                } else {
+                    0
+                }
+            })
+            .collect()
+    };
+
+    // --- Global binary search over the common fraction k / K.
+    let big_k = used
+        .iter()
+        .map(|t| remaining[t.index()])
+        .max()
+        .ok_or(MapError::ConstraintUnsatisfiable)?;
+    if big_k == 0 {
+        return Err(MapError::ConstraintUnsatisfiable);
+    }
+    let full = slice_for(big_k, big_k);
+    let thr_full = evaluate(ba, schedules, app, &full, config.state_budget, &mut checks)?;
+    if thr_full.iteration_throughput < lambda {
+        return Err(MapError::ConstraintUnsatisfiable);
+    }
+
+    let mut lo = 1u64;
+    let mut hi = big_k;
+    let mut best = full.clone();
+    let mut best_thr = thr_full;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        let candidate = slice_for(mid, big_k);
+        if candidate == best && hi == mid {
+            break;
+        }
+        let thr = evaluate(
+            ba,
+            schedules,
+            app,
+            &candidate,
+            config.state_budget,
+            &mut checks,
+        )?;
+        if thr.iteration_throughput >= lambda {
+            let within_tolerance = thr.iteration_throughput <= ceiling;
+            hi = mid;
+            best = candidate;
+            best_thr = thr;
+            if within_tolerance {
+                break;
+            }
+        } else {
+            lo = mid + 1;
+        }
+    }
+    let mut slices = best;
+
+    // --- Per-tile refinement.
+    if config.refine && used.len() > 1 {
+        let loads: Vec<f64> = used
+            .iter()
+            .map(|&t| tile_loads(app, arch, state, binding, t).processing)
+            .collect();
+        let max_load = loads
+            .iter()
+            .copied()
+            .fold(0.0f64, f64::max)
+            .max(f64::MIN_POSITIVE);
+        for _pass in 0..config.max_refine_passes {
+            let mut changed = false;
+            for (i, &t) in used.iter().enumerate() {
+                let upper = slices[t.index()];
+                let lower = (((loads[i] / max_load) * upper as f64).floor() as u64).max(1);
+                if lower >= upper {
+                    continue;
+                }
+                let mut lo = lower;
+                let mut hi = upper;
+                while lo < hi {
+                    let mid = lo + (hi - lo) / 2;
+                    let mut candidate = slices.clone();
+                    candidate[t.index()] = mid;
+                    let thr = evaluate(
+                        ba,
+                        schedules,
+                        app,
+                        &candidate,
+                        config.state_budget,
+                        &mut checks,
+                    )?;
+                    if thr.iteration_throughput >= lambda {
+                        hi = mid;
+                    } else {
+                        lo = mid + 1;
+                    }
+                }
+                if hi < upper {
+                    slices[t.index()] = hi;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Re-evaluate at the final allocation so `achieved` matches it.
+        best_thr = evaluate(
+            ba,
+            schedules,
+            app,
+            &slices,
+            config.state_budget,
+            &mut checks,
+        )?;
+        if best_thr.iteration_throughput < lambda {
+            // Defensive: refinement never commits an infeasible slice, but
+            // re-check because `best_thr` may come from a larger slice.
+            return Err(MapError::ConstraintUnsatisfiable);
+        }
+    } else {
+        ba.set_slices(&slices);
+    }
+
+    Ok(SliceAllocation {
+        slices,
+        achieved: best_thr,
+        throughput_checks: checks,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binding_aware::BindingAwareGraph;
+    use crate::list_sched::construct_schedules;
+    use sdfrs_appmodel::apps::{example_platform, paper_example};
+
+    fn setup(
+        lambda: Rational,
+    ) -> (
+        ApplicationGraph,
+        ArchitectureGraph,
+        Binding,
+        BindingAwareGraph,
+        TileSchedules,
+        PlatformState,
+    ) {
+        let app = paper_example().with_throughput_constraint(lambda);
+        let arch = example_platform();
+        let state = PlatformState::new(&arch);
+        let g = app.graph();
+        let mut binding = Binding::new(g.actor_count());
+        binding.bind(g.actor_by_name("a1").unwrap(), TileId::from_index(0));
+        binding.bind(g.actor_by_name("a2").unwrap(), TileId::from_index(0));
+        binding.bind(g.actor_by_name("a3").unwrap(), TileId::from_index(1));
+        let ba = BindingAwareGraph::build(&app, &arch, &binding, &[5, 5]).unwrap();
+        let schedules = construct_schedules(&ba).unwrap();
+        (app, arch, binding, ba, schedules, state)
+    }
+
+    #[test]
+    fn paper_constraint_is_satisfiable() {
+        // λ = 1/30: exactly the Fig 5(c) rate, reachable with 50% slices.
+        let (app, arch, binding, mut ba, schedules, state) = setup(Rational::new(1, 30));
+        let alloc = allocate_slices(
+            &mut ba,
+            &schedules,
+            &app,
+            &arch,
+            &state,
+            &binding,
+            &SliceConfig::default(),
+        )
+        .unwrap();
+        assert!(alloc.achieved.iteration_throughput >= Rational::new(1, 30));
+        assert!(alloc.throughput_checks >= 1);
+        for &t in &binding.used_tiles() {
+            assert!(alloc.slices[t.index()] >= 1);
+            assert!(alloc.slices[t.index()] <= 10);
+        }
+    }
+
+    #[test]
+    fn impossible_constraint_fails() {
+        // λ = 1/2 is beyond even the unconstrained graph (period 29 with
+        // full wheels: still ≥ 24 due to the connection actor).
+        let (app, arch, binding, mut ba, schedules, state) = setup(Rational::new(1, 2));
+        let err = allocate_slices(
+            &mut ba,
+            &schedules,
+            &app,
+            &arch,
+            &state,
+            &binding,
+            &SliceConfig::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, MapError::ConstraintUnsatisfiable);
+    }
+
+    #[test]
+    fn looser_constraint_gets_smaller_slices() {
+        let total = |lambda| {
+            let (app, arch, binding, mut ba, schedules, state) = setup(lambda);
+            let alloc = allocate_slices(
+                &mut ba,
+                &schedules,
+                &app,
+                &arch,
+                &state,
+                &binding,
+                &SliceConfig::default(),
+            )
+            .unwrap();
+            alloc.slices.iter().sum::<u64>()
+        };
+        let tight = total(Rational::new(1, 30));
+        let loose = total(Rational::new(1, 200));
+        assert!(
+            loose <= tight,
+            "looser λ must not need more wheel ({loose} vs {tight})"
+        );
+    }
+
+    #[test]
+    fn refinement_never_violates_constraint() {
+        for num_den in [(1i128, 35i128), (1, 50), (1, 80), (1, 120)] {
+            let lambda = Rational::new(num_den.0, num_den.1);
+            let (app, arch, binding, mut ba, schedules, state) = setup(lambda);
+            let alloc = allocate_slices(
+                &mut ba,
+                &schedules,
+                &app,
+                &arch,
+                &state,
+                &binding,
+                &SliceConfig::default(),
+            )
+            .unwrap();
+            assert!(
+                alloc.achieved.iteration_throughput >= lambda,
+                "λ = {lambda} violated"
+            );
+        }
+    }
+
+    #[test]
+    fn refinement_disabled_allocates_equal_fractions() {
+        let (app, arch, binding, mut ba, schedules, state) = setup(Rational::new(1, 60));
+        let cfg = SliceConfig {
+            refine: false,
+            ..SliceConfig::default()
+        };
+        let alloc =
+            allocate_slices(&mut ba, &schedules, &app, &arch, &state, &binding, &cfg).unwrap();
+        // Equal wheels ⇒ equal slices without refinement.
+        assert_eq!(alloc.slices[0], alloc.slices[1]);
+    }
+
+    #[test]
+    fn occupied_wheel_limits_allocation() {
+        use sdfrs_platform::TileUsage;
+        let (app, arch, binding, mut ba, schedules, mut state) = setup(Rational::new(1, 30));
+        // Occupy 80% of both wheels: only 2 units remain each; λ = 1/30
+        // needs more.
+        for t in arch.tile_ids() {
+            state.claim(
+                t,
+                TileUsage {
+                    wheel: 8,
+                    ..TileUsage::default()
+                },
+            );
+        }
+        let err = allocate_slices(
+            &mut ba,
+            &schedules,
+            &app,
+            &arch,
+            &state,
+            &binding,
+            &SliceConfig::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, MapError::ConstraintUnsatisfiable);
+    }
+}

@@ -1,0 +1,149 @@
+//! A guided tour of the library (documentation only — every snippet is
+//! compile- and run-tested by `cargo test --doc`).
+//!
+//! # 1. Model an application
+//!
+//! An application is an SDFG plus resource requirements (Γ, Θ) and a
+//! throughput constraint λ (Definition 5 of the paper). Rates let actors
+//! exchange data at different granularities; initial tokens express
+//! pipelining and feedback:
+//!
+//! ```
+//! use sdfrs_appmodel::{ActorRequirements, ApplicationGraph, ChannelRequirements};
+//! use sdfrs_platform::ProcessorType;
+//! use sdfrs_sdf::{Rational, SdfGraph};
+//!
+//! # fn main() -> Result<(), sdfrs_appmodel::AppError> {
+//! let mut g = SdfGraph::new("edge_detect");
+//! let camera = g.add_actor("camera", 0);
+//! let sobel = g.add_actor("sobel", 0);    // 4 tiles per frame
+//! let sink = g.add_actor("sink", 0);
+//! g.add_channel("frames", camera, 4, sobel, 1, 0);
+//! g.add_channel("tiles", sobel, 1, sink, 4, 0);
+//! g.add_channel("ack", sink, 1, camera, 1, 1); // rate control
+//!
+//! let risc = ProcessorType::new("risc");
+//! let dsp = ProcessorType::new("dsp");
+//! let app = ApplicationGraph::builder(g, Rational::new(1, 500))
+//!     .actor(camera, ActorRequirements::new().on(risc.clone(), 40, 4_096))
+//!     .actor(sobel, ActorRequirements::new()
+//!         .on(risc.clone(), 25, 2_048)
+//!         .on(dsp.clone(), 9, 1_024))
+//!     .actor(sink, ActorRequirements::new().on(risc.clone(), 10, 1_024))
+//!     .channel_default(ChannelRequirements::new(256, 8, 8, 8, 2_048))
+//!     .output_actor(sink)
+//!     .build()?;
+//! assert_eq!(app.graph().repetition_vector().unwrap().as_slice(), &[1, 4, 1]);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # 2. Describe the platform
+//!
+//! Tiles carry a processor, memory, a network interface and a TDMA wheel
+//! (Definition 3); point-to-point connections have fixed latencies
+//! (Definition 4). Use [`mesh`](sdfrs_platform::mesh) for regular grids,
+//! [`presets`](sdfrs_platform::presets) for the systems the paper cites,
+//! or build by hand:
+//!
+//! ```
+//! use sdfrs_platform::{ArchitectureGraph, ProcessorType, Tile};
+//! let mut arch = ArchitectureGraph::new("duo");
+//! let cpu = arch.add_tile(Tile::new("cpu", ProcessorType::new("risc"),
+//!     100, 64_000, 8, 8_192, 8_192));
+//! let dsp = arch.add_tile(Tile::new("dsp", ProcessorType::new("dsp"),
+//!     100, 32_000, 8, 8_192, 8_192));
+//! arch.add_connection(cpu, dsp, 1);
+//! arch.add_connection(dsp, cpu, 1);
+//! # assert_eq!(arch.tile_count(), 2);
+//! ```
+//!
+//! For sparse descriptions,
+//! [`routing::complete_with_routes`](sdfrs_platform::routing::complete_with_routes)
+//! synthesizes the missing point-to-point connections from shortest paths.
+//!
+//! # 3. Allocate with a guarantee
+//!
+//! [`flow::allocate`](crate::flow::allocate) runs the paper's three steps
+//! — binding (Sec 9.1), list-scheduled static orders (Sec 9.2), slice
+//! binary search (Sec 9.3) — and returns an [`Allocation`](crate::flow::Allocation)
+//! whose throughput is *guaranteed* under TDMA resource sharing:
+//!
+//! ```
+//! use sdfrs_appmodel::apps::{example_platform, paper_example};
+//! use sdfrs_core::flow::{allocate, FlowConfig};
+//! use sdfrs_core::cost::CostWeights;
+//! use sdfrs_platform::PlatformState;
+//!
+//! # fn main() -> Result<(), sdfrs_core::MapError> {
+//! let app = paper_example();
+//! let arch = example_platform();
+//! let state = PlatformState::new(&arch);
+//! let (alloc, stats) = allocate(&app, &arch, &state,
+//!     &FlowConfig::with_weights(CostWeights::TUNED))?;
+//! assert!(alloc.guaranteed_throughput() >= app.throughput_constraint());
+//! println!("{} throughput checks", stats.throughput_checks);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The weights steer the binding exactly as in Table 3/4 of the paper:
+//! `(1,0,0)` balances processing, `(0,1,0)` memory, `(0,0,1)` minimizes
+//! communication, and the paper's tuned `(0,1,2)` admits the most
+//! applications.
+//!
+//! # 4. Share the platform
+//!
+//! Successive applications claim resources;
+//! [`multi_app::allocate_until_failure`](crate::multi_app::allocate_until_failure)
+//! is the paper's evaluation protocol and
+//! [`admission`](crate::admission) adds the orderings/skipping/dimensioning
+//! mechanisms Sec 10.1 suggests:
+//!
+//! ```
+//! use sdfrs_appmodel::apps::paper_example;
+//! use sdfrs_appmodel::apps::example_platform;
+//! use sdfrs_core::flow::FlowConfig;
+//! use sdfrs_core::multi_app::allocate_until_failure;
+//!
+//! let apps = vec![paper_example(), paper_example(), paper_example()];
+//! let arch = example_platform();
+//! let result = allocate_until_failure(&apps, &arch, &FlowConfig::default());
+//! assert!(result.bound_count() >= 1);
+//! ```
+//!
+//! # 5. Inspect and trust
+//!
+//! * [`report::render_allocation`](crate::report::render_allocation)
+//!   prints the binding, schedules, slices and usage;
+//! * [`ConstrainedExecutor::trace`](crate::ConstrainedExecutor::trace) +
+//!   [`gantt`](crate::gantt) draw the execution;
+//! * [`verify::verify_allocation`](crate::verify::verify_allocation)
+//!   re-derives every Section 7 constraint and the throughput guarantee
+//!   from scratch:
+//!
+//! ```
+//! use sdfrs_appmodel::apps::{example_platform, paper_example};
+//! use sdfrs_core::flow::{allocate, FlowConfig};
+//! use sdfrs_core::verify::verify_allocation;
+//! use sdfrs_platform::PlatformState;
+//!
+//! # fn main() -> Result<(), sdfrs_core::MapError> {
+//! let app = paper_example();
+//! let arch = example_platform();
+//! let state = PlatformState::new(&arch);
+//! let (alloc, _) = allocate(&app, &arch, &state, &FlowConfig::default())?;
+//! assert!(verify_allocation(&app, &arch, &state, &alloc)?.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # 6. Where the analyses live
+//!
+//! Everything the flow builds on is public: self-timed throughput and
+//! explicit state spaces in
+//! [`sdfrs_sdf::analysis::selftimed`](sdfrs_sdf::analysis::selftimed),
+//! the HSDF baseline in [`sdfrs_sdf::hsdf`](sdfrs_sdf::hsdf) and
+//! [`baseline`](crate::baseline), storage exploration in
+//! [`buffers`](crate::buffers), structural bounds/latency/occupancy in
+//! `sdfrs_sdf::analysis`, and design-space sweeps in [`dse`](crate::dse).

@@ -1,0 +1,289 @@
+//! Random application-graph generation (the SDF³-substitute of Sec 10.1).
+//!
+//! Generated graphs are always consistent (rates derive from a drawn
+//! repetition vector), deadlock-free (backward channels carry a full
+//! iteration of tokens, buffer capacities exceed `p + q`), and carry a
+//! throughput constraint derived from the graph's own maximal achievable
+//! throughput — so constraints are demanding but satisfiable in principle.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sdfrs_appmodel::{ActorRequirements, ApplicationGraph, ChannelRequirements};
+use sdfrs_platform::ProcessorType;
+use sdfrs_sdf::analysis::selftimed::SelfTimedExecutor;
+use sdfrs_sdf::rational::gcd;
+use sdfrs_sdf::{Rational, SdfGraph};
+
+use crate::config::GeneratorConfig;
+
+/// Draws from an inclusive range.
+fn draw(rng: &mut StdRng, range: &std::ops::RangeInclusive<u64>) -> u64 {
+    rng.gen_range(*range.start()..=*range.end())
+}
+
+/// A deterministic random application-graph generator.
+///
+/// # Examples
+///
+/// ```
+/// use sdfrs_gen::{AppGenerator, GeneratorConfig};
+/// use sdfrs_platform::ProcessorType;
+/// let types = vec![ProcessorType::new("risc"), ProcessorType::new("dsp")];
+/// let mut g = AppGenerator::new(GeneratorConfig::mixed(), types, 42);
+/// let app = g.generate("app0");
+/// assert!(app.graph().actor_count() >= 4);
+/// // Same seed ⇒ same application.
+/// let types = vec![ProcessorType::new("risc"), ProcessorType::new("dsp")];
+/// let mut g2 = AppGenerator::new(GeneratorConfig::mixed(), types, 42);
+/// assert_eq!(g2.generate("app0").graph(), app.graph());
+/// ```
+#[derive(Debug)]
+pub struct AppGenerator {
+    config: GeneratorConfig,
+    types: Vec<ProcessorType>,
+    rng: StdRng,
+}
+
+impl AppGenerator {
+    /// Creates a generator for the given processor types, seeded
+    /// deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `types` is empty.
+    pub fn new(config: GeneratorConfig, types: Vec<ProcessorType>, seed: u64) -> Self {
+        assert!(
+            !types.is_empty(),
+            "generator needs at least one processor type"
+        );
+        AppGenerator {
+            config,
+            types,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Generates one application graph.
+    pub fn generate(&mut self, name: &str) -> ApplicationGraph {
+        let cfg = self.config.clone();
+        let rng = &mut self.rng;
+        let n = draw(rng, &cfg.actors) as usize;
+
+        // Repetition vector first; rates follow from it.
+        let gamma: Vec<u64> = (0..n).map(|_| draw(rng, &cfg.repetition)).collect();
+
+        let mut g = SdfGraph::new(name.to_string());
+        let actors: Vec<_> = (0..n)
+            .map(|i| g.add_actor(format!("{name}_a{i}"), 0))
+            .collect();
+
+        // Spanning chain keeps the graph connected; extra channels add
+        // fan-out/fan-in and (backward) cycles.
+        let mut edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        for _ in 0..draw(rng, &cfg.extra_channels) {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u != v {
+                edges.push((u, v));
+            }
+        }
+
+        let mut theta = Vec::new();
+        for (k, &(u, v)) in edges.iter().enumerate() {
+            let div = gcd(gamma[u] as u128, gamma[v] as u128) as u64;
+            let p = gamma[v] / div;
+            let q = gamma[u] / div;
+            // Backward edges close cycles: give them one full iteration of
+            // tokens so the graph stays deadlock-free.
+            let tokens = if v <= u { q * gamma[v] } else { 0 };
+            g.add_channel(format!("{name}_d{k}"), actors[u], p, actors[v], q, tokens);
+            let alpha = draw(rng, &cfg.buffer_tokens) + p + q;
+            theta.push(ChannelRequirements::new(
+                draw(rng, &cfg.token_size),
+                alpha,
+                alpha,
+                alpha,
+                draw(rng, &cfg.bandwidth).max(1),
+            ));
+        }
+
+        // Γ: every actor supports at least one random type; further types
+        // join with the configured probability.
+        let mut reqs = Vec::new();
+        for _ in 0..n {
+            let primary = rng.gen_range(0..self.types.len());
+            let mut r = ActorRequirements::new();
+            for (i, pt) in self.types.iter().enumerate() {
+                let supported = i == primary || rng.gen_range(0..100) < cfg.type_support_pct;
+                if supported {
+                    r = r.on(
+                        pt.clone(),
+                        draw(rng, &cfg.execution_time).max(1),
+                        draw(rng, &cfg.actor_memory).max(1),
+                    );
+                }
+            }
+            reqs.push(r);
+        }
+
+        // λ: a fraction of the best-case single-tile throughput.
+        let pct = draw(rng, &cfg.constraint_pct).max(1);
+        let mut builder = ApplicationGraph::builder(g, Rational::ONE);
+        for (i, r) in reqs.iter().enumerate() {
+            builder = builder.actor(actors[i], r.clone());
+        }
+        for (k, t) in theta.iter().enumerate() {
+            builder = builder.channel(sdfrs_sdf::ChannelId::from_index(k), *t);
+        }
+        let app = builder
+            .output_actor(*actors.last().expect("n ≥ 1"))
+            .build()
+            .expect("generated graphs are consistent and live");
+        let max_thr = reference_throughput(&app);
+        app.with_throughput_constraint(max_thr * Rational::new(pct as i128, 100))
+    }
+
+    /// Generates a sequence of applications (one benchmark "sequence" of
+    /// Sec 10.1).
+    pub fn generate_sequence(&mut self, prefix: &str, count: usize) -> Vec<ApplicationGraph> {
+        (0..count)
+            .map(|i| self.generate(&format!("{prefix}_{i}")))
+            .collect()
+    }
+}
+
+/// The maximal iteration throughput the application could achieve with all
+/// actors on one ideal tile: best-case execution times, buffers bounded by
+/// the α_tile capacities, firings serialized per actor. Used to scale
+/// generated throughput constraints.
+pub fn reference_throughput(app: &ApplicationGraph) -> Rational {
+    let src = app.graph();
+    let mut g = SdfGraph::new(format!("{}_ref", src.name()));
+    for (a, actor) in src.actors() {
+        let best = app
+            .actor_requirements(a)
+            .supported_types()
+            .filter_map(|pt| app.execution_time(a, pt))
+            .min()
+            .expect("validated apps support some type");
+        g.add_actor(actor.name(), best);
+    }
+    for (a, _) in src.actors() {
+        if !src.has_self_edge(a) {
+            g.add_self_edge(a, 1);
+        }
+    }
+    for (d, ch) in src.channels() {
+        g.add_channel(
+            ch.name(),
+            ch.src(),
+            ch.production_rate(),
+            ch.dst(),
+            ch.consumption_rate(),
+            ch.initial_tokens(),
+        );
+        g.add_channel(
+            format!("buf_{}", ch.name()),
+            ch.dst(),
+            ch.consumption_rate(),
+            ch.src(),
+            ch.production_rate(),
+            app.channel_requirements(d).buffer_tile,
+        );
+    }
+    let reference = app.output_actor();
+    SelfTimedExecutor::new(&g)
+        .throughput(reference)
+        .expect("bounded reference graph has a periodic phase")
+        .iteration_throughput
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdfrs_sdf::analysis::deadlock::is_live;
+
+    fn types() -> Vec<ProcessorType> {
+        vec![
+            ProcessorType::new("risc"),
+            ProcessorType::new("dsp"),
+            ProcessorType::new("acc"),
+        ]
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut g1 = AppGenerator::new(GeneratorConfig::mixed(), types(), 7);
+        let mut g2 = AppGenerator::new(GeneratorConfig::mixed(), types(), 7);
+        let a = g1.generate("x");
+        let b = g2.generate("x");
+        assert_eq!(a.graph(), b.graph());
+        assert_eq!(a.throughput_constraint(), b.throughput_constraint());
+        let mut g3 = AppGenerator::new(GeneratorConfig::mixed(), types(), 8);
+        let c = g3.generate("x");
+        assert!(a.graph() != c.graph() || a.throughput_constraint() != c.throughput_constraint());
+    }
+
+    #[test]
+    fn generated_graphs_are_consistent_and_live() {
+        for (label, cfg) in GeneratorConfig::benchmark_sets() {
+            let mut gen = AppGenerator::new(cfg, types(), 1234);
+            for i in 0..20 {
+                let app = gen.generate(&format!("{label}_{i}"));
+                assert!(app.graph().repetition_vector().is_ok(), "{label}_{i}");
+                assert!(is_live(app.graph()), "{label}_{i}");
+                assert!(app.throughput_constraint() > Rational::ZERO);
+            }
+        }
+    }
+
+    #[test]
+    fn constraint_is_below_reference_throughput() {
+        let mut gen = AppGenerator::new(GeneratorConfig::processing_intensive(), types(), 99);
+        for i in 0..10 {
+            let app = gen.generate(&format!("p{i}"));
+            let max = reference_throughput(&app);
+            assert!(app.throughput_constraint() <= max);
+            assert!(app.throughput_constraint() >= max * Rational::new(1, 100));
+        }
+    }
+
+    #[test]
+    fn sequences_have_distinct_names() {
+        let mut gen = AppGenerator::new(GeneratorConfig::mixed(), types(), 5);
+        let seq = gen.generate_sequence("s", 5);
+        assert_eq!(seq.len(), 5);
+        let names: std::collections::HashSet<_> =
+            seq.iter().map(|a| a.graph().name().to_string()).collect();
+        assert_eq!(names.len(), 5);
+    }
+
+    #[test]
+    fn profiles_shape_the_output() {
+        let mut p = AppGenerator::new(GeneratorConfig::processing_intensive(), types(), 3);
+        let mut m = AppGenerator::new(GeneratorConfig::memory_intensive(), types(), 3);
+        let papp = p.generate("p");
+        let mapp = m.generate("m");
+        let avg_tau = |app: &ApplicationGraph| -> f64 {
+            let g = app.graph();
+            let total: u64 = g.actor_ids().map(|a| app.max_execution_time(a)).sum();
+            total as f64 / g.actor_count() as f64
+        };
+        assert!(avg_tau(&papp) > avg_tau(&mapp));
+        let max_sz = |app: &ApplicationGraph| {
+            app.graph()
+                .channel_ids()
+                .map(|c| app.channel_requirements(c).token_size)
+                .max()
+                .unwrap()
+        };
+        assert!(max_sz(&mapp) > max_sz(&papp));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor type")]
+    fn empty_types_panics() {
+        AppGenerator::new(GeneratorConfig::mixed(), vec![], 0);
+    }
+}

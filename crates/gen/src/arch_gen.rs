@@ -1,0 +1,208 @@
+//! Random architecture-graph generation — platform variations for
+//! dimensioning studies and robustness testing of the allocation flow.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sdfrs_platform::{ArchitectureGraph, ProcessorType, Tile, TileId};
+
+/// Parameters of the random platform generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchConfig {
+    /// Number of tiles.
+    pub tiles: std::ops::RangeInclusive<u64>,
+    /// Processor types to draw from (each tile gets one).
+    pub processor_types: Vec<ProcessorType>,
+    /// TDMA wheel size per tile.
+    pub wheel: std::ops::RangeInclusive<u64>,
+    /// Memory per tile (bits).
+    pub memory: std::ops::RangeInclusive<u64>,
+    /// NI connections per tile.
+    pub connections: std::ops::RangeInclusive<u64>,
+    /// Bandwidth (both directions) per tile.
+    pub bandwidth: std::ops::RangeInclusive<u64>,
+    /// Connection latency range.
+    pub latency: std::ops::RangeInclusive<u64>,
+    /// Probability (percent) that an ordered tile pair is connected
+    /// (pairs are always connected symmetrically).
+    pub connectivity_pct: u32,
+}
+
+impl Default for ArchConfig {
+    fn default() -> Self {
+        ArchConfig {
+            tiles: 2..=9,
+            processor_types: vec![
+                ProcessorType::new("risc"),
+                ProcessorType::new("dsp"),
+                ProcessorType::new("acc"),
+            ],
+            wheel: 50..=200,
+            memory: (1 << 16)..=(1 << 20),
+            connections: 4..=24,
+            bandwidth: (1 << 12)..=(1 << 16),
+            latency: 1..=4,
+            connectivity_pct: 80,
+        }
+    }
+}
+
+/// Deterministic random platform generator.
+///
+/// # Examples
+///
+/// ```
+/// use sdfrs_gen::arch_gen::{ArchGenerator, ArchConfig};
+/// let mut g = ArchGenerator::new(ArchConfig::default(), 7);
+/// let arch = g.generate("p0");
+/// assert!(arch.tile_count() >= 2);
+/// ```
+#[derive(Debug)]
+pub struct ArchGenerator {
+    config: ArchConfig,
+    rng: StdRng,
+}
+
+impl ArchGenerator {
+    /// Creates a generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `processor_types` is empty.
+    pub fn new(config: ArchConfig, seed: u64) -> Self {
+        assert!(
+            !config.processor_types.is_empty(),
+            "platform generator needs processor types"
+        );
+        ArchGenerator {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn draw(&mut self, range: &std::ops::RangeInclusive<u64>) -> u64 {
+        self.rng.gen_range(*range.start()..=*range.end())
+    }
+
+    /// Generates one platform. Tiles beyond the first are connected to a
+    /// random earlier tile (both directions) so the platform is always
+    /// weakly connected; further pairs join with `connectivity_pct`.
+    #[allow(clippy::needless_range_loop)]
+    pub fn generate(&mut self, name: &str) -> ArchitectureGraph {
+        let mut arch = ArchitectureGraph::new(name.to_string());
+        let n = self.draw(&self.config.tiles.clone()) as usize;
+        for i in 0..n {
+            let pt_idx = self.rng.gen_range(0..self.config.processor_types.len());
+            let pt = self.config.processor_types[pt_idx].clone();
+            let tile = Tile::new(
+                format!("{name}_t{i}"),
+                pt,
+                self.draw(&self.config.wheel.clone()),
+                self.draw(&self.config.memory.clone()),
+                self.draw(&self.config.connections.clone()) as u32,
+                self.draw(&self.config.bandwidth.clone()),
+                self.draw(&self.config.bandwidth.clone()),
+            );
+            arch.add_tile(tile);
+        }
+        // Spanning connectivity + random extra pairs.
+        let mut connected = vec![vec![false; n]; n];
+        for i in 1..n {
+            let j = self.rng.gen_range(0..i);
+            let latency = self.draw(&self.config.latency.clone());
+            arch.add_connection(TileId::from_index(i), TileId::from_index(j), latency);
+            arch.add_connection(TileId::from_index(j), TileId::from_index(i), latency);
+            connected[i][j] = true;
+            connected[j][i] = true;
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if connected[i][j] {
+                    continue;
+                }
+                if self.rng.gen_range(0..100) < self.config.connectivity_pct {
+                    let latency = self.draw(&self.config.latency.clone());
+                    arch.add_connection(TileId::from_index(i), TileId::from_index(j), latency);
+                    arch.add_connection(TileId::from_index(j), TileId::from_index(i), latency);
+                }
+            }
+        }
+        arch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ArchGenerator::new(ArchConfig::default(), 9);
+        let mut b = ArchGenerator::new(ArchConfig::default(), 9);
+        assert_eq!(a.generate("x"), b.generate("x"));
+    }
+
+    #[test]
+    fn always_symmetric_and_connected() {
+        let mut g = ArchGenerator::new(ArchConfig::default(), 31);
+        for k in 0..10 {
+            let arch = g.generate(&format!("p{k}"));
+            // Symmetry: every connection has its reverse.
+            for (_, c) in arch.connections() {
+                assert!(
+                    arch.connection_between(c.dst(), c.src()).is_some(),
+                    "missing reverse connection"
+                );
+            }
+            // Weak connectivity via union-find over undirected pairs.
+            let n = arch.tile_count();
+            let mut parent: Vec<usize> = (0..n).collect();
+            fn find(p: &mut Vec<usize>, x: usize) -> usize {
+                if p[x] != x {
+                    let r = find(p, p[x]);
+                    p[x] = r;
+                }
+                p[x]
+            }
+            for (_, c) in arch.connections() {
+                let (a, b) = (c.src().index(), c.dst().index());
+                let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+                parent[ra] = rb;
+            }
+            let root = find(&mut parent, 0);
+            for i in 1..n {
+                assert_eq!(find(&mut parent, i), root, "tile {i} disconnected");
+            }
+        }
+    }
+
+    #[test]
+    fn resources_within_ranges() {
+        let cfg = ArchConfig::default();
+        let mut g = ArchGenerator::new(cfg.clone(), 55);
+        let arch = g.generate("r");
+        for (_, t) in arch.tiles() {
+            assert!(cfg.wheel.contains(&t.wheel_size()));
+            assert!(cfg.memory.contains(&t.memory()));
+            assert!(cfg.connections.contains(&(t.max_connections() as u64)));
+            assert!(cfg.bandwidth.contains(&t.bandwidth_in()));
+            assert!(cfg.latency.contains(
+                &arch
+                    .connections()
+                    .map(|(_, c)| c.latency())
+                    .next()
+                    .unwrap_or(*cfg.latency.start())
+            ));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "needs processor types")]
+    fn empty_types_panics() {
+        let cfg = ArchConfig {
+            processor_types: vec![],
+            ..ArchConfig::default()
+        };
+        ArchGenerator::new(cfg, 0);
+    }
+}

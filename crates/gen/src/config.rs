@@ -1,0 +1,158 @@
+//! Generator configuration: the knobs that realize the four benchmark-set
+//! profiles of Section 10.1.
+
+use std::ops::RangeInclusive;
+
+/// Inclusive integer range helper used by all generator knobs.
+pub type Range = RangeInclusive<u64>;
+
+/// Parameters of the random application-graph generator.
+///
+/// Every quantity is drawn uniformly from its range; the profile
+/// constructors ([`GeneratorConfig::processing_intensive`] etc.) set the
+/// ranges so the generated sets stress one platform resource each, as the
+/// paper describes its SDF³-generated benchmark.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeneratorConfig {
+    /// Number of actors per graph.
+    pub actors: Range,
+    /// Extra channels beyond the spanning chain (the chain keeps graphs
+    /// connected).
+    pub extra_channels: Range,
+    /// Repetition-vector entries are drawn from this range before
+    /// reduction (1..=1 yields single-rate graphs).
+    pub repetition: Range,
+    /// Execution time per actor and processor type.
+    pub execution_time: Range,
+    /// Actor state size μ (bits).
+    pub actor_memory: Range,
+    /// Token size sz (bits).
+    pub token_size: Range,
+    /// Buffer capacities α (tokens) — the same range serves α_tile, α_src
+    /// and α_dst.
+    pub buffer_tokens: Range,
+    /// Channel bandwidth β (bits/time-unit).
+    pub bandwidth: Range,
+    /// Probability (percent) that an actor supports each processor type
+    /// beyond the first guaranteed one.
+    pub type_support_pct: u32,
+    /// The throughput constraint is the unconstrained maximal throughput
+    /// multiplied by `constraint_pct / 100`. Values well below 100 leave
+    /// room for TDMA sharing.
+    pub constraint_pct: Range,
+}
+
+impl GeneratorConfig {
+    /// Set 1: processing-intensive graphs — "large execution times, do not
+    /// communicate too often and have small token sizes and states".
+    pub fn processing_intensive() -> Self {
+        GeneratorConfig {
+            actors: 4..=8,
+            extra_channels: 0..=2,
+            repetition: 1..=3,
+            execution_time: 40..=100,
+            actor_memory: 16..=128,
+            token_size: 8..=32,
+            buffer_tokens: 1..=2,
+            bandwidth: 32..=128,
+            type_support_pct: 60,
+            constraint_pct: 4..=10,
+        }
+    }
+
+    /// Set 2: memory-intensive graphs — large states and tokens.
+    pub fn memory_intensive() -> Self {
+        GeneratorConfig {
+            actors: 4..=8,
+            extra_channels: 0..=2,
+            repetition: 1..=3,
+            execution_time: 4..=16,
+            actor_memory: 20_000..=80_000,
+            token_size: 2_000..=12_000,
+            buffer_tokens: 1..=3,
+            bandwidth: 1_000..=8_000,
+            type_support_pct: 60,
+            constraint_pct: 4..=10,
+        }
+    }
+
+    /// Set 3: communication-intensive graphs — high bandwidth demands and
+    /// frequent channels.
+    pub fn communication_intensive() -> Self {
+        GeneratorConfig {
+            actors: 4..=8,
+            extra_channels: 2..=5,
+            repetition: 1..=3,
+            execution_time: 4..=16,
+            actor_memory: 64..=512,
+            token_size: 512..=4_096,
+            buffer_tokens: 1..=3,
+            bandwidth: 2_000..=10_000,
+            type_support_pct: 60,
+            constraint_pct: 4..=10,
+        }
+    }
+
+    /// Set 4: mixed graphs — balanced requirements with occasional
+    /// domination by one resource (the generator's wide ranges cover both).
+    pub fn mixed() -> Self {
+        GeneratorConfig {
+            actors: 4..=10,
+            extra_channels: 0..=4,
+            repetition: 1..=3,
+            execution_time: 4..=80,
+            actor_memory: 64..=40_000,
+            token_size: 16..=6_000,
+            buffer_tokens: 1..=3,
+            bandwidth: 64..=6_000,
+            type_support_pct: 60,
+            constraint_pct: 4..=10,
+        }
+    }
+
+    /// The four benchmark sets in the paper's order.
+    pub fn benchmark_sets() -> [(&'static str, GeneratorConfig); 4] {
+        [
+            ("processing", Self::processing_intensive()),
+            ("memory", Self::memory_intensive()),
+            ("communication", Self::communication_intensive()),
+            ("mixed", Self::mixed()),
+        ]
+    }
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        Self::mixed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_stress_their_resource() {
+        let p = GeneratorConfig::processing_intensive();
+        let m = GeneratorConfig::memory_intensive();
+        let c = GeneratorConfig::communication_intensive();
+        assert!(p.execution_time.start() > m.execution_time.end());
+        assert!(m.actor_memory.start() > p.actor_memory.end());
+        assert!(c.bandwidth.start() > p.bandwidth.end());
+        assert!(c.extra_channels.end() > p.extra_channels.end());
+    }
+
+    #[test]
+    fn four_sets_in_order() {
+        let sets = GeneratorConfig::benchmark_sets();
+        assert_eq!(sets[0].0, "processing");
+        assert_eq!(sets[1].0, "memory");
+        assert_eq!(sets[2].0, "communication");
+        assert_eq!(sets[3].0, "mixed");
+    }
+
+    #[test]
+    fn default_is_mixed() {
+        assert_eq!(GeneratorConfig::default(), GeneratorConfig::mixed());
+    }
+}

@@ -1,0 +1,131 @@
+//! Graphviz (DOT) export for architecture graphs.
+
+use std::fmt::Write as _;
+
+use crate::graph::ArchitectureGraph;
+use crate::state::PlatformState;
+
+/// Renders the platform in Graphviz DOT syntax; tiles are boxes labelled
+/// with their processor type and resources, connections edges labelled
+/// with latency.
+///
+/// # Examples
+///
+/// ```
+/// use sdfrs_platform::{ArchitectureGraph, Tile, dot::to_dot};
+/// let mut arch = ArchitectureGraph::new("demo");
+/// let a = arch.add_tile(Tile::new("a", "p".into(), 10, 100, 2, 50, 50));
+/// let b = arch.add_tile(Tile::new("b", "p".into(), 10, 100, 2, 50, 50));
+/// arch.add_connection(a, b, 3);
+/// let dot = to_dot(&arch);
+/// assert!(dot.contains("ℒ=3"));
+/// ```
+pub fn to_dot(arch: &ArchitectureGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", arch.name());
+    let _ = writeln!(out, "  node [shape=box];");
+    for (id, t) in arch.tiles() {
+        let _ = writeln!(
+            out,
+            "  {} [label=\"{}\\n{} w={} m={}\\nc={} i={} o={}\"];",
+            id.index(),
+            t.name(),
+            t.processor_type(),
+            t.wheel_size(),
+            t.memory(),
+            t.max_connections(),
+            t.bandwidth_in(),
+            t.bandwidth_out()
+        );
+    }
+    for (_, c) in arch.connections() {
+        let _ = writeln!(
+            out,
+            "  {} -> {} [label=\"ℒ={}\"];",
+            c.src().index(),
+            c.dst().index(),
+            c.latency()
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Like [`to_dot`] but annotates each tile with its current occupancy —
+/// handy when debugging multi-application allocation runs.
+pub fn to_dot_with_state(arch: &ArchitectureGraph, state: &PlatformState) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", arch.name());
+    let _ = writeln!(out, "  node [shape=box];");
+    for (id, t) in arch.tiles() {
+        let u = state.usage(id);
+        let _ = writeln!(
+            out,
+            "  {} [label=\"{}\\nΩ={}/{} mem {}/{}\\nconn {}/{}\"];",
+            id.index(),
+            t.name(),
+            u.wheel,
+            t.wheel_size(),
+            u.memory,
+            t.memory(),
+            u.connections,
+            t.max_connections()
+        );
+    }
+    for (_, c) in arch.connections() {
+        let _ = writeln!(
+            out,
+            "  {} -> {} [label=\"ℒ={}\"];",
+            c.src().index(),
+            c.dst().index(),
+            c.latency()
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Tile;
+    use crate::state::TileUsage;
+
+    fn arch() -> ArchitectureGraph {
+        let mut a = ArchitectureGraph::new("g");
+        let t0 = a.add_tile(Tile::new("t0", "p1".into(), 10, 700, 5, 100, 100));
+        let t1 = a.add_tile(Tile::new("t1", "p2".into(), 10, 500, 7, 100, 100));
+        a.add_connection(t0, t1, 2);
+        a
+    }
+
+    #[test]
+    fn renders_tiles_and_connections() {
+        let dot = to_dot(&arch());
+        assert!(dot.starts_with("digraph \"g\""));
+        assert!(dot.contains("t0"));
+        assert!(dot.contains("p2"));
+        assert!(dot.contains("ℒ=2"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn state_annotations_show_occupancy() {
+        let a = arch();
+        let mut s = PlatformState::new(&a);
+        s.claim(
+            crate::graph::TileId::from_index(0),
+            TileUsage {
+                wheel: 4,
+                memory: 100,
+                connections: 1,
+                bandwidth_in: 0,
+                bandwidth_out: 0,
+            },
+        );
+        let dot = to_dot_with_state(&a, &s);
+        assert!(dot.contains("Ω=4/10"));
+        assert!(dot.contains("mem 100/700"));
+        assert!(dot.contains("conn 1/5"));
+    }
+}

@@ -1,0 +1,378 @@
+//! Tiles, connections and the architecture graph (Definitions 3 and 4).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::proc_type::ProcessorType;
+
+/// Identifier of a tile within one [`ArchitectureGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TileId(pub(crate) u32);
+
+impl TileId {
+    /// Creates an id from a raw index (mainly for tests/deserialization).
+    pub fn from_index(index: usize) -> Self {
+        TileId(index as u32)
+    }
+
+    /// The dense index of this tile.
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Identifier of a connection within one [`ArchitectureGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConnectionId(pub(crate) u32);
+
+impl ConnectionId {
+    /// Creates an id from a raw index.
+    pub fn from_index(index: usize) -> Self {
+        ConnectionId(index as u32)
+    }
+
+    /// The dense index of this connection.
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ConnectionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A tile *(pt, w, m, c, i, o)* — Definition 3 of the paper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tile {
+    name: String,
+    processor_type: ProcessorType,
+    /// TDMA time-wheel size *w* in time units.
+    wheel_size: u64,
+    /// Memory size *m* in bits.
+    memory: u64,
+    /// Maximum number of NI connections *c*.
+    max_connections: u32,
+    /// Maximum incoming bandwidth *i* in bits/time-unit.
+    bandwidth_in: u64,
+    /// Maximum outgoing bandwidth *o* in bits/time-unit.
+    bandwidth_out: u64,
+}
+
+impl Tile {
+    /// Creates a tile description.
+    pub fn new(
+        name: impl Into<String>,
+        processor_type: ProcessorType,
+        wheel_size: u64,
+        memory: u64,
+        max_connections: u32,
+        bandwidth_in: u64,
+        bandwidth_out: u64,
+    ) -> Self {
+        Tile {
+            name: name.into(),
+            processor_type,
+            wheel_size,
+            memory,
+            max_connections,
+            bandwidth_in,
+            bandwidth_out,
+        }
+    }
+
+    /// The tile's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The processor type *pt*.
+    pub fn processor_type(&self) -> &ProcessorType {
+        &self.processor_type
+    }
+
+    /// TDMA wheel size *w* (time units).
+    pub fn wheel_size(&self) -> u64 {
+        self.wheel_size
+    }
+
+    /// Memory size *m* (bits).
+    pub fn memory(&self) -> u64 {
+        self.memory
+    }
+
+    /// Maximum NI connections *c*.
+    pub fn max_connections(&self) -> u32 {
+        self.max_connections
+    }
+
+    /// Maximum incoming bandwidth *i* (bits/time-unit).
+    pub fn bandwidth_in(&self) -> u64 {
+        self.bandwidth_in
+    }
+
+    /// Maximum outgoing bandwidth *o* (bits/time-unit).
+    pub fn bandwidth_out(&self) -> u64 {
+        self.bandwidth_out
+    }
+}
+
+/// A directed point-to-point connection *(u, v)* with latency ℒ(c).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Connection {
+    src: TileId,
+    dst: TileId,
+    latency: u64,
+}
+
+impl Connection {
+    /// Source tile.
+    pub fn src(&self) -> TileId {
+        self.src
+    }
+
+    /// Destination tile.
+    pub fn dst(&self) -> TileId {
+        self.dst
+    }
+
+    /// Latency ℒ(c) in time units.
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+}
+
+/// An architecture graph *(T, C, ℒ)* — Definition 4 of the paper.
+///
+/// # Examples
+///
+/// Build the two-tile example platform of Fig 2 / Tab 1:
+///
+/// ```
+/// use sdfrs_platform::{ArchitectureGraph, Tile, ProcessorType};
+/// let mut arch = ArchitectureGraph::new("example");
+/// let t1 = arch.add_tile(Tile::new("t1", ProcessorType::new("p1"), 10, 700, 5, 100, 100));
+/// let t2 = arch.add_tile(Tile::new("t2", ProcessorType::new("p2"), 10, 500, 7, 100, 100));
+/// arch.add_connection(t1, t2, 1);
+/// arch.add_connection(t2, t1, 1);
+/// assert_eq!(arch.tile_count(), 2);
+/// assert_eq!(arch.connection_between(t1, t2).map(|(_, c)| c.latency()), Some(1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchitectureGraph {
+    name: String,
+    tiles: Vec<Tile>,
+    connections: Vec<Connection>,
+    by_pair: HashMap<(TileId, TileId), ConnectionId>,
+}
+
+impl ArchitectureGraph {
+    /// Creates an empty architecture graph.
+    pub fn new(name: impl Into<String>) -> Self {
+        ArchitectureGraph {
+            name: name.into(),
+            tiles: Vec::new(),
+            connections: Vec::new(),
+            by_pair: HashMap::new(),
+        }
+    }
+
+    /// The graph's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a tile, returning its id.
+    pub fn add_tile(&mut self, tile: Tile) -> TileId {
+        let id = TileId(self.tiles.len() as u32);
+        self.tiles.push(tile);
+        id
+    }
+
+    /// Adds a directed connection from `src` to `dst` with the given
+    /// latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-connections, unknown tiles, or duplicate pairs (each
+    /// ordered pair has at most one point-to-point connection).
+    pub fn add_connection(&mut self, src: TileId, dst: TileId, latency: u64) -> ConnectionId {
+        assert!(src != dst, "self-connections are not part of the model");
+        assert!(
+            src.index() < self.tiles.len() && dst.index() < self.tiles.len(),
+            "connection endpoints must be tiles of this graph"
+        );
+        let id = ConnectionId(self.connections.len() as u32);
+        let prev = self.by_pair.insert((src, dst), id);
+        assert!(prev.is_none(), "duplicate connection {src}→{dst}");
+        self.connections.push(Connection { src, dst, latency });
+        id
+    }
+
+    /// Number of tiles.
+    pub fn tile_count(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// Number of connections.
+    pub fn connection_count(&self) -> usize {
+        self.connections.len()
+    }
+
+    /// Access a tile by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not from this graph.
+    pub fn tile(&self, id: TileId) -> &Tile {
+        &self.tiles[id.index()]
+    }
+
+    /// Access a connection by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not from this graph.
+    pub fn connection(&self, id: ConnectionId) -> &Connection {
+        &self.connections[id.index()]
+    }
+
+    /// The connection from `src` to `dst`, if one exists.
+    pub fn connection_between(
+        &self,
+        src: TileId,
+        dst: TileId,
+    ) -> Option<(ConnectionId, &Connection)> {
+        self.by_pair
+            .get(&(src, dst))
+            .map(|&id| (id, &self.connections[id.index()]))
+    }
+
+    /// Ids of all tiles, in insertion order.
+    pub fn tile_ids(&self) -> impl Iterator<Item = TileId> + '_ {
+        (0..self.tiles.len()).map(|i| TileId(i as u32))
+    }
+
+    /// All tiles with their ids.
+    pub fn tiles(&self) -> impl Iterator<Item = (TileId, &Tile)> + '_ {
+        self.tiles
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TileId(i as u32), t))
+    }
+
+    /// All connections with their ids.
+    pub fn connections(&self) -> impl Iterator<Item = (ConnectionId, &Connection)> + '_ {
+        self.connections
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (ConnectionId(i as u32), c))
+    }
+
+    /// Looks up a tile id by name.
+    pub fn tile_by_name(&self, name: &str) -> Option<TileId> {
+        self.tiles
+            .iter()
+            .position(|t| t.name() == name)
+            .map(|i| TileId(i as u32))
+    }
+
+    /// The distinct processor types present in the platform.
+    pub fn processor_types(&self) -> Vec<ProcessorType> {
+        let mut types: Vec<ProcessorType> = self
+            .tiles
+            .iter()
+            .map(|t| t.processor_type().clone())
+            .collect();
+        types.sort();
+        types.dedup();
+        types
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_tiles() -> (ArchitectureGraph, TileId, TileId) {
+        let mut arch = ArchitectureGraph::new("two");
+        let t1 = arch.add_tile(Tile::new("t1", "p1".into(), 10, 700, 5, 100, 100));
+        let t2 = arch.add_tile(Tile::new("t2", "p2".into(), 10, 500, 7, 100, 100));
+        arch.add_connection(t1, t2, 1);
+        arch.add_connection(t2, t1, 1);
+        (arch, t1, t2)
+    }
+
+    #[test]
+    fn paper_example_platform() {
+        let (arch, t1, t2) = two_tiles();
+        assert_eq!(arch.tile_count(), 2);
+        assert_eq!(arch.connection_count(), 2);
+        let tile = arch.tile(t1);
+        assert_eq!(tile.wheel_size(), 10);
+        assert_eq!(tile.memory(), 700);
+        assert_eq!(tile.max_connections(), 5);
+        assert_eq!(tile.bandwidth_in(), 100);
+        assert_eq!(tile.bandwidth_out(), 100);
+        assert_eq!(arch.tile(t2).processor_type().name(), "p2");
+        let (_, c) = arch.connection_between(t1, t2).unwrap();
+        assert_eq!(c.latency(), 1);
+        assert_eq!(c.src(), t1);
+        assert_eq!(c.dst(), t2);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let (arch, t1, _) = two_tiles();
+        assert_eq!(arch.tile_by_name("t1"), Some(t1));
+        assert_eq!(arch.tile_by_name("nope"), None);
+    }
+
+    #[test]
+    fn processor_types_deduplicated() {
+        let mut arch = ArchitectureGraph::new("dup");
+        arch.add_tile(Tile::new("a", "p1".into(), 1, 1, 1, 1, 1));
+        arch.add_tile(Tile::new("b", "p1".into(), 1, 1, 1, 1, 1));
+        arch.add_tile(Tile::new("c", "p2".into(), 1, 1, 1, 1, 1));
+        let types = arch.processor_types();
+        assert_eq!(types.len(), 2);
+    }
+
+    #[test]
+    fn missing_connection_is_none() {
+        let mut arch = ArchitectureGraph::new("partial");
+        let a = arch.add_tile(Tile::new("a", "p".into(), 1, 1, 1, 1, 1));
+        let b = arch.add_tile(Tile::new("b", "p".into(), 1, 1, 1, 1, 1));
+        arch.add_connection(a, b, 3);
+        assert!(arch.connection_between(a, b).is_some());
+        assert!(arch.connection_between(b, a).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-connections")]
+    fn self_connection_panics() {
+        let mut arch = ArchitectureGraph::new("self");
+        let a = arch.add_tile(Tile::new("a", "p".into(), 1, 1, 1, 1, 1));
+        arch.add_connection(a, a, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate connection")]
+    fn duplicate_connection_panics() {
+        let (mut arch, t1, t2) = two_tiles();
+        arch.add_connection(t1, t2, 9);
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(TileId::from_index(1).to_string(), "t1");
+        assert_eq!(ConnectionId::from_index(2).to_string(), "c2");
+    }
+}

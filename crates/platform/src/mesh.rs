@@ -1,0 +1,253 @@
+//! Mesh platform generators for the experiments of Section 10.
+//!
+//! The paper evaluates on 3×3 meshes with 3 processor types (Sec 10.1) and
+//! a 2×2 mesh with 2 generic processors and 2 accelerators (Sec 10.3).
+//! Tiles are connected pairwise through the network-on-chip; the latency of
+//! a pair is proportional to its Manhattan distance, matching the paper's
+//! "point-to-point connections with a fixed latency ... implemented through
+//! a network-on-chip".
+
+use crate::graph::{ArchitectureGraph, Tile, TileId};
+use crate::proc_type::ProcessorType;
+
+/// Parameters for a homogeneous-resource mesh (processor types may still
+/// differ per tile).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MeshConfig {
+    /// Rows of the mesh.
+    pub rows: usize,
+    /// Columns of the mesh.
+    pub cols: usize,
+    /// Processor types, assigned round-robin over tiles.
+    pub processor_types: Vec<ProcessorType>,
+    /// TDMA wheel size of every tile.
+    pub wheel_size: u64,
+    /// Memory of every tile (bits).
+    pub memory: u64,
+    /// NI connections of every tile.
+    pub max_connections: u32,
+    /// Incoming bandwidth of every tile.
+    pub bandwidth_in: u64,
+    /// Outgoing bandwidth of every tile.
+    pub bandwidth_out: u64,
+    /// Latency per hop (Manhattan distance multiplier).
+    pub hop_latency: u64,
+}
+
+impl Default for MeshConfig {
+    fn default() -> Self {
+        MeshConfig {
+            rows: 3,
+            cols: 3,
+            processor_types: vec![
+                ProcessorType::new("risc"),
+                ProcessorType::new("dsp"),
+                ProcessorType::new("acc"),
+            ],
+            wheel_size: 100,
+            memory: 1 << 19,
+            max_connections: 12,
+            bandwidth_in: 1 << 16,
+            bandwidth_out: 1 << 16,
+            hop_latency: 1,
+        }
+    }
+}
+
+/// Builds a fully connected mesh platform: every ordered pair of distinct
+/// tiles gets a point-to-point connection with latency
+/// `hop_latency · manhattan_distance`.
+///
+/// # Panics
+///
+/// Panics if `rows·cols` is zero or `processor_types` is empty.
+///
+/// # Examples
+///
+/// ```
+/// use sdfrs_platform::mesh::{mesh_platform, MeshConfig};
+/// let arch = mesh_platform("m", &MeshConfig::default());
+/// assert_eq!(arch.tile_count(), 9);
+/// assert_eq!(arch.connection_count(), 9 * 8);
+/// ```
+pub fn mesh_platform(name: impl Into<String>, config: &MeshConfig) -> ArchitectureGraph {
+    assert!(config.rows * config.cols > 0, "mesh must have tiles");
+    assert!(
+        !config.processor_types.is_empty(),
+        "mesh needs at least one processor type"
+    );
+    let mut arch = ArchitectureGraph::new(name);
+    let mut coords: Vec<(usize, usize)> = Vec::new();
+    let mut k = 0usize;
+    for r in 0..config.rows {
+        for c in 0..config.cols {
+            let pt = config.processor_types[k % config.processor_types.len()].clone();
+            arch.add_tile(Tile::new(
+                format!("t{r}{c}"),
+                pt,
+                config.wheel_size,
+                config.memory,
+                config.max_connections,
+                config.bandwidth_in,
+                config.bandwidth_out,
+            ));
+            coords.push((r, c));
+            k += 1;
+        }
+    }
+    let n = coords.len();
+    for u in 0..n {
+        for v in 0..n {
+            if u == v {
+                continue;
+            }
+            let (ur, uc) = coords[u];
+            let (vr, vc) = coords[v];
+            let dist = ur.abs_diff(vr) + uc.abs_diff(vc);
+            arch.add_connection(
+                TileId::from_index(u),
+                TileId::from_index(v),
+                config.hop_latency * dist as u64,
+            );
+        }
+    }
+    arch
+}
+
+/// The three 3×3 experiment platforms of Sec 10.1: identical except for
+/// memory size and supported NI connections.
+///
+/// # Examples
+///
+/// ```
+/// use sdfrs_platform::mesh::experiment_platforms;
+/// let archs = experiment_platforms();
+/// assert_eq!(archs.len(), 3);
+/// assert!(archs.iter().all(|a| a.tile_count() == 9));
+/// ```
+pub fn experiment_platforms() -> Vec<ArchitectureGraph> {
+    let base = MeshConfig::default();
+    [
+        ("mesh3x3_small", 1u64 << 17, 8u32),
+        ("mesh3x3_medium", 1 << 19, 12),
+        ("mesh3x3_large", 1 << 21, 24),
+    ]
+    .into_iter()
+    .map(|(name, memory, conns)| {
+        let cfg = MeshConfig {
+            memory,
+            max_connections: conns,
+            ..base.clone()
+        };
+        mesh_platform(name, &cfg)
+    })
+    .collect()
+}
+
+/// The 2×2 multimedia platform of Sec 10.3: two generic processors and two
+/// accelerators.
+///
+/// # Examples
+///
+/// ```
+/// use sdfrs_platform::mesh::multimedia_platform;
+/// let arch = multimedia_platform();
+/// assert_eq!(arch.tile_count(), 4);
+/// assert_eq!(arch.processor_types().len(), 2);
+/// ```
+pub fn multimedia_platform() -> ArchitectureGraph {
+    let cfg = MeshConfig {
+        rows: 2,
+        cols: 2,
+        processor_types: vec![
+            ProcessorType::new("generic"),
+            ProcessorType::new("accelerator"),
+        ],
+        wheel_size: 100,
+        memory: 1 << 22,
+        max_connections: 24,
+        bandwidth_in: 1 << 16,
+        bandwidth_out: 1 << 16,
+        hop_latency: 1,
+    };
+    mesh_platform("mesh2x2_multimedia", &cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_mesh_shape() {
+        let arch = mesh_platform("m", &MeshConfig::default());
+        assert_eq!(arch.tile_count(), 9);
+        // Fully connected: n·(n−1) ordered pairs.
+        assert_eq!(arch.connection_count(), 72);
+        // Three processor types distributed round-robin.
+        assert_eq!(arch.processor_types().len(), 3);
+    }
+
+    #[test]
+    fn latency_is_manhattan() {
+        let arch = mesh_platform("m", &MeshConfig::default());
+        let t00 = arch.tile_by_name("t00").unwrap();
+        let t01 = arch.tile_by_name("t01").unwrap();
+        let t22 = arch.tile_by_name("t22").unwrap();
+        assert_eq!(arch.connection_between(t00, t01).unwrap().1.latency(), 1);
+        assert_eq!(arch.connection_between(t00, t22).unwrap().1.latency(), 4);
+    }
+
+    #[test]
+    fn experiment_platforms_differ_in_memory_and_connections() {
+        let archs = experiment_platforms();
+        let t0 = TileId::from_index(0);
+        let memories: Vec<u64> = archs.iter().map(|a| a.tile(t0).memory()).collect();
+        assert!(memories[0] < memories[1] && memories[1] < memories[2]);
+        let conns: Vec<u32> = archs.iter().map(|a| a.tile(t0).max_connections()).collect();
+        assert!(conns[0] < conns[1] && conns[1] < conns[2]);
+        // Wheels are equal across platforms (paper: "All processors have an
+        // equally sized time wheel").
+        for a in &archs {
+            for (_, t) in a.tiles() {
+                assert_eq!(t.wheel_size(), archs[0].tile(t0).wheel_size());
+            }
+        }
+    }
+
+    #[test]
+    fn multimedia_platform_mix() {
+        let arch = multimedia_platform();
+        let generic = arch
+            .tiles()
+            .filter(|(_, t)| t.processor_type().name() == "generic")
+            .count();
+        let acc = arch
+            .tiles()
+            .filter(|(_, t)| t.processor_type().name() == "accelerator")
+            .count();
+        assert_eq!(generic, 2);
+        assert_eq!(acc, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor type")]
+    fn empty_types_panics() {
+        let cfg = MeshConfig {
+            processor_types: vec![],
+            ..MeshConfig::default()
+        };
+        mesh_platform("bad", &cfg);
+    }
+
+    #[test]
+    fn single_tile_mesh_has_no_connections() {
+        let cfg = MeshConfig {
+            rows: 1,
+            cols: 1,
+            ..MeshConfig::default()
+        };
+        let arch = mesh_platform("one", &cfg);
+        assert_eq!(arch.tile_count(), 1);
+        assert_eq!(arch.connection_count(), 0);
+    }
+}

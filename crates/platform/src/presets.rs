@@ -1,0 +1,221 @@
+//! Named platform presets after the systems Sec 5 cites as instances of
+//! the tile template: Daytona \[1\], Eclipse \[19\], Hijdra \[3\] and
+//! StepNP \[17\].
+//!
+//! The published papers give architecture *shapes* (processor mix, on-chip
+//! memory, interconnect style), not our abstract resource units; the
+//! presets translate those shapes into plausible template parameters so
+//! users have realistic starting points beyond the synthetic meshes.
+
+use crate::graph::{ArchitectureGraph, Tile};
+use crate::proc_type::ProcessorType;
+
+/// Lucent Daytona \[1\]: four identical SPARC-based DSP tiles on a split
+/// transaction bus.
+///
+/// # Examples
+///
+/// ```
+/// let arch = sdfrs_platform::presets::daytona();
+/// assert_eq!(arch.tile_count(), 4);
+/// assert_eq!(arch.processor_types().len(), 1);
+/// ```
+pub fn daytona() -> ArchitectureGraph {
+    let mut arch = ArchitectureGraph::new("daytona");
+    let dsp = ProcessorType::new("sparc_dsp");
+    let tiles: Vec<_> = (0..4)
+        .map(|i| {
+            arch.add_tile(Tile::new(
+                format!("day_t{i}"),
+                dsp.clone(),
+                128,
+                64 * 1024 * 8, // 64 KiB local memory
+                8,
+                16_384,
+                16_384,
+            ))
+        })
+        .collect();
+    // Shared bus: all pairs, uniform latency.
+    for &u in &tiles {
+        for &v in &tiles {
+            if u != v {
+                arch.add_connection(u, v, 2);
+            }
+        }
+    }
+    arch
+}
+
+/// Philips Eclipse \[19\]: a heterogeneous media subsystem — two weakly
+/// programmable media processors plus three function-specific
+/// coprocessors around a communication network.
+pub fn eclipse() -> ArchitectureGraph {
+    let mut arch = ArchitectureGraph::new("eclipse");
+    let mp = ProcessorType::new("media_proc");
+    let cop = ProcessorType::new("coprocessor");
+    let mut tiles = Vec::new();
+    for i in 0..2 {
+        tiles.push(arch.add_tile(Tile::new(
+            format!("ecl_mp{i}"),
+            mp.clone(),
+            128,
+            128 * 1024 * 8,
+            12,
+            32_768,
+            32_768,
+        )));
+    }
+    for i in 0..3 {
+        tiles.push(arch.add_tile(Tile::new(
+            format!("ecl_cop{i}"),
+            cop.clone(),
+            128,
+            32 * 1024 * 8,
+            6,
+            16_384,
+            16_384,
+        )));
+    }
+    for &u in &tiles {
+        for &v in &tiles {
+            if u != v {
+                arch.add_connection(u, v, 1);
+            }
+        }
+    }
+    arch
+}
+
+/// Hijdra \[3\]: the predictable multiprocessor the paper's TDMA wheels
+/// come from — ARM-style tiles on a network-on-chip with guaranteed
+/// services.
+pub fn hijdra() -> ArchitectureGraph {
+    let mut arch = ArchitectureGraph::new("hijdra");
+    let arm = ProcessorType::new("arm");
+    let tiles: Vec<_> = (0..6)
+        .map(|i| {
+            arch.add_tile(Tile::new(
+                format!("hij_t{i}"),
+                arm.clone(),
+                100,
+                256 * 1024 * 8,
+                16,
+                65_536,
+                65_536,
+            ))
+        })
+        .collect();
+    // 2×3 NoC: latency = Manhattan distance.
+    for (i, &u) in tiles.iter().enumerate() {
+        for (j, &v) in tiles.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let (ri, ci) = (i / 3, i % 3);
+            let (rj, cj) = (j / 3, j % 3);
+            let dist = ri.abs_diff(rj) + ci.abs_diff(cj);
+            arch.add_connection(u, v, dist as u64);
+        }
+    }
+    arch
+}
+
+/// StepNP \[17\]: a network-processor exploration platform — many small
+/// RISC tiles plus two packet engines on a low-latency interconnect.
+pub fn step_np() -> ArchitectureGraph {
+    let mut arch = ArchitectureGraph::new("stepnp");
+    let risc = ProcessorType::new("risc");
+    let pe = ProcessorType::new("packet_engine");
+    let mut tiles = Vec::new();
+    for i in 0..8 {
+        tiles.push(arch.add_tile(Tile::new(
+            format!("snp_r{i}"),
+            risc.clone(),
+            64,
+            16 * 1024 * 8,
+            4,
+            8_192,
+            8_192,
+        )));
+    }
+    for i in 0..2 {
+        tiles.push(arch.add_tile(Tile::new(
+            format!("snp_pe{i}"),
+            pe.clone(),
+            64,
+            64 * 1024 * 8,
+            16,
+            65_536,
+            65_536,
+        )));
+    }
+    for &u in &tiles {
+        for &v in &tiles {
+            if u != v {
+                arch.add_connection(u, v, 1);
+            }
+        }
+    }
+    arch
+}
+
+/// All four presets, by name.
+pub fn all() -> Vec<(&'static str, ArchitectureGraph)> {
+    vec![
+        ("daytona", daytona()),
+        ("eclipse", eclipse()),
+        ("hijdra", hijdra()),
+        ("stepnp", step_np()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_the_cited_systems() {
+        assert_eq!(daytona().tile_count(), 4);
+        assert_eq!(eclipse().tile_count(), 5);
+        assert_eq!(hijdra().tile_count(), 6);
+        assert_eq!(step_np().tile_count(), 10);
+        assert_eq!(eclipse().processor_types().len(), 2);
+        assert_eq!(step_np().processor_types().len(), 2);
+    }
+
+    #[test]
+    fn fully_routable() {
+        for (name, arch) in all() {
+            for (u, _) in arch.tiles() {
+                for (v, _) in arch.tiles() {
+                    if u != v {
+                        assert!(
+                            arch.connection_between(u, v).is_some(),
+                            "{name}: {u}→{v} unroutable"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hijdra_latency_is_distance() {
+        let arch = hijdra();
+        let t0 = arch.tile_by_name("hij_t0").unwrap();
+        let t5 = arch.tile_by_name("hij_t5").unwrap();
+        // (0,0) → (1,2): distance 3.
+        assert_eq!(arch.connection_between(t0, t5).unwrap().1.latency(), 3);
+    }
+
+    #[test]
+    fn wheels_positive_everywhere() {
+        for (_, arch) in all() {
+            for (_, t) in arch.tiles() {
+                assert!(t.wheel_size() > 0);
+                assert!(t.memory() > 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Processor types (the set *PT* of the paper).
+
+use std::fmt;
+
+/// A processor type, e.g. `"risc"`, `"dsp"` or `"accelerator"`.
+///
+/// Application graphs specify per-type execution times and memory
+/// requirements (Γ in Definition 5); tiles carry exactly one type.
+/// Comparison is by name.
+///
+/// # Examples
+///
+/// ```
+/// use sdfrs_platform::ProcessorType;
+/// let risc = ProcessorType::new("risc");
+/// assert_eq!(risc.name(), "risc");
+/// assert_eq!(risc, ProcessorType::new("risc"));
+/// assert_ne!(risc, ProcessorType::new("dsp"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessorType(String);
+
+impl ProcessorType {
+    /// Creates a processor type with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ProcessorType(name.into())
+    }
+
+    /// The type's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for ProcessorType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for ProcessorType {
+    fn from(name: &str) -> Self {
+        ProcessorType::new(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equality_and_display() {
+        let a = ProcessorType::new("p1");
+        let b: ProcessorType = "p1".into();
+        assert_eq!(a, b);
+        assert_eq!(a.to_string(), "p1");
+        assert!(ProcessorType::new("a") < ProcessorType::new("b"));
+    }
+
+    #[test]
+    fn usable_as_map_key() {
+        use std::collections::HashMap;
+        let mut m = HashMap::new();
+        m.insert(ProcessorType::new("dsp"), 42);
+        assert_eq!(m[&ProcessorType::new("dsp")], 42);
+    }
+}

@@ -1,0 +1,164 @@
+//! Route synthesis for sparsely connected platforms.
+//!
+//! The paper's model requires a point-to-point connection (with a fixed
+//! latency) between any two tiles that exchange tokens. Physical NoCs
+//! provide that through multi-hop routes; [`complete_with_routes`] is the
+//! design-time step that derives the missing point-to-point connections
+//! from shortest paths over the existing links, so a sparse platform
+//! description can be fed to the allocation flow unchanged.
+
+use crate::graph::{ArchitectureGraph, TileId};
+
+/// All-pairs shortest-path latencies over the existing connections
+/// (`None` where no route exists). Indexed `[src][dst]`.
+pub fn shortest_latencies(arch: &ArchitectureGraph) -> Vec<Vec<Option<u64>>> {
+    let n = arch.tile_count();
+    let mut dist: Vec<Vec<Option<u64>>> = vec![vec![None; n]; n];
+    for (i, row) in dist.iter_mut().enumerate() {
+        row[i] = Some(0);
+    }
+    for (_, c) in arch.connections() {
+        let (u, v) = (c.src().index(), c.dst().index());
+        let better = match dist[u][v] {
+            None => true,
+            Some(cur) => c.latency() < cur,
+        };
+        if better {
+            dist[u][v] = Some(c.latency());
+        }
+    }
+    // Floyd–Warshall.
+    for k in 0..n {
+        for i in 0..n {
+            let Some(ik) = dist[i][k] else { continue };
+            for j in 0..n {
+                let Some(kj) = dist[k][j] else { continue };
+                let through = ik + kj;
+                if dist[i][j].is_none_or(|cur| through < cur) {
+                    dist[i][j] = Some(through);
+                }
+            }
+        }
+    }
+    dist
+}
+
+/// Returns a platform with a point-to-point connection for *every*
+/// ordered tile pair that is reachable over the existing links, using the
+/// shortest-path latency. Existing connections are kept as they are.
+///
+/// # Examples
+///
+/// ```
+/// use sdfrs_platform::{ArchitectureGraph, Tile};
+/// use sdfrs_platform::routing::complete_with_routes;
+/// let mut arch = ArchitectureGraph::new("line");
+/// let a = arch.add_tile(Tile::new("a", "p".into(), 10, 100, 4, 100, 100));
+/// let b = arch.add_tile(Tile::new("b", "p".into(), 10, 100, 4, 100, 100));
+/// let c = arch.add_tile(Tile::new("c", "p".into(), 10, 100, 4, 100, 100));
+/// arch.add_connection(a, b, 2);
+/// arch.add_connection(b, c, 3);
+/// let full = complete_with_routes(&arch);
+/// // The derived a→c route sums the hops: 2 + 3.
+/// assert_eq!(full.connection_between(a, c).unwrap().1.latency(), 5);
+/// // No route back: c cannot reach anything.
+/// assert!(full.connection_between(c, a).is_none());
+/// ```
+pub fn complete_with_routes(arch: &ArchitectureGraph) -> ArchitectureGraph {
+    let dist = shortest_latencies(arch);
+    let mut out = ArchitectureGraph::new(format!("{}_routed", arch.name()));
+    for (_, tile) in arch.tiles() {
+        out.add_tile(tile.clone());
+    }
+    let n = arch.tile_count();
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let (u, v) = (TileId::from_index(i), TileId::from_index(j));
+            if let Some((_, existing)) = arch.connection_between(u, v) {
+                out.add_connection(u, v, existing.latency());
+            } else if let Some(latency) = dist[i][j] {
+                out.add_connection(u, v, latency);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Tile;
+
+    fn line(n: usize) -> ArchitectureGraph {
+        let mut arch = ArchitectureGraph::new("line");
+        let tiles: Vec<_> = (0..n)
+            .map(|i| arch.add_tile(Tile::new(format!("t{i}"), "p".into(), 10, 100, 4, 100, 100)))
+            .collect();
+        for w in tiles.windows(2) {
+            arch.add_connection(w[0], w[1], 1);
+            arch.add_connection(w[1], w[0], 1);
+        }
+        arch
+    }
+
+    #[test]
+    fn shortest_paths_on_a_line() {
+        let arch = line(4);
+        let d = shortest_latencies(&arch);
+        assert_eq!(d[0][3], Some(3));
+        assert_eq!(d[3][0], Some(3));
+        assert_eq!(d[1][1], Some(0));
+        assert_eq!(d[0][2], Some(2));
+    }
+
+    #[test]
+    fn completion_preserves_existing_and_adds_routes() {
+        let arch = line(4);
+        let full = complete_with_routes(&arch);
+        // Existing direct link kept at latency 1.
+        let t0 = TileId::from_index(0);
+        let t1 = TileId::from_index(1);
+        let t3 = TileId::from_index(3);
+        assert_eq!(full.connection_between(t0, t1).unwrap().1.latency(), 1);
+        // New derived route.
+        assert_eq!(full.connection_between(t0, t3).unwrap().1.latency(), 3);
+        // Fully connected now: n·(n−1) connections.
+        assert_eq!(full.connection_count(), 4 * 3);
+    }
+
+    #[test]
+    fn unreachable_pairs_stay_unconnected() {
+        let mut arch = ArchitectureGraph::new("parts");
+        let a = arch.add_tile(Tile::new("a", "p".into(), 10, 100, 4, 100, 100));
+        let b = arch.add_tile(Tile::new("b", "p".into(), 10, 100, 4, 100, 100));
+        let c = arch.add_tile(Tile::new("c", "p".into(), 10, 100, 4, 100, 100));
+        arch.add_connection(a, b, 1);
+        let full = complete_with_routes(&arch);
+        assert!(full.connection_between(a, b).is_some());
+        assert!(full.connection_between(a, c).is_none());
+        assert!(
+            full.connection_between(b, a).is_none(),
+            "directedness respected"
+        );
+    }
+
+    #[test]
+    fn shortcut_beats_long_direct_link() {
+        let mut arch = ArchitectureGraph::new("tri");
+        let a = arch.add_tile(Tile::new("a", "p".into(), 10, 100, 4, 100, 100));
+        let b = arch.add_tile(Tile::new("b", "p".into(), 10, 100, 4, 100, 100));
+        let c = arch.add_tile(Tile::new("c", "p".into(), 10, 100, 4, 100, 100));
+        arch.add_connection(a, c, 9); // slow direct
+        arch.add_connection(a, b, 1);
+        arch.add_connection(b, c, 1);
+        let d = shortest_latencies(&arch);
+        assert_eq!(d[a.index()][c.index()], Some(2));
+        // Completion keeps the declared direct link (routes only fill
+        // gaps; replacing declared hardware is not its job).
+        let full = complete_with_routes(&arch);
+        assert_eq!(full.connection_between(a, c).unwrap().1.latency(), 9);
+    }
+}

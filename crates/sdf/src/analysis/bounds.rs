@@ -1,0 +1,229 @@
+//! Cheap structural throughput bounds — no state-space exploration.
+//!
+//! Two classic upper bounds on the iteration throughput of a timed SDFG:
+//!
+//! * the *actor bound*: actor `a` must fire γ(a) times per iteration and —
+//!   when its firings cannot overlap (self-edge with one token) — needs
+//!   `γ(a)·τ(a)` time units of work per iteration;
+//! * the *cycle bound*: every simple cycle `c` limits throughput to
+//!   `Σ_d Tok(d)/q_d / Σ_b γ(b)·τ(b)` (the reciprocal of the Eqn 1
+//!   criticality ratio, evaluated with the graph's own execution times).
+//!
+//! Both are upper bounds on the exact state-space result, so they give a
+//! sound quick rejection test: if even the bound misses a constraint λ,
+//! the exact analysis cannot meet it either.
+
+use crate::analysis::cycles::simple_cycles;
+use crate::error::SdfError;
+use crate::graph::SdfGraph;
+use crate::rational::Rational;
+
+/// Structural upper bounds on the iteration throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThroughputBounds {
+    /// Bound from serialized actors (`min_a 1/(γ(a)·τ(a))` over actors
+    /// with a single-token self-edge), or `None` when no actor is
+    /// serialized.
+    pub actor_bound: Option<Rational>,
+    /// Bound from the enumerated simple cycles, or `None` for acyclic
+    /// graphs (within the enumeration cap).
+    pub cycle_bound: Option<Rational>,
+    /// `true` if cycle enumeration hit the cap (the cycle bound then
+    /// covers only the enumerated cycles but remains a valid upper bound).
+    pub truncated: bool,
+}
+
+impl ThroughputBounds {
+    /// The tightest available bound, or `None` if the graph is
+    /// structurally unconstrained (acyclic, nothing serialized).
+    pub fn tightest(&self) -> Option<Rational> {
+        match (self.actor_bound, self.cycle_bound) {
+            (Some(a), Some(c)) => Some(a.min(c)),
+            (a, c) => a.or(c),
+        }
+    }
+}
+
+/// Computes both structural bounds. Cycle enumeration is capped at
+/// `max_cycles`.
+///
+/// # Errors
+///
+/// Propagates repetition-vector failures.
+///
+/// # Examples
+///
+/// ```
+/// use sdfrs_sdf::{SdfGraph, Rational, analysis::bounds::throughput_bounds};
+/// let mut g = SdfGraph::new("ring");
+/// let a = g.add_actor("a", 2);
+/// let b = g.add_actor("b", 3);
+/// g.add_self_edge(a, 1);
+/// g.add_self_edge(b, 1);
+/// g.add_channel("ab", a, 1, b, 1, 0);
+/// g.add_channel("ba", b, 1, a, 1, 1);
+/// let bounds = throughput_bounds(&g, 1000)?;
+/// // b alone needs 3 time units per iteration; the a→b→a cycle needs 5.
+/// assert_eq!(bounds.actor_bound, Some(Rational::new(1, 3)));
+/// assert_eq!(bounds.cycle_bound, Some(Rational::new(1, 5)));
+/// assert_eq!(bounds.tightest(), Some(Rational::new(1, 5)));
+/// # Ok::<(), sdfrs_sdf::SdfError>(())
+/// ```
+pub fn throughput_bounds(
+    graph: &SdfGraph,
+    max_cycles: usize,
+) -> Result<ThroughputBounds, SdfError> {
+    let gamma = graph.repetition_vector()?;
+
+    // Actor bound: only sound for actors whose firings are serialized by a
+    // single-token unit-rate self-edge.
+    let mut actor_bound: Option<Rational> = None;
+    for (a, actor) in graph.actors() {
+        let serialized = graph.outgoing(a).iter().any(|&ch| {
+            let c = graph.channel(ch);
+            c.is_self_edge()
+                && c.initial_tokens() == 1
+                && c.production_rate() == 1
+                && c.consumption_rate() == 1
+        });
+        if serialized && actor.execution_time() > 0 {
+            let work = gamma[a] as i128 * actor.execution_time() as i128;
+            let bound = Rational::new(1, work);
+            actor_bound = Some(match actor_bound {
+                None => bound,
+                Some(b) => b.min(bound),
+            });
+        }
+    }
+
+    // Cycle bound: reciprocal of the per-cycle time/token ratio.
+    let (cycles, truncated) = simple_cycles(graph, max_cycles);
+    let mut cycle_bound: Option<Rational> = None;
+    for cycle in &cycles {
+        let mut time = Rational::ZERO;
+        let mut tokens = Rational::ZERO;
+        for &ch in &cycle.channels {
+            let c = graph.channel(ch);
+            let b = c.src();
+            time = time
+                + Rational::from_integer(gamma[b] as i128)
+                    * Rational::from_integer(graph.actor(b).execution_time() as i128);
+            tokens =
+                tokens + Rational::new(c.initial_tokens() as i128, c.consumption_rate() as i128);
+        }
+        if time.is_zero() {
+            continue;
+        }
+        // Zero tokens on a cycle means deadlock: throughput bound 0.
+        let bound = if tokens.is_zero() {
+            Rational::ZERO
+        } else {
+            tokens / time
+        };
+        cycle_bound = Some(match cycle_bound {
+            None => bound,
+            Some(b) => b.min(bound),
+        });
+    }
+
+    Ok(ThroughputBounds {
+        actor_bound,
+        cycle_bound,
+        truncated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::selftimed::self_timed_throughput;
+
+    fn bounded_ring() -> SdfGraph {
+        let mut g = SdfGraph::new("ring");
+        let a = g.add_actor("a", 2);
+        let b = g.add_actor("b", 5);
+        g.add_self_edge(a, 1);
+        g.add_self_edge(b, 1);
+        g.add_channel("ab", a, 1, b, 1, 0);
+        g.add_channel("ba", b, 1, a, 1, 3);
+        g
+    }
+
+    #[test]
+    fn bounds_dominate_exact_throughput() {
+        let g = bounded_ring();
+        let a = g.actor_by_name("a").unwrap();
+        let exact = self_timed_throughput(&g, a).unwrap().iteration_throughput;
+        let bounds = throughput_bounds(&g, 1000).unwrap();
+        assert!(bounds.tightest().unwrap() >= exact);
+        assert!(bounds.actor_bound.unwrap() >= exact);
+        assert!(bounds.cycle_bound.unwrap() >= exact);
+    }
+
+    #[test]
+    fn actor_bound_is_exact_when_one_actor_dominates() {
+        // With three tokens in the ring, the slow actor saturates: exact
+        // throughput equals the actor bound.
+        let g = bounded_ring();
+        let b = g.actor_by_name("b").unwrap();
+        let exact = self_timed_throughput(&g, b).unwrap().iteration_throughput;
+        let bounds = throughput_bounds(&g, 1000).unwrap();
+        assert_eq!(bounds.actor_bound, Some(Rational::new(1, 5)));
+        assert_eq!(exact, Rational::new(1, 5));
+    }
+
+    #[test]
+    fn tokenless_cycle_gives_zero_bound() {
+        let mut g = SdfGraph::new("dead");
+        let a = g.add_actor("a", 1);
+        let b = g.add_actor("b", 1);
+        g.add_channel("ab", a, 1, b, 1, 0);
+        g.add_channel("ba", b, 1, a, 1, 0);
+        let bounds = throughput_bounds(&g, 100).unwrap();
+        assert_eq!(bounds.cycle_bound, Some(Rational::ZERO));
+        assert_eq!(bounds.tightest(), Some(Rational::ZERO));
+    }
+
+    #[test]
+    fn acyclic_graph_unbounded() {
+        let mut g = SdfGraph::new("dag");
+        let a = g.add_actor("a", 7);
+        let b = g.add_actor("b", 7);
+        g.add_channel("ab", a, 1, b, 1, 0);
+        let bounds = throughput_bounds(&g, 100).unwrap();
+        assert_eq!(bounds.actor_bound, None);
+        assert_eq!(bounds.cycle_bound, None);
+        assert_eq!(bounds.tightest(), None);
+        assert!(!bounds.truncated);
+    }
+
+    #[test]
+    fn multirate_weighting() {
+        // γ = (3, 1): actor a with τ=2 serialized needs 6 per iteration.
+        let mut g = SdfGraph::new("mr");
+        let a = g.add_actor("a", 2);
+        let b = g.add_actor("b", 1);
+        g.add_self_edge(a, 1);
+        g.add_channel("ab", a, 1, b, 3, 0);
+        g.add_channel("ba", b, 3, a, 1, 6);
+        let bounds = throughput_bounds(&g, 100).unwrap();
+        assert_eq!(bounds.actor_bound, Some(Rational::new(1, 6)));
+    }
+
+    #[test]
+    fn truncation_is_reported() {
+        // Complete digraph on 6 nodes with tokens: huge cycle count.
+        let mut g = SdfGraph::new("k6");
+        let ids: Vec<_> = (0..6).map(|i| g.add_actor(format!("n{i}"), 1)).collect();
+        for &u in &ids {
+            for &v in &ids {
+                if u != v {
+                    g.add_channel(format!("{u}_{v}"), u, 1, v, 1, 1);
+                }
+            }
+        }
+        let bounds = throughput_bounds(&g, 5).unwrap();
+        assert!(bounds.truncated);
+        assert!(bounds.cycle_bound.is_some());
+    }
+}

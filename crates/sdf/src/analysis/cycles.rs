@@ -1,0 +1,402 @@
+//! Strongly connected components (Tarjan) and simple-cycle enumeration
+//! (Johnson), used by the actor-criticality estimate (Eqn 1 of the paper).
+
+use crate::graph::SdfGraph;
+use crate::ids::{ActorId, ChannelId};
+
+/// A simple cycle through the graph, as the list of channels traversed.
+///
+/// The actors on the cycle are the sources of the channels, in order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cycle {
+    /// Channels of the cycle, in traversal order.
+    pub channels: Vec<ChannelId>,
+}
+
+impl Cycle {
+    /// Actors visited by the cycle, in traversal order (each channel's
+    /// source).
+    pub fn actors(&self, graph: &SdfGraph) -> Vec<ActorId> {
+        self.channels
+            .iter()
+            .map(|&c| graph.channel(c).src())
+            .collect()
+    }
+
+    /// Number of channels (equals number of actors) on the cycle.
+    pub fn len(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// `true` for an empty cycle (never produced by the enumerator).
+    pub fn is_empty(&self) -> bool {
+        self.channels.is_empty()
+    }
+}
+
+/// Computes the strongly connected components of the graph.
+///
+/// Returns a component id per actor (dense, `0..component_count`), in
+/// reverse topological order of the condensation (Tarjan's invariant).
+///
+/// # Examples
+///
+/// ```
+/// use sdfrs_sdf::{SdfGraph, analysis::cycles::strongly_connected_components};
+/// let mut g = SdfGraph::new("two-scc");
+/// let a = g.add_actor("a", 1);
+/// let b = g.add_actor("b", 1);
+/// let c = g.add_actor("c", 1);
+/// g.add_channel("ab", a, 1, b, 1, 0);
+/// g.add_channel("ba", b, 1, a, 1, 1);
+/// g.add_channel("bc", b, 1, c, 1, 0);
+/// let (comp, count) = strongly_connected_components(&g);
+/// assert_eq!(count, 2);
+/// assert_eq!(comp[a.index()], comp[b.index()]);
+/// assert_ne!(comp[a.index()], comp[c.index()]);
+/// ```
+pub fn strongly_connected_components(graph: &SdfGraph) -> (Vec<usize>, usize) {
+    let n = graph.actor_count();
+    let mut index = vec![usize::MAX; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut comp = vec![usize::MAX; n];
+    let mut next_index = 0usize;
+    let mut comp_count = 0usize;
+
+    // Iterative Tarjan to survive deep graphs (HSDFGs reach thousands of
+    // nodes).
+    enum Frame {
+        Enter(usize),
+        Resume(usize, usize),
+    }
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        let mut frames = vec![Frame::Enter(root)];
+        while let Some(frame) = frames.pop() {
+            match frame {
+                Frame::Enter(v) => {
+                    index[v] = next_index;
+                    lowlink[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                    frames.push(Frame::Resume(v, 0));
+                }
+                Frame::Resume(v, mut edge_pos) => {
+                    let out = graph.outgoing(ActorId::from_index(v));
+                    let mut descended = false;
+                    while edge_pos < out.len() {
+                        let w = graph.channel(out[edge_pos]).dst().index();
+                        edge_pos += 1;
+                        if index[w] == usize::MAX {
+                            frames.push(Frame::Resume(v, edge_pos));
+                            frames.push(Frame::Enter(w));
+                            descended = true;
+                            break;
+                        } else if on_stack[w] {
+                            lowlink[v] = lowlink[v].min(index[w]);
+                        }
+                    }
+                    if descended {
+                        continue;
+                    }
+                    if lowlink[v] == index[v] {
+                        loop {
+                            let w = stack.pop().expect("scc stack underflow");
+                            on_stack[w] = false;
+                            comp[w] = comp_count;
+                            if w == v {
+                                break;
+                            }
+                        }
+                        comp_count += 1;
+                    }
+                    // Propagate lowlink to parent (the next Resume frame).
+                    if let Some(Frame::Resume(p, _)) = frames.last() {
+                        let p = *p;
+                        lowlink[p] = lowlink[p].min(lowlink[v]);
+                    }
+                }
+            }
+        }
+    }
+    (comp, comp_count)
+}
+
+/// Enumerates all simple cycles of the graph (Johnson's algorithm), up to
+/// `max_cycles`. Self-edges count as length-1 cycles.
+///
+/// Application graphs handled by the allocation strategy are small, so
+/// exhaustive enumeration is exact in practice; the cap protects against
+/// pathological inputs. Returns the cycles found and a flag indicating
+/// whether the cap truncated the enumeration.
+///
+/// # Examples
+///
+/// ```
+/// use sdfrs_sdf::{SdfGraph, analysis::cycles::simple_cycles};
+/// let mut g = SdfGraph::new("ring");
+/// let a = g.add_actor("a", 1);
+/// let b = g.add_actor("b", 1);
+/// g.add_channel("ab", a, 1, b, 1, 0);
+/// g.add_channel("ba", b, 1, a, 1, 1);
+/// let (cycles, truncated) = simple_cycles(&g, 100);
+/// assert_eq!(cycles.len(), 1);
+/// assert!(!truncated);
+/// assert_eq!(cycles[0].len(), 2);
+/// ```
+pub fn simple_cycles(graph: &SdfGraph, max_cycles: usize) -> (Vec<Cycle>, bool) {
+    let n = graph.actor_count();
+    let mut cycles = Vec::new();
+    let mut truncated = false;
+
+    // Self-edges are trivially simple cycles; Johnson's core below works on
+    // the graph without them.
+    for (id, ch) in graph.channels() {
+        if ch.is_self_edge() {
+            if cycles.len() >= max_cycles {
+                truncated = true;
+                break;
+            }
+            cycles.push(Cycle { channels: vec![id] });
+        }
+    }
+
+    let (comp, _) = strongly_connected_components(graph);
+
+    // Johnson's algorithm, restricted per start vertex `s` to vertices ≥ s
+    // in the same SCC.
+    let mut blocked = vec![false; n];
+    let mut block_list: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut path_channels: Vec<ChannelId> = Vec::new();
+
+    fn unblock(v: usize, blocked: &mut [bool], block_list: &mut [Vec<usize>]) {
+        blocked[v] = false;
+        let pending = std::mem::take(&mut block_list[v]);
+        for w in pending {
+            if blocked[w] {
+                unblock(w, blocked, block_list);
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn circuit(
+        graph: &SdfGraph,
+        v: usize,
+        s: usize,
+        comp: &[usize],
+        blocked: &mut [bool],
+        block_list: &mut [Vec<usize>],
+        path_channels: &mut Vec<ChannelId>,
+        cycles: &mut Vec<Cycle>,
+        max_cycles: usize,
+        truncated: &mut bool,
+    ) -> bool {
+        if *truncated {
+            return false;
+        }
+        let mut found = false;
+        blocked[v] = true;
+        for &ch in graph.outgoing(ActorId::from_index(v)) {
+            let edge = graph.channel(ch);
+            let w = edge.dst().index();
+            if w < s || comp[w] != comp[s] || edge.is_self_edge() {
+                continue;
+            }
+            if w == s {
+                if cycles.len() >= max_cycles {
+                    *truncated = true;
+                    break;
+                }
+                let mut channels = path_channels.clone();
+                channels.push(ch);
+                cycles.push(Cycle { channels });
+                found = true;
+            } else if !blocked[w] {
+                path_channels.push(ch);
+                if circuit(
+                    graph,
+                    w,
+                    s,
+                    comp,
+                    blocked,
+                    block_list,
+                    path_channels,
+                    cycles,
+                    max_cycles,
+                    truncated,
+                ) {
+                    found = true;
+                }
+                path_channels.pop();
+            }
+        }
+        if found {
+            unblock(v, blocked, block_list);
+        } else {
+            for &ch in graph.outgoing(ActorId::from_index(v)) {
+                let edge = graph.channel(ch);
+                let w = edge.dst().index();
+                if w < s || comp[w] != comp[s] || edge.is_self_edge() {
+                    continue;
+                }
+                if !block_list[w].contains(&v) {
+                    block_list[w].push(v);
+                }
+            }
+        }
+        found
+    }
+
+    for s in 0..n {
+        if truncated {
+            break;
+        }
+        blocked.fill(false);
+        for l in &mut block_list {
+            l.clear();
+        }
+        path_channels.clear();
+        circuit(
+            graph,
+            s,
+            s,
+            &comp,
+            &mut blocked,
+            &mut block_list,
+            &mut path_channels,
+            &mut cycles,
+            max_cycles,
+            &mut truncated,
+        );
+    }
+    (cycles, truncated)
+}
+
+/// All simple cycles passing through `actor` (including its self-edges).
+pub fn cycles_through(graph: &SdfGraph, actor: ActorId, max_cycles: usize) -> Vec<Cycle> {
+    let (all, _) = simple_cycles(graph, max_cycles);
+    all.into_iter()
+        .filter(|c| c.actors(graph).contains(&actor))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond_with_back_edges() -> SdfGraph {
+        // a→b→d, a→c→d, d→a: cycles a-b-d and a-c-d.
+        let mut g = SdfGraph::new("diamond");
+        let a = g.add_actor("a", 1);
+        let b = g.add_actor("b", 1);
+        let c = g.add_actor("c", 1);
+        let d = g.add_actor("d", 1);
+        g.add_channel("ab", a, 1, b, 1, 0);
+        g.add_channel("ac", a, 1, c, 1, 0);
+        g.add_channel("bd", b, 1, d, 1, 0);
+        g.add_channel("cd", c, 1, d, 1, 0);
+        g.add_channel("da", d, 2, a, 2, 2);
+        g
+    }
+
+    #[test]
+    fn scc_of_ring_is_single() {
+        let g = diamond_with_back_edges();
+        let (comp, count) = strongly_connected_components(&g);
+        assert_eq!(count, 1);
+        assert!(comp.iter().all(|&c| c == comp[0]));
+    }
+
+    #[test]
+    fn scc_of_dag_is_one_per_node() {
+        let mut g = SdfGraph::new("dag");
+        let a = g.add_actor("a", 1);
+        let b = g.add_actor("b", 1);
+        let c = g.add_actor("c", 1);
+        g.add_channel("ab", a, 1, b, 1, 0);
+        g.add_channel("ac", a, 1, c, 1, 0);
+        let (_, count) = strongly_connected_components(&g);
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn diamond_has_two_cycles() {
+        let g = diamond_with_back_edges();
+        let (cycles, truncated) = simple_cycles(&g, 100);
+        assert!(!truncated);
+        assert_eq!(cycles.len(), 2);
+        for c in &cycles {
+            assert_eq!(c.len(), 3);
+        }
+    }
+
+    #[test]
+    fn self_edge_is_a_cycle() {
+        let mut g = SdfGraph::new("self");
+        let a = g.add_actor("a", 1);
+        g.add_self_edge(a, 1);
+        let (cycles, _) = simple_cycles(&g, 10);
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].len(), 1);
+        assert_eq!(cycles[0].actors(&g), vec![a]);
+    }
+
+    #[test]
+    fn cycles_through_filters() {
+        let g = diamond_with_back_edges();
+        let b = g.actor_by_name("b").unwrap();
+        let through_b = cycles_through(&g, b, 100);
+        assert_eq!(through_b.len(), 1);
+        let a = g.actor_by_name("a").unwrap();
+        assert_eq!(cycles_through(&g, a, 100).len(), 2);
+    }
+
+    #[test]
+    fn cap_truncates() {
+        // Complete digraph on 5 nodes has many cycles; cap at 3.
+        let mut g = SdfGraph::new("k5");
+        let ids: Vec<_> = (0..5).map(|i| g.add_actor(format!("n{i}"), 1)).collect();
+        for &u in &ids {
+            for &v in &ids {
+                if u != v {
+                    g.add_channel(format!("{}_{}", u, v), u, 1, v, 1, 1);
+                }
+            }
+        }
+        let (cycles, truncated) = simple_cycles(&g, 3);
+        assert!(truncated);
+        assert_eq!(cycles.len(), 3);
+    }
+
+    #[test]
+    fn acyclic_graph_has_no_cycles() {
+        let mut g = SdfGraph::new("acyclic");
+        let a = g.add_actor("a", 1);
+        let b = g.add_actor("b", 1);
+        g.add_channel("ab", a, 1, b, 1, 0);
+        let (cycles, truncated) = simple_cycles(&g, 10);
+        assert!(cycles.is_empty());
+        assert!(!truncated);
+    }
+
+    #[test]
+    fn two_node_two_cycles() {
+        // Parallel edges a→b and two back edges b→a: 2 distinct 2-cycles
+        // via different channel pairs... with one forward and two backward
+        // edges there are 2 simple cycles.
+        let mut g = SdfGraph::new("multi");
+        let a = g.add_actor("a", 1);
+        let b = g.add_actor("b", 1);
+        g.add_channel("ab", a, 1, b, 1, 0);
+        g.add_channel("ba1", b, 1, a, 1, 1);
+        g.add_channel("ba2", b, 1, a, 1, 2);
+        let (cycles, _) = simple_cycles(&g, 100);
+        assert_eq!(cycles.len(), 2);
+    }
+}

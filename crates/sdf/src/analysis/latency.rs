@@ -1,0 +1,179 @@
+//! Iteration latency analysis.
+//!
+//! Throughput (how often the output fires in steady state) and *latency*
+//! (how long one iteration takes from first input firing to last output
+//! firing) are different quantities: a deeply pipelined graph has high
+//! throughput but also high latency. This module measures both the first
+//! iteration's latency (cold start) and the steady-state latency from the
+//! self-timed execution.
+
+use crate::analysis::selftimed::SelfTimedExecutor;
+use crate::error::SdfError;
+use crate::graph::SdfGraph;
+use crate::ids::ActorId;
+
+/// Latency figures of a self-timed execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyResult {
+    /// Completion time of the first full iteration of the sink (its
+    /// γ(sink)-th firing) — the cold-start latency.
+    pub first_iteration: u64,
+    /// Time between consecutive iteration completions in steady state
+    /// (equals the iteration period, `1 / throughput`).
+    pub steady_period: u64,
+    /// Completion time of the first firing of the sink.
+    pub first_output: u64,
+}
+
+/// Measures iteration latency at `sink` by running the self-timed
+/// execution for `iterations + 1` iterations.
+///
+/// # Errors
+///
+/// * [`SdfError::Deadlock`] if the graph stalls;
+/// * [`SdfError::BudgetExceeded`] if the execution does not complete the
+///   requested iterations within the state budget.
+///
+/// # Examples
+///
+/// ```
+/// use sdfrs_sdf::{SdfGraph, analysis::latency::iteration_latency};
+/// let mut g = SdfGraph::new("pipe");
+/// let a = g.add_actor("a", 2);
+/// let b = g.add_actor("b", 3);
+/// g.add_self_edge(a, 1);
+/// g.add_self_edge(b, 1);
+/// g.add_channel("ab", a, 1, b, 1, 0);
+/// g.add_channel("ba", b, 1, a, 1, 2);
+/// let lat = iteration_latency(&g, b, 10)?;
+/// // First output after a (2) + b (3); afterwards every 3 (b saturated).
+/// assert_eq!(lat.first_output, 5);
+/// assert_eq!(lat.steady_period, 3);
+/// # Ok::<(), sdfrs_sdf::SdfError>(())
+/// ```
+pub fn iteration_latency(
+    graph: &SdfGraph,
+    sink: ActorId,
+    iterations: u64,
+) -> Result<LatencyResult, SdfError> {
+    let gamma = graph.repetition_vector()?;
+    let per_iteration = gamma[sink];
+    let target = per_iteration * (iterations + 1);
+    let mut executor = SelfTimedExecutor::new(graph);
+    let mut completion_times = Vec::with_capacity(target as usize);
+    let budget = 4_000_000usize;
+    let mut steps = 0usize;
+    while executor.completions(sink) < target {
+        steps += 1;
+        if steps > budget {
+            return Err(SdfError::BudgetExceeded {
+                analysis: "latency measurement",
+                budget,
+            });
+        }
+        let before = executor.completions(sink);
+        match executor.step() {
+            Some(step) => {
+                let after = executor.completions(sink);
+                for _ in before..after {
+                    completion_times.push(step.at);
+                }
+            }
+            None => return Err(SdfError::Deadlock { actor: sink }),
+        }
+    }
+    let first_output = completion_times[0];
+    let first_iteration = completion_times[per_iteration as usize - 1];
+    // Steady period from the last two iteration completions.
+    let last = completion_times[(per_iteration * (iterations + 1)) as usize - 1];
+    let prev = completion_times[(per_iteration * iterations) as usize - 1];
+    Ok(LatencyResult {
+        first_iteration,
+        steady_period: last - prev,
+        first_output,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::selftimed::self_timed_throughput;
+    use crate::rational::Rational;
+
+    fn pipeline(tokens: u64) -> SdfGraph {
+        let mut g = SdfGraph::new("pipe");
+        let a = g.add_actor("a", 2);
+        let b = g.add_actor("b", 4);
+        let c = g.add_actor("c", 3);
+        g.add_self_edge(a, 1);
+        g.add_self_edge(b, 1);
+        g.add_self_edge(c, 1);
+        g.add_channel("ab", a, 1, b, 1, 0);
+        g.add_channel("bc", b, 1, c, 1, 0);
+        g.add_channel("ca", c, 1, a, 1, tokens);
+        g
+    }
+
+    #[test]
+    fn cold_start_latency_is_path_length() {
+        let g = pipeline(3);
+        let c = g.actor_by_name("c").unwrap();
+        let lat = iteration_latency(&g, c, 5).unwrap();
+        // First output: 2 + 4 + 3 = 9.
+        assert_eq!(lat.first_output, 9);
+        assert_eq!(lat.first_iteration, 9);
+    }
+
+    #[test]
+    fn steady_period_matches_throughput() {
+        let g = pipeline(3);
+        let c = g.actor_by_name("c").unwrap();
+        let lat = iteration_latency(&g, c, 8).unwrap();
+        let thr = self_timed_throughput(&g, c).unwrap();
+        assert_eq!(
+            Rational::new(1, lat.steady_period as i128),
+            thr.iteration_throughput
+        );
+        // Bottleneck is b (4 time units) once the pipeline fills.
+        assert_eq!(lat.steady_period, 4);
+    }
+
+    #[test]
+    fn single_token_means_no_pipelining() {
+        let g = pipeline(1);
+        let c = g.actor_by_name("c").unwrap();
+        let lat = iteration_latency(&g, c, 4).unwrap();
+        assert_eq!(lat.steady_period, 9);
+        assert_eq!(lat.first_output, 9);
+    }
+
+    #[test]
+    fn multirate_iteration_boundary() {
+        // Sink fires twice per iteration: the iteration completes at the
+        // second firing.
+        let mut g = SdfGraph::new("mr");
+        let a = g.add_actor("a", 3);
+        let b = g.add_actor("b", 1);
+        g.add_self_edge(a, 1);
+        g.add_self_edge(b, 1);
+        g.add_channel("ab", a, 2, b, 1, 0);
+        g.add_channel("ba", b, 1, a, 2, 2);
+        let lat = iteration_latency(&g, b, 4).unwrap();
+        // a completes at 3 producing 2 tokens; b fires at 3..4 and 4..5.
+        assert_eq!(lat.first_output, 4);
+        assert_eq!(lat.first_iteration, 5);
+    }
+
+    #[test]
+    fn deadlock_reported() {
+        let mut g = SdfGraph::new("dead");
+        let a = g.add_actor("a", 1);
+        let b = g.add_actor("b", 1);
+        g.add_channel("ab", a, 1, b, 1, 0);
+        g.add_channel("ba", b, 1, a, 1, 0);
+        assert!(matches!(
+            iteration_latency(&g, b, 2),
+            Err(SdfError::Deadlock { .. })
+        ));
+    }
+}

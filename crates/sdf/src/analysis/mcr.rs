@@ -1,0 +1,473 @@
+//! Maximum cycle ratio / maximum cycle mean analysis.
+//!
+//! This is the *baseline* throughput technique the paper argues is too
+//! expensive for resource allocation: convert the SDFG to an HSDFG and run
+//! a maximum-cycle-ratio algorithm \[20\]. We implement Howard's policy
+//! iteration with exact rational arithmetic. For a homogeneous graph the
+//! maximum cycle ratio λ* = max over cycles of (Σ execution times) /
+//! (Σ initial tokens), and the maximal achievable iteration throughput is
+//! `1/λ*`.
+
+use crate::analysis::cycles::strongly_connected_components;
+use crate::error::SdfError;
+use crate::graph::SdfGraph;
+use crate::rational::Rational;
+
+/// An edge for the generic cycle-ratio solver: `u → v` with accumulated
+/// weight `w` and transit (token) count `t`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RatioEdge {
+    /// Source node index.
+    pub from: usize,
+    /// Destination node index.
+    pub to: usize,
+    /// Cycle weight contribution (e.g. execution time of `from`).
+    pub weight: i128,
+    /// Cycle transit contribution (e.g. initial tokens on the edge).
+    pub transit: u64,
+}
+
+/// Result of a maximum-cycle-ratio computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CycleRatio {
+    /// The graph has no cycle at all: throughput is unbounded by cycles.
+    Acyclic,
+    /// The maximum ratio over all cycles.
+    Ratio(Rational),
+    /// Some cycle has positive weight but zero transit: the graph can
+    /// never complete an iteration (deadlock).
+    Deadlock,
+}
+
+impl CycleRatio {
+    /// The ratio as a rational, if one exists.
+    pub fn ratio(&self) -> Option<Rational> {
+        match self {
+            CycleRatio::Ratio(r) => Some(*r),
+            _ => None,
+        }
+    }
+}
+
+/// Computes the maximum cycle ratio `max_cycles Σweight/Σtransit` of a
+/// directed graph with `n` nodes via Howard's policy iteration, per SCC.
+///
+/// Zero-transit cycles with positive weight yield
+/// [`CycleRatio::Deadlock`]; zero-weight zero-transit cycles are treated
+/// as ratio 0 contributors (they never dominate a well-formed graph).
+///
+/// # Errors
+///
+/// Returns [`SdfError::BudgetExceeded`] if policy iteration fails to
+/// converge within `n·m + n + m + 64` improvement rounds (which, with exact
+/// arithmetic, indicates a logic error rather than an input problem).
+///
+/// # Examples
+///
+/// ```
+/// use sdfrs_sdf::analysis::mcr::{max_cycle_ratio, RatioEdge, CycleRatio};
+/// use sdfrs_sdf::Rational;
+/// let edges = [
+///     RatioEdge { from: 0, to: 1, weight: 2, transit: 0 },
+///     RatioEdge { from: 1, to: 0, weight: 3, transit: 1 },
+/// ];
+/// let r = max_cycle_ratio(2, &edges)?;
+/// assert_eq!(r, CycleRatio::Ratio(Rational::from_integer(5)));
+/// # Ok::<(), sdfrs_sdf::SdfError>(())
+/// ```
+pub fn max_cycle_ratio(n: usize, edges: &[RatioEdge]) -> Result<CycleRatio, SdfError> {
+    if n == 0 || edges.is_empty() {
+        return Ok(CycleRatio::Acyclic);
+    }
+
+    // Group nodes into SCCs using a lightweight adapter graph.
+    let mut adapter = SdfGraph::new("mcr_adapter");
+    for i in 0..n {
+        adapter.add_actor(format!("n{i}"), 0);
+    }
+    for (i, e) in edges.iter().enumerate() {
+        adapter.add_channel(
+            format!("e{i}"),
+            crate::ids::ActorId::from_index(e.from),
+            1,
+            crate::ids::ActorId::from_index(e.to),
+            1,
+            0,
+        );
+    }
+    let (comp, comp_count) = strongly_connected_components(&adapter);
+
+    // Edges internal to each SCC.
+    let mut scc_edges: Vec<Vec<usize>> = vec![Vec::new(); comp_count];
+    for (i, e) in edges.iter().enumerate() {
+        if comp[e.from] == comp[e.to] {
+            scc_edges[comp[e.from]].push(i);
+        }
+    }
+
+    let mut best: Option<Rational> = None;
+    let mut saw_cycle = false;
+    for (scc, edge_ids) in scc_edges.iter().enumerate() {
+        if edge_ids.is_empty() {
+            continue;
+        }
+        saw_cycle = true;
+        let nodes: Vec<usize> = (0..n).filter(|&v| comp[v] == scc).collect();
+        match howard_scc(&nodes, edge_ids, edges)? {
+            CycleRatio::Deadlock => return Ok(CycleRatio::Deadlock),
+            CycleRatio::Ratio(r) => {
+                best = Some(match best {
+                    None => r,
+                    Some(b) => b.max(r),
+                });
+            }
+            CycleRatio::Acyclic => unreachable!("SCC with edges has a cycle"),
+        }
+    }
+    match (saw_cycle, best) {
+        (false, _) => Ok(CycleRatio::Acyclic),
+        (true, Some(r)) => Ok(CycleRatio::Ratio(r)),
+        (true, None) => Ok(CycleRatio::Acyclic),
+    }
+}
+
+/// Howard's policy iteration for the maximum cycle ratio of one SCC.
+fn howard_scc(
+    nodes: &[usize],
+    edge_ids: &[usize],
+    edges: &[RatioEdge],
+) -> Result<CycleRatio, SdfError> {
+    // Dense re-indexing of this SCC's nodes.
+    let mut dense = std::collections::HashMap::new();
+    for (i, &v) in nodes.iter().enumerate() {
+        dense.insert(v, i);
+    }
+    let sn = nodes.len();
+    let sedges: Vec<(usize, usize, i128, u64)> = edge_ids
+        .iter()
+        .map(|&i| {
+            let e = &edges[i];
+            (dense[&e.from], dense[&e.to], e.weight, e.transit)
+        })
+        .collect();
+    let mut out: Vec<Vec<usize>> = vec![Vec::new(); sn];
+    for (i, e) in sedges.iter().enumerate() {
+        out[e.0].push(i);
+    }
+    // Every node in a non-trivial SCC has an out-edge within the SCC.
+    let mut policy: Vec<usize> = out
+        .iter()
+        .map(|o| *o.first().expect("SCC node without internal out-edge"))
+        .collect();
+
+    let budget = sn * sedges.len() + sn + sedges.len() + 64;
+    let mut lambda: Vec<Rational> = vec![Rational::ZERO; sn];
+    let mut dist: Vec<Rational> = vec![Rational::ZERO; sn];
+
+    for _round in 0..budget {
+        // --- Evaluate the policy: find cycles of the functional graph.
+        // color: 0 unvisited, 1 on current walk, 2 done.
+        let mut color = vec![0u8; sn];
+        let mut cycle_of = vec![usize::MAX; sn]; // representative node
+        let mut cycle_ratio: Vec<Rational> = Vec::new();
+        let mut cycle_rep: Vec<usize> = Vec::new();
+        for start in 0..sn {
+            if color[start] != 0 {
+                continue;
+            }
+            let mut walk = Vec::new();
+            let mut v = start;
+            while color[v] == 0 {
+                color[v] = 1;
+                walk.push(v);
+                v = sedges[policy[v]].1;
+            }
+            if color[v] == 1 {
+                // Found a new cycle beginning at v.
+                let pos = walk.iter().position(|&w| w == v).expect("on walk");
+                let cyc = &walk[pos..];
+                let mut w_sum: i128 = 0;
+                let mut t_sum: u64 = 0;
+                for &u in cyc {
+                    let e = sedges[policy[u]];
+                    w_sum += e.2;
+                    t_sum += e.3;
+                }
+                if t_sum == 0 {
+                    if w_sum > 0 {
+                        return Ok(CycleRatio::Deadlock);
+                    }
+                    cycle_ratio.push(Rational::ZERO);
+                } else {
+                    cycle_ratio.push(Rational::new(w_sum, t_sum as i128));
+                }
+                let id = cycle_rep.len();
+                cycle_rep.push(v);
+                for &u in cyc {
+                    cycle_of[u] = id;
+                }
+            }
+            for &u in &walk {
+                color[u] = 2;
+            }
+        }
+
+        // Propagate cycle membership + λ along the policy tree: walk from
+        // each node to its cycle.
+        for start in 0..sn {
+            if cycle_of[start] != usize::MAX {
+                continue;
+            }
+            let mut trail = vec![start];
+            let mut v = sedges[policy[start]].1;
+            while cycle_of[v] == usize::MAX {
+                trail.push(v);
+                v = sedges[policy[v]].1;
+            }
+            let id = cycle_of[v];
+            for u in trail {
+                cycle_of[u] = id;
+            }
+        }
+        for v in 0..sn {
+            lambda[v] = cycle_ratio[cycle_of[v]];
+        }
+
+        // Distances: d(rep) = 0; d(u) = w(π) − λ·t(π) + d(next), resolved
+        // by walking paths to already-resolved nodes.
+        let mut resolved = vec![false; sn];
+        for &rep in &cycle_rep {
+            dist[rep] = Rational::ZERO;
+            resolved[rep] = true;
+        }
+        for start in 0..sn {
+            if resolved[start] {
+                continue;
+            }
+            // Collect the unresolved chain.
+            let mut chain = vec![start];
+            let mut v = sedges[policy[start]].1;
+            while !resolved[v] {
+                chain.push(v);
+                v = sedges[policy[v]].1;
+            }
+            // Resolve backwards.
+            for &u in chain.iter().rev() {
+                let e = sedges[policy[u]];
+                let nxt = e.1;
+                dist[u] = Rational::from_integer(e.2)
+                    - lambda[u] * Rational::from_integer(e.3 as i128)
+                    + dist[nxt];
+                resolved[u] = true;
+            }
+        }
+
+        // --- Improve.
+        let mut improved = false;
+        for (i, e) in sedges.iter().enumerate() {
+            let (u, v, w, t) = *e;
+            if policy[u] == i {
+                continue;
+            }
+            let better_lambda = lambda[v] > lambda[u];
+            let equal_lambda = lambda[v] == lambda[u];
+            let candidate =
+                Rational::from_integer(w) - lambda[u] * Rational::from_integer(t as i128) + dist[v];
+            if better_lambda || (equal_lambda && candidate > dist[u]) {
+                policy[u] = i;
+                improved = true;
+            }
+        }
+        if !improved {
+            let best = lambda.iter().copied().max().expect("SCC is non-empty");
+            return Ok(CycleRatio::Ratio(best));
+        }
+    }
+    Err(SdfError::BudgetExceeded {
+        analysis: "Howard policy iteration",
+        budget,
+    })
+}
+
+/// Maximum cycle mean of a *homogeneous* SDFG: edge weight = execution
+/// time of the producing actor, transit = initial tokens.
+///
+/// The maximal iteration throughput of the graph is `1/λ*`.
+///
+/// # Errors
+///
+/// [`SdfError::Empty`] on an empty graph; solver errors propagate.
+///
+/// # Panics
+///
+/// Panics if the graph is not homogeneous (some rate ≠ 1); convert with
+/// [`convert_to_hsdf`](crate::hsdf::convert_to_hsdf) first.
+///
+/// # Examples
+///
+/// ```
+/// use sdfrs_sdf::{SdfGraph, analysis::mcr::{hsdf_max_cycle_mean, CycleRatio}, Rational};
+/// let mut g = SdfGraph::new("ring");
+/// let a = g.add_actor("a", 2);
+/// let b = g.add_actor("b", 3);
+/// g.add_channel("ab", a, 1, b, 1, 0);
+/// g.add_channel("ba", b, 1, a, 1, 1);
+/// assert_eq!(hsdf_max_cycle_mean(&g)?, CycleRatio::Ratio(Rational::from_integer(5)));
+/// # Ok::<(), sdfrs_sdf::SdfError>(())
+/// ```
+pub fn hsdf_max_cycle_mean(graph: &SdfGraph) -> Result<CycleRatio, SdfError> {
+    if graph.actor_count() == 0 {
+        return Err(SdfError::Empty);
+    }
+    let edges: Vec<RatioEdge> = graph
+        .channels()
+        .map(|(_, c)| {
+            assert!(
+                c.production_rate() == 1 && c.consumption_rate() == 1,
+                "hsdf_max_cycle_mean requires a homogeneous graph"
+            );
+            RatioEdge {
+                from: c.src().index(),
+                to: c.dst().index(),
+                weight: graph.actor(c.src()).execution_time() as i128,
+                transit: c.initial_tokens(),
+            }
+        })
+        .collect();
+    max_cycle_ratio(graph.actor_count(), &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::selftimed::self_timed_throughput;
+    use crate::hsdf::convert_to_hsdf;
+
+    #[test]
+    fn simple_ring() {
+        let mut g = SdfGraph::new("ring");
+        let a = g.add_actor("a", 2);
+        let b = g.add_actor("b", 3);
+        g.add_channel("ab", a, 1, b, 1, 0);
+        g.add_channel("ba", b, 1, a, 1, 1);
+        assert_eq!(
+            hsdf_max_cycle_mean(&g).unwrap(),
+            CycleRatio::Ratio(Rational::from_integer(5))
+        );
+    }
+
+    #[test]
+    fn two_cycles_max_wins() {
+        // Cycle 1: a↺ weight 4 / 1 token. Cycle 2: a→b→a weight 5 / 2.
+        let mut g = SdfGraph::new("two");
+        let a = g.add_actor("a", 4);
+        let b = g.add_actor("b", 1);
+        g.add_self_edge(a, 1);
+        g.add_channel("ab", a, 1, b, 1, 0);
+        g.add_channel("ba", b, 1, a, 1, 2);
+        assert_eq!(
+            hsdf_max_cycle_mean(&g).unwrap(),
+            CycleRatio::Ratio(Rational::from_integer(4))
+        );
+    }
+
+    #[test]
+    fn more_tokens_lower_ratio() {
+        let mut g = SdfGraph::new("tok");
+        let a = g.add_actor("a", 3);
+        let b = g.add_actor("b", 3);
+        g.add_channel("ab", a, 1, b, 1, 0);
+        g.add_channel("ba", b, 1, a, 1, 3);
+        assert_eq!(
+            hsdf_max_cycle_mean(&g).unwrap(),
+            CycleRatio::Ratio(Rational::from_integer(2))
+        );
+    }
+
+    #[test]
+    fn acyclic_reports_acyclic() {
+        let mut g = SdfGraph::new("dag");
+        let a = g.add_actor("a", 1);
+        let b = g.add_actor("b", 1);
+        g.add_channel("ab", a, 1, b, 1, 0);
+        assert_eq!(hsdf_max_cycle_mean(&g).unwrap(), CycleRatio::Acyclic);
+    }
+
+    #[test]
+    fn tokenless_cycle_is_deadlock() {
+        let mut g = SdfGraph::new("dead");
+        let a = g.add_actor("a", 1);
+        let b = g.add_actor("b", 1);
+        g.add_channel("ab", a, 1, b, 1, 0);
+        g.add_channel("ba", b, 1, a, 1, 0);
+        assert_eq!(hsdf_max_cycle_mean(&g).unwrap(), CycleRatio::Deadlock);
+    }
+
+    #[test]
+    fn mcm_matches_state_space_on_hsdf() {
+        // MCM and the state-space technique must agree: thr = 1/MCM.
+        let mut g = SdfGraph::new("agree");
+        let a = g.add_actor("a", 2);
+        let b = g.add_actor("b", 3);
+        let c = g.add_actor("c", 1);
+        g.add_self_edge(a, 1);
+        g.add_self_edge(b, 1);
+        g.add_self_edge(c, 1);
+        g.add_channel("ab", a, 1, b, 1, 0);
+        g.add_channel("bc", b, 1, c, 1, 0);
+        g.add_channel("ca", c, 1, a, 1, 2);
+        let mcm = hsdf_max_cycle_mean(&g).unwrap().ratio().unwrap();
+        let thr = self_timed_throughput(&g, c).unwrap();
+        assert_eq!(thr.iteration_throughput, mcm.recip());
+    }
+
+    #[test]
+    fn mcm_matches_state_space_via_conversion() {
+        // Multirate graph: convert to HSDF, MCM there equals the SDF
+        // state-space iteration throughput inverted.
+        let mut g = SdfGraph::new("mr");
+        let a = g.add_actor("a", 2);
+        let b = g.add_actor("b", 1);
+        g.add_self_edge(a, 1);
+        g.add_self_edge(b, 1);
+        g.add_channel("ab", a, 2, b, 1, 0);
+        g.add_channel("ba", b, 1, a, 2, 4);
+        let h = convert_to_hsdf(&g).unwrap();
+        let mcm = hsdf_max_cycle_mean(&h.graph).unwrap().ratio().unwrap();
+        let thr = self_timed_throughput(&g, b).unwrap();
+        assert_eq!(thr.iteration_throughput, mcm.recip());
+    }
+
+    #[test]
+    fn generic_solver_on_raw_edges() {
+        // Ratio (2+3)/(0+1) = 5 vs self-loop 7/2.
+        let edges = [
+            RatioEdge {
+                from: 0,
+                to: 1,
+                weight: 2,
+                transit: 0,
+            },
+            RatioEdge {
+                from: 1,
+                to: 0,
+                weight: 3,
+                transit: 1,
+            },
+            RatioEdge {
+                from: 0,
+                to: 0,
+                weight: 7,
+                transit: 2,
+            },
+        ];
+        let r = max_cycle_ratio(2, &edges).unwrap();
+        assert_eq!(r, CycleRatio::Ratio(Rational::from_integer(5)));
+    }
+
+    #[test]
+    fn empty_input_is_acyclic() {
+        assert_eq!(max_cycle_ratio(0, &[]).unwrap(), CycleRatio::Acyclic);
+        assert_eq!(max_cycle_ratio(3, &[]).unwrap(), CycleRatio::Acyclic);
+    }
+}

@@ -1,0 +1,13 @@
+//! Analyses on SDFGs: deadlock detection, cycle enumeration, self-timed
+//! state-space throughput (the technique of Ghamarian et al. the paper
+//! builds on) and maximum-cycle-ratio analysis for the HSDFG baseline.
+
+pub mod bounds;
+pub mod cycles;
+pub mod deadlock;
+pub mod karp;
+pub mod latency;
+pub mod mcr;
+pub mod occupancy;
+pub mod selftimed;
+pub mod statespace;

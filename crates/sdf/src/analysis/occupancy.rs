@@ -1,0 +1,163 @@
+//! Channel-occupancy analysis: the maximum number of tokens each channel
+//! holds during the (periodic) self-timed execution.
+//!
+//! This is the measurement that justifies the buffer modeling of
+//! Sec 8.1: a channel `d` paired with a reverse channel holding α initial
+//! tokens can never hold more than `Tok(d) + α` tokens — the invariant
+//! `tokens(d) + tokens(reverse) + in-flight = Tok(d) + α` is conserved by
+//! every firing. [`max_occupancy`] observes the actual peak, which a
+//! designer compares against the memory budget behind α.
+
+use crate::analysis::selftimed::SelfTimedExecutor;
+use crate::error::SdfError;
+use crate::graph::SdfGraph;
+
+/// Peak token counts per channel over a complete execution (transient +
+/// one full period).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OccupancyResult {
+    /// Maximum simultaneous tokens per channel index.
+    pub peak: Vec<u64>,
+    /// States examined until the recurrence closed.
+    pub states_explored: usize,
+}
+
+impl OccupancyResult {
+    /// The peak of one channel.
+    pub fn of(&self, channel: crate::ids::ChannelId) -> u64 {
+        self.peak[channel.index()]
+    }
+}
+
+/// Runs the self-timed execution until a recurrent state, recording each
+/// channel's peak occupancy.
+///
+/// # Errors
+///
+/// * [`SdfError::Deadlock`] if the execution stalls;
+/// * [`SdfError::BudgetExceeded`] if no recurrence is found within
+///   `state_budget` steps.
+///
+/// # Examples
+///
+/// ```
+/// use sdfrs_sdf::{SdfGraph, analysis::occupancy::max_occupancy};
+/// let mut g = SdfGraph::new("ring");
+/// let a = g.add_actor("a", 1);
+/// let b = g.add_actor("b", 4);
+/// let ab = g.add_channel("ab", a, 1, b, 1, 0);
+/// g.add_channel("ba", b, 1, a, 1, 3);
+/// // a is 4× faster: tokens pile up on ab, but at most the 3 circulating.
+/// let occ = max_occupancy(&g, 100_000)?;
+/// assert_eq!(occ.of(ab), 3);
+/// # Ok::<(), sdfrs_sdf::SdfError>(())
+/// ```
+pub fn max_occupancy(graph: &SdfGraph, state_budget: usize) -> Result<OccupancyResult, SdfError> {
+    use std::collections::HashSet;
+    let mut executor = SelfTimedExecutor::new(graph);
+    let mut peak: Vec<u64> = executor.state().tokens.clone();
+    let mut seen: HashSet<crate::analysis::selftimed::ExecState> = HashSet::new();
+    seen.insert(executor.state().clone());
+    let mut states = 0usize;
+    loop {
+        states += 1;
+        if states > state_budget {
+            return Err(SdfError::BudgetExceeded {
+                analysis: "occupancy analysis",
+                budget: state_budget,
+            });
+        }
+        // Sample the peak *between* completions and starts: produced
+        // tokens momentarily occupy the channel even when a waiting
+        // consumer grabs them in the same instant.
+        let completed = executor.complete_finished();
+        for (i, &t) in executor.state().tokens.iter().enumerate() {
+            if t > peak[i] {
+                peak[i] = t;
+            }
+        }
+        let started = executor.start_all_enabled();
+        if executor.advance_clock().is_none() && completed.is_empty() && started.is_empty() {
+            let first = graph.actor_ids().next().ok_or(SdfError::Empty)?;
+            return Err(SdfError::Deadlock { actor: first });
+        }
+        for (i, &t) in executor.state().tokens.iter().enumerate() {
+            if t > peak[i] {
+                peak[i] = t;
+            }
+        }
+        if !seen.insert(executor.state().clone()) {
+            return Ok(OccupancyResult {
+                peak,
+                states_explored: states,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conserved_pairs_bound_occupancy() {
+        // Buffered channel pair: forward Tok=1, reverse α=3 ⇒ peak ≤ 4.
+        let mut g = SdfGraph::new("pair");
+        let a = g.add_actor("a", 2);
+        let b = g.add_actor("b", 3);
+        let fwd = g.add_channel("fwd", a, 1, b, 1, 1);
+        let rev = g.add_channel("rev", b, 1, a, 1, 3);
+        let occ = max_occupancy(&g, 100_000).unwrap();
+        assert!(occ.of(fwd) <= 4);
+        assert!(occ.of(rev) <= 4);
+        assert!(occ.of(fwd) + occ.of(rev) >= 4, "tokens circulate");
+    }
+
+    #[test]
+    fn multirate_peaks_respect_batches() {
+        // a produces 3 per firing, b consumes 1: peak on ab at least 3.
+        let mut g = SdfGraph::new("mr");
+        let a = g.add_actor("a", 2);
+        let b = g.add_actor("b", 1);
+        let ab = g.add_channel("ab", a, 3, b, 1, 0);
+        g.add_channel("ba", b, 1, a, 3, 3);
+        let occ = max_occupancy(&g, 100_000).unwrap();
+        assert!(occ.of(ab) >= 3);
+        assert!(occ.of(ab) <= 3 + 3, "bounded by circulating tokens");
+    }
+
+    #[test]
+    fn initial_tokens_count_as_occupancy() {
+        let mut g = SdfGraph::new("init");
+        let a = g.add_actor("a", 5);
+        let sf = g.add_self_edge(a, 2);
+        let occ = max_occupancy(&g, 1_000).unwrap();
+        assert!(occ.of(sf) >= 2);
+    }
+
+    #[test]
+    fn deadlock_is_reported() {
+        let mut g = SdfGraph::new("dead");
+        let a = g.add_actor("a", 1);
+        g.add_self_edge(a, 0);
+        assert!(matches!(
+            max_occupancy(&g, 1_000),
+            Err(SdfError::Deadlock { .. })
+        ));
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        // Unbounded accumulation: no recurrence.
+        let mut g = SdfGraph::new("unbounded");
+        let a = g.add_actor("a", 1);
+        let b = g.add_actor("b", 3);
+        g.add_self_edge(a, 1);
+        g.add_self_edge(b, 1);
+        g.add_channel("ab", a, 1, b, 1, 0);
+        assert!(matches!(
+            max_occupancy(&g, 100),
+            Err(SdfError::BudgetExceeded { .. })
+        ));
+    }
+}

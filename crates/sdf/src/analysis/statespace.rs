@@ -1,0 +1,133 @@
+//! Explicit state-space graphs — the pictures of Figure 5.
+//!
+//! The throughput analyses only need the *period* of the lasso-shaped
+//! state space; this module records the full structure (states,
+//! transitions, the actors starting in each transition and the elapsed
+//! time) so it can be rendered exactly like the paper's Figure 5.
+
+use std::fmt::Write as _;
+
+/// One transition of a deterministic execution's state space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateTransition {
+    /// Source state index (discovery order, 0 = initial state).
+    pub from: usize,
+    /// Destination state index.
+    pub to: usize,
+    /// Names of the actors that started firing in this transition (with
+    /// multiplicity), as displayed next to the edges in Fig 5.
+    pub fired: Vec<String>,
+    /// Time elapsed until the next state.
+    pub elapsed: u64,
+}
+
+/// A lasso-shaped state space: `state_count` states, one outgoing
+/// transition each, with the last transition closing the cycle at
+/// `recurrent_target`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateSpaceGraph {
+    /// Number of distinct states.
+    pub state_count: usize,
+    /// The transitions, in execution order.
+    pub transitions: Vec<StateTransition>,
+    /// Index of the state the execution returns to (start of the periodic
+    /// phase).
+    pub recurrent_target: usize,
+}
+
+impl StateSpaceGraph {
+    /// Total time of the periodic phase (the throughput period).
+    pub fn period(&self) -> u64 {
+        self.transitions
+            .iter()
+            .filter(|t| t.from >= self.recurrent_target)
+            .map(|t| t.elapsed)
+            .sum()
+    }
+
+    /// Total time of the transient phase.
+    pub fn transient(&self) -> u64 {
+        self.transitions
+            .iter()
+            .filter(|t| t.from < self.recurrent_target)
+            .map(|t| t.elapsed)
+            .sum()
+    }
+
+    /// Renders the lasso in Graphviz DOT syntax, in the style of Fig 5:
+    /// states as dots, edges labelled with the starting actors and the
+    /// elapsed time.
+    pub fn to_dot(&self, name: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{name}\" {{");
+        let _ = writeln!(out, "  rankdir=LR;");
+        let _ = writeln!(out, "  node [shape=point, width=0.12];");
+        for i in 0..self.state_count {
+            let style = if i == self.recurrent_target {
+                " [color=red, width=0.18]"
+            } else {
+                ""
+            };
+            let _ = writeln!(out, "  s{i}{style};");
+        }
+        for t in &self.transitions {
+            let label = if t.fired.is_empty() {
+                format!("{}", t.elapsed)
+            } else {
+                format!("{}, {}", t.fired.join(" "), t.elapsed)
+            };
+            let _ = writeln!(out, "  s{} -> s{} [label=\"{label}\"];", t.from, t.to);
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lasso() -> StateSpaceGraph {
+        StateSpaceGraph {
+            state_count: 3,
+            transitions: vec![
+                StateTransition {
+                    from: 0,
+                    to: 1,
+                    fired: vec!["a".into()],
+                    elapsed: 2,
+                },
+                StateTransition {
+                    from: 1,
+                    to: 2,
+                    fired: vec!["b".into(), "b".into()],
+                    elapsed: 3,
+                },
+                StateTransition {
+                    from: 2,
+                    to: 1,
+                    fired: vec![],
+                    elapsed: 4,
+                },
+            ],
+            recurrent_target: 1,
+        }
+    }
+
+    #[test]
+    fn period_and_transient() {
+        let g = lasso();
+        assert_eq!(g.transient(), 2);
+        assert_eq!(g.period(), 7);
+    }
+
+    #[test]
+    fn dot_rendering() {
+        let dot = lasso().to_dot("fig");
+        assert!(dot.contains("digraph \"fig\""));
+        assert!(dot.contains("s0 -> s1 [label=\"a, 2\"]"));
+        assert!(dot.contains("s1 -> s2 [label=\"b b, 3\"]"));
+        assert!(dot.contains("s2 -> s1 [label=\"4\"]"));
+        assert!(dot.contains("s1 [color=red"));
+    }
+}

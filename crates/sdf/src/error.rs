@@ -1,0 +1,109 @@
+//! Error types for SDFG construction and analysis.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ids::{ActorId, ChannelId};
+
+/// Errors produced by SDFG construction and analysis.
+///
+/// # Examples
+///
+/// ```
+/// use sdfrs_sdf::{SdfGraph, SdfError};
+/// let mut g = SdfGraph::new("inconsistent");
+/// let a = g.add_actor("a", 1);
+/// let b = g.add_actor("b", 1);
+/// g.add_channel("d0", a, 1, b, 1, 0);
+/// g.add_channel("d1", b, 2, a, 1, 0);
+/// assert!(matches!(g.repetition_vector(), Err(SdfError::Inconsistent { .. })));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SdfError {
+    /// The graph has no non-trivial repetition vector; the named channel is
+    /// the first one whose rate equation cannot be satisfied.
+    Inconsistent {
+        /// Channel whose balance equation `p·γ(src) = q·γ(dst)` fails.
+        channel: ChannelId,
+    },
+    /// The graph deadlocks: no actor can complete a full iteration.
+    Deadlock {
+        /// An actor that could not fire often enough to finish an iteration.
+        actor: ActorId,
+    },
+    /// An analysis exceeded its state / iteration budget.
+    BudgetExceeded {
+        /// Name of the analysis that gave up.
+        analysis: &'static str,
+        /// The budget that was exhausted.
+        budget: usize,
+    },
+    /// A rate of zero was supplied; SDF rates are strictly positive.
+    ZeroRate {
+        /// The offending channel name.
+        channel: String,
+    },
+    /// The graph has no actors, which no analysis accepts.
+    Empty,
+}
+
+impl fmt::Display for SdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SdfError::Inconsistent { channel } => {
+                write!(
+                    f,
+                    "graph is not consistent: balance equation fails on {channel}"
+                )
+            }
+            SdfError::Deadlock { actor } => {
+                write!(f, "graph deadlocks: {actor} cannot complete an iteration")
+            }
+            SdfError::BudgetExceeded { analysis, budget } => {
+                write!(f, "{analysis} exceeded its exploration budget of {budget}")
+            }
+            SdfError::ZeroRate { channel } => {
+                write!(
+                    f,
+                    "channel {channel} has a zero rate; rates must be positive"
+                )
+            }
+            SdfError::Empty => write!(f, "graph has no actors"),
+        }
+    }
+}
+
+impl Error for SdfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SdfError::Inconsistent {
+            channel: ChannelId::from_index(1),
+        };
+        assert!(e.to_string().contains("d1"));
+        let e = SdfError::Deadlock {
+            actor: ActorId::from_index(2),
+        };
+        assert!(e.to_string().contains("a2"));
+        let e = SdfError::BudgetExceeded {
+            analysis: "state space",
+            budget: 10,
+        };
+        assert!(e.to_string().contains("state space"));
+        assert!(SdfError::Empty.to_string().contains("no actors"));
+        let e = SdfError::ZeroRate {
+            channel: "d".into(),
+        };
+        assert!(e.to_string().contains("positive"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SdfError>();
+    }
+}

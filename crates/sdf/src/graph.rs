@@ -1,0 +1,421 @@
+//! The synchronous dataflow graph data structure.
+//!
+//! An [`SdfGraph`] is the tuple *(A, D)* of Definition 1 in the paper plus
+//! the timing function Υ: every actor carries an execution time so a single
+//! structure serves both the untimed application structure and the timed
+//! (binding-aware) analysis graphs of Section 8.
+
+use std::collections::HashMap;
+
+use crate::error::SdfError;
+use crate::ids::{ActorId, ChannelId};
+
+/// A node of an [`SdfGraph`]: a task that *fires*, consuming and producing
+/// fixed token amounts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Actor {
+    name: String,
+    execution_time: u64,
+}
+
+impl Actor {
+    /// The actor's name (unique within its graph).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The time one firing takes (Υ in the paper); `0` is allowed and means
+    /// the firing completes instantaneously.
+    pub fn execution_time(&self) -> u64 {
+        self.execution_time
+    }
+}
+
+/// A dependency edge *d = (a, b, p, q)* with `Tok(d)` initial tokens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Channel {
+    name: String,
+    src: ActorId,
+    dst: ActorId,
+    production_rate: u64,
+    consumption_rate: u64,
+    initial_tokens: u64,
+}
+
+impl Channel {
+    /// The channel's name (unique within its graph).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The producing actor *a*.
+    pub fn src(&self) -> ActorId {
+        self.src
+    }
+
+    /// The consuming actor *b*.
+    pub fn dst(&self) -> ActorId {
+        self.dst
+    }
+
+    /// Tokens produced per firing of [`src`](Channel::src) (*p*).
+    pub fn production_rate(&self) -> u64 {
+        self.production_rate
+    }
+
+    /// Tokens consumed per firing of [`dst`](Channel::dst) (*q*).
+    pub fn consumption_rate(&self) -> u64 {
+        self.consumption_rate
+    }
+
+    /// Initial tokens `Tok(d)` present before any firing.
+    pub fn initial_tokens(&self) -> u64 {
+        self.initial_tokens
+    }
+
+    /// `true` if source and destination are the same actor.
+    pub fn is_self_edge(&self) -> bool {
+        self.src == self.dst
+    }
+}
+
+/// A synchronous dataflow graph: actors connected by token channels.
+///
+/// The graph is append-only: actors and channels can be added but not
+/// removed, which keeps every previously returned [`ActorId`]/[`ChannelId`]
+/// valid for the lifetime of the graph. Graph transformations (HSDF
+/// conversion, binding-aware construction) build new graphs instead of
+/// mutating in place.
+///
+/// # Examples
+///
+/// Build the two-actor producer/consumer graph and query it:
+///
+/// ```
+/// use sdfrs_sdf::SdfGraph;
+/// let mut g = SdfGraph::new("pc");
+/// let p = g.add_actor("producer", 2);
+/// let c = g.add_actor("consumer", 3);
+/// let d = g.add_channel("data", p, 2, c, 1, 0);
+/// assert_eq!(g.actor_count(), 2);
+/// assert_eq!(g.channel(d).production_rate(), 2);
+/// assert_eq!(g.outgoing(p), &[d]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SdfGraph {
+    name: String,
+    actors: Vec<Actor>,
+    channels: Vec<Channel>,
+    outgoing: Vec<Vec<ChannelId>>,
+    incoming: Vec<Vec<ChannelId>>,
+}
+
+impl SdfGraph {
+    /// Creates an empty graph with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        SdfGraph {
+            name: name.into(),
+            actors: Vec::new(),
+            channels: Vec::new(),
+            outgoing: Vec::new(),
+            incoming: Vec::new(),
+        }
+    }
+
+    /// The graph's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds an actor with the given name and execution time, returning its
+    /// id.
+    pub fn add_actor(&mut self, name: impl Into<String>, execution_time: u64) -> ActorId {
+        let id = ActorId(self.actors.len() as u32);
+        self.actors.push(Actor {
+            name: name.into(),
+            execution_time,
+        });
+        self.outgoing.push(Vec::new());
+        self.incoming.push(Vec::new());
+        id
+    }
+
+    /// Adds a channel from `src` (producing `production_rate` tokens per
+    /// firing) to `dst` (consuming `consumption_rate` per firing) carrying
+    /// `initial_tokens`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rate is zero or either actor id does not belong to
+    /// this graph.
+    pub fn add_channel(
+        &mut self,
+        name: impl Into<String>,
+        src: ActorId,
+        production_rate: u64,
+        dst: ActorId,
+        consumption_rate: u64,
+        initial_tokens: u64,
+    ) -> ChannelId {
+        assert!(
+            production_rate > 0 && consumption_rate > 0,
+            "SDF rates must be strictly positive"
+        );
+        assert!(
+            src.index() < self.actors.len() && dst.index() < self.actors.len(),
+            "channel endpoints must be actors of this graph"
+        );
+        let id = ChannelId(self.channels.len() as u32);
+        self.channels.push(Channel {
+            name: name.into(),
+            src,
+            dst,
+            production_rate,
+            consumption_rate,
+            initial_tokens,
+        });
+        self.outgoing[src.index()].push(id);
+        self.incoming[dst.index()].push(id);
+        id
+    }
+
+    /// Convenience: adds a self-edge with rates 1/1 and the given tokens,
+    /// the construct used to bound auto-concurrency (Sec 8.1).
+    pub fn add_self_edge(&mut self, actor: ActorId, initial_tokens: u64) -> ChannelId {
+        let name = format!("self_{}", self.actor(actor).name());
+        self.add_channel(name, actor, 1, actor, 1, initial_tokens)
+    }
+
+    /// Number of actors.
+    pub fn actor_count(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Number of channels.
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Access an actor by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not from this graph.
+    pub fn actor(&self, id: ActorId) -> &Actor {
+        &self.actors[id.index()]
+    }
+
+    /// Access a channel by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not from this graph.
+    pub fn channel(&self, id: ChannelId) -> &Channel {
+        &self.channels[id.index()]
+    }
+
+    /// Overwrites an actor's execution time (used when re-targeting an
+    /// application graph to a different processor type).
+    pub fn set_execution_time(&mut self, id: ActorId, execution_time: u64) {
+        self.actors[id.index()].execution_time = execution_time;
+    }
+
+    /// Overwrites a channel's initial tokens.
+    pub fn set_initial_tokens(&mut self, id: ChannelId, tokens: u64) {
+        self.channels[id.index()].initial_tokens = tokens;
+    }
+
+    /// Ids of all actors, in insertion order.
+    pub fn actor_ids(&self) -> impl Iterator<Item = ActorId> + '_ {
+        (0..self.actors.len()).map(|i| ActorId(i as u32))
+    }
+
+    /// Ids of all channels, in insertion order.
+    pub fn channel_ids(&self) -> impl Iterator<Item = ChannelId> + '_ {
+        (0..self.channels.len()).map(|i| ChannelId(i as u32))
+    }
+
+    /// All actors with their ids.
+    pub fn actors(&self) -> impl Iterator<Item = (ActorId, &Actor)> + '_ {
+        self.actors
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (ActorId(i as u32), a))
+    }
+
+    /// All channels with their ids.
+    pub fn channels(&self) -> impl Iterator<Item = (ChannelId, &Channel)> + '_ {
+        self.channels
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (ChannelId(i as u32), c))
+    }
+
+    /// Channels whose source is `actor`.
+    pub fn outgoing(&self, actor: ActorId) -> &[ChannelId] {
+        &self.outgoing[actor.index()]
+    }
+
+    /// Channels whose destination is `actor`.
+    pub fn incoming(&self, actor: ActorId) -> &[ChannelId] {
+        &self.incoming[actor.index()]
+    }
+
+    /// Looks up an actor id by name.
+    pub fn actor_by_name(&self, name: &str) -> Option<ActorId> {
+        self.actors
+            .iter()
+            .position(|a| a.name == name)
+            .map(|i| ActorId(i as u32))
+    }
+
+    /// Looks up a channel id by name.
+    pub fn channel_by_name(&self, name: &str) -> Option<ChannelId> {
+        self.channels
+            .iter()
+            .position(|c| c.name == name)
+            .map(|i| ChannelId(i as u32))
+    }
+
+    /// `true` if `actor` has a self-edge (its firings cannot overlap).
+    pub fn has_self_edge(&self, actor: ActorId) -> bool {
+        self.outgoing[actor.index()]
+            .iter()
+            .any(|&c| self.channels[c.index()].dst == actor)
+    }
+
+    /// Validates structural invariants that the builder API cannot enforce:
+    /// unique actor and channel names, non-empty graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SdfError::Empty`] on an actor-less graph. Duplicate names
+    /// are reported as [`SdfError::ZeroRate`]-style construction errors via
+    /// panic-free result.
+    pub fn validate(&self) -> Result<(), SdfError> {
+        if self.actors.is_empty() {
+            return Err(SdfError::Empty);
+        }
+        let mut seen = HashMap::new();
+        for (id, a) in self.actors() {
+            if let Some(prev) = seen.insert(a.name.clone(), id) {
+                // Reuse ZeroRate's free-form channel field for a name clash
+                // message; this only occurs on programmer error.
+                return Err(SdfError::ZeroRate {
+                    channel: format!("duplicate actor name {:?} ({} and {})", a.name, prev, id),
+                });
+            }
+        }
+        let mut seen = HashMap::new();
+        for (id, c) in self.channels() {
+            if let Some(prev) = seen.insert(c.name.clone(), id) {
+                return Err(SdfError::ZeroRate {
+                    channel: format!("duplicate channel name {:?} ({} and {})", c.name, prev, id),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Sum of initial tokens over all channels (used as a quick sanity
+    /// metric: a correct execution never changes this weighted sum per
+    /// iteration).
+    pub fn total_initial_tokens(&self) -> u64 {
+        self.channels.iter().map(|c| c.initial_tokens).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> SdfGraph {
+        let mut g = SdfGraph::new("chain");
+        let a = g.add_actor("a", 1);
+        let b = g.add_actor("b", 2);
+        let c = g.add_actor("c", 3);
+        g.add_channel("ab", a, 1, b, 2, 0);
+        g.add_channel("bc", b, 3, c, 1, 4);
+        g
+    }
+
+    #[test]
+    fn build_and_query() {
+        let g = chain();
+        assert_eq!(g.actor_count(), 3);
+        assert_eq!(g.channel_count(), 2);
+        let a = g.actor_by_name("a").unwrap();
+        let b = g.actor_by_name("b").unwrap();
+        assert_eq!(g.outgoing(a).len(), 1);
+        assert_eq!(g.incoming(b).len(), 1);
+        assert_eq!(g.outgoing(b).len(), 1);
+        let ab = g.channel_by_name("ab").unwrap();
+        assert_eq!(g.channel(ab).src(), a);
+        assert_eq!(g.channel(ab).dst(), b);
+        assert_eq!(g.channel(ab).production_rate(), 1);
+        assert_eq!(g.channel(ab).consumption_rate(), 2);
+        assert_eq!(g.channel(ab).initial_tokens(), 0);
+        assert_eq!(g.total_initial_tokens(), 4);
+    }
+
+    #[test]
+    fn self_edges() {
+        let mut g = chain();
+        let a = g.actor_by_name("a").unwrap();
+        assert!(!g.has_self_edge(a));
+        let s = g.add_self_edge(a, 1);
+        assert!(g.has_self_edge(a));
+        assert!(g.channel(s).is_self_edge());
+        assert_eq!(g.channel(s).initial_tokens(), 1);
+        assert_eq!(g.channel(s).production_rate(), 1);
+    }
+
+    #[test]
+    fn mutation() {
+        let mut g = chain();
+        let a = g.actor_by_name("a").unwrap();
+        g.set_execution_time(a, 42);
+        assert_eq!(g.actor(a).execution_time(), 42);
+        let ab = g.channel_by_name("ab").unwrap();
+        g.set_initial_tokens(ab, 9);
+        assert_eq!(g.channel(ab).initial_tokens(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn zero_rate_panics() {
+        let mut g = SdfGraph::new("bad");
+        let a = g.add_actor("a", 1);
+        let b = g.add_actor("b", 1);
+        g.add_channel("d", a, 0, b, 1, 0);
+    }
+
+    #[test]
+    fn validate_catches_duplicates() {
+        let mut g = SdfGraph::new("dup");
+        g.add_actor("x", 1);
+        g.add_actor("x", 1);
+        assert!(g.validate().is_err());
+
+        let mut g = SdfGraph::new("dupch");
+        let a = g.add_actor("a", 1);
+        let b = g.add_actor("b", 1);
+        g.add_channel("d", a, 1, b, 1, 0);
+        g.add_channel("d", b, 1, a, 1, 1);
+        assert!(g.validate().is_err());
+
+        assert_eq!(SdfGraph::new("empty").validate(), Err(SdfError::Empty));
+        assert!(chain().validate().is_ok());
+    }
+
+    #[test]
+    fn iterators_cover_everything() {
+        let g = chain();
+        assert_eq!(g.actor_ids().count(), 3);
+        assert_eq!(g.channel_ids().count(), 2);
+        assert_eq!(g.actors().count(), 3);
+        assert_eq!(g.channels().count(), 2);
+        let names: Vec<_> = g.actors().map(|(_, a)| a.name().to_string()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+}

@@ -1,0 +1,253 @@
+//! SDF → HSDF (homogeneous SDF) conversion.
+//!
+//! Every actor `a` becomes γ(a) copies; token flow between firings becomes
+//! single-rate edges with delays (initial tokens). This is the standard
+//! transformation of Sriram & Bhattacharyya \[20\] that the paper argues
+//! *against* using for resource allocation: the result can be exponentially
+//! larger (H.263: 4 actors → 4754), which is exactly what the
+//! [`hsdf_size`]/[`convert_to_hsdf`] pair lets callers demonstrate.
+
+use std::collections::HashMap;
+
+use crate::error::SdfError;
+use crate::graph::SdfGraph;
+use crate::ids::ActorId;
+
+/// Mapping from HSDF actor copies back to the original actors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HsdfConversion {
+    /// The homogeneous graph (all rates are 1).
+    pub graph: SdfGraph,
+    /// For each HSDF actor (by index): the original actor and the firing
+    /// index `0 ≤ k < γ(a)` it represents.
+    pub origin: Vec<(ActorId, u64)>,
+}
+
+impl HsdfConversion {
+    /// The HSDF copies of one original actor, in firing order.
+    pub fn copies_of(&self, actor: ActorId) -> Vec<ActorId> {
+        self.origin
+            .iter()
+            .enumerate()
+            .filter(|(_, (a, _))| *a == actor)
+            .map(|(i, _)| ActorId::from_index(i))
+            .collect()
+    }
+}
+
+/// Number of actors the HSDF equivalent would have, without building it:
+/// `Σ_a γ(a)`.
+///
+/// # Errors
+///
+/// Propagates repetition-vector errors.
+///
+/// # Examples
+///
+/// ```
+/// use sdfrs_sdf::{SdfGraph, hsdf::hsdf_size};
+/// let mut g = SdfGraph::new("mr");
+/// let a = g.add_actor("a", 1);
+/// let b = g.add_actor("b", 1);
+/// g.add_channel("d", a, 3, b, 2, 0);
+/// assert_eq!(hsdf_size(&g)?, 5); // γ = (2, 3)
+/// # Ok::<(), sdfrs_sdf::SdfError>(())
+/// ```
+pub fn hsdf_size(graph: &SdfGraph) -> Result<u64, SdfError> {
+    Ok(graph.repetition_vector()?.total_firings())
+}
+
+/// Converts a consistent SDFG into its homogeneous equivalent.
+///
+/// Token `n` (0-based over the infinite stream, after the initial tokens)
+/// of channel `(a, b, p, q)` is produced by global firing `n / p` of `a`
+/// and consumed by global firing `(Tok + n) / q` of `b`. Folding global
+/// firing indices onto the γ copies yields edges
+/// `a_(j mod γ(a)) → b_(c mod γ(b))` with delay `c / γ(b)` (the number of
+/// iterations the dependency crosses). Parallel edges with equal delay are
+/// merged.
+///
+/// # Errors
+///
+/// Propagates repetition-vector errors.
+///
+/// # Examples
+///
+/// ```
+/// use sdfrs_sdf::{SdfGraph, hsdf::convert_to_hsdf};
+/// let mut g = SdfGraph::new("mr");
+/// let a = g.add_actor("a", 5);
+/// let b = g.add_actor("b", 7);
+/// g.add_channel("d", a, 2, b, 1, 0);
+/// let h = convert_to_hsdf(&g)?;
+/// assert_eq!(h.graph.actor_count(), 3); // γ = (1, 2)
+/// assert!(h.graph.channels().all(|(_, c)| c.production_rate() == 1
+///     && c.consumption_rate() == 1));
+/// # Ok::<(), sdfrs_sdf::SdfError>(())
+/// ```
+pub fn convert_to_hsdf(graph: &SdfGraph) -> Result<HsdfConversion, SdfError> {
+    let gamma = graph.repetition_vector()?;
+    let mut hsdf = SdfGraph::new(format!("{}_hsdf", graph.name()));
+    let mut origin = Vec::new();
+    // first_copy[a] = index of copy 0 of actor a in the HSDF graph.
+    let mut first_copy = Vec::with_capacity(graph.actor_count());
+    for (id, actor) in graph.actors() {
+        first_copy.push(hsdf.actor_count());
+        for k in 0..gamma[id] {
+            hsdf.add_actor(format!("{}_{}", actor.name(), k), actor.execution_time());
+            origin.push((id, k));
+        }
+    }
+
+    // Deduplicate edges: (src copy, dst copy, delay) → emitted once.
+    let mut emitted: HashMap<(usize, usize, u64), ()> = HashMap::new();
+    for (_, ch) in graph.channels() {
+        let (a, b) = (ch.src(), ch.dst());
+        let (p, q, tok) = (
+            ch.production_rate(),
+            ch.consumption_rate(),
+            ch.initial_tokens(),
+        );
+        let (ga, gb) = (gamma[a], gamma[b]);
+        for j in 0..ga {
+            for k in 0..p {
+                // Stream position (1-based) of this token, counting the
+                // initial tokens first.
+                let pos = tok + j * p + k; // 0-based consumer stream index
+                let c = pos / q; // global consuming firing of b
+                let src_copy = first_copy[a.index()] + (j % ga) as usize;
+                let dst_copy = first_copy[b.index()] + (c % gb) as usize;
+                let delay = c / gb;
+                let key = (src_copy, dst_copy, delay);
+                if emitted.insert(key, ()).is_none() {
+                    hsdf.add_channel(
+                        format!("{}_{}_{}", ch.name(), j, c),
+                        ActorId::from_index(src_copy),
+                        1,
+                        ActorId::from_index(dst_copy),
+                        1,
+                        delay,
+                    );
+                }
+            }
+        }
+    }
+
+    Ok(HsdfConversion {
+        graph: hsdf,
+        origin,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::selftimed::self_timed_throughput;
+    use crate::rational::Rational;
+
+    #[test]
+    fn single_rate_graph_is_isomorphic() {
+        let mut g = SdfGraph::new("sr");
+        let a = g.add_actor("a", 2);
+        let b = g.add_actor("b", 3);
+        g.add_channel("ab", a, 1, b, 1, 0);
+        g.add_channel("ba", b, 1, a, 1, 1);
+        let h = convert_to_hsdf(&g).unwrap();
+        assert_eq!(h.graph.actor_count(), 2);
+        assert_eq!(h.graph.channel_count(), 2);
+        assert_eq!(hsdf_size(&g).unwrap(), 2);
+    }
+
+    #[test]
+    fn multirate_expands() {
+        let mut g = SdfGraph::new("mr");
+        let a = g.add_actor("a", 1);
+        let b = g.add_actor("b", 1);
+        g.add_channel("ab", a, 2, b, 3, 0);
+        // γ = (3, 2) ⇒ 5 HSDF actors.
+        let h = convert_to_hsdf(&g).unwrap();
+        assert_eq!(h.graph.actor_count(), 5);
+        assert_eq!(h.copies_of(a).len(), 3);
+        assert_eq!(h.copies_of(b).len(), 2);
+        // All edges single-rate.
+        assert!(h
+            .graph
+            .channels()
+            .all(|(_, c)| c.production_rate() == 1 && c.consumption_rate() == 1));
+    }
+
+    #[test]
+    fn h263_blowup_is_4754() {
+        let mut g = SdfGraph::new("h263");
+        let vld = g.add_actor("vld", 1);
+        let iq = g.add_actor("iq", 1);
+        let idct = g.add_actor("idct", 1);
+        let mc = g.add_actor("mc", 1);
+        g.add_channel("v_i", vld, 2376, iq, 1, 0);
+        g.add_channel("i_d", iq, 1, idct, 1, 0);
+        g.add_channel("d_m", idct, 1, mc, 2376, 0);
+        g.add_channel("m_v", mc, 1, vld, 1, 1);
+        assert_eq!(hsdf_size(&g).unwrap(), 4754);
+        let h = convert_to_hsdf(&g).unwrap();
+        assert_eq!(h.graph.actor_count(), 4754);
+    }
+
+    #[test]
+    fn initial_tokens_become_delays() {
+        let mut g = SdfGraph::new("tok");
+        let a = g.add_actor("a", 1);
+        let b = g.add_actor("b", 1);
+        g.add_channel("ab", a, 1, b, 1, 3);
+        let h = convert_to_hsdf(&g).unwrap();
+        // Single-rate: token 0 (position 3 in stream) feeds firing 3 of b,
+        // i.e. copy 0 with delay 3.
+        let ch = h.graph.channel(h.graph.channel_ids().next().unwrap());
+        assert_eq!(ch.initial_tokens(), 3);
+    }
+
+    #[test]
+    fn conversion_preserves_throughput() {
+        // Strongly-connected multirate graph with self-edges: the HSDF
+        // equivalent must have identical iteration throughput.
+        let mut g = SdfGraph::new("preserve");
+        let a = g.add_actor("a", 2);
+        let b = g.add_actor("b", 3);
+        g.add_self_edge(a, 1);
+        g.add_self_edge(b, 1);
+        g.add_channel("ab", a, 2, b, 1, 0);
+        g.add_channel("ba", b, 1, a, 2, 4);
+        let gamma = g.repetition_vector().unwrap();
+        let sdf_thr = self_timed_throughput(&g, b).unwrap();
+
+        let h = convert_to_hsdf(&g).unwrap();
+        let b0 = h.copies_of(b)[0];
+        let hsdf_thr = self_timed_throughput(&h.graph, b0).unwrap();
+        // One firing of copy b0 per iteration of the HSDF graph; the SDF
+        // actor b fires γ(b) times per iteration.
+        assert_eq!(
+            sdf_thr.actor_throughput,
+            hsdf_thr.actor_throughput * Rational::from_integer(gamma[b] as i128)
+        );
+    }
+
+    #[test]
+    fn copies_of_unknown_actor_is_empty_on_fresh_graph() {
+        let mut g = SdfGraph::new("one");
+        let a = g.add_actor("a", 1);
+        g.add_self_edge(a, 1);
+        let h = convert_to_hsdf(&g).unwrap();
+        assert_eq!(h.copies_of(a).len(), 1);
+        assert_eq!(h.origin, vec![(a, 0)]);
+    }
+
+    #[test]
+    fn inconsistent_graph_rejected() {
+        let mut g = SdfGraph::new("inc");
+        let a = g.add_actor("a", 1);
+        let b = g.add_actor("b", 1);
+        g.add_channel("ab", a, 1, b, 1, 0);
+        g.add_channel("ba", b, 3, a, 1, 0);
+        assert!(convert_to_hsdf(&g).is_err());
+        assert!(hsdf_size(&g).is_err());
+    }
+}

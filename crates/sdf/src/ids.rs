@@ -1,0 +1,102 @@
+//! Index newtypes for actors and channels.
+//!
+//! Using dedicated id types ([`ActorId`], [`ChannelId`]) instead of bare
+//! `usize` prevents mixing up the two index spaces when both are in scope,
+//! which happens constantly in graph-transformation code.
+
+use std::fmt;
+
+/// Identifier of an actor inside one [`SdfGraph`](crate::SdfGraph).
+///
+/// Ids are dense indices assigned in insertion order; they are only
+/// meaningful relative to the graph that created them.
+///
+/// # Examples
+///
+/// ```
+/// use sdfrs_sdf::SdfGraph;
+/// let mut g = SdfGraph::new("example");
+/// let a = g.add_actor("a", 1);
+/// assert_eq!(a.index(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ActorId(pub(crate) u32);
+
+impl ActorId {
+    /// Creates an id from a raw index.
+    ///
+    /// Prefer the ids returned by
+    /// [`SdfGraph::add_actor`](crate::SdfGraph::add_actor); this constructor
+    /// exists for deserialization and test code.
+    pub fn from_index(index: usize) -> Self {
+        ActorId(index as u32)
+    }
+
+    /// The dense index of this actor.
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ActorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// Identifier of a dependency edge (channel) inside one
+/// [`SdfGraph`](crate::SdfGraph).
+///
+/// # Examples
+///
+/// ```
+/// use sdfrs_sdf::SdfGraph;
+/// let mut g = SdfGraph::new("example");
+/// let a = g.add_actor("a", 1);
+/// let b = g.add_actor("b", 1);
+/// let d = g.add_channel("d", a, 1, b, 1, 0);
+/// assert_eq!(d.index(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChannelId(pub(crate) u32);
+
+impl ChannelId {
+    /// Creates an id from a raw index.
+    pub fn from_index(index: usize) -> Self {
+        ChannelId(index as u32)
+    }
+
+    /// The dense index of this channel.
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        assert_eq!(ActorId::from_index(3).index(), 3);
+        assert_eq!(ChannelId::from_index(7).index(), 7);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(ActorId::from_index(2).to_string(), "a2");
+        assert_eq!(ChannelId::from_index(0).to_string(), "d0");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(ActorId::from_index(1) < ActorId::from_index(2));
+        assert!(ChannelId::from_index(0) < ChannelId::from_index(9));
+    }
+}

@@ -1,0 +1,55 @@
+//! Synchronous Dataflow Graph (SDFG) substrate for the `sdfrs` workspace.
+//!
+//! This crate provides everything the DAC 2007 resource-allocation paper
+//! relies on as prerequisite technology:
+//!
+//! * the SDFG data model ([`SdfGraph`], [`Actor`](graph::Actor),
+//!   [`Channel`](graph::Channel)) — Definition 1 of the paper;
+//! * repetition vectors and consistency
+//!   ([`SdfGraph::repetition_vector`]) — Definition 2;
+//! * deadlock-freedom checking ([`analysis::deadlock`]);
+//! * self-timed state-space throughput analysis
+//!   ([`analysis::selftimed`]) — the technique of Ghamarian et al.
+//!   (ACSD'06, reference \[10\]) that Section 8 extends;
+//! * SDF → HSDF conversion ([`hsdf`]) and maximum-cycle-ratio analysis
+//!   ([`analysis::mcr`]) — the exponential baseline the paper avoids;
+//! * simple-cycle enumeration ([`analysis::cycles`]) for the actor
+//!   criticality estimate of Eqn 1.
+//!
+//! # Example
+//!
+//! Compute the throughput of a small pipelined loop:
+//!
+//! ```
+//! use sdfrs_sdf::{SdfGraph, Rational, analysis::selftimed::self_timed_throughput};
+//!
+//! # fn main() -> Result<(), sdfrs_sdf::SdfError> {
+//! let mut g = SdfGraph::new("demo");
+//! let src = g.add_actor("src", 2);
+//! let sink = g.add_actor("sink", 3);
+//! g.add_self_edge(src, 1);  // firings of one actor do not overlap
+//! g.add_self_edge(sink, 1);
+//! g.add_channel("data", src, 1, sink, 1, 0);
+//! g.add_channel("space", sink, 1, src, 1, 2);
+//! let thr = self_timed_throughput(&g, sink)?;
+//! assert_eq!(thr.actor_throughput, Rational::new(1, 3));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod analysis;
+pub mod dot;
+pub mod error;
+pub mod graph;
+pub mod hsdf;
+pub mod ids;
+pub mod macros;
+pub mod rational;
+pub mod repetition;
+pub mod transform;
+
+pub use error::SdfError;
+pub use graph::SdfGraph;
+pub use ids::{ActorId, ChannelId};
+pub use rational::Rational;
+pub use repetition::RepetitionVector;

@@ -1,0 +1,138 @@
+//! Declarative graph construction: the [`sdf_graph!`](crate::sdf_graph)
+//! macro.
+
+/// Builds an [`SdfGraph`](crate::SdfGraph) from a declarative description.
+///
+/// Actors are listed with their execution times; channels use the
+/// rate-annotated arrow `src -(p, q)-> dst`, optionally followed by
+/// `[tokens]` for initial tokens. Actor identifiers double as the actor
+/// names in the graph, and channel names are generated as
+/// `src_dst_<index>`.
+///
+/// # Examples
+///
+/// The paper's running example (Fig 3):
+///
+/// ```
+/// use sdfrs_sdf::sdf_graph;
+///
+/// let g = sdf_graph! {
+///     name: "paper_example",
+///     actors: { a1: 1, a2: 1, a3: 2 },
+///     channels: {
+///         a1 -(1, 1)-> a2,
+///         a2 -(1, 2)-> a3,
+///         a1 -(1, 1)-> a1 [1],
+///     },
+/// };
+/// assert_eq!(g.actor_count(), 3);
+/// assert_eq!(g.channel_count(), 3);
+/// let gamma = g.repetition_vector()?;
+/// assert_eq!(gamma.as_slice(), &[2, 2, 1]);
+/// # Ok::<(), sdfrs_sdf::SdfError>(())
+/// ```
+#[macro_export]
+macro_rules! sdf_graph {
+    (
+        name: $name:expr,
+        actors: { $( $actor:ident : $tau:expr ),+ $(,)? },
+        channels: { $( $src:ident -($p:expr, $q:expr)-> $dst:ident $([$tok:expr])? ),* $(,)? } $(,)?
+    ) => {{
+        let mut graph = $crate::SdfGraph::new($name);
+        $( let $actor = graph.add_actor(stringify!($actor), $tau); )+
+        let mut _channel_index = 0usize;
+        $(
+            {
+                #[allow(unused_mut, unused_assignments)]
+                let mut tokens = 0u64;
+                $( tokens = $tok; )?
+                graph.add_channel(
+                    format!(
+                        "{}_{}_{}",
+                        stringify!($src),
+                        stringify!($dst),
+                        _channel_index
+                    ),
+                    $src,
+                    $p,
+                    $dst,
+                    $q,
+                    tokens,
+                );
+                _channel_index += 1;
+            }
+        )*
+        $( let _ = &$actor; )+
+        graph
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::analysis::selftimed::self_timed_throughput;
+    use crate::Rational;
+
+    #[test]
+    fn builds_the_paper_example() {
+        let g = sdf_graph! {
+            name: "paper",
+            actors: { a1: 1, a2: 1, a3: 2 },
+            channels: {
+                a1 -(1, 1)-> a2,
+                a2 -(1, 2)-> a3,
+                a1 -(1, 1)-> a1 [1],
+            },
+        };
+        let a3 = g.actor_by_name("a3").unwrap();
+        let thr = self_timed_throughput(&g, a3).unwrap();
+        assert_eq!(thr.actor_throughput, Rational::new(1, 2));
+    }
+
+    #[test]
+    fn parallel_channels_get_distinct_names() {
+        let g = sdf_graph! {
+            name: "parallel",
+            actors: { a: 1, b: 1 },
+            channels: {
+                a -(1, 1)-> b,
+                a -(1, 1)-> b [2],
+                b -(2, 2)-> a [4],
+            },
+        };
+        assert_eq!(g.channel_count(), 3);
+        assert!(g.validate().is_ok(), "channel names must be unique");
+        assert!(g.channel_by_name("a_b_0").is_some());
+        assert!(g.channel_by_name("a_b_1").is_some());
+        assert!(g.channel_by_name("b_a_2").is_some());
+    }
+
+    #[test]
+    fn trailing_commas_and_no_channels() {
+        let g = sdf_graph! {
+            name: "lonely",
+            actors: { solo: 7, },
+            channels: {},
+        };
+        assert_eq!(g.actor_count(), 1);
+        assert_eq!(g.channel_count(), 0);
+        assert_eq!(
+            g.actor(g.actor_by_name("solo").unwrap()).execution_time(),
+            7
+        );
+    }
+
+    #[test]
+    fn works_in_function_scope_with_expressions() {
+        let base = 3u64;
+        let g = sdf_graph! {
+            name: format!("dyn_{base}"),
+            actors: { x: base + 1, y: base * 2 },
+            channels: { x -(2, 3)-> y [base] },
+        };
+        assert_eq!(g.name(), "dyn_3");
+        let x = g.actor_by_name("x").unwrap();
+        assert_eq!(g.actor(x).execution_time(), 4);
+        let ch = g.channel_by_name("x_y_0").unwrap();
+        assert_eq!(g.channel(ch).initial_tokens(), 3);
+    }
+}

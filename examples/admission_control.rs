@@ -1,0 +1,62 @@
+//! Admission control: the improvement mechanisms Sec 10.1 sketches —
+//! ordering applications before allocation, continuing past rejected
+//! applications, and dimensioning a platform for a given set.
+//!
+//! ```sh
+//! cargo run --release --example admission_control
+//! ```
+
+use sdfrs_core::admission::{allocate_skipping_failures, dimension_platform, AdmissionOrder};
+use sdfrs_core::cost::CostWeights;
+use sdfrs_core::flow::FlowConfig;
+use sdfrs_core::multi_app::allocate_until_failure;
+use sdfrs_gen::{AppGenerator, GeneratorConfig};
+use sdfrs_platform::mesh::{mesh_platform, MeshConfig};
+use sdfrs_platform::ProcessorType;
+
+fn main() {
+    let types = vec![
+        ProcessorType::new("risc"),
+        ProcessorType::new("dsp"),
+        ProcessorType::new("acc"),
+    ];
+    let mut gen = AppGenerator::new(GeneratorConfig::mixed(), types.clone(), 2024);
+    let apps = gen.generate_sequence("adm", 25);
+    let arch = mesh_platform("mesh", &MeshConfig::default());
+    let flow = FlowConfig::with_weights(CostWeights::TUNED);
+
+    // Baseline protocol: stop at the first failure (the conservative
+    // estimate used for Table 4).
+    let baseline = allocate_until_failure(&apps, &arch, &flow);
+    println!(
+        "stop-at-first-failure: {} of {} applications",
+        baseline.bound_count(),
+        apps.len()
+    );
+
+    // Run-time mechanism: skip rejected applications.
+    for order in [
+        AdmissionOrder::Arrival,
+        AdmissionOrder::LightestFirst,
+        AdmissionOrder::HeaviestFirst,
+        AdmissionOrder::TightestConstraintFirst,
+    ] {
+        let result = allocate_skipping_failures(&apps, &arch, &flow, order);
+        println!(
+            "skip-failures, {order:?}: {} admitted, {} rejected",
+            result.admitted_count(),
+            result.rejected.len()
+        );
+    }
+
+    // Design-time mechanism: grow a mesh until a fixed set fits entirely.
+    let must_fit = &apps[..6.min(apps.len())];
+    match dimension_platform(must_fit, &MeshConfig::default(), &flow, 4) {
+        Some((platform, side)) => println!(
+            "dimensioning: all {} applications fit a {side}×{side} mesh ({} tiles)",
+            must_fit.len(),
+            platform.tile_count()
+        ),
+        None => println!("dimensioning: no mesh up to 4×4 hosts the set"),
+    }
+}

@@ -1,0 +1,58 @@
+//! Storage/throughput trade-off exploration (the reference-[21] analysis
+//! that feeds the Θ buffer capacities the allocation flow consumes).
+//!
+//! ```sh
+//! cargo run --release --example buffer_tradeoff
+//! ```
+
+use sdfrs_appmodel::apps::paper_example;
+use sdfrs_core::buffers::{minimal_storage_distribution, pareto_frontier, storage_tradeoff};
+use sdfrs_sdf::Rational;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let app = paper_example();
+
+    println!("storage/throughput trade-off for the paper example:");
+    println!("  constraint (iter/time)   storage (tokens)   achieved");
+    let lambdas = [
+        Rational::new(1, 64),
+        Rational::new(1, 32),
+        Rational::new(1, 16),
+        Rational::new(1, 8),
+        Rational::new(1, 6),
+    ];
+    for (lambda, dist) in storage_tradeoff(&app, &lambdas, 200_000)? {
+        println!(
+            "  {:<22} {:>8}            {}",
+            lambda.to_string(),
+            dist.total(),
+            dist.throughput
+        );
+    }
+
+    // The distribution behind the last point, channel by channel.
+    let best = minimal_storage_distribution(&app, Rational::new(1, 6), 200_000)?;
+    println!("\nminimal capacities for λ = 1/6:");
+    for (d, ch) in app.graph().channels() {
+        println!(
+            "  {:<4} {} → {}: {} tokens (Θ declared {})",
+            ch.name(),
+            app.graph().actor(ch.src()).name(),
+            app.graph().actor(ch.dst()).name(),
+            best.capacities[d.index()],
+            app.channel_requirements(d).buffer_tile
+        );
+    }
+    // The greedy Pareto staircase: one point per strict throughput gain.
+    println!("\ngreedy Pareto frontier (storage → throughput):");
+    for p in pareto_frontier(&app, 40, 200_000)? {
+        let bar = "#".repeat((p.distribution.throughput.to_f64() * 120.0) as usize);
+        println!(
+            "  {:>3} tokens  {:<8} {}",
+            p.total_storage,
+            p.distribution.throughput.to_string(),
+            bar
+        );
+    }
+    Ok(())
+}

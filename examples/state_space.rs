@@ -1,0 +1,64 @@
+//! Regenerate Figure 5 as actual pictures: explore the three state spaces
+//! of the running example and print them in Graphviz DOT syntax (pipe
+//! into `dot -Tpng` to render).
+//!
+//! ```sh
+//! cargo run --release --example state_space > fig5.dot
+//! ```
+
+use sdfrs_appmodel::apps::{example_platform, paper_example};
+use sdfrs_core::binding_aware::BindingAwareGraph;
+use sdfrs_core::list_sched::construct_schedules;
+use sdfrs_core::{Binding, ConstrainedExecutor};
+use sdfrs_platform::TileId;
+use sdfrs_sdf::analysis::selftimed::SelfTimedExecutor;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let app = paper_example();
+    let arch = example_platform();
+    let g = app.graph();
+    let a1 = g.actor_by_name("a1").expect("example actor");
+    let a2 = g.actor_by_name("a2").expect("example actor");
+    let a3 = g.actor_by_name("a3").expect("example actor");
+
+    // (a) the application SDFG with the bound execution times.
+    let mut timed = g.clone();
+    timed.set_execution_time(a1, 1);
+    timed.set_execution_time(a2, 1);
+    timed.set_execution_time(a3, 2);
+    let ss_a = SelfTimedExecutor::new(&timed).explore_state_space()?;
+    eprintln!(
+        "fig 5(a): {} states, transient {}, period {} (paper: 2)",
+        ss_a.state_count,
+        ss_a.transient(),
+        ss_a.period()
+    );
+    println!("{}", ss_a.to_dot("fig5a_application"));
+
+    // (b) the binding-aware SDFG (a1, a2 on t1; a3 on t2; 50% slices).
+    let mut binding = Binding::new(g.actor_count());
+    binding.bind(a1, TileId::from_index(0));
+    binding.bind(a2, TileId::from_index(0));
+    binding.bind(a3, TileId::from_index(1));
+    let ba = BindingAwareGraph::build(&app, &arch, &binding, &[5, 5])?;
+    let ss_b = SelfTimedExecutor::new(ba.graph()).explore_state_space()?;
+    eprintln!(
+        "fig 5(b): {} states, transient {}, period {} (paper: 29)",
+        ss_b.state_count,
+        ss_b.transient(),
+        ss_b.period()
+    );
+    println!("{}", ss_b.to_dot("fig5b_binding_aware"));
+
+    // (c) the execution constrained by static orders + TDMA wheels.
+    let schedules = construct_schedules(&ba)?;
+    let ss_c = ConstrainedExecutor::new(&ba, &schedules).explore_state_space()?;
+    eprintln!(
+        "fig 5(c): {} states, transient {}, period {} (paper: 30)",
+        ss_c.state_count,
+        ss_c.transient(),
+        ss_c.period()
+    );
+    println!("{}", ss_c.to_dot("fig5c_constrained"));
+    Ok(())
+}

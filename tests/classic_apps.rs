@@ -1,0 +1,87 @@
+//! End-to-end allocation of the classic multirate benchmarks on realistic
+//! platforms: the CD→DAT converter on a StepNP-style many-core, the
+//! satellite receiver on the default heterogeneous mesh.
+
+use sdfrs_appmodel::classic::{cd_to_dat, satellite_receiver};
+use sdfrs_core::cost::CostWeights;
+use sdfrs_core::flow::{allocate, FlowConfig};
+use sdfrs_core::verify::verify_allocation;
+use sdfrs_platform::mesh::{mesh_platform, MeshConfig};
+use sdfrs_platform::{presets, PlatformState};
+use sdfrs_sdf::hsdf::hsdf_size;
+use sdfrs_sdf::Rational;
+
+#[test]
+fn cd_to_dat_on_stepnp() {
+    // 612 HSDF actors from 6 SDF actors: exactly the blow-up class the
+    // paper's SDFG-direct analysis exists for.
+    let app = cd_to_dat(Rational::new(1, 40_000));
+    assert_eq!(hsdf_size(app.graph()).unwrap(), 612);
+    let arch = presets::step_np();
+    let state = PlatformState::new(&arch);
+    let mut flow = FlowConfig::with_weights(CostWeights::TUNED);
+    flow.slice.state_budget = 2_000_000;
+    flow.schedule_state_budget = 2_000_000;
+    let (alloc, stats) = allocate(&app, &arch, &state, &flow)
+        .unwrap_or_else(|e| panic!("cd2dat failed on stepnp: {e}"));
+    assert!(alloc.guaranteed_throughput() >= app.throughput_constraint());
+    assert!(stats.throughput_checks > 0);
+    assert!(verify_allocation(&app, &arch, &state, &alloc)
+        .unwrap()
+        .is_empty());
+}
+
+#[test]
+fn satellite_on_heterogeneous_mesh() {
+    let app = satellite_receiver(Rational::new(1, 2_000));
+    let arch = mesh_platform("mesh", &MeshConfig::default());
+    let state = PlatformState::new(&arch);
+    let (alloc, _) = allocate(&app, &arch, &state, &FlowConfig::default())
+        .unwrap_or_else(|e| panic!("satellite failed on mesh: {e}"));
+    assert!(alloc.guaranteed_throughput() >= app.throughput_constraint());
+    assert!(verify_allocation(&app, &arch, &state, &alloc)
+        .unwrap()
+        .is_empty());
+    // The two demodulation chains can spread over tiles; whatever the
+    // binding, the hardware-friendly filters must sit on supported types.
+    for (a, _) in app.graph().actors() {
+        let tile = alloc.binding.tile_of(a).unwrap();
+        assert!(app
+            .actor_requirements(a)
+            .supports(arch.tile(tile).processor_type()));
+    }
+}
+
+#[test]
+fn presets_host_daytona_style_dsp_chain() {
+    use sdfrs_appmodel::{ActorRequirements, ApplicationGraph, ChannelRequirements};
+    use sdfrs_platform::ProcessorType;
+    use sdfrs_sdf::SdfGraph;
+    // A single-rate DSP chain targeting Daytona's four identical tiles.
+    let mut g = SdfGraph::new("dsp_chain");
+    let actors: Vec<_> = (0..4)
+        .map(|i| g.add_actor(format!("stage{i}"), 0))
+        .collect();
+    for i in 0..3 {
+        g.add_channel(format!("ch{i}"), actors[i], 1, actors[i + 1], 1, 0);
+    }
+    g.add_channel("loopback", actors[3], 1, actors[0], 1, 2);
+    let sparc = ProcessorType::new("sparc_dsp");
+    let mut builder = ApplicationGraph::builder(g, Rational::new(1, 400));
+    for &a in &actors {
+        builder = builder.actor(a, ActorRequirements::new().on(sparc.clone(), 20, 2_048));
+    }
+    let app = builder
+        .channel_default(ChannelRequirements::new(64, 4, 4, 4, 1_024))
+        .output_actor(actors[3])
+        .build()
+        .unwrap();
+
+    let arch = presets::daytona();
+    let state = PlatformState::new(&arch);
+    let (alloc, _) = allocate(&app, &arch, &state, &FlowConfig::default()).unwrap();
+    assert!(alloc.guaranteed_throughput() >= Rational::new(1, 400));
+    assert!(verify_allocation(&app, &arch, &state, &alloc)
+        .unwrap()
+        .is_empty());
+}

@@ -1,0 +1,210 @@
+//! Cross-crate integration tests of the full allocation flow: generated
+//! applications, reference decoders, occupancy carry-over, and the
+//! structural invariants every valid allocation must satisfy.
+
+use sdfrs_appmodel::apps::{h263_decoder, mp3_decoder, paper_example};
+use sdfrs_appmodel::ApplicationGraph;
+use sdfrs_core::cost::CostWeights;
+use sdfrs_core::flow::{allocate, Allocation, FlowConfig};
+use sdfrs_core::multi_app::allocate_until_failure;
+use sdfrs_core::resources::{binding_constraints_hold, tile_capacity};
+use sdfrs_gen::{AppGenerator, GeneratorConfig};
+use sdfrs_platform::mesh::{mesh_platform, multimedia_platform, MeshConfig};
+use sdfrs_platform::{ArchitectureGraph, PlatformState, ProcessorType};
+use sdfrs_sdf::Rational;
+
+fn generator_types() -> Vec<ProcessorType> {
+    vec![
+        ProcessorType::new("risc"),
+        ProcessorType::new("dsp"),
+        ProcessorType::new("acc"),
+    ]
+}
+
+/// Checks every invariant a valid allocation (Sec 7) must satisfy.
+fn assert_valid(
+    app: &ApplicationGraph,
+    arch: &ArchitectureGraph,
+    state: &PlatformState,
+    alloc: &Allocation,
+) {
+    // 1. Complete binding onto supported processor types.
+    assert!(alloc.binding.is_complete());
+    for (a, _) in app.graph().actors() {
+        let tile = alloc.binding.tile_of(a).unwrap();
+        assert!(app
+            .actor_requirements(a)
+            .supports(arch.tile(tile).processor_type()));
+    }
+    // 2. Section 7 resource constraints with the allocated slices.
+    assert!(binding_constraints_hold(app, arch, state, &alloc.binding));
+    for t in alloc.binding.used_tiles() {
+        let cap = tile_capacity(arch, state, t);
+        assert!(alloc.slices[t.index()] >= 1);
+        assert!(alloc.slices[t.index()] <= cap.wheel);
+        assert!(alloc.usage[t.index()].memory <= cap.memory);
+        assert!(alloc.usage[t.index()].connections <= cap.connections);
+        assert!(alloc.usage[t.index()].bandwidth_in <= cap.bandwidth_in);
+        assert!(alloc.usage[t.index()].bandwidth_out <= cap.bandwidth_out);
+    }
+    // 3. Every used tile has a schedule covering exactly its actors.
+    for t in alloc.binding.used_tiles() {
+        let schedule = alloc.schedules.get(t).expect("schedule per used tile");
+        let on_tile = alloc.binding.actors_on(t);
+        for a in schedule.prefix().iter().chain(schedule.period()) {
+            assert!(on_tile.contains(a), "schedule fires foreign actor");
+        }
+        for a in &on_tile {
+            assert!(
+                schedule.period().contains(a),
+                "actor {a} missing from periodic schedule"
+            );
+        }
+    }
+    // 4. The guarantee meets the constraint.
+    assert!(alloc.guaranteed_throughput() >= app.throughput_constraint());
+}
+
+#[test]
+fn generated_allocations_are_valid() {
+    let mesh = mesh_platform("mesh", &MeshConfig::default());
+    let mut gen = AppGenerator::new(GeneratorConfig::mixed(), generator_types(), 11);
+    let state = PlatformState::new(&mesh);
+    let mut succeeded = 0;
+    for i in 0..12 {
+        let app = gen.generate(&format!("val{i}"));
+        if let Ok((alloc, _)) = allocate(&app, &mesh, &state, &FlowConfig::default()) {
+            assert_valid(&app, &mesh, &state, &alloc);
+            succeeded += 1;
+        }
+    }
+    assert!(
+        succeeded >= 6,
+        "most mixed apps should fit an empty mesh ({succeeded}/12)"
+    );
+}
+
+#[test]
+fn every_weight_setting_produces_valid_allocations() {
+    let app = paper_example();
+    let arch = sdfrs_appmodel::apps::example_platform();
+    let state = PlatformState::new(&arch);
+    for w in CostWeights::table4() {
+        let (alloc, _) = allocate(&app, &arch, &state, &FlowConfig::with_weights(w)).unwrap();
+        assert_valid(&app, &arch, &state, &alloc);
+    }
+}
+
+#[test]
+fn reference_decoders_allocate_on_the_multimedia_platform() {
+    let arch = multimedia_platform();
+    let state = PlatformState::new(&arch);
+    let flow = FlowConfig::with_weights(CostWeights::MULTIMEDIA);
+    for app in [
+        h263_decoder(0, Rational::new(1, 150_000)),
+        mp3_decoder(Rational::new(1, 3_000)),
+    ] {
+        let (alloc, stats) = allocate(&app, &arch, &state, &flow)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", app.graph().name()));
+        assert_valid(&app, &arch, &state, &alloc);
+        assert!(stats.throughput_checks > 0);
+    }
+}
+
+#[test]
+fn occupancy_is_respected_across_applications() {
+    let arch = multimedia_platform();
+    let apps: Vec<ApplicationGraph> = (0..3)
+        .map(|i| h263_decoder(i, Rational::new(1, 150_000)))
+        .collect();
+    let result = allocate_until_failure(
+        &apps,
+        &arch,
+        &FlowConfig::with_weights(CostWeights::MULTIMEDIA),
+    );
+    assert_eq!(result.bound_count(), 3, "failure: {:?}", result.failure);
+    // Total claimed resources never exceed the platform.
+    for (t, tile) in arch.tiles() {
+        let u = result.final_state.usage(t);
+        assert!(u.wheel <= tile.wheel_size());
+        assert!(u.memory <= tile.memory());
+        assert!(u.connections <= tile.max_connections());
+        assert!(u.bandwidth_in <= tile.bandwidth_in());
+        assert!(u.bandwidth_out <= tile.bandwidth_out());
+    }
+}
+
+#[test]
+fn tighter_constraints_need_larger_slices() {
+    // Monotonicity of the allocator: a stricter λ never gets a smaller
+    // total slice allocation.
+    let arch = sdfrs_appmodel::apps::example_platform();
+    let state = PlatformState::new(&arch);
+    let mut last_total = 0u64;
+    for period in [120i128, 60, 40, 30] {
+        let app = paper_example().with_throughput_constraint(Rational::new(1, period));
+        let (alloc, _) = allocate(&app, &arch, &state, &FlowConfig::default()).unwrap();
+        let total: u64 = alloc.slices.iter().sum();
+        assert!(
+            total >= last_total,
+            "period {period}: slices {total} < previous {last_total}"
+        );
+        last_total = total;
+    }
+}
+
+#[test]
+fn ablation_disabling_optimization_and_refinement_still_valid() {
+    let app = paper_example();
+    let arch = sdfrs_appmodel::apps::example_platform();
+    let state = PlatformState::new(&arch);
+    let mut flow = FlowConfig::default();
+    flow.bind.optimize = false;
+    flow.slice.refine = false;
+    let (alloc, _) = allocate(&app, &arch, &state, &flow).unwrap();
+    assert_valid(&app, &arch, &state, &alloc);
+
+    // Refinement only ever removes slice time.
+    let (refined, _) = allocate(&app, &arch, &state, &FlowConfig::default()).unwrap();
+    if refined.binding == alloc.binding {
+        assert!(refined.slices.iter().sum::<u64>() <= alloc.slices.iter().sum::<u64>());
+    }
+}
+
+#[test]
+fn infeasible_platform_fails_cleanly() {
+    // One tile, unsupported processor type.
+    let mut arch = ArchitectureGraph::new("wrong");
+    arch.add_tile(sdfrs_platform::Tile::new(
+        "t",
+        ProcessorType::new("fpga"),
+        100,
+        1 << 20,
+        8,
+        4096,
+        4096,
+    ));
+    let state = PlatformState::new(&arch);
+    let err = allocate(&paper_example(), &arch, &state, &FlowConfig::default()).unwrap_err();
+    assert!(matches!(err, sdfrs_core::MapError::NoFeasibleTile { .. }));
+}
+
+#[test]
+fn sequences_fill_the_platform_monotonically() {
+    let mesh = mesh_platform("mesh", &MeshConfig::default());
+    let mut gen = AppGenerator::new(
+        GeneratorConfig::processing_intensive(),
+        generator_types(),
+        7,
+    );
+    let apps = gen.generate_sequence("mono", 12);
+    let result =
+        allocate_until_failure(&apps, &mesh, &FlowConfig::with_weights(CostWeights::TUNED));
+    // Wheel occupancy grows monotonically with each allocation by
+    // construction; verify the final bookkeeping matches the sum of parts.
+    let mut expected = 0u64;
+    for alloc in &result.allocations {
+        expected += alloc.usage.iter().map(|u| u.wheel).sum::<u64>();
+    }
+    assert_eq!(result.total_usage().wheel, expected);
+}

@@ -1,0 +1,227 @@
+//! Every numeric oracle the paper publishes, locked in one place.
+//!
+//! These are the values a reader can check against the PDF: the Fig 5
+//! state-space periods, the Table 3 bindings, the Υ(c)/Υ(s) values of
+//! Sec 8.1, the schedule of Sec 9.2 and the HSDF sizes of Fig 1 / Sec 10.3.
+
+use sdfrs_appmodel::apps::{example_platform, h263_decoder, mp3_decoder, paper_example};
+use sdfrs_core::bind::{bind_actors, BindConfig};
+use sdfrs_core::binding_aware::BindingAwareGraph;
+use sdfrs_core::constrained::constrained_throughput;
+use sdfrs_core::cost::CostWeights;
+use sdfrs_core::list_sched::construct_schedules;
+use sdfrs_core::Binding;
+use sdfrs_platform::{PlatformState, TileId};
+use sdfrs_sdf::analysis::selftimed::SelfTimedExecutor;
+use sdfrs_sdf::hsdf::hsdf_size;
+use sdfrs_sdf::Rational;
+
+fn example_binding_of_sec8() -> (sdfrs_appmodel::ApplicationGraph, Binding) {
+    let app = paper_example();
+    let g = app.graph();
+    let mut binding = Binding::new(g.actor_count());
+    binding.bind(g.actor_by_name("a1").unwrap(), TileId::from_index(0));
+    binding.bind(g.actor_by_name("a2").unwrap(), TileId::from_index(0));
+    binding.bind(g.actor_by_name("a3").unwrap(), TileId::from_index(1));
+    (app, binding)
+}
+
+/// Sec 1 / Fig 1: the H.263 HSDFG contains 4754 actors.
+#[test]
+fn h263_hsdf_size() {
+    let app = h263_decoder(0, Rational::new(1, 100_000));
+    assert_eq!(hsdf_size(app.graph()).unwrap(), 4754);
+}
+
+/// Sec 10.3: the multimedia system's HSDFGs total 14275 actors.
+#[test]
+fn multimedia_hsdf_size() {
+    let lambda = Rational::new(1, 100_000);
+    let total: u64 = (0..3)
+        .map(|i| hsdf_size(h263_decoder(i, lambda).graph()).unwrap())
+        .sum::<u64>()
+        + hsdf_size(mp3_decoder(Rational::new(1, 3_000)).graph()).unwrap();
+    assert_eq!(total, 14275);
+}
+
+/// Sec 8.1: Υ(c) = ℒ(c1) + ⌈sz/β⌉ = 1 + ⌈100/10⌉ = 11 and
+/// Υ(s) = w − ω = 10 − 5 = 5 under 50% slices.
+#[test]
+fn connection_and_sync_actor_times() {
+    let (app, binding) = example_binding_of_sec8();
+    let arch = example_platform();
+    let ba = BindingAwareGraph::build(&app, &arch, &binding, &[5, 5]).unwrap();
+    let g = ba.graph();
+    assert_eq!(
+        g.actor(g.actor_by_name("c_d2").unwrap()).execution_time(),
+        11
+    );
+    assert_eq!(
+        g.actor(g.actor_by_name("s_d2").unwrap()).execution_time(),
+        5
+    );
+}
+
+/// Fig 5(a): a3 fires once every 2 time units in the self-timed execution
+/// of the application SDFG (execution times 1, 1, 2).
+#[test]
+fn fig5a() {
+    let app = paper_example();
+    let mut g = app.graph().clone();
+    g.set_execution_time(g.actor_by_name("a1").unwrap(), 1);
+    g.set_execution_time(g.actor_by_name("a2").unwrap(), 1);
+    g.set_execution_time(g.actor_by_name("a3").unwrap(), 2);
+    let a3 = g.actor_by_name("a3").unwrap();
+    let r = SelfTimedExecutor::new(&g).throughput(a3).unwrap();
+    assert_eq!(r.actor_throughput, Rational::new(1, 2));
+}
+
+/// Fig 5(b): once every 29 time units in the binding-aware SDFG.
+#[test]
+fn fig5b() {
+    let (app, binding) = example_binding_of_sec8();
+    let arch = example_platform();
+    let ba = BindingAwareGraph::build(&app, &arch, &binding, &[5, 5]).unwrap();
+    let a3 = ba.graph().actor_by_name("a3").unwrap();
+    let r = SelfTimedExecutor::new(ba.graph()).throughput(a3).unwrap();
+    assert_eq!(r.actor_throughput, Rational::new(1, 29));
+}
+
+/// Fig 5(c): once every 30 time units under static orders + 50% wheels.
+#[test]
+fn fig5c() {
+    let (app, binding) = example_binding_of_sec8();
+    let arch = example_platform();
+    let ba = BindingAwareGraph::build(&app, &arch, &binding, &[5, 5]).unwrap();
+    let schedules = construct_schedules(&ba).unwrap();
+    let a3 = ba.graph().actor_by_name("a3").unwrap();
+    let r = constrained_throughput(&ba, &schedules, a3).unwrap();
+    assert_eq!(r.actor_throughput, Rational::new(1, 30));
+}
+
+/// Sec 9.2: the list scheduler's t1 schedule minimizes to (a1 a2)* and
+/// t2's to (a3)*.
+#[test]
+fn sec92_schedules() {
+    let (app, binding) = example_binding_of_sec8();
+    let arch = example_platform();
+    let ba = BindingAwareGraph::build(&app, &arch, &binding, &[5, 5]).unwrap();
+    let schedules = construct_schedules(&ba).unwrap();
+    let s1 = schedules.get(TileId::from_index(0)).unwrap();
+    assert_eq!(s1.display(ba.graph()).to_string(), "(a1 a2)*");
+    let s2 = schedules.get(TileId::from_index(1)).unwrap();
+    assert_eq!(s2.display(ba.graph()).to_string(), "(a3)*");
+    // Silence the unused variable in release-doc builds.
+    let _ = &app;
+}
+
+/// Table 3 rows 1, 3 and 4 (row 2 reproduces the partition only — see
+/// EXPERIMENTS.md).
+#[test]
+fn table3_rows() {
+    let app = paper_example();
+    let arch = example_platform();
+    let state = PlatformState::new(&arch);
+    let bind = |w: CostWeights| {
+        let b = bind_actors(&app, &arch, &state, &BindConfig::with_weights(w)).unwrap();
+        ["a1", "a2", "a3"].map(|n| {
+            b.tile_of(app.graph().actor_by_name(n).unwrap())
+                .unwrap()
+                .index()
+        })
+    };
+    assert_eq!(bind(CostWeights::PROCESSING), [0, 0, 1]);
+    assert_eq!(bind(CostWeights::COMMUNICATION), [0, 0, 0]);
+    assert_eq!(bind(CostWeights::BALANCED), [0, 0, 1]);
+    let row2 = bind(CostWeights::MEMORY);
+    assert_ne!(row2[0], row2[1], "a1 is separated from a2");
+    assert_eq!(row2[1], row2[2], "a2 and a3 share a tile");
+}
+
+/// Table 1 / Table 2: every published number of the example models.
+#[test]
+fn tables_1_and_2() {
+    let arch = example_platform();
+    let t1 = arch.tile_by_name("t1").unwrap();
+    let t2 = arch.tile_by_name("t2").unwrap();
+    for (t, pt, w, m, c) in [(t1, "p1", 10, 700, 5), (t2, "p2", 10, 500, 7)] {
+        let tile = arch.tile(t);
+        assert_eq!(tile.processor_type().name(), pt);
+        assert_eq!(tile.wheel_size(), w);
+        assert_eq!(tile.memory(), m);
+        assert_eq!(tile.max_connections(), c);
+        assert_eq!(tile.bandwidth_in(), 100);
+        assert_eq!(tile.bandwidth_out(), 100);
+    }
+    assert_eq!(arch.connection_between(t1, t2).unwrap().1.latency(), 1);
+    assert_eq!(arch.connection_between(t2, t1).unwrap().1.latency(), 1);
+
+    let app = paper_example();
+    let g = app.graph();
+    let gamma_rows = [
+        ("a1", 1u64, 10u64, 4u64, 15u64),
+        ("a2", 1, 7, 7, 19),
+        ("a3", 3, 13, 2, 10),
+    ];
+    for (name, tau1, mu1, tau2, mu2) in gamma_rows {
+        let a = g.actor_by_name(name).unwrap();
+        assert_eq!(app.execution_time(a, &"p1".into()), Some(tau1));
+        assert_eq!(app.actor_memory(a, &"p1".into()), Some(mu1));
+        assert_eq!(app.execution_time(a, &"p2".into()), Some(tau2));
+        assert_eq!(app.actor_memory(a, &"p2".into()), Some(mu2));
+    }
+    let theta = [
+        ("d1", 7, 1, 2, 2, 100),
+        ("d2", 100, 2, 2, 2, 10),
+        ("d3", 1, 1, 0, 0, 0),
+    ];
+    for (name, sz, at, asrc, adst, beta) in theta {
+        let d = g.channel_by_name(name).unwrap();
+        let th = app.channel_requirements(d);
+        assert_eq!(
+            (
+                th.token_size,
+                th.buffer_tile,
+                th.buffer_src,
+                th.buffer_dst,
+                th.bandwidth
+            ),
+            (sz, at, asrc, adst, beta),
+            "Θ({name})"
+        );
+    }
+    // The repetition vector of the example (γ(a1), γ(a2), γ(a3)) = (2,2,1).
+    let gamma = g.repetition_vector().unwrap();
+    assert_eq!(gamma.as_slice(), &[2, 2, 1]);
+}
+
+/// Sec 8.2's closing claim: our TDMA accounting is at least as tight as
+/// the [4]-style abstraction that inflates every execution time by the
+/// full non-reserved wheel fraction.
+#[test]
+fn tighter_than_execution_time_inflation() {
+    let (app, binding) = example_binding_of_sec8();
+    let arch = example_platform();
+    let ba = BindingAwareGraph::build(&app, &arch, &binding, &[5, 5]).unwrap();
+    let schedules = construct_schedules(&ba).unwrap();
+    let a3 = ba.graph().actor_by_name("a3").unwrap();
+    let ours = constrained_throughput(&ba, &schedules, a3).unwrap();
+
+    // With 50% slices the coarse model doubles every bound actor's
+    // execution time; the paper notes it adds 5 time units to a3 where our
+    // technique adds at most that (and often less).
+    let mut inflated = ba.graph().clone();
+    for (a, actor) in ba.graph().actors() {
+        if ba.tile_of(a).is_some() {
+            inflated.set_execution_time(a, actor.execution_time() * 2);
+        }
+    }
+    let coarse = SelfTimedExecutor::new(&inflated).throughput(a3).unwrap();
+    assert!(
+        ours.actor_throughput >= coarse.actor_throughput,
+        "state-space TDMA accounting must be at least as tight as inflation ({} vs {})",
+        ours.actor_throughput,
+        coarse.actor_throughput
+    );
+    let _ = &app;
+}

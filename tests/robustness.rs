@@ -1,0 +1,94 @@
+//! Robustness sweep: random applications on random platforms. Every
+//! allocation attempt must either succeed — and then pass the independent
+//! verifier — or fail with a clean, explainable error. No panics, no
+//! invalid allocations.
+
+use sdfrs_core::flow::{allocate, FlowConfig};
+use sdfrs_core::verify::verify_allocation;
+use sdfrs_core::MapError;
+use sdfrs_gen::arch_gen::{ArchConfig, ArchGenerator};
+use sdfrs_gen::{AppGenerator, GeneratorConfig};
+use sdfrs_platform::{PlatformState, ProcessorType};
+
+fn generator_types() -> Vec<ProcessorType> {
+    vec![
+        ProcessorType::new("risc"),
+        ProcessorType::new("dsp"),
+        ProcessorType::new("acc"),
+    ]
+}
+
+#[test]
+fn random_app_times_random_platform_sweep() {
+    let mut arch_gen = ArchGenerator::new(ArchConfig::default(), 1001);
+    let mut successes = 0usize;
+    let mut failures = 0usize;
+    for round in 0..18 {
+        let arch = arch_gen.generate(&format!("rp{round}"));
+        // Rotate through all four application profiles.
+        let (label, cfg) = GeneratorConfig::benchmark_sets()[round % 4].clone();
+        let mut app_gen = AppGenerator::new(cfg, generator_types(), 7_000 + round as u64);
+        let app = app_gen.generate(&format!("{label}{round}"));
+        let state = PlatformState::new(&arch);
+        let mut flow = FlowConfig::default();
+        flow.slice.state_budget = 300_000;
+        flow.schedule_state_budget = 300_000;
+        match allocate(&app, &arch, &state, &flow) {
+            Ok((alloc, stats)) => {
+                successes += 1;
+                assert!(stats.throughput_checks > 0);
+                let violations = verify_allocation(&app, &arch, &state, &alloc)
+                    .unwrap_or_else(|e| panic!("round {round}: verifier failed to run: {e}"));
+                assert!(
+                    violations.is_empty(),
+                    "round {round}: invalid allocation: {violations:?}"
+                );
+            }
+            Err(
+                MapError::NoFeasibleTile { .. }
+                | MapError::ConstraintUnsatisfiable
+                | MapError::Sdf(_)
+                | MapError::MissingConnection { .. }
+                | MapError::ChannelNotMappable { .. },
+            ) => {
+                failures += 1;
+            }
+            Err(other) => panic!("round {round}: unexpected error class: {other}"),
+        }
+    }
+    // The sweep must exercise both outcomes to be meaningful.
+    assert!(successes > 0, "no random pairing ever succeeded");
+    assert!(successes + failures == 18);
+}
+
+#[test]
+fn pipelined_connection_model_sweep() {
+    use sdfrs_core::binding_aware::ConnectionModel;
+    let mut arch_gen = ArchGenerator::new(ArchConfig::default(), 2002);
+    let mut app_gen = AppGenerator::new(GeneratorConfig::mixed(), generator_types(), 2002);
+    let mut compared = 0;
+    for round in 0..8 {
+        let arch = arch_gen.generate(&format!("pp{round}"));
+        let app = app_gen.generate(&format!("papp{round}"));
+        let state = PlatformState::new(&arch);
+        let mut simple = FlowConfig::default();
+        simple.slice.state_budget = 300_000;
+        simple.schedule_state_budget = 300_000;
+        let mut pipelined = simple;
+        pipelined.connection_model = ConnectionModel::PipelinedHops;
+        let rs = allocate(&app, &arch, &state, &simple);
+        let rp = allocate(&app, &arch, &state, &pipelined);
+        if let (Ok((a_s, _)), Ok((a_p, _))) = (rs, rp) {
+            // The pipelined model is less conservative: with the same
+            // binding it never needs *more* total slice time.
+            if a_s.binding == a_p.binding {
+                compared += 1;
+                assert!(
+                    a_p.slices.iter().sum::<u64>() <= a_s.slices.iter().sum::<u64>(),
+                    "round {round}: pipelined model regressed slices"
+                );
+            }
+        }
+    }
+    assert!(compared > 0, "no comparable pair in the sweep");
+}

@@ -1,0 +1,85 @@
+//! Sec 9.2's raw list-scheduler output: the paper reports a 17-state
+//! schedule `a1a2a1a2a1a2a1a2a1 (a2a1a2a1a2a1a2a1)*` for t1 before
+//! minimization. Our scheduler finds the recurrence after 9 states —
+//! `a1a2a1a2a1 (a2a1a2a1)*` — the same alternating shape with a shorter
+//! detected period; both minimize to exactly `(a1 a2)*`.
+
+use sdfrs_appmodel::apps::{example_platform, paper_example};
+use sdfrs_core::binding_aware::BindingAwareGraph;
+use sdfrs_core::list_sched::ListScheduler;
+use sdfrs_core::Binding;
+use sdfrs_platform::TileId;
+
+#[test]
+fn raw_schedule_matches_paper_shape() {
+    let app = paper_example();
+    let arch = example_platform();
+    let g = app.graph();
+    let mut binding = Binding::new(g.actor_count());
+    binding.bind(g.actor_by_name("a1").unwrap(), TileId::from_index(0));
+    binding.bind(g.actor_by_name("a2").unwrap(), TileId::from_index(0));
+    binding.bind(g.actor_by_name("a3").unwrap(), TileId::from_index(1));
+    let ba = BindingAwareGraph::build(&app, &arch, &binding, &[5, 5]).unwrap();
+    let raw = ListScheduler::new(&ba).construct_raw().unwrap();
+
+    let a1 = ba.graph().actor_by_name("a1").unwrap();
+    let a2 = ba.graph().actor_by_name("a2").unwrap();
+    let a3 = ba.graph().actor_by_name("a3").unwrap();
+
+    // t1: strict a1/a2 alternation starting with a1 (as in the paper's
+    // 17-state sequence), with the period starting on a2.
+    let s1 = raw.get(TileId::from_index(0)).unwrap();
+    let full: Vec<_> = (0..s1.prefix().len() + 2 * s1.period().len())
+        .map(|i| s1.at(i))
+        .collect();
+    for (i, &actor) in full.iter().enumerate() {
+        let expected = if i % 2 == 0 { a1 } else { a2 };
+        assert_eq!(actor, expected, "position {i} of the t1 schedule");
+    }
+    assert_eq!(
+        s1.period().first(),
+        Some(&a2),
+        "period starts mid-alternation"
+    );
+    assert_eq!(s1.period().len() % 2, 0, "period holds whole a2 a1 pairs");
+
+    // t2: (a3)* directly.
+    let s2 = raw.get(TileId::from_index(1)).unwrap();
+    assert!(s2.prefix().is_empty());
+    assert_eq!(s2.period(), &[a3]);
+
+    // Minimization folds t1 into (a1 a2)*, exactly as in the paper.
+    let minimized = raw.minimized();
+    let m1 = minimized.get(TileId::from_index(0)).unwrap();
+    assert!(m1.prefix().is_empty());
+    assert_eq!(m1.period(), &[a1, a2]);
+}
+
+#[test]
+fn constructed_schedules_fire_gamma_proportionally() {
+    // Periodic schedules fire every actor a multiple of γ(a) times —
+    // anything else could not repeat.
+    let app = paper_example();
+    let arch = example_platform();
+    let g = app.graph();
+    let mut binding = Binding::new(g.actor_count());
+    for (a, _) in g.actors() {
+        binding.bind(a, TileId::from_index(0));
+    }
+    let ba = BindingAwareGraph::build(&app, &arch, &binding, &[5, 5]).unwrap();
+    let schedules = ListScheduler::new(&ba).construct().unwrap();
+    let s = schedules.get(TileId::from_index(0)).unwrap();
+    let gamma = ba.graph().repetition_vector().unwrap();
+    let mut counts = std::collections::HashMap::new();
+    for a in s.period() {
+        *counts.entry(*a).or_insert(0u64) += 1;
+    }
+    let mut ratio = None;
+    for (a, c) in counts {
+        let r = c as f64 / gamma[a] as f64;
+        if let Some(prev) = ratio {
+            assert_eq!(prev, r);
+        }
+        ratio = Some(r);
+    }
+}

@@ -1,0 +1,102 @@
+//! Round-trip and robustness tests of the text graph format, across every
+//! bundled model and a corpus of generated applications — plus a fuzz
+//! property: the parser never panics, whatever the input.
+
+use proptest::prelude::*;
+
+use sdfrs_appmodel::apps::{example_platform, h263_decoder, mp3_decoder, paper_example};
+use sdfrs_appmodel::classic::{cd_to_dat, satellite_receiver};
+use sdfrs_appmodel::textio::{
+    parse_application, parse_platform, write_application, write_platform,
+};
+use sdfrs_gen::{AppGenerator, GeneratorConfig};
+use sdfrs_platform::{presets, ProcessorType};
+use sdfrs_sdf::Rational;
+
+#[test]
+fn every_bundled_application_round_trips() {
+    let apps = vec![
+        paper_example(),
+        h263_decoder(0, Rational::new(1, 100_000)),
+        mp3_decoder(Rational::new(1, 3_000)),
+        cd_to_dat(Rational::new(1, 40_000)),
+        satellite_receiver(Rational::new(1, 2_000)),
+    ];
+    for app in apps {
+        let text = write_application(&app);
+        let parsed = parse_application(&text)
+            .unwrap_or_else(|e| panic!("{} failed to reparse: {e}", app.graph().name()));
+        assert_eq!(parsed.graph(), app.graph(), "{}", app.graph().name());
+        assert_eq!(parsed.throughput_constraint(), app.throughput_constraint());
+        for (a, _) in app.graph().actors() {
+            assert_eq!(parsed.actor_requirements(a), app.actor_requirements(a));
+        }
+        for d in app.graph().channel_ids() {
+            assert_eq!(parsed.channel_requirements(d), app.channel_requirements(d));
+        }
+    }
+}
+
+#[test]
+fn every_bundled_platform_round_trips() {
+    let mut platforms = vec![example_platform()];
+    platforms.extend(presets::all().into_iter().map(|(_, a)| a));
+    platforms.extend(sdfrs_platform::mesh::experiment_platforms());
+    platforms.push(sdfrs_platform::mesh::multimedia_platform());
+    for arch in platforms {
+        let text = write_platform(&arch);
+        let parsed = parse_platform(&text)
+            .unwrap_or_else(|e| panic!("{} failed to reparse: {e}", arch.name()));
+        assert_eq!(parsed, arch, "{}", arch.name());
+    }
+}
+
+#[test]
+fn generated_corpus_round_trips() {
+    let types = vec![
+        ProcessorType::new("risc"),
+        ProcessorType::new("dsp"),
+        ProcessorType::new("acc"),
+    ];
+    for (label, cfg) in GeneratorConfig::benchmark_sets() {
+        let mut gen = AppGenerator::new(cfg, types.clone(), 424242);
+        for app in gen.generate_sequence(label, 8) {
+            let text = write_application(&app);
+            let parsed = parse_application(&text)
+                .unwrap_or_else(|e| panic!("{} failed: {e}\n{text}", app.graph().name()));
+            assert_eq!(parsed.graph(), app.graph());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The parsers reject or accept — they never panic — on arbitrary
+    /// input bytes.
+    #[test]
+    fn parser_never_panics(input in "\\PC{0,200}") {
+        let _ = parse_application(&input);
+        let _ = parse_platform(&input);
+    }
+
+    /// Same for line-structured inputs built from format keywords, which
+    /// reach deeper code paths than pure noise.
+    #[test]
+    fn keyword_soup_never_panics(
+        words in proptest::collection::vec(
+            proptest::sample::select(vec![
+                "app", "actor", "channel", "output", "arch", "tile",
+                "connection", "pt", "tau", "mu", "tokens", "sz", "atile",
+                "asrc", "adst", "beta", "lambda", "wheel", "mem", "conn",
+                "bwin", "bwout", "latency", "a", "b", "x1", "0", "1", "-3",
+                "1/0", "2/4", "#", "\n",
+            ]),
+            0..60,
+        )
+    ) {
+        let input = words.join(" ");
+        let _ = parse_application(&input);
+        let _ = parse_platform(&input);
+    }
+}
