@@ -160,7 +160,7 @@ mod tests {
     #[test]
     fn single_member_is_identity_shaped() {
         let app = paper_example();
-        let combined = compose("solo", &[app.clone()]).unwrap();
+        let combined = compose("solo", std::slice::from_ref(&app)).unwrap();
         assert_eq!(combined.graph().actor_count(), app.graph().actor_count());
         assert_eq!(
             combined.throughput_constraint(),

@@ -6,7 +6,7 @@
 //! * event-driven TDMA clock advancement (the engine jumps to the next
 //!   completion) vs the worst case of many tiny wheel revolutions.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sdfrs_fastutil::{crit::Criterion, criterion_group, criterion_main};
 
 use sdfrs_appmodel::apps::{example_platform, paper_example};
 use sdfrs_core::binding_aware::BindingAwareGraph;

@@ -2,7 +2,7 @@
 //! strategy — the quantities behind the paper's "5 seconds per graph"
 //! and "90% of the run-time is slice allocation" observations.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sdfrs_fastutil::{crit::Criterion, criterion_group, criterion_main};
 
 use sdfrs_appmodel::apps::{example_platform, h263_decoder, mp3_decoder, paper_example};
 use sdfrs_core::bind::{bind_actors, BindConfig};

@@ -5,7 +5,7 @@
 //! minutes where the SDFG-based flow needs under 3 — the *ratio* is what
 //! this bench reproduces.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sdfrs_fastutil::{crit::Criterion, criterion_group, criterion_main};
 
 use sdfrs_bench::hsdf_cmp::timed_h263;
 use sdfrs_sdf::analysis::mcr::hsdf_max_cycle_mean;

@@ -1,7 +1,7 @@
 //! Criterion benches regenerating the paper's tables and figures at a
 //! reduced scale (the full-scale runs live in the `repro` binary).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sdfrs_fastutil::{crit::Criterion, criterion_group, criterion_main};
 
 use sdfrs_bench::table4::{run_experiment_with_weights, ExperimentConfig};
 use sdfrs_bench::{fig5, table3, table5};

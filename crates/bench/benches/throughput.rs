@@ -2,7 +2,7 @@
 //! the self-timed state space, the binding-aware variant, and the
 //! schedule/TDMA-constrained execution.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sdfrs_fastutil::{crit::Criterion, criterion_group, criterion_main};
 
 use sdfrs_appmodel::apps::{example_platform, paper_example};
 use sdfrs_bench::hsdf_cmp::timed_h263;

@@ -1,0 +1,218 @@
+//! `bench_throughput` — trajectory harness for the fast-path throughput
+//! machinery: interned state-space exploration, the memoized evaluation
+//! cache, and the end-to-end flow built on both.
+//!
+//! ```text
+//! bench_throughput [output.json]
+//! ```
+//!
+//! Runs a fixed set of phases, prints a human-readable trajectory, and
+//! writes a machine-readable report (default: `BENCH_throughput.json` in
+//! the current directory). Each phase records wall-clock time plus the
+//! phase's own counters: states explored for the explorations, throughput
+//! checks and cache hit/miss counts for the flow phases. The
+//! `cache_speedup` summary compares the repeated-admission workload with
+//! memoization off vs on — the headline number for the evaluation cache.
+
+use std::env;
+use std::time::Instant;
+
+use sdfrs_appmodel::apps::{example_platform, h263_decoder, paper_example};
+use sdfrs_bench::hsdf_cmp::timed_h263;
+use sdfrs_core::binding_aware::BindingAwareGraph;
+use sdfrs_core::constrained::constrained_throughput;
+use sdfrs_core::flow::{allocate_with_cache, FlowConfig};
+use sdfrs_core::list_sched::construct_schedules;
+use sdfrs_core::thru_cache::ThroughputCache;
+use sdfrs_core::Binding;
+use sdfrs_platform::mesh::multimedia_platform;
+use sdfrs_platform::{PlatformState, TileId};
+use sdfrs_sdf::analysis::selftimed::SelfTimedExecutor;
+use sdfrs_sdf::Rational;
+
+/// One measured phase of the trajectory.
+#[derive(Debug, Default)]
+struct Phase {
+    name: &'static str,
+    wall_ms: f64,
+    states_explored: Option<usize>,
+    throughput_checks: Option<usize>,
+    cache_hits: Option<usize>,
+    cache_misses: Option<usize>,
+}
+
+impl Phase {
+    fn json(&self) -> String {
+        let mut fields = vec![
+            format!("\"name\": \"{}\"", self.name),
+            format!("\"wall_ms\": {:.3}", self.wall_ms),
+        ];
+        if let Some(s) = self.states_explored {
+            fields.push(format!("\"states_explored\": {s}"));
+        }
+        if let Some(c) = self.throughput_checks {
+            fields.push(format!("\"throughput_checks\": {c}"));
+        }
+        if let Some(h) = self.cache_hits {
+            fields.push(format!("\"cache_hits\": {h}"));
+        }
+        if let Some(m) = self.cache_misses {
+            fields.push(format!("\"cache_misses\": {m}"));
+        }
+        format!("    {{ {} }}", fields.join(", "))
+    }
+}
+
+fn ms(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+/// The paper-example binding-aware graph (a1/a2 on t1, a3 on t2, 50%
+/// slices) — the Fig 5(c) configuration.
+fn example_ba() -> BindingAwareGraph {
+    let app = paper_example();
+    let arch = example_platform();
+    let g = app.graph();
+    let mut binding = Binding::new(g.actor_count());
+    binding.bind(g.actor_by_name("a1").unwrap(), TileId::from_index(0));
+    binding.bind(g.actor_by_name("a2").unwrap(), TileId::from_index(0));
+    binding.bind(g.actor_by_name("a3").unwrap(), TileId::from_index(1));
+    BindingAwareGraph::build(&app, &arch, &binding, &[5, 5]).unwrap()
+}
+
+/// Repeats the same end-to-end allocation `rounds` times against an
+/// unchanged platform state — the admission re-check pattern of Sec 10.1.
+/// Returns the phase plus the final cache counters.
+fn admission_repeat(name: &'static str, rounds: usize, mut cache: ThroughputCache) -> Phase {
+    let app = h263_decoder(0, Rational::new(1, 200_000));
+    let arch = multimedia_platform();
+    let state = PlatformState::new(&arch);
+    let flow = FlowConfig::default();
+    let mut checks = 0usize;
+    let start = Instant::now();
+    for _ in 0..rounds {
+        let (_, stats) = allocate_with_cache(&app, &arch, &state, &flow, &mut cache)
+            .expect("the H.263 decoder fits an empty multimedia platform");
+        checks += stats.throughput_checks;
+    }
+    Phase {
+        name,
+        wall_ms: ms(start),
+        throughput_checks: Some(checks),
+        cache_hits: Some(cache.hits()),
+        cache_misses: Some(cache.misses()),
+        ..Phase::default()
+    }
+}
+
+fn main() {
+    let out_path = env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_throughput.json".into());
+    let mut phases: Vec<Phase> = Vec::new();
+
+    // --- Phase 1: plain self-timed exploration, paper example (Fig 5a).
+    let app = paper_example();
+    let mut plain = app.graph().clone();
+    plain.set_execution_time(plain.actor_by_name("a1").unwrap(), 1);
+    plain.set_execution_time(plain.actor_by_name("a2").unwrap(), 1);
+    plain.set_execution_time(plain.actor_by_name("a3").unwrap(), 2);
+    let a3_plain = plain.actor_by_name("a3").unwrap();
+    let start = Instant::now();
+    let mut result = None;
+    for _ in 0..1000 {
+        result = Some(SelfTimedExecutor::new(&plain).throughput(a3_plain).unwrap());
+    }
+    phases.push(Phase {
+        name: "selftimed_fig5a_x1000",
+        wall_ms: ms(start),
+        states_explored: result.map(|r| r.states_explored),
+        ..Phase::default()
+    });
+
+    // --- Phase 2: constrained execution, paper example (Fig 5c).
+    let ba = example_ba();
+    let schedules = construct_schedules(&ba).unwrap();
+    let a3 = ba.graph().actor_by_name("a3").unwrap();
+    let start = Instant::now();
+    let mut result = None;
+    for _ in 0..1000 {
+        result = Some(constrained_throughput(&ba, &schedules, a3).unwrap());
+    }
+    phases.push(Phase {
+        name: "constrained_fig5c_x1000",
+        wall_ms: ms(start),
+        states_explored: result.map(|r| r.states_explored),
+        ..Phase::default()
+    });
+
+    // --- Phase 3: self-timed exploration of the H.263 decoder — the
+    // Sec 1 workload whose HSDF equivalent has 4754 actors.
+    let h263 = timed_h263();
+    let mc = h263.actor_by_name("mc0").unwrap();
+    let start = Instant::now();
+    let result = SelfTimedExecutor::new(&h263).throughput(mc).unwrap();
+    phases.push(Phase {
+        name: "selftimed_h263",
+        wall_ms: ms(start),
+        states_explored: Some(result.states_explored),
+        ..Phase::default()
+    });
+
+    // --- Phase 4: one end-to-end flow for the H.263 decoder.
+    let h263_app = h263_decoder(0, Rational::new(1, 200_000));
+    let arch = multimedia_platform();
+    let state = PlatformState::new(&arch);
+    let mut cache = ThroughputCache::new();
+    let start = Instant::now();
+    let (_, stats) =
+        allocate_with_cache(&h263_app, &arch, &state, &FlowConfig::default(), &mut cache)
+            .expect("the H.263 decoder fits an empty multimedia platform");
+    phases.push(Phase {
+        name: "flow_h263",
+        wall_ms: ms(start),
+        throughput_checks: Some(stats.throughput_checks),
+        cache_hits: Some(stats.cache_hits),
+        cache_misses: Some(stats.cache_misses),
+        ..Phase::default()
+    });
+
+    // --- Phases 5/6: repeated admission checks, memoization off vs on.
+    const ROUNDS: usize = 6;
+    let off = admission_repeat(
+        "admission_repeat_nocache",
+        ROUNDS,
+        ThroughputCache::disabled(),
+    );
+    let on = admission_repeat("admission_repeat_cache", ROUNDS, ThroughputCache::new());
+    let speedup = off.wall_ms / on.wall_ms.max(1e-9);
+    phases.push(off);
+    phases.push(on);
+
+    for p in &phases {
+        let extras = [
+            p.states_explored.map(|s| format!("states {s}")),
+            p.throughput_checks.map(|c| format!("checks {c}")),
+            p.cache_hits.map(|h| format!("hits {h}")),
+            p.cache_misses.map(|m| format!("misses {m}")),
+        ]
+        .into_iter()
+        .flatten()
+        .collect::<Vec<_>>()
+        .join(", ");
+        eprintln!("{:<28} {:>10.3} ms   {}", p.name, p.wall_ms, extras);
+    }
+    eprintln!("cache speedup on repeated admission ({ROUNDS} rounds): {speedup:.2}x");
+
+    let json = format!(
+        "{{\n  \"harness\": \"bench_throughput\",\n  \"rounds\": {ROUNDS},\n  \
+         \"phases\": [\n{}\n  ],\n  \"cache_speedup\": {speedup:.2}\n}}\n",
+        phases
+            .iter()
+            .map(Phase::json)
+            .collect::<Vec<_>>()
+            .join(",\n")
+    );
+    std::fs::write(&out_path, json).expect("report written");
+    eprintln!("report written to {out_path}");
+}

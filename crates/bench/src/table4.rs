@@ -173,7 +173,8 @@ pub fn run_experiment_with_weights(
     let sequences = benchmark_sequences(config);
 
     // Every (weights, set, platform, sequence) run is independent: fan the
-    // cells out over the available cores.
+    // cells out over the available cores. `par_map` hands the results back
+    // indexed by job, so the table is byte-identical to a sequential run.
     let mut jobs: Vec<(
         CostWeights,
         &'static str,
@@ -190,45 +191,26 @@ pub fn run_experiment_with_weights(
             }
         }
     }
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(jobs.len().max(1));
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut runs: Vec<Option<RunResult>> = Vec::new();
-    runs.resize_with(jobs.len(), || None);
-    let runs_mutex = std::sync::Mutex::new(&mut runs);
-
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= jobs.len() {
-                    break;
-                }
-                let (w, set, p_idx, s_idx, apps) = jobs[i];
-                let mut flow = FlowConfig::with_weights(w);
-                flow.slice.state_budget = config.state_budget;
-                flow.schedule_state_budget = config.state_budget;
-                let arch = &platforms[p_idx];
-                let result = allocate_until_failure(apps, arch, &flow);
-                let run = RunResult {
-                    set,
-                    weights: w,
-                    platform: p_idx,
-                    sequence: s_idx,
-                    bound: result.bound_count(),
-                    throughput_checks: result.total_throughput_checks(),
-                    usage: result.total_usage(),
-                    capacity: platform_capacity(arch),
-                };
-                runs_mutex.lock().expect("no poisoned runs")[i] = Some(run);
-            });
+    let runs = sdfrs_fastutil::par_map(&jobs, |&(w, set, p_idx, s_idx, apps)| {
+        let mut flow = FlowConfig::with_weights(w);
+        flow.slice.state_budget = config.state_budget;
+        flow.schedule_state_budget = config.state_budget;
+        let arch = &platforms[p_idx];
+        let result = allocate_until_failure(apps, arch, &flow);
+        RunResult {
+            set,
+            weights: w,
+            platform: p_idx,
+            sequence: s_idx,
+            bound: result.bound_count(),
+            throughput_checks: result.total_throughput_checks(),
+            usage: result.total_usage(),
+            capacity: platform_capacity(arch),
         }
     });
 
     Experiment {
-        runs: runs.into_iter().map(|r| r.expect("all jobs ran")).collect(),
+        runs,
         weights,
         sets: sequences.iter().map(|(n, _)| *n).collect(),
     }

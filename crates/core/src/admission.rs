@@ -13,7 +13,8 @@ use sdfrs_platform::{ArchitectureGraph, PlatformState};
 use sdfrs_sdf::Rational;
 
 use crate::error::MapError;
-use crate::flow::{allocate, Allocation, FlowConfig, FlowStats};
+use crate::flow::{allocate_with_cache, Allocation, FlowConfig, FlowStats};
+use crate::thru_cache::ThroughputCache;
 
 /// Strategies for ordering applications before allocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,11 +86,16 @@ pub fn allocate_best_fit(
     let mut remaining: Vec<usize> = (0..apps.len()).collect();
     let mut admitted = Vec::new();
     let mut rejected: Vec<(usize, MapError)> = Vec::new();
+    // Best-fit runs the flow speculatively: every round re-allocates each
+    // remaining application, and between the speculative run that wins a
+    // round and its commit nothing changes — one shared cache across the
+    // protocol answers those repeats from memory.
+    let mut cache = ThroughputCache::new();
     while !remaining.is_empty() {
         let mut best: Option<(usize, Allocation, FlowStats, u64)> = None;
         let mut round_errors = Vec::new();
         for &i in &remaining {
-            match allocate(&apps[i], arch, &state, config) {
+            match allocate_with_cache(&apps[i], arch, &state, config, &mut cache) {
                 Ok((alloc, stats)) => {
                     let wheel: u64 = alloc.usage.iter().map(|u| u.wheel).sum();
                     let better = best.as_ref().is_none_or(|(_, _, _, w)| wheel < *w);
@@ -149,8 +155,9 @@ pub fn allocate_skipping_failures(
     let mut state = PlatformState::new(arch);
     let mut admitted = Vec::new();
     let mut rejected = Vec::new();
+    let mut cache = ThroughputCache::new();
     for i in order_applications(apps, order) {
-        match allocate(&apps[i], arch, &state, config) {
+        match allocate_with_cache(&apps[i], arch, &state, config, &mut cache) {
             Ok((alloc, stats)) => {
                 alloc.claim_on(arch, &mut state);
                 admitted.push((i, alloc, stats));

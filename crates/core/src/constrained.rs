@@ -16,10 +16,8 @@
 //! so recurrence detection — and therefore the computed throughput —
 //! remains exact.
 
-use std::collections::hash_map::Entry;
-use std::collections::HashMap;
-
 use sdfrs_platform::TileId;
+use sdfrs_sdf::analysis::interner::StateInterner;
 use sdfrs_sdf::analysis::selftimed::ThroughputResult;
 use sdfrs_sdf::rational::lcm;
 use sdfrs_sdf::{ActorId, Rational, SdfError};
@@ -93,18 +91,12 @@ impl TileSchedules {
     }
 }
 
-/// Hashable snapshot of a constrained execution.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct ConstrainedState {
-    tokens: Vec<u64>,
-    /// Remaining *work* per actor's active firings (slice time for bound
-    /// actors, wall time for connection/sync actors), sorted per lane.
-    active: Vec<Vec<u64>>,
-    /// Canonical schedule position per tile.
-    positions: Vec<u32>,
-    /// Wall-clock phase within the TDMA hyper-period.
-    phase: u64,
-}
+// The recurrence-detection state — token counts, the sorted remaining
+// *work* per actor lane (slice time for bound actors, wall time for
+// connection/sync actors), the canonical schedule position per tile, and
+// the wall-clock phase within the TDMA hyper-period — is flat-encoded
+// into a `Vec<u64>` and interned (see `encode_state_into`); no per-state
+// struct is allocated.
 
 /// Executes a binding-aware SDFG under a scheduling function and computes
 /// the guaranteed throughput (Sec 8.2).
@@ -301,13 +293,19 @@ impl<'a> ConstrainedExecutor<'a> {
         Some(delta)
     }
 
-    fn snapshot(&self) -> ConstrainedState {
-        ConstrainedState {
-            tokens: self.tokens.clone(),
-            active: self.active.clone(),
-            positions: self.positions.clone(),
-            phase: self.time % self.hyperperiod,
+    /// Flat-encodes the recurrence-detection state into `out` (cleared
+    /// first): tokens, each lane as length + sorted entries, schedule
+    /// positions, wheel phase. Injective for a fixed graph and schedule
+    /// set, so interner equality is state equality.
+    fn encode_state_into(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend_from_slice(&self.tokens);
+        for lane in &self.active {
+            out.push(lane.len() as u64);
+            out.extend_from_slice(lane);
         }
+        out.extend(self.positions.iter().map(|&p| p as u64));
+        out.push(self.time % self.hyperperiod);
     }
 
     /// Runs until a recurrent state and returns the guaranteed throughput
@@ -319,8 +317,15 @@ impl<'a> ConstrainedExecutor<'a> {
     ///   schedule incompatible with the token flow);
     /// * [`SdfError::BudgetExceeded`] if no recurrence is found in budget.
     pub fn throughput(mut self, reference: ActorId) -> Result<ThroughputResult, SdfError> {
-        let mut seen: HashMap<ConstrainedState, (u64, u64)> = HashMap::new();
-        seen.insert(self.snapshot(), (0, 0));
+        // Interned exploration: states are flat-encoded into a reusable
+        // scratch buffer; `(time, firings)` payloads are indexed by the
+        // dense state id.
+        let mut seen = StateInterner::new();
+        let mut at_state: Vec<(u64, u64)> = Vec::new();
+        let mut scratch = Vec::new();
+        self.encode_state_into(&mut scratch);
+        seen.intern(&scratch);
+        at_state.push((0, 0));
         let mut states = 0usize;
         loop {
             states += 1;
@@ -343,34 +348,33 @@ impl<'a> ConstrainedExecutor<'a> {
                     continue;
                 }
             }
-            match seen.entry(self.snapshot()) {
-                Entry::Occupied(prev) => {
-                    let (t0, f0) = *prev.get();
-                    let period = self.time - t0;
-                    let firings = self.completions[reference.index()] - f0;
-                    if period == 0 {
-                        return Err(SdfError::BudgetExceeded {
-                            analysis: "constrained state space (zero-time cycle)",
-                            budget: self.state_budget,
-                        });
-                    }
-                    let actor_throughput = Rational::new(firings as i128, period as i128);
-                    let gamma = self.ba.graph().repetition_vector()?;
-                    let iteration_throughput =
-                        actor_throughput / Rational::from_integer(gamma[reference] as i128);
-                    return Ok(ThroughputResult {
-                        actor_throughput,
-                        iteration_throughput,
-                        reference,
-                        period,
-                        firings_in_period: firings,
-                        states_explored: states,
-                        transient_time: t0,
+            self.encode_state_into(&mut scratch);
+            let (id, fresh) = seen.intern(&scratch);
+            if fresh {
+                at_state.push((self.time, self.completions[reference.index()]));
+            } else {
+                let (t0, f0) = at_state[id as usize];
+                let period = self.time - t0;
+                let firings = self.completions[reference.index()] - f0;
+                if period == 0 {
+                    return Err(SdfError::BudgetExceeded {
+                        analysis: "constrained state space (zero-time cycle)",
+                        budget: self.state_budget,
                     });
                 }
-                Entry::Vacant(slot) => {
-                    slot.insert((self.time, self.completions[reference.index()]));
-                }
+                let actor_throughput = Rational::new(firings as i128, period as i128);
+                let gamma = self.ba.graph().repetition_vector()?;
+                let iteration_throughput =
+                    actor_throughput / Rational::from_integer(gamma[reference] as i128);
+                return Ok(ThroughputResult {
+                    actor_throughput,
+                    iteration_throughput,
+                    reference,
+                    period,
+                    firings_in_period: firings,
+                    states_explored: states,
+                    transient_time: t0,
+                });
             }
         }
     }
@@ -387,8 +391,12 @@ impl ConstrainedExecutor<'_> {
         mut self,
     ) -> Result<sdfrs_sdf::analysis::statespace::StateSpaceGraph, SdfError> {
         use sdfrs_sdf::analysis::statespace::{StateSpaceGraph, StateTransition};
-        let mut seen: HashMap<ConstrainedState, usize> = HashMap::new();
-        seen.insert(self.snapshot(), 0);
+        // Interner ids are dense in first-seen order and double as the
+        // recorded state indices.
+        let mut seen = StateInterner::new();
+        let mut scratch = Vec::new();
+        self.encode_state_into(&mut scratch);
+        seen.intern(&scratch);
         let mut transitions = Vec::new();
         let mut current = 0usize;
         let mut steps = 0usize;
@@ -422,31 +430,29 @@ impl ConstrainedExecutor<'_> {
                 }
             };
             let next_index = seen.len();
-            match seen.entry(self.snapshot()) {
-                Entry::Occupied(hit) => {
-                    let target = *hit.get();
-                    transitions.push(StateTransition {
-                        from: current,
-                        to: target,
-                        fired,
-                        elapsed,
-                    });
-                    return Ok(StateSpaceGraph {
-                        state_count: next_index,
-                        transitions,
-                        recurrent_target: target,
-                    });
-                }
-                Entry::Vacant(slot) => {
-                    slot.insert(next_index);
-                    transitions.push(StateTransition {
-                        from: current,
-                        to: next_index,
-                        fired,
-                        elapsed,
-                    });
-                    current = next_index;
-                }
+            self.encode_state_into(&mut scratch);
+            let (id, fresh) = seen.intern(&scratch);
+            if fresh {
+                transitions.push(StateTransition {
+                    from: current,
+                    to: next_index,
+                    fired,
+                    elapsed,
+                });
+                current = next_index;
+            } else {
+                let target = id as usize;
+                transitions.push(StateTransition {
+                    from: current,
+                    to: target,
+                    fired,
+                    elapsed,
+                });
+                return Ok(StateSpaceGraph {
+                    state_count: next_index,
+                    transitions,
+                    recurrent_target: target,
+                });
             }
         }
     }

@@ -80,26 +80,60 @@ pub fn explore(
     state: &PlatformState,
     weights: &[CostWeights],
 ) -> DseResult {
+    explore_impl(app, arch, state, weights, false)
+}
+
+/// [`explore`] with the sweep points evaluated concurrently.
+///
+/// Every `(weights, connection model)` configuration is independent; the
+/// per-point results are reassembled in sweep order before `points` /
+/// `failures` are built, so the output is identical to the sequential
+/// [`explore`] (asserted by the `parallel_sweep_matches_sequential` test).
+pub fn explore_parallel(
+    app: &ApplicationGraph,
+    arch: &ArchitectureGraph,
+    state: &PlatformState,
+    weights: &[CostWeights],
+) -> DseResult {
+    explore_impl(app, arch, state, weights, true)
+}
+
+fn explore_impl(
+    app: &ApplicationGraph,
+    arch: &ArchitectureGraph,
+    state: &PlatformState,
+    weights: &[CostWeights],
+    parallel: bool,
+) -> DseResult {
+    let sweep: Vec<(CostWeights, ConnectionModel)> = weights
+        .iter()
+        .flat_map(|&w| {
+            [ConnectionModel::Simple, ConnectionModel::PipelinedHops]
+                .into_iter()
+                .map(move |m| (w, m))
+        })
+        .collect();
+    let outcomes = sdfrs_fastutil::par::maybe_par_map(parallel, &sweep, |&(w, model)| {
+        let mut config = FlowConfig::with_weights(w);
+        config.connection_model = model;
+        allocate(app, arch, state, &config).map(|(allocation, _)| allocation)
+    });
     let mut points = Vec::new();
     let mut failures = Vec::new();
-    for &w in weights {
-        for model in [ConnectionModel::Simple, ConnectionModel::PipelinedHops] {
-            let mut config = FlowConfig::with_weights(w);
-            config.connection_model = model;
-            match allocate(app, arch, state, &config) {
-                Ok((allocation, _)) => {
-                    let wheel_claimed = allocation.slices.iter().sum();
-                    let tiles_used = allocation.binding.used_tiles().len();
-                    points.push(DsePoint {
-                        weights: w,
-                        connection_model: model,
-                        allocation,
-                        wheel_claimed,
-                        tiles_used,
-                    });
-                }
-                Err(e) => failures.push((w, model, e)),
+    for ((w, model), outcome) in sweep.into_iter().zip(outcomes) {
+        match outcome {
+            Ok(allocation) => {
+                let wheel_claimed = allocation.slices.iter().sum();
+                let tiles_used = allocation.binding.used_tiles().len();
+                points.push(DsePoint {
+                    weights: w,
+                    connection_model: model,
+                    allocation,
+                    wheel_claimed,
+                    tiles_used,
+                });
             }
+            Err(e) => failures.push((w, model, e)),
         }
     }
     DseResult { points, failures }
@@ -144,6 +178,30 @@ mod tests {
         }
         // The frontier never exceeds the point count.
         assert!(pareto.len() <= result.points.len());
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential() {
+        let app = paper_example();
+        let arch = example_platform();
+        let state = PlatformState::new(&arch);
+        let seq = explore(&app, &arch, &state, &CostWeights::table4());
+        let par = explore_parallel(&app, &arch, &state, &CostWeights::table4());
+        assert_eq!(seq.points.len(), par.points.len());
+        for (s, p) in seq.points.iter().zip(&par.points) {
+            assert_eq!(s.weights, p.weights);
+            assert_eq!(s.connection_model, p.connection_model);
+            assert_eq!(s.wheel_claimed, p.wheel_claimed);
+            assert_eq!(s.tiles_used, p.tiles_used);
+            assert_eq!(s.allocation.binding, p.allocation.binding);
+            assert_eq!(s.allocation.schedules, p.allocation.schedules);
+            assert_eq!(s.allocation.slices, p.allocation.slices);
+            assert_eq!(s.allocation.achieved, p.allocation.achieved);
+        }
+        assert_eq!(seq.failures.len(), par.failures.len());
+        for (s, p) in seq.failures.iter().zip(&par.failures) {
+            assert_eq!((s.0, s.1, &s.2), (p.0, p.1, &p.2));
+        }
     }
 
     #[test]

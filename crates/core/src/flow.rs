@@ -21,7 +21,8 @@ use crate::constrained::TileSchedules;
 use crate::error::MapError;
 use crate::list_sched::ListScheduler;
 use crate::resources::allocation_usage;
-use crate::slice::{allocate_slices, SliceConfig};
+use crate::slice::{allocate_slices_cached, SliceConfig};
+use crate::thru_cache::ThroughputCache;
 
 /// Configuration of the full flow.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -66,6 +67,11 @@ pub struct FlowStats {
     /// (paper: 16.1 on average over the benchmark; 34 in the multimedia
     /// experiment; 8 for a single H.263 decoder).
     pub throughput_checks: usize,
+    /// Throughput checks answered by the evaluation cache (≤
+    /// `throughput_checks`).
+    pub cache_hits: usize,
+    /// Throughput checks that ran the constrained state-space exploration.
+    pub cache_misses: usize,
     /// Wall-clock time of the binding step.
     pub binding_time: Duration,
     /// Wall-clock time of the schedule construction.
@@ -146,7 +152,25 @@ pub fn allocate(
     state: &PlatformState,
     config: &FlowConfig,
 ) -> Result<(Allocation, FlowStats), MapError> {
+    let mut cache = ThroughputCache::new();
+    allocate_with_cache(app, arch, state, config, &mut cache)
+}
+
+/// [`allocate`] with a caller-provided throughput-evaluation cache.
+///
+/// Admission protocols and DSE sweeps call the flow repeatedly for the
+/// same application against a platform state that often has not changed
+/// since the last call; sharing one [`ThroughputCache`] across those
+/// calls turns every repeated slice search into cache hits.
+pub fn allocate_with_cache(
+    app: &ApplicationGraph,
+    arch: &ArchitectureGraph,
+    state: &PlatformState,
+    config: &FlowConfig,
+    cache: &mut ThroughputCache,
+) -> Result<(Allocation, FlowStats), MapError> {
     let mut stats = FlowStats::default();
+    let (hits0, misses0) = (cache.hits(), cache.misses());
 
     // Step 1: resource binding.
     let t0 = Instant::now();
@@ -169,7 +193,7 @@ pub fn allocate(
 
     // Step 3: TDMA slice allocation.
     let t0 = Instant::now();
-    let slice_alloc = allocate_slices(
+    let slice_alloc = allocate_slices_cached(
         &mut ba,
         &schedules,
         app,
@@ -177,9 +201,12 @@ pub fn allocate(
         state,
         &binding,
         &config.slice,
+        cache,
     )?;
     stats.slice_time = t0.elapsed();
     stats.throughput_checks = slice_alloc.throughput_checks;
+    stats.cache_hits = cache.hits() - hits0;
+    stats.cache_misses = cache.misses() - misses0;
 
     let usage = allocation_usage(app, arch, &binding, &slice_alloc.slices);
     Ok((

@@ -60,6 +60,7 @@ pub mod resources;
 pub mod schedule;
 pub mod slice;
 pub mod tdma;
+pub mod thru_cache;
 pub mod tutorial;
 pub mod verify;
 
@@ -72,3 +73,4 @@ pub use cost::CostWeights;
 pub use error::MapError;
 pub use flow::{allocate, Allocation, FlowConfig, FlowStats};
 pub use schedule::StaticOrderSchedule;
+pub use thru_cache::ThroughputCache;

@@ -9,7 +9,9 @@
 //! then minimized.
 
 use std::collections::hash_map::Entry;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use sdfrs_fastutil::FxHashMap;
 
 use sdfrs_platform::TileId;
 use sdfrs_sdf::rational::lcm;
@@ -271,7 +273,7 @@ impl<'a> ListScheduler<'a> {
     ///
     /// See [`construct`](Self::construct).
     pub fn construct_raw(mut self) -> Result<TileSchedules, SdfError> {
-        let mut seen: HashMap<ListState, Vec<usize>> = HashMap::new();
+        let mut seen: FxHashMap<ListState, Vec<usize>> = FxHashMap::default();
         let seq_lens = |s: &ListScheduler| s.sequences.iter().map(Vec::len).collect::<Vec<_>>();
         seen.insert(self.snapshot(), seq_lens(&self));
         let mut states = 0usize;

@@ -7,7 +7,8 @@ use sdfrs_appmodel::ApplicationGraph;
 use sdfrs_platform::{ArchitectureGraph, PlatformState, TileUsage};
 
 use crate::error::MapError;
-use crate::flow::{allocate, Allocation, FlowConfig, FlowStats};
+use crate::flow::{allocate_with_cache, Allocation, FlowConfig, FlowStats};
+use crate::thru_cache::ThroughputCache;
 
 /// Outcome of allocating a sequence of applications.
 #[derive(Debug)]
@@ -55,8 +56,12 @@ pub fn allocate_until_failure(
     let mut allocations = Vec::new();
     let mut stats = Vec::new();
     let mut failure = None;
+    // One evaluation cache for the whole sequence: identical applications
+    // allocated against an unchanged platform state (e.g. after a failed
+    // sibling) replay their slice searches from memory.
+    let mut cache = ThroughputCache::new();
     for app in apps {
-        match allocate(app, arch, &state, config) {
+        match allocate_with_cache(app, arch, &state, config, &mut cache) {
             Ok((alloc, s)) => {
                 alloc.claim_on(arch, &mut state);
                 allocations.push(alloc);

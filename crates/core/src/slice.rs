@@ -21,9 +21,10 @@ use sdfrs_sdf::Rational;
 
 use crate::binding::Binding;
 use crate::binding_aware::BindingAwareGraph;
-use crate::constrained::{ConstrainedExecutor, TileSchedules};
+use crate::constrained::TileSchedules;
 use crate::cost::tile_loads;
 use crate::error::MapError;
+use crate::thru_cache::ThroughputCache;
 
 /// Configuration of the slice-allocation step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,6 +39,10 @@ pub struct SliceConfig {
     pub state_budget: usize,
     /// Skip the per-tile refinement (for the ablation benches).
     pub refine: bool,
+    /// Run the per-tile refinement searches of each pass concurrently.
+    /// The proposals are reassembled in tile order before being applied,
+    /// so the resulting allocation is identical to the sequential path.
+    pub parallel: bool,
 }
 
 impl Default for SliceConfig {
@@ -47,6 +52,7 @@ impl Default for SliceConfig {
             max_refine_passes: 3,
             state_budget: crate::constrained::DEFAULT_STATE_BUDGET,
             refine: true,
+            parallel: false,
         }
     }
 }
@@ -63,6 +69,9 @@ pub struct SliceAllocation {
 }
 
 /// Evaluates the guaranteed throughput under `slices`, at the output actor.
+///
+/// Counted as a throughput check even when the cache answers: the paper's
+/// metric is how often the search *consults* the analysis.
 fn evaluate(
     ba: &mut BindingAwareGraph,
     schedules: &TileSchedules,
@@ -70,13 +79,13 @@ fn evaluate(
     slices: &[u64],
     budget: usize,
     checks: &mut usize,
+    cache: &mut ThroughputCache,
 ) -> Result<ThroughputResult, MapError> {
     *checks += 1;
     ba.set_slices(slices);
     let reference = ba.ba_actor(app.output_actor());
-    ConstrainedExecutor::new(ba, schedules)
-        .with_state_budget(budget)
-        .throughput(reference)
+    cache
+        .throughput(ba, schedules, reference, budget)
         .map_err(MapError::from)
 }
 
@@ -99,6 +108,29 @@ pub fn allocate_slices(
     state: &PlatformState,
     binding: &Binding,
     config: &SliceConfig,
+) -> Result<SliceAllocation, MapError> {
+    let mut cache = ThroughputCache::new();
+    allocate_slices_cached(ba, schedules, app, arch, state, binding, config, &mut cache)
+}
+
+/// [`allocate_slices`] with a caller-provided evaluation cache.
+///
+/// The binary searches re-probe configurations the cache remembers (the
+/// equal-fraction `slice_for` map collapses many `k` values to the same
+/// slice vector on small wheels, and every refinement pass re-validates
+/// its neighbours), and callers that allocate the same application
+/// repeatedly against an unchanged platform — admission protocols, DSE
+/// sweeps — reuse whole searches across calls.
+#[allow(clippy::too_many_arguments)]
+pub fn allocate_slices_cached(
+    ba: &mut BindingAwareGraph,
+    schedules: &TileSchedules,
+    app: &ApplicationGraph,
+    arch: &ArchitectureGraph,
+    state: &PlatformState,
+    binding: &Binding,
+    config: &SliceConfig,
+    cache: &mut ThroughputCache,
 ) -> Result<SliceAllocation, MapError> {
     let lambda = app.throughput_constraint();
     let ceiling = lambda * (Rational::ONE + config.tolerance);
@@ -132,7 +164,15 @@ pub fn allocate_slices(
         return Err(MapError::ConstraintUnsatisfiable);
     }
     let full = slice_for(big_k, big_k);
-    let thr_full = evaluate(ba, schedules, app, &full, config.state_budget, &mut checks)?;
+    let thr_full = evaluate(
+        ba,
+        schedules,
+        app,
+        &full,
+        config.state_budget,
+        &mut checks,
+        cache,
+    )?;
     if thr_full.iteration_throughput < lambda {
         return Err(MapError::ConstraintUnsatisfiable);
     }
@@ -154,6 +194,7 @@ pub fn allocate_slices(
             &candidate,
             config.state_budget,
             &mut checks,
+            cache,
         )?;
         if thr.iteration_throughput >= lambda {
             let within_tolerance = thr.iteration_throughput <= ceiling;
@@ -170,6 +211,15 @@ pub fn allocate_slices(
     let mut slices = best;
 
     // --- Per-tile refinement.
+    //
+    // Each pass computes one *speculative* shrink proposal per tile: the
+    // smallest feasible slice for that tile with every other tile frozen
+    // at the pass-start allocation. The proposals are independent, so
+    // `config.parallel` fans them out across threads; they are collected
+    // in tile order either way. Proposals are then applied sequentially
+    // (tile order), each commit re-validated against the *cumulative*
+    // candidate — shrinking two tiles at once can violate λ even when
+    // each shrink alone is feasible.
     if config.refine && used.len() > 1 {
         let loads: Vec<f64> = used
             .iter()
@@ -181,35 +231,69 @@ pub fn allocate_slices(
             .fold(0.0f64, f64::max)
             .max(f64::MIN_POSITIVE);
         for _pass in 0..config.max_refine_passes {
+            let pass_start = slices.clone();
+            let tile_indices: Vec<usize> = (0..used.len()).collect();
+            let snapshot: &BindingAwareGraph = ba;
+            let seed = cache.fork();
+            let proposals = sdfrs_fastutil::par::maybe_par_map(
+                config.parallel,
+                &tile_indices,
+                |&i| -> Result<(u64, usize, ThroughputCache), MapError> {
+                    let t = used[i];
+                    let upper = pass_start[t.index()];
+                    let lower = (((loads[i] / max_load) * upper as f64).floor() as u64).max(1);
+                    let mut local_cache = seed.clone();
+                    if lower >= upper {
+                        return Ok((upper, 0, local_cache));
+                    }
+                    let mut local_ba = snapshot.clone();
+                    let mut local_checks = 0usize;
+                    let mut lo = lower;
+                    let mut hi = upper;
+                    while lo < hi {
+                        let mid = lo + (hi - lo) / 2;
+                        let mut candidate = pass_start.clone();
+                        candidate[t.index()] = mid;
+                        let thr = evaluate(
+                            &mut local_ba,
+                            schedules,
+                            app,
+                            &candidate,
+                            config.state_budget,
+                            &mut local_checks,
+                            &mut local_cache,
+                        )?;
+                        if thr.iteration_throughput >= lambda {
+                            hi = mid;
+                        } else {
+                            lo = mid + 1;
+                        }
+                    }
+                    Ok((hi, local_checks, local_cache))
+                },
+            );
             let mut changed = false;
-            for (i, &t) in used.iter().enumerate() {
-                let upper = slices[t.index()];
-                let lower = (((loads[i] / max_load) * upper as f64).floor() as u64).max(1);
-                if lower >= upper {
+            for (i, proposal) in proposals.into_iter().enumerate() {
+                let (proposed, local_checks, local_cache) = proposal?;
+                checks += local_checks;
+                cache.absorb(local_cache);
+                let t = used[i];
+                if proposed >= slices[t.index()] {
                     continue;
                 }
-                let mut lo = lower;
-                let mut hi = upper;
-                while lo < hi {
-                    let mid = lo + (hi - lo) / 2;
-                    let mut candidate = slices.clone();
-                    candidate[t.index()] = mid;
-                    let thr = evaluate(
-                        ba,
-                        schedules,
-                        app,
-                        &candidate,
-                        config.state_budget,
-                        &mut checks,
-                    )?;
-                    if thr.iteration_throughput >= lambda {
-                        hi = mid;
-                    } else {
-                        lo = mid + 1;
-                    }
-                }
-                if hi < upper {
-                    slices[t.index()] = hi;
+                let mut candidate = slices.clone();
+                candidate[t.index()] = proposed;
+                let thr = evaluate(
+                    ba,
+                    schedules,
+                    app,
+                    &candidate,
+                    config.state_budget,
+                    &mut checks,
+                    cache,
+                )?;
+                if thr.iteration_throughput >= lambda {
+                    slices = candidate;
                     changed = true;
                 }
             }
@@ -225,6 +309,7 @@ pub fn allocate_slices(
             &slices,
             config.state_budget,
             &mut checks,
+            cache,
         )?;
         if best_thr.iteration_throughput < lambda {
             // Defensive: refinement never commits an infeasible slice, but
@@ -369,6 +454,81 @@ mod tests {
             allocate_slices(&mut ba, &schedules, &app, &arch, &state, &binding, &cfg).unwrap();
         // Equal wheels ⇒ equal slices without refinement.
         assert_eq!(alloc.slices[0], alloc.slices[1]);
+    }
+
+    #[test]
+    fn parallel_refinement_matches_sequential() {
+        for num_den in [(1i128, 30i128), (1, 50), (1, 80), (1, 120)] {
+            let lambda = Rational::new(num_den.0, num_den.1);
+            let (app, arch, binding, mut ba, schedules, state) = setup(lambda);
+            let seq = allocate_slices(
+                &mut ba,
+                &schedules,
+                &app,
+                &arch,
+                &state,
+                &binding,
+                &SliceConfig::default(),
+            )
+            .unwrap();
+            let cfg = SliceConfig {
+                parallel: true,
+                ..SliceConfig::default()
+            };
+            let (app2, arch2, binding2, mut ba2, schedules2, state2) = setup(lambda);
+            let par = allocate_slices(
+                &mut ba2,
+                &schedules2,
+                &app2,
+                &arch2,
+                &state2,
+                &binding2,
+                &cfg,
+            )
+            .unwrap();
+            assert_eq!(seq.slices, par.slices, "λ = {lambda}");
+            assert_eq!(seq.achieved, par.achieved, "λ = {lambda}");
+            assert_eq!(seq.throughput_checks, par.throughput_checks, "λ = {lambda}");
+        }
+    }
+
+    #[test]
+    fn shared_cache_replays_identical_searches() {
+        use crate::thru_cache::ThroughputCache;
+        let (app, arch, binding, mut ba, schedules, state) = setup(Rational::new(1, 30));
+        let mut cache = ThroughputCache::new();
+        let first = allocate_slices_cached(
+            &mut ba,
+            &schedules,
+            &app,
+            &arch,
+            &state,
+            &binding,
+            &SliceConfig::default(),
+            &mut cache,
+        )
+        .unwrap();
+        let misses_after_first = cache.misses();
+        assert!(misses_after_first > 0);
+        let second = allocate_slices_cached(
+            &mut ba,
+            &schedules,
+            &app,
+            &arch,
+            &state,
+            &binding,
+            &SliceConfig::default(),
+            &mut cache,
+        )
+        .unwrap();
+        assert_eq!(first.slices, second.slices);
+        assert_eq!(first.achieved, second.achieved);
+        assert_eq!(
+            cache.misses(),
+            misses_after_first,
+            "the repeated search must be answered entirely from the cache"
+        );
+        assert!(cache.hits() >= second.throughput_checks);
     }
 
     #[test]

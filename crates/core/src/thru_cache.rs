@@ -1,0 +1,363 @@
+//! Memoized constrained-throughput evaluations.
+//!
+//! The slice-allocation binary searches (Sec 9.3) and the repeated
+//! admission protocols (Sec 10.1) evaluate the *same* binding-aware graph
+//! under the *same* static orders many times — often at the very same
+//! slice vector: the global search probes `slice_for(k)` values that
+//! collapse to identical slices for small wheels, every refinement pass
+//! re-validates its neighbours, and best-fit admission re-runs whole
+//! allocations against an unchanged platform state.
+//!
+//! [`ThroughputCache`] keys each evaluation by a *structural fingerprint*
+//! of everything that determines its outcome: the binding-aware graph
+//! (execution times, channels, actor→tile placement), the per-tile TDMA
+//! wheels and slices, the static-order schedules, the state budget and the
+//! reference actor. The fingerprint is a flat `Vec<u64>`; lookups compare
+//! the full key, so a hash collision can never return a wrong result.
+//! Hit/miss counters expose how much work the cache saved.
+
+use sdfrs_fastutil::FxHashMap;
+use sdfrs_sdf::analysis::selftimed::ThroughputResult;
+use sdfrs_sdf::{ActorId, SdfError};
+
+use crate::binding_aware::BindingAwareGraph;
+use crate::constrained::{ConstrainedExecutor, TileSchedules};
+
+/// Encodes everything that determines a constrained-throughput result
+/// into `out`. Injective for a fixed encoding version: every field is
+/// length-prefixed or fixed-width, so distinct configurations never
+/// collide.
+fn encode_fingerprint(
+    ba: &BindingAwareGraph,
+    schedules: &TileSchedules,
+    reference: ActorId,
+    state_budget: usize,
+    out: &mut Vec<u64>,
+) {
+    out.clear();
+    let g = ba.graph();
+    out.push(g.actor_count() as u64);
+    for a in g.actor_ids() {
+        out.push(g.actor(a).execution_time());
+        // 0 = not tile-bound (connection/sync actor), i + 1 = tile i.
+        out.push(ba.tile_of(a).map_or(0, |t| t.index() as u64 + 1));
+    }
+    out.push(g.channel_count() as u64);
+    for c in g.channel_ids() {
+        let ch = g.channel(c);
+        out.push(ch.src().index() as u64);
+        out.push(ch.dst().index() as u64);
+        out.push(ch.production_rate());
+        out.push(ch.consumption_rate());
+        out.push(ch.initial_tokens());
+    }
+    // TDMA wheels/slices and static orders for every scheduled tile (the
+    // only tiles the constrained executor consults).
+    let tiles: Vec<_> = schedules.tiles().collect();
+    out.push(tiles.len() as u64);
+    for &t in &tiles {
+        let tdma = ba.tdma(t);
+        out.push(t.index() as u64);
+        out.push(tdma.wheel);
+        out.push(tdma.slice);
+        let s = schedules.get(t).expect("tiles() yields scheduled tiles");
+        out.push(s.prefix().len() as u64);
+        out.extend(s.prefix().iter().map(|a| a.index() as u64));
+        out.push(s.period().len() as u64);
+        out.extend(s.period().iter().map(|a| a.index() as u64));
+    }
+    out.push(state_budget as u64);
+    out.push(reference.index() as u64);
+}
+
+/// A memo table for [`ConstrainedExecutor::throughput`] evaluations.
+///
+/// Both successes and analysis errors ([`SdfError::BudgetExceeded`],
+/// [`SdfError::Deadlock`]) are cached: the fingerprint includes the state
+/// budget, so a cached error is exactly what a re-run would produce.
+///
+/// # Examples
+///
+/// ```
+/// use sdfrs_core::thru_cache::ThroughputCache;
+/// let cache = ThroughputCache::new();
+/// assert_eq!((cache.hits(), cache.misses()), (0, 0));
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct ThroughputCache {
+    map: FxHashMap<Vec<u64>, Result<ThroughputResult, SdfError>>,
+    hits: usize,
+    misses: usize,
+    scratch: Vec<u64>,
+    bypass: bool,
+}
+
+impl ThroughputCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a cache that never memoizes: every evaluation runs the
+    /// exploration and counts as a miss. The ablation baseline for the
+    /// benches — the flow code stays identical, only memoization is off.
+    pub fn disabled() -> Self {
+        ThroughputCache {
+            bypass: true,
+            ..ThroughputCache::default()
+        }
+    }
+
+    /// Evaluations answered from the cache.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Evaluations that ran the state-space exploration.
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+
+    /// Distinct configurations memoized.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` if nothing is memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Drops all memoized evaluations; counters keep accumulating.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// A copy carrying the same memo table but zeroed counters: the seed
+    /// for a (parallel) search task's local cache. [`absorb`](Self::absorb)
+    /// of a fork then adds exactly the task's own hits and misses.
+    pub fn fork(&self) -> ThroughputCache {
+        ThroughputCache {
+            map: self.map.clone(),
+            hits: 0,
+            misses: 0,
+            scratch: Vec::new(),
+            bypass: self.bypass,
+        }
+    }
+
+    /// Merges another cache into this one: memoized evaluations are
+    /// adopted (first writer wins on duplicates — both sides computed the
+    /// same result) and hit/miss counters accumulate. Folds the local
+    /// caches of parallel search tasks back into the shared cache.
+    pub fn absorb(&mut self, other: ThroughputCache) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        for (key, value) in other.map {
+            self.map.entry(key).or_insert(value);
+        }
+    }
+
+    /// The guaranteed throughput of `ba` under `schedules`, measured at
+    /// `reference` — from the cache when the same configuration was
+    /// evaluated before, otherwise by running the constrained state-space
+    /// exploration and memoizing the result.
+    pub fn throughput(
+        &mut self,
+        ba: &BindingAwareGraph,
+        schedules: &TileSchedules,
+        reference: ActorId,
+        state_budget: usize,
+    ) -> Result<ThroughputResult, SdfError> {
+        if self.bypass {
+            self.misses += 1;
+            return ConstrainedExecutor::new(ba, schedules)
+                .with_state_budget(state_budget)
+                .throughput(reference);
+        }
+        let mut key = std::mem::take(&mut self.scratch);
+        encode_fingerprint(ba, schedules, reference, state_budget, &mut key);
+        if let Some(cached) = self.map.get(&key) {
+            self.hits += 1;
+            let result = cached.clone();
+            self.scratch = key;
+            return result;
+        }
+        self.misses += 1;
+        let result = ConstrainedExecutor::new(ba, schedules)
+            .with_state_budget(state_budget)
+            .throughput(reference);
+        self.map.insert(key, result.clone());
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binding::Binding;
+    use crate::list_sched::construct_schedules;
+    use sdfrs_appmodel::apps::{example_platform, paper_example};
+    use sdfrs_platform::TileId;
+
+    fn setup(slices: [u64; 2]) -> (BindingAwareGraph, TileSchedules, ActorId) {
+        let app = paper_example();
+        let arch = example_platform();
+        let g = app.graph();
+        let mut binding = Binding::new(g.actor_count());
+        binding.bind(g.actor_by_name("a1").unwrap(), TileId::from_index(0));
+        binding.bind(g.actor_by_name("a2").unwrap(), TileId::from_index(0));
+        binding.bind(g.actor_by_name("a3").unwrap(), TileId::from_index(1));
+        let ba = BindingAwareGraph::build(&app, &arch, &binding, &slices).unwrap();
+        let schedules = construct_schedules(&ba).unwrap();
+        let reference = ba.ba_actor(app.output_actor());
+        (ba, schedules, reference)
+    }
+
+    #[test]
+    fn identical_inputs_hit() {
+        let (ba, schedules, reference) = setup([5, 5]);
+        let mut cache = ThroughputCache::new();
+        let first = cache
+            .throughput(&ba, &schedules, reference, 100_000)
+            .unwrap();
+        let second = cache
+            .throughput(&ba, &schedules, reference, 100_000)
+            .unwrap();
+        assert_eq!(first, second);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+        // The cached result matches an uncached run exactly.
+        let direct = ConstrainedExecutor::new(&ba, &schedules)
+            .with_state_budget(100_000)
+            .throughput(reference)
+            .unwrap();
+        assert_eq!(first, direct);
+    }
+
+    #[test]
+    fn slice_change_misses() {
+        let (mut ba, schedules, reference) = setup([5, 5]);
+        let mut cache = ThroughputCache::new();
+        cache
+            .throughput(&ba, &schedules, reference, 100_000)
+            .unwrap();
+        ba.set_slices(&[4, 5]);
+        cache
+            .throughput(&ba, &schedules, reference, 100_000)
+            .unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (0, 2));
+        // Restoring the original slices hits again.
+        ba.set_slices(&[5, 5]);
+        cache
+            .throughput(&ba, &schedules, reference, 100_000)
+            .unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (1, 2));
+    }
+
+    #[test]
+    fn schedule_order_swap_misses() {
+        let (ba, schedules, reference) = setup([5, 5]);
+        let t0 = TileId::from_index(0);
+        let s0 = schedules.get(t0).unwrap();
+        // Rotate tile 0's periodic order: same multiset, different order.
+        let mut period = s0.period().to_vec();
+        assert!(period.len() >= 2, "tile 0 hosts a1 and a2");
+        period.rotate_left(1);
+        let mut swapped = schedules.clone();
+        swapped.set(
+            t0,
+            crate::schedule::StaticOrderSchedule::new(s0.prefix().to_vec(), period),
+        );
+        let mut cache = ThroughputCache::new();
+        cache
+            .throughput(&ba, &schedules, reference, 100_000)
+            .unwrap();
+        let _ = cache.throughput(&ba, &swapped, reference, 100_000);
+        assert_eq!((cache.hits(), cache.misses()), (0, 2));
+    }
+
+    /// The paper example with a parameterizable execution time for `a1`
+    /// on `p1` (1 in Table 2).
+    fn paper_like(exec_a1_p1: u64) -> sdfrs_appmodel::ApplicationGraph {
+        use sdfrs_appmodel::{ActorRequirements, ApplicationGraph, ChannelRequirements};
+        use sdfrs_platform::ProcessorType;
+        use sdfrs_sdf::{Rational, SdfGraph};
+        let p1 = ProcessorType::new("p1");
+        let p2 = ProcessorType::new("p2");
+        let mut g = SdfGraph::new("paper_example");
+        let a1 = g.add_actor("a1", 0);
+        let a2 = g.add_actor("a2", 0);
+        let a3 = g.add_actor("a3", 0);
+        let d1 = g.add_channel("d1", a1, 1, a2, 1, 0);
+        let d2 = g.add_channel("d2", a2, 1, a3, 2, 0);
+        let d3 = g.add_channel("d3", a1, 1, a1, 1, 1);
+        ApplicationGraph::builder(g, Rational::new(1, 30))
+            .actor(
+                a1,
+                ActorRequirements::new()
+                    .on(p1.clone(), exec_a1_p1, 10)
+                    .on(p2.clone(), 4, 15),
+            )
+            .actor(
+                a2,
+                ActorRequirements::new()
+                    .on(p1.clone(), 1, 7)
+                    .on(p2.clone(), 7, 19),
+            )
+            .actor(a3, ActorRequirements::new().on(p1, 3, 13).on(p2, 2, 10))
+            .channel(d1, ChannelRequirements::new(7, 1, 2, 2, 100))
+            .channel(d2, ChannelRequirements::new(100, 2, 2, 2, 10))
+            .channel(d3, ChannelRequirements::new(1, 1, 0, 0, 0))
+            .output_actor(a3)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn actor_time_and_budget_changes_miss() {
+        let (ba, schedules, reference) = setup([5, 5]);
+        let mut cache = ThroughputCache::new();
+        cache
+            .throughput(&ba, &schedules, reference, 100_000)
+            .unwrap();
+        // Different state budget: a distinct configuration.
+        cache
+            .throughput(&ba, &schedules, reference, 99_999)
+            .unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (0, 2));
+        // Different execution time for a1, everything else identical
+        // (same binding, slices, schedules, reference): still a miss.
+        let app = paper_like(2);
+        let arch = example_platform();
+        let g = app.graph();
+        let mut binding = Binding::new(g.actor_count());
+        binding.bind(g.actor_by_name("a1").unwrap(), TileId::from_index(0));
+        binding.bind(g.actor_by_name("a2").unwrap(), TileId::from_index(0));
+        binding.bind(g.actor_by_name("a3").unwrap(), TileId::from_index(1));
+        let ba2 = BindingAwareGraph::build(&app, &arch, &binding, &[5, 5]).unwrap();
+        cache
+            .throughput(&ba2, &schedules, reference, 100_000)
+            .unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (0, 3));
+        // Sanity: the unperturbed rebuild would have hit.
+        let app0 = paper_like(1);
+        let ba0 = BindingAwareGraph::build(&app0, &arch, &binding, &[5, 5]).unwrap();
+        cache
+            .throughput(&ba0, &schedules, reference, 100_000)
+            .unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (1, 3));
+    }
+
+    #[test]
+    fn errors_are_cached_too() {
+        let (ba, schedules, reference) = setup([5, 5]);
+        let mut cache = ThroughputCache::new();
+        // A 1-state budget cannot close the recurrence.
+        let e1 = cache.throughput(&ba, &schedules, reference, 1).unwrap_err();
+        let e2 = cache.throughput(&ba, &schedules, reference, 1).unwrap_err();
+        assert_eq!(e1, e2);
+        assert!(matches!(e1, SdfError::BudgetExceeded { .. }));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+}

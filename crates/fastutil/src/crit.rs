@@ -1,0 +1,242 @@
+//! A criterion-compatible micro-benchmark harness.
+//!
+//! Implements the subset of the `criterion` API the workspace benches use
+//! — [`Criterion`], `benchmark_group`, `bench_function`, `sample_size`,
+//! [`criterion_group!`](crate::criterion_group),
+//! [`criterion_main!`](crate::criterion_main) — so the bench files compile
+//! unchanged against this crate. Each benchmark is warmed up, calibrated
+//! to a fixed measurement budget, and reported as median/mean wall-clock
+//! per iteration.
+//!
+//! Environment knobs:
+//!
+//! * `SDFRS_BENCH_TIME_MS` — measurement budget per benchmark (default
+//!   150 ms; warm-up is a fifth of it);
+//! * `SDFRS_BENCH_JSON` — when set, also emit one JSON line per benchmark
+//!   (`{"name":…,"median_ns":…,"mean_ns":…,"samples":…}`) on stdout for
+//!   machine consumption.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+fn budget() -> Duration {
+    let ms = std::env::var("SDFRS_BENCH_TIME_MS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap_or(150);
+    Duration::from_millis(ms.max(1))
+}
+
+/// One benchmark result, as printed (and optionally emitted as JSON).
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Full benchmark id (`group/function`).
+    pub name: String,
+    /// Median wall-clock per iteration, in nanoseconds.
+    pub median_ns: f64,
+    /// Mean wall-clock per iteration, in nanoseconds.
+    pub mean_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+fn human(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// The per-function timing driver handed to `bench_function` closures.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<f64>,
+    calibrating: bool,
+}
+
+impl Bencher {
+    /// Times `f`, criterion-style: the routine is called repeatedly and
+    /// per-iteration wall-clock samples are collected.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        if self.calibrating {
+            // One throwaway call so calibration can see a first estimate.
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed().as_nanos() as f64);
+            return;
+        }
+        let t0 = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(f());
+        }
+        self.samples
+            .push(t0.elapsed().as_nanos() as f64 / self.iters_per_sample as f64);
+    }
+}
+
+/// A named group of benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark: warm-up, calibration, then timed samples.
+    pub fn bench_function<N: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, name.into());
+        let budget = budget();
+
+        // Calibration: how long does one iteration take?
+        let mut b = Bencher {
+            iters_per_sample: 1,
+            samples: Vec::new(),
+            calibrating: true,
+        };
+        let warm_until = Instant::now() + budget / 5;
+        let mut one_iter_ns = f64::MAX;
+        while Instant::now() < warm_until {
+            b.samples.clear();
+            f(&mut b);
+            if let Some(&ns) = b.samples.first() {
+                one_iter_ns = one_iter_ns.min(ns.max(1.0));
+            }
+        }
+        if one_iter_ns == f64::MAX {
+            // The closure never called iter(); nothing to report.
+            println!("{id:<48} (no measurement)");
+            return self;
+        }
+
+        // Spread the budget over `sample_size` samples.
+        let per_sample_ns = budget.as_nanos() as f64 / self.sample_size as f64;
+        let iters = (per_sample_ns / one_iter_ns).floor().max(1.0) as u64;
+        let mut b = Bencher {
+            iters_per_sample: iters,
+            samples: Vec::with_capacity(self.sample_size),
+            calibrating: false,
+        };
+        let stop = Instant::now() + budget * 2; // hard cap for slow routines
+        while b.samples.len() < self.sample_size && Instant::now() < stop {
+            f(&mut b);
+        }
+        let mut sorted = b.samples.clone();
+        sorted.sort_by(|a, c| a.partial_cmp(c).expect("finite timings"));
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        let report = BenchReport {
+            name: id.clone(),
+            median_ns: median,
+            mean_ns: mean,
+            samples: sorted.len(),
+        };
+        println!(
+            "{id:<48} median {:>12}   mean {:>12}   ({} samples × {iters} iters)",
+            human(report.median_ns),
+            human(report.mean_ns),
+            report.samples,
+        );
+        if std::env::var("SDFRS_BENCH_JSON").is_ok() {
+            println!(
+                "{{\"name\":\"{}\",\"median_ns\":{:.1},\"mean_ns\":{:.1},\"samples\":{}}}",
+                report.name, report.median_ns, report.mean_ns, report.samples
+            );
+        }
+        self.criterion.reports.push(report);
+        self
+    }
+
+    /// Ends the group (markers only; reports are printed eagerly).
+    pub fn finish(&mut self) {}
+}
+
+/// Criterion-compatible benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    /// All reports collected so far (inspectable from tests).
+    pub reports: Vec<BenchReport>,
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group<N: Into<String>>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== bench group: {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 20,
+        }
+    }
+
+    /// Runs a single, ungrouped benchmark.
+    pub fn bench_function<N: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        f: F,
+    ) -> &mut Self {
+        self.benchmark_group("bench").bench_function(name, f);
+        self
+    }
+}
+
+/// Declares a bench group function list, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($fun:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::crit::Criterion::default();
+            $( $fun(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_sane_timings() {
+        std::env::set_var("SDFRS_BENCH_TIME_MS", "20");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(5)
+            .bench_function("spin", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        g.finish();
+        assert_eq!(c.reports.len(), 1);
+        let r = &c.reports[0];
+        assert_eq!(r.name, "t/spin");
+        assert!(r.median_ns > 0.0);
+        assert!(r.samples >= 2);
+    }
+}

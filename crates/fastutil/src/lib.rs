@@ -1,0 +1,25 @@
+//! Zero-dependency performance substrate for the sdfrs workspace.
+//!
+//! The container this workspace builds in has no access to crates.io, so
+//! the handful of external crates a project like this would normally pull
+//! in are reimplemented here at the size we actually need:
+//!
+//! * [`fxhash`] — the rustc `FxHasher` (a multiply-xor hash, ~5× faster
+//!   than SipHash on short keys) plus `FxHashMap`/`FxHashSet` aliases;
+//! * [`par`] — a deterministic `rayon`-style parallel map over slices
+//!   (results always in input order, independent of thread scheduling);
+//! * [`rng`] — a small, seedable xoshiro256** PRNG with a `rand`-like
+//!   `gen_range` surface, used by the benchmark generators and the
+//!   property tests;
+//! * [`crit`] — a criterion-compatible micro-benchmark harness
+//!   (`criterion_group!`/`criterion_main!`/`Criterion`) that reports
+//!   median/mean wall-clock per iteration.
+
+pub mod crit;
+pub mod fxhash;
+pub mod par;
+pub mod rng;
+
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use par::par_map;
+pub use rng::SmallRng;

@@ -1,0 +1,116 @@
+//! Deterministic parallel map over slices.
+//!
+//! A minimal stand-in for `rayon::par_iter().map().collect()`: items are
+//! claimed from an atomic cursor by a small pool of scoped threads and the
+//! results are written back **by input index**, so the output order — and
+//! therefore every downstream reduction — is byte-identical to the serial
+//! loop regardless of thread count or scheduling. Panics in the closure
+//! propagate to the caller (the scope joins all workers first).
+//!
+//! Thread count defaults to `std::thread::available_parallelism()` and can
+//! be pinned with the `SDFRS_THREADS` environment variable (`1` forces the
+//! serial path, which runs the closure inline with zero overhead).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The worker count [`par_map`] will use (≥ 1).
+pub fn thread_count() -> usize {
+    if let Ok(v) = std::env::var("SDFRS_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items`, possibly in parallel, returning results in input
+/// order. `parallel = false` (or a single worker) runs the plain serial
+/// loop; both paths produce identical output for a deterministic `f`.
+pub fn maybe_par_map<T, R, F>(parallel: bool, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = if parallel { thread_count() } else { 1 };
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let workers = workers.min(items.len());
+    let cursor = AtomicUsize::new(0);
+    let mut buckets: Vec<Vec<(usize, R)>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let cursor = &cursor;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        out.push((i, f(&items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            buckets.push(h.join().expect("par_map worker panicked"));
+        }
+    });
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for (i, r) in buckets.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index produced a result"))
+        .collect()
+}
+
+/// Parallel map with the default thread count; see [`maybe_par_map`].
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    maybe_par_map(true, items, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let out = par_map(&items, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let items: Vec<u64> = (0..100).collect();
+        let serial = maybe_par_map(false, &items, |&x| x * x + 1);
+        let parallel = maybe_par_map(true, &items, |&x| x * x + 1);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map(&empty, |&x| x).is_empty());
+        assert_eq!(par_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(thread_count() >= 1);
+    }
+}

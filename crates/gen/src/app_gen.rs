@@ -6,8 +6,7 @@
 //! throughput constraint derived from the graph's own maximal achievable
 //! throughput — so constraints are demanding but satisfiable in principle.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sdfrs_fastutil::SmallRng;
 
 use sdfrs_appmodel::{ActorRequirements, ApplicationGraph, ChannelRequirements};
 use sdfrs_platform::ProcessorType;
@@ -18,7 +17,7 @@ use sdfrs_sdf::{Rational, SdfGraph};
 use crate::config::GeneratorConfig;
 
 /// Draws from an inclusive range.
-fn draw(rng: &mut StdRng, range: &std::ops::RangeInclusive<u64>) -> u64 {
+fn draw(rng: &mut SmallRng, range: &std::ops::RangeInclusive<u64>) -> u64 {
     rng.gen_range(*range.start()..=*range.end())
 }
 
@@ -42,7 +41,7 @@ fn draw(rng: &mut StdRng, range: &std::ops::RangeInclusive<u64>) -> u64 {
 pub struct AppGenerator {
     config: GeneratorConfig,
     types: Vec<ProcessorType>,
-    rng: StdRng,
+    rng: SmallRng,
 }
 
 impl AppGenerator {
@@ -60,7 +59,7 @@ impl AppGenerator {
         AppGenerator {
             config,
             types,
-            rng: StdRng::seed_from_u64(seed),
+            rng: SmallRng::seed_from_u64(seed),
         }
     }
 
@@ -115,7 +114,7 @@ impl AppGenerator {
             let primary = rng.gen_range(0..self.types.len());
             let mut r = ActorRequirements::new();
             for (i, pt) in self.types.iter().enumerate() {
-                let supported = i == primary || rng.gen_range(0..100) < cfg.type_support_pct;
+                let supported = i == primary || rng.gen_range(0u32..100) < cfg.type_support_pct;
                 if supported {
                     r = r.on(
                         pt.clone(),

@@ -1,8 +1,7 @@
 //! Random architecture-graph generation — platform variations for
 //! dimensioning studies and robustness testing of the allocation flow.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sdfrs_fastutil::SmallRng;
 
 use sdfrs_platform::{ArchitectureGraph, ProcessorType, Tile, TileId};
 
@@ -60,7 +59,7 @@ impl Default for ArchConfig {
 #[derive(Debug)]
 pub struct ArchGenerator {
     config: ArchConfig,
-    rng: StdRng,
+    rng: SmallRng,
 }
 
 impl ArchGenerator {
@@ -76,7 +75,7 @@ impl ArchGenerator {
         );
         ArchGenerator {
             config,
-            rng: StdRng::seed_from_u64(seed),
+            rng: SmallRng::seed_from_u64(seed),
         }
     }
 
@@ -120,7 +119,7 @@ impl ArchGenerator {
                 if connected[i][j] {
                     continue;
                 }
-                if self.rng.gen_range(0..100) < self.config.connectivity_pct {
+                if self.rng.gen_range(0u32..100) < self.config.connectivity_pct {
                     let latency = self.draw(&self.config.latency.clone());
                     arch.add_connection(TileId::from_index(i), TileId::from_index(j), latency);
                     arch.add_connection(TileId::from_index(j), TileId::from_index(i), latency);

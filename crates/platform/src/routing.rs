@@ -27,15 +27,18 @@ pub fn shortest_latencies(arch: &ArchitectureGraph) -> Vec<Vec<Option<u64>>> {
             dist[u][v] = Some(c.latency());
         }
     }
-    // Floyd–Warshall.
+    // Floyd–Warshall. Row k is snapshotted so updating row i never
+    // aliases the row being read (i == k leaves the row unchanged anyway:
+    // dist[k][k] is 0).
     for k in 0..n {
-        for i in 0..n {
-            let Some(ik) = dist[i][k] else { continue };
-            for j in 0..n {
-                let Some(kj) = dist[k][j] else { continue };
+        let row_k = dist[k].clone();
+        for row in dist.iter_mut() {
+            let Some(ik) = row[k] else { continue };
+            for (j, kj) in row_k.iter().enumerate() {
+                let Some(kj) = *kj else { continue };
                 let through = ik + kj;
-                if dist[i][j].is_none_or(|cur| through < cur) {
-                    dist[i][j] = Some(through);
+                if row[j].is_none_or(|cur| through < cur) {
+                    row[j] = Some(through);
                 }
             }
         }
@@ -70,16 +73,15 @@ pub fn complete_with_routes(arch: &ArchitectureGraph) -> ArchitectureGraph {
     for (_, tile) in arch.tiles() {
         out.add_tile(tile.clone());
     }
-    let n = arch.tile_count();
-    for i in 0..n {
-        for j in 0..n {
+    for (i, row) in dist.iter().enumerate() {
+        for (j, routed) in row.iter().enumerate() {
             if i == j {
                 continue;
             }
             let (u, v) = (TileId::from_index(i), TileId::from_index(j));
             if let Some((_, existing)) = arch.connection_between(u, v) {
                 out.add_connection(u, v, existing.latency());
-            } else if let Some(latency) = dist[i][j] {
+            } else if let Some(latency) = *routed {
                 out.add_connection(u, v, latency);
             }
         }

@@ -190,7 +190,7 @@ pub fn karp_max_cycle_mean(graph: &SdfGraph) -> Result<CycleRatio, SdfError> {
         }
         // Dense indices for the SCC's real nodes, then dummies.
         let real: Vec<usize> = (0..n).filter(|&v| comp[v] == scc).collect();
-        let mut dense = std::collections::HashMap::new();
+        let mut dense = sdfrs_fastutil::FxHashMap::default();
         for (i, &v) in real.iter().enumerate() {
             dense.insert(v, i);
         }

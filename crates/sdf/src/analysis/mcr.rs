@@ -138,7 +138,7 @@ fn howard_scc(
     edges: &[RatioEdge],
 ) -> Result<CycleRatio, SdfError> {
     // Dense re-indexing of this SCC's nodes.
-    let mut dense = std::collections::HashMap::new();
+    let mut dense = sdfrs_fastutil::FxHashMap::default();
     for (i, &v) in nodes.iter().enumerate() {
         dense.insert(v, i);
     }

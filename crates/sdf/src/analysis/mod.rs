@@ -5,6 +5,7 @@
 pub mod bounds;
 pub mod cycles;
 pub mod deadlock;
+pub mod interner;
 pub mod karp;
 pub mod latency;
 pub mod mcr;

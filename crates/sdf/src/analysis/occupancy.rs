@@ -53,11 +53,13 @@ impl OccupancyResult {
 /// # Ok::<(), sdfrs_sdf::SdfError>(())
 /// ```
 pub fn max_occupancy(graph: &SdfGraph, state_budget: usize) -> Result<OccupancyResult, SdfError> {
-    use std::collections::HashSet;
+    use crate::analysis::interner::StateInterner;
     let mut executor = SelfTimedExecutor::new(graph);
     let mut peak: Vec<u64> = executor.state().tokens.clone();
-    let mut seen: HashSet<crate::analysis::selftimed::ExecState> = HashSet::new();
-    seen.insert(executor.state().clone());
+    let mut seen = StateInterner::new();
+    let mut scratch = Vec::new();
+    executor.state().encode_into(&mut scratch);
+    seen.intern(&scratch);
     let mut states = 0usize;
     loop {
         states += 1;
@@ -86,7 +88,8 @@ pub fn max_occupancy(graph: &SdfGraph, state_budget: usize) -> Result<OccupancyR
                 peak[i] = t;
             }
         }
-        if !seen.insert(executor.state().clone()) {
+        executor.state().encode_into(&mut scratch);
+        if !seen.intern(&scratch).1 {
             return Ok(OccupancyResult {
                 peak,
                 states_explored: states,

@@ -8,9 +8,7 @@
 //! space is a single lasso: a transient prefix followed by a periodic
 //! phase, from which the throughput is read off exactly.
 
-use std::collections::hash_map::Entry;
-use std::collections::HashMap;
-
+use crate::analysis::interner::StateInterner;
 use crate::error::SdfError;
 use crate::graph::SdfGraph;
 use crate::ids::ActorId;
@@ -49,6 +47,20 @@ impl ExecState {
     /// Total number of firings currently in progress.
     pub fn active_firings(&self) -> usize {
         self.active.iter().map(Vec::len).sum()
+    }
+
+    /// Serializes the state into `out` (cleared first) as a flat word
+    /// sequence for [`StateInterner`]: all token counts, then each actor's
+    /// lane as its length followed by its (sorted) remaining times. The
+    /// encoding is injective for a fixed graph, so interner equality is
+    /// state equality.
+    pub fn encode_into(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend_from_slice(&self.tokens);
+        for lane in &self.active {
+            out.push(lane.len() as u64);
+            out.extend_from_slice(lane);
+        }
     }
 }
 
@@ -299,8 +311,15 @@ impl<'g> SelfTimedExecutor<'g> {
     ///   state budget (e.g. on graphs whose token counts grow without bound
     ///   because some actor is not on any cycle).
     pub fn throughput(mut self, reference: ActorId) -> Result<ThroughputResult, SdfError> {
-        let mut seen: HashMap<ExecState, (u64, u64)> = HashMap::new();
-        seen.insert(self.state.clone(), (0, 0));
+        // Interned exploration: each state is flat-encoded once into a
+        // reusable scratch buffer; `(time, firings)` payloads live in a
+        // dense vector indexed by state id.
+        let mut seen = StateInterner::new();
+        let mut at_state: Vec<(u64, u64)> = Vec::new();
+        let mut scratch = Vec::new();
+        self.state.encode_into(&mut scratch);
+        seen.intern(&scratch);
+        at_state.push((0, 0));
         let mut states = 0usize;
         loop {
             states += 1;
@@ -322,37 +341,35 @@ impl<'g> SelfTimedExecutor<'g> {
                 }
                 Some(_) => {}
             }
-            let key = self.state.clone();
-            match seen.entry(key) {
-                Entry::Occupied(prev) => {
-                    let (t0, f0) = *prev.get();
-                    let period = self.time - t0;
-                    let firings = self.completions[reference.index()] - f0;
-                    if period == 0 {
-                        // A zero-time recurrent loop means unbounded
-                        // instantaneous firing — treat as budget problem.
-                        return Err(SdfError::BudgetExceeded {
-                            analysis: "self-timed state space (zero-time cycle)",
-                            budget: self.state_budget,
-                        });
-                    }
-                    let actor_throughput = Rational::new(firings as i128, period as i128);
-                    let gamma = self.graph.repetition_vector()?;
-                    let iteration_throughput =
-                        actor_throughput / Rational::from_integer(gamma[reference] as i128);
-                    return Ok(ThroughputResult {
-                        actor_throughput,
-                        iteration_throughput,
-                        reference,
-                        period,
-                        firings_in_period: firings,
-                        states_explored: states,
-                        transient_time: t0,
+            self.state.encode_into(&mut scratch);
+            let (id, fresh) = seen.intern(&scratch);
+            if fresh {
+                at_state.push((self.time, self.completions[reference.index()]));
+            } else {
+                let (t0, f0) = at_state[id as usize];
+                let period = self.time - t0;
+                let firings = self.completions[reference.index()] - f0;
+                if period == 0 {
+                    // A zero-time recurrent loop means unbounded
+                    // instantaneous firing — treat as budget problem.
+                    return Err(SdfError::BudgetExceeded {
+                        analysis: "self-timed state space (zero-time cycle)",
+                        budget: self.state_budget,
                     });
                 }
-                Entry::Vacant(slot) => {
-                    slot.insert((self.time, self.completions[reference.index()]));
-                }
+                let actor_throughput = Rational::new(firings as i128, period as i128);
+                let gamma = self.graph.repetition_vector()?;
+                let iteration_throughput =
+                    actor_throughput / Rational::from_integer(gamma[reference] as i128);
+                return Ok(ThroughputResult {
+                    actor_throughput,
+                    iteration_throughput,
+                    reference,
+                    period,
+                    firings_in_period: firings,
+                    states_explored: states,
+                    transient_time: t0,
+                });
             }
         }
     }
@@ -369,8 +386,12 @@ impl SelfTimedExecutor<'_> {
         mut self,
     ) -> Result<crate::analysis::statespace::StateSpaceGraph, SdfError> {
         use crate::analysis::statespace::{StateSpaceGraph, StateTransition};
-        let mut seen: HashMap<ExecState, usize> = HashMap::new();
-        seen.insert(self.state.clone(), 0);
+        // Interner ids are dense in first-seen order, so they double as
+        // the state indices of the recorded lasso.
+        let mut seen = StateInterner::new();
+        let mut scratch = Vec::new();
+        self.state.encode_into(&mut scratch);
+        seen.intern(&scratch);
         let mut transitions = Vec::new();
         let mut current = 0usize;
         let mut steps = 0usize;
@@ -395,31 +416,29 @@ impl SelfTimedExecutor<'_> {
                 .map(|&a| self.graph.actor(a).name().to_string())
                 .collect();
             let next_index = seen.len();
-            match seen.entry(self.state.clone()) {
-                Entry::Occupied(hit) => {
-                    let target = *hit.get();
-                    transitions.push(StateTransition {
-                        from: current,
-                        to: target,
-                        fired,
-                        elapsed: step.elapsed,
-                    });
-                    return Ok(StateSpaceGraph {
-                        state_count: next_index,
-                        transitions,
-                        recurrent_target: target,
-                    });
-                }
-                Entry::Vacant(slot) => {
-                    slot.insert(next_index);
-                    transitions.push(StateTransition {
-                        from: current,
-                        to: next_index,
-                        fired,
-                        elapsed: step.elapsed,
-                    });
-                    current = next_index;
-                }
+            self.state.encode_into(&mut scratch);
+            let (id, fresh) = seen.intern(&scratch);
+            if fresh {
+                transitions.push(StateTransition {
+                    from: current,
+                    to: next_index,
+                    fired,
+                    elapsed: step.elapsed,
+                });
+                current = next_index;
+            } else {
+                let target = id as usize;
+                transitions.push(StateTransition {
+                    from: current,
+                    to: target,
+                    fired,
+                    elapsed: step.elapsed,
+                });
+                return Ok(StateSpaceGraph {
+                    state_count: next_index,
+                    transitions,
+                    recurrent_target: target,
+                });
             }
         }
     }
@@ -586,6 +605,51 @@ mod tests {
         let r = self_timed_throughput(&g, b).unwrap();
         // In steady state the b self-edge dominates: one b firing per 4.
         assert_eq!(r.actor_throughput, Rational::new(1, 4));
+    }
+
+    /// The interner encoding relies on lanes staying sorted ascending:
+    /// every mutation path (`start_all_enabled`, `complete_finished`,
+    /// `advance_clock`) must preserve the invariant, or equal multisets
+    /// would encode — and hash — differently.
+    #[test]
+    fn active_lanes_stay_sorted_across_execution() {
+        // Multirate, multi-actor, with auto-concurrency: lanes hold
+        // several in-flight firings with distinct remaining times.
+        let mut g = SdfGraph::new("sorted");
+        let a = g.add_actor("a", 5);
+        let b = g.add_actor("b", 2);
+        let c = g.add_actor("c", 7);
+        g.add_channel("ab", a, 2, b, 3, 3);
+        g.add_channel("bc", b, 3, c, 2, 0);
+        g.add_channel("ca", c, 2, a, 2, 4);
+        let mut ex = SelfTimedExecutor::new(&g);
+        let mut scratch_a = Vec::new();
+        let mut scratch_b = Vec::new();
+        for step in 0..200 {
+            ex.complete_finished();
+            for lane in &ex.state().active {
+                assert!(
+                    lane.windows(2).all(|w| w[0] <= w[1]),
+                    "step {step}: lane unsorted after complete: {lane:?}"
+                );
+            }
+            ex.start_all_enabled();
+            for lane in &ex.state().active {
+                assert!(
+                    lane.windows(2).all(|w| w[0] <= w[1]),
+                    "step {step}: lane unsorted after start: {lane:?}"
+                );
+            }
+            // Sorted lanes make encoding canonical: re-encoding the same
+            // state (and a clone of it) must agree word-for-word.
+            ex.state().encode_into(&mut scratch_a);
+            ex.state().clone().encode_into(&mut scratch_b);
+            assert_eq!(scratch_a, scratch_b, "step {step}");
+            if ex.advance_clock().is_none() {
+                break;
+            }
+        }
+        assert!(ex.time() > 0, "execution must have progressed");
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! structure serves both the untimed application structure and the timed
 //! (binding-aware) analysis graphs of Section 8.
 
-use std::collections::HashMap;
+use sdfrs_fastutil::FxHashMap;
 
 use crate::error::SdfError;
 use crate::ids::{ActorId, ChannelId};
@@ -296,7 +296,7 @@ impl SdfGraph {
         if self.actors.is_empty() {
             return Err(SdfError::Empty);
         }
-        let mut seen = HashMap::new();
+        let mut seen = FxHashMap::default();
         for (id, a) in self.actors() {
             if let Some(prev) = seen.insert(a.name.clone(), id) {
                 // Reuse ZeroRate's free-form channel field for a name clash
@@ -306,7 +306,7 @@ impl SdfGraph {
                 });
             }
         }
-        let mut seen = HashMap::new();
+        let mut seen = FxHashMap::default();
         for (id, c) in self.channels() {
             if let Some(prev) = seen.insert(c.name.clone(), id) {
                 return Err(SdfError::ZeroRate {

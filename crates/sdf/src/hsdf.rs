@@ -7,7 +7,7 @@
 //! larger (H.263: 4 actors → 4754), which is exactly what the
 //! [`hsdf_size`]/[`convert_to_hsdf`] pair lets callers demonstrate.
 
-use std::collections::HashMap;
+use sdfrs_fastutil::FxHashMap;
 
 use crate::error::SdfError;
 use crate::graph::SdfGraph;
@@ -100,7 +100,7 @@ pub fn convert_to_hsdf(graph: &SdfGraph) -> Result<HsdfConversion, SdfError> {
     }
 
     // Deduplicate edges: (src copy, dst copy, delay) → emitted once.
-    let mut emitted: HashMap<(usize, usize, u64), ()> = HashMap::new();
+    let mut emitted: FxHashMap<(usize, usize, u64), ()> = FxHashMap::default();
     for (_, ch) in graph.channels() {
         let (a, b) = (ch.src(), ch.dst());
         let (p, q, tok) = (

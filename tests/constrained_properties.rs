@@ -1,7 +1,10 @@
 //! Property-based tests of the constrained execution engine — the
 //! component whose correctness the throughput *guarantee* rests on.
-
-use proptest::prelude::*;
+//!
+//! The slice space is small enough to cover exhaustively (every `(s1, s2)`
+//! in `1..=10 × 1..=10`), which is strictly stronger than the sampled
+//! `proptest` runs this file used when the workspace still had network
+//! access to crates.io.
 
 use sdfrs_appmodel::apps::{example_platform, paper_example};
 use sdfrs_core::binding_aware::{BindingAwareGraph, ConnectionModel};
@@ -23,78 +26,108 @@ fn example_ba(slices: [u64; 2], model: ConnectionModel) -> BindingAwareGraph {
     BindingAwareGraph::build_with_model(&app, &arch, &binding, &slices, model).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn all_slices() -> impl Iterator<Item = (u64, u64)> {
+    (1u64..=10).flat_map(|s1| (1u64..=10).map(move |s2| (s1, s2)))
+}
 
-    /// Guaranteed throughput is monotone in each tile's slice and never
-    /// exceeds the unconstrained self-timed throughput.
-    #[test]
-    fn throughput_monotone_in_slices(s1 in 1u64..=10, s2 in 1u64..=10) {
+/// Guaranteed throughput is monotone in each tile's slice and never
+/// exceeds the unconstrained self-timed throughput.
+#[test]
+fn throughput_monotone_in_slices() {
+    for (s1, s2) in all_slices() {
         let ba = example_ba([s1, s2], ConnectionModel::Simple);
         let schedules = construct_schedules(&ba).unwrap();
         let a3 = ba.graph().actor_by_name("a3").unwrap();
-        let base = constrained_throughput(&ba, &schedules, a3).unwrap().actor_throughput;
+        let base = constrained_throughput(&ba, &schedules, a3)
+            .unwrap()
+            .actor_throughput;
 
         // Unconstrained bound.
         let free = SelfTimedExecutor::new(ba.graph()).throughput(a3).unwrap();
-        prop_assert!(base <= free.actor_throughput);
+        assert!(base <= free.actor_throughput, "[{s1},{s2}]");
 
         // Growing either slice never hurts.
         if s1 < 10 {
             let bigger = example_ba([s1 + 1, s2], ConnectionModel::Simple);
             let schedules = construct_schedules(&bigger).unwrap();
-            let thr = constrained_throughput(&bigger, &schedules, a3).unwrap().actor_throughput;
-            prop_assert!(thr >= base, "slice t1 {s1}→{} dropped {base} → {thr}", s1 + 1);
+            let thr = constrained_throughput(&bigger, &schedules, a3)
+                .unwrap()
+                .actor_throughput;
+            assert!(
+                thr >= base,
+                "slice t1 {s1}→{} dropped {base} → {thr}",
+                s1 + 1
+            );
         }
         if s2 < 10 {
             let bigger = example_ba([s1, s2 + 1], ConnectionModel::Simple);
             let schedules = construct_schedules(&bigger).unwrap();
-            let thr = constrained_throughput(&bigger, &schedules, a3).unwrap().actor_throughput;
-            prop_assert!(thr >= base, "slice t2 {s2}→{} dropped {base} → {thr}", s2 + 1);
+            let thr = constrained_throughput(&bigger, &schedules, a3)
+                .unwrap()
+                .actor_throughput;
+            assert!(
+                thr >= base,
+                "slice t2 {s2}→{} dropped {base} → {thr}",
+                s2 + 1
+            );
         }
     }
+}
 
-    /// The pipelined NoC model never reports lower throughput than the
-    /// simple conservative connection actor.
-    #[test]
-    fn pipelined_model_dominates_simple(s1 in 1u64..=10, s2 in 1u64..=10) {
-        let a3 = |model| {
+/// The pipelined NoC model never reports lower throughput than the simple
+/// conservative connection actor.
+#[test]
+fn pipelined_model_dominates_simple() {
+    for (s1, s2) in all_slices() {
+        let thr = |model| {
             let ba = example_ba([s1, s2], model);
             let schedules = construct_schedules(&ba).unwrap();
             let a3 = ba.graph().actor_by_name("a3").unwrap();
-            constrained_throughput(&ba, &schedules, a3).unwrap().actor_throughput
+            constrained_throughput(&ba, &schedules, a3)
+                .unwrap()
+                .actor_throughput
         };
-        let simple = a3(ConnectionModel::Simple);
-        let pipelined = a3(ConnectionModel::PipelinedHops);
-        prop_assert!(pipelined >= simple, "{pipelined} < {simple} at [{s1},{s2}]");
+        let simple = thr(ConnectionModel::Simple);
+        let pipelined = thr(ConnectionModel::PipelinedHops);
+        assert!(pipelined >= simple, "{pipelined} < {simple} at [{s1},{s2}]");
     }
+}
 
-    /// The trace agrees with the throughput analysis: counting a3 firings
-    /// over a long window approximates the analyzed rate.
-    #[test]
-    fn trace_rate_matches_analysis(s1 in 2u64..=10, s2 in 2u64..=10) {
+/// The trace agrees with the throughput analysis: counting a3 firings over
+/// a long window approximates the analyzed rate.
+#[test]
+fn trace_rate_matches_analysis() {
+    for (s1, s2) in all_slices().filter(|&(s1, s2)| s1 >= 2 && s2 >= 2) {
         let ba = example_ba([s1, s2], ConnectionModel::Simple);
         let schedules = construct_schedules(&ba).unwrap();
         let a3 = ba.graph().actor_by_name("a3").unwrap();
         let analyzed = constrained_throughput(&ba, &schedules, a3).unwrap();
         let period = analyzed.actor_throughput.recip();
         let horizon = (period.numer() as u64 / period.denom() as u64 + 1) * 12;
-        let trace = ConstrainedExecutor::new(&ba, &schedules).trace(horizon).unwrap();
+        let trace = ConstrainedExecutor::new(&ba, &schedules)
+            .trace(horizon)
+            .unwrap();
         let count = trace.events_of(a3).len() as i128;
         // Expected firings ± 3 (transient + window truncation).
-        let expected = (analyzed.actor_throughput
-            * Rational::from_integer(horizon as i128)).floor();
-        prop_assert!((count - expected).abs() <= 3,
-            "horizon {horizon}: counted {count}, expected ≈{expected}");
+        let expected =
+            (analyzed.actor_throughput * Rational::from_integer(horizon as i128)).floor();
+        assert!(
+            (count - expected).abs() <= 3,
+            "[{s1},{s2}] horizon {horizon}: counted {count}, expected ≈{expected}"
+        );
     }
+}
 
-    /// Completed trace events of tile-bound actors respect the static
-    /// order cyclically.
-    #[test]
-    fn trace_respects_static_order(s1 in 1u64..=10, s2 in 1u64..=10) {
+/// Completed trace events of tile-bound actors respect the static order
+/// cyclically.
+#[test]
+fn trace_respects_static_order() {
+    for (s1, s2) in all_slices() {
         let ba = example_ba([s1, s2], ConnectionModel::Simple);
         let schedules = construct_schedules(&ba).unwrap();
-        let trace = ConstrainedExecutor::new(&ba, &schedules).trace(150).unwrap();
+        let trace = ConstrainedExecutor::new(&ba, &schedules)
+            .trace(150)
+            .unwrap();
         for tile in [TileId::from_index(0), TileId::from_index(1)] {
             let schedule = schedules.get(tile).unwrap();
             let fired: Vec<_> = trace
@@ -103,7 +136,11 @@ proptest! {
                 .filter(|e| ba.tile_of(e.actor) == Some(tile))
                 .collect();
             for (i, e) in fired.iter().enumerate() {
-                prop_assert_eq!(e.actor, schedule.at(i), "position {} on {}", i, tile);
+                assert_eq!(
+                    e.actor,
+                    schedule.at(i),
+                    "[{s1},{s2}] position {i} on {tile}"
+                );
             }
         }
     }

@@ -1,10 +1,14 @@
 //! Property-based tests over the analysis substrate and the allocation
 //! machinery.
-
-use proptest::prelude::*;
+//!
+//! Cases are drawn from the workspace's seeded [`SmallRng`] (the build
+//! environment is offline, so `proptest` is replaced by a deterministic
+//! case loop); every assertion carries its case index and the generator is
+//! reproducible from the seed alone, so failures replay exactly.
 
 use sdfrs_core::schedule::StaticOrderSchedule;
 use sdfrs_core::tdma::TdmaSlice;
+use sdfrs_fastutil::SmallRng;
 use sdfrs_gen::{AppGenerator, GeneratorConfig};
 use sdfrs_platform::ProcessorType;
 use sdfrs_sdf::analysis::deadlock::check_deadlock_free;
@@ -13,6 +17,8 @@ use sdfrs_sdf::analysis::selftimed::SelfTimedExecutor;
 use sdfrs_sdf::hsdf::{convert_to_hsdf, hsdf_size};
 use sdfrs_sdf::rational::gcd;
 use sdfrs_sdf::{ActorId, Rational, SdfGraph};
+
+const CASES: usize = 64;
 
 /// A random consistent, live, strongly-bounded SDFG: a chain with derived
 /// rates, buffer back-edges, self-edges, and a closing feedback edge.
@@ -23,20 +29,13 @@ struct BoundedGraph {
     buffers: Vec<u64>,
 }
 
-fn bounded_graph_strategy() -> impl Strategy<Value = BoundedGraph> {
-    (2usize..=4)
-        .prop_flat_map(|n| {
-            (
-                proptest::collection::vec(1u64..=3, n),
-                proptest::collection::vec(1u64..=6, n),
-                proptest::collection::vec(0u64..=2, n.max(1) - 1),
-            )
-        })
-        .prop_map(|(gamma_raw, exec, buffers)| BoundedGraph {
-            gamma_raw,
-            exec,
-            buffers,
-        })
+fn draw_spec(rng: &mut SmallRng) -> BoundedGraph {
+    let n = rng.gen_range(2usize..=4);
+    BoundedGraph {
+        gamma_raw: (0..n).map(|_| rng.gen_range(1u64..=3)).collect(),
+        exec: (0..n).map(|_| rng.gen_range(1u64..=6)).collect(),
+        buffers: (0..n - 1).map(|_| rng.gen_range(0u64..=2)).collect(),
+    }
 }
 
 fn build(spec: &BoundedGraph) -> SdfGraph {
@@ -68,102 +67,131 @@ fn build(spec: &BoundedGraph) -> SdfGraph {
     g
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The repetition vector satisfies every balance equation and is the
-    /// smallest positive integer solution.
-    #[test]
-    fn repetition_vector_is_minimal_and_balanced(spec in bounded_graph_strategy()) {
+/// Runs `body` over [`CASES`] generated graphs, tagging failures by case.
+fn for_each_spec(seed: u64, body: impl Fn(usize, &BoundedGraph, &SdfGraph)) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for case in 0..CASES {
+        let spec = draw_spec(&mut rng);
         let g = build(&spec);
+        body(case, &spec, &g);
+    }
+}
+
+/// The repetition vector satisfies every balance equation and is the
+/// smallest positive integer solution.
+#[test]
+fn repetition_vector_is_minimal_and_balanced() {
+    for_each_spec(0xA11CE, |case, spec, g| {
         let gamma = g.repetition_vector().unwrap();
         for (_, ch) in g.channels() {
-            prop_assert_eq!(
+            assert_eq!(
                 ch.production_rate() * gamma[ch.src()],
-                ch.consumption_rate() * gamma[ch.dst()]
+                ch.consumption_rate() * gamma[ch.dst()],
+                "case {case}: unbalanced {spec:?}"
             );
         }
         let all_gcd = gamma
             .as_slice()
             .iter()
             .fold(0u128, |acc, &x| gcd(acc, x as u128));
-        prop_assert_eq!(all_gcd, 1, "γ must be the smallest solution");
-    }
+        assert_eq!(all_gcd, 1, "case {case}: γ must be the smallest solution");
+    });
+}
 
-    /// HSDF conversion: Σγ actors, all rates 1, still consistent and live.
-    #[test]
-    fn hsdf_conversion_shape(spec in bounded_graph_strategy()) {
-        let g = build(&spec);
-        let h = convert_to_hsdf(&g).unwrap();
-        prop_assert_eq!(h.graph.actor_count() as u64, hsdf_size(&g).unwrap());
+/// HSDF conversion: Σγ actors, all rates 1, still consistent and live.
+#[test]
+fn hsdf_conversion_shape() {
+    for_each_spec(0xB0B, |case, spec, g| {
+        let h = convert_to_hsdf(g).unwrap();
+        assert_eq!(
+            h.graph.actor_count() as u64,
+            hsdf_size(g).unwrap(),
+            "case {case}: {spec:?}"
+        );
         for (_, c) in h.graph.channels() {
-            prop_assert_eq!(c.production_rate(), 1);
-            prop_assert_eq!(c.consumption_rate(), 1);
+            assert_eq!(c.production_rate(), 1, "case {case}");
+            assert_eq!(c.consumption_rate(), 1, "case {case}");
         }
-        prop_assert!(h.graph.repetition_vector().is_ok());
-        prop_assert!(check_deadlock_free(&h.graph).is_ok());
-    }
+        assert!(h.graph.repetition_vector().is_ok(), "case {case}");
+        assert!(check_deadlock_free(&h.graph).is_ok(), "case {case}");
+    });
+}
 
-    /// The paper's substrate equivalence: self-timed state-space
-    /// throughput equals 1 / maximum-cycle-mean of the HSDF conversion.
-    #[test]
-    fn state_space_equals_mcm(spec in bounded_graph_strategy()) {
-        let g = build(&spec);
+/// The paper's substrate equivalence: self-timed state-space throughput
+/// equals 1 / maximum-cycle-mean of the HSDF conversion.
+#[test]
+fn state_space_equals_mcm() {
+    for_each_spec(0xC0FFEE, |case, spec, g| {
         let reference = g.actor_ids().next().unwrap();
-        let st = SelfTimedExecutor::new(&g)
+        let st = SelfTimedExecutor::new(g)
             .with_state_budget(2_000_000)
             .throughput(reference)
             .unwrap();
-        let h = convert_to_hsdf(&g).unwrap();
+        let h = convert_to_hsdf(g).unwrap();
         let mcm = match hsdf_max_cycle_mean(&h.graph).unwrap() {
             CycleRatio::Ratio(r) => r,
-            other => {
-                prop_assert!(false, "bounded graph must have cycles: {other:?}");
-                return Ok(());
-            }
+            other => panic!("case {case}: bounded graph must have cycles: {other:?} {spec:?}"),
         };
-        prop_assert_eq!(st.iteration_throughput, mcm.recip());
-    }
+        assert_eq!(
+            st.iteration_throughput,
+            mcm.recip(),
+            "case {case}: {spec:?}"
+        );
+    });
+}
 
-    /// Deadlock-freedom check agrees with the timed executor.
-    #[test]
-    fn liveness_check_matches_execution(spec in bounded_graph_strategy()) {
-        let g = build(&spec);
-        prop_assert!(check_deadlock_free(&g).is_ok());
+/// Deadlock-freedom check agrees with the timed executor.
+#[test]
+fn liveness_check_matches_execution() {
+    for_each_spec(0xD00D, |case, _spec, g| {
+        assert!(check_deadlock_free(g).is_ok(), "case {case}");
         let reference = g.actor_ids().next().unwrap();
-        prop_assert!(SelfTimedExecutor::new(&g)
-            .with_state_budget(2_000_000)
-            .throughput(reference)
-            .is_ok());
-    }
+        assert!(
+            SelfTimedExecutor::new(g)
+                .with_state_budget(2_000_000)
+                .throughput(reference)
+                .is_ok(),
+            "case {case}"
+        );
+    });
+}
 
-    /// TDMA arithmetic: `slice_time_in` is the exact inverse of
-    /// `wall_time_for`, and completions are tight.
-    #[test]
-    fn tdma_wall_and_slice_inverse(
-        wheel in 1u64..=50,
-        slice_frac in 1u64..=50,
-        time in 0u64..=200,
-        work in 0u64..=120,
-    ) {
-        let slice = slice_frac.min(wheel);
+/// TDMA arithmetic: `slice_time_in` is the exact inverse of
+/// `wall_time_for`, and completions are tight.
+#[test]
+fn tdma_wall_and_slice_inverse() {
+    let mut rng = SmallRng::seed_from_u64(0x7D3A);
+    for case in 0..CASES {
+        let wheel = rng.gen_range(1u64..=50);
+        let slice = rng.gen_range(1u64..=50).min(wheel);
+        let time = rng.gen_range(0u64..=200);
+        let work = rng.gen_range(0u64..=120);
         let t = TdmaSlice::new(wheel, slice);
         let wall = t.wall_time_for(time, work);
-        prop_assert_eq!(t.slice_time_in(time, wall), work);
+        assert_eq!(t.slice_time_in(time, wall), work, "case {case}: {t:?}");
         if work > 0 {
-            prop_assert!(t.slice_time_in(time, wall - 1) < work);
+            assert!(
+                t.slice_time_in(time, wall - 1) < work,
+                "case {case}: completion not tight for {t:?}"
+            );
         }
     }
+}
 
-    /// Schedule minimization preserves the infinite firing sequence.
-    #[test]
-    fn schedule_minimization_preserves_sequence(
-        prefix in proptest::collection::vec(0u32..3, 0..6),
-        period in proptest::collection::vec(0u32..3, 1..6),
-        reps in 1usize..4,
-    ) {
-        let prefix: Vec<ActorId> = prefix.into_iter().map(|i| ActorId::from_index(i as usize)).collect();
-        let base: Vec<ActorId> = period.into_iter().map(|i| ActorId::from_index(i as usize)).collect();
+/// Schedule minimization preserves the infinite firing sequence.
+#[test]
+fn schedule_minimization_preserves_sequence() {
+    let mut rng = SmallRng::seed_from_u64(0x5E9);
+    for case in 0..CASES {
+        let prefix_len = rng.gen_range(0usize..6);
+        let period_len = rng.gen_range(1usize..6);
+        let reps = rng.gen_range(1usize..4);
+        let prefix: Vec<ActorId> = (0..prefix_len)
+            .map(|_| ActorId::from_index(rng.gen_range(0usize..3)))
+            .collect();
+        let base: Vec<ActorId> = (0..period_len)
+            .map(|_| ActorId::from_index(rng.gen_range(0usize..3)))
+            .collect();
         let repeated: Vec<ActorId> = base
             .iter()
             .cycle()
@@ -173,140 +201,183 @@ proptest! {
         let original = StaticOrderSchedule::new(prefix, repeated);
         let minimized = original.minimized();
         for pos in 0..60 {
-            prop_assert_eq!(original.at(pos), minimized.at(pos), "position {}", pos);
+            assert_eq!(
+                original.at(pos),
+                minimized.at(pos),
+                "case {case}, position {pos}"
+            );
         }
     }
+}
 
-    /// Rational arithmetic is exact: field laws spot-checked against i128.
-    #[test]
-    fn rational_field_laws(
-        a in -50i128..=50, b in 1i128..=20,
-        c in -50i128..=50, d in 1i128..=20,
-        e in -50i128..=50, f in 1i128..=20,
-    ) {
+/// Rational arithmetic is exact: field laws spot-checked against i128.
+#[test]
+fn rational_field_laws() {
+    let mut rng = SmallRng::seed_from_u64(0xF1E1D);
+    for case in 0..CASES {
+        let a = rng.gen_range(-50i128..=50);
+        let b = rng.gen_range(1i128..=20);
+        let c = rng.gen_range(-50i128..=50);
+        let d = rng.gen_range(1i128..=20);
+        let e = rng.gen_range(-50i128..=50);
+        let f = rng.gen_range(1i128..=20);
         let x = Rational::new(a, b);
         let y = Rational::new(c, d);
         let z = Rational::new(e, f);
-        prop_assert_eq!(x + y, y + x);
-        prop_assert_eq!((x + y) + z, x + (y + z));
-        prop_assert_eq!(x * y, y * x);
-        prop_assert_eq!((x * y) * z, x * (y * z));
-        prop_assert_eq!(x * (y + z), x * y + x * z);
-        prop_assert_eq!(x - x, Rational::ZERO);
+        assert_eq!(x + y, y + x, "case {case}");
+        assert_eq!((x + y) + z, x + (y + z), "case {case}");
+        assert_eq!(x * y, y * x, "case {case}");
+        assert_eq!((x * y) * z, x * (y * z), "case {case}");
+        assert_eq!(x * (y + z), x * y + x * z, "case {case}");
+        assert_eq!(x - x, Rational::ZERO, "case {case}");
         if !y.is_zero() {
-            prop_assert_eq!(x / y * y, x);
+            assert_eq!(x / y * y, x, "case {case}");
         }
         // Ordering consistent with cross-multiplication over i128.
-        prop_assert_eq!(x < y, a * d < c * b);
+        assert_eq!(x < y, a * d < c * b, "case {case}");
     }
+}
 
-    /// Generated applications are always consistent, live and have a
-    /// positive, achievable constraint.
-    #[test]
-    fn generator_output_is_well_formed(seed in 0u64..500) {
-        let types = vec![
-            ProcessorType::new("risc"),
-            ProcessorType::new("dsp"),
-            ProcessorType::new("acc"),
-        ];
-        let mut gen = AppGenerator::new(GeneratorConfig::mixed(), types, seed);
+/// Generated applications are always consistent, live and have a
+/// positive, achievable constraint.
+#[test]
+fn generator_output_is_well_formed() {
+    let types = vec![
+        ProcessorType::new("risc"),
+        ProcessorType::new("dsp"),
+        ProcessorType::new("acc"),
+    ];
+    for seed in 0u64..CASES as u64 {
+        let mut gen = AppGenerator::new(GeneratorConfig::mixed(), types.clone(), seed);
         let app = gen.generate("prop");
-        prop_assert!(app.graph().repetition_vector().is_ok());
-        prop_assert!(check_deadlock_free(app.graph()).is_ok());
+        assert!(app.graph().repetition_vector().is_ok(), "seed {seed}");
+        assert!(check_deadlock_free(app.graph()).is_ok(), "seed {seed}");
         let max = sdfrs_gen::reference_throughput(&app);
-        prop_assert!(app.throughput_constraint() > Rational::ZERO);
-        prop_assert!(app.throughput_constraint() <= max);
+        assert!(app.throughput_constraint() > Rational::ZERO, "seed {seed}");
+        assert!(app.throughput_constraint() <= max, "seed {seed}");
     }
+}
 
-    /// Two independent maximum-cycle-mean algorithms (Howard's policy
-    /// iteration and Karp's theorem) agree on the HSDF conversions of
-    /// random graphs.
-    #[test]
-    fn karp_agrees_with_howard(spec in bounded_graph_strategy()) {
-        use sdfrs_sdf::analysis::karp::karp_max_cycle_mean;
-        let g = build(&spec);
-        let h = convert_to_hsdf(&g).unwrap();
+/// Two independent maximum-cycle-mean algorithms (Howard's policy
+/// iteration and Karp's theorem) agree on the HSDF conversions of random
+/// graphs.
+#[test]
+fn karp_agrees_with_howard() {
+    use sdfrs_sdf::analysis::karp::karp_max_cycle_mean;
+    for_each_spec(0x4A59, |case, spec, g| {
+        let h = convert_to_hsdf(g).unwrap();
         let howard = hsdf_max_cycle_mean(&h.graph).unwrap();
         let karp = karp_max_cycle_mean(&h.graph).unwrap();
-        prop_assert_eq!(howard, karp);
-    }
+        assert_eq!(howard, karp, "case {case}: {spec:?}");
+    });
+}
 
-    /// Metamorphic: reversing a graph preserves iteration throughput.
-    #[test]
-    fn reversal_preserves_throughput(spec in bounded_graph_strategy()) {
-        use sdfrs_sdf::transform::check_reversal_invariance;
-        let g = build(&spec);
-        let (fwd, bwd) = check_reversal_invariance(&g).unwrap();
-        prop_assert_eq!(fwd, bwd);
-    }
+/// Metamorphic: reversing a graph preserves iteration throughput.
+#[test]
+fn reversal_preserves_throughput() {
+    use sdfrs_sdf::transform::check_reversal_invariance;
+    for_each_spec(0x123, |case, spec, g| {
+        let (fwd, bwd) = check_reversal_invariance(g).unwrap();
+        assert_eq!(fwd, bwd, "case {case}: {spec:?}");
+    });
+}
 
-    /// Metamorphic: scaling all execution times by k divides throughput
-    /// by k; scaling rates by k leaves it untouched.
-    #[test]
-    fn scaling_laws(spec in bounded_graph_strategy(), k in 2u64..=5) {
-        use sdfrs_sdf::transform::{scale_execution_times, scale_rates};
+/// Metamorphic: scaling all execution times by k divides throughput by k;
+/// scaling rates by k leaves it untouched.
+#[test]
+fn scaling_laws() {
+    use sdfrs_sdf::transform::{scale_execution_times, scale_rates};
+    let mut rng = SmallRng::seed_from_u64(0x5CA1E);
+    for case in 0..CASES {
+        let spec = draw_spec(&mut rng);
+        let k = rng.gen_range(2u64..=5);
         let g = build(&spec);
         let a = g.actor_ids().next().unwrap();
         let base = SelfTimedExecutor::new(&g)
             .with_state_budget(2_000_000)
-            .throughput(a).unwrap().iteration_throughput;
+            .throughput(a)
+            .unwrap()
+            .iteration_throughput;
         let slowed = scale_execution_times(&g, k);
         let slowed_thr = SelfTimedExecutor::new(&slowed)
             .with_state_budget(2_000_000)
-            .throughput(a).unwrap().iteration_throughput;
-        prop_assert_eq!(slowed_thr * Rational::from_integer(k as i128), base);
+            .throughput(a)
+            .unwrap()
+            .iteration_throughput;
+        assert_eq!(
+            slowed_thr * Rational::from_integer(k as i128),
+            base,
+            "case {case}: {spec:?} k={k}"
+        );
         let fattened = scale_rates(&g, k);
         let fat_thr = SelfTimedExecutor::new(&fattened)
             .with_state_budget(2_000_000)
-            .throughput(a).unwrap().iteration_throughput;
-        prop_assert_eq!(fat_thr, base);
+            .throughput(a)
+            .unwrap()
+            .iteration_throughput;
+        assert_eq!(fat_thr, base, "case {case}: {spec:?} k={k}");
     }
+}
 
-    /// Sec 8.1's buffer-modeling invariant: a channel paired with a
-    /// reverse channel of capacity α never holds more than
-    /// `Tok(forward) + Tok(reverse)` tokens during execution.
-    #[test]
-    fn occupancy_respects_buffer_bounds(spec in bounded_graph_strategy()) {
-        use sdfrs_sdf::analysis::occupancy::max_occupancy;
-        let g = build(&spec);
-        let occ = max_occupancy(&g, 2_000_000).unwrap();
+/// Sec 8.1's buffer-modeling invariant: a channel paired with a reverse
+/// channel of capacity α never holds more than
+/// `Tok(forward) + Tok(reverse)` tokens during execution.
+#[test]
+fn occupancy_respects_buffer_bounds() {
+    use sdfrs_sdf::analysis::occupancy::max_occupancy;
+    for_each_spec(0x0CC, |case, _spec, g| {
+        let occ = max_occupancy(g, 2_000_000).unwrap();
         for (d, ch) in g.channels() {
             // Find the paired reverse channel (by construction bN pairs fN).
             let Some(rev_name) = ch.name().strip_prefix('f').map(|i| format!("b{i}")) else {
                 continue;
             };
-            let Some(rev) = g.channel_by_name(&rev_name) else { continue };
+            let Some(rev) = g.channel_by_name(&rev_name) else {
+                continue;
+            };
             let budget = ch.initial_tokens() + g.channel(rev).initial_tokens();
-            prop_assert!(
+            assert!(
                 occ.of(d) <= budget,
-                "channel {} peaked at {} > budget {}",
-                ch.name(), occ.of(d), budget
+                "case {case}: channel {} peaked at {} > budget {}",
+                ch.name(),
+                occ.of(d),
+                budget
             );
         }
-    }
+    });
+}
 
-    /// Structural bounds dominate the exact state-space throughput.
-    #[test]
-    fn bounds_dominate_exact(spec in bounded_graph_strategy()) {
-        use sdfrs_sdf::analysis::bounds::throughput_bounds;
-        let g = build(&spec);
+/// Structural bounds dominate the exact state-space throughput.
+#[test]
+fn bounds_dominate_exact() {
+    use sdfrs_sdf::analysis::bounds::throughput_bounds;
+    for_each_spec(0xB0DE, |case, spec, g| {
         let reference = g.actor_ids().next().unwrap();
-        let exact = SelfTimedExecutor::new(&g)
+        let exact = SelfTimedExecutor::new(g)
             .with_state_budget(2_000_000)
             .throughput(reference)
             .unwrap()
             .iteration_throughput;
-        let bounds = throughput_bounds(&g, 10_000).unwrap();
+        let bounds = throughput_bounds(g, 10_000).unwrap();
         if let Some(b) = bounds.tightest() {
-            prop_assert!(b >= exact, "bound {b} < exact {exact}");
+            assert!(
+                b >= exact,
+                "case {case}: bound {b} < exact {exact} {spec:?}"
+            );
         }
-    }
+    });
+}
 
-    /// Throughput of a two-actor ring as a closed form: one token through
-    /// exec times x and y yields 1/(x+y); k tokens (≤ 2 with self-edges)
-    /// saturate at 1/max(x, y).
-    #[test]
-    fn ring_throughput_closed_form(x in 1u64..=8, y in 1u64..=8, tokens in 1u64..=4) {
+/// Throughput of a two-actor ring as a closed form: one token through
+/// exec times x and y yields 1/(x+y); k tokens (≤ 2 with self-edges)
+/// saturate at 1/max(x, y).
+#[test]
+fn ring_throughput_closed_form() {
+    let mut rng = SmallRng::seed_from_u64(0x21A6);
+    for case in 0..CASES {
+        let x = rng.gen_range(1u64..=8);
+        let y = rng.gen_range(1u64..=8);
+        let tokens = rng.gen_range(1u64..=4);
         let mut g = SdfGraph::new("ring");
         let a = g.add_actor("a", x);
         let b = g.add_actor("b", y);
@@ -321,6 +392,9 @@ proptest! {
             // Two or more tokens pipeline fully (self-edges bound the rest).
             Rational::new(1, x.max(y) as i128)
         };
-        prop_assert_eq!(r.actor_throughput, expected);
+        assert_eq!(
+            r.actor_throughput, expected,
+            "case {case}: x={x} y={y} tokens={tokens}"
+        );
     }
 }
