@@ -11,9 +11,9 @@ use sdfrs_fastutil::{crit::Criterion, criterion_group, criterion_main};
 use sdfrs_appmodel::apps::{example_platform, paper_example};
 use sdfrs_core::binding_aware::BindingAwareGraph;
 use sdfrs_core::constrained::constrained_throughput;
-use sdfrs_core::flow::{allocate, FlowConfig};
+use sdfrs_core::flow::FlowConfig;
 use sdfrs_core::list_sched::ListScheduler;
-use sdfrs_core::Binding;
+use sdfrs_core::{Allocator, Binding};
 use sdfrs_gen::{AppGenerator, GeneratorConfig};
 use sdfrs_platform::mesh::{mesh_platform, MeshConfig};
 use sdfrs_platform::{PlatformState, ProcessorType, TileId};
@@ -37,7 +37,7 @@ fn bench_ablation(c: &mut Criterion) {
         flow.bind.optimize = optimize;
         group.bench_function(format!("flow_optimize_{optimize}"), |b| {
             b.iter(|| {
-                let _ = allocate(&app, &mesh, &state, &flow);
+                let _ = Allocator::from_config(flow).allocate(&app, &mesh, &state);
             })
         });
     }
@@ -48,7 +48,7 @@ fn bench_ablation(c: &mut Criterion) {
         flow.slice.refine = refine;
         group.bench_function(format!("flow_refine_{refine}"), |b| {
             b.iter(|| {
-                let _ = allocate(&app, &mesh, &state, &flow);
+                let _ = Allocator::from_config(flow).allocate(&app, &mesh, &state);
             })
         });
     }

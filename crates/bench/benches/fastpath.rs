@@ -8,7 +8,7 @@ use sdfrs_core::binding_aware::BindingAwareGraph;
 use sdfrs_core::dse::{explore, explore_parallel};
 use sdfrs_core::list_sched::construct_schedules;
 use sdfrs_core::thru_cache::ThroughputCache;
-use sdfrs_core::{Binding, CostWeights};
+use sdfrs_core::{Allocator, Binding, CostWeights, RecordingSink};
 use sdfrs_fastutil::crit::black_box;
 use sdfrs_platform::{PlatformState, TileId};
 use sdfrs_sdf::analysis::interner::StateInterner;
@@ -94,5 +94,38 @@ fn bench_dse(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_interner, bench_thru_cache, bench_dse);
+/// The observability overhead budget: the default `NullSink` must stay
+/// within noise of the pre-instrumentation flow (events are never even
+/// constructed), while a recording observer pays for every event.
+fn bench_observer_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("observer_overhead");
+    let app = paper_example();
+    let arch = example_platform();
+    let state = PlatformState::new(&arch);
+
+    group.bench_function("flow_null_sink", |b| {
+        b.iter(|| Allocator::new().allocate(&app, &arch, &state).unwrap())
+    });
+
+    group.bench_function("flow_recording_sink", |b| {
+        b.iter(|| {
+            let sink = RecordingSink::new();
+            let out = Allocator::new()
+                .with_sink(sink.clone())
+                .allocate(&app, &arch, &state)
+                .unwrap();
+            black_box(sink.len());
+            out
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_interner,
+    bench_thru_cache,
+    bench_dse,
+    bench_observer_overhead
+);
 criterion_main!(benches);

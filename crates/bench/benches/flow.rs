@@ -8,9 +8,10 @@ use sdfrs_appmodel::apps::{example_platform, h263_decoder, mp3_decoder, paper_ex
 use sdfrs_core::bind::{bind_actors, BindConfig};
 use sdfrs_core::binding_aware::BindingAwareGraph;
 use sdfrs_core::cost::CostWeights;
-use sdfrs_core::flow::{allocate, FlowConfig};
+use sdfrs_core::flow::FlowConfig;
 use sdfrs_core::list_sched::construct_schedules;
 use sdfrs_core::slice::{allocate_slices, SliceConfig};
+use sdfrs_core::Allocator;
 use sdfrs_gen::{AppGenerator, GeneratorConfig};
 use sdfrs_platform::mesh::{mesh_platform, multimedia_platform, MeshConfig};
 use sdfrs_platform::{PlatformState, ProcessorType};
@@ -50,7 +51,9 @@ fn bench_flow_steps(c: &mut Criterion) {
     });
 
     group.bench_function("full_flow_paper_example", |b| {
-        b.iter(|| allocate(&app, &arch, &state, &FlowConfig::default()).unwrap())
+        // A fresh allocator per iteration keeps the cold-cache timing the
+        // old free function measured.
+        b.iter(|| Allocator::new().allocate(&app, &arch, &state).unwrap())
     });
     group.finish();
 }
@@ -65,12 +68,20 @@ fn bench_flow_applications(c: &mut Criterion) {
 
     let h263 = h263_decoder(0, Rational::new(1, 150_000));
     group.bench_function("h263", |b| {
-        b.iter(|| allocate(&h263, &arch, &state, &flow).unwrap())
+        b.iter(|| {
+            Allocator::from_config(flow)
+                .allocate(&h263, &arch, &state)
+                .unwrap()
+        })
     });
 
     let mp3 = mp3_decoder(Rational::new(1, 3_000));
     group.bench_function("mp3", |b| {
-        b.iter(|| allocate(&mp3, &arch, &state, &flow).unwrap())
+        b.iter(|| {
+            Allocator::from_config(flow)
+                .allocate(&mp3, &arch, &state)
+                .unwrap()
+        })
     });
 
     // A generated mixed application on a 3×3 mesh: the Sec 10.2 per-graph
@@ -88,7 +99,7 @@ fn bench_flow_applications(c: &mut Criterion) {
         b.iter(|| {
             // Some generated graphs may be infeasible on a given platform;
             // both outcomes are valid work for this bench.
-            let _ = allocate(&generated, &mesh, &mesh_state, &FlowConfig::default());
+            let _ = Allocator::new().allocate(&generated, &mesh, &mesh_state);
         })
     });
     group.finish();

@@ -21,10 +21,9 @@ use sdfrs_appmodel::apps::{example_platform, h263_decoder, paper_example};
 use sdfrs_bench::hsdf_cmp::timed_h263;
 use sdfrs_core::binding_aware::BindingAwareGraph;
 use sdfrs_core::constrained::constrained_throughput;
-use sdfrs_core::flow::{allocate_with_cache, FlowConfig};
 use sdfrs_core::list_sched::construct_schedules;
 use sdfrs_core::thru_cache::ThroughputCache;
-use sdfrs_core::Binding;
+use sdfrs_core::{Allocator, Binding};
 use sdfrs_platform::mesh::multimedia_platform;
 use sdfrs_platform::{PlatformState, TileId};
 use sdfrs_sdf::analysis::selftimed::SelfTimedExecutor;
@@ -83,24 +82,26 @@ fn example_ba() -> BindingAwareGraph {
 /// Repeats the same end-to-end allocation `rounds` times against an
 /// unchanged platform state — the admission re-check pattern of Sec 10.1.
 /// Returns the phase plus the final cache counters.
-fn admission_repeat(name: &'static str, rounds: usize, mut cache: ThroughputCache) -> Phase {
+fn admission_repeat(name: &'static str, rounds: usize, cache: ThroughputCache) -> Phase {
     let app = h263_decoder(0, Rational::new(1, 200_000));
     let arch = multimedia_platform();
     let state = PlatformState::new(&arch);
-    let flow = FlowConfig::default();
+    let mut allocator = Allocator::new().with_cache(cache);
     let mut checks = 0usize;
     let start = Instant::now();
     for _ in 0..rounds {
-        let (_, stats) = allocate_with_cache(&app, &arch, &state, &flow, &mut cache)
+        let (_, stats) = allocator
+            .allocate(&app, &arch, &state)
             .expect("the H.263 decoder fits an empty multimedia platform");
         checks += stats.throughput_checks;
     }
+    let wall_ms = ms(start);
     Phase {
         name,
-        wall_ms: ms(start),
+        wall_ms,
         throughput_checks: Some(checks),
-        cache_hits: Some(cache.hits()),
-        cache_misses: Some(cache.misses()),
+        cache_hits: Some(allocator.cache().hits()),
+        cache_misses: Some(allocator.cache().misses()),
         ..Phase::default()
     }
 }
@@ -163,11 +164,10 @@ fn main() {
     let h263_app = h263_decoder(0, Rational::new(1, 200_000));
     let arch = multimedia_platform();
     let state = PlatformState::new(&arch);
-    let mut cache = ThroughputCache::new();
     let start = Instant::now();
-    let (_, stats) =
-        allocate_with_cache(&h263_app, &arch, &state, &FlowConfig::default(), &mut cache)
-            .expect("the H.263 decoder fits an empty multimedia platform");
+    let (_, stats) = Allocator::new()
+        .allocate(&h263_app, &arch, &state)
+        .expect("the H.263 decoder fits an empty multimedia platform");
     phases.push(Phase {
         name: "flow_h263",
         wall_ms: ms(start),

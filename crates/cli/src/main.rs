@@ -1,6 +1,8 @@
 //! `sdfrs` — command-line driver for the resource-allocation flow.
 //!
 //! ```text
+//! sdfrs [--trace <run.jsonl>] [--verbose] <command> ...
+//!
 //! sdfrs analyze <app.sdfa>                   consistency, γ, HSDF size, deadlock
 //! sdfrs throughput <app.sdfa>                best-case single-tile throughput
 //! sdfrs flow <app.sdfa> <platform.sdfp>      run the full allocation strategy
@@ -18,13 +20,20 @@
 //!     daytona eclipse hijdra stepnp
 //! sdfrs dot <app.sdfa>                       Graphviz export
 //! ```
+//!
+//! The global `--trace <file>` option writes every flow event of the
+//! allocating commands (`flow`, `trace`, `verify`, `multiapp`) as JSON
+//! Lines; `--verbose` streams the same events human-readably on stderr.
+//! Command results go to stdout; diagnostics never do.
 
 use std::fs;
+use std::io::{self, Write};
 use std::process::ExitCode;
 
 use sdfrs_appmodel::apps;
 use sdfrs_core::cost::CostWeights;
-use sdfrs_core::flow::{allocate, FlowConfig};
+use sdfrs_core::flow::FlowConfig;
+use sdfrs_core::{Allocator, EventSink, JsonlSink, LogSink, MultiSink, NullSink};
 use sdfrs_gen::{AppGenerator, GeneratorConfig};
 use sdfrs_platform::{PlatformState, ProcessorType};
 use sdfrs_sdf::analysis::deadlock::check_deadlock_free;
@@ -33,12 +42,30 @@ use sdfrs_sdf::Rational;
 
 use sdfrs_appmodel::textio as format;
 
+/// `writeln!` to the command's output writer, mapping I/O failures into
+/// the CLI's error channel (no direct `println!` anywhere: results flow
+/// through the writer, diagnostics through the event sink).
+macro_rules! outln {
+    ($out:expr) => { writeln!($out).map_err(|e| format!("write failed: {e}"))? };
+    ($out:expr, $($arg:tt)*) => {
+        writeln!($out, $($arg)*).map_err(|e| format!("write failed: {e}"))?
+    };
+}
+
+/// `write!` counterpart of [`outln!`].
+macro_rules! outp {
+    ($out:expr, $($arg:tt)*) => {
+        write!($out, $($arg)*).map_err(|e| format!("write failed: {e}"))?
+    };
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
+    let mut stdout = io::stdout().lock();
+    match run(&args, &mut stdout) {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
-            eprintln!("sdfrs: {message}");
+            let _ = writeln!(io::stderr(), "sdfrs: {message}");
             ExitCode::FAILURE
         }
     }
@@ -52,41 +79,96 @@ fn load_app(path: &str) -> Result<sdfrs_appmodel::ApplicationGraph, String> {
     format::parse_application(&read(path)?).map_err(|e| format!("{path}: {e}"))
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+/// Splits the global observability options off the argument list and
+/// builds the event sink they describe.
+fn global_options(args: &[String]) -> Result<(Vec<String>, Box<dyn EventSink>), String> {
+    let mut trace_path: Option<String> = None;
+    let mut verbose = false;
+    let mut rest = Vec::new();
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        if a == "--trace" {
+            trace_path = Some(iter.next().ok_or("--trace needs a file path")?.clone());
+        } else if let Some(p) = a.strip_prefix("--trace=") {
+            trace_path = Some(p.to_string());
+        } else if a == "--verbose" {
+            verbose = true;
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    let mut multi = MultiSink::new();
+    let mut any = false;
+    if let Some(p) = &trace_path {
+        let jsonl = JsonlSink::create(p).map_err(|e| format!("cannot create trace {p}: {e}"))?;
+        multi = multi.with(jsonl);
+        any = true;
+    }
+    if verbose {
+        multi = multi.with(LogSink::stderr());
+        any = true;
+    }
+    let sink: Box<dyn EventSink> = if any {
+        Box::new(multi)
+    } else {
+        Box::new(NullSink)
+    };
+    Ok((rest, sink))
+}
+
+fn run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
+    let (args, sink) = global_options(args)?;
     let command = args.first().map(String::as_str).unwrap_or("help");
     match command {
-        "analyze" => analyze(args.get(1).ok_or("analyze needs an application file")?),
-        "throughput" => throughput(args.get(1).ok_or("throughput needs an application file")?),
+        "analyze" => analyze(args.get(1).ok_or("analyze needs an application file")?, out),
+        "throughput" => throughput(
+            args.get(1).ok_or("throughput needs an application file")?,
+            out,
+        ),
         "flow" => flow(
             args.get(1).ok_or("flow needs an application file")?,
             args.get(2).ok_or("flow needs a platform file")?,
             &args[3..],
+            sink,
+            out,
         ),
         "trace" => trace(
             args.get(1).ok_or("trace needs an application file")?,
             args.get(2).ok_or("trace needs a platform file")?,
             args.get(3).map(String::as_str).unwrap_or("100"),
+            sink,
+            out,
         ),
-        "buffers" => buffers(args.get(1).ok_or("buffers needs an application file")?),
+        "buffers" => buffers(args.get(1).ok_or("buffers needs an application file")?, out),
         "verify" => verify(
             args.get(1).ok_or("verify needs an application file")?,
             args.get(2).ok_or("verify needs a platform file")?,
+            sink,
+            out,
         ),
         "multiapp" => multiapp(
             args.get(1).ok_or("multiapp needs a platform file")?,
             &args[2..],
+            sink,
+            out,
         ),
         "generate" => generate(
             args.get(1).ok_or("generate needs a set name")?,
             args.get(2).ok_or("generate needs a seed")?,
             args.get(3).ok_or("generate needs a count")?,
             args.get(4).map(String::as_str),
+            out,
         ),
-        "example" => example(args.get(1).ok_or("example needs a model name")?),
-        "dot" => dot(args.get(1).ok_or("dot needs an application file")?),
+        "example" => example(args.get(1).ok_or("example needs a model name")?, out),
+        "dot" => dot(args.get(1).ok_or("dot needs an application file")?, out),
         "help" | "--help" | "-h" => {
-            println!(
+            outln!(
+                out,
                 "commands: analyze, throughput, flow, trace, buffers, multiapp, verify, generate, example, dot"
+            );
+            outln!(
+                out,
+                "global options: --trace <run.jsonl> (JSONL flow-event trace), --verbose (log events to stderr)"
             );
             Ok(())
         }
@@ -94,49 +176,53 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
-fn analyze(path: &str) -> Result<(), String> {
+fn analyze(path: &str, out: &mut dyn Write) -> Result<(), String> {
     let app = load_app(path)?;
     let g = app.graph();
-    println!("application {}", g.name());
-    println!("  actors:   {}", g.actor_count());
-    println!("  channels: {}", g.channel_count());
+    outln!(out, "application {}", g.name());
+    outln!(out, "  actors:   {}", g.actor_count());
+    outln!(out, "  channels: {}", g.channel_count());
     let gamma = g.repetition_vector().map_err(|e| e.to_string())?;
-    print!("  repetition vector:");
+    outp!(out, "  repetition vector:");
     for (a, actor) in g.actors() {
-        print!(" {}={}", actor.name(), gamma[a]);
+        outp!(out, " {}={}", actor.name(), gamma[a]);
     }
-    println!();
-    println!(
+    outln!(out);
+    outln!(
+        out,
         "  HSDF equivalent:   {} actors",
         hsdf_size(g).map_err(|e| e.to_string())?
     );
     match check_deadlock_free(g) {
-        Ok(()) => println!("  liveness:          deadlock-free"),
-        Err(e) => println!("  liveness:          {e}"),
+        Ok(()) => outln!(out, "  liveness:          deadlock-free"),
+        Err(e) => outln!(out, "  liveness:          {e}"),
     }
-    println!(
+    outln!(
+        out,
         "  throughput constraint λ = {}",
         app.throughput_constraint()
     );
     match sdfrs_sdf::analysis::bounds::throughput_bounds(g, 10_000) {
         Ok(bounds) => match bounds.tightest() {
-            Some(b) => println!("  structural throughput bound ≤ {b}"),
-            None => println!("  structural throughput bound: unconstrained"),
+            Some(b) => outln!(out, "  structural throughput bound ≤ {b}"),
+            None => outln!(out, "  structural throughput bound: unconstrained"),
         },
-        Err(e) => println!("  structural throughput bound: {e}"),
+        Err(e) => outln!(out, "  structural throughput bound: {e}"),
     }
     Ok(())
 }
 
-fn throughput(path: &str) -> Result<(), String> {
+fn throughput(path: &str, out: &mut dyn Write) -> Result<(), String> {
     let app = load_app(path)?;
     let thr = sdfrs_gen::reference_throughput(&app);
-    println!(
+    outln!(
+        out,
         "best-case single-tile iteration throughput: {} ({:.6} iterations/time-unit)",
         thr,
         thr.to_f64()
     );
-    println!(
+    outln!(
+        out,
         "throughput constraint λ = {} ({:.1}% of best case)",
         app.throughput_constraint(),
         (app.throughput_constraint() / thr).to_f64() * 100.0
@@ -168,24 +254,41 @@ fn flow_config(options: &[String]) -> Result<FlowConfig, String> {
             return Err(format!("unknown option {opt:?}"));
         }
     }
+    config.validate().map_err(|e| e.to_string())?;
     Ok(config)
 }
 
-fn flow(app_path: &str, platform_path: &str, options: &[String]) -> Result<(), String> {
+fn flow(
+    app_path: &str,
+    platform_path: &str,
+    options: &[String],
+    sink: Box<dyn EventSink>,
+    out: &mut dyn Write,
+) -> Result<(), String> {
     let app = load_app(app_path)?;
     let arch = format::parse_platform(&read(platform_path)?)
         .map_err(|e| format!("{platform_path}: {e}"))?;
     let config = flow_config(options)?;
     let state = PlatformState::new(&arch);
-    let (alloc, stats) = allocate(&app, &arch, &state, &config).map_err(|e| e.to_string())?;
-    print!(
+    let mut allocator = Allocator::from_config(config).with_boxed_sink(sink);
+    let result = allocator.allocate(&app, &arch, &state);
+    allocator.flush();
+    let (alloc, stats) = result.map_err(|e| e.to_string())?;
+    outp!(
+        out,
         "{}",
         sdfrs_core::report::render_allocation(&app, &arch, &alloc, Some(&stats))
     );
     Ok(())
 }
 
-fn trace(app_path: &str, platform_path: &str, horizon: &str) -> Result<(), String> {
+fn trace(
+    app_path: &str,
+    platform_path: &str,
+    horizon: &str,
+    sink: Box<dyn EventSink>,
+    out: &mut dyn Write,
+) -> Result<(), String> {
     use sdfrs_core::binding_aware::BindingAwareGraph;
     use sdfrs_core::gantt;
     use sdfrs_core::ConstrainedExecutor;
@@ -197,51 +300,70 @@ fn trace(app_path: &str, platform_path: &str, horizon: &str) -> Result<(), Strin
         .parse()
         .map_err(|_| format!("bad horizon {horizon:?}"))?;
     let state = PlatformState::new(&arch);
-    let (alloc, _) =
-        allocate(&app, &arch, &state, &FlowConfig::default()).map_err(|e| e.to_string())?;
+    let mut allocator = Allocator::new().with_boxed_sink(sink);
+    let result = allocator.allocate(&app, &arch, &state);
+    allocator.flush();
+    let (alloc, _) = result.map_err(|e| e.to_string())?;
     let ba = BindingAwareGraph::build(&app, &arch, &alloc.binding, &alloc.slices)
         .map_err(|e| e.to_string())?;
     let trace = ConstrainedExecutor::new(&ba, &alloc.schedules)
         .trace(horizon)
         .map_err(|e| e.to_string())?;
-    print!("{}", gantt::render(&ba, &trace, 0, horizon));
-    println!(
+    outp!(out, "{}", gantt::render(&ba, &trace, 0, horizon));
+    outln!(
+        out,
         "(guaranteed throughput {}; '#' compute, '/' interconnect, '·' idle)",
         alloc.guaranteed_throughput()
     );
-    println!();
-    print!("{}", gantt::render_by_tile(&ba, &trace, 0, horizon));
-    println!("(per tile: actor initials inside the TDMA slice, '▁' slice idle, '·' foreign slice)");
+    outln!(out);
+    outp!(out, "{}", gantt::render_by_tile(&ba, &trace, 0, horizon));
+    outln!(
+        out,
+        "(per tile: actor initials inside the TDMA slice, '▁' slice idle, '·' foreign slice)"
+    );
     Ok(())
 }
 
-fn verify(app_path: &str, platform_path: &str) -> Result<(), String> {
+fn verify(
+    app_path: &str,
+    platform_path: &str,
+    sink: Box<dyn EventSink>,
+    out: &mut dyn Write,
+) -> Result<(), String> {
     use sdfrs_core::verify::verify_allocation;
     let app = load_app(app_path)?;
     let arch = format::parse_platform(&read(platform_path)?)
         .map_err(|e| format!("{platform_path}: {e}"))?;
     let state = PlatformState::new(&arch);
-    let (alloc, _) =
-        allocate(&app, &arch, &state, &FlowConfig::default()).map_err(|e| e.to_string())?;
+    let mut allocator = Allocator::new().with_boxed_sink(sink);
+    let result = allocator.allocate(&app, &arch, &state);
+    allocator.flush();
+    let (alloc, _) = result.map_err(|e| e.to_string())?;
     let violations = verify_allocation(&app, &arch, &state, &alloc)
         .map_err(|e| format!("verifier failed to run: {e}"))?;
     if violations.is_empty() {
-        println!(
+        outln!(
+            out,
             "allocation verified: guarantee {} ≥ λ {} and all Sec 7 constraints hold",
             alloc.guaranteed_throughput(),
             app.throughput_constraint()
         );
         Ok(())
     } else {
+        let mut message = format!("{} violation(s) found", violations.len());
         for v in &violations {
-            eprintln!("violation: {v:?}");
+            message.push_str(&format!("\n  violation: {v:?}"));
         }
-        Err(format!("{} violation(s) found", violations.len()))
+        Err(message)
     }
 }
 
-fn multiapp(platform_path: &str, app_paths: &[String]) -> Result<(), String> {
-    use sdfrs_core::multi_app::allocate_until_failure;
+fn multiapp(
+    platform_path: &str,
+    app_paths: &[String],
+    sink: Box<dyn EventSink>,
+    out: &mut dyn Write,
+) -> Result<(), String> {
     if app_paths.is_empty() {
         return Err("multiapp needs at least one application file".into());
     }
@@ -253,41 +375,52 @@ fn multiapp(platform_path: &str, app_paths: &[String]) -> Result<(), String> {
         let parsed = format::parse_applications(&read(p)?).map_err(|e| format!("{p}: {e}"))?;
         apps.extend(parsed);
     }
-    let result = allocate_until_failure(&apps, &arch, &FlowConfig::default());
+    let mut allocator = Allocator::new().with_boxed_sink(sink);
+    let result = allocator.allocate_sequence(&apps, &arch);
+    allocator.flush();
     for (i, alloc) in result.allocations.iter().enumerate() {
-        print!(
+        outp!(
+            out,
             "{}",
             sdfrs_core::report::render_allocation(&apps[i], &arch, alloc, Some(&result.stats[i]))
         );
-        println!();
+        outln!(out);
     }
     match &result.failure {
-        Some(e) => println!(
+        Some(e) => outln!(
+            out,
             "stopped after {} of {} applications: {e}",
             result.bound_count(),
             apps.len()
         ),
-        None => println!("all {} applications allocated", apps.len()),
+        None => outln!(out, "all {} applications allocated", apps.len()),
     }
     let total = result.total_usage();
-    println!(
+    outln!(
+        out,
         "total claimed: wheel {} memory {} connections {} bw {}/{}",
-        total.wheel, total.memory, total.connections, total.bandwidth_in, total.bandwidth_out
+        total.wheel,
+        total.memory,
+        total.connections,
+        total.bandwidth_in,
+        total.bandwidth_out
     );
     Ok(())
 }
 
-fn buffers(path: &str) -> Result<(), String> {
+fn buffers(path: &str, out: &mut dyn Write) -> Result<(), String> {
     use sdfrs_core::buffers::minimal_storage_distribution;
     let app = load_app(path)?;
     let dist = minimal_storage_distribution(&app, app.throughput_constraint(), 500_000)
         .map_err(|e| e.to_string())?;
-    println!(
+    outln!(
+        out,
         "minimal single-tile storage distribution for λ = {}:",
         app.throughput_constraint()
     );
     for (d, ch) in app.graph().channels() {
-        println!(
+        outln!(
+            out,
             "  {:<12} {} → {}: {} tokens (Θ declares {})",
             ch.name(),
             app.graph().actor(ch.src()).name(),
@@ -296,7 +429,8 @@ fn buffers(path: &str) -> Result<(), String> {
             app.channel_requirements(d).buffer_tile
         );
     }
-    println!(
+    outln!(
+        out,
         "total {} tokens, achieved throughput {}",
         dist.total(),
         dist.throughput
@@ -304,7 +438,13 @@ fn buffers(path: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn generate(set: &str, seed: &str, count: &str, dir: Option<&str>) -> Result<(), String> {
+fn generate(
+    set: &str,
+    seed: &str,
+    count: &str,
+    dir: Option<&str>,
+    out: &mut dyn Write,
+) -> Result<(), String> {
     let config = match set {
         "processing" => GeneratorConfig::processing_intensive(),
         "memory" => GeneratorConfig::memory_intensive(),
@@ -326,40 +466,44 @@ fn generate(set: &str, seed: &str, count: &str, dir: Option<&str>) -> Result<(),
             Some(d) => {
                 let path = format!("{d}/{}.sdfa", app.graph().name());
                 fs::write(&path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
-                println!("wrote {path}");
+                outln!(out, "wrote {path}");
             }
-            None => println!("{text}"),
+            None => outln!(out, "{text}"),
         }
     }
     Ok(())
 }
 
-fn example(name: &str) -> Result<(), String> {
+fn example(name: &str, out: &mut dyn Write) -> Result<(), String> {
     use sdfrs_appmodel::classic;
     use sdfrs_platform::presets;
     match name {
-        "paper" => print!("{}", format::write_application(&apps::paper_example())),
-        "h263" => print!(
+        "paper" => outp!(out, "{}", format::write_application(&apps::paper_example())),
+        "h263" => outp!(
+            out,
             "{}",
             format::write_application(&apps::h263_decoder(0, Rational::new(1, 100_000)))
         ),
-        "mp3" => print!(
+        "mp3" => outp!(
+            out,
             "{}",
             format::write_application(&apps::mp3_decoder(Rational::new(1, 3_000)))
         ),
-        "cd2dat" => print!(
+        "cd2dat" => outp!(
+            out,
             "{}",
             format::write_application(&classic::cd_to_dat(Rational::new(1, 40_000)))
         ),
-        "satellite" => print!(
+        "satellite" => outp!(
+            out,
             "{}",
             format::write_application(&classic::satellite_receiver(Rational::new(1, 2_000)))
         ),
-        "platform" => print!("{}", format::write_platform(&apps::example_platform())),
-        "daytona" => print!("{}", format::write_platform(&presets::daytona())),
-        "eclipse" => print!("{}", format::write_platform(&presets::eclipse())),
-        "hijdra" => print!("{}", format::write_platform(&presets::hijdra())),
-        "stepnp" => print!("{}", format::write_platform(&presets::step_np())),
+        "platform" => outp!(out, "{}", format::write_platform(&apps::example_platform())),
+        "daytona" => outp!(out, "{}", format::write_platform(&presets::daytona())),
+        "eclipse" => outp!(out, "{}", format::write_platform(&presets::eclipse())),
+        "hijdra" => outp!(out, "{}", format::write_platform(&presets::hijdra())),
+        "stepnp" => outp!(out, "{}", format::write_platform(&presets::step_np())),
         other => {
             return Err(format!(
                 "unknown example {other:?} (paper|h263|mp3|cd2dat|satellite|platform|daytona|eclipse|hijdra|stepnp)"
@@ -369,9 +513,9 @@ fn example(name: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn dot(path: &str) -> Result<(), String> {
+fn dot(path: &str, out: &mut dyn Write) -> Result<(), String> {
     let app = load_app(path)?;
-    print!("{}", sdfrs_sdf::dot::to_dot(app.graph()));
+    outp!(out, "{}", sdfrs_sdf::dot::to_dot(app.graph()));
     Ok(())
 }
 
@@ -401,12 +545,29 @@ mod tests {
         let c = flow_config(&["--weights=2,0,1".into()]).unwrap();
         assert_eq!(c.bind.weights, CostWeights::new(2.0, 0.0, 1.0));
         assert!(flow_config(&["--bogus".into()]).is_err());
+        // Degenerate weights are rejected by FlowConfig::validate.
+        assert!(flow_config(&["--weights=0,0,0".into()]).is_err());
     }
 
     #[test]
     fn unknown_command_errors() {
-        assert!(run(&["nonsense".into()]).is_err());
-        assert!(run(&["help".into()]).is_ok());
+        let mut out = Vec::new();
+        assert!(run(&["nonsense".into()], &mut out).is_err());
+        assert!(run(&["help".into()], &mut out).is_ok());
+        let help = String::from_utf8(out).unwrap();
+        assert!(help.contains("--trace"));
+    }
+
+    #[test]
+    fn global_options_are_extracted_anywhere() {
+        let (rest, sink) =
+            global_options(&["flow".into(), "--verbose".into(), "x".into()]).unwrap();
+        assert_eq!(rest, vec!["flow".to_string(), "x".to_string()]);
+        assert!(sink.enabled());
+        let (rest, sink) = global_options(&["flow".into(), "a".into()]).unwrap();
+        assert_eq!(rest.len(), 2);
+        assert!(!sink.enabled(), "no options ⇒ the zero-overhead NullSink");
+        assert!(global_options(&["--trace".into()]).is_err());
     }
 
     #[test]
@@ -423,8 +584,11 @@ mod tests {
             "hijdra",
             "stepnp",
         ] {
-            assert!(example(name).is_ok(), "{name}");
+            let mut out = Vec::new();
+            assert!(example(name, &mut out).is_ok(), "{name}");
+            assert!(!out.is_empty(), "{name}");
         }
-        assert!(example("nope").is_err());
+        let mut out = Vec::new();
+        assert!(example("nope", &mut out).is_err());
     }
 }

@@ -61,6 +61,86 @@ fn example_analyze_flow_roundtrip() {
 }
 
 #[test]
+fn trace_option_writes_a_parseable_jsonl_flow_trace() {
+    let (app_text, _, _) = sdfrs(&["example", "paper"]);
+    let (platform_text, _, _) = sdfrs(&["example", "platform"]);
+    let app = write_temp("t_app.sdfa", &app_text);
+    let platform = write_temp("t_platform.sdfp", &platform_text);
+    let trace = std::env::temp_dir().join(format!("sdfrs_test_{}_run.jsonl", std::process::id()));
+
+    let (out, err, ok) = sdfrs(&[
+        "--trace",
+        trace.to_str().unwrap(),
+        "flow",
+        app.to_str().unwrap(),
+        platform.to_str().unwrap(),
+    ]);
+    assert!(ok, "stdout: {out}\nstderr: {err}");
+    assert!(out.contains("guaranteed throughput: 1/30"), "{out}");
+
+    let text = std::fs::read_to_string(&trace).expect("trace file exists");
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() > 10, "trace has one line per event: {text}");
+    let mut kinds = Vec::new();
+    let mut last_t = -1i64;
+    for line in &lines {
+        // Every line is a flat JSON object with t_us and event fields.
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        let t = line
+            .split("\"t_us\":")
+            .nth(1)
+            .and_then(|rest| rest.split([',', '}']).next())
+            .and_then(|n| n.trim().parse::<i64>().ok())
+            .unwrap_or_else(|| panic!("line has a numeric t_us: {line}"));
+        assert!(t >= last_t, "timestamps are monotonic: {line}");
+        last_t = t;
+        let kind = line
+            .split("\"event\":\"")
+            .nth(1)
+            .and_then(|rest| rest.split('"').next())
+            .unwrap_or_else(|| panic!("line names its event: {line}"));
+        kinds.push(kind.to_string());
+    }
+    assert_eq!(kinds.first().map(String::as_str), Some("flow_started"));
+    assert_eq!(kinds.last().map(String::as_str), Some("flow_finished"));
+    // The acceptance bar: binding, scheduling, and every slice-search
+    // iteration show up in the trace.
+    for required in ["bind_attempt", "schedule_recurrence", "slice_probe"] {
+        assert!(kinds.iter().any(|k| k == required), "missing {required}");
+    }
+    let global_probes = lines
+        .iter()
+        .filter(|l| l.contains("\"scope\":\"global\""))
+        .count();
+    assert!(global_probes >= 2, "binary search iterations traced");
+
+    let _ = std::fs::remove_file(app);
+    let _ = std::fs::remove_file(platform);
+    let _ = std::fs::remove_file(trace);
+}
+
+#[test]
+fn verbose_option_logs_events_to_stderr_not_stdout() {
+    let (app_text, _, _) = sdfrs(&["example", "paper"]);
+    let (platform_text, _, _) = sdfrs(&["example", "platform"]);
+    let app = write_temp("v_app.sdfa", &app_text);
+    let platform = write_temp("v_platform.sdfp", &platform_text);
+    let (out, err, ok) = sdfrs(&[
+        "--verbose",
+        "flow",
+        app.to_str().unwrap(),
+        platform.to_str().unwrap(),
+    ]);
+    assert!(ok, "stdout: {out}\nstderr: {err}");
+    assert!(out.contains("guaranteed throughput"), "{out}");
+    assert!(err.contains("flow: start"), "{err}");
+    assert!(err.contains("bind"), "{err}");
+    assert!(!out.contains("flow: start"), "log lines stay off stdout");
+    let _ = std::fs::remove_file(app);
+    let _ = std::fs::remove_file(platform);
+}
+
+#[test]
 fn bad_input_fails_with_line_number() {
     let bad = write_temp("bad.sdfa", "app x lambda 1/4\nactor a pt p tau NOPE mu 1\n");
     let (_, err, ok) = sdfrs(&["analyze", bad.to_str().unwrap()]);

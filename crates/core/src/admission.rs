@@ -12,9 +12,10 @@ use sdfrs_platform::mesh::{mesh_platform, MeshConfig};
 use sdfrs_platform::{ArchitectureGraph, PlatformState};
 use sdfrs_sdf::Rational;
 
+use crate::allocator::Allocator;
 use crate::error::MapError;
-use crate::flow::{allocate_with_cache, Allocation, FlowConfig, FlowStats};
-use crate::thru_cache::ThroughputCache;
+use crate::events::FlowEvent;
+use crate::flow::{Allocation, FlowConfig, FlowStats};
 
 /// Strategies for ordering applications before allocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,20 +83,34 @@ pub fn allocate_best_fit(
     arch: &ArchitectureGraph,
     config: &FlowConfig,
 ) -> AdmissionResult {
-    let mut state = PlatformState::new(arch);
-    let mut remaining: Vec<usize> = (0..apps.len()).collect();
-    let mut admitted = Vec::new();
-    let mut rejected: Vec<(usize, MapError)> = Vec::new();
     // Best-fit runs the flow speculatively: every round re-allocates each
     // remaining application, and between the speculative run that wins a
     // round and its commit nothing changes — one shared cache across the
     // protocol answers those repeats from memory.
-    let mut cache = ThroughputCache::new();
+    let mut allocator = Allocator::from_config(*config);
+    allocate_best_fit_with(&mut allocator, apps, arch)
+}
+
+/// [`allocate_best_fit`] through an existing [`Allocator`], sharing its
+/// cache and emitting one [`MultiAppRound`](FlowEvent::MultiAppRound) per
+/// round plus one [`AdmissionDecision`](FlowEvent::AdmissionDecision) per
+/// final accept/reject on its sink.
+pub fn allocate_best_fit_with(
+    allocator: &mut Allocator,
+    apps: &[ApplicationGraph],
+    arch: &ArchitectureGraph,
+) -> AdmissionResult {
+    let mut state = PlatformState::new(arch);
+    let mut remaining: Vec<usize> = (0..apps.len()).collect();
+    let mut admitted = Vec::new();
+    let mut rejected: Vec<(usize, MapError)> = Vec::new();
+    let mut round = 0usize;
     while !remaining.is_empty() {
+        let candidates = remaining.len();
         let mut best: Option<(usize, Allocation, FlowStats, u64)> = None;
         let mut round_errors = Vec::new();
         for &i in &remaining {
-            match allocate_with_cache(&apps[i], arch, &state, config, &mut cache) {
+            match allocator.allocate(&apps[i], arch, &state) {
                 Ok((alloc, stats)) => {
                     let wheel: u64 = alloc.usage.iter().map(|u| u.wheel).sum();
                     let better = best.as_ref().is_none_or(|(_, _, _, w)| wheel < *w);
@@ -106,14 +121,36 @@ pub fn allocate_best_fit(
                 Err(e) => round_errors.push((i, e)),
             }
         }
+        let winner = best.as_ref().map(|(i, _, _, _)| *i);
+        allocator.emit(|| FlowEvent::MultiAppRound {
+            round,
+            candidates,
+            admitted: winner,
+        });
+        round += 1;
         match best {
             Some((i, alloc, stats, _)) => {
                 alloc.claim_on(arch, &mut state);
+                allocator.emit(|| FlowEvent::AdmissionDecision {
+                    index: i,
+                    app: apps[i].graph().name().to_string(),
+                    admitted: true,
+                    detail: String::new(),
+                });
                 admitted.push((i, alloc, stats));
                 remaining.retain(|&x| x != i);
             }
             None => {
                 // Nothing fits any more: everything left is rejected.
+                for (i, e) in &round_errors {
+                    let (i, e) = (*i, e.clone());
+                    allocator.emit(|| FlowEvent::AdmissionDecision {
+                        index: i,
+                        app: apps[i].graph().name().to_string(),
+                        admitted: false,
+                        detail: e.to_string(),
+                    });
+                }
                 rejected.extend(round_errors);
                 break;
             }
@@ -152,17 +189,44 @@ pub fn allocate_skipping_failures(
     config: &FlowConfig,
     order: AdmissionOrder,
 ) -> AdmissionResult {
+    let mut allocator = Allocator::from_config(*config);
+    allocate_skipping_failures_with(&mut allocator, apps, arch, order)
+}
+
+/// [`allocate_skipping_failures`] through an existing [`Allocator`],
+/// sharing its cache and emitting one
+/// [`AdmissionDecision`](FlowEvent::AdmissionDecision) per application on
+/// its sink.
+pub fn allocate_skipping_failures_with(
+    allocator: &mut Allocator,
+    apps: &[ApplicationGraph],
+    arch: &ArchitectureGraph,
+    order: AdmissionOrder,
+) -> AdmissionResult {
     let mut state = PlatformState::new(arch);
     let mut admitted = Vec::new();
     let mut rejected = Vec::new();
-    let mut cache = ThroughputCache::new();
     for i in order_applications(apps, order) {
-        match allocate_with_cache(&apps[i], arch, &state, config, &mut cache) {
+        match allocator.allocate(&apps[i], arch, &state) {
             Ok((alloc, stats)) => {
                 alloc.claim_on(arch, &mut state);
+                allocator.emit(|| FlowEvent::AdmissionDecision {
+                    index: i,
+                    app: apps[i].graph().name().to_string(),
+                    admitted: true,
+                    detail: String::new(),
+                });
                 admitted.push((i, alloc, stats));
             }
-            Err(e) => rejected.push((i, e)),
+            Err(e) => {
+                allocator.emit(|| FlowEvent::AdmissionDecision {
+                    index: i,
+                    app: apps[i].graph().name().to_string(),
+                    admitted: false,
+                    detail: e.to_string(),
+                });
+                rejected.push((i, e));
+            }
         }
     }
     AdmissionResult {

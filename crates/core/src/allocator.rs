@@ -1,0 +1,327 @@
+//! The allocation front-end: one builder-style handle owning the flow
+//! configuration, the throughput-evaluation cache, and the event sink.
+//!
+//! [`Allocator`] replaces the old free-function pair
+//! `flow::allocate` / `flow::allocate_with_cache` (kept as deprecated
+//! shims). Owning all three pieces in one place means:
+//!
+//! * repeated runs — admission protocols, DSE sweeps, multi-application
+//!   sequences — share the [`ThroughputCache`] without threading it
+//!   through every call site;
+//! * every phase of every run reports through the same
+//!   [`EventSink`], with timestamps monotonic
+//!   across runs (one epoch per allocator);
+//! * configuration is validated once, up front, instead of failing
+//!   mid-flow.
+//!
+//! # Example
+//!
+//! ```
+//! use sdfrs_appmodel::apps::{example_platform, paper_example};
+//! use sdfrs_core::Allocator;
+//! use sdfrs_platform::PlatformState;
+//!
+//! # fn main() -> Result<(), sdfrs_core::MapError> {
+//! let app = paper_example();
+//! let arch = example_platform();
+//! let state = PlatformState::new(&arch);
+//! let mut allocator = Allocator::new();
+//! let (allocation, stats) = allocator.allocate(&app, &arch, &state)?;
+//! assert!(allocation.guaranteed_throughput() >= app.throughput_constraint());
+//! assert!(stats.throughput_checks > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::time::Instant;
+
+use sdfrs_appmodel::ApplicationGraph;
+use sdfrs_platform::{ArchitectureGraph, PlatformState};
+
+use crate::admission::{AdmissionOrder, AdmissionResult};
+use crate::cost::CostWeights;
+use crate::dse::DseResult;
+use crate::error::MapError;
+use crate::events::{EventSink, FlowEvent, FlowObserver, NullSink};
+use crate::flow::{Allocation, FlowConfig, FlowStats};
+use crate::multi_app::MultiAppResult;
+use crate::thru_cache::ThroughputCache;
+
+/// The redesigned entry point of the Section 9 strategy: a handle owning
+/// the [`FlowConfig`], a persistent [`ThroughputCache`], and a pluggable
+/// [`EventSink`].
+///
+/// Built with a fluent API; see the [module docs](self) for an example.
+/// The default sink is the zero-overhead [`NullSink`].
+pub struct Allocator {
+    config: FlowConfig,
+    cache: ThroughputCache,
+    sink: Box<dyn EventSink>,
+    epoch: Instant,
+}
+
+impl Default for Allocator {
+    fn default() -> Self {
+        Allocator::new()
+    }
+}
+
+impl std::fmt::Debug for Allocator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Allocator")
+            .field("config", &self.config)
+            .field("sink_enabled", &self.sink.enabled())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Allocator {
+    /// An allocator with the default configuration, an empty cache, and
+    /// the [`NullSink`].
+    pub fn new() -> Self {
+        Allocator::from_config(FlowConfig::default())
+    }
+
+    /// An allocator with the given configuration.
+    pub fn from_config(config: FlowConfig) -> Self {
+        Allocator {
+            config,
+            cache: ThroughputCache::new(),
+            sink: Box::new(NullSink),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Replaces the flow configuration.
+    #[must_use]
+    pub fn with_config(mut self, config: FlowConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Uses the given Eqn 2 weights (keeping the remaining defaults).
+    #[must_use]
+    pub fn with_weights(mut self, weights: CostWeights) -> Self {
+        self.config = FlowConfig::with_weights(weights);
+        self
+    }
+
+    /// Seeds the allocator with an existing evaluation cache (e.g. one
+    /// carried over from a previous allocator via [`into_cache`]).
+    ///
+    /// [`into_cache`]: Self::into_cache
+    #[must_use]
+    pub fn with_cache(mut self, cache: ThroughputCache) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Routes all flow events to `sink`.
+    #[must_use]
+    pub fn with_sink(self, sink: impl EventSink + 'static) -> Self {
+        self.with_boxed_sink(Box::new(sink))
+    }
+
+    /// Routes all flow events to an already-boxed sink (what the CLI
+    /// builds from `--trace` / `--verbose`).
+    #[must_use]
+    pub fn with_boxed_sink(mut self, sink: Box<dyn EventSink>) -> Self {
+        self.sink = sink;
+        self
+    }
+
+    /// The flow configuration.
+    pub fn config(&self) -> &FlowConfig {
+        &self.config
+    }
+
+    /// Mutable access to the flow configuration (for sweeps that adjust
+    /// one knob between runs).
+    pub fn config_mut(&mut self) -> &mut FlowConfig {
+        &mut self.config
+    }
+
+    /// The evaluation cache.
+    pub fn cache(&self) -> &ThroughputCache {
+        &self.cache
+    }
+
+    /// Consumes the allocator, returning its cache (to seed another
+    /// allocator).
+    pub fn into_cache(self) -> ThroughputCache {
+        self.cache
+    }
+
+    /// Flushes the event sink (buffered trace files).
+    pub fn flush(&mut self) {
+        self.sink.flush();
+    }
+
+    /// Runs the three-step strategy (Sec 9) for one application on a
+    /// (partially occupied) platform, emitting events for every phase and
+    /// updating the shared cache.
+    ///
+    /// # Errors
+    ///
+    /// * [`MapError::InvalidConfig`] if the configuration is rejected by
+    ///   [`FlowConfig::validate`];
+    /// * [`MapError::NoFeasibleTile`] from binding;
+    /// * [`MapError::Sdf`] from an analysis;
+    /// * [`MapError::ConstraintUnsatisfiable`] from the slice allocation.
+    pub fn allocate(
+        &mut self,
+        app: &ApplicationGraph,
+        arch: &ArchitectureGraph,
+        state: &PlatformState,
+    ) -> Result<(Allocation, FlowStats), MapError> {
+        let Allocator {
+            config,
+            cache,
+            sink,
+            epoch,
+        } = self;
+        let mut obs = FlowObserver::with_epoch(sink.as_mut(), *epoch);
+        crate::flow::allocate_inner(app, arch, state, config, cache, &mut obs)
+    }
+
+    /// Allocates `apps` in order onto one platform until the first
+    /// failure (Sec 10.1's conservative protocol), sharing this
+    /// allocator's cache and sink across the sequence.
+    pub fn allocate_sequence(
+        &mut self,
+        apps: &[ApplicationGraph],
+        arch: &ArchitectureGraph,
+    ) -> MultiAppResult {
+        crate::multi_app::allocate_until_failure_with(self, apps, arch)
+    }
+
+    /// Admission in the given order, *skipping* applications that fail
+    /// instead of stopping (the run-time mechanism of Sec 10.1).
+    pub fn admit(
+        &mut self,
+        apps: &[ApplicationGraph],
+        arch: &ArchitectureGraph,
+        order: AdmissionOrder,
+    ) -> AdmissionResult {
+        crate::admission::allocate_skipping_failures_with(self, apps, arch, order)
+    }
+
+    /// Dynamic best-fit admission: each round speculatively allocates
+    /// every remaining application and admits the one claiming the least
+    /// wheel time.
+    pub fn admit_best_fit(
+        &mut self,
+        apps: &[ApplicationGraph],
+        arch: &ArchitectureGraph,
+    ) -> AdmissionResult {
+        crate::admission::allocate_best_fit_with(self, apps, arch)
+    }
+
+    /// Sweeps the given Eqn 2 weight settings under both connection
+    /// models, emitting one
+    /// [`DsePointEvaluated`](crate::events::FlowEvent::DsePointEvaluated)
+    /// per configuration. Each point runs with a fresh cache (different
+    /// weights produce different bindings, so points share nothing), like
+    /// [`dse::explore`](crate::dse::explore).
+    pub fn explore(
+        &mut self,
+        app: &ApplicationGraph,
+        arch: &ArchitectureGraph,
+        state: &PlatformState,
+        weights: &[CostWeights],
+    ) -> DseResult {
+        crate::dse::explore_with(self, app, arch, state, weights)
+    }
+
+    /// Emits one event through this allocator's sink (used by the
+    /// admission and multi-application protocols for their own events).
+    pub(crate) fn emit(&mut self, make: impl FnOnce() -> FlowEvent) {
+        if self.sink.enabled() {
+            let at = self.epoch.elapsed();
+            self.sink.record(at, &make());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::RecordingSink;
+    use sdfrs_appmodel::apps::{example_platform, paper_example};
+    use sdfrs_sdf::Rational;
+
+    #[test]
+    fn allocator_reproduces_the_paper_example() {
+        let app = paper_example();
+        let arch = example_platform();
+        let state = PlatformState::new(&arch);
+        let (alloc, stats) = Allocator::new().allocate(&app, &arch, &state).unwrap();
+        assert!(alloc.guaranteed_throughput() >= Rational::new(1, 30));
+        assert!(stats.throughput_checks >= 2);
+    }
+
+    #[test]
+    fn cache_persists_across_runs() {
+        let app = paper_example();
+        let arch = example_platform();
+        let state = PlatformState::new(&arch);
+        let mut allocator = Allocator::new();
+        let (_, first) = allocator.allocate(&app, &arch, &state).unwrap();
+        let (_, second) = allocator.allocate(&app, &arch, &state).unwrap();
+        assert!(first.cache_misses > 0, "cold cache must run explorations");
+        assert_eq!(
+            second.cache_misses, 0,
+            "the repeated run must be answered entirely from the cache"
+        );
+        assert_eq!(second.cache_hits, second.throughput_checks);
+    }
+
+    #[test]
+    fn timestamps_are_monotonic_across_runs() {
+        let app = paper_example();
+        let arch = example_platform();
+        let state = PlatformState::new(&arch);
+        let sink = RecordingSink::new();
+        let mut allocator = Allocator::new().with_sink(sink.clone());
+        allocator.allocate(&app, &arch, &state).unwrap();
+        allocator.allocate(&app, &arch, &state).unwrap();
+        let events = sink.events();
+        assert!(!events.is_empty());
+        for pair in events.windows(2) {
+            assert!(pair[0].0 <= pair[1].0, "timestamps must never go back");
+        }
+        // Two runs ⇒ two flow_started / flow_finished pairs.
+        let starts = events
+            .iter()
+            .filter(|(_, e)| e.kind() == "flow_started")
+            .count();
+        assert_eq!(starts, 2);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_up_front() {
+        let app = paper_example();
+        let arch = example_platform();
+        let state = PlatformState::new(&arch);
+        let cfg = FlowConfig {
+            schedule_state_budget: 0,
+            ..FlowConfig::default()
+        };
+        let err = Allocator::from_config(cfg)
+            .allocate(&app, &arch, &state)
+            .unwrap_err();
+        assert!(matches!(err, MapError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn into_cache_seeds_another_allocator() {
+        let app = paper_example();
+        let arch = example_platform();
+        let state = PlatformState::new(&arch);
+        let mut first = Allocator::new();
+        first.allocate(&app, &arch, &state).unwrap();
+        let mut second = Allocator::new().with_cache(first.into_cache());
+        let (_, stats) = second.allocate(&app, &arch, &state).unwrap();
+        assert_eq!(stats.cache_misses, 0);
+    }
+}

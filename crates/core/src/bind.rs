@@ -13,6 +13,7 @@ use sdfrs_sdf::ActorId;
 use crate::binding::Binding;
 use crate::cost::{binding_order, tile_cost, tile_loads, CostWeights, DEFAULT_CYCLE_CAP};
 use crate::error::MapError;
+use crate::events::{BindPass, FlowEvent, FlowObserver, NullSink};
 use crate::resources::binding_constraints_hold;
 
 /// Configuration of the binding step.
@@ -149,7 +150,34 @@ pub fn bind_actors(
     state: &PlatformState,
     config: &BindConfig,
 ) -> Result<Binding, MapError> {
+    let mut sink = NullSink;
+    let mut obs = FlowObserver::new(&mut sink);
+    bind_actors_observed(app, arch, state, config, &mut obs)
+}
+
+/// [`bind_actors`] reporting every decision through an observer: the
+/// Eqn 1 criticality order, one
+/// [`BindAttempt`](FlowEvent::BindAttempt) per candidate tile tried in
+/// either pass, and an [`ActorRebound`](FlowEvent::ActorRebound) whenever
+/// the optimization pass moves an actor.
+///
+/// # Errors
+///
+/// See [`bind_actors`].
+pub fn bind_actors_observed(
+    app: &ApplicationGraph,
+    arch: &ArchitectureGraph,
+    state: &PlatformState,
+    config: &BindConfig,
+    obs: &mut FlowObserver<'_>,
+) -> Result<Binding, MapError> {
     let order = binding_order(app, config.max_cycles);
+    obs.emit(|| FlowEvent::CriticalityOrder {
+        actors: order
+            .iter()
+            .map(|&a| app.graph().actor(a).name().to_string())
+            .collect(),
+    });
     let mut binding = Binding::new(app.graph().actor_count());
 
     // First-fit in criticality order.
@@ -166,9 +194,18 @@ pub fn bind_actors(
             RankScope::CandidateTile,
         );
         let mut placed = false;
-        for (tile, _) in ranked {
+        for (tile, cost) in ranked {
             binding.bind(actor, tile);
-            if binding_constraints_hold(app, arch, state, &binding) {
+            let accepted = binding_constraints_hold(app, arch, state, &binding);
+            obs.counters.bind_attempts += 1;
+            obs.emit(|| FlowEvent::BindAttempt {
+                pass: BindPass::FirstFit,
+                actor: app.graph().actor(actor).name().to_string(),
+                tile: tile.index(),
+                cost,
+                accepted,
+            });
+            if accepted {
                 placed = true;
                 break;
             }
@@ -197,9 +234,18 @@ pub fn bind_actors(
                 RankScope::AllTiles,
             );
             let mut placed = false;
-            for (tile, _) in ranked {
+            for (tile, cost) in ranked {
                 binding.bind(actor, tile);
-                if binding_constraints_hold(app, arch, state, &binding) {
+                let accepted = binding_constraints_hold(app, arch, state, &binding);
+                obs.counters.bind_attempts += 1;
+                obs.emit(|| FlowEvent::BindAttempt {
+                    pass: BindPass::Rebind,
+                    actor: app.graph().actor(actor).name().to_string(),
+                    tile: tile.index(),
+                    cost,
+                    accepted,
+                });
+                if accepted {
                     placed = true;
                     break;
                 }
@@ -207,6 +253,14 @@ pub fn bind_actors(
             }
             if !placed {
                 binding.bind(actor, original);
+            }
+            let landed = binding.tile_of(actor).expect("actor rebound or restored");
+            if landed != original {
+                obs.emit(|| FlowEvent::ActorRebound {
+                    actor: app.graph().actor(actor).name().to_string(),
+                    from: original.index(),
+                    to: landed.index(),
+                });
             }
         }
     }

@@ -11,9 +11,12 @@ use sdfrs_appmodel::ApplicationGraph;
 use sdfrs_platform::{ArchitectureGraph, PlatformState};
 use sdfrs_sdf::Rational;
 
+use crate::allocator::Allocator;
 use crate::binding_aware::ConnectionModel;
 use crate::cost::CostWeights;
-use crate::flow::{allocate, Allocation, FlowConfig};
+use crate::events::{FlowEvent, FlowObserver, NullSink};
+use crate::flow::{Allocation, FlowConfig};
+use crate::thru_cache::ThroughputCache;
 
 /// One evaluated configuration.
 #[derive(Debug, Clone)]
@@ -98,13 +101,47 @@ pub fn explore_parallel(
     explore_impl(app, arch, state, weights, true)
 }
 
-fn explore_impl(
+/// [`explore`] through an existing [`Allocator`]: the sweep runs
+/// sequentially on its sink, emitting one
+/// [`DsePointEvaluated`](FlowEvent::DsePointEvaluated) per configuration.
+/// Each point still runs with a fresh cache — different weights produce
+/// different bindings, so points share no evaluations — while the
+/// allocator's own cache is left untouched.
+pub fn explore_with(
+    allocator: &mut Allocator,
     app: &ApplicationGraph,
     arch: &ArchitectureGraph,
     state: &PlatformState,
     weights: &[CostWeights],
-    parallel: bool,
 ) -> DseResult {
+    let base = *allocator.config();
+    let mut points = Vec::new();
+    let mut failures = Vec::new();
+    for (w, model, outcome) in sweep_outcomes(app, arch, state, weights, &base, false) {
+        let ok = outcome.is_ok();
+        allocator.emit(|| FlowEvent::DsePointEvaluated {
+            weights: w.to_string(),
+            connection_model: format!("{model:?}"),
+            ok,
+        });
+        collect_outcome(w, model, outcome, &mut points, &mut failures);
+    }
+    DseResult { points, failures }
+}
+
+/// Runs the sweep and returns `(weights, model, outcome)` in sweep order.
+fn sweep_outcomes(
+    app: &ApplicationGraph,
+    arch: &ArchitectureGraph,
+    state: &PlatformState,
+    weights: &[CostWeights],
+    base: &FlowConfig,
+    parallel: bool,
+) -> Vec<(
+    CostWeights,
+    ConnectionModel,
+    Result<Allocation, crate::MapError>,
+)> {
     let sweep: Vec<(CostWeights, ConnectionModel)> = weights
         .iter()
         .flat_map(|&w| {
@@ -114,27 +151,57 @@ fn explore_impl(
         })
         .collect();
     let outcomes = sdfrs_fastutil::par::maybe_par_map(parallel, &sweep, |&(w, model)| {
-        let mut config = FlowConfig::with_weights(w);
+        let mut config = *base;
+        config.bind.weights = w;
         config.connection_model = model;
-        allocate(app, arch, state, &config).map(|(allocation, _)| allocation)
+        let mut sink = NullSink;
+        let mut obs = FlowObserver::new(&mut sink);
+        let mut cache = ThroughputCache::new();
+        crate::flow::allocate_inner(app, arch, state, &config, &mut cache, &mut obs)
+            .map(|(allocation, _)| allocation)
     });
+    sweep
+        .into_iter()
+        .zip(outcomes)
+        .map(|((w, model), outcome)| (w, model, outcome))
+        .collect()
+}
+
+fn collect_outcome(
+    w: CostWeights,
+    model: ConnectionModel,
+    outcome: Result<Allocation, crate::MapError>,
+    points: &mut Vec<DsePoint>,
+    failures: &mut Vec<(CostWeights, ConnectionModel, crate::MapError)>,
+) {
+    match outcome {
+        Ok(allocation) => {
+            let wheel_claimed = allocation.slices.iter().sum();
+            let tiles_used = allocation.binding.used_tiles().len();
+            points.push(DsePoint {
+                weights: w,
+                connection_model: model,
+                allocation,
+                wheel_claimed,
+                tiles_used,
+            });
+        }
+        Err(e) => failures.push((w, model, e)),
+    }
+}
+
+fn explore_impl(
+    app: &ApplicationGraph,
+    arch: &ArchitectureGraph,
+    state: &PlatformState,
+    weights: &[CostWeights],
+    parallel: bool,
+) -> DseResult {
+    let base = FlowConfig::default();
     let mut points = Vec::new();
     let mut failures = Vec::new();
-    for ((w, model), outcome) in sweep.into_iter().zip(outcomes) {
-        match outcome {
-            Ok(allocation) => {
-                let wheel_claimed = allocation.slices.iter().sum();
-                let tiles_used = allocation.binding.used_tiles().len();
-                points.push(DsePoint {
-                    weights: w,
-                    connection_model: model,
-                    allocation,
-                    wheel_claimed,
-                    tiles_used,
-                });
-            }
-            Err(e) => failures.push((w, model, e)),
-        }
+    for (w, model, outcome) in sweep_outcomes(app, arch, state, weights, &base, parallel) {
+        collect_outcome(w, model, outcome, &mut points, &mut failures);
     }
     DseResult { points, failures }
 }

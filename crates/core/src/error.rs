@@ -46,6 +46,14 @@ pub enum MapError {
         /// The offending channel.
         channel: ChannelId,
     },
+    /// The flow configuration is degenerate (zero state budgets, an empty
+    /// Eqn 2 weight set, …) — rejected up front by
+    /// [`FlowConfig::validate`](crate::flow::FlowConfig::validate) instead
+    /// of failing mid-flow.
+    InvalidConfig {
+        /// Which field was rejected and why.
+        reason: String,
+    },
 }
 
 impl fmt::Display for MapError {
@@ -73,6 +81,9 @@ impl fmt::Display for MapError {
                 f,
                 "channel {channel} cannot cross tiles (zero bandwidth or undersized buffers)"
             ),
+            MapError::InvalidConfig { reason } => {
+                write!(f, "invalid flow configuration: {reason}")
+            }
         }
     }
 }
@@ -121,5 +132,10 @@ mod tests {
         let e: MapError = SdfError::Empty.into();
         assert!(e.to_string().contains("no actors"));
         assert!(e.source().is_some());
+        assert!(MapError::InvalidConfig {
+            reason: "weights are all zero".into()
+        }
+        .to_string()
+        .contains("invalid flow configuration"));
     }
 }

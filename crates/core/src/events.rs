@@ -1,0 +1,1025 @@
+//! Observability: typed flow events, pluggable sinks, and the observer
+//! handle the allocation pipeline emits through.
+//!
+//! Every phase of the Sec 9 strategy — the criticality sort and per-actor
+//! bind attempts (Sec 9.1), the list-scheduler recurrence detection
+//! (Sec 9.2), every slice-search iteration with its tested slice vector
+//! and measured throughput (Sec 9.3), cache hits/misses, admission
+//! decisions and multi-application rounds — is reported as a
+//! [`FlowEvent`] carrying a monotonic timestamp relative to the owning
+//! [`Allocator`](crate::Allocator)'s epoch.
+//!
+//! Events flow to an [`EventSink`]:
+//!
+//! * [`NullSink`] — the zero-overhead default. It reports
+//!   [`enabled`](EventSink::enabled)` == false`, so instrumentation sites
+//!   never even *construct* the event (construction is deferred behind a
+//!   closure in [`FlowObserver::emit`]).
+//! * [`LogSink`] — human-readable lines on stderr (or any writer); what
+//!   the CLI's `--verbose` streams and what replaces ad-hoc `println!`
+//!   diagnostics.
+//! * [`JsonlSink`] — one JSON object per line; the machine-readable trace
+//!   behind the CLI's `--trace <file>`.
+//! * [`RecordingSink`] — an in-memory buffer for tests and benches that
+//!   assert on event order and counts.
+//! * [`MultiSink`] — fan-out to several sinks at once.
+//!
+//! The same stream is aggregated into the iteration counters of
+//! [`FlowStats`](crate::FlowStats), so structured data is available even
+//! under the `NullSink` (counters are plain integer increments, kept
+//! outside the event path).
+
+use std::fmt::Write as _;
+use std::io::{self, Write};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use sdfrs_sdf::Rational;
+
+/// The three phases of the allocation strategy (Sec 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowPhase {
+    /// Resource binding (Sec 9.1).
+    Binding,
+    /// Static-order schedule construction (Sec 9.2).
+    Scheduling,
+    /// TDMA slice allocation (Sec 9.3).
+    SliceAllocation,
+}
+
+impl FlowPhase {
+    /// Stable lower-case name used in traces.
+    pub fn name(self) -> &'static str {
+        match self {
+            FlowPhase::Binding => "binding",
+            FlowPhase::Scheduling => "scheduling",
+            FlowPhase::SliceAllocation => "slice_allocation",
+        }
+    }
+}
+
+/// Which binding pass produced a [`FlowEvent::BindAttempt`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BindPass {
+    /// The first-fit pass in criticality order.
+    FirstFit,
+    /// The reverse-order re-binding optimization.
+    Rebind,
+}
+
+impl BindPass {
+    /// Stable lower-case name used in traces.
+    pub fn name(self) -> &'static str {
+        match self {
+            BindPass::FirstFit => "first_fit",
+            BindPass::Rebind => "rebind",
+        }
+    }
+}
+
+/// Which search probed a slice vector in a [`FlowEvent::SliceProbe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SliceScope {
+    /// The global binary search over a common fraction `k / of` of each
+    /// used tile's remaining wheel.
+    Global {
+        /// Tested numerator of the common fraction.
+        k: u64,
+        /// Denominator: the largest remaining wheel.
+        of: u64,
+    },
+    /// A speculative per-tile refinement probe (every other tile frozen at
+    /// the pass-start allocation).
+    Refine {
+        /// Refinement pass (0-based).
+        pass: usize,
+        /// Tile whose slice is being shrunk.
+        tile: usize,
+        /// Tested slice for that tile.
+        slice: u64,
+    },
+    /// Re-validation of a refinement proposal against the cumulative
+    /// candidate before it is committed.
+    Commit {
+        /// Refinement pass (0-based).
+        pass: usize,
+        /// Tile whose proposal is being committed.
+        tile: usize,
+        /// Proposed slice for that tile.
+        slice: u64,
+    },
+    /// The final re-evaluation at the committed allocation.
+    Final,
+}
+
+/// One observation from inside the allocation flow.
+///
+/// Marked `#[non_exhaustive]`: more phases will grow more variants, and
+/// sinks must tolerate unknown events (match with a `_` arm).
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowEvent {
+    /// An allocation run started.
+    FlowStarted {
+        /// Application name.
+        app: String,
+        /// Number of application actors.
+        actors: usize,
+        /// Number of application channels.
+        channels: usize,
+        /// Number of platform tiles.
+        tiles: usize,
+        /// The throughput constraint λ.
+        constraint: Rational,
+    },
+    /// A phase of the strategy started.
+    PhaseStarted {
+        /// The phase.
+        phase: FlowPhase,
+    },
+    /// A phase of the strategy finished successfully.
+    PhaseFinished {
+        /// The phase.
+        phase: FlowPhase,
+        /// Wall-clock time the phase took.
+        duration: Duration,
+    },
+    /// The Eqn 1 criticality sort fixed the binding order.
+    CriticalityOrder {
+        /// Actor names, most critical first.
+        actors: Vec<String>,
+    },
+    /// One candidate tile was tried for one actor (Eqn 2 ranking plus the
+    /// Sec 7 constraint check).
+    BindAttempt {
+        /// Which pass tried the candidate.
+        pass: BindPass,
+        /// Actor being bound.
+        actor: String,
+        /// Candidate tile index.
+        tile: usize,
+        /// Eqn 2 cost of the candidate.
+        cost: f64,
+        /// Whether the Sec 7 constraints held (the actor stays here).
+        accepted: bool,
+    },
+    /// The re-binding pass moved an actor to a different tile.
+    ActorRebound {
+        /// The actor that moved.
+        actor: String,
+        /// Previous tile index.
+        from: usize,
+        /// New tile index.
+        to: usize,
+    },
+    /// The list scheduler found a recurrent state.
+    ScheduleRecurrence {
+        /// States explored until the recurrence closed.
+        states: usize,
+    },
+    /// A minimized static-order schedule was fixed for a tile.
+    ScheduleConstructed {
+        /// The tile.
+        tile: usize,
+        /// Length of the transient prefix.
+        prefix_len: usize,
+        /// Length of the periodic part.
+        period_len: usize,
+    },
+    /// One slice-search throughput evaluation: the tested slice vector,
+    /// the measured throughput, and whether the evaluation cache answered.
+    SliceProbe {
+        /// Which search probed.
+        scope: SliceScope,
+        /// The tested slice per tile index.
+        slices: Vec<u64>,
+        /// Measured guaranteed throughput under those slices.
+        throughput: Rational,
+        /// `throughput ≥ λ`.
+        feasible: bool,
+        /// Whether the [`ThroughputCache`](crate::ThroughputCache)
+        /// answered without running the exploration.
+        cache_hit: bool,
+    },
+    /// An allocation run finished.
+    FlowFinished {
+        /// Whether a valid allocation was produced.
+        ok: bool,
+        /// Total wall-clock time of the run.
+        duration: Duration,
+    },
+    /// An admission protocol accepted or skipped one application.
+    AdmissionDecision {
+        /// Index of the application in the submitted sequence.
+        index: usize,
+        /// Application name.
+        app: String,
+        /// Whether the application was admitted.
+        admitted: bool,
+        /// Failure description for skipped applications (empty on admit).
+        detail: String,
+    },
+    /// One round of a multi-application protocol completed.
+    MultiAppRound {
+        /// Round number (0-based).
+        round: usize,
+        /// Applications still competing at the start of the round.
+        candidates: usize,
+        /// Index of the application admitted this round, if any.
+        admitted: Option<usize>,
+    },
+    /// A design-space-exploration point was evaluated.
+    DsePointEvaluated {
+        /// The Eqn 2 weights of the point.
+        weights: String,
+        /// The connection model of the point.
+        connection_model: String,
+        /// Whether the point produced a valid allocation.
+        ok: bool,
+    },
+}
+
+impl FlowEvent {
+    /// Stable snake-case discriminant name used in traces.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FlowEvent::FlowStarted { .. } => "flow_started",
+            FlowEvent::PhaseStarted { .. } => "phase_started",
+            FlowEvent::PhaseFinished { .. } => "phase_finished",
+            FlowEvent::CriticalityOrder { .. } => "criticality_order",
+            FlowEvent::BindAttempt { .. } => "bind_attempt",
+            FlowEvent::ActorRebound { .. } => "actor_rebound",
+            FlowEvent::ScheduleRecurrence { .. } => "schedule_recurrence",
+            FlowEvent::ScheduleConstructed { .. } => "schedule_constructed",
+            FlowEvent::SliceProbe { .. } => "slice_probe",
+            FlowEvent::FlowFinished { .. } => "flow_finished",
+            FlowEvent::AdmissionDecision { .. } => "admission_decision",
+            FlowEvent::MultiAppRound { .. } => "multi_app_round",
+            FlowEvent::DsePointEvaluated { .. } => "dse_point",
+        }
+    }
+
+    /// Renders the event as one JSON object (no trailing newline). The
+    /// timestamp is emitted as integer microseconds under `"t_us"`.
+    pub fn to_json(&self, at: Duration) -> String {
+        let mut s = String::with_capacity(96);
+        let _ = write!(s, "{{\"t_us\":{}", at.as_micros());
+        let _ = write!(s, ",\"event\":\"{}\"", self.kind());
+        match self {
+            FlowEvent::FlowStarted {
+                app,
+                actors,
+                channels,
+                tiles,
+                constraint,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"app\":\"{}\",\"actors\":{actors},\"channels\":{channels},\"tiles\":{tiles},\"constraint\":\"{constraint}\"",
+                    json_escape(app)
+                );
+            }
+            FlowEvent::PhaseStarted { phase } => {
+                let _ = write!(s, ",\"phase\":\"{}\"", phase.name());
+            }
+            FlowEvent::PhaseFinished { phase, duration } => {
+                let _ = write!(
+                    s,
+                    ",\"phase\":\"{}\",\"duration_us\":{}",
+                    phase.name(),
+                    duration.as_micros()
+                );
+            }
+            FlowEvent::CriticalityOrder { actors } => {
+                s.push_str(",\"actors\":[");
+                for (i, a) in actors.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    let _ = write!(s, "\"{}\"", json_escape(a));
+                }
+                s.push(']');
+            }
+            FlowEvent::BindAttempt {
+                pass,
+                actor,
+                tile,
+                cost,
+                accepted,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"pass\":\"{}\",\"actor\":\"{}\",\"tile\":{tile},\"cost\":{},\"accepted\":{accepted}",
+                    pass.name(),
+                    json_escape(actor),
+                    json_f64(*cost)
+                );
+            }
+            FlowEvent::ActorRebound { actor, from, to } => {
+                let _ = write!(
+                    s,
+                    ",\"actor\":\"{}\",\"from\":{from},\"to\":{to}",
+                    json_escape(actor)
+                );
+            }
+            FlowEvent::ScheduleRecurrence { states } => {
+                let _ = write!(s, ",\"states\":{states}");
+            }
+            FlowEvent::ScheduleConstructed {
+                tile,
+                prefix_len,
+                period_len,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"tile\":{tile},\"prefix_len\":{prefix_len},\"period_len\":{period_len}"
+                );
+            }
+            FlowEvent::SliceProbe {
+                scope,
+                slices,
+                throughput,
+                feasible,
+                cache_hit,
+            } => {
+                match scope {
+                    SliceScope::Global { k, of } => {
+                        let _ = write!(s, ",\"scope\":\"global\",\"k\":{k},\"of\":{of}");
+                    }
+                    SliceScope::Refine { pass, tile, slice } => {
+                        let _ = write!(
+                            s,
+                            ",\"scope\":\"refine\",\"pass\":{pass},\"tile\":{tile},\"slice\":{slice}"
+                        );
+                    }
+                    SliceScope::Commit { pass, tile, slice } => {
+                        let _ = write!(
+                            s,
+                            ",\"scope\":\"commit\",\"pass\":{pass},\"tile\":{tile},\"slice\":{slice}"
+                        );
+                    }
+                    SliceScope::Final => s.push_str(",\"scope\":\"final\""),
+                }
+                s.push_str(",\"slices\":[");
+                for (i, w) in slices.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    let _ = write!(s, "{w}");
+                }
+                let _ = write!(
+                    s,
+                    "],\"throughput\":\"{throughput}\",\"feasible\":{feasible},\"cache_hit\":{cache_hit}"
+                );
+            }
+            FlowEvent::FlowFinished { ok, duration } => {
+                let _ = write!(s, ",\"ok\":{ok},\"duration_us\":{}", duration.as_micros());
+            }
+            FlowEvent::AdmissionDecision {
+                index,
+                app,
+                admitted,
+                detail,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"index\":{index},\"app\":\"{}\",\"admitted\":{admitted},\"detail\":\"{}\"",
+                    json_escape(app),
+                    json_escape(detail)
+                );
+            }
+            FlowEvent::MultiAppRound {
+                round,
+                candidates,
+                admitted,
+            } => {
+                let _ = write!(s, ",\"round\":{round},\"candidates\":{candidates}");
+                match admitted {
+                    Some(i) => {
+                        let _ = write!(s, ",\"admitted\":{i}");
+                    }
+                    None => s.push_str(",\"admitted\":null"),
+                }
+            }
+            FlowEvent::DsePointEvaluated {
+                weights,
+                connection_model,
+                ok,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"weights\":\"{}\",\"connection_model\":\"{}\",\"ok\":{ok}",
+                    json_escape(weights),
+                    json_escape(connection_model)
+                );
+            }
+        }
+        s.push('}');
+        s
+    }
+
+    /// Renders the event as one human-readable log line (no newline).
+    pub fn to_log_line(&self, at: Duration) -> String {
+        let mut s = format!("[{:>12.6}s] ", at.as_secs_f64());
+        match self {
+            FlowEvent::FlowStarted {
+                app,
+                actors,
+                channels,
+                tiles,
+                constraint,
+            } => {
+                let _ = write!(
+                    s,
+                    "flow: start {app} ({actors} actors, {channels} channels) on {tiles} tiles, λ = {constraint}"
+                );
+            }
+            FlowEvent::PhaseStarted { phase } => {
+                let _ = write!(s, "{}: start", phase.name());
+            }
+            FlowEvent::PhaseFinished { phase, duration } => {
+                let _ = write!(s, "{}: done in {duration:?}", phase.name());
+            }
+            FlowEvent::CriticalityOrder { actors } => {
+                let _ = write!(s, "binding: criticality order {}", actors.join(" ≥ "));
+            }
+            FlowEvent::BindAttempt {
+                pass,
+                actor,
+                tile,
+                cost,
+                accepted,
+            } => {
+                let _ = write!(
+                    s,
+                    "bind[{}]: {actor} → t{tile} (cost {cost:.4}) {}",
+                    pass.name(),
+                    if *accepted { "accepted" } else { "rejected" }
+                );
+            }
+            FlowEvent::ActorRebound { actor, from, to } => {
+                let _ = write!(s, "bind[rebind]: moved {actor} t{from} → t{to}");
+            }
+            FlowEvent::ScheduleRecurrence { states } => {
+                let _ = write!(s, "schedule: recurrence after {states} states");
+            }
+            FlowEvent::ScheduleConstructed {
+                tile,
+                prefix_len,
+                period_len,
+            } => {
+                let _ = write!(
+                    s,
+                    "schedule: t{tile} prefix {prefix_len} firings, period {period_len} firings"
+                );
+            }
+            FlowEvent::SliceProbe {
+                scope,
+                slices,
+                throughput,
+                feasible,
+                cache_hit,
+            } => {
+                match scope {
+                    SliceScope::Global { k, of } => {
+                        let _ = write!(s, "slice[global k={k}/{of}]");
+                    }
+                    SliceScope::Refine { pass, tile, slice } => {
+                        let _ = write!(s, "slice[refine p{pass} t{tile}={slice}]");
+                    }
+                    SliceScope::Commit { pass, tile, slice } => {
+                        let _ = write!(s, "slice[commit p{pass} t{tile}={slice}]");
+                    }
+                    SliceScope::Final => s.push_str("slice[final]"),
+                }
+                let _ = write!(
+                    s,
+                    ": ω = {slices:?} ⇒ thr {throughput} {}{}",
+                    if *feasible {
+                        "(feasible)"
+                    } else {
+                        "(infeasible)"
+                    },
+                    if *cache_hit { " [cache hit]" } else { "" }
+                );
+            }
+            FlowEvent::FlowFinished { ok, duration } => {
+                let _ = write!(
+                    s,
+                    "flow: {} in {duration:?}",
+                    if *ok { "succeeded" } else { "failed" }
+                );
+            }
+            FlowEvent::AdmissionDecision {
+                index,
+                app,
+                admitted,
+                detail,
+            } => {
+                if *admitted {
+                    let _ = write!(s, "admission: #{index} {app} admitted");
+                } else {
+                    let _ = write!(s, "admission: #{index} {app} skipped ({detail})");
+                }
+            }
+            FlowEvent::MultiAppRound {
+                round,
+                candidates,
+                admitted,
+            } => match admitted {
+                Some(i) => {
+                    let _ = write!(
+                        s,
+                        "multi-app: round {round} admitted #{i} of {candidates} candidates"
+                    );
+                }
+                None => {
+                    let _ = write!(
+                        s,
+                        "multi-app: round {round} admitted none of {candidates} candidates"
+                    );
+                }
+            },
+            FlowEvent::DsePointEvaluated {
+                weights,
+                connection_model,
+                ok,
+            } => {
+                let _ = write!(
+                    s,
+                    "dse: weights {weights} / {connection_model}: {}",
+                    if *ok { "valid" } else { "infeasible" }
+                );
+            }
+        }
+        s
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// JSON has no NaN/∞; clamp them to null-safe strings.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+/// A destination for [`FlowEvent`]s.
+///
+/// Sinks receive each event with the monotonic time elapsed since the
+/// emitting [`Allocator`](crate::Allocator)'s epoch. Implementations must
+/// be `Send` so allocators can move across threads.
+pub trait EventSink: Send {
+    /// Receives one event, stamped `at` after the observer's epoch.
+    fn record(&mut self, at: Duration, event: &FlowEvent);
+
+    /// `false` if the sink discards everything: instrumentation sites skip
+    /// event *construction* entirely (the zero-overhead contract of
+    /// [`NullSink`]).
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Flushes buffered output, if any.
+    fn flush(&mut self) {}
+}
+
+/// The zero-overhead default sink: reports `enabled() == false`, so no
+/// event is ever constructed for it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn record(&mut self, _at: Duration, _event: &FlowEvent) {}
+
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// Human-readable log lines on an arbitrary writer (stderr by default).
+///
+/// Write errors are swallowed: diagnostics must never fail the flow.
+pub struct LogSink {
+    out: Box<dyn Write + Send>,
+}
+
+impl LogSink {
+    /// A sink logging to standard error.
+    pub fn stderr() -> Self {
+        LogSink {
+            out: Box::new(io::stderr()),
+        }
+    }
+
+    /// A sink logging to the given writer.
+    pub fn to_writer(out: Box<dyn Write + Send>) -> Self {
+        LogSink { out }
+    }
+}
+
+impl std::fmt::Debug for LogSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogSink").finish_non_exhaustive()
+    }
+}
+
+impl EventSink for LogSink {
+    fn record(&mut self, at: Duration, event: &FlowEvent) {
+        let _ = writeln!(self.out, "{}", event.to_log_line(at));
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// Machine-readable trace: one JSON object per line (JSON Lines).
+///
+/// Buffered; flushed on [`flush`](EventSink::flush) and on drop. Write
+/// errors are swallowed.
+pub struct JsonlSink {
+    out: io::BufWriter<Box<dyn Write + Send>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncates) a trace file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying file-creation error.
+    pub fn create(path: &str) -> io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(JsonlSink {
+            out: io::BufWriter::new(Box::new(file)),
+        })
+    }
+
+    /// Traces into the given writer.
+    pub fn to_writer(out: Box<dyn Write + Send>) -> Self {
+        JsonlSink {
+            out: io::BufWriter::new(out),
+        }
+    }
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink").finish_non_exhaustive()
+    }
+}
+
+impl EventSink for JsonlSink {
+    fn record(&mut self, at: Duration, event: &FlowEvent) {
+        let _ = writeln!(self.out, "{}", event.to_json(at));
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// An in-memory sink for tests and benches. Cloning shares the buffer, so
+/// a clone kept by the test observes everything the
+/// [`Allocator`](crate::Allocator)-owned clone records.
+#[derive(Debug, Clone, Default)]
+pub struct RecordingSink {
+    events: Arc<Mutex<Vec<(Duration, FlowEvent)>>>,
+}
+
+impl RecordingSink {
+    /// Creates an empty recording sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A snapshot of everything recorded so far.
+    pub fn events(&self) -> Vec<(Duration, FlowEvent)> {
+        self.events.lock().expect("recording sink lock").clone()
+    }
+
+    /// The recorded event kinds, in order.
+    pub fn kinds(&self) -> Vec<&'static str> {
+        self.events
+            .lock()
+            .expect("recording sink lock")
+            .iter()
+            .map(|(_, e)| e.kind())
+            .collect()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("recording sink lock").len()
+    }
+
+    /// `true` if nothing was recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all recorded events.
+    pub fn clear(&self) {
+        self.events.lock().expect("recording sink lock").clear();
+    }
+}
+
+impl EventSink for RecordingSink {
+    fn record(&mut self, at: Duration, event: &FlowEvent) {
+        self.events
+            .lock()
+            .expect("recording sink lock")
+            .push((at, event.clone()));
+    }
+}
+
+/// Fan-out to several sinks; enabled iff any member is.
+#[derive(Default)]
+pub struct MultiSink {
+    sinks: Vec<Box<dyn EventSink>>,
+}
+
+impl MultiSink {
+    /// Creates an empty fan-out (equivalent to [`NullSink`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a member sink.
+    #[must_use]
+    pub fn with(mut self, sink: impl EventSink + 'static) -> Self {
+        self.sinks.push(Box::new(sink));
+        self
+    }
+
+    /// Adds an already-boxed member sink.
+    #[must_use]
+    pub fn with_boxed(mut self, sink: Box<dyn EventSink>) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+}
+
+impl std::fmt::Debug for MultiSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiSink")
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+impl EventSink for MultiSink {
+    fn record(&mut self, at: Duration, event: &FlowEvent) {
+        for sink in &mut self.sinks {
+            if sink.enabled() {
+                sink.record(at, event);
+            }
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.enabled())
+    }
+
+    fn flush(&mut self) {
+        for sink in &mut self.sinks {
+            sink.flush();
+        }
+    }
+}
+
+/// Lightweight per-run iteration counters, aggregated into
+/// [`FlowStats`](crate::FlowStats). Kept outside the event path so the
+/// counts exist even under the [`NullSink`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct StepCounters {
+    pub bind_attempts: usize,
+    pub schedule_states: usize,
+    pub global_slice_iterations: usize,
+    pub refine_slice_iterations: usize,
+}
+
+/// The handle instrumentation sites emit through: a sink reference, the
+/// epoch all timestamps are relative to, and the iteration counters.
+///
+/// [`emit`](Self::emit) takes a *closure* producing the event, evaluated
+/// only when the sink is enabled — the `NullSink` path performs a single
+/// branch and no allocation.
+pub struct FlowObserver<'s> {
+    sink: &'s mut dyn EventSink,
+    epoch: Instant,
+    enabled: bool,
+    pub(crate) counters: StepCounters,
+}
+
+impl<'s> FlowObserver<'s> {
+    /// An observer over `sink` with the epoch set to now.
+    pub fn new(sink: &'s mut dyn EventSink) -> Self {
+        Self::with_epoch(sink, Instant::now())
+    }
+
+    /// An observer over `sink` with an explicit epoch — lets one
+    /// [`Allocator`](crate::Allocator) keep timestamps monotonic across
+    /// repeated runs.
+    pub fn with_epoch(sink: &'s mut dyn EventSink, epoch: Instant) -> Self {
+        let enabled = sink.enabled();
+        FlowObserver {
+            sink,
+            epoch,
+            enabled,
+            counters: StepCounters::default(),
+        }
+    }
+
+    /// `true` if emitted events reach a sink (construction is worthwhile).
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Stamps and records the event produced by `make` — or does nothing,
+    /// without evaluating `make`, when the sink is disabled.
+    pub fn emit(&mut self, make: impl FnOnce() -> FlowEvent) {
+        if self.enabled {
+            let at = self.epoch.elapsed();
+            self.sink.record(at, &make());
+        }
+    }
+}
+
+impl std::fmt::Debug for FlowObserver<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlowObserver")
+            .field("enabled", &self.enabled)
+            .field("counters", &self.counters)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_never_constructs_events() {
+        let mut sink = NullSink;
+        let mut obs = FlowObserver::new(&mut sink);
+        let mut built = false;
+        obs.emit(|| {
+            built = true;
+            FlowEvent::ScheduleRecurrence { states: 1 }
+        });
+        assert!(!built, "NullSink must skip event construction");
+    }
+
+    #[test]
+    fn recording_sink_shares_buffer_across_clones() {
+        let sink = RecordingSink::new();
+        let mut handle = sink.clone();
+        let mut obs = FlowObserver::new(&mut handle);
+        obs.emit(|| FlowEvent::ScheduleRecurrence { states: 42 });
+        assert_eq!(sink.len(), 1);
+        assert_eq!(sink.kinds(), vec!["schedule_recurrence"]);
+    }
+
+    #[test]
+    fn json_lines_are_wellformed_for_every_variant() {
+        let events = [
+            FlowEvent::FlowStarted {
+                app: "a \"quoted\"\nname".into(),
+                actors: 3,
+                channels: 3,
+                tiles: 2,
+                constraint: Rational::new(1, 30),
+            },
+            FlowEvent::PhaseStarted {
+                phase: FlowPhase::Binding,
+            },
+            FlowEvent::PhaseFinished {
+                phase: FlowPhase::SliceAllocation,
+                duration: Duration::from_micros(12),
+            },
+            FlowEvent::CriticalityOrder {
+                actors: vec!["a1".into(), "a2".into()],
+            },
+            FlowEvent::BindAttempt {
+                pass: BindPass::FirstFit,
+                actor: "a1".into(),
+                tile: 0,
+                cost: 0.5,
+                accepted: true,
+            },
+            FlowEvent::ActorRebound {
+                actor: "a1".into(),
+                from: 0,
+                to: 1,
+            },
+            FlowEvent::ScheduleRecurrence { states: 17 },
+            FlowEvent::ScheduleConstructed {
+                tile: 1,
+                prefix_len: 0,
+                period_len: 2,
+            },
+            FlowEvent::SliceProbe {
+                scope: SliceScope::Global { k: 5, of: 10 },
+                slices: vec![5, 5],
+                throughput: Rational::new(1, 30),
+                feasible: true,
+                cache_hit: false,
+            },
+            FlowEvent::SliceProbe {
+                scope: SliceScope::Refine {
+                    pass: 0,
+                    tile: 1,
+                    slice: 3,
+                },
+                slices: vec![5, 3],
+                throughput: Rational::new(1, 40),
+                feasible: false,
+                cache_hit: true,
+            },
+            FlowEvent::FlowFinished {
+                ok: true,
+                duration: Duration::from_millis(1),
+            },
+            FlowEvent::AdmissionDecision {
+                index: 2,
+                app: "h263".into(),
+                admitted: false,
+                detail: "constraint unsatisfiable".into(),
+            },
+            FlowEvent::MultiAppRound {
+                round: 1,
+                candidates: 3,
+                admitted: None,
+            },
+            FlowEvent::DsePointEvaluated {
+                weights: "(1, 0, 0)".into(),
+                connection_model: "simple".into(),
+                ok: true,
+            },
+        ];
+        for e in &events {
+            let json = e.to_json(Duration::from_micros(7));
+            assert!(json.starts_with("{\"t_us\":7,\"event\":\""), "{json}");
+            assert!(json.ends_with('}'), "{json}");
+            assert!(!json.contains('\n'), "one line per event: {json}");
+            // Balanced quoting: escaped quotes aside, an even count.
+            let unescaped = json.replace("\\\"", "");
+            assert_eq!(
+                unescaped.matches('"').count() % 2,
+                0,
+                "balanced quotes: {json}"
+            );
+            // The log rendering exists for every variant, too.
+            assert!(!e.to_log_line(Duration::ZERO).is_empty());
+        }
+    }
+
+    #[test]
+    fn multi_sink_is_enabled_iff_any_member_is() {
+        assert!(!MultiSink::new().enabled());
+        assert!(!MultiSink::new().with(NullSink).enabled());
+        let rec = RecordingSink::new();
+        let mut multi = MultiSink::new().with(NullSink).with(rec.clone());
+        assert!(multi.enabled());
+        multi.record(Duration::ZERO, &FlowEvent::ScheduleRecurrence { states: 1 });
+        assert_eq!(rec.len(), 1);
+    }
+
+    #[test]
+    fn nonfinite_costs_serialize_as_null() {
+        let e = FlowEvent::BindAttempt {
+            pass: BindPass::Rebind,
+            actor: "a".into(),
+            tile: 0,
+            cost: f64::INFINITY,
+            accepted: false,
+        };
+        assert!(e.to_json(Duration::ZERO).contains("\"cost\":null"));
+    }
+}

@@ -6,6 +6,11 @@
 //!    of each tile's remaining wheel;
 //! 3. `slice::allocate_slices` — TDMA slice
 //!    allocation by binary search.
+//!
+//! The public entry point is [`Allocator`](crate::Allocator), which owns
+//! the [`FlowConfig`], the evaluation cache, and an event sink; the free
+//! functions [`allocate`] and [`allocate_with_cache`] remain as
+//! deprecated shims over it.
 
 use std::time::{Duration, Instant};
 
@@ -14,17 +19,24 @@ use sdfrs_platform::{ArchitectureGraph, PlatformState, TileUsage};
 use sdfrs_sdf::analysis::selftimed::ThroughputResult;
 use sdfrs_sdf::Rational;
 
-use crate::bind::{bind_actors, BindConfig};
+use crate::bind::{bind_actors_observed, BindConfig};
 use crate::binding::Binding;
 use crate::binding_aware::{BindingAwareGraph, ConnectionModel};
 use crate::constrained::TileSchedules;
+use crate::cost::CostWeights;
 use crate::error::MapError;
+use crate::events::{FlowEvent, FlowObserver, FlowPhase, NullSink};
 use crate::list_sched::ListScheduler;
 use crate::resources::allocation_usage;
-use crate::slice::{allocate_slices_cached, SliceConfig};
+use crate::slice::{allocate_slices_observed, SliceConfig};
 use crate::thru_cache::ThroughputCache;
 
 /// Configuration of the full flow.
+///
+/// Marked `#[non_exhaustive]`: build one with [`FlowConfig::default`],
+/// [`FlowConfig::with_weights`] or the validating [`FlowConfig::builder`]
+/// and adjust fields from there.
+#[non_exhaustive]
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FlowConfig {
     /// Binding-step configuration (Eqn 2 weights etc.).
@@ -51,16 +63,182 @@ impl Default for FlowConfig {
 
 impl FlowConfig {
     /// A configuration using the given Eqn 2 weights.
-    pub fn with_weights(weights: crate::cost::CostWeights) -> Self {
+    pub fn with_weights(weights: CostWeights) -> Self {
         FlowConfig {
             bind: BindConfig::with_weights(weights),
             ..FlowConfig::default()
         }
     }
+
+    /// A validating builder over the default configuration.
+    pub fn builder() -> FlowConfigBuilder {
+        FlowConfigBuilder::default()
+    }
+
+    /// Checks the configuration for values that would derail the flow:
+    /// zero state budgets or cycle caps, degenerate Eqn 2 weights
+    /// (negative, non-finite, or all zero — an empty weight set), or a
+    /// negative tolerance.
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::InvalidConfig`] naming the offending field.
+    pub fn validate(&self) -> Result<(), MapError> {
+        let invalid = |reason: &str| {
+            Err(MapError::InvalidConfig {
+                reason: reason.into(),
+            })
+        };
+        if self.schedule_state_budget == 0 {
+            return invalid("schedule_state_budget must be at least 1");
+        }
+        if self.slice.state_budget == 0 {
+            return invalid("slice.state_budget must be at least 1");
+        }
+        if self.bind.max_cycles == 0 {
+            return invalid("bind.max_cycles must be at least 1");
+        }
+        let w = self.bind.weights;
+        for (name, v) in [
+            ("processing", w.processing),
+            ("memory", w.memory),
+            ("communication", w.communication),
+        ] {
+            if !v.is_finite() {
+                return Err(MapError::InvalidConfig {
+                    reason: format!("weight {name} must be finite"),
+                });
+            }
+            if v < 0.0 {
+                return Err(MapError::InvalidConfig {
+                    reason: format!("weight {name} must be non-negative"),
+                });
+            }
+        }
+        if w.processing == 0.0 && w.memory == 0.0 && w.communication == 0.0 {
+            return invalid("at least one Eqn 2 weight must be positive");
+        }
+        if self.slice.tolerance < Rational::ZERO {
+            return invalid("slice.tolerance must be non-negative");
+        }
+        Ok(())
+    }
+}
+
+/// Validating builder for [`FlowConfig`].
+///
+/// Collects the knobs of all three steps and rejects degenerate values at
+/// [`build`](Self::build) time instead of mid-flow.
+///
+/// # Examples
+///
+/// ```
+/// use sdfrs_core::flow::FlowConfig;
+/// use sdfrs_core::CostWeights;
+///
+/// let config = FlowConfig::builder()
+///     .weights(CostWeights::TUNED)
+///     .max_refine_passes(5)
+///     .parallel(true)
+///     .build()
+///     .unwrap();
+/// assert!(config.slice.parallel);
+///
+/// assert!(FlowConfig::builder().schedule_state_budget(0).build().is_err());
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FlowConfigBuilder {
+    config: FlowConfig,
+}
+
+impl FlowConfigBuilder {
+    /// Sets the Eqn 2 weights.
+    #[must_use]
+    pub fn weights(mut self, weights: CostWeights) -> Self {
+        self.config.bind.weights = weights;
+        self
+    }
+
+    /// Sets the Eqn 1 cycle-enumeration cap.
+    #[must_use]
+    pub fn max_cycles(mut self, max_cycles: usize) -> Self {
+        self.config.bind.max_cycles = max_cycles;
+        self
+    }
+
+    /// Enables or disables the reverse-order re-binding pass.
+    #[must_use]
+    pub fn optimize(mut self, optimize: bool) -> Self {
+        self.config.bind.optimize = optimize;
+        self
+    }
+
+    /// Sets the global-search early-stop tolerance.
+    #[must_use]
+    pub fn tolerance(mut self, tolerance: Rational) -> Self {
+        self.config.slice.tolerance = tolerance;
+        self
+    }
+
+    /// Sets the per-tile refinement pass cap.
+    #[must_use]
+    pub fn max_refine_passes(mut self, passes: usize) -> Self {
+        self.config.slice.max_refine_passes = passes;
+        self
+    }
+
+    /// Enables or disables the per-tile refinement.
+    #[must_use]
+    pub fn refine(mut self, refine: bool) -> Self {
+        self.config.slice.refine = refine;
+        self
+    }
+
+    /// Runs the per-tile refinement searches concurrently.
+    #[must_use]
+    pub fn parallel(mut self, parallel: bool) -> Self {
+        self.config.slice.parallel = parallel;
+        self
+    }
+
+    /// Sets the state budget per slice-search throughput evaluation.
+    #[must_use]
+    pub fn slice_state_budget(mut self, budget: usize) -> Self {
+        self.config.slice.state_budget = budget;
+        self
+    }
+
+    /// Sets the state budget of the schedule construction.
+    #[must_use]
+    pub fn schedule_state_budget(mut self, budget: usize) -> Self {
+        self.config.schedule_state_budget = budget;
+        self
+    }
+
+    /// Sets the cross-tile connection model.
+    #[must_use]
+    pub fn connection_model(mut self, model: ConnectionModel) -> Self {
+        self.config.connection_model = model;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::InvalidConfig`]; see [`FlowConfig::validate`].
+    pub fn build(self) -> Result<FlowConfig, MapError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
 }
 
 /// Run-time statistics of one allocation (the quantities reported in
-/// Sec 10.2 / 10.3).
+/// Sec 10.2 / 10.3), aggregated from the same observations that flow to
+/// the event sink.
+///
+/// Marked `#[non_exhaustive]`: more phases will grow more counters.
+#[non_exhaustive]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct FlowStats {
     /// Throughput computations performed by the slice-allocation step
@@ -78,6 +256,17 @@ pub struct FlowStats {
     pub scheduling_time: Duration,
     /// Wall-clock time of the slice allocation.
     pub slice_time: Duration,
+    /// Candidate tiles tried by the binding step (both passes; every
+    /// [`BindAttempt`](crate::events::FlowEvent::BindAttempt)).
+    pub bind_attempts: usize,
+    /// States the list scheduler explored before its recurrence closed.
+    pub schedule_states: usize,
+    /// Iterations of the global slice binary search (including the
+    /// initial full-wheel probe).
+    pub global_slice_iterations: usize,
+    /// Per-tile refinement evaluations (speculative probes, commit
+    /// re-validations, and the final re-evaluation).
+    pub refine_slice_iterations: usize,
 }
 
 impl FlowStats {
@@ -119,33 +308,10 @@ impl Allocation {
 
 /// Runs the three-step strategy for one application on a (partially
 /// occupied) platform.
-///
-/// # Errors
-///
-/// Any step may fail: [`MapError::NoFeasibleTile`] from binding,
-/// [`MapError::Sdf`] from an analysis, or
-/// [`MapError::ConstraintUnsatisfiable`] from the slice allocation.
-///
-/// # Examples
-///
-/// Allocate the paper's running example and check the guarantee:
-///
-/// ```
-/// use sdfrs_appmodel::apps::{example_platform, paper_example};
-/// use sdfrs_core::flow::{allocate, FlowConfig};
-/// use sdfrs_platform::PlatformState;
-/// use sdfrs_sdf::Rational;
-///
-/// # fn main() -> Result<(), sdfrs_core::MapError> {
-/// let app = paper_example();
-/// let arch = example_platform();
-/// let state = PlatformState::new(&arch);
-/// let (alloc, stats) = allocate(&app, &arch, &state, &FlowConfig::default())?;
-/// assert!(alloc.guaranteed_throughput() >= Rational::new(1, 30));
-/// assert!(stats.throughput_checks > 0);
-/// # Ok(())
-/// # }
-/// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use `sdfrs_core::Allocator`, which owns the config, cache and event sink"
+)]
 pub fn allocate(
     app: &ApplicationGraph,
     arch: &ArchitectureGraph,
@@ -153,15 +319,16 @@ pub fn allocate(
     config: &FlowConfig,
 ) -> Result<(Allocation, FlowStats), MapError> {
     let mut cache = ThroughputCache::new();
-    allocate_with_cache(app, arch, state, config, &mut cache)
+    let mut sink = NullSink;
+    let mut obs = FlowObserver::new(&mut sink);
+    allocate_inner(app, arch, state, config, &mut cache, &mut obs)
 }
 
-/// [`allocate`] with a caller-provided throughput-evaluation cache.
-///
-/// Admission protocols and DSE sweeps call the flow repeatedly for the
-/// same application against a platform state that often has not changed
-/// since the last call; sharing one [`ThroughputCache`] across those
-/// calls turns every repeated slice search into cache hits.
+/// `allocate` with a caller-provided throughput-evaluation cache.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `sdfrs_core::Allocator::with_cache`, which persists the cache across runs"
+)]
 pub fn allocate_with_cache(
     app: &ApplicationGraph,
     arch: &ArchitectureGraph,
@@ -169,16 +336,70 @@ pub fn allocate_with_cache(
     config: &FlowConfig,
     cache: &mut ThroughputCache,
 ) -> Result<(Allocation, FlowStats), MapError> {
+    let mut sink = NullSink;
+    let mut obs = FlowObserver::new(&mut sink);
+    allocate_inner(app, arch, state, config, cache, &mut obs)
+}
+
+/// The instrumented flow body behind [`Allocator::allocate`]
+/// (crate::Allocator::allocate) and the deprecated shims.
+pub(crate) fn allocate_inner(
+    app: &ApplicationGraph,
+    arch: &ArchitectureGraph,
+    state: &PlatformState,
+    config: &FlowConfig,
+    cache: &mut ThroughputCache,
+    obs: &mut FlowObserver<'_>,
+) -> Result<(Allocation, FlowStats), MapError> {
+    config.validate()?;
+    obs.emit(|| FlowEvent::FlowStarted {
+        app: app.graph().name().to_string(),
+        actors: app.graph().actor_count(),
+        channels: app.graph().channel_count(),
+        tiles: arch.tile_count(),
+        constraint: app.throughput_constraint(),
+    });
+    let run_start = Instant::now();
+    let result = allocate_steps(app, arch, state, config, cache, obs);
+    let ok = result.is_ok();
+    obs.emit(|| FlowEvent::FlowFinished {
+        ok,
+        duration: run_start.elapsed(),
+    });
+    result
+}
+
+fn allocate_steps(
+    app: &ApplicationGraph,
+    arch: &ArchitectureGraph,
+    state: &PlatformState,
+    config: &FlowConfig,
+    cache: &mut ThroughputCache,
+    obs: &mut FlowObserver<'_>,
+) -> Result<(Allocation, FlowStats), MapError> {
     let mut stats = FlowStats::default();
     let (hits0, misses0) = (cache.hits(), cache.misses());
+    // The observer may be shared across runs (admission protocols); read
+    // counters as deltas against this run's start.
+    let counters0 = obs.counters;
 
     // Step 1: resource binding.
+    obs.emit(|| FlowEvent::PhaseStarted {
+        phase: FlowPhase::Binding,
+    });
     let t0 = Instant::now();
-    let binding = bind_actors(app, arch, state, &config.bind)?;
+    let binding = bind_actors_observed(app, arch, state, &config.bind, obs)?;
     stats.binding_time = t0.elapsed();
+    obs.emit(|| FlowEvent::PhaseFinished {
+        phase: FlowPhase::Binding,
+        duration: stats.binding_time,
+    });
 
     // Step 2: static-order schedules, assuming 50% of each remaining
     // wheel.
+    obs.emit(|| FlowEvent::PhaseStarted {
+        phase: FlowPhase::Scheduling,
+    });
     let t0 = Instant::now();
     let half: Vec<u64> = arch
         .tile_ids()
@@ -188,12 +409,19 @@ pub fn allocate_with_cache(
         BindingAwareGraph::build_with_model(app, arch, &binding, &half, config.connection_model)?;
     let schedules = ListScheduler::new(&ba)
         .with_state_budget(config.schedule_state_budget)
-        .construct()?;
+        .construct_observed(obs)?;
     stats.scheduling_time = t0.elapsed();
+    obs.emit(|| FlowEvent::PhaseFinished {
+        phase: FlowPhase::Scheduling,
+        duration: stats.scheduling_time,
+    });
 
     // Step 3: TDMA slice allocation.
+    obs.emit(|| FlowEvent::PhaseStarted {
+        phase: FlowPhase::SliceAllocation,
+    });
     let t0 = Instant::now();
-    let slice_alloc = allocate_slices_cached(
+    let slice_alloc = allocate_slices_observed(
         &mut ba,
         &schedules,
         app,
@@ -202,11 +430,22 @@ pub fn allocate_with_cache(
         &binding,
         &config.slice,
         cache,
+        obs,
     )?;
     stats.slice_time = t0.elapsed();
+    obs.emit(|| FlowEvent::PhaseFinished {
+        phase: FlowPhase::SliceAllocation,
+        duration: stats.slice_time,
+    });
     stats.throughput_checks = slice_alloc.throughput_checks;
     stats.cache_hits = cache.hits() - hits0;
     stats.cache_misses = cache.misses() - misses0;
+    stats.bind_attempts = obs.counters.bind_attempts - counters0.bind_attempts;
+    stats.schedule_states = obs.counters.schedule_states - counters0.schedule_states;
+    stats.global_slice_iterations =
+        obs.counters.global_slice_iterations - counters0.global_slice_iterations;
+    stats.refine_slice_iterations =
+        obs.counters.refine_slice_iterations - counters0.refine_slice_iterations;
 
     let usage = allocation_usage(app, arch, &binding, &slice_alloc.slices);
     Ok((
@@ -224,19 +463,34 @@ pub fn allocate_with_cache(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::allocator::Allocator;
     use crate::cost::CostWeights;
     use sdfrs_appmodel::apps::{example_platform, paper_example};
     use sdfrs_platform::TileId;
 
+    fn run(
+        app: &ApplicationGraph,
+        config: FlowConfig,
+    ) -> Result<(Allocation, FlowStats), MapError> {
+        let arch = example_platform();
+        let state = PlatformState::new(&arch);
+        Allocator::from_config(config).allocate(app, &arch, &state)
+    }
+
     #[test]
     fn full_flow_on_paper_example() {
         let app = paper_example();
-        let arch = example_platform();
-        let state = PlatformState::new(&arch);
-        let (alloc, stats) = allocate(&app, &arch, &state, &FlowConfig::default()).unwrap();
+        let (alloc, stats) = run(&app, FlowConfig::default()).unwrap();
         assert!(alloc.binding.is_complete());
         assert!(alloc.guaranteed_throughput() >= Rational::new(1, 30));
         assert!(stats.throughput_checks >= 2);
+        // The new iteration counters tie out with the check count.
+        assert_eq!(
+            stats.throughput_checks,
+            stats.global_slice_iterations + stats.refine_slice_iterations
+        );
+        assert!(stats.bind_attempts >= app.graph().actor_count());
+        assert!(stats.schedule_states > 0);
         // Usage covers the slices.
         for t in alloc.binding.used_tiles() {
             assert_eq!(alloc.usage[t.index()].wheel, alloc.slices[t.index()]);
@@ -247,10 +501,8 @@ mod tests {
     #[test]
     fn all_table4_weights_allocate_the_example() {
         let app = paper_example();
-        let arch = example_platform();
-        let state = PlatformState::new(&arch);
         for w in CostWeights::table4() {
-            let (alloc, _) = allocate(&app, &arch, &state, &FlowConfig::with_weights(w))
+            let (alloc, _) = run(&app, FlowConfig::with_weights(w))
                 .unwrap_or_else(|e| panic!("weights {w} failed: {e}"));
             assert!(alloc.guaranteed_throughput() >= app.throughput_constraint());
         }
@@ -261,7 +513,7 @@ mod tests {
         let app = paper_example();
         let arch = example_platform();
         let mut state = PlatformState::new(&arch);
-        let (alloc, _) = allocate(&app, &arch, &state, &FlowConfig::default()).unwrap();
+        let (alloc, _) = Allocator::new().allocate(&app, &arch, &state).unwrap();
         alloc.claim_on(&arch, &mut state);
         for t in alloc.binding.used_tiles() {
             assert_eq!(state.usage(t).wheel, alloc.slices[t.index()]);
@@ -275,9 +527,10 @@ mod tests {
         let app = paper_example();
         let arch = example_platform();
         let mut state = PlatformState::new(&arch);
-        let (first, _) = allocate(&app, &arch, &state, &FlowConfig::default()).unwrap();
+        let mut allocator = Allocator::new();
+        let (first, _) = allocator.allocate(&app, &arch, &state).unwrap();
         first.claim_on(&arch, &mut state);
-        let second = allocate(&app, &arch, &state, &FlowConfig::default());
+        let second = allocator.allocate(&app, &arch, &state);
         // Whether it fits depends on the wheel left; either a valid
         // allocation or a clean infeasibility — never a panic.
         if let Ok((alloc, _)) = second {
@@ -294,18 +547,14 @@ mod tests {
     #[test]
     fn unsatisfiable_constraint_reported() {
         let app = paper_example().with_throughput_constraint(Rational::new(1, 3));
-        let arch = example_platform();
-        let state = PlatformState::new(&arch);
-        let err = allocate(&app, &arch, &state, &FlowConfig::default()).unwrap_err();
+        let err = run(&app, FlowConfig::default()).unwrap_err();
         assert_eq!(err, MapError::ConstraintUnsatisfiable);
     }
 
     #[test]
     fn stats_times_are_populated() {
         let app = paper_example();
-        let arch = example_platform();
-        let state = PlatformState::new(&arch);
-        let (_, stats) = allocate(&app, &arch, &state, &FlowConfig::default()).unwrap();
+        let (_, stats) = run(&app, FlowConfig::default()).unwrap();
         assert!(stats.total_time() >= stats.slice_time);
         // The paper: ~90% of multimedia run-time in slice allocation; here
         // just assert the fields are recorded (platform timing varies).
@@ -315,13 +564,65 @@ mod tests {
     #[test]
     fn unused_tiles_claim_nothing() {
         let app = paper_example();
-        let arch = example_platform();
-        let state = PlatformState::new(&arch);
-        let cfg = FlowConfig::with_weights(CostWeights::COMMUNICATION);
-        let (alloc, _) = allocate(&app, &arch, &state, &cfg).unwrap();
+        let (alloc, _) = run(&app, FlowConfig::with_weights(CostWeights::COMMUNICATION)).unwrap();
         // (0,0,1) binds everything to t1 (Table 3 row 3): t2 claims nothing.
         let t2 = TileId::from_index(1);
         assert_eq!(alloc.usage[t2.index()], TileUsage::default());
         assert_eq!(alloc.slices[t2.index()], 0);
+    }
+
+    #[test]
+    fn deprecated_shims_match_the_allocator() {
+        let app = paper_example();
+        let arch = example_platform();
+        let state = PlatformState::new(&arch);
+        #[allow(deprecated)]
+        let (shim_alloc, shim_stats) =
+            allocate(&app, &arch, &state, &FlowConfig::default()).unwrap();
+        let (alloc, stats) = Allocator::new().allocate(&app, &arch, &state).unwrap();
+        assert_eq!(shim_alloc.slices, alloc.slices);
+        assert_eq!(shim_alloc.binding, alloc.binding);
+        assert_eq!(shim_alloc.achieved, alloc.achieved);
+        assert_eq!(shim_stats.throughput_checks, stats.throughput_checks);
+        assert_eq!(shim_stats.bind_attempts, stats.bind_attempts);
+    }
+
+    #[test]
+    fn builder_validation_rejects_degenerate_configs() {
+        assert!(FlowConfig::builder().build().is_ok());
+        assert!(FlowConfig::builder()
+            .schedule_state_budget(0)
+            .build()
+            .is_err());
+        assert!(FlowConfig::builder().slice_state_budget(0).build().is_err());
+        assert!(FlowConfig::builder().max_cycles(0).build().is_err());
+        assert!(FlowConfig::builder()
+            .weights(CostWeights {
+                processing: 0.0,
+                memory: 0.0,
+                communication: 0.0,
+            })
+            .build()
+            .is_err());
+        assert!(FlowConfig::builder()
+            .weights(CostWeights {
+                processing: -1.0,
+                memory: 1.0,
+                communication: 1.0,
+            })
+            .build()
+            .is_err());
+        assert!(FlowConfig::builder()
+            .weights(CostWeights {
+                processing: f64::NAN,
+                memory: 1.0,
+                communication: 1.0,
+            })
+            .build()
+            .is_err());
+        assert!(FlowConfig::builder()
+            .tolerance(Rational::new(-1, 10))
+            .build()
+            .is_err());
     }
 }

@@ -14,27 +14,30 @@
 //! * scheduling decisions (static orders + TDMA wheels) *constrain* a
 //!   self-timed state-space exploration ([`ConstrainedExecutor`],
 //!   Sec 8.2);
-//! * the three-step flow ([`flow::allocate`], Sec 9) composes the binding
-//!   step ([`bind`]), the list scheduler ([`list_sched`]) and the
-//!   slice-allocation binary searches (the [`slice`](crate::slice#) module).
+//! * the three-step flow (Sec 9), driven by the [`Allocator`] front-end,
+//!   composes the binding step ([`bind`]), the list scheduler
+//!   ([`list_sched`]) and the slice-allocation binary searches (the
+//!   [`slice`](crate::slice#) module).
 //!
 //! The [`multi_app`], [`admission`] and [`buffers`] modules cover the
 //! surrounding protocol pieces (allocating application sequences,
 //! admission ordering/skipping and platform dimensioning, storage
 //! distribution minimization), and [`gantt`] renders execution traces.
+//! Every phase of every run reports typed [`events::FlowEvent`]s through
+//! the allocator's pluggable [`events::EventSink`].
 //!
 //! # Example
 //!
 //! ```
 //! use sdfrs_appmodel::apps::{example_platform, paper_example};
-//! use sdfrs_core::flow::{allocate, FlowConfig};
+//! use sdfrs_core::Allocator;
 //! use sdfrs_platform::PlatformState;
 //!
 //! # fn main() -> Result<(), sdfrs_core::MapError> {
 //! let app = paper_example();
 //! let arch = example_platform();
 //! let state = PlatformState::new(&arch);
-//! let (allocation, stats) = allocate(&app, &arch, &state, &FlowConfig::default())?;
+//! let (allocation, stats) = Allocator::new().allocate(&app, &arch, &state)?;
 //! assert!(allocation.guaranteed_throughput() >= app.throughput_constraint());
 //! assert!(stats.throughput_checks > 0);
 //! # Ok(())
@@ -42,6 +45,7 @@
 //! ```
 
 pub mod admission;
+pub mod allocator;
 pub mod baseline;
 pub mod bind;
 pub mod binding;
@@ -51,6 +55,7 @@ pub mod constrained;
 pub mod cost;
 pub mod dse;
 pub mod error;
+pub mod events;
 pub mod flow;
 pub mod gantt;
 pub mod list_sched;
@@ -64,6 +69,7 @@ pub mod thru_cache;
 pub mod tutorial;
 pub mod verify;
 
+pub use allocator::Allocator;
 pub use binding::{Binding, ChannelPartition};
 pub use binding_aware::{BaActorKind, BindingAwareGraph, ConnectionModel};
 pub use constrained::{
@@ -71,6 +77,11 @@ pub use constrained::{
 };
 pub use cost::CostWeights;
 pub use error::MapError;
-pub use flow::{allocate, Allocation, FlowConfig, FlowStats};
+pub use events::{
+    EventSink, FlowEvent, FlowPhase, JsonlSink, LogSink, MultiSink, NullSink, RecordingSink,
+};
+#[allow(deprecated)]
+pub use flow::{allocate, allocate_with_cache};
+pub use flow::{Allocation, FlowConfig, FlowStats};
 pub use schedule::StaticOrderSchedule;
 pub use thru_cache::ThroughputCache;

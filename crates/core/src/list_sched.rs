@@ -19,6 +19,7 @@ use sdfrs_sdf::{ActorId, SdfError};
 
 use crate::binding_aware::BindingAwareGraph;
 use crate::constrained::TileSchedules;
+use crate::events::{FlowEvent, FlowObserver, NullSink};
 use crate::schedule::StaticOrderSchedule;
 use crate::tdma::TdmaSlice;
 
@@ -265,6 +266,30 @@ impl<'a> ListScheduler<'a> {
         Ok(self.construct_raw()?.minimized())
     }
 
+    /// [`construct`](Self::construct) reporting through an observer: the
+    /// recurrence detection
+    /// ([`ScheduleRecurrence`](FlowEvent::ScheduleRecurrence)) and one
+    /// [`ScheduleConstructed`](FlowEvent::ScheduleConstructed) per tile
+    /// with the minimized prefix/period lengths.
+    ///
+    /// # Errors
+    ///
+    /// See [`construct`](Self::construct).
+    pub fn construct_observed(self, obs: &mut FlowObserver<'_>) -> Result<TileSchedules, SdfError> {
+        let schedules = self.construct_raw_observed(obs)?.minimized();
+        if obs.enabled() {
+            for tile in schedules.tiles() {
+                let s = schedules.get(tile).expect("tiles() yields set tiles");
+                obs.emit(|| FlowEvent::ScheduleConstructed {
+                    tile: tile.index(),
+                    prefix_len: s.prefix().len(),
+                    period_len: s.period().len(),
+                });
+            }
+        }
+        Ok(schedules)
+    }
+
     /// Like [`construct`](Self::construct) but returns the raw
     /// list-scheduler output without the Sec 9.2 minimization — for the
     /// paper's 17-state example schedule and the ablation benches.
@@ -272,7 +297,21 @@ impl<'a> ListScheduler<'a> {
     /// # Errors
     ///
     /// See [`construct`](Self::construct).
-    pub fn construct_raw(mut self) -> Result<TileSchedules, SdfError> {
+    pub fn construct_raw(self) -> Result<TileSchedules, SdfError> {
+        let mut sink = NullSink;
+        let mut obs = FlowObserver::new(&mut sink);
+        self.construct_raw_observed(&mut obs)
+    }
+
+    /// [`construct_raw`](Self::construct_raw) with an observer.
+    ///
+    /// # Errors
+    ///
+    /// See [`construct`](Self::construct).
+    pub fn construct_raw_observed(
+        mut self,
+        obs: &mut FlowObserver<'_>,
+    ) -> Result<TileSchedules, SdfError> {
         let mut seen: FxHashMap<ListState, Vec<usize>> = FxHashMap::default();
         let seq_lens = |s: &ListScheduler| s.sequences.iter().map(Vec::len).collect::<Vec<_>>();
         seen.insert(self.snapshot(), seq_lens(&self));
@@ -301,6 +340,8 @@ impl<'a> ListScheduler<'a> {
             }
             match seen.entry(self.snapshot()) {
                 Entry::Occupied(prev) => {
+                    obs.counters.schedule_states += states;
+                    obs.emit(|| FlowEvent::ScheduleRecurrence { states });
                     let first_lens = prev.get().clone();
                     let mut schedules = TileSchedules::new(self.sequences.len());
                     for (idx, seq) in self.sequences.iter().enumerate() {

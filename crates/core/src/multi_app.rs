@@ -6,9 +6,10 @@
 use sdfrs_appmodel::ApplicationGraph;
 use sdfrs_platform::{ArchitectureGraph, PlatformState, TileUsage};
 
+use crate::allocator::Allocator;
 use crate::error::MapError;
-use crate::flow::{allocate_with_cache, Allocation, FlowConfig, FlowStats};
-use crate::thru_cache::ThroughputCache;
+use crate::events::FlowEvent;
+use crate::flow::{Allocation, FlowConfig, FlowStats};
 
 /// Outcome of allocating a sequence of applications.
 #[derive(Debug)]
@@ -52,22 +53,47 @@ pub fn allocate_until_failure(
     arch: &ArchitectureGraph,
     config: &FlowConfig,
 ) -> MultiAppResult {
+    // One allocator (and thus one evaluation cache) for the whole
+    // sequence: identical applications allocated against an unchanged
+    // platform state (e.g. after a failed sibling) replay their slice
+    // searches from memory.
+    let mut allocator = Allocator::from_config(*config);
+    allocate_until_failure_with(&mut allocator, apps, arch)
+}
+
+/// [`allocate_until_failure`] through an existing [`Allocator`], sharing
+/// its cache and emitting one
+/// [`AdmissionDecision`](FlowEvent::AdmissionDecision) per application on
+/// its sink.
+pub fn allocate_until_failure_with(
+    allocator: &mut Allocator,
+    apps: &[ApplicationGraph],
+    arch: &ArchitectureGraph,
+) -> MultiAppResult {
     let mut state = PlatformState::new(arch);
     let mut allocations = Vec::new();
     let mut stats = Vec::new();
     let mut failure = None;
-    // One evaluation cache for the whole sequence: identical applications
-    // allocated against an unchanged platform state (e.g. after a failed
-    // sibling) replay their slice searches from memory.
-    let mut cache = ThroughputCache::new();
-    for app in apps {
-        match allocate_with_cache(app, arch, &state, config, &mut cache) {
+    for (index, app) in apps.iter().enumerate() {
+        match allocator.allocate(app, arch, &state) {
             Ok((alloc, s)) => {
                 alloc.claim_on(arch, &mut state);
                 allocations.push(alloc);
                 stats.push(s);
+                allocator.emit(|| FlowEvent::AdmissionDecision {
+                    index,
+                    app: app.graph().name().to_string(),
+                    admitted: true,
+                    detail: String::new(),
+                });
             }
             Err(e) => {
+                allocator.emit(|| FlowEvent::AdmissionDecision {
+                    index,
+                    app: app.graph().name().to_string(),
+                    admitted: false,
+                    detail: e.to_string(),
+                });
                 failure = Some(e);
                 break;
             }

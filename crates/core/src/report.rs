@@ -15,15 +15,15 @@ use crate::flow::{Allocation, FlowStats};
 ///
 /// ```
 /// use sdfrs_appmodel::apps::{example_platform, paper_example};
-/// use sdfrs_core::flow::{allocate, FlowConfig};
 /// use sdfrs_core::report::render_allocation;
+/// use sdfrs_core::Allocator;
 /// use sdfrs_platform::PlatformState;
 ///
 /// # fn main() -> Result<(), sdfrs_core::MapError> {
 /// let app = paper_example();
 /// let arch = example_platform();
 /// let state = PlatformState::new(&arch);
-/// let (alloc, stats) = allocate(&app, &arch, &state, &FlowConfig::default())?;
+/// let (alloc, stats) = Allocator::new().allocate(&app, &arch, &state)?;
 /// let report = render_allocation(&app, &arch, &alloc, Some(&stats));
 /// assert!(report.contains("guaranteed throughput"));
 /// # Ok(())
@@ -116,7 +116,7 @@ pub fn render_allocation(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::flow::{allocate, FlowConfig};
+    use crate::allocator::Allocator;
     use sdfrs_appmodel::apps::{example_platform, paper_example};
     use sdfrs_platform::PlatformState;
 
@@ -125,7 +125,7 @@ mod tests {
         let app = paper_example();
         let arch = example_platform();
         let state = PlatformState::new(&arch);
-        let (alloc, stats) = allocate(&app, &arch, &state, &FlowConfig::default()).unwrap();
+        let (alloc, stats) = Allocator::new().allocate(&app, &arch, &state).unwrap();
         let report = render_allocation(&app, &arch, &alloc, Some(&stats));
         for needle in [
             "allocation for paper_example",
@@ -148,7 +148,7 @@ mod tests {
         let app = paper_example();
         let arch = example_platform();
         let state = PlatformState::new(&arch);
-        let (mut alloc, _) = allocate(&app, &arch, &state, &FlowConfig::default()).unwrap();
+        let (mut alloc, _) = Allocator::new().allocate(&app, &arch, &state).unwrap();
         alloc
             .binding
             .unbind(app.graph().actor_by_name("a2").unwrap());

@@ -24,6 +24,7 @@ use crate::binding_aware::BindingAwareGraph;
 use crate::constrained::TileSchedules;
 use crate::cost::tile_loads;
 use crate::error::MapError;
+use crate::events::{FlowEvent, FlowObserver, NullSink, SliceScope};
 use crate::thru_cache::ThroughputCache;
 
 /// Configuration of the slice-allocation step.
@@ -71,7 +72,8 @@ pub struct SliceAllocation {
 /// Evaluates the guaranteed throughput under `slices`, at the output actor.
 ///
 /// Counted as a throughput check even when the cache answers: the paper's
-/// metric is how often the search *consults* the analysis.
+/// metric is how often the search *consults* the analysis. The second
+/// return value reports whether the cache answered.
 fn evaluate(
     ba: &mut BindingAwareGraph,
     schedules: &TileSchedules,
@@ -80,13 +82,15 @@ fn evaluate(
     budget: usize,
     checks: &mut usize,
     cache: &mut ThroughputCache,
-) -> Result<ThroughputResult, MapError> {
+) -> Result<(ThroughputResult, bool), MapError> {
     *checks += 1;
     ba.set_slices(slices);
     let reference = ba.ba_actor(app.output_actor());
-    cache
+    let hits_before = cache.hits();
+    let thr = cache
         .throughput(ba, schedules, reference, budget)
-        .map_err(MapError::from)
+        .map_err(MapError::from)?;
+    Ok((thr, cache.hits() > hits_before))
 }
 
 /// Allocates TDMA slices meeting the application's throughput constraint
@@ -132,6 +136,42 @@ pub fn allocate_slices_cached(
     config: &SliceConfig,
     cache: &mut ThroughputCache,
 ) -> Result<SliceAllocation, MapError> {
+    let mut sink = NullSink;
+    let mut obs = FlowObserver::new(&mut sink);
+    allocate_slices_observed(
+        ba, schedules, app, arch, state, binding, config, cache, &mut obs,
+    )
+}
+
+/// A probe recorded inside a (possibly parallel) refinement task, replayed
+/// through the observer in tile order after the tasks join so the event
+/// stream stays deterministic.
+type RefineProbe = (u64, Vec<u64>, Rational, bool, bool);
+
+/// [`allocate_slices_cached`] reporting every throughput evaluation of
+/// both binary searches as a
+/// [`SliceProbe`](FlowEvent::SliceProbe) — the tested slice vector, the
+/// measured throughput, feasibility, and whether the cache answered.
+///
+/// Probes from parallel refinement tasks are buffered per task and
+/// emitted in tile order once the pass joins, so the event stream is
+/// identical between the sequential and parallel paths.
+///
+/// # Errors
+///
+/// See [`allocate_slices`].
+#[allow(clippy::too_many_arguments)]
+pub fn allocate_slices_observed(
+    ba: &mut BindingAwareGraph,
+    schedules: &TileSchedules,
+    app: &ApplicationGraph,
+    arch: &ArchitectureGraph,
+    state: &PlatformState,
+    binding: &Binding,
+    config: &SliceConfig,
+    cache: &mut ThroughputCache,
+    obs: &mut FlowObserver<'_>,
+) -> Result<SliceAllocation, MapError> {
     let lambda = app.throughput_constraint();
     let ceiling = lambda * (Rational::ONE + config.tolerance);
     let used = binding.used_tiles();
@@ -164,7 +204,7 @@ pub fn allocate_slices_cached(
         return Err(MapError::ConstraintUnsatisfiable);
     }
     let full = slice_for(big_k, big_k);
-    let thr_full = evaluate(
+    let (thr_full, full_hit) = evaluate(
         ba,
         schedules,
         app,
@@ -173,7 +213,19 @@ pub fn allocate_slices_cached(
         &mut checks,
         cache,
     )?;
-    if thr_full.iteration_throughput < lambda {
+    obs.counters.global_slice_iterations += 1;
+    let full_feasible = thr_full.iteration_throughput >= lambda;
+    obs.emit(|| FlowEvent::SliceProbe {
+        scope: SliceScope::Global {
+            k: big_k,
+            of: big_k,
+        },
+        slices: full.clone(),
+        throughput: thr_full.iteration_throughput,
+        feasible: full_feasible,
+        cache_hit: full_hit,
+    });
+    if !full_feasible {
         return Err(MapError::ConstraintUnsatisfiable);
     }
 
@@ -187,7 +239,7 @@ pub fn allocate_slices_cached(
         if candidate == best && hi == mid {
             break;
         }
-        let thr = evaluate(
+        let (thr, hit) = evaluate(
             ba,
             schedules,
             app,
@@ -196,6 +248,14 @@ pub fn allocate_slices_cached(
             &mut checks,
             cache,
         )?;
+        obs.counters.global_slice_iterations += 1;
+        obs.emit(|| FlowEvent::SliceProbe {
+            scope: SliceScope::Global { k: mid, of: big_k },
+            slices: candidate.clone(),
+            throughput: thr.iteration_throughput,
+            feasible: thr.iteration_throughput >= lambda,
+            cache_hit: hit,
+        });
         if thr.iteration_throughput >= lambda {
             let within_tolerance = thr.iteration_throughput <= ceiling;
             hi = mid;
@@ -230,21 +290,23 @@ pub fn allocate_slices_cached(
             .copied()
             .fold(0.0f64, f64::max)
             .max(f64::MIN_POSITIVE);
-        for _pass in 0..config.max_refine_passes {
+        for pass in 0..config.max_refine_passes {
             let pass_start = slices.clone();
             let tile_indices: Vec<usize> = (0..used.len()).collect();
             let snapshot: &BindingAwareGraph = ba;
             let seed = cache.fork();
+            let record = obs.enabled();
             let proposals = sdfrs_fastutil::par::maybe_par_map(
                 config.parallel,
                 &tile_indices,
-                |&i| -> Result<(u64, usize, ThroughputCache), MapError> {
+                |&i| -> Result<(u64, usize, ThroughputCache, Vec<RefineProbe>), MapError> {
                     let t = used[i];
                     let upper = pass_start[t.index()];
                     let lower = (((loads[i] / max_load) * upper as f64).floor() as u64).max(1);
                     let mut local_cache = seed.clone();
+                    let mut probes = Vec::new();
                     if lower >= upper {
-                        return Ok((upper, 0, local_cache));
+                        return Ok((upper, 0, local_cache, probes));
                     }
                     let mut local_ba = snapshot.clone();
                     let mut local_checks = 0usize;
@@ -254,7 +316,7 @@ pub fn allocate_slices_cached(
                         let mid = lo + (hi - lo) / 2;
                         let mut candidate = pass_start.clone();
                         candidate[t.index()] = mid;
-                        let thr = evaluate(
+                        let (thr, hit) = evaluate(
                             &mut local_ba,
                             schedules,
                             app,
@@ -263,27 +325,45 @@ pub fn allocate_slices_cached(
                             &mut local_checks,
                             &mut local_cache,
                         )?;
-                        if thr.iteration_throughput >= lambda {
+                        let feasible = thr.iteration_throughput >= lambda;
+                        if record {
+                            probes.push((mid, candidate, thr.iteration_throughput, feasible, hit));
+                        }
+                        if feasible {
                             hi = mid;
                         } else {
                             lo = mid + 1;
                         }
                     }
-                    Ok((hi, local_checks, local_cache))
+                    Ok((hi, local_checks, local_cache, probes))
                 },
             );
             let mut changed = false;
             for (i, proposal) in proposals.into_iter().enumerate() {
-                let (proposed, local_checks, local_cache) = proposal?;
+                let (proposed, local_checks, local_cache, probes) = proposal?;
                 checks += local_checks;
+                obs.counters.refine_slice_iterations += local_checks;
                 cache.absorb(local_cache);
                 let t = used[i];
+                for (tried, probe_slices, thr, feasible, hit) in probes {
+                    obs.emit(|| FlowEvent::SliceProbe {
+                        scope: SliceScope::Refine {
+                            pass,
+                            tile: t.index(),
+                            slice: tried,
+                        },
+                        slices: probe_slices,
+                        throughput: thr,
+                        feasible,
+                        cache_hit: hit,
+                    });
+                }
                 if proposed >= slices[t.index()] {
                     continue;
                 }
                 let mut candidate = slices.clone();
                 candidate[t.index()] = proposed;
-                let thr = evaluate(
+                let (thr, hit) = evaluate(
                     ba,
                     schedules,
                     app,
@@ -292,7 +372,20 @@ pub fn allocate_slices_cached(
                     &mut checks,
                     cache,
                 )?;
-                if thr.iteration_throughput >= lambda {
+                obs.counters.refine_slice_iterations += 1;
+                let feasible = thr.iteration_throughput >= lambda;
+                obs.emit(|| FlowEvent::SliceProbe {
+                    scope: SliceScope::Commit {
+                        pass,
+                        tile: t.index(),
+                        slice: proposed,
+                    },
+                    slices: candidate.clone(),
+                    throughput: thr.iteration_throughput,
+                    feasible,
+                    cache_hit: hit,
+                });
+                if feasible {
                     slices = candidate;
                     changed = true;
                 }
@@ -302,7 +395,7 @@ pub fn allocate_slices_cached(
             }
         }
         // Re-evaluate at the final allocation so `achieved` matches it.
-        best_thr = evaluate(
+        let (final_thr, final_hit) = evaluate(
             ba,
             schedules,
             app,
@@ -311,6 +404,15 @@ pub fn allocate_slices_cached(
             &mut checks,
             cache,
         )?;
+        obs.counters.refine_slice_iterations += 1;
+        best_thr = final_thr;
+        obs.emit(|| FlowEvent::SliceProbe {
+            scope: SliceScope::Final,
+            slices: slices.clone(),
+            throughput: best_thr.iteration_throughput,
+            feasible: best_thr.iteration_throughput >= lambda,
+            cache_hit: final_hit,
+        });
         if best_thr.iteration_throughput < lambda {
             // Defensive: refinement never commits an infeasible slice, but
             // re-check because `best_thr` may come from a larger slice.

@@ -64,25 +64,52 @@
 //!
 //! # 3. Allocate with a guarantee
 //!
-//! [`flow::allocate`](crate::flow::allocate) runs the paper's three steps
-//! — binding (Sec 9.1), list-scheduled static orders (Sec 9.2), slice
-//! binary search (Sec 9.3) — and returns an [`Allocation`](crate::flow::Allocation)
-//! whose throughput is *guaranteed* under TDMA resource sharing:
+//! The [`Allocator`](crate::Allocator) front-end runs the paper's three
+//! steps — binding (Sec 9.1), list-scheduled static orders (Sec 9.2),
+//! slice binary search (Sec 9.3) — and returns an
+//! [`Allocation`](crate::flow::Allocation) whose throughput is
+//! *guaranteed* under TDMA resource sharing:
 //!
 //! ```
 //! use sdfrs_appmodel::apps::{example_platform, paper_example};
-//! use sdfrs_core::flow::{allocate, FlowConfig};
 //! use sdfrs_core::cost::CostWeights;
+//! use sdfrs_core::Allocator;
 //! use sdfrs_platform::PlatformState;
 //!
 //! # fn main() -> Result<(), sdfrs_core::MapError> {
 //! let app = paper_example();
 //! let arch = example_platform();
 //! let state = PlatformState::new(&arch);
-//! let (alloc, stats) = allocate(&app, &arch, &state,
-//!     &FlowConfig::with_weights(CostWeights::TUNED))?;
+//! let (alloc, stats) = Allocator::new()
+//!     .with_weights(CostWeights::TUNED)
+//!     .allocate(&app, &arch, &state)?;
 //! assert!(alloc.guaranteed_throughput() >= app.throughput_constraint());
-//! println!("{} throughput checks", stats.throughput_checks);
+//! assert!(stats.throughput_checks > 0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! To watch the flow decide, attach an [`EventSink`](crate::EventSink)
+//! — e.g. the bundled [`LogSink`](crate::LogSink) for human-readable
+//! stderr logging, a [`JsonlSink`](crate::JsonlSink) for a machine-
+//! readable trace, or a [`RecordingSink`](crate::RecordingSink) in
+//! tests:
+//!
+//! ```
+//! use sdfrs_appmodel::apps::{example_platform, paper_example};
+//! use sdfrs_core::{Allocator, RecordingSink};
+//! use sdfrs_platform::PlatformState;
+//!
+//! # fn main() -> Result<(), sdfrs_core::MapError> {
+//! let app = paper_example();
+//! let arch = example_platform();
+//! let state = PlatformState::new(&arch);
+//! let sink = RecordingSink::new();
+//! Allocator::new()
+//!     .with_sink(sink.clone())
+//!     .allocate(&app, &arch, &state)?;
+//! assert!(sink.kinds().contains(&"bind_attempt"));
+//! assert!(sink.kinds().contains(&"slice_probe"));
 //! # Ok(())
 //! # }
 //! ```
@@ -124,15 +151,15 @@
 //!
 //! ```
 //! use sdfrs_appmodel::apps::{example_platform, paper_example};
-//! use sdfrs_core::flow::{allocate, FlowConfig};
 //! use sdfrs_core::verify::verify_allocation;
+//! use sdfrs_core::Allocator;
 //! use sdfrs_platform::PlatformState;
 //!
 //! # fn main() -> Result<(), sdfrs_core::MapError> {
 //! let app = paper_example();
 //! let arch = example_platform();
 //! let state = PlatformState::new(&arch);
-//! let (alloc, _) = allocate(&app, &arch, &state, &FlowConfig::default())?;
+//! let (alloc, _) = Allocator::new().allocate(&app, &arch, &state)?;
 //! assert!(verify_allocation(&app, &arch, &state, &alloc)?.is_empty());
 //! # Ok(())
 //! # }
@@ -142,8 +169,8 @@
 //!
 //! Everything the flow builds on is public: self-timed throughput and
 //! explicit state spaces in
-//! [`sdfrs_sdf::analysis::selftimed`](sdfrs_sdf::analysis::selftimed),
-//! the HSDF baseline in [`sdfrs_sdf::hsdf`](sdfrs_sdf::hsdf) and
+//! [`sdfrs_sdf::analysis::selftimed`],
+//! the HSDF baseline in [`sdfrs_sdf::hsdf`] and
 //! [`baseline`](crate::baseline), storage exploration in
 //! [`buffers`](crate::buffers), structural bounds/latency/occupancy in
 //! `sdfrs_sdf::analysis`, and design-space sweeps in [`dse`](crate::dse).

@@ -153,7 +153,7 @@ pub fn verify_allocation(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::flow::{allocate, FlowConfig};
+    use crate::allocator::Allocator;
     use sdfrs_appmodel::apps::{example_platform, paper_example};
     use sdfrs_sdf::Rational;
 
@@ -166,7 +166,7 @@ mod tests {
         let app = paper_example();
         let arch = example_platform();
         let state = PlatformState::new(&arch);
-        let (alloc, _) = allocate(&app, &arch, &state, &FlowConfig::default()).unwrap();
+        let (alloc, _) = Allocator::new().allocate(&app, &arch, &state).unwrap();
         (app, arch, state, alloc)
     }
 

@@ -10,8 +10,9 @@
 use sdfrs_appmodel::apps::{example_platform, paper_example};
 use sdfrs_core::cost::CostWeights;
 use sdfrs_core::dse::explore;
-use sdfrs_core::flow::{allocate, FlowConfig};
+use sdfrs_core::flow::FlowConfig;
 use sdfrs_core::multi_app::allocate_until_failure;
+use sdfrs_core::Allocator;
 use sdfrs_gen::{AppGenerator, GeneratorConfig};
 use sdfrs_platform::mesh::{mesh_platform, MeshConfig};
 use sdfrs_platform::{PlatformState, ProcessorType};
@@ -25,7 +26,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("paper example across weight settings:");
     println!("  weights     a1  a2  a3   slices      period");
     for w in CostWeights::table4() {
-        let (alloc, _) = allocate(&app, &arch, &state, &FlowConfig::with_weights(w))?;
+        let (alloc, _) = Allocator::new()
+            .with_weights(w)
+            .allocate(&app, &arch, &state)?;
         let tile = |n: &str| {
             let a = app.graph().actor_by_name(n).expect("actor");
             format!("t{}", alloc.binding.tile_of(a).expect("bound").index() + 1)

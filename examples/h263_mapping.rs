@@ -11,7 +11,7 @@ use std::time::Instant;
 
 use sdfrs_appmodel::apps::h263_decoder;
 use sdfrs_core::cost::CostWeights;
-use sdfrs_core::flow::{allocate, FlowConfig};
+use sdfrs_core::Allocator;
 use sdfrs_platform::mesh::multimedia_platform;
 use sdfrs_platform::PlatformState;
 use sdfrs_sdf::hsdf::{convert_to_hsdf, hsdf_size};
@@ -48,12 +48,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Allocate with the multimedia weights (2, 0, 1).
     let state = PlatformState::new(&arch);
     let t0 = Instant::now();
-    let (alloc, stats) = allocate(
-        &app,
-        &arch,
-        &state,
-        &FlowConfig::with_weights(CostWeights::MULTIMEDIA),
-    )?;
+    let (alloc, stats) = Allocator::new()
+        .with_weights(CostWeights::MULTIMEDIA)
+        .allocate(&app, &arch, &state)?;
     println!("\nallocation found in {:?}:", t0.elapsed());
     for (a, actor) in app.graph().actors() {
         let tile = alloc.binding.tile_of(a).expect("complete");

@@ -8,7 +8,7 @@
 
 use sdfrs_appmodel::apps::{h263_decoder, mp3_decoder};
 use sdfrs_core::cost::CostWeights;
-use sdfrs_core::flow::{allocate, FlowConfig};
+use sdfrs_core::Allocator;
 use sdfrs_platform::mesh::multimedia_platform;
 use sdfrs_platform::PlatformState;
 use sdfrs_sdf::Rational;
@@ -21,12 +21,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let arch = multimedia_platform();
     // The paper's (2, 0, 1) weights: balance processing, limit
-    // communication, ignore memory.
-    let flow = FlowConfig::with_weights(CostWeights::MULTIMEDIA);
+    // communication, ignore memory. One allocator serves the whole
+    // sequence, so cached throughput evaluations carry over between the
+    // identical decoder instances.
+    let mut allocator = Allocator::new().with_weights(CostWeights::MULTIMEDIA);
 
     let mut state = PlatformState::new(&arch);
     for app in &apps {
-        let (alloc, stats) = allocate(app, &arch, &state, &flow)?;
+        let (alloc, stats) = allocator.allocate(app, &arch, &state)?;
         println!("{}:", app.graph().name());
         for tile in alloc.binding.used_tiles() {
             let actors: Vec<String> = alloc

@@ -6,7 +6,7 @@
 //! ```
 
 use sdfrs_appmodel::{ActorRequirements, ApplicationGraph, ChannelRequirements};
-use sdfrs_core::flow::{allocate, FlowConfig};
+use sdfrs_core::Allocator;
 use sdfrs_platform::{ArchitectureGraph, PlatformState, ProcessorType, Tile};
 use sdfrs_sdf::{Rational, SdfGraph};
 
@@ -52,7 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Allocate.
     let state = PlatformState::new(&arch);
-    let (alloc, stats) = allocate(&app, &arch, &state, &FlowConfig::default())?;
+    let (alloc, stats) = Allocator::new().allocate(&app, &arch, &state)?;
 
     println!("binding:");
     for (a, actor) in app.graph().actors() {

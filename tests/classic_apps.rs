@@ -3,13 +3,26 @@
 //! satellite receiver on the default heterogeneous mesh.
 
 use sdfrs_appmodel::classic::{cd_to_dat, satellite_receiver};
+use sdfrs_appmodel::ApplicationGraph;
 use sdfrs_core::cost::CostWeights;
-use sdfrs_core::flow::{allocate, FlowConfig};
+use sdfrs_core::flow::{Allocation, FlowConfig, FlowStats};
 use sdfrs_core::verify::verify_allocation;
+use sdfrs_core::{Allocator, MapError};
 use sdfrs_platform::mesh::{mesh_platform, MeshConfig};
+use sdfrs_platform::ArchitectureGraph;
 use sdfrs_platform::{presets, PlatformState};
 use sdfrs_sdf::hsdf::hsdf_size;
 use sdfrs_sdf::Rational;
+
+/// One fresh-cache run through the [`Allocator`] front-end.
+fn allocate(
+    app: &ApplicationGraph,
+    arch: &ArchitectureGraph,
+    state: &PlatformState,
+    config: &FlowConfig,
+) -> Result<(Allocation, FlowStats), MapError> {
+    Allocator::from_config(*config).allocate(app, arch, state)
+}
 
 #[test]
 fn cd_to_dat_on_stepnp() {

@@ -5,13 +5,25 @@
 use sdfrs_appmodel::apps::{h263_decoder, mp3_decoder, paper_example};
 use sdfrs_appmodel::ApplicationGraph;
 use sdfrs_core::cost::CostWeights;
-use sdfrs_core::flow::{allocate, Allocation, FlowConfig};
+use sdfrs_core::flow::{Allocation, FlowConfig, FlowStats};
 use sdfrs_core::multi_app::allocate_until_failure;
 use sdfrs_core::resources::{binding_constraints_hold, tile_capacity};
+use sdfrs_core::{Allocator, MapError};
 use sdfrs_gen::{AppGenerator, GeneratorConfig};
 use sdfrs_platform::mesh::{mesh_platform, multimedia_platform, MeshConfig};
 use sdfrs_platform::{ArchitectureGraph, PlatformState, ProcessorType};
 use sdfrs_sdf::Rational;
+
+/// One fresh-cache run through the [`Allocator`] front-end (the old
+/// free-function call sites, kept shaped the same).
+fn allocate(
+    app: &ApplicationGraph,
+    arch: &ArchitectureGraph,
+    state: &PlatformState,
+    config: &FlowConfig,
+) -> Result<(Allocation, FlowStats), MapError> {
+    Allocator::from_config(*config).allocate(app, arch, state)
+}
 
 fn generator_types() -> Vec<ProcessorType> {
     vec![

@@ -3,12 +3,23 @@
 //! verifier — or fail with a clean, explainable error. No panics, no
 //! invalid allocations.
 
-use sdfrs_core::flow::{allocate, FlowConfig};
+use sdfrs_core::flow::{Allocation, FlowConfig, FlowStats};
 use sdfrs_core::verify::verify_allocation;
-use sdfrs_core::MapError;
+use sdfrs_core::{Allocator, MapError};
 use sdfrs_gen::arch_gen::{ArchConfig, ArchGenerator};
 use sdfrs_gen::{AppGenerator, GeneratorConfig};
+use sdfrs_platform::ArchitectureGraph;
 use sdfrs_platform::{PlatformState, ProcessorType};
+
+/// One fresh-cache run through the [`Allocator`] front-end.
+fn allocate(
+    app: &sdfrs_appmodel::ApplicationGraph,
+    arch: &ArchitectureGraph,
+    state: &PlatformState,
+    config: &FlowConfig,
+) -> Result<(Allocation, FlowStats), MapError> {
+    Allocator::from_config(*config).allocate(app, arch, state)
+}
 
 fn generator_types() -> Vec<ProcessorType> {
     vec![
