@@ -1,0 +1,100 @@
+//! The regression corpus: shrunk failing scenarios persisted as `.ron`
+//! files (format in [`sdfrs_gen::scenario`]) and replayed as ordinary
+//! tests forever after.
+//!
+//! The committed corpus lives in `tests/corpus/`; nightly sweeps write
+//! fresh finds into whatever `--corpus-dir` points at.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use sdfrs_gen::Scenario;
+
+/// Writes `scenario` as `<dir>/<name>.ron`, creating `dir` if needed.
+/// Returns the written path.
+///
+/// # Errors
+///
+/// Any underlying filesystem error.
+pub fn save(dir: &Path, scenario: &Scenario) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}.ron", scenario.name));
+    fs::write(&path, scenario.to_ron())?;
+    Ok(path)
+}
+
+/// Loads every `.ron` scenario in `dir`, sorted by file name so replay
+/// order is stable. A missing directory is an empty corpus, not an error.
+///
+/// # Errors
+///
+/// Filesystem errors, or [`io::ErrorKind::InvalidData`] naming the file
+/// when a corpus entry no longer parses.
+pub fn load_dir(dir: &Path) -> io::Result<Vec<(PathBuf, Scenario)>> {
+    let mut paths: Vec<PathBuf> = match fs::read_dir(dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "ron"))
+            .collect(),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    paths.sort();
+    let mut out = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text = fs::read_to_string(&path)?;
+        let scenario = Scenario::from_ron(&text).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: {e}", path.display()),
+            )
+        })?;
+        out.push((path, scenario));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sdfrs_corpus_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn save_then_load_roundtrips() {
+        let dir = tmp_dir("roundtrip");
+        let a = Scenario::sample(5);
+        let b = Scenario::sample(9);
+        save(&dir, &a).unwrap();
+        save(&dir, &b).unwrap();
+        let loaded = load_dir(&dir).unwrap();
+        assert_eq!(loaded.len(), 2);
+        // Sorted by file name: scn5.ron < scn9.ron.
+        assert_eq!(loaded[0].1, a);
+        assert_eq!(loaded[1].1, b);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn a_missing_directory_is_an_empty_corpus() {
+        assert!(load_dir(Path::new("/nonexistent/sdfrs/corpus"))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn corrupt_entries_name_the_file() {
+        let dir = tmp_dir("corrupt");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("bad.ron"), "Scenario(name: \"x\")").unwrap();
+        let err = load_dir(&dir).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("bad.ron"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

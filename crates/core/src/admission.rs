@@ -35,41 +35,58 @@ pub enum AdmissionOrder {
 
 /// The γ-weighted worst-case computation demand of an application: the
 /// denominator of `l_p` (Sec 9.1), a platform-independent weight proxy.
-pub fn application_work(app: &ApplicationGraph) -> u128 {
-    let gamma = app
+///
+/// # Errors
+///
+/// [`MapError::Sdf`] if the graph has no repetition vector (validated
+/// applications always do).
+pub fn application_work(app: &ApplicationGraph) -> Result<u128, MapError> {
+    let gamma = app.graph().repetition_vector()?;
+    Ok(app
         .graph()
-        .repetition_vector()
-        .expect("application graphs are consistent");
-    app.graph()
         .actor_ids()
         .map(|a| gamma[a] as u128 * app.max_execution_time(a) as u128)
-        .sum()
+        .sum())
 }
 
 /// Returns indices into `apps` in the chosen allocation order.
-pub fn order_applications(apps: &[ApplicationGraph], order: AdmissionOrder) -> Vec<usize> {
+///
+/// # Errors
+///
+/// [`MapError::Sdf`] if any application has no repetition vector (only
+/// the work-weighted orders evaluate it).
+pub fn order_applications(
+    apps: &[ApplicationGraph],
+    order: AdmissionOrder,
+) -> Result<Vec<usize>, MapError> {
     let mut idx: Vec<usize> = (0..apps.len()).collect();
     match order {
         AdmissionOrder::Arrival => {}
         AdmissionOrder::HeaviestFirst => {
-            idx.sort_by_key(|&i| std::cmp::Reverse(application_work(&apps[i])));
+            let work = works(apps)?;
+            idx.sort_by_key(|&i| std::cmp::Reverse(work[i]));
         }
         AdmissionOrder::LightestFirst => {
-            idx.sort_by_key(|&i| application_work(&apps[i]));
+            let work = works(apps)?;
+            idx.sort_by_key(|&i| work[i]);
         }
         AdmissionOrder::TightestConstraintFirst => {
             // Tightness = λ · work: how much of a processor the app needs
             // per time unit. Descending.
+            let work = works(apps)?;
             idx.sort_by(|&a, &b| {
-                let ta = apps[a].throughput_constraint()
-                    * Rational::from_integer(application_work(&apps[a]) as i128);
-                let tb = apps[b].throughput_constraint()
-                    * Rational::from_integer(application_work(&apps[b]) as i128);
+                let ta = apps[a].throughput_constraint() * Rational::from_integer(work[a] as i128);
+                let tb = apps[b].throughput_constraint() * Rational::from_integer(work[b] as i128);
                 tb.cmp(&ta).then(a.cmp(&b))
             });
         }
     }
-    idx
+    Ok(idx)
+}
+
+/// [`application_work`] of every application, in input order.
+fn works(apps: &[ApplicationGraph]) -> Result<Vec<u128>, MapError> {
+    apps.iter().map(application_work).collect()
 }
 
 /// Dynamic best-fit admission: at every step, try each remaining
@@ -206,7 +223,11 @@ pub fn allocate_skipping_failures_with(
     let mut state = PlatformState::new(arch);
     let mut admitted = Vec::new();
     let mut rejected = Vec::new();
-    for i in order_applications(apps, order) {
+    // A broken application graph must not abort the whole sweep: fall back
+    // to arrival order and let the per-application allocate calls report
+    // the offending graphs as rejections.
+    let ordered = order_applications(apps, order).unwrap_or_else(|_| (0..apps.len()).collect());
+    for i in ordered {
         match allocator.allocate(&apps[i], arch, &state) {
             Ok((alloc, stats)) => {
                 alloc.claim_on(arch, &mut state);
@@ -275,25 +296,25 @@ mod tests {
     fn work_is_gamma_weighted() {
         let app = paper_example();
         // γ = (2,2,1); sup τ = (4,7,3) ⇒ 8 + 14 + 3 = 25.
-        assert_eq!(application_work(&app), 25);
+        assert_eq!(application_work(&app).unwrap(), 25);
     }
 
     #[test]
     fn orderings_permute_consistently() {
         let apps = vec![scaled_example(30), scaled_example(300), scaled_example(100)];
         assert_eq!(
-            order_applications(&apps, AdmissionOrder::Arrival),
+            order_applications(&apps, AdmissionOrder::Arrival).unwrap(),
             vec![0, 1, 2]
         );
         // Same work everywhere ⇒ heaviest/lightest keep arrival order
         // (stable sort).
         assert_eq!(
-            order_applications(&apps, AdmissionOrder::HeaviestFirst),
+            order_applications(&apps, AdmissionOrder::HeaviestFirst).unwrap(),
             vec![0, 1, 2]
         );
         // Tightest λ first: 1/30 > 1/100 > 1/300.
         assert_eq!(
-            order_applications(&apps, AdmissionOrder::TightestConstraintFirst),
+            order_applications(&apps, AdmissionOrder::TightestConstraintFirst).unwrap(),
             vec![0, 2, 1]
         );
     }

@@ -116,6 +116,25 @@ impl Allocator {
         self
     }
 
+    /// Disables throughput-evaluation memoization: every check runs the
+    /// full state-space exploration and counts as a cache miss. Used by
+    /// the conformance harness to compare cached against cache-free runs.
+    #[must_use]
+    pub fn with_cache_disabled(mut self) -> Self {
+        self.cache = ThroughputCache::disabled();
+        self
+    }
+
+    /// Forces the parallel (`true`) or sequential (`false`) slice
+    /// refinement path, overriding `config.slice.parallel`. Both paths
+    /// must produce identical allocations; the conformance harness
+    /// checks exactly that.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallel: bool) -> Self {
+        self.config.slice.parallel = parallel;
+        self
+    }
+
     /// Routes all flow events to `sink`.
     #[must_use]
     pub fn with_sink(self, sink: impl EventSink + 'static) -> Self {

@@ -89,26 +89,30 @@ fn rank_tiles(
     tiles: &[TileId],
     weights: CostWeights,
     scope: RankScope,
-) -> Vec<(TileId, f64)> {
-    let mut ranked: Vec<(TileId, f64)> = tiles
-        .iter()
-        .map(|&t| {
-            binding.bind(actor, t);
-            let cost = match scope {
-                RankScope::CandidateTile => {
-                    tile_cost(weights, tile_loads(app, arch, state, binding, t))
+) -> Result<Vec<(TileId, f64)>, MapError> {
+    let mut ranked = Vec::with_capacity(tiles.len());
+    for &t in tiles {
+        binding.bind(actor, t);
+        let cost = match scope {
+            RankScope::CandidateTile => {
+                tile_cost(weights, tile_loads(app, arch, state, binding, t)?)
+            }
+            RankScope::AllTiles => {
+                let mut worst = 0.0f64;
+                for u in arch.tile_ids() {
+                    worst = worst.max(tile_cost(
+                        weights,
+                        tile_loads(app, arch, state, binding, u)?,
+                    ));
                 }
-                RankScope::AllTiles => arch
-                    .tile_ids()
-                    .map(|u| tile_cost(weights, tile_loads(app, arch, state, binding, u)))
-                    .fold(0.0, f64::max),
-            };
-            binding.unbind(actor);
-            (t, cost)
-        })
-        .collect();
+                worst
+            }
+        };
+        binding.unbind(actor);
+        ranked.push((t, cost));
+    }
     ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
-    ranked
+    Ok(ranked)
 }
 
 /// Binds every actor of the application to a tile (Sec 9.1).
@@ -171,7 +175,7 @@ pub fn bind_actors_observed(
     config: &BindConfig,
     obs: &mut FlowObserver<'_>,
 ) -> Result<Binding, MapError> {
-    let order = binding_order(app, config.max_cycles);
+    let order = binding_order(app, config.max_cycles)?;
     obs.emit(|| FlowEvent::CriticalityOrder {
         actors: order
             .iter()
@@ -192,7 +196,7 @@ pub fn bind_actors_observed(
             &tiles,
             config.weights,
             RankScope::CandidateTile,
-        );
+        )?;
         let mut placed = false;
         for (tile, cost) in ranked {
             binding.bind(actor, tile);
@@ -232,7 +236,7 @@ pub fn bind_actors_observed(
                 &tiles,
                 config.weights,
                 RankScope::AllTiles,
-            );
+            )?;
             let mut placed = false;
             for (tile, cost) in ranked {
                 binding.bind(actor, tile);

@@ -35,7 +35,7 @@ impl StorageDistribution {
 
 /// Builds the single-tile analysis graph: best-case execution times,
 /// self-edges, and buffer back-edges with the given capacities.
-fn bounded_graph(app: &ApplicationGraph, capacities: &[u64]) -> SdfGraph {
+fn bounded_graph(app: &ApplicationGraph, capacities: &[u64]) -> Result<SdfGraph, MapError> {
     let src = app.graph();
     let mut g = SdfGraph::new(format!("{}_buf", src.name()));
     for (a, actor) in src.actors() {
@@ -44,7 +44,7 @@ fn bounded_graph(app: &ApplicationGraph, capacities: &[u64]) -> SdfGraph {
             .supported_types()
             .filter_map(|pt| app.execution_time(a, pt))
             .min()
-            .expect("validated apps support some type");
+            .ok_or(MapError::NoFeasibleTile { actor: a })?;
         g.add_actor(actor.name(), best);
     }
     for (a, _) in src.actors() {
@@ -70,7 +70,7 @@ fn bounded_graph(app: &ApplicationGraph, capacities: &[u64]) -> SdfGraph {
             capacities[d.index()],
         );
     }
-    g
+    Ok(g)
 }
 
 /// Throughput under a candidate distribution, or `None` if it deadlocks.
@@ -79,7 +79,7 @@ fn evaluate(
     capacities: &[u64],
     budget: usize,
 ) -> Result<Option<Rational>, MapError> {
-    let g = bounded_graph(app, capacities);
+    let g = bounded_graph(app, capacities)?;
     let reference = app.output_actor();
     match SelfTimedExecutor::new(&g)
         .with_state_budget(budget)

@@ -14,6 +14,7 @@ use sdfrs_sdf::analysis::cycles::simple_cycles;
 use sdfrs_sdf::{ActorId, Rational};
 
 use crate::binding::Binding;
+use crate::error::MapError;
 use crate::resources::{tile_capacity, tile_demand};
 
 /// Weights *(c1, c2, c3)* of the tile cost function (Eqn 2).
@@ -85,23 +86,30 @@ impl std::fmt::Display for CostWeights {
 /// estimate simply covers fewer cycles (application graphs are small, so
 /// the default cap of [`DEFAULT_CYCLE_CAP`] is effectively exhaustive).
 ///
+/// # Errors
+///
+/// [`MapError::Sdf`] if the graph has no repetition vector (validated
+/// applications always do; the error path exists so sweeps over
+/// machine-generated inputs observe failures instead of aborting).
+///
 /// # Examples
 ///
 /// ```
 /// use sdfrs_appmodel::apps::paper_example;
 /// use sdfrs_core::cost::{actor_criticality, DEFAULT_CYCLE_CAP};
 /// let app = paper_example();
-/// let crit = actor_criticality(&app, DEFAULT_CYCLE_CAP);
+/// let crit = actor_criticality(&app, DEFAULT_CYCLE_CAP).unwrap();
 /// // Only a1 lies on a cycle (its self-edge d3): γ(a1)·sup τ = 2·4 = 8
 /// // over Tok/q = 1.
 /// assert_eq!(crit[0], sdfrs_sdf::Rational::from_integer(8));
 /// assert_eq!(crit[1], sdfrs_sdf::Rational::ZERO);
 /// ```
-pub fn actor_criticality(app: &ApplicationGraph, max_cycles: usize) -> Vec<Rational> {
+pub fn actor_criticality(
+    app: &ApplicationGraph,
+    max_cycles: usize,
+) -> Result<Vec<Rational>, MapError> {
     let g = app.graph();
-    let gamma = g
-        .repetition_vector()
-        .expect("application graphs are consistent");
+    let gamma = g.repetition_vector()?;
     let (cycles, _) = simple_cycles(g, max_cycles);
     let mut cost = vec![Rational::ZERO; g.actor_count()];
     for cycle in &cycles {
@@ -128,7 +136,7 @@ pub fn actor_criticality(app: &ApplicationGraph, max_cycles: usize) -> Vec<Ratio
             cost[b.index()] = cost[b.index()].max(ratio);
         }
     }
-    cost
+    Ok(cost)
 }
 
 /// Default cycle-enumeration cap for [`actor_criticality`].
@@ -137,11 +145,15 @@ pub const DEFAULT_CYCLE_CAP: usize = 10_000;
 /// Actors sorted for the binding step: decreasing criticality, ties in
 /// actor order (Sec 9.1: "actors whose execution time has a large impact
 /// on the throughput ... are considered first").
-pub fn binding_order(app: &ApplicationGraph, max_cycles: usize) -> Vec<ActorId> {
-    let crit = actor_criticality(app, max_cycles);
+///
+/// # Errors
+///
+/// See [`actor_criticality`].
+pub fn binding_order(app: &ApplicationGraph, max_cycles: usize) -> Result<Vec<ActorId>, MapError> {
+    let crit = actor_criticality(app, max_cycles)?;
     let mut order: Vec<ActorId> = app.graph().actor_ids().collect();
     order.sort_by(|a, b| crit[b.index()].cmp(&crit[a.index()]).then(a.cmp(b)));
-    order
+    Ok(order)
 }
 
 /// The three load terms of Eqn 2 for one tile.
@@ -170,17 +182,22 @@ fn fraction(used: f64, capacity: f64) -> f64 {
 
 /// Computes the loads `l_p`, `l_m`, `l_c` of one tile under a (partial)
 /// binding, normalized against the *remaining* capacities of the tile.
+///
+/// # Errors
+///
+/// * [`MapError::Sdf`] if the graph has no repetition vector;
+/// * [`MapError::UnsupportedBinding`] if `binding` placed an actor on a
+///   tile whose processor type it does not support (only possible with
+///   hand-built bindings).
 pub fn tile_loads(
     app: &ApplicationGraph,
     arch: &ArchitectureGraph,
     state: &PlatformState,
     binding: &Binding,
     tile: TileId,
-) -> TileLoads {
+) -> Result<TileLoads, MapError> {
     let g = app.graph();
-    let gamma = g
-        .repetition_vector()
-        .expect("application graphs are consistent");
+    let gamma = g.repetition_vector()?;
     let pt = arch.tile(tile).processor_type();
 
     // l_p: γ-weighted execution time on this tile over the total
@@ -189,7 +206,7 @@ pub fn tile_loads(
     for a in binding.actors_on(tile) {
         let tau = app
             .execution_time(a, pt)
-            .expect("bound actors support their tile's type");
+            .ok_or(MapError::UnsupportedBinding { actor: a, tile })?;
         work_here += gamma[a] as u128 * tau as u128;
     }
     let total_work: u128 = g
@@ -207,11 +224,11 @@ pub fn tile_loads(
         + fraction(demand.connections as f64, cap.connections as f64))
         / 3.0;
 
-    TileLoads {
+    Ok(TileLoads {
         processing,
         memory,
         communication,
-    }
+    })
 }
 
 /// Eqn 2: `cost(t) = c1·l_p(t) + c2·l_m(t) + c3·l_c(t)`.
@@ -229,12 +246,12 @@ mod tests {
     #[test]
     fn criticality_of_paper_example() {
         let app = paper_example();
-        let crit = actor_criticality(&app, DEFAULT_CYCLE_CAP);
+        let crit = actor_criticality(&app, DEFAULT_CYCLE_CAP).unwrap();
         // a1: self-cycle d3 with 1 token, q = 1: (γ(a1)=2)·(sup τ = 4) / 1.
         assert_eq!(crit[0], Rational::from_integer(8));
         assert_eq!(crit[1], Rational::ZERO);
         assert_eq!(crit[2], Rational::ZERO);
-        let order = binding_order(&app, DEFAULT_CYCLE_CAP);
+        let order = binding_order(&app, DEFAULT_CYCLE_CAP).unwrap();
         assert_eq!(
             order,
             vec![
@@ -267,7 +284,7 @@ mod tests {
             .channel_default(ChannelRequirements::new(1, 1, 1, 1, 1))
             .build()
             .unwrap();
-        let crit = actor_criticality(&app, DEFAULT_CYCLE_CAP);
+        let crit = actor_criticality(&app, DEFAULT_CYCLE_CAP).unwrap();
         // Cycle a→b→a: (3 + 5) / (0/1 + 2/1) = 4 for both actors.
         assert_eq!(crit[0], Rational::from_integer(4));
         assert_eq!(crit[1], Rational::from_integer(4));
@@ -284,14 +301,14 @@ mod tests {
         b.bind(ActorId::from_index(0), t1);
         b.bind(ActorId::from_index(1), t1);
         b.bind(ActorId::from_index(2), t2);
-        let l1 = tile_loads(&app, &arch, &state, &b, t1);
+        let l1 = tile_loads(&app, &arch, &state, &b, t1).unwrap();
         // Work on t1: 2·1 + 2·1 = 4 of total 2·4 + 2·7 + 1·3 = 25.
         assert!((l1.processing - 4.0 / 25.0).abs() < 1e-12);
         // Memory demand 225 of 700.
         assert!((l1.memory - 225.0 / 700.0).abs() < 1e-12);
         // Communication: out 10/100, in 0, connections 1/5.
         assert!((l1.communication - (0.1 + 0.0 + 0.2) / 3.0).abs() < 1e-12);
-        let l2 = tile_loads(&app, &arch, &state, &b, t2);
+        let l2 = tile_loads(&app, &arch, &state, &b, t2).unwrap();
         assert!((l2.processing - 2.0 / 25.0).abs() < 1e-12);
         assert!((l2.memory - 210.0 / 500.0).abs() < 1e-12);
     }

@@ -46,6 +46,16 @@ pub enum MapError {
         /// The offending channel.
         channel: ChannelId,
     },
+    /// An actor is bound to a tile whose processor type it does not
+    /// support. The flow's own binding step never produces this; it is
+    /// reported when a hand-built [`Binding`](crate::Binding) is fed to
+    /// the cost or slice machinery.
+    UnsupportedBinding {
+        /// The actor with the impossible placement.
+        actor: ActorId,
+        /// The tile whose processor type the actor lacks.
+        tile: TileId,
+    },
     /// The flow configuration is degenerate (zero state budgets, an empty
     /// Eqn 2 weight set, …) — rejected up front by
     /// [`FlowConfig::validate`](crate::flow::FlowConfig::validate) instead
@@ -80,6 +90,10 @@ impl fmt::Display for MapError {
             MapError::ChannelNotMappable { channel } => write!(
                 f,
                 "channel {channel} cannot cross tiles (zero bandwidth or undersized buffers)"
+            ),
+            MapError::UnsupportedBinding { actor, tile } => write!(
+                f,
+                "actor {actor} is bound to tile {tile} whose processor type it does not support"
             ),
             MapError::InvalidConfig { reason } => {
                 write!(f, "invalid flow configuration: {reason}")
@@ -129,6 +143,12 @@ mod tests {
         }
         .to_string()
         .contains("a3"));
+        assert!(MapError::UnsupportedBinding {
+            actor: ActorId::from_index(2),
+            tile: TileId::from_index(1),
+        }
+        .to_string()
+        .contains("does not support"));
         let e: MapError = SdfError::Empty.into();
         assert!(e.to_string().contains("no actors"));
         assert!(e.source().is_some());

@@ -283,8 +283,8 @@ pub fn allocate_slices_observed(
     if config.refine && used.len() > 1 {
         let loads: Vec<f64> = used
             .iter()
-            .map(|&t| tile_loads(app, arch, state, binding, t).processing)
-            .collect();
+            .map(|&t| tile_loads(app, arch, state, binding, t).map(|l| l.processing))
+            .collect::<Result<_, _>>()?;
         let max_load = loads
             .iter()
             .copied()

@@ -98,10 +98,7 @@ pub fn verify_allocation(
 
     // Schedules exist for used tiles, only fire that tile's actors, and
     // fire them γ-proportionally within the period.
-    let gamma = app
-        .graph()
-        .repetition_vector()
-        .expect("application graphs are consistent");
+    let gamma = app.graph().repetition_vector()?;
     for t in allocation.binding.used_tiles() {
         match allocation.schedules.get(t) {
             None => violations.push(Violation::MalformedSchedule { tile: t.index() }),

@@ -25,7 +25,9 @@
 pub mod app_gen;
 pub mod arch_gen;
 pub mod config;
+pub mod scenario;
 
 pub use app_gen::{reference_throughput, AppGenerator};
 pub use arch_gen::{ArchConfig, ArchGenerator};
 pub use config::GeneratorConfig;
+pub use scenario::{Scenario, ScenarioConfig, ScenarioError};

@@ -9,9 +9,11 @@
 
 use sdfrs_fastutil::FxHashMap;
 
+use crate::analysis::mcr::{hsdf_max_cycle_mean, CycleRatio};
 use crate::error::SdfError;
 use crate::graph::SdfGraph;
 use crate::ids::ActorId;
+use crate::rational::Rational;
 
 /// Mapping from HSDF actor copies back to the original actors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -139,6 +141,71 @@ pub fn convert_to_hsdf(graph: &SdfGraph) -> Result<HsdfConversion, SdfError> {
     })
 }
 
+/// Throughput computed along the exponential route the paper avoids:
+/// convert to HSDF, take the maximum cycle mean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HsdfThroughput {
+    /// Iterations of the *original* SDFG per time unit (`1 / MCM`).
+    pub iteration_throughput: Rational,
+    /// Firings of the reference actor per time unit
+    /// (`γ(reference) / MCM`).
+    pub actor_throughput: Rational,
+    /// Size of the intermediate homogeneous graph (cost witness).
+    pub hsdf_actors: usize,
+}
+
+/// The MCM-based throughput oracle: `1 / MCM` of the HSDF equivalent,
+/// scaled by `γ(reference)` for the actor throughput.
+///
+/// For a live, strongly-connected SDFG with bounded auto-concurrency
+/// (self-edges on every actor) this equals the self-timed state-space
+/// result of [`analysis::selftimed`](crate::analysis::selftimed) — the
+/// equivalence the conformance harness checks. A deadlocked graph
+/// reports zero throughput.
+///
+/// Returns `Ok(None)` when no cycle bounds the throughput (the HSDF
+/// equivalent is acyclic, or every cycle has zero execution time): the
+/// self-timed rate is then limited only by auto-concurrency, which the
+/// MCM route cannot see.
+///
+/// # Errors
+///
+/// Propagates repetition-vector errors from the conversion.
+///
+/// # Examples
+///
+/// ```
+/// use sdfrs_sdf::{SdfGraph, Rational, hsdf::hsdf_reference_throughput};
+/// let mut g = SdfGraph::new("loop");
+/// let a = g.add_actor("a", 2);
+/// let b = g.add_actor("b", 3);
+/// g.add_self_edge(a, 1);
+/// g.add_self_edge(b, 1);
+/// g.add_channel("ab", a, 1, b, 1, 0);
+/// g.add_channel("ba", b, 1, a, 1, 1);
+/// let t = hsdf_reference_throughput(&g, b)?.unwrap();
+/// assert_eq!(t.iteration_throughput, Rational::new(1, 5));
+/// # Ok::<(), sdfrs_sdf::SdfError>(())
+/// ```
+pub fn hsdf_reference_throughput(
+    graph: &SdfGraph,
+    reference: ActorId,
+) -> Result<Option<HsdfThroughput>, SdfError> {
+    let gamma = graph.repetition_vector()?;
+    let h = convert_to_hsdf(graph)?;
+    let iteration = match hsdf_max_cycle_mean(&h.graph)? {
+        CycleRatio::Acyclic => return Ok(None),
+        CycleRatio::Deadlock => Rational::ZERO,
+        CycleRatio::Ratio(r) if r.is_zero() => return Ok(None),
+        CycleRatio::Ratio(r) => r.recip(),
+    };
+    Ok(Some(HsdfThroughput {
+        iteration_throughput: iteration,
+        actor_throughput: iteration * Rational::from_integer(gamma[reference] as i128),
+        hsdf_actors: h.graph.actor_count(),
+    }))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,6 +295,33 @@ mod tests {
             sdf_thr.actor_throughput,
             hsdf_thr.actor_throughput * Rational::from_integer(gamma[b] as i128)
         );
+    }
+
+    #[test]
+    fn reference_throughput_matches_self_timed() {
+        let mut g = SdfGraph::new("oracle");
+        let a = g.add_actor("a", 2);
+        let b = g.add_actor("b", 3);
+        g.add_self_edge(a, 1);
+        g.add_self_edge(b, 1);
+        g.add_channel("ab", a, 2, b, 1, 0);
+        g.add_channel("ba", b, 1, a, 2, 4);
+        let t = hsdf_reference_throughput(&g, b).unwrap().unwrap();
+        let st = self_timed_throughput(&g, b).unwrap();
+        assert_eq!(t.iteration_throughput, st.iteration_throughput);
+        assert_eq!(t.actor_throughput, st.actor_throughput);
+        assert_eq!(t.hsdf_actors, hsdf_size(&g).unwrap() as usize);
+    }
+
+    #[test]
+    fn reference_throughput_reports_deadlock_as_zero() {
+        let mut g = SdfGraph::new("dead");
+        let a = g.add_actor("a", 1);
+        let b = g.add_actor("b", 1);
+        g.add_channel("ab", a, 1, b, 1, 0);
+        g.add_channel("ba", b, 1, a, 1, 0); // no tokens anywhere: stuck
+        let t = hsdf_reference_throughput(&g, a).unwrap().unwrap();
+        assert_eq!(t.iteration_throughput, Rational::ZERO);
     }
 
     #[test]

@@ -297,3 +297,61 @@ fn skipping_admission_reports_each_application() {
         "admitted and rejected partition the request list"
     );
 }
+
+/// Golden trace of a *second* admission: after the first paper example
+/// claims slices [5, 4], the platform is partially loaded and the second
+/// copy must squeeze onto tile 0's remaining wheel. The decision sequence
+/// — everything binding to tile 0, a shorter schedule recurrence, the
+/// global binary search bottoming out at k = 3 — is deterministic, so its
+/// JSONL rendering is pinned verbatim like the single-app golden above.
+#[test]
+fn golden_jsonl_trace_of_a_second_admission() {
+    let arch = example_platform();
+    let apps = vec![paper_example(), paper_example()];
+    let sink = RecordingSink::new();
+    let mut allocator = Allocator::new().with_sink(sink.clone());
+    let result = allocator.allocate_sequence(&apps, &arch);
+    assert!(result.failure.is_none());
+
+    let lines: Vec<String> = sink
+        .events()
+        .iter()
+        .map(|(_, e)| e.to_json(Duration::ZERO))
+        .filter(|l| !l.contains("\"duration_us\""))
+        .collect();
+    let second_flow = lines
+        .iter()
+        .position(|l| l.contains("\"event\":\"admission_decision\""))
+        .map(|i| i + 1)
+        .expect("first app gets a verdict before the second flow starts");
+
+    let golden = [
+        r#"{"t_us":0,"event":"flow_started","app":"paper_example","actors":3,"channels":3,"tiles":2,"constraint":"1/30"}"#,
+        r#"{"t_us":0,"event":"phase_started","phase":"binding"}"#,
+        r#"{"t_us":0,"event":"criticality_order","actors":["a1","a2","a3"]}"#,
+        r#"{"t_us":0,"event":"bind_attempt","pass":"first_fit","actor":"a1","tile":0,"cost":0.10315789473684212,"accepted":true}"#,
+        r#"{"t_us":0,"event":"bind_attempt","pass":"first_fit","actor":"a2","tile":0,"cost":0.21263157894736842,"accepted":true}"#,
+        r#"{"t_us":0,"event":"bind_attempt","pass":"first_fit","actor":"a3","tile":0,"cost":0.7810526315789474,"accepted":true}"#,
+        r#"{"t_us":0,"event":"bind_attempt","pass":"rebind","actor":"a3","tile":0,"cost":0.7810526315789474,"accepted":true}"#,
+        r#"{"t_us":0,"event":"bind_attempt","pass":"rebind","actor":"a2","tile":0,"cost":0.7810526315789474,"accepted":true}"#,
+        r#"{"t_us":0,"event":"bind_attempt","pass":"rebind","actor":"a1","tile":0,"cost":0.7810526315789474,"accepted":true}"#,
+        r#"{"t_us":0,"event":"phase_started","phase":"scheduling"}"#,
+        r#"{"t_us":0,"event":"schedule_recurrence","states":12}"#,
+        r#"{"t_us":0,"event":"schedule_constructed","tile":0,"prefix_len":1,"period_len":5}"#,
+        r#"{"t_us":0,"event":"phase_started","phase":"slice_allocation"}"#,
+        r#"{"t_us":0,"event":"slice_probe","scope":"global","k":5,"of":5,"slices":[5,0],"throughput":"1/14","feasible":true,"cache_hit":false}"#,
+        r#"{"t_us":0,"event":"slice_probe","scope":"global","k":3,"of":5,"slices":[3,0],"throughput":"3/70","feasible":true,"cache_hit":false}"#,
+        r#"{"t_us":0,"event":"slice_probe","scope":"global","k":2,"of":5,"slices":[2,0],"throughput":"1/35","feasible":false,"cache_hit":false}"#,
+        r#"{"t_us":0,"event":"admission_decision","index":1,"app":"paper_example","admitted":true,"detail":""}"#,
+    ];
+    let got = &lines[second_flow..];
+    assert_eq!(
+        got.len(),
+        golden.len(),
+        "second-admission event count changed:\n{}",
+        got.join("\n")
+    );
+    for (got, want) in got.iter().zip(golden.iter()) {
+        assert_eq!(got, want);
+    }
+}

@@ -238,6 +238,107 @@ fn rational_field_laws() {
     }
 }
 
+/// Comparison on `Rational` is a total order: antisymmetric, transitive,
+/// total, and consistent with the sign of the difference.
+#[test]
+fn rational_ordering_is_total() {
+    let mut rng = SmallRng::seed_from_u64(0x0D7E4);
+    let draw =
+        |rng: &mut SmallRng| Rational::new(rng.gen_range(-40i128..=40), rng.gen_range(1i128..=15));
+    for case in 0..CASES {
+        let x = draw(&mut rng);
+        let y = draw(&mut rng);
+        let z = draw(&mut rng);
+        // Totality: exactly one of <, ==, > holds.
+        assert_eq!(
+            1,
+            [x < y, x == y, x > y].iter().filter(|&&b| b).count(),
+            "case {case}: {x} vs {y}"
+        );
+        // Antisymmetry via the derived pair.
+        assert_eq!(x <= y && y <= x, x == y, "case {case}");
+        // Transitivity over the sampled triple.
+        if x <= y && y <= z {
+            assert!(x <= z, "case {case}: {x} <= {y} <= {z}");
+        }
+        // Order agrees with subtraction.
+        assert_eq!(x < y, (x - y).numer() < 0, "case {case}");
+        assert!(x.min(y) <= x.max(y), "case {case}");
+    }
+}
+
+/// Construction always reduces to the canonical form — positive
+/// denominator, coprime parts — so equal values are structurally equal
+/// and products of large common factors cannot accumulate into overflow.
+#[test]
+fn rational_reduction_is_canonical() {
+    let mut rng = SmallRng::seed_from_u64(0x6CD);
+    for case in 0..CASES {
+        let a = rng.gen_range(-60i128..=60);
+        let b = rng.gen_range(1i128..=25);
+        // A common factor big enough that an unreduced representation of
+        // (a*k)/(b*k) squared would overflow i128.
+        let k = rng.gen_range(1i128..=1_000_000_000_000);
+        let scaled = Rational::new(a * k, b * k);
+        let plain = Rational::new(a, b);
+        assert_eq!(scaled, plain, "case {case}: k={k}");
+        assert!(scaled.denom() > 0, "case {case}");
+        assert_eq!(
+            gcd(scaled.numer().unsigned_abs(), scaled.denom().unsigned_abs()),
+            if scaled.is_zero() {
+                scaled.denom().unsigned_abs()
+            } else {
+                1
+            },
+            "case {case}: {scaled} not coprime"
+        );
+        // Negative denominators normalize the sign into the numerator.
+        assert_eq!(Rational::new(a, -b), Rational::new(-a, b), "case {case}");
+        // Arithmetic on the reduced forms stays exact where the unreduced
+        // cross-multiplication (a*k)*(b*k) would have wrapped.
+        if !plain.is_zero() {
+            assert_eq!(scaled / plain, Rational::ONE, "case {case}");
+        }
+        assert_eq!(
+            scaled + scaled,
+            plain * Rational::from_integer(2),
+            "case {case}"
+        );
+    }
+}
+
+/// Every application the generator emits satisfies the balance equations
+/// `γ(src) · p = γ(dst) · q` on every channel, across all four Section
+/// 10.1 profiles.
+#[test]
+fn generated_repetition_vectors_balance_every_channel() {
+    let types = vec![
+        ProcessorType::new("risc"),
+        ProcessorType::new("dsp"),
+        ProcessorType::new("acc"),
+    ];
+    for (name, config) in GeneratorConfig::benchmark_sets() {
+        for seed in 0u64..(CASES as u64 / 4) {
+            let mut gen = AppGenerator::new(config.clone(), types.clone(), seed);
+            let app = gen.generate("prop");
+            let g = app.graph();
+            let gamma = g.repetition_vector().unwrap();
+            for (_, ch) in g.channels() {
+                assert_eq!(
+                    gamma[ch.src()] * ch.production_rate(),
+                    gamma[ch.dst()] * ch.consumption_rate(),
+                    "{name} seed {seed}: channel {} unbalanced",
+                    ch.name()
+                );
+            }
+            assert!(
+                g.actor_ids().all(|a| gamma[a] >= 1),
+                "{name} seed {seed}: γ must be positive"
+            );
+        }
+    }
+}
+
 /// Generated applications are always consistent, live and have a
 /// positive, achievable constraint.
 #[test]
