@@ -8,7 +8,7 @@ use sdfrs_core::binding_aware::BindingAwareGraph;
 use sdfrs_core::dse::{explore, explore_parallel};
 use sdfrs_core::list_sched::construct_schedules;
 use sdfrs_core::thru_cache::ThroughputCache;
-use sdfrs_core::{Allocator, Binding, CostWeights, RecordingSink};
+use sdfrs_core::{Allocator, Binding, CostWeights, Metrics, RecordingSink};
 use sdfrs_fastutil::crit::black_box;
 use sdfrs_platform::{PlatformState, TileId};
 use sdfrs_sdf::analysis::interner::StateInterner;
@@ -96,7 +96,10 @@ fn bench_dse(c: &mut Criterion) {
 
 /// The observability overhead budget: the default `NullSink` must stay
 /// within noise of the pre-instrumentation flow (events are never even
-/// constructed), while a recording observer pays for every event.
+/// constructed), while a recording observer pays for every event. The
+/// same budget applies to metrics: the default `Metrics::null()` handle
+/// is one branch per site, and even a collecting registry only pays for
+/// relaxed atomic increments.
 fn bench_observer_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("observer_overhead");
     let app = paper_example();
@@ -115,6 +118,29 @@ fn bench_observer_overhead(c: &mut Criterion) {
                 .allocate(&app, &arch, &state)
                 .unwrap();
             black_box(sink.len());
+            out
+        })
+    });
+
+    // Metrics off: the `Metrics::null()` default — this is the ≤2%
+    // budget bench against `flow_null_sink`.
+    group.bench_function("flow_metrics_off", |b| {
+        b.iter(|| {
+            Allocator::new()
+                .with_metrics(Metrics::null())
+                .allocate(&app, &arch, &state)
+                .unwrap()
+        })
+    });
+
+    group.bench_function("flow_metrics_on", |b| {
+        b.iter(|| {
+            let metrics = Metrics::collecting();
+            let out = Allocator::new()
+                .with_metrics(metrics.clone())
+                .allocate(&app, &arch, &state)
+                .unwrap();
+            black_box(metrics.snapshot());
             out
         })
     });

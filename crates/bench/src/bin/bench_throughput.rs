@@ -23,7 +23,7 @@ use sdfrs_core::binding_aware::BindingAwareGraph;
 use sdfrs_core::constrained::constrained_throughput;
 use sdfrs_core::list_sched::construct_schedules;
 use sdfrs_core::thru_cache::ThroughputCache;
-use sdfrs_core::{Allocator, Binding};
+use sdfrs_core::{Allocator, Binding, Metrics};
 use sdfrs_platform::mesh::multimedia_platform;
 use sdfrs_platform::{PlatformState, TileId};
 use sdfrs_sdf::analysis::selftimed::SelfTimedExecutor;
@@ -82,11 +82,18 @@ fn example_ba() -> BindingAwareGraph {
 /// Repeats the same end-to-end allocation `rounds` times against an
 /// unchanged platform state — the admission re-check pattern of Sec 10.1.
 /// Returns the phase plus the final cache counters.
-fn admission_repeat(name: &'static str, rounds: usize, cache: ThroughputCache) -> Phase {
+fn admission_repeat(
+    name: &'static str,
+    rounds: usize,
+    cache: ThroughputCache,
+    metrics: &Metrics,
+) -> Phase {
     let app = h263_decoder(0, Rational::new(1, 200_000));
     let arch = multimedia_platform();
     let state = PlatformState::new(&arch);
-    let mut allocator = Allocator::new().with_cache(cache);
+    let mut allocator = Allocator::new()
+        .with_cache(cache)
+        .with_metrics(metrics.clone());
     let mut checks = 0usize;
     let start = Instant::now();
     for _ in 0..rounds {
@@ -111,6 +118,9 @@ fn main() {
         .nth(1)
         .unwrap_or_else(|| "BENCH_throughput.json".into());
     let mut phases: Vec<Phase> = Vec::new();
+    // One registry across every allocator phase; its snapshot rides along
+    // in the report so CI artifacts carry the full counter/histogram set.
+    let metrics = Metrics::collecting();
 
     // --- Phase 1: plain self-timed exploration, paper example (Fig 5a).
     let app = paper_example();
@@ -166,6 +176,7 @@ fn main() {
     let state = PlatformState::new(&arch);
     let start = Instant::now();
     let (_, stats) = Allocator::new()
+        .with_metrics(metrics.clone())
         .allocate(&h263_app, &arch, &state)
         .expect("the H.263 decoder fits an empty multimedia platform");
     phases.push(Phase {
@@ -183,8 +194,14 @@ fn main() {
         "admission_repeat_nocache",
         ROUNDS,
         ThroughputCache::disabled(),
+        &metrics,
     );
-    let on = admission_repeat("admission_repeat_cache", ROUNDS, ThroughputCache::new());
+    let on = admission_repeat(
+        "admission_repeat_cache",
+        ROUNDS,
+        ThroughputCache::new(),
+        &metrics,
+    );
     let speedup = off.wall_ms / on.wall_ms.max(1e-9);
     phases.push(off);
     phases.push(on);
@@ -204,14 +221,19 @@ fn main() {
     }
     eprintln!("cache speedup on repeated admission ({ROUNDS} rounds): {speedup:.2}x");
 
+    let snapshot = metrics
+        .snapshot()
+        .expect("the collecting registry snapshots");
     let json = format!(
         "{{\n  \"harness\": \"bench_throughput\",\n  \"rounds\": {ROUNDS},\n  \
-         \"phases\": [\n{}\n  ],\n  \"cache_speedup\": {speedup:.2}\n}}\n",
+         \"phases\": [\n{}\n  ],\n  \"cache_speedup\": {speedup:.2},\n  \
+         \"metrics\": {}\n}}\n",
         phases
             .iter()
             .map(Phase::json)
             .collect::<Vec<_>>()
-            .join(",\n")
+            .join(",\n"),
+        snapshot.to_json()
     );
     std::fs::write(&out_path, json).expect("report written");
     eprintln!("report written to {out_path}");

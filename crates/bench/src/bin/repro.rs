@@ -15,6 +15,10 @@
 //!
 //! `--quick` shrinks the Table 4/5 experiment (1 sequence × 10 apps
 //! instead of 3 × 40) for smoke runs.
+//!
+//! Every run also writes a machine-readable `BENCH_repro.json` summary
+//! (command, configuration, wall-clock) next to the working directory,
+//! mirroring the `bench_throughput` report convention for CI artifacts.
 
 use std::env;
 use std::time::Instant;
@@ -31,6 +35,7 @@ fn main() {
     } else {
         ExperimentConfig::default()
     };
+    let run_start = Instant::now();
     match command {
         "fig5" => {
             print_fig5();
@@ -79,6 +84,23 @@ fn main() {
             eprintln!("unknown command {other:?}; see the module docs for usage");
             std::process::exit(2);
         }
+    }
+    write_report(command, quick, &config, run_start);
+}
+
+/// Writes the `BENCH_repro.json` run summary.
+fn write_report(command: &str, quick: bool, config: &ExperimentConfig, start: Instant) {
+    let json = format!(
+        "{{\n  \"harness\": \"repro\",\n  \"command\": \"{command}\",\n  \
+         \"quick\": {quick},\n  \"sequences\": {},\n  \
+         \"apps_per_sequence\": {},\n  \"wall_ms\": {:.3}\n}}\n",
+        config.sequences,
+        config.apps_per_sequence,
+        start.elapsed().as_secs_f64() * 1e3
+    );
+    match std::fs::write("BENCH_repro.json", &json) {
+        Ok(()) => eprintln!("report written to BENCH_repro.json"),
+        Err(e) => eprintln!("cannot write BENCH_repro.json: {e}"),
     }
 }
 

@@ -1,7 +1,8 @@
 //! `sdfrs` — command-line driver for the resource-allocation flow.
 //!
 //! ```text
-//! sdfrs [--trace <run.jsonl>] [--verbose] <command> ...
+//! sdfrs [--trace <run.jsonl>] [--verbose]
+//!       [--metrics-out <file>] [--metrics-format prom|json] <command> ...
 //!
 //! sdfrs analyze <app.sdfa>                   consistency, γ, HSDF size, deadlock
 //! sdfrs throughput <app.sdfa>                best-case single-tile throughput
@@ -24,7 +25,11 @@
 //! The global `--trace <file>` option writes every flow event of the
 //! allocating commands (`flow`, `trace`, `verify`, `multiapp`) as JSON
 //! Lines; `--verbose` streams the same events human-readably on stderr.
-//! Command results go to stdout; diagnostics never do.
+//! `--metrics-out <file>` attaches a [`sdfrs_core::MetricsRegistry`] to
+//! the allocator and writes its final snapshot — Prometheus text
+//! exposition by default, or deterministic JSON with
+//! `--metrics-format json`. Command results go to stdout; diagnostics
+//! never do.
 
 use std::fs;
 use std::io::{self, Write};
@@ -33,7 +38,7 @@ use std::process::ExitCode;
 use sdfrs_appmodel::apps;
 use sdfrs_core::cost::CostWeights;
 use sdfrs_core::flow::FlowConfig;
-use sdfrs_core::{Allocator, EventSink, JsonlSink, LogSink, MultiSink, NullSink};
+use sdfrs_core::{Allocator, EventSink, JsonlSink, LogSink, Metrics, MultiSink, NullSink};
 use sdfrs_gen::{AppGenerator, GeneratorConfig};
 use sdfrs_platform::{PlatformState, ProcessorType};
 use sdfrs_sdf::analysis::deadlock::check_deadlock_free;
@@ -79,11 +84,33 @@ fn load_app(path: &str) -> Result<sdfrs_appmodel::ApplicationGraph, String> {
     format::parse_application(&read(path)?).map_err(|e| format!("{path}: {e}"))
 }
 
+/// Export format of `--metrics-out`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MetricsFormat {
+    /// Prometheus text exposition (the default).
+    Prometheus,
+    /// Deterministic JSON.
+    Json,
+}
+
+/// Destination and format parsed from `--metrics-out` / `--metrics-format`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct MetricsExport {
+    path: String,
+    format: MetricsFormat,
+}
+
+/// The parsed global options: remaining arguments, the event sink they
+/// describe, and the optional metrics export destination.
+type GlobalOptions = (Vec<String>, Box<dyn EventSink>, Option<MetricsExport>);
+
 /// Splits the global observability options off the argument list and
-/// builds the event sink they describe.
-fn global_options(args: &[String]) -> Result<(Vec<String>, Box<dyn EventSink>), String> {
+/// builds the event sink (and optional metrics export) they describe.
+fn global_options(args: &[String]) -> Result<GlobalOptions, String> {
     let mut trace_path: Option<String> = None;
     let mut verbose = false;
+    let mut metrics_path: Option<String> = None;
+    let mut metrics_format = MetricsFormat::Prometheus;
     let mut rest = Vec::new();
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
@@ -93,6 +120,19 @@ fn global_options(args: &[String]) -> Result<(Vec<String>, Box<dyn EventSink>), 
             trace_path = Some(p.to_string());
         } else if a == "--verbose" {
             verbose = true;
+        } else if a == "--metrics-out" {
+            metrics_path = Some(
+                iter.next()
+                    .ok_or("--metrics-out needs a file path")?
+                    .clone(),
+            );
+        } else if let Some(p) = a.strip_prefix("--metrics-out=") {
+            metrics_path = Some(p.to_string());
+        } else if a == "--metrics-format" {
+            let f = iter.next().ok_or("--metrics-format needs prom|json")?;
+            metrics_format = parse_metrics_format(f)?;
+        } else if let Some(f) = a.strip_prefix("--metrics-format=") {
+            metrics_format = parse_metrics_format(f)?;
         } else {
             rest.push(a.clone());
         }
@@ -113,11 +153,62 @@ fn global_options(args: &[String]) -> Result<(Vec<String>, Box<dyn EventSink>), 
     } else {
         Box::new(NullSink)
     };
-    Ok((rest, sink))
+    let export = metrics_path.map(|path| MetricsExport {
+        path,
+        format: metrics_format,
+    });
+    Ok((rest, sink, export))
+}
+
+fn parse_metrics_format(spec: &str) -> Result<MetricsFormat, String> {
+    match spec {
+        "prom" | "prometheus" => Ok(MetricsFormat::Prometheus),
+        "json" => Ok(MetricsFormat::Json),
+        other => Err(format!("unknown metrics format {other:?} (prom|json)")),
+    }
+}
+
+/// Writes the registry snapshot to the export destination.
+fn write_metrics(export: &MetricsExport, metrics: &Metrics) -> Result<(), String> {
+    let Some(snapshot) = metrics.snapshot() else {
+        return Ok(());
+    };
+    let text = match export.format {
+        MetricsFormat::Prometheus => snapshot.to_prometheus(),
+        MetricsFormat::Json => {
+            let mut json = snapshot.to_json();
+            json.push('\n');
+            json
+        }
+    };
+    fs::write(&export.path, text).map_err(|e| format!("cannot write metrics {}: {e}", export.path))
 }
 
 fn run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
-    let (args, sink) = global_options(args)?;
+    let (args, sink, export) = global_options(args)?;
+    // One registry for the whole invocation; attached to the allocator
+    // directly (not via `MetricsSink`) so cache and probe internals are
+    // captured too.
+    let metrics = if export.is_some() {
+        Metrics::collecting()
+    } else {
+        Metrics::null()
+    };
+    let result = dispatch(&args, sink, &metrics, out);
+    // Export even when the command fails: a failed allocation's counters
+    // are exactly what a post-mortem wants to see.
+    if let Some(export) = &export {
+        write_metrics(export, &metrics)?;
+    }
+    result
+}
+
+fn dispatch(
+    args: &[String],
+    sink: Box<dyn EventSink>,
+    metrics: &Metrics,
+    out: &mut dyn Write,
+) -> Result<(), String> {
     let command = args.first().map(String::as_str).unwrap_or("help");
     match command {
         "analyze" => analyze(args.get(1).ok_or("analyze needs an application file")?, out),
@@ -130,6 +221,7 @@ fn run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
             args.get(2).ok_or("flow needs a platform file")?,
             &args[3..],
             sink,
+            metrics,
             out,
         ),
         "trace" => trace(
@@ -137,6 +229,7 @@ fn run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
             args.get(2).ok_or("trace needs a platform file")?,
             args.get(3).map(String::as_str).unwrap_or("100"),
             sink,
+            metrics,
             out,
         ),
         "buffers" => buffers(args.get(1).ok_or("buffers needs an application file")?, out),
@@ -144,12 +237,14 @@ fn run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
             args.get(1).ok_or("verify needs an application file")?,
             args.get(2).ok_or("verify needs a platform file")?,
             sink,
+            metrics,
             out,
         ),
         "multiapp" => multiapp(
             args.get(1).ok_or("multiapp needs a platform file")?,
             &args[2..],
             sink,
+            metrics,
             out,
         ),
         "generate" => generate(
@@ -169,6 +264,10 @@ fn run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
             outln!(
                 out,
                 "global options: --trace <run.jsonl> (JSONL flow-event trace), --verbose (log events to stderr)"
+            );
+            outln!(
+                out,
+                "                --metrics-out <file> (export allocator metrics), --metrics-format prom|json"
             );
             Ok(())
         }
@@ -263,6 +362,7 @@ fn flow(
     platform_path: &str,
     options: &[String],
     sink: Box<dyn EventSink>,
+    metrics: &Metrics,
     out: &mut dyn Write,
 ) -> Result<(), String> {
     let app = load_app(app_path)?;
@@ -270,7 +370,9 @@ fn flow(
         .map_err(|e| format!("{platform_path}: {e}"))?;
     let config = flow_config(options)?;
     let state = PlatformState::new(&arch);
-    let mut allocator = Allocator::from_config(config).with_boxed_sink(sink);
+    let mut allocator = Allocator::from_config(config)
+        .with_boxed_sink(sink)
+        .with_metrics(metrics.clone());
     let result = allocator.allocate(&app, &arch, &state);
     allocator.flush();
     let (alloc, stats) = result.map_err(|e| e.to_string())?;
@@ -287,6 +389,7 @@ fn trace(
     platform_path: &str,
     horizon: &str,
     sink: Box<dyn EventSink>,
+    metrics: &Metrics,
     out: &mut dyn Write,
 ) -> Result<(), String> {
     use sdfrs_core::binding_aware::BindingAwareGraph;
@@ -300,7 +403,9 @@ fn trace(
         .parse()
         .map_err(|_| format!("bad horizon {horizon:?}"))?;
     let state = PlatformState::new(&arch);
-    let mut allocator = Allocator::new().with_boxed_sink(sink);
+    let mut allocator = Allocator::new()
+        .with_boxed_sink(sink)
+        .with_metrics(metrics.clone());
     let result = allocator.allocate(&app, &arch, &state);
     allocator.flush();
     let (alloc, _) = result.map_err(|e| e.to_string())?;
@@ -328,6 +433,7 @@ fn verify(
     app_path: &str,
     platform_path: &str,
     sink: Box<dyn EventSink>,
+    metrics: &Metrics,
     out: &mut dyn Write,
 ) -> Result<(), String> {
     use sdfrs_core::verify::verify_allocation;
@@ -335,7 +441,9 @@ fn verify(
     let arch = format::parse_platform(&read(platform_path)?)
         .map_err(|e| format!("{platform_path}: {e}"))?;
     let state = PlatformState::new(&arch);
-    let mut allocator = Allocator::new().with_boxed_sink(sink);
+    let mut allocator = Allocator::new()
+        .with_boxed_sink(sink)
+        .with_metrics(metrics.clone());
     let result = allocator.allocate(&app, &arch, &state);
     allocator.flush();
     let (alloc, _) = result.map_err(|e| e.to_string())?;
@@ -362,6 +470,7 @@ fn multiapp(
     platform_path: &str,
     app_paths: &[String],
     sink: Box<dyn EventSink>,
+    metrics: &Metrics,
     out: &mut dyn Write,
 ) -> Result<(), String> {
     if app_paths.is_empty() {
@@ -375,7 +484,9 @@ fn multiapp(
         let parsed = format::parse_applications(&read(p)?).map_err(|e| format!("{p}: {e}"))?;
         apps.extend(parsed);
     }
-    let mut allocator = Allocator::new().with_boxed_sink(sink);
+    let mut allocator = Allocator::new()
+        .with_boxed_sink(sink)
+        .with_metrics(metrics.clone());
     let result = allocator.allocate_sequence(&apps, &arch);
     allocator.flush();
     for (i, alloc) in result.allocations.iter().enumerate() {
@@ -560,14 +671,50 @@ mod tests {
 
     #[test]
     fn global_options_are_extracted_anywhere() {
-        let (rest, sink) =
+        let (rest, sink, export) =
             global_options(&["flow".into(), "--verbose".into(), "x".into()]).unwrap();
         assert_eq!(rest, vec!["flow".to_string(), "x".to_string()]);
         assert!(sink.enabled());
-        let (rest, sink) = global_options(&["flow".into(), "a".into()]).unwrap();
+        assert!(export.is_none());
+        let (rest, sink, export) = global_options(&["flow".into(), "a".into()]).unwrap();
         assert_eq!(rest.len(), 2);
         assert!(!sink.enabled(), "no options ⇒ the zero-overhead NullSink");
+        assert!(export.is_none());
         assert!(global_options(&["--trace".into()]).is_err());
+    }
+
+    #[test]
+    fn metrics_options_are_parsed() {
+        let (rest, _, export) = global_options(&[
+            "flow".into(),
+            "--metrics-out".into(),
+            "m.prom".into(),
+            "x".into(),
+        ])
+        .unwrap();
+        assert_eq!(rest, vec!["flow".to_string(), "x".to_string()]);
+        let export = export.unwrap();
+        assert_eq!(export.path, "m.prom");
+        assert_eq!(export.format, MetricsFormat::Prometheus);
+
+        let (_, _, export) = global_options(&[
+            "--metrics-out=m.json".into(),
+            "--metrics-format=json".into(),
+        ])
+        .unwrap();
+        assert_eq!(
+            export,
+            Some(MetricsExport {
+                path: "m.json".into(),
+                format: MetricsFormat::Json,
+            })
+        );
+
+        assert!(global_options(&["--metrics-out".into()]).is_err());
+        assert!(global_options(&["--metrics-format".into(), "xml".into()]).is_err());
+        // A format without a destination is accepted and simply inert.
+        let (_, _, export) = global_options(&["--metrics-format".into(), "prom".into()]).unwrap();
+        assert!(export.is_none());
     }
 
     #[test]

@@ -119,6 +119,138 @@ fn trace_option_writes_a_parseable_jsonl_flow_trace() {
     let _ = std::fs::remove_file(trace);
 }
 
+/// Pulls the value of an unlabelled Prometheus sample out of an
+/// exposition text.
+fn prom_value(text: &str, name: &str) -> u64 {
+    text.lines()
+        .find_map(|l| l.strip_prefix(&format!("{name} ")))
+        .unwrap_or_else(|| panic!("{name} missing from exposition:\n{text}"))
+        .trim()
+        .parse()
+        .unwrap_or_else(|_| panic!("{name} has an integer value"))
+}
+
+#[test]
+fn metrics_out_prometheus_reconciles_with_the_event_trace() {
+    let (app_text, _, _) = sdfrs(&["example", "paper"]);
+    let (platform_text, _, _) = sdfrs(&["example", "platform"]);
+    let app = write_temp("p_app.sdfa", &app_text);
+    let platform = write_temp("p_platform.sdfp", &platform_text);
+    let prom = std::env::temp_dir().join(format!("sdfrs_test_{}_m.prom", std::process::id()));
+    let trace = std::env::temp_dir().join(format!("sdfrs_test_{}_m.jsonl", std::process::id()));
+
+    let (out, err, ok) = sdfrs(&[
+        "--metrics-out",
+        prom.to_str().unwrap(),
+        "--trace",
+        trace.to_str().unwrap(),
+        "flow",
+        app.to_str().unwrap(),
+        platform.to_str().unwrap(),
+    ]);
+    assert!(ok, "stdout: {out}\nstderr: {err}");
+    assert!(out.contains("guaranteed throughput: 1/30"), "{out}");
+
+    let text = std::fs::read_to_string(&prom).expect("metrics file exists");
+    let events = std::fs::read_to_string(&trace).expect("trace file exists");
+
+    // Counters reconcile exactly with the independent event trace.
+    let hits = prom_value(&text, "sdfrs_cache_hits_total");
+    let misses = prom_value(&text, "sdfrs_cache_misses_total");
+    let probes = events
+        .lines()
+        .filter(|l| l.contains("\"event\":\"slice_probe\""))
+        .count() as u64;
+    let hit_events = events
+        .lines()
+        .filter(|l| l.contains("\"event\":\"slice_probe\"") && l.contains("\"cache_hit\":true"))
+        .count() as u64;
+    assert_eq!(hits + misses, probes, "{text}");
+    assert_eq!(hits, hit_events, "{text}");
+    assert_eq!(prom_value(&text, "sdfrs_throughput_checks_total"), probes);
+    assert_eq!(
+        prom_value(&text, "sdfrs_global_slice_iterations_total")
+            + prom_value(&text, "sdfrs_refine_slice_iterations_total"),
+        probes,
+        "every probe belongs to the global search or a refinement pass"
+    );
+
+    let attempts = prom_value(&text, "sdfrs_bind_attempts_total");
+    let attempt_events = events
+        .lines()
+        .filter(|l| l.contains("\"event\":\"bind_attempt\""))
+        .count() as u64;
+    assert_eq!(attempts, attempt_events);
+
+    // Phase spans: one flow run, each phase entered at least once, and
+    // the parented phases never outlive the flow.
+    assert_eq!(
+        prom_value(&text, "sdfrs_phase_calls_total{phase=\"flow\"}"),
+        1
+    );
+    for phase in ["bind", "schedule", "slice"] {
+        assert!(
+            prom_value(
+                &text,
+                &format!("sdfrs_phase_calls_total{{phase=\"{phase}\"}}")
+            ) >= 1,
+            "{phase} phase recorded"
+        );
+    }
+    assert_eq!(prom_value(&text, "sdfrs_flows_started_total"), 1);
+    assert_eq!(prom_value(&text, "sdfrs_flows_succeeded_total"), 1);
+    // Histogram plumbing: probe-length buckets are cumulative and end at +Inf.
+    assert!(
+        text.contains("sdfrs_probe_states_bucket{le=\"+Inf\"}"),
+        "{text}"
+    );
+
+    let _ = std::fs::remove_file(app);
+    let _ = std::fs::remove_file(platform);
+    let _ = std::fs::remove_file(prom);
+    let _ = std::fs::remove_file(trace);
+}
+
+#[test]
+fn metrics_format_json_writes_deterministic_json() {
+    let (app_text, _, _) = sdfrs(&["example", "paper"]);
+    let (platform_text, _, _) = sdfrs(&["example", "platform"]);
+    let app = write_temp("j_app.sdfa", &app_text);
+    let platform = write_temp("j_platform.sdfp", &platform_text);
+    let json = std::env::temp_dir().join(format!("sdfrs_test_{}_m.json", std::process::id()));
+
+    let (out, err, ok) = sdfrs(&[
+        "--metrics-out",
+        json.to_str().unwrap(),
+        "--metrics-format",
+        "json",
+        "flow",
+        app.to_str().unwrap(),
+        platform.to_str().unwrap(),
+    ]);
+    assert!(ok, "stdout: {out}\nstderr: {err}");
+
+    let text = std::fs::read_to_string(&json).expect("metrics file exists");
+    let trimmed = text.trim();
+    assert!(trimmed.starts_with('{') && trimmed.ends_with('}'), "{text}");
+    for key in [
+        "\"counters\"",
+        "\"cache_hits\"",
+        "\"histograms\"",
+        "\"phases\"",
+    ] {
+        assert!(trimmed.contains(key), "missing {key}: {text}");
+    }
+    assert!(
+        !trimmed.contains("\"flows_started\":0"),
+        "the flow run is visible in the counters: {text}"
+    );
+
+    let _ = std::fs::remove_file(app);
+    let _ = std::fs::remove_file(platform);
+    let _ = std::fs::remove_file(json);
+}
+
 #[test]
 fn verbose_option_logs_events_to_stderr_not_stdout() {
     let (app_text, _, _) = sdfrs(&["example", "paper"]);

@@ -34,7 +34,7 @@ use std::time::Duration;
 
 use sdfrs_core::cost::CostWeights;
 use sdfrs_core::flow::FlowConfig;
-use sdfrs_core::FlowEvent;
+use sdfrs_core::{FlowEvent, MetricsSnapshot};
 pub use sdfrs_gen::{Scenario, ScenarioConfig};
 
 /// Deliberate defects for exercising the harness itself: prove that a
@@ -146,6 +146,10 @@ pub struct ScenarioReport {
     /// The base run's event stream (only with
     /// [`HarnessConfig::keep_events`]).
     pub events: Vec<(Duration, FlowEvent)>,
+    /// Metrics registry snapshot of the base run (always collected — the
+    /// reconciliation oracle compares it against `FlowStats` and the
+    /// event stream).
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl ScenarioReport {
@@ -185,7 +189,20 @@ impl ScenarioReport {
             }
             out.push_str(&format!("\"{}\"", o.as_str()));
         }
-        out.push_str("]}");
+        out.push(']');
+        if let Some(m) = &self.metrics {
+            // Counters only: a full snapshot (histograms, per-tile
+            // vectors) would dwarf the result line.
+            out.push_str(",\"metrics\":{");
+            for (i, (name, value)) in m.counters.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{name}\":{value}"));
+            }
+            out.push('}');
+        }
+        out.push('}');
         out
     }
 }

@@ -8,7 +8,10 @@
 use sdfrs_core::dse::{self, DseResult};
 use sdfrs_core::flow::{Allocation, FlowStats};
 use sdfrs_core::verify::verify_allocation;
-use sdfrs_core::{Allocator, Binding, BindingAwareGraph, FlowEvent, MapError, RecordingSink};
+use sdfrs_core::{
+    Allocator, Binding, BindingAwareGraph, FlowEvent, MapError, Metrics, MetricsSnapshot,
+    RecordingSink,
+};
 use sdfrs_gen::Scenario;
 use sdfrs_platform::PlatformState;
 use sdfrs_sdf::analysis::selftimed::SelfTimedExecutor;
@@ -27,10 +30,13 @@ pub(crate) fn run_panel(scenario: &Scenario, config: &HarnessConfig) -> Scenario
     let state = PlatformState::new(arch);
 
     let sink = RecordingSink::new();
+    let metrics = Metrics::collecting();
     let base: FlowOutcome = Allocator::from_config(config.flow)
         .with_sink(sink.clone())
+        .with_metrics(metrics.clone())
         .allocate(app, arch, &state);
     let events = sink.events();
+    let snapshot = metrics.snapshot();
 
     let mut failures = Vec::new();
     let mut skipped = Vec::new();
@@ -52,9 +58,10 @@ pub(crate) fn run_panel(scenario: &Scenario, config: &HarnessConfig) -> Scenario
     }
 
     // Oracle 5 — event reconciliation: the recorded stream must agree
-    // with the aggregate counters the flow returned.
+    // with the aggregate counters the flow returned, and the metrics
+    // registry (a third, independently-written tally) with both.
     if let Ok((_, stats)) = &base {
-        reconcile_events(&events, stats, &mut failures);
+        reconcile_events(&events, stats, snapshot.as_ref(), &mut failures);
     }
 
     // Oracle 2 — cache consistency: a cache-disabled run recomputes every
@@ -109,6 +116,7 @@ pub(crate) fn run_panel(scenario: &Scenario, config: &HarnessConfig) -> Scenario
         } else {
             Vec::new()
         },
+        metrics: snapshot,
     }
 }
 
@@ -212,11 +220,13 @@ fn compare_dse(seq: &DseResult, par: &DseResult, failures: &mut Vec<OracleFailur
     }
 }
 
-/// Oracle 5: the event stream and the aggregate [`FlowStats`] are written
-/// by independent code paths; any drift means one of them lies.
+/// Oracle 5: the event stream, the aggregate [`FlowStats`], and the
+/// metrics registry snapshot are written by independent code paths; any
+/// drift means one of them lies.
 fn reconcile_events(
     events: &[(std::time::Duration, FlowEvent)],
     stats: &FlowStats,
+    snapshot: Option<&MetricsSnapshot>,
     failures: &mut Vec<OracleFailure>,
 ) {
     let fail = |detail: String| OracleFailure {
@@ -274,6 +284,36 @@ fn reconcile_events(
              stats.schedule_states = {}",
             stats.schedule_states
         )));
+    }
+
+    // The registry counts at the same sites the stats deltas derive from,
+    // through entirely separate plumbing — a fresh single-run allocator
+    // must therefore agree exactly.
+    if let Some(m) = snapshot {
+        let pairs: [(&str, usize); 7] = [
+            ("bind_attempts", stats.bind_attempts),
+            ("throughput_checks", stats.throughput_checks),
+            ("global_slice_iterations", stats.global_slice_iterations),
+            ("refine_slice_iterations", stats.refine_slice_iterations),
+            ("cache_hits", stats.cache_hits),
+            ("cache_misses", stats.cache_misses),
+            ("schedule_states", stats.schedule_states),
+        ];
+        for (name, expected) in pairs {
+            let got = m.counter(name);
+            if got != expected as u64 {
+                failures.push(fail(format!(
+                    "metrics counter {name} = {got} but stats say {expected}"
+                )));
+            }
+        }
+        if m.counter("flows_started") != 1 || m.counter("flows_succeeded") != 1 {
+            failures.push(fail(format!(
+                "metrics saw {} flows started / {} succeeded on a single successful run",
+                m.counter("flows_started"),
+                m.counter("flows_succeeded")
+            )));
+        }
     }
 }
 

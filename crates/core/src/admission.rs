@@ -148,6 +148,7 @@ pub fn allocate_best_fit_with(
         match best {
             Some((i, alloc, stats, _)) => {
                 alloc.claim_on(arch, &mut state);
+                allocator.metric(|m| m.admission_admitted.inc());
                 allocator.emit(|| FlowEvent::AdmissionDecision {
                     index: i,
                     app: apps[i].graph().name().to_string(),
@@ -161,6 +162,7 @@ pub fn allocate_best_fit_with(
                 // Nothing fits any more: everything left is rejected.
                 for (i, e) in &round_errors {
                     let (i, e) = (*i, e.clone());
+                    allocator.metric(|m| m.admission_rejected.inc());
                     allocator.emit(|| FlowEvent::AdmissionDecision {
                         index: i,
                         app: apps[i].graph().name().to_string(),
@@ -231,6 +233,7 @@ pub fn allocate_skipping_failures_with(
         match allocator.allocate(&apps[i], arch, &state) {
             Ok((alloc, stats)) => {
                 alloc.claim_on(arch, &mut state);
+                allocator.metric(|m| m.admission_admitted.inc());
                 allocator.emit(|| FlowEvent::AdmissionDecision {
                     index: i,
                     app: apps[i].graph().name().to_string(),
@@ -240,6 +243,7 @@ pub fn allocate_skipping_failures_with(
                 admitted.push((i, alloc, stats));
             }
             Err(e) => {
+                allocator.metric(|m| m.admission_rejected.inc());
                 allocator.emit(|| FlowEvent::AdmissionDecision {
                     index: i,
                     app: apps[i].graph().name().to_string(),

@@ -44,6 +44,7 @@ use crate::dse::DseResult;
 use crate::error::MapError;
 use crate::events::{EventSink, FlowEvent, FlowObserver, NullSink};
 use crate::flow::{Allocation, FlowConfig, FlowStats};
+use crate::metrics::{Metrics, MetricsRegistry};
 use crate::multi_app::MultiAppResult;
 use crate::thru_cache::ThroughputCache;
 
@@ -57,6 +58,7 @@ pub struct Allocator {
     config: FlowConfig,
     cache: ThroughputCache,
     sink: Box<dyn EventSink>,
+    metrics: Metrics,
     epoch: Instant,
 }
 
@@ -88,6 +90,7 @@ impl Allocator {
             config,
             cache: ThroughputCache::new(),
             sink: Box::new(NullSink),
+            metrics: Metrics::null(),
             epoch: Instant::now(),
         }
     }
@@ -113,6 +116,7 @@ impl Allocator {
     #[must_use]
     pub fn with_cache(mut self, cache: ThroughputCache) -> Self {
         self.cache = cache;
+        self.cache.set_metrics(self.metrics.clone());
         self
     }
 
@@ -122,6 +126,7 @@ impl Allocator {
     #[must_use]
     pub fn with_cache_disabled(mut self) -> Self {
         self.cache = ThroughputCache::disabled();
+        self.cache.set_metrics(self.metrics.clone());
         self
     }
 
@@ -132,6 +137,23 @@ impl Allocator {
     #[must_use]
     pub fn with_parallelism(mut self, parallel: bool) -> Self {
         self.config.slice.parallel = parallel;
+        self
+    }
+
+    /// Attaches a metrics handle: counters, histograms and phase spans
+    /// are recorded into its registry on every subsequent run. Accepts
+    /// [`Metrics`], an `Arc<`[`MetricsRegistry`]`>`, a bare
+    /// [`MetricsRegistry`], or
+    /// [`NullMetrics`](crate::metrics::NullMetrics) to switch recording
+    /// off again.
+    ///
+    /// Do not also route this allocator's events into a
+    /// [`MetricsSink`](crate::events::MetricsSink) over the *same*
+    /// registry — everything would be counted twice.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: impl Into<Metrics>) -> Self {
+        self.metrics = metrics.into();
+        self.cache.set_metrics(self.metrics.clone());
         self
     }
 
@@ -163,6 +185,12 @@ impl Allocator {
     /// The evaluation cache.
     pub fn cache(&self) -> &ThroughputCache {
         &self.cache
+    }
+
+    /// The attached metrics handle (null unless
+    /// [`with_metrics`](Self::with_metrics) was called).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
     }
 
     /// Consumes the allocator, returning its cache (to seed another
@@ -197,9 +225,10 @@ impl Allocator {
             config,
             cache,
             sink,
+            metrics,
             epoch,
         } = self;
-        let mut obs = FlowObserver::with_epoch(sink.as_mut(), *epoch);
+        let mut obs = FlowObserver::with_epoch(sink.as_mut(), *epoch).with_metrics(metrics.clone());
         crate::flow::allocate_inner(app, arch, state, config, cache, &mut obs)
     }
 
@@ -259,6 +288,12 @@ impl Allocator {
             let at = self.epoch.elapsed();
             self.sink.record(at, &make());
         }
+    }
+
+    /// Records into the metrics registry, if one is attached (used by
+    /// the admission, multi-application and DSE protocols).
+    pub(crate) fn metric(&self, f: impl FnOnce(&MetricsRegistry)) {
+        self.metrics.record(f);
     }
 }
 

@@ -202,6 +202,13 @@ pub fn bind_actors_observed(
             binding.bind(actor, tile);
             let accepted = binding_constraints_hold(app, arch, state, &binding);
             obs.counters.bind_attempts += 1;
+            obs.metrics().record(|m| {
+                m.bind_attempts.inc();
+                m.bind_attempts_per_tile.add(tile.index(), 1);
+                if accepted {
+                    m.bind_accepted.inc();
+                }
+            });
             obs.emit(|| FlowEvent::BindAttempt {
                 pass: BindPass::FirstFit,
                 actor: app.graph().actor(actor).name().to_string(),
@@ -242,6 +249,13 @@ pub fn bind_actors_observed(
                 binding.bind(actor, tile);
                 let accepted = binding_constraints_hold(app, arch, state, &binding);
                 obs.counters.bind_attempts += 1;
+                obs.metrics().record(|m| {
+                    m.bind_attempts.inc();
+                    m.bind_attempts_per_tile.add(tile.index(), 1);
+                    if accepted {
+                        m.bind_accepted.inc();
+                    }
+                });
                 obs.emit(|| FlowEvent::BindAttempt {
                     pass: BindPass::Rebind,
                     actor: app.graph().actor(actor).name().to_string(),
@@ -260,6 +274,7 @@ pub fn bind_actors_observed(
             }
             let landed = binding.tile_of(actor).expect("actor rebound or restored");
             if landed != original {
+                obs.metrics().record(|m| m.actors_rebound.inc());
                 obs.emit(|| FlowEvent::ActorRebound {
                     actor: app.graph().actor(actor).name().to_string(),
                     from: original.index(),

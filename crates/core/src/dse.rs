@@ -119,6 +119,7 @@ pub fn explore_with(
     let mut failures = Vec::new();
     for (w, model, outcome) in sweep_outcomes(app, arch, state, weights, &base, false) {
         let ok = outcome.is_ok();
+        allocator.metric(|m| m.dse_points.inc());
         allocator.emit(|| FlowEvent::DsePointEvaluated {
             weights: w.to_string(),
             connection_model: format!("{model:?}"),

@@ -36,6 +36,8 @@ use std::time::{Duration, Instant};
 
 use sdfrs_sdf::Rational;
 
+use crate::metrics::Metrics;
+
 /// The three phases of the allocation strategy (Sec 9).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FlowPhase {
@@ -813,6 +815,46 @@ impl EventSink for MultiSink {
     }
 }
 
+/// A sink that folds every event into a
+/// [`MetricsRegistry`](crate::metrics::MetricsRegistry) via
+/// [`record_event`](crate::metrics::MetricsRegistry::record_event) —
+/// the bridge between the event stream and the metrics layer, for
+/// consumers that only see events (a replayed trace, a remote stream).
+///
+/// Do **not** combine it with
+/// [`Allocator::with_metrics`](crate::Allocator::with_metrics) on the
+/// *same* registry: the flow would then record every observation twice
+/// (once directly, once through the event bridge).
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSink {
+    metrics: Metrics,
+}
+
+impl MetricsSink {
+    /// A sink recording into `metrics` (a null handle makes the sink
+    /// report `enabled() == false`, i.e. behave like [`NullSink`]).
+    pub fn new(metrics: impl Into<Metrics>) -> Self {
+        MetricsSink {
+            metrics: metrics.into(),
+        }
+    }
+
+    /// The handle events are folded into.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+}
+
+impl EventSink for MetricsSink {
+    fn record(&mut self, _at: Duration, event: &FlowEvent) {
+        self.metrics.record(|registry| registry.record_event(event));
+    }
+
+    fn enabled(&self) -> bool {
+        self.metrics.enabled()
+    }
+}
+
 /// Lightweight per-run iteration counters, aggregated into
 /// [`FlowStats`](crate::FlowStats). Kept outside the event path so the
 /// counts exist even under the [`NullSink`].
@@ -835,6 +877,7 @@ pub struct FlowObserver<'s> {
     epoch: Instant,
     enabled: bool,
     pub(crate) counters: StepCounters,
+    metrics: Metrics,
 }
 
 impl<'s> FlowObserver<'s> {
@@ -853,7 +896,22 @@ impl<'s> FlowObserver<'s> {
             epoch,
             enabled,
             counters: StepCounters::default(),
+            metrics: Metrics::null(),
         }
+    }
+
+    /// Attaches a metrics handle: instrumentation sites record their
+    /// counters and histograms through it alongside the events.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: Metrics) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// The attached metrics handle (null unless
+    /// [`with_metrics`](Self::with_metrics) was called).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
     }
 
     /// `true` if emitted events reach a sink (construction is worthwhile).

@@ -12,7 +12,7 @@
 //! functions [`allocate`] and [`allocate_with_cache`] remain as
 //! deprecated shims over it.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use sdfrs_appmodel::ApplicationGraph;
 use sdfrs_platform::{ArchitectureGraph, PlatformState, TileUsage};
@@ -27,6 +27,7 @@ use crate::cost::CostWeights;
 use crate::error::MapError;
 use crate::events::{FlowEvent, FlowObserver, FlowPhase, NullSink};
 use crate::list_sched::ListScheduler;
+use crate::metrics::SpanKind;
 use crate::resources::allocation_usage;
 use crate::slice::{allocate_slices_observed, SliceConfig};
 use crate::thru_cache::ThroughputCache;
@@ -359,13 +360,21 @@ pub(crate) fn allocate_inner(
         tiles: arch.tile_count(),
         constraint: app.throughput_constraint(),
     });
-    let run_start = Instant::now();
+    obs.metrics().record(|m| m.flows_started.inc());
+    // One measurement feeds the `FlowFinished` duration *and* the `flow`
+    // profiler span, so the trace and the metrics reconcile exactly.
+    let run_span = obs.metrics().span(SpanKind::Flow);
     let result = allocate_steps(app, arch, state, config, cache, obs);
     let ok = result.is_ok();
-    obs.emit(|| FlowEvent::FlowFinished {
-        ok,
-        duration: run_start.elapsed(),
+    let duration = run_span.finish();
+    obs.metrics().record(|m| {
+        if ok {
+            m.flows_succeeded.inc();
+        } else {
+            m.flows_failed.inc();
+        }
     });
+    obs.emit(|| FlowEvent::FlowFinished { ok, duration });
     result
 }
 
@@ -387,9 +396,9 @@ fn allocate_steps(
     obs.emit(|| FlowEvent::PhaseStarted {
         phase: FlowPhase::Binding,
     });
-    let t0 = Instant::now();
+    let span = obs.metrics().span(SpanKind::Bind);
     let binding = bind_actors_observed(app, arch, state, &config.bind, obs)?;
-    stats.binding_time = t0.elapsed();
+    stats.binding_time = span.finish();
     obs.emit(|| FlowEvent::PhaseFinished {
         phase: FlowPhase::Binding,
         duration: stats.binding_time,
@@ -400,7 +409,7 @@ fn allocate_steps(
     obs.emit(|| FlowEvent::PhaseStarted {
         phase: FlowPhase::Scheduling,
     });
-    let t0 = Instant::now();
+    let span = obs.metrics().span(SpanKind::Schedule);
     let half: Vec<u64> = arch
         .tile_ids()
         .map(|t| (state.available_wheel(arch, t) / 2).max(1))
@@ -410,7 +419,7 @@ fn allocate_steps(
     let schedules = ListScheduler::new(&ba)
         .with_state_budget(config.schedule_state_budget)
         .construct_observed(obs)?;
-    stats.scheduling_time = t0.elapsed();
+    stats.scheduling_time = span.finish();
     obs.emit(|| FlowEvent::PhaseFinished {
         phase: FlowPhase::Scheduling,
         duration: stats.scheduling_time,
@@ -420,7 +429,7 @@ fn allocate_steps(
     obs.emit(|| FlowEvent::PhaseStarted {
         phase: FlowPhase::SliceAllocation,
     });
-    let t0 = Instant::now();
+    let span = obs.metrics().span(SpanKind::Slice);
     let slice_alloc = allocate_slices_observed(
         &mut ba,
         &schedules,
@@ -432,7 +441,7 @@ fn allocate_steps(
         cache,
         obs,
     )?;
-    stats.slice_time = t0.elapsed();
+    stats.slice_time = span.finish();
     obs.emit(|| FlowEvent::PhaseFinished {
         phase: FlowPhase::SliceAllocation,
         duration: stats.slice_time,

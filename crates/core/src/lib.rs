@@ -24,7 +24,10 @@
 //! admission ordering/skipping and platform dimensioning, storage
 //! distribution minimization), and [`gantt`] renders execution traces.
 //! Every phase of every run reports typed [`events::FlowEvent`]s through
-//! the allocator's pluggable [`events::EventSink`].
+//! the allocator's pluggable [`events::EventSink`], and the [`metrics`]
+//! module measures the work behind those decisions — atomic counters,
+//! fixed-bucket histograms and a hierarchical phase profiler with
+//! Prometheus / JSON exporters.
 //!
 //! # Example
 //!
@@ -59,6 +62,7 @@ pub mod events;
 pub mod flow;
 pub mod gantt;
 pub mod list_sched;
+pub mod metrics;
 pub mod multi_app;
 pub mod report;
 pub mod resources;
@@ -78,10 +82,12 @@ pub use constrained::{
 pub use cost::CostWeights;
 pub use error::MapError;
 pub use events::{
-    EventSink, FlowEvent, FlowPhase, JsonlSink, LogSink, MultiSink, NullSink, RecordingSink,
+    EventSink, FlowEvent, FlowPhase, JsonlSink, LogSink, MetricsSink, MultiSink, NullSink,
+    RecordingSink,
 };
 #[allow(deprecated)]
 pub use flow::{allocate, allocate_with_cache};
 pub use flow::{Allocation, FlowConfig, FlowStats};
+pub use metrics::{Metrics, MetricsRegistry, MetricsSnapshot, NullMetrics};
 pub use schedule::StaticOrderSchedule;
 pub use thru_cache::ThroughputCache;

@@ -277,6 +277,10 @@ impl<'a> ListScheduler<'a> {
     /// See [`construct`](Self::construct).
     pub fn construct_observed(self, obs: &mut FlowObserver<'_>) -> Result<TileSchedules, SdfError> {
         let schedules = self.construct_raw_observed(obs)?.minimized();
+        obs.metrics().record(|m| {
+            m.schedules_constructed
+                .add(schedules.tiles().count() as u64)
+        });
         if obs.enabled() {
             for tile in schedules.tiles() {
                 let s = schedules.get(tile).expect("tiles() yields set tiles");
@@ -341,6 +345,8 @@ impl<'a> ListScheduler<'a> {
             match seen.entry(self.snapshot()) {
                 Entry::Occupied(prev) => {
                     obs.counters.schedule_states += states;
+                    obs.metrics()
+                        .record(|m| m.schedule_states.add(states as u64));
                     obs.emit(|| FlowEvent::ScheduleRecurrence { states });
                     let first_lens = prev.get().clone();
                     let mut schedules = TileSchedules::new(self.sequences.len());

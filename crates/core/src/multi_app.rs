@@ -80,6 +80,7 @@ pub fn allocate_until_failure_with(
                 alloc.claim_on(arch, &mut state);
                 allocations.push(alloc);
                 stats.push(s);
+                allocator.metric(|m| m.admission_admitted.inc());
                 allocator.emit(|| FlowEvent::AdmissionDecision {
                     index,
                     app: app.graph().name().to_string(),
@@ -88,6 +89,7 @@ pub fn allocate_until_failure_with(
                 });
             }
             Err(e) => {
+                allocator.metric(|m| m.admission_rejected.inc());
                 allocator.emit(|| FlowEvent::AdmissionDecision {
                     index,
                     app: app.graph().name().to_string(),

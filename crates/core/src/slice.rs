@@ -214,6 +214,7 @@ pub fn allocate_slices_observed(
         cache,
     )?;
     obs.counters.global_slice_iterations += 1;
+    obs.metrics().record(|m| m.global_slice_iterations.inc());
     let full_feasible = thr_full.iteration_throughput >= lambda;
     obs.emit(|| FlowEvent::SliceProbe {
         scope: SliceScope::Global {
@@ -249,6 +250,7 @@ pub fn allocate_slices_observed(
             cache,
         )?;
         obs.counters.global_slice_iterations += 1;
+        obs.metrics().record(|m| m.global_slice_iterations.inc());
         obs.emit(|| FlowEvent::SliceProbe {
             scope: SliceScope::Global { k: mid, of: big_k },
             slices: candidate.clone(),
@@ -343,6 +345,12 @@ pub fn allocate_slices_observed(
                 let (proposed, local_checks, local_cache, probes) = proposal?;
                 checks += local_checks;
                 obs.counters.refine_slice_iterations += local_checks;
+                // Recorded in the (sequential) join so counter totals and
+                // bucket counts never depend on thread interleaving.
+                obs.metrics().record(|m| {
+                    m.refine_slice_iterations.add(local_checks as u64);
+                    m.refine_search_iters.observe(local_checks as u64);
+                });
                 cache.absorb(local_cache);
                 let t = used[i];
                 for (tried, probe_slices, thr, feasible, hit) in probes {
@@ -373,6 +381,7 @@ pub fn allocate_slices_observed(
                     cache,
                 )?;
                 obs.counters.refine_slice_iterations += 1;
+                obs.metrics().record(|m| m.refine_slice_iterations.inc());
                 let feasible = thr.iteration_throughput >= lambda;
                 obs.emit(|| FlowEvent::SliceProbe {
                     scope: SliceScope::Commit {
@@ -405,6 +414,7 @@ pub fn allocate_slices_observed(
             cache,
         )?;
         obs.counters.refine_slice_iterations += 1;
+        obs.metrics().record(|m| m.refine_slice_iterations.inc());
         best_thr = final_thr;
         obs.emit(|| FlowEvent::SliceProbe {
             scope: SliceScope::Final,

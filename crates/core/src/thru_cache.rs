@@ -16,12 +16,15 @@
 //! the full key, so a hash collision can never return a wrong result.
 //! Hit/miss counters expose how much work the cache saved.
 
+use std::time::Instant;
+
 use sdfrs_fastutil::FxHashMap;
 use sdfrs_sdf::analysis::selftimed::ThroughputResult;
 use sdfrs_sdf::{ActorId, SdfError};
 
 use crate::binding_aware::BindingAwareGraph;
 use crate::constrained::{ConstrainedExecutor, TileSchedules};
+use crate::metrics::{Metrics, SpanKind};
 
 /// Encodes everything that determines a constrained-throughput result
 /// into `out`. Injective for a fixed encoding version: every field is
@@ -90,6 +93,11 @@ pub struct ThroughputCache {
     misses: usize,
     scratch: Vec<u64>,
     bypass: bool,
+    metrics: Metrics,
+    /// Forks record hits/misses/probes into the shared registry
+    /// directly, but leave the `cache_entries` gauge to the main cache:
+    /// fork residency is speculative until [`absorb`](Self::absorb).
+    is_fork: bool,
 }
 
 impl ThroughputCache {
@@ -130,12 +138,30 @@ impl ThroughputCache {
 
     /// Drops all memoized evaluations; counters keep accumulating.
     pub fn clear(&mut self) {
+        let evicted = self.map.len() as u64;
         self.map.clear();
+        let is_fork = self.is_fork;
+        self.metrics.record(|m| {
+            m.cache_evictions.add(evicted);
+            if !is_fork {
+                m.cache_entries.set(0);
+            }
+        });
+    }
+
+    /// Attaches a metrics handle: every hit, miss and exploration is
+    /// recorded through it from now on.
+    /// [`Allocator::with_metrics`](crate::Allocator::with_metrics) calls
+    /// this for the cache it owns.
+    pub fn set_metrics(&mut self, metrics: impl Into<Metrics>) {
+        self.metrics = metrics.into();
     }
 
     /// A copy carrying the same memo table but zeroed counters: the seed
     /// for a (parallel) search task's local cache. [`absorb`](Self::absorb)
-    /// of a fork then adds exactly the task's own hits and misses.
+    /// of a fork then adds exactly the task's own hits and misses. The
+    /// fork shares the metrics registry (its recordings are live) but
+    /// never touches the residency gauge.
     pub fn fork(&self) -> ThroughputCache {
         ThroughputCache {
             map: self.map.clone(),
@@ -143,6 +169,8 @@ impl ThroughputCache {
             misses: 0,
             scratch: Vec::new(),
             bypass: self.bypass,
+            metrics: self.metrics.clone(),
+            is_fork: true,
         }
     }
 
@@ -150,11 +178,19 @@ impl ThroughputCache {
     /// adopted (first writer wins on duplicates — both sides computed the
     /// same result) and hit/miss counters accumulate. Folds the local
     /// caches of parallel search tasks back into the shared cache.
+    ///
+    /// Registry counters are *not* re-recorded here — a fork records its
+    /// hits and misses live; absorbing only folds the per-run `usize`
+    /// counters [`FlowStats`](crate::FlowStats) deltas derive from.
     pub fn absorb(&mut self, other: ThroughputCache) {
         self.hits += other.hits;
         self.misses += other.misses;
         for (key, value) in other.map {
             self.map.entry(key).or_insert(value);
+        }
+        if !self.is_fork {
+            let entries = self.map.len() as u64;
+            self.metrics.record(|m| m.cache_entries.set(entries));
         }
     }
 
@@ -171,23 +207,63 @@ impl ThroughputCache {
     ) -> Result<ThroughputResult, SdfError> {
         if self.bypass {
             self.misses += 1;
-            return ConstrainedExecutor::new(ba, schedules)
-                .with_state_budget(state_budget)
-                .throughput(reference);
+            self.metrics.record(|m| {
+                m.throughput_checks.inc();
+                m.cache_misses.inc();
+            });
+            return self.explore(ba, schedules, reference, state_budget);
         }
         let mut key = std::mem::take(&mut self.scratch);
         encode_fingerprint(ba, schedules, reference, state_budget, &mut key);
         if let Some(cached) = self.map.get(&key) {
             self.hits += 1;
+            self.metrics.record(|m| {
+                m.throughput_checks.inc();
+                m.cache_hits.inc();
+            });
             let result = cached.clone();
             self.scratch = key;
             return result;
         }
         self.misses += 1;
+        self.metrics.record(|m| {
+            m.throughput_checks.inc();
+            m.cache_misses.inc();
+        });
+        let result = self.explore(ba, schedules, reference, state_budget);
+        self.map.insert(key, result.clone());
+        if !self.is_fork {
+            let entries = self.map.len() as u64;
+            self.metrics.record(|m| m.cache_entries.set(entries));
+        }
+        result
+    }
+
+    /// Runs the constrained exploration, timed as a `probe` span, and
+    /// records how many states it visited.
+    fn explore(
+        &self,
+        ba: &BindingAwareGraph,
+        schedules: &TileSchedules,
+        reference: ActorId,
+        state_budget: usize,
+    ) -> Result<ThroughputResult, SdfError> {
+        // `Instant::now` only when a registry listens: the disabled path
+        // must cost a single branch.
+        let probe_start = self.metrics.enabled().then(Instant::now);
         let result = ConstrainedExecutor::new(ba, schedules)
             .with_state_budget(state_budget)
             .throughput(reference);
-        self.map.insert(key, result.clone());
+        if let Some(t0) = probe_start {
+            let elapsed = t0.elapsed();
+            self.metrics.record(|m| {
+                m.profiler.record(SpanKind::Probe, elapsed);
+                if let Ok(r) = &result {
+                    m.states_explored.add(r.states_explored as u64);
+                    m.probe_states.observe(r.states_explored as u64);
+                }
+            });
+        }
         result
     }
 }

@@ -13,13 +13,17 @@
 //!   property tests;
 //! * [`crit`] — a criterion-compatible micro-benchmark harness
 //!   (`criterion_group!`/`criterion_main!`/`Criterion`) that reports
-//!   median/mean wall-clock per iteration.
+//!   median/mean wall-clock per iteration;
+//! * [`cell`] — cache-line-padded atomic counters, so hot-path metrics
+//!   updated from parallel refinement tasks never false-share.
 
+pub mod cell;
 pub mod crit;
 pub mod fxhash;
 pub mod par;
 pub mod rng;
 
+pub use cell::PaddedAtomicU64;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use par::par_map;
 pub use rng::SmallRng;

@@ -231,6 +231,45 @@ fn golden_jsonl_trace_of_the_paper_example() {
     }
 }
 
+/// Buffered events must survive an early error return: the allocator is
+/// dropped right after the failed `allocate`, without an explicit
+/// `flush`, and the JSONL trace still holds the complete bracketed
+/// stream (flush-on-drop through `JsonlSink`'s `Drop` impl).
+#[test]
+fn buffered_events_survive_an_early_allocator_error() {
+    use sdfrs_core::JsonlSink;
+    use sdfrs_sdf::Rational;
+
+    let app = paper_example().with_throughput_constraint(Rational::new(1, 2));
+    let arch = example_platform();
+    let state = PlatformState::new(&arch);
+    let path =
+        std::env::temp_dir().join(format!("sdfrs_flush_on_drop_{}.jsonl", std::process::id()));
+    {
+        let sink = JsonlSink::create(path.to_str().unwrap()).expect("trace file creates");
+        let mut allocator = Allocator::new().with_sink(sink);
+        let result = allocator.allocate(&app, &arch, &state);
+        assert!(result.is_err(), "1/2 is unsatisfiable on the example");
+        // No flush() here: dropping the allocator (and with it the sink)
+        // is all the caller did.
+    }
+    let text = std::fs::read_to_string(&path).expect("trace file readable");
+    let _ = std::fs::remove_file(&path);
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(
+        lines
+            .first()
+            .is_some_and(|l| l.contains("\"flow_started\"")),
+        "stream opens with flow_started: {text}"
+    );
+    assert!(
+        lines
+            .last()
+            .is_some_and(|l| l.contains("\"flow_finished\"") && l.contains("\"ok\":false")),
+        "the failure verdict reached the file without an explicit flush: {text}"
+    );
+}
+
 #[test]
 fn sequence_allocation_emits_one_admission_decision_per_app() {
     let arch = example_platform();
