@@ -15,6 +15,10 @@
 //!                                            allocate applications in sequence
 //! sdfrs verify <app.sdfa> <platform.sdfp>    allocate, then independently
 //!                                            re-verify the result
+//! sdfrs serve <platform.sdfp> [--input <req.jsonl>] [--batch <n>]
+//!                                            online admission service: read
+//!                                            JSONL requests (stdin or file),
+//!                                            write one JSON response per line
 //! sdfrs generate <set> <seed> <count> [dir]  emit generated applications
 //! sdfrs example <name>                       print a bundled model; names:
 //!     paper h263 mp3 cd2dat satellite platform
@@ -22,9 +26,19 @@
 //! sdfrs dot <app.sdfa>                       Graphviz export
 //! ```
 //!
+//! The `serve` requests are flat JSON objects, one per line:
+//! `{"op":"admit","example":"paper"}` (or `"app_file":"x.sdfa"`),
+//! `{"op":"depart","session":1}`, `{"op":"rebind","session":2}`,
+//! `{"op":"status"}`. Responses carry the request's 0-based line number
+//! as `"id"` and are deterministic (no timestamps). `--batch <n>` drains
+//! the queue every `n` requests (default 1: each request is answered
+//! before the next is read), enabling the service's parallel speculative
+//! admission without changing any outcome.
+//!
 //! The global `--trace <file>` option writes every flow event of the
-//! allocating commands (`flow`, `trace`, `verify`, `multiapp`) as JSON
-//! Lines; `--verbose` streams the same events human-readably on stderr.
+//! allocating commands (`flow`, `trace`, `verify`, `multiapp`, `serve`)
+//! as JSON Lines; `--verbose` streams the same events human-readably on
+//! stderr.
 //! `--metrics-out <file>` attaches a [`sdfrs_core::MetricsRegistry`] to
 //! the allocator and writes its final snapshot — Prometheus text
 //! exposition by default, or deterministic JSON with
@@ -247,6 +261,13 @@ fn dispatch(
             metrics,
             out,
         ),
+        "serve" => serve(
+            args.get(1).ok_or("serve needs a platform file")?,
+            &args[2..],
+            sink,
+            metrics,
+            out,
+        ),
         "generate" => generate(
             args.get(1).ok_or("generate needs a set name")?,
             args.get(2).ok_or("generate needs a seed")?,
@@ -259,7 +280,7 @@ fn dispatch(
         "help" | "--help" | "-h" => {
             outln!(
                 out,
-                "commands: analyze, throughput, flow, trace, buffers, multiapp, verify, generate, example, dot"
+                "commands: analyze, throughput, flow, trace, buffers, multiapp, verify, serve, generate, example, dot"
             );
             outln!(
                 out,
@@ -519,6 +540,138 @@ fn multiapp(
     Ok(())
 }
 
+/// Parses one `serve` request line: a flat JSON object with an `"op"`
+/// field (see the crate docs for the accepted shapes).
+fn parse_serve_request(line: &str) -> Result<sdfrs_core::ServiceRequest, String> {
+    use sdfrs_core::{ServiceRequest, SessionId};
+    let op = json_str_field(line, "op").ok_or("missing \"op\" field")?;
+    match op.as_str() {
+        "admit" => {
+            let app = if let Some(name) = json_str_field(line, "example") {
+                bundled_app(&name).ok_or_else(|| format!("unknown example {name:?}"))?
+            } else if let Some(path) = json_str_field(line, "app_file") {
+                load_app(&path)?
+            } else {
+                return Err("admit needs \"example\" or \"app_file\"".into());
+            };
+            Ok(ServiceRequest::Admit { app: Box::new(app) })
+        }
+        "depart" => Ok(ServiceRequest::Depart {
+            session: SessionId::from_raw(
+                json_u64_field(line, "session").ok_or("depart needs a numeric \"session\"")?,
+            ),
+        }),
+        "rebind" => Ok(ServiceRequest::Rebind {
+            session: SessionId::from_raw(
+                json_u64_field(line, "session").ok_or("rebind needs a numeric \"session\"")?,
+            ),
+        }),
+        "status" => Ok(ServiceRequest::Status),
+        other => Err(format!("unknown op {other:?} (admit|depart|rebind|status)")),
+    }
+}
+
+/// The raw text after `"key":` in a flat JSON object, or `None`.
+fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\"");
+    let at = line.find(&needle)?;
+    let rest = line[at + needle.len()..].trim_start();
+    Some(rest.strip_prefix(':')?.trim_start())
+}
+
+/// A string-valued field of a flat JSON object (no escape handling:
+/// request values are op names, example names and file paths).
+fn json_str_field(line: &str, key: &str) -> Option<String> {
+    let rest = json_field(line, key)?.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// An unsigned-number field of a flat JSON object.
+fn json_u64_field(line: &str, key: &str) -> Option<u64> {
+    let rest = json_field(line, key)?;
+    let digits: &str = &rest[..rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len())];
+    digits.parse().ok()
+}
+
+fn parse_batch(spec: &str) -> Result<usize, String> {
+    let n: usize = spec
+        .parse()
+        .map_err(|_| format!("bad batch size {spec:?}"))?;
+    if n == 0 {
+        return Err("batch size must be at least 1".into());
+    }
+    Ok(n)
+}
+
+fn serve(
+    platform_path: &str,
+    options: &[String],
+    sink: Box<dyn EventSink>,
+    metrics: &Metrics,
+    out: &mut dyn Write,
+) -> Result<(), String> {
+    use sdfrs_core::service::{AllocationService, ServiceConfig};
+
+    let arch = format::parse_platform(&read(platform_path)?)
+        .map_err(|e| format!("{platform_path}: {e}"))?;
+    let mut input_path: Option<String> = None;
+    let mut batch: usize = 1;
+    let mut iter = options.iter();
+    while let Some(a) = iter.next() {
+        if a == "--input" {
+            input_path = Some(iter.next().ok_or("--input needs a file path")?.clone());
+        } else if let Some(p) = a.strip_prefix("--input=") {
+            input_path = Some(p.to_string());
+        } else if a == "--batch" {
+            batch = parse_batch(iter.next().ok_or("--batch needs a count")?)?;
+        } else if let Some(n) = a.strip_prefix("--batch=") {
+            batch = parse_batch(n)?;
+        } else {
+            return Err(format!("unknown option {a:?}"));
+        }
+    }
+    let text = match &input_path {
+        Some(p) => read(p)?,
+        None => {
+            use std::io::Read as _;
+            let mut buf = String::new();
+            io::stdin()
+                .lock()
+                .read_to_string(&mut buf)
+                .map_err(|e| format!("cannot read stdin: {e}"))?;
+            buf
+        }
+    };
+    let mut requests = Vec::new();
+    for (no, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        requests
+            .push(parse_serve_request(line).map_err(|e| format!("request line {}: {e}", no + 1))?);
+    }
+    let mut config = ServiceConfig::default();
+    config.batch_capacity = batch;
+    let mut service = AllocationService::from_config(&arch, config)
+        .with_boxed_sink(sink)
+        .with_metrics(metrics.clone());
+    // Responses always come out in request order: `drain` commits
+    // sequentially regardless of the speculative parallelism inside.
+    for chunk in requests.chunks(batch) {
+        for r in chunk {
+            service.enqueue(r.clone());
+        }
+        for (seq, response) in service.drain() {
+            outln!(out, "{}", response.to_json_line(seq));
+        }
+    }
+    service.flush();
+    Ok(())
+}
+
 fn buffers(path: &str, out: &mut dyn Write) -> Result<(), String> {
     use sdfrs_core::buffers::minimal_storage_distribution;
     let app = load_app(path)?;
@@ -585,31 +738,27 @@ fn generate(
     Ok(())
 }
 
-fn example(name: &str, out: &mut dyn Write) -> Result<(), String> {
+/// The bundled example application behind a name accepted by
+/// `sdfrs example` and by `serve` admit requests.
+fn bundled_app(name: &str) -> Option<sdfrs_appmodel::ApplicationGraph> {
     use sdfrs_appmodel::classic;
+    Some(match name {
+        "paper" => apps::paper_example(),
+        "h263" => apps::h263_decoder(0, Rational::new(1, 100_000)),
+        "mp3" => apps::mp3_decoder(Rational::new(1, 3_000)),
+        "cd2dat" => classic::cd_to_dat(Rational::new(1, 40_000)),
+        "satellite" => classic::satellite_receiver(Rational::new(1, 2_000)),
+        _ => return None,
+    })
+}
+
+fn example(name: &str, out: &mut dyn Write) -> Result<(), String> {
     use sdfrs_platform::presets;
+    if let Some(app) = bundled_app(name) {
+        outp!(out, "{}", format::write_application(&app));
+        return Ok(());
+    }
     match name {
-        "paper" => outp!(out, "{}", format::write_application(&apps::paper_example())),
-        "h263" => outp!(
-            out,
-            "{}",
-            format::write_application(&apps::h263_decoder(0, Rational::new(1, 100_000)))
-        ),
-        "mp3" => outp!(
-            out,
-            "{}",
-            format::write_application(&apps::mp3_decoder(Rational::new(1, 3_000)))
-        ),
-        "cd2dat" => outp!(
-            out,
-            "{}",
-            format::write_application(&classic::cd_to_dat(Rational::new(1, 40_000)))
-        ),
-        "satellite" => outp!(
-            out,
-            "{}",
-            format::write_application(&classic::satellite_receiver(Rational::new(1, 2_000)))
-        ),
         "platform" => outp!(out, "{}", format::write_platform(&apps::example_platform())),
         "daytona" => outp!(out, "{}", format::write_platform(&presets::daytona())),
         "eclipse" => outp!(out, "{}", format::write_platform(&presets::eclipse())),
@@ -715,6 +864,41 @@ mod tests {
         // A format without a destination is accepted and simply inert.
         let (_, _, export) = global_options(&["--metrics-format".into(), "prom".into()]).unwrap();
         assert!(export.is_none());
+    }
+
+    #[test]
+    fn serve_requests_parse() {
+        use sdfrs_core::{ServiceRequest, SessionId};
+        match parse_serve_request(r#"{"op":"admit","example":"paper"}"#).unwrap() {
+            ServiceRequest::Admit { app } => assert_eq!(app.graph().name(), "paper_example"),
+            other => panic!("expected admit, got {other:?}"),
+        }
+        match parse_serve_request(r#"{ "op" : "depart" , "session" : 42 }"#).unwrap() {
+            ServiceRequest::Depart { session } => {
+                assert_eq!(session, SessionId::from_raw(42));
+            }
+            other => panic!("expected depart, got {other:?}"),
+        }
+        assert!(matches!(
+            parse_serve_request(r#"{"op":"rebind","session":7}"#).unwrap(),
+            ServiceRequest::Rebind { .. }
+        ));
+        assert!(matches!(
+            parse_serve_request(r#"{"op":"status"}"#).unwrap(),
+            ServiceRequest::Status
+        ));
+        assert!(parse_serve_request(r#"{"op":"admit"}"#).is_err());
+        assert!(parse_serve_request(r#"{"op":"admit","example":"nope"}"#).is_err());
+        assert!(parse_serve_request(r#"{"op":"depart"}"#).is_err());
+        assert!(parse_serve_request(r#"{"session":3}"#).is_err());
+        assert!(parse_serve_request(r#"{"op":"evict","session":3}"#).is_err());
+    }
+
+    #[test]
+    fn batch_sizes_parse() {
+        assert_eq!(parse_batch("4").unwrap(), 4);
+        assert!(parse_batch("0").is_err());
+        assert!(parse_batch("many").is_err());
     }
 
     #[test]

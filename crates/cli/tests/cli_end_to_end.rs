@@ -324,6 +324,65 @@ fn multiapp_allocates_two_copies() {
     let _ = std::fs::remove_file(platform);
 }
 
+/// The `serve` subcommand replayed against the committed golden
+/// transcript: admissions claim, departures reclaim, a rebind moves the
+/// surviving session, a dead ticket fails — and the whole exchange is
+/// byte-identical whether requests are answered one at a time or as one
+/// speculative batch.
+#[test]
+fn serve_matches_golden_transcript_online_and_batched() {
+    let fixtures = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let requests = fixtures.join("serve_requests.jsonl");
+    let golden = std::fs::read_to_string(fixtures.join("serve_golden.jsonl")).unwrap();
+
+    let (platform_text, _, ok) = sdfrs(&["example", "platform"]);
+    assert!(ok);
+    let platform = write_temp("s_platform.sdfp", &platform_text);
+
+    let (online, err, ok) = sdfrs(&[
+        "serve",
+        platform.to_str().unwrap(),
+        "--input",
+        requests.to_str().unwrap(),
+    ]);
+    assert!(ok, "stdout: {online}\nstderr: {err}");
+    assert_eq!(online, golden, "online serve output diverged from golden");
+
+    let (batched, err, ok) = sdfrs(&[
+        "serve",
+        platform.to_str().unwrap(),
+        "--input",
+        requests.to_str().unwrap(),
+        "--batch",
+        "6",
+    ]);
+    assert!(ok, "stderr: {err}");
+    assert_eq!(batched, golden, "batched serve output diverged from golden");
+
+    let _ = std::fs::remove_file(platform);
+}
+
+#[test]
+fn serve_rejects_malformed_requests_with_line_numbers() {
+    let (platform_text, _, _) = sdfrs(&["example", "platform"]);
+    let platform = write_temp("sb_platform.sdfp", &platform_text);
+    let bad = write_temp(
+        "sb_reqs.jsonl",
+        "{\"op\":\"admit\",\"example\":\"paper\"}\n{\"op\":\"evict\",\"session\":1}\n",
+    );
+    let (_, err, ok) = sdfrs(&[
+        "serve",
+        platform.to_str().unwrap(),
+        "--input",
+        bad.to_str().unwrap(),
+    ]);
+    assert!(!ok);
+    assert!(err.contains("request line 2"), "{err}");
+    assert!(err.contains("evict"), "{err}");
+    let _ = std::fs::remove_file(platform);
+    let _ = std::fs::remove_file(bad);
+}
+
 #[test]
 fn preset_platforms_parse_back() {
     for name in ["daytona", "eclipse", "hijdra", "stepnp"] {

@@ -5,8 +5,9 @@
 //! (exponentially larger) HSDF conversion — gives us a free oracle, and
 //! the workspace's own redundancy (cached vs. uncached evaluation,
 //! parallel vs. sequential search, the independent verifier, the event
-//! stream vs. the aggregated stats) gives us four more. This crate runs
-//! seeded random [`Scenario`]s through the whole panel:
+//! stream vs. the aggregated stats, the online admission service vs. the
+//! batch protocols) gives us five more. This crate runs seeded random
+//! [`Scenario`]s through the whole panel:
 //!
 //! 1. **HSDF equivalence** — self-timed throughput of the binding-aware
 //!    graph vs. `γ/MCM` of its HSDF conversion
@@ -20,7 +21,13 @@
 //!    [`verify_allocation`](sdfrs_core::verify::verify_allocation) with
 //!    zero violations;
 //! 5. **event reconciliation** — the recorded `FlowEvent` stream agrees
-//!    with the returned `FlowStats`.
+//!    with the returned `FlowStats`;
+//! 6. **online/batch equivalence** — an admit → depart → admit trace
+//!    through the [`AllocationService`](sdfrs_core::AllocationService)
+//!    answers identically whether drained one request at a time or as a
+//!    single batch, and the surviving sessions match a fresh
+//!    `allocate_sequence` of the same applications (departures reclaim
+//!    *exactly* what was claimed).
 //!
 //! A failing scenario is [`shrink`](shrink::shrink)-able to a minimal
 //! reproduction and persisted as a `.ron` [`corpus`] file, which the
@@ -102,6 +109,9 @@ pub enum OracleId {
     Invariants,
     /// Event stream vs. `FlowStats`.
     EventReconciliation,
+    /// Online (request-at-a-time) vs. batched service drains, and the
+    /// surviving sessions vs. a fresh batch allocation.
+    OnlineBatchEquivalence,
 }
 
 impl OracleId {
@@ -113,6 +123,7 @@ impl OracleId {
             OracleId::ParallelConsistency => "parallel_consistency",
             OracleId::Invariants => "invariants",
             OracleId::EventReconciliation => "event_reconciliation",
+            OracleId::OnlineBatchEquivalence => "online_batch_equivalence",
         }
     }
 }

@@ -1,4 +1,4 @@
-//! The five-oracle panel (see the crate docs for the rationale).
+//! The six-oracle panel (see the crate docs for the rationale).
 //!
 //! Every oracle is *differential*: it never needs to know the right
 //! answer for a scenario, only that two independent routes to the answer
@@ -100,6 +100,12 @@ pub(crate) fn run_panel(scenario: &Scenario, config: &HarnessConfig) -> Scenario
         &dse::explore_parallel(app, arch, &state, &config.dse_weights),
         &mut failures,
     );
+
+    // Oracle 6 — online/batch equivalence: the admission service must
+    // answer an admit/depart/admit trace identically request-at-a-time
+    // and as one speculative batch, and its survivors must match a fresh
+    // sequence allocation.
+    online_service_oracle(scenario, config, &mut failures);
 
     // Oracle 1 — HSDF equivalence (the paper's own claim).
     hsdf_oracle(scenario, config, &base, &mut failures, &mut skipped);
@@ -314,6 +320,142 @@ fn reconcile_events(
                 m.counter("flows_succeeded")
             )));
         }
+    }
+}
+
+/// Oracle 6: online/batch equivalence of the admission service.
+///
+/// Drives an admit → admit → depart-latest → depart-bogus → admit →
+/// status trace through one [`AllocationService`] a request at a time,
+/// then replays the *same* request sequence through a second service as
+/// one batch (engaging the parallel speculative path). Both must produce
+/// identical responses and identical residual platform state. Departing
+/// the *most recently admitted* live session keeps the trace LIFO, which
+/// makes a third check sound: the surviving sessions, re-allocated from
+/// scratch with `allocate_sequence`, must reproduce the exact
+/// allocations and residual the service holds — proving departures
+/// reclaim precisely what admissions claimed.
+fn online_service_oracle(
+    scenario: &Scenario,
+    config: &HarnessConfig,
+    failures: &mut Vec<OracleFailure>,
+) {
+    use sdfrs_core::service::{AllocationService, ServiceConfig, ServiceRequest, ServiceResponse};
+    use sdfrs_core::SessionId;
+
+    let oracle = OracleId::OnlineBatchEquivalence;
+    let app = &scenario.app;
+    let arch = &scenario.arch;
+    let bogus = SessionId::from_raw(u64::MAX);
+
+    let mut svc_config = ServiceConfig::default();
+    svc_config.flow = config.flow;
+
+    // Online run: drain after every request, recording the trace. The
+    // depart target is chosen *during* the run (latest live session), so
+    // the recorded trace is fully concrete for the batched replay.
+    let mut online = AllocationService::from_config(arch, svc_config);
+    let mut trace: Vec<ServiceRequest> = Vec::new();
+    let mut online_responses: Vec<ServiceResponse> = Vec::new();
+    let admit = || ServiceRequest::Admit {
+        app: Box::new(app.clone()),
+    };
+    let step = |svc: &mut AllocationService,
+                trace: &mut Vec<ServiceRequest>,
+                out: &mut Vec<ServiceResponse>,
+                req: ServiceRequest| {
+        trace.push(req.clone());
+        svc.enqueue(req);
+        let drained = svc.drain();
+        debug_assert_eq!(drained.len(), 1);
+        out.extend(drained.into_iter().map(|(_, r)| r));
+    };
+    step(&mut online, &mut trace, &mut online_responses, admit());
+    step(&mut online, &mut trace, &mut online_responses, admit());
+    let latest = online.session_ids().last().copied().unwrap_or(bogus);
+    step(
+        &mut online,
+        &mut trace,
+        &mut online_responses,
+        ServiceRequest::Depart { session: latest },
+    );
+    step(
+        &mut online,
+        &mut trace,
+        &mut online_responses,
+        ServiceRequest::Depart { session: bogus },
+    );
+    step(&mut online, &mut trace, &mut online_responses, admit());
+    step(
+        &mut online,
+        &mut trace,
+        &mut online_responses,
+        ServiceRequest::Status,
+    );
+
+    // Batched replay: same requests, one drain, speculation engaged.
+    let mut batch_config = svc_config;
+    batch_config.batch_capacity = trace.len();
+    let mut batched = AllocationService::from_config(arch, batch_config);
+    for req in &trace {
+        batched.enqueue(req.clone());
+    }
+    let batched_responses: Vec<ServiceResponse> =
+        batched.drain().into_iter().map(|(_, r)| r).collect();
+    if online_responses != batched_responses {
+        let first = online_responses
+            .iter()
+            .zip(&batched_responses)
+            .position(|(a, b)| a != b);
+        failures.push(OracleFailure {
+            oracle,
+            detail: format!(
+                "online and batched drains disagree (first divergent response: {:?})",
+                first
+            ),
+        });
+        return;
+    }
+    if online.residual() != batched.residual() {
+        failures.push(OracleFailure {
+            oracle,
+            detail: "online and batched drains leave different residual platform state".into(),
+        });
+        return;
+    }
+
+    // Survivor replay: because departures were LIFO, the live sessions
+    // were each admitted on exactly the state a fresh sequence of their
+    // applications reproduces.
+    let survivors = online.session_ids();
+    let final_apps: Vec<_> = survivors
+        .iter()
+        .filter_map(|&id| online.application(id).cloned())
+        .collect();
+    let replay = Allocator::from_config(config.flow).allocate_sequence(&final_apps, arch);
+    if let Some(e) = &replay.failure {
+        failures.push(OracleFailure {
+            oracle,
+            detail: format!("fresh sequence rejected a surviving session's application with `{e}`"),
+        });
+        return;
+    }
+    for (i, &id) in survivors.iter().enumerate() {
+        let held = online.allocation(id).expect("survivor is live");
+        if let Some(diff) = diff_allocations(held, &replay.allocations[i]) {
+            failures.push(OracleFailure {
+                oracle,
+                detail: format!("surviving session {id} vs fresh replay: {diff}"),
+            });
+        }
+    }
+    if replay.final_state != *online.residual() {
+        failures.push(OracleFailure {
+            oracle,
+            detail: "service residual differs from fresh-replay platform state \
+                     (departure did not reclaim exactly its claim)"
+                .into(),
+        });
     }
 }
 

@@ -16,6 +16,7 @@ use crate::allocator::Allocator;
 use crate::error::MapError;
 use crate::events::FlowEvent;
 use crate::flow::{Allocation, FlowConfig, FlowStats};
+use crate::ids::AppId;
 
 /// Strategies for ordering applications before allocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,6 +32,23 @@ pub enum AdmissionOrder {
     /// Tightest throughput constraint first: the applications with the
     /// least scheduling slack choose their tiles first.
     TightestConstraintFirst,
+}
+
+/// How [`Allocator::admit_with`](crate::Allocator::admit_with) decides
+/// which applications to admit.
+///
+/// Marked `#[non_exhaustive]`: further protocols (e.g. utilization-aware
+/// or energy-aware fits) will grow more variants.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Allocate in a static order ([`AdmissionOrder`]), skipping
+    /// applications that fail — the run-time mechanism of Sec 10.1.
+    FirstFit(AdmissionOrder),
+    /// Dynamic best-fit: each round speculatively allocates every
+    /// remaining application and admits the one claiming the least total
+    /// wheel time.
+    BestFit,
 }
 
 /// The γ-weighted worst-case computation demand of an application: the
@@ -120,7 +138,7 @@ pub fn allocate_best_fit_with(
     let mut state = PlatformState::new(arch);
     let mut remaining: Vec<usize> = (0..apps.len()).collect();
     let mut admitted = Vec::new();
-    let mut rejected: Vec<(usize, MapError)> = Vec::new();
+    let mut rejected: Vec<(AppId, MapError)> = Vec::new();
     let mut round = 0usize;
     while !remaining.is_empty() {
         let candidates = remaining.len();
@@ -155,13 +173,12 @@ pub fn allocate_best_fit_with(
                     admitted: true,
                     detail: String::new(),
                 });
-                admitted.push((i, alloc, stats));
+                admitted.push((AppId::from_index(i), alloc, stats));
                 remaining.retain(|&x| x != i);
             }
             None => {
                 // Nothing fits any more: everything left is rejected.
-                for (i, e) in &round_errors {
-                    let (i, e) = (*i, e.clone());
+                for (i, e) in round_errors {
                     allocator.metric(|m| m.admission_rejected.inc());
                     allocator.emit(|| FlowEvent::AdmissionDecision {
                         index: i,
@@ -169,8 +186,8 @@ pub fn allocate_best_fit_with(
                         admitted: false,
                         detail: e.to_string(),
                     });
+                    rejected.push((AppId::from_index(i), e));
                 }
-                rejected.extend(round_errors);
                 break;
             }
         }
@@ -185,10 +202,10 @@ pub fn allocate_best_fit_with(
 /// Outcome of an admission run that skips failing applications.
 #[derive(Debug)]
 pub struct AdmissionResult {
-    /// `(application index, allocation, stats)` for every admitted app.
-    pub admitted: Vec<(usize, Allocation, FlowStats)>,
-    /// `(application index, error)` for every rejected app.
-    pub rejected: Vec<(usize, MapError)>,
+    /// `(application id, allocation, stats)` for every admitted app.
+    pub admitted: Vec<(AppId, Allocation, FlowStats)>,
+    /// `(application id, error)` for every rejected app.
+    pub rejected: Vec<(AppId, MapError)>,
     /// Platform state after all admissions.
     pub final_state: PlatformState,
 }
@@ -240,7 +257,7 @@ pub fn allocate_skipping_failures_with(
                     admitted: true,
                     detail: String::new(),
                 });
-                admitted.push((i, alloc, stats));
+                admitted.push((AppId::from_index(i), alloc, stats));
             }
             Err(e) => {
                 allocator.metric(|m| m.admission_rejected.inc());
@@ -250,7 +267,7 @@ pub fn allocate_skipping_failures_with(
                     admitted: false,
                     detail: e.to_string(),
                 });
-                rejected.push((i, e));
+                rejected.push((AppId::from_index(i), e));
             }
         }
     }
@@ -337,7 +354,7 @@ mod tests {
         );
         assert_eq!(result.admitted_count(), 2);
         assert_eq!(result.rejected.len(), 1);
-        assert_eq!(result.rejected[0].0, 1);
+        assert_eq!(result.rejected[0].0, AppId::from_index(1));
         // Contrast: stop-on-failure binds only the first.
         let stop = crate::multi_app::allocate_until_failure(&apps, &arch, &FlowConfig::default());
         assert_eq!(stop.bound_count(), 1);

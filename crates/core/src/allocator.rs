@@ -1,9 +1,9 @@
 //! The allocation front-end: one builder-style handle owning the flow
 //! configuration, the throughput-evaluation cache, and the event sink.
 //!
-//! [`Allocator`] replaces the old free-function pair
-//! `flow::allocate` / `flow::allocate_with_cache` (kept as deprecated
-//! shims). Owning all three pieces in one place means:
+//! [`Allocator`] replaced the old free-function pair
+//! `flow::allocate` / `flow::allocate_with_cache` (now removed). Owning
+//! all three pieces in one place means:
 //!
 //! * repeated runs — admission protocols, DSE sweeps, multi-application
 //!   sequences — share the [`ThroughputCache`] without threading it
@@ -38,7 +38,7 @@ use std::time::Instant;
 use sdfrs_appmodel::ApplicationGraph;
 use sdfrs_platform::{ArchitectureGraph, PlatformState};
 
-use crate::admission::{AdmissionOrder, AdmissionResult};
+use crate::admission::{AdmissionOrder, AdmissionPolicy, AdmissionResult};
 use crate::cost::CostWeights;
 use crate::dse::DseResult;
 use crate::error::MapError;
@@ -187,6 +187,12 @@ impl Allocator {
         &self.cache
     }
 
+    /// Mutable cache access, for absorbing the forks of speculative
+    /// parallel runs back into the shared cache.
+    pub(crate) fn cache_mut(&mut self) -> &mut ThroughputCache {
+        &mut self.cache
+    }
+
     /// The attached metrics handle (null unless
     /// [`with_metrics`](Self::with_metrics) was called).
     pub fn metrics(&self) -> &Metrics {
@@ -243,26 +249,53 @@ impl Allocator {
         crate::multi_app::allocate_until_failure_with(self, apps, arch)
     }
 
+    /// Batch admission under the chosen [`AdmissionPolicy`]: either a
+    /// static-order first fit that *skips* applications that fail (the
+    /// run-time mechanism of Sec 10.1) or the dynamic best fit that each
+    /// round speculatively allocates every remaining application and
+    /// admits the one claiming the least wheel time.
+    pub fn admit_with(
+        &mut self,
+        apps: &[ApplicationGraph],
+        arch: &ArchitectureGraph,
+        policy: AdmissionPolicy,
+    ) -> AdmissionResult {
+        match policy {
+            AdmissionPolicy::FirstFit(order) => {
+                crate::admission::allocate_skipping_failures_with(self, apps, arch, order)
+            }
+            AdmissionPolicy::BestFit => crate::admission::allocate_best_fit_with(self, apps, arch),
+        }
+    }
+
     /// Admission in the given order, *skipping* applications that fail
     /// instead of stopping (the run-time mechanism of Sec 10.1).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `admit_with(apps, arch, AdmissionPolicy::FirstFit(order))`"
+    )]
     pub fn admit(
         &mut self,
         apps: &[ApplicationGraph],
         arch: &ArchitectureGraph,
         order: AdmissionOrder,
     ) -> AdmissionResult {
-        crate::admission::allocate_skipping_failures_with(self, apps, arch, order)
+        self.admit_with(apps, arch, AdmissionPolicy::FirstFit(order))
     }
 
     /// Dynamic best-fit admission: each round speculatively allocates
     /// every remaining application and admits the one claiming the least
     /// wheel time.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `admit_with(apps, arch, AdmissionPolicy::BestFit)`"
+    )]
     pub fn admit_best_fit(
         &mut self,
         apps: &[ApplicationGraph],
         arch: &ArchitectureGraph,
     ) -> AdmissionResult {
-        crate::admission::allocate_best_fit_with(self, apps, arch)
+        self.admit_with(apps, arch, AdmissionPolicy::BestFit)
     }
 
     /// Sweeps the given Eqn 2 weight settings under both connection

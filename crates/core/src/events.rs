@@ -239,6 +239,45 @@ pub enum FlowEvent {
         /// Whether the point produced a valid allocation.
         ok: bool,
     },
+    /// A request entered an [`AllocationService`] queue.
+    ///
+    /// [`AllocationService`]: crate::service::AllocationService
+    ServiceRequestQueued {
+        /// Request sequence number (echoed as the response id).
+        seq: u64,
+        /// Operation name (`admit`, `depart`, `rebind`, `status`).
+        op: &'static str,
+    },
+    /// The service drained one batch of queued requests.
+    ServiceBatchDrained {
+        /// Batch number (0-based, monotonic over the service lifetime).
+        batch: usize,
+        /// Requests executed in this batch.
+        requests: usize,
+    },
+    /// The service admitted an application as a new live session.
+    SessionAdmitted {
+        /// Raw session number.
+        session: u64,
+        /// Application name.
+        app: String,
+        /// Live sessions after the admission.
+        live: usize,
+    },
+    /// A live session departed; its resources returned to the pool.
+    SessionDeparted {
+        /// Raw session number.
+        session: u64,
+        /// Live sessions after the departure.
+        live: usize,
+    },
+    /// A live session was re-allocated against the current residual state.
+    SessionRebound {
+        /// Raw session number.
+        session: u64,
+        /// Whether the new allocation differs from the old one.
+        changed: bool,
+    },
 }
 
 impl FlowEvent {
@@ -258,6 +297,11 @@ impl FlowEvent {
             FlowEvent::AdmissionDecision { .. } => "admission_decision",
             FlowEvent::MultiAppRound { .. } => "multi_app_round",
             FlowEvent::DsePointEvaluated { .. } => "dse_point",
+            FlowEvent::ServiceRequestQueued { .. } => "service_request_queued",
+            FlowEvent::ServiceBatchDrained { .. } => "service_batch_drained",
+            FlowEvent::SessionAdmitted { .. } => "session_admitted",
+            FlowEvent::SessionDeparted { .. } => "session_departed",
+            FlowEvent::SessionRebound { .. } => "session_rebound",
         }
     }
 
@@ -415,6 +459,25 @@ impl FlowEvent {
                     json_escape(connection_model)
                 );
             }
+            FlowEvent::ServiceRequestQueued { seq, op } => {
+                let _ = write!(s, ",\"seq\":{seq},\"op\":\"{op}\"");
+            }
+            FlowEvent::ServiceBatchDrained { batch, requests } => {
+                let _ = write!(s, ",\"batch\":{batch},\"requests\":{requests}");
+            }
+            FlowEvent::SessionAdmitted { session, app, live } => {
+                let _ = write!(
+                    s,
+                    ",\"session\":{session},\"app\":\"{}\",\"live\":{live}",
+                    json_escape(app)
+                );
+            }
+            FlowEvent::SessionDeparted { session, live } => {
+                let _ = write!(s, ",\"session\":{session},\"live\":{live}");
+            }
+            FlowEvent::SessionRebound { session, changed } => {
+                let _ = write!(s, ",\"session\":{session},\"changed\":{changed}");
+            }
         }
         s.push('}');
         s
@@ -553,12 +616,31 @@ impl FlowEvent {
                     if *ok { "valid" } else { "infeasible" }
                 );
             }
+            FlowEvent::ServiceRequestQueued { seq, op } => {
+                let _ = write!(s, "service: queued #{seq} ({op})");
+            }
+            FlowEvent::ServiceBatchDrained { batch, requests } => {
+                let _ = write!(s, "service: batch {batch} drained {requests} requests");
+            }
+            FlowEvent::SessionAdmitted { session, app, live } => {
+                let _ = write!(s, "service: s{session} admitted ({app}), {live} live");
+            }
+            FlowEvent::SessionDeparted { session, live } => {
+                let _ = write!(s, "service: s{session} departed, {live} live");
+            }
+            FlowEvent::SessionRebound { session, changed } => {
+                let _ = write!(
+                    s,
+                    "service: s{session} rebound ({})",
+                    if *changed { "moved" } else { "unchanged" }
+                );
+            }
         }
         s
     }
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -1039,6 +1121,27 @@ mod tests {
                 weights: "(1, 0, 0)".into(),
                 connection_model: "simple".into(),
                 ok: true,
+            },
+            FlowEvent::ServiceRequestQueued {
+                seq: 4,
+                op: "admit",
+            },
+            FlowEvent::ServiceBatchDrained {
+                batch: 2,
+                requests: 3,
+            },
+            FlowEvent::SessionAdmitted {
+                session: 5,
+                app: "h263".into(),
+                live: 2,
+            },
+            FlowEvent::SessionDeparted {
+                session: 5,
+                live: 1,
+            },
+            FlowEvent::SessionRebound {
+                session: 3,
+                changed: true,
             },
         ];
         for e in &events {

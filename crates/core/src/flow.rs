@@ -8,9 +8,7 @@
 //!    allocation by binary search.
 //!
 //! The public entry point is [`Allocator`](crate::Allocator), which owns
-//! the [`FlowConfig`], the evaluation cache, and an event sink; the free
-//! functions [`allocate`] and [`allocate_with_cache`] remain as
-//! deprecated shims over it.
+//! the [`FlowConfig`], the evaluation cache, and an event sink.
 
 use std::time::Duration;
 
@@ -25,7 +23,7 @@ use crate::binding_aware::{BindingAwareGraph, ConnectionModel};
 use crate::constrained::TileSchedules;
 use crate::cost::CostWeights;
 use crate::error::MapError;
-use crate::events::{FlowEvent, FlowObserver, FlowPhase, NullSink};
+use crate::events::{FlowEvent, FlowObserver, FlowPhase};
 use crate::list_sched::ListScheduler;
 use crate::metrics::SpanKind;
 use crate::resources::allocation_usage;
@@ -305,45 +303,19 @@ impl Allocation {
             state.claim(t, self.usage[t.index()]);
         }
     }
+
+    /// Releases this allocation's resources from a platform state — the
+    /// exact inverse of [`claim_on`](Self::claim_on), used when an
+    /// application departs and its budgets return to the pool.
+    pub fn release_on(&self, arch: &ArchitectureGraph, state: &mut PlatformState) {
+        for t in arch.tile_ids() {
+            state.release(t, self.usage[t.index()]);
+        }
+    }
 }
 
-/// Runs the three-step strategy for one application on a (partially
-/// occupied) platform.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `sdfrs_core::Allocator`, which owns the config, cache and event sink"
-)]
-pub fn allocate(
-    app: &ApplicationGraph,
-    arch: &ArchitectureGraph,
-    state: &PlatformState,
-    config: &FlowConfig,
-) -> Result<(Allocation, FlowStats), MapError> {
-    let mut cache = ThroughputCache::new();
-    let mut sink = NullSink;
-    let mut obs = FlowObserver::new(&mut sink);
-    allocate_inner(app, arch, state, config, &mut cache, &mut obs)
-}
-
-/// `allocate` with a caller-provided throughput-evaluation cache.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `sdfrs_core::Allocator::with_cache`, which persists the cache across runs"
-)]
-pub fn allocate_with_cache(
-    app: &ApplicationGraph,
-    arch: &ArchitectureGraph,
-    state: &PlatformState,
-    config: &FlowConfig,
-    cache: &mut ThroughputCache,
-) -> Result<(Allocation, FlowStats), MapError> {
-    let mut sink = NullSink;
-    let mut obs = FlowObserver::new(&mut sink);
-    allocate_inner(app, arch, state, config, cache, &mut obs)
-}
-
-/// The instrumented flow body behind [`Allocator::allocate`]
-/// (crate::Allocator::allocate) and the deprecated shims.
+/// The instrumented flow body behind
+/// [`Allocator::allocate`](crate::Allocator::allocate).
 pub(crate) fn allocate_inner(
     app: &ApplicationGraph,
     arch: &ArchitectureGraph,
@@ -581,19 +553,16 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_shims_match_the_allocator() {
+    fn release_on_undoes_claim_on() {
         let app = paper_example();
         let arch = example_platform();
-        let state = PlatformState::new(&arch);
-        #[allow(deprecated)]
-        let (shim_alloc, shim_stats) =
-            allocate(&app, &arch, &state, &FlowConfig::default()).unwrap();
-        let (alloc, stats) = Allocator::new().allocate(&app, &arch, &state).unwrap();
-        assert_eq!(shim_alloc.slices, alloc.slices);
-        assert_eq!(shim_alloc.binding, alloc.binding);
-        assert_eq!(shim_alloc.achieved, alloc.achieved);
-        assert_eq!(shim_stats.throughput_checks, stats.throughput_checks);
-        assert_eq!(shim_stats.bind_attempts, stats.bind_attempts);
+        let mut state = PlatformState::new(&arch);
+        let (alloc, _) = Allocator::new().allocate(&app, &arch, &state).unwrap();
+        let before = state.clone();
+        alloc.claim_on(&arch, &mut state);
+        assert_ne!(state, before, "the allocation must claim something");
+        alloc.release_on(&arch, &mut state);
+        assert_eq!(state, before, "release must reclaim exactly the claim");
     }
 
     #[test]

@@ -1,0 +1,85 @@
+//! Typed identifiers of the allocation layer.
+//!
+//! Application positions in a batch and live service sessions used to
+//! travel as raw `usize` indices; these newtypes make the two spaces
+//! unmixable at compile time. [`AppId`] is an *index* into the
+//! application slice handed to a batch protocol; [`SessionId`] is an
+//! *opaque ticket* handed out by the
+//! [`AllocationService`](crate::service::AllocationService) — session ids
+//! are never reused, so a stale ticket fails cleanly instead of aliasing
+//! a later tenant.
+
+use std::fmt;
+
+/// Position of an application in the slice passed to a batch admission
+/// protocol ([`Allocator::admit_with`](crate::Allocator::admit_with),
+/// [`multi_app`](crate::multi_app)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AppId(u32);
+
+impl AppId {
+    /// The id for position `index` of the application slice.
+    pub fn from_index(index: usize) -> Self {
+        AppId(u32::try_from(index).expect("application index fits u32"))
+    }
+
+    /// The position this id refers to.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AppId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "app{}", self.0)
+    }
+}
+
+/// Ticket of one live application session in an
+/// [`AllocationService`](crate::service::AllocationService).
+///
+/// Monotonically increasing and never reused: departing a session
+/// invalidates its id forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SessionId(u64);
+
+impl SessionId {
+    /// Wraps a raw session number (as read back from a JSONL response or
+    /// an event).
+    pub fn from_raw(raw: u64) -> Self {
+        SessionId(raw)
+    }
+
+    /// The raw session number (what events and JSONL responses carry).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn app_ids_round_trip_and_display() {
+        let id = AppId::from_index(3);
+        assert_eq!(id.index(), 3);
+        assert_eq!(id.to_string(), "app3");
+        assert!(AppId::from_index(0) < id);
+    }
+
+    #[test]
+    fn session_ids_are_ordered_and_display() {
+        let a = SessionId::from_raw(1);
+        let b = SessionId::from_raw(2);
+        assert!(a < b);
+        assert_eq!(b.to_string(), "s2");
+        assert_eq!(b.raw(), 2);
+    }
+}

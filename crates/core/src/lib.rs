@@ -22,7 +22,9 @@
 //! The [`multi_app`], [`admission`] and [`buffers`] modules cover the
 //! surrounding protocol pieces (allocating application sequences,
 //! admission ordering/skipping and platform dimensioning, storage
-//! distribution minimization), and [`gantt`] renders execution traces.
+//! distribution minimization), [`service`] runs the online admission
+//! loop (long-lived sessions that admit, depart and rebind against a
+//! persistent platform), and [`gantt`] renders execution traces.
 //! Every phase of every run reports typed [`events::FlowEvent`]s through
 //! the allocator's pluggable [`events::EventSink`], and the [`metrics`]
 //! module measures the work behind those decisions — atomic counters,
@@ -61,18 +63,21 @@ pub mod error;
 pub mod events;
 pub mod flow;
 pub mod gantt;
+pub mod ids;
 pub mod list_sched;
 pub mod metrics;
 pub mod multi_app;
 pub mod report;
 pub mod resources;
 pub mod schedule;
+pub mod service;
 pub mod slice;
 pub mod tdma;
 pub mod thru_cache;
 pub mod tutorial;
 pub mod verify;
 
+pub use admission::{AdmissionOrder, AdmissionPolicy, AdmissionResult};
 pub use allocator::Allocator;
 pub use binding::{Binding, ChannelPartition};
 pub use binding_aware::{BaActorKind, BindingAwareGraph, ConnectionModel};
@@ -85,9 +90,11 @@ pub use events::{
     EventSink, FlowEvent, FlowPhase, JsonlSink, LogSink, MetricsSink, MultiSink, NullSink,
     RecordingSink,
 };
-#[allow(deprecated)]
-pub use flow::{allocate, allocate_with_cache};
 pub use flow::{Allocation, FlowConfig, FlowStats};
+pub use ids::{AppId, SessionId};
 pub use metrics::{Metrics, MetricsRegistry, MetricsSnapshot, NullMetrics};
 pub use schedule::StaticOrderSchedule;
+pub use service::{
+    AllocationService, ServiceConfig, ServiceError, ServiceRequest, ServiceResponse, ServiceStatus,
+};
 pub use thru_cache::ThroughputCache;

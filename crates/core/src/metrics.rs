@@ -312,6 +312,9 @@ const PROBE_STATE_BOUNDS: &[u64] = &[
 /// Histogram bounds for binary-search iterations per refinement task.
 const REFINE_ITER_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128];
 
+/// Histogram bounds for requests executed per drained service batch.
+const QUEUE_DEPTH_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128];
+
 /// Name, help text, and snapshot order of every registry counter.
 /// The single source the exporters and [`MetricsSnapshot::counter`]
 /// agree on.
@@ -376,6 +379,22 @@ const COUNTERS: &[(&str, &str)] = &[
         "Applications rejected or skipped by an admission protocol.",
     ),
     ("dse_points", "Design-space-exploration points evaluated."),
+    (
+        "service_requests",
+        "Requests accepted into an allocation-service queue.",
+    ),
+    (
+        "sessions_admitted",
+        "Applications admitted as live service sessions.",
+    ),
+    (
+        "sessions_departed",
+        "Service sessions departed (resources reclaimed).",
+    ),
+    (
+        "sessions_rebound",
+        "Service sessions re-allocated after departures freed capacity.",
+    ),
 ];
 
 /// The full set of instruments the flow records into.
@@ -423,12 +442,24 @@ pub struct MetricsRegistry {
     pub admission_rejected: Counter,
     /// Design-space-exploration points evaluated.
     pub dse_points: Counter,
+    /// Requests accepted into an allocation-service queue.
+    pub service_requests: Counter,
+    /// Applications admitted as live service sessions.
+    pub sessions_admitted: Counter,
+    /// Service sessions departed (resources reclaimed).
+    pub sessions_departed: Counter,
+    /// Service sessions re-allocated after departures freed capacity.
+    pub sessions_rebound: Counter,
     /// Distinct configurations currently memoized by the cache.
     pub cache_entries: Gauge,
+    /// Currently live service sessions.
+    pub sessions_live: Gauge,
     /// States explored per constrained-throughput probe (misses only).
     pub probe_states: Histogram,
     /// Binary-search iterations per per-tile refinement task.
     pub refine_search_iters: Histogram,
+    /// Requests executed per drained service batch.
+    pub service_queue_depth: Histogram,
     /// Bind attempts per candidate tile index.
     pub bind_attempts_per_tile: IndexedCounter,
     /// Wall time per span of the flow → bind/schedule/slice → probe
@@ -464,9 +495,15 @@ impl MetricsRegistry {
             admission_admitted: Counter::default(),
             admission_rejected: Counter::default(),
             dse_points: Counter::default(),
+            service_requests: Counter::default(),
+            sessions_admitted: Counter::default(),
+            sessions_departed: Counter::default(),
+            sessions_rebound: Counter::default(),
             cache_entries: Gauge::default(),
+            sessions_live: Gauge::default(),
             probe_states: Histogram::new(PROBE_STATE_BOUNDS),
             refine_search_iters: Histogram::new(REFINE_ITER_BOUNDS),
+            service_queue_depth: Histogram::new(QUEUE_DEPTH_BOUNDS),
             bind_attempts_per_tile: IndexedCounter::default(),
             profiler: Profiler::default(),
         }
@@ -492,6 +529,10 @@ impl MetricsRegistry {
             "admission_admitted" => self.admission_admitted.get(),
             "admission_rejected" => self.admission_rejected.get(),
             "dse_points" => self.dse_points.get(),
+            "service_requests" => self.service_requests.get(),
+            "sessions_admitted" => self.sessions_admitted.get(),
+            "sessions_departed" => self.sessions_departed.get(),
+            "sessions_rebound" => self.sessions_rebound.get(),
             other => unreachable!("unregistered counter `{other}`"),
         }
     }
@@ -551,6 +592,19 @@ impl MetricsRegistry {
                 }
             }
             FlowEvent::DsePointEvaluated { .. } => self.dse_points.inc(),
+            FlowEvent::ServiceRequestQueued { .. } => self.service_requests.inc(),
+            FlowEvent::ServiceBatchDrained { requests, .. } => {
+                self.service_queue_depth.observe(*requests as u64);
+            }
+            FlowEvent::SessionAdmitted { live, .. } => {
+                self.sessions_admitted.inc();
+                self.sessions_live.set(*live as u64);
+            }
+            FlowEvent::SessionDeparted { live, .. } => {
+                self.sessions_departed.inc();
+                self.sessions_live.set(*live as u64);
+            }
+            FlowEvent::SessionRebound { .. } => self.sessions_rebound.inc(),
             _ => {}
         }
     }
@@ -563,6 +617,7 @@ impl MetricsRegistry {
                 .map(|&(name, _)| (name, self.counter_value(name)))
                 .collect(),
             cache_entries: self.cache_entries.get(),
+            sessions_live: self.sessions_live.get(),
             bind_attempts_per_tile: self.bind_attempts_per_tile.values(),
             histograms: vec![
                 self.probe_states.snapshot(
@@ -572,6 +627,10 @@ impl MetricsRegistry {
                 self.refine_search_iters.snapshot(
                     "refine_search_iters",
                     "Binary-search iterations per per-tile refinement task.",
+                ),
+                self.service_queue_depth.snapshot(
+                    "service_queue_depth",
+                    "Requests executed per drained service batch.",
                 ),
             ],
             phases: SpanKind::ALL
@@ -713,6 +772,8 @@ pub struct MetricsSnapshot {
     pub counters: Vec<(&'static str, u64)>,
     /// The cache-residency gauge.
     pub cache_entries: u64,
+    /// The live-session gauge.
+    pub sessions_live: u64,
     /// Bind attempts per tile index.
     pub bind_attempts_per_tile: Vec<u64>,
     /// Every histogram, fixed registration order.
@@ -759,6 +820,9 @@ impl MetricsSnapshot {
         out.push_str("# HELP sdfrs_cache_entries Distinct configurations currently memoized.\n");
         out.push_str("# TYPE sdfrs_cache_entries gauge\n");
         let _ = writeln!(out, "sdfrs_cache_entries {}", self.cache_entries);
+        out.push_str("# HELP sdfrs_sessions_live Currently live service sessions.\n");
+        out.push_str("# TYPE sdfrs_sessions_live gauge\n");
+        let _ = writeln!(out, "sdfrs_sessions_live {}", self.sessions_live);
         if !self.bind_attempts_per_tile.is_empty() {
             out.push_str(
                 "# HELP sdfrs_bind_attempts_per_tile_total Bind attempts per candidate tile.\n",
@@ -822,8 +886,8 @@ impl MetricsSnapshot {
         }
         let _ = write!(
             out,
-            "}},\"gauges\":{{\"cache_entries\":{}}}",
-            self.cache_entries
+            "}},\"gauges\":{{\"cache_entries\":{},\"sessions_live\":{}}}",
+            self.cache_entries, self.sessions_live
         );
         out.push_str(",\"bind_attempts_per_tile\":[");
         for (i, v) in self.bind_attempts_per_tile.iter().enumerate() {
@@ -1012,6 +1076,42 @@ mod tests {
         assert_eq!(s.counter("refine_slice_iterations"), 1);
         assert_eq!(s.counter("cache_hits"), 1);
         assert_eq!(s.counter("cache_misses"), 1);
+    }
+
+    #[test]
+    fn service_events_feed_the_session_instruments() {
+        let registry = MetricsRegistry::new();
+        registry.record_event(&FlowEvent::ServiceRequestQueued {
+            seq: 0,
+            op: "admit",
+        });
+        registry.record_event(&FlowEvent::SessionAdmitted {
+            session: 1,
+            app: "a".into(),
+            live: 1,
+        });
+        registry.record_event(&FlowEvent::ServiceBatchDrained {
+            batch: 0,
+            requests: 3,
+        });
+        registry.record_event(&FlowEvent::SessionDeparted {
+            session: 1,
+            live: 0,
+        });
+        registry.record_event(&FlowEvent::SessionRebound {
+            session: 2,
+            changed: false,
+        });
+        let s = registry.snapshot();
+        assert_eq!(s.counter("service_requests"), 1);
+        assert_eq!(s.counter("sessions_admitted"), 1);
+        assert_eq!(s.counter("sessions_departed"), 1);
+        assert_eq!(s.counter("sessions_rebound"), 1);
+        assert_eq!(s.sessions_live, 0);
+        let depth = &s.histograms[2];
+        assert_eq!(depth.name, "service_queue_depth");
+        assert_eq!(depth.count, 1);
+        assert_eq!(depth.sum, 3);
     }
 
     #[test]

@@ -10,6 +10,7 @@ use crate::allocator::Allocator;
 use crate::error::MapError;
 use crate::events::FlowEvent;
 use crate::flow::{Allocation, FlowConfig, FlowStats};
+use crate::ids::AppId;
 
 /// Outcome of allocating a sequence of applications.
 #[derive(Debug)]
@@ -21,6 +22,9 @@ pub struct MultiAppResult {
     /// The error that stopped the sequence (`None` if every application
     /// fit).
     pub failure: Option<MapError>,
+    /// Which application the sequence stopped at (`None` if every
+    /// application fit).
+    pub failed_app: Option<AppId>,
     /// The platform state after the last successful allocation.
     pub final_state: PlatformState,
 }
@@ -74,6 +78,7 @@ pub fn allocate_until_failure_with(
     let mut allocations = Vec::new();
     let mut stats = Vec::new();
     let mut failure = None;
+    let mut failed_app = None;
     for (index, app) in apps.iter().enumerate() {
         match allocator.allocate(app, arch, &state) {
             Ok((alloc, s)) => {
@@ -97,6 +102,7 @@ pub fn allocate_until_failure_with(
                     detail: e.to_string(),
                 });
                 failure = Some(e);
+                failed_app = Some(AppId::from_index(index));
                 break;
             }
         }
@@ -105,6 +111,7 @@ pub fn allocate_until_failure_with(
         allocations,
         stats,
         failure,
+        failed_app,
         final_state: state,
     }
 }
@@ -156,5 +163,6 @@ mod tests {
         let result = allocate_until_failure(&apps, &arch, &FlowConfig::default());
         assert_eq!(result.bound_count(), 1);
         assert_eq!(result.failure, Some(MapError::ConstraintUnsatisfiable));
+        assert_eq!(result.failed_app, Some(AppId::from_index(1)));
     }
 }

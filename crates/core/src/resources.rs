@@ -38,6 +38,15 @@ pub fn tile_capacity(
     }
 }
 
+/// The remaining capacity of every tile, tile-index order — the residual
+/// view an [`AllocationService`](crate::service::AllocationService)
+/// reports in its status and that departures replenish.
+pub fn platform_residual(arch: &ArchitectureGraph, state: &PlatformState) -> Vec<TileCapacity> {
+    arch.tile_ids()
+        .map(|t| tile_capacity(arch, state, t))
+        .collect()
+}
+
 /// The resources the current (partial) binding demands from one tile:
 /// the left-hand sides of constraints 2–4 of Section 7, plus a provisional
 /// wheel demand of zero (slices are allocated later).
@@ -284,6 +293,28 @@ mod tests {
         assert_eq!(usage[1].wheel, 6);
         assert_eq!(usage[0].memory, 225);
         assert_eq!(usage[1].memory, 210);
+    }
+
+    #[test]
+    fn residual_reflects_claims_and_releases() {
+        let (_, arch, _) = example_binding();
+        let mut state = PlatformState::new(&arch);
+        let fresh = platform_residual(&arch, &state);
+        assert_eq!(fresh.len(), arch.tile_count());
+        let use0 = TileUsage {
+            wheel: 4,
+            memory: 100,
+            connections: 1,
+            bandwidth_in: 10,
+            bandwidth_out: 20,
+        };
+        state.claim(TileId::from_index(0), use0);
+        let claimed = platform_residual(&arch, &state);
+        assert_eq!(claimed[0].wheel, fresh[0].wheel - 4);
+        assert_eq!(claimed[0].memory, fresh[0].memory - 100);
+        assert_eq!(claimed[1], fresh[1]);
+        state.release(TileId::from_index(0), use0);
+        assert_eq!(platform_residual(&arch, &state), fresh);
     }
 
     #[test]

@@ -1,0 +1,822 @@
+//! The online admission service: long-lived multi-tenant allocation
+//! sessions over one persistent platform.
+//!
+//! The batch protocols ([`multi_app`](crate::multi_app),
+//! [`admission`](crate::admission)) run the Sec 10.1 flow once and stop;
+//! a platform serving sustained traffic also needs applications to
+//! *depart* — returning their tile budgets to the pool — and concurrent
+//! requests to be drained against shared state. [`AllocationService`]
+//! owns exactly that state:
+//!
+//! * the **residual** [`PlatformState`]: what every earlier admission
+//!   claimed and every departure released;
+//! * a registry of live **sessions**, each holding the application and
+//!   the [`Allocation`] it was admitted with, keyed by a never-reused
+//!   [`SessionId`];
+//! * one [`Allocator`] — and thus one
+//!   [`ThroughputCache`](crate::ThroughputCache), event sink and metrics
+//!   registry — shared by every request the service ever executes.
+//!
+//! Requests are either applied directly ([`admit`](AllocationService::admit),
+//! [`depart`](AllocationService::depart),
+//! [`rebind`](AllocationService::rebind),
+//! [`status`](AllocationService::status)) or queued with
+//! [`enqueue`](AllocationService::enqueue) and executed by
+//! [`drain`](AllocationService::drain) in deterministic batches: each
+//! batch first allocates its admissions *speculatively in parallel*
+//! against a snapshot of the residual state (cache-warming forks of the
+//! shared [`ThroughputCache`](crate::ThroughputCache), absorbed before
+//! commit), then commits every request sequentially in arrival order.
+//! The commit re-runs each admission against the true residual state —
+//! answered from the warmed cache when no earlier commit changed the
+//! state — so a drained batch is *bit-identical* to processing the same
+//! requests one by one. The conformance harness pins exactly that
+//! equivalence (oracle 6).
+//!
+//! # Example
+//!
+//! ```
+//! use sdfrs_appmodel::apps::{example_platform, paper_example};
+//! use sdfrs_core::service::AllocationService;
+//!
+//! let arch = example_platform();
+//! let mut service = AllocationService::new(&arch);
+//! let first = service.admit(&paper_example()).unwrap();
+//! let second = service.admit(&paper_example()).unwrap();
+//! service.depart(first).unwrap();
+//! assert_eq!(service.live_count(), 1);
+//! // The departed budgets are available again.
+//! let third = service.admit(&paper_example()).unwrap();
+//! assert!(third > second);
+//! ```
+
+use std::collections::BTreeMap;
+
+use sdfrs_appmodel::ApplicationGraph;
+use sdfrs_fastutil::par::maybe_par_map;
+use sdfrs_platform::{ArchitectureGraph, PlatformState, TileUsage};
+use sdfrs_sdf::Rational;
+
+use crate::allocator::Allocator;
+use crate::error::MapError;
+use crate::events::{json_escape, EventSink, FlowEvent};
+use crate::flow::{Allocation, FlowConfig, FlowStats};
+use crate::ids::SessionId;
+use crate::metrics::Metrics;
+use crate::resources::{platform_residual, TileCapacity};
+
+/// Configuration of an [`AllocationService`].
+///
+/// Marked `#[non_exhaustive]`: build one with [`ServiceConfig::default`]
+/// and adjust fields from there.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// The flow configuration every admission runs under.
+    pub flow: FlowConfig,
+    /// Queued requests executed per batch by [`drain`]
+    /// ([`AllocationService::drain`]); clamped to at least 1.
+    ///
+    /// [`drain`]: AllocationService::drain
+    pub batch_capacity: usize,
+    /// Whether a batch's admissions are speculatively allocated in
+    /// parallel before the sequential commit. Never changes results —
+    /// only how warm the shared cache is when the commit runs.
+    pub parallel_speculation: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            flow: FlowConfig::default(),
+            batch_capacity: 16,
+            parallel_speculation: true,
+        }
+    }
+}
+
+/// A request to the service, as queued by
+/// [`enqueue`](AllocationService::enqueue).
+///
+/// Marked `#[non_exhaustive]`: a long-lived service will grow more
+/// operations (constraint renegotiation, priority eviction).
+#[non_exhaustive]
+#[derive(Debug, Clone)]
+pub enum ServiceRequest {
+    /// Admit an application as a new session.
+    Admit {
+        /// The application to admit (its throughput constraint rides
+        /// along inside the graph).
+        app: Box<ApplicationGraph>,
+    },
+    /// Depart a live session, reclaiming its resources.
+    Depart {
+        /// The session to depart.
+        session: SessionId,
+    },
+    /// Re-allocate a live session against the current residual state.
+    Rebind {
+        /// The session to rebind.
+        session: SessionId,
+    },
+    /// Report the live sessions and the residual platform.
+    Status,
+}
+
+impl ServiceRequest {
+    /// Stable operation name used in events and JSONL responses.
+    pub fn op(&self) -> &'static str {
+        match self {
+            ServiceRequest::Admit { .. } => "admit",
+            ServiceRequest::Depart { .. } => "depart",
+            ServiceRequest::Rebind { .. } => "rebind",
+            ServiceRequest::Status => "status",
+        }
+    }
+}
+
+/// Why a session-addressed request failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The session id is not live (never existed, or already departed —
+    /// ids are never reused, so the two are indistinguishable on
+    /// purpose).
+    UnknownSession(SessionId),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::UnknownSession(id) => write!(f, "unknown session {id}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Outcome of a [`rebind`](AllocationService::rebind).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RebindOutcome {
+    /// Guaranteed throughput after the rebind.
+    pub throughput: Rational,
+    /// Whether the new allocation differs from the old one (binding or
+    /// slices moved). `false` also when re-allocation failed and the old
+    /// allocation was kept — a rebind never loses a valid session.
+    pub changed: bool,
+}
+
+/// One live session, as reported by
+/// [`status`](AllocationService::status).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionInfo {
+    /// The session's ticket.
+    pub session: SessionId,
+    /// Application name.
+    pub app: String,
+    /// Guaranteed throughput of the current allocation.
+    pub throughput: Rational,
+    /// Total TDMA wheel time the allocation claims across all tiles.
+    pub wheel: u64,
+}
+
+/// A point-in-time view of the service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceStatus {
+    /// Every live session, admission order (= ascending session id).
+    pub sessions: Vec<SessionInfo>,
+    /// Requests queued but not yet drained.
+    pub queue_depth: usize,
+    /// Total resources claimed across all tiles.
+    pub claimed: TileUsage,
+}
+
+/// The response to one [`ServiceRequest`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceResponse {
+    /// An admission succeeded.
+    Admitted {
+        /// The new session's ticket.
+        session: SessionId,
+        /// Application name.
+        app: String,
+        /// Guaranteed throughput of the allocation.
+        throughput: Rational,
+        /// Total wheel time claimed across all tiles.
+        wheel: u64,
+    },
+    /// An admission failed; no session was created.
+    Rejected {
+        /// Application name.
+        app: String,
+        /// Why the flow found no valid allocation.
+        error: MapError,
+    },
+    /// A departure succeeded.
+    Departed {
+        /// The departed session.
+        session: SessionId,
+        /// Total resources returned to the pool, summed over tiles.
+        reclaimed: TileUsage,
+    },
+    /// A rebind completed (possibly keeping the old allocation).
+    Rebound {
+        /// The rebound session.
+        session: SessionId,
+        /// The rebind outcome.
+        outcome: RebindOutcome,
+    },
+    /// A status report.
+    Status(ServiceStatus),
+    /// A session-addressed request failed.
+    Failed {
+        /// The operation that failed.
+        op: &'static str,
+        /// Why.
+        error: ServiceError,
+    },
+}
+
+impl ServiceResponse {
+    /// Renders the response as one deterministic JSON object (no
+    /// timestamps, no timing data), tagged with the request's sequence
+    /// number — the line format of the CLI `serve` mode.
+    pub fn to_json_line(&self, seq: u64) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::with_capacity(96);
+        let _ = write!(s, "{{\"id\":{seq}");
+        match self {
+            ServiceResponse::Admitted {
+                session,
+                app,
+                throughput,
+                wheel,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"op\":\"admit\",\"ok\":true,\"session\":{},\"app\":\"{}\",\"throughput\":\"{throughput}\",\"wheel\":{wheel}",
+                    session.raw(),
+                    json_escape(app)
+                );
+            }
+            ServiceResponse::Rejected { app, error } => {
+                let _ = write!(
+                    s,
+                    ",\"op\":\"admit\",\"ok\":false,\"app\":\"{}\",\"error\":\"{}\"",
+                    json_escape(app),
+                    json_escape(&error.to_string())
+                );
+            }
+            ServiceResponse::Departed { session, reclaimed } => {
+                let _ = write!(
+                    s,
+                    ",\"op\":\"depart\",\"ok\":true,\"session\":{},\"reclaimed_wheel\":{},\"reclaimed_memory\":{},\"reclaimed_connections\":{}",
+                    session.raw(),
+                    reclaimed.wheel,
+                    reclaimed.memory,
+                    reclaimed.connections
+                );
+            }
+            ServiceResponse::Rebound { session, outcome } => {
+                let _ = write!(
+                    s,
+                    ",\"op\":\"rebind\",\"ok\":true,\"session\":{},\"throughput\":\"{}\",\"changed\":{}",
+                    session.raw(),
+                    outcome.throughput,
+                    outcome.changed
+                );
+            }
+            ServiceResponse::Status(status) => {
+                let _ = write!(
+                    s,
+                    ",\"op\":\"status\",\"ok\":true,\"live\":{},\"queue_depth\":{},\"claimed_wheel\":{},\"sessions\":[",
+                    status.sessions.len(),
+                    status.queue_depth,
+                    status.claimed.wheel
+                );
+                for (i, info) in status.sessions.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    let _ = write!(
+                        s,
+                        "{{\"session\":{},\"app\":\"{}\",\"throughput\":\"{}\",\"wheel\":{}}}",
+                        info.session.raw(),
+                        json_escape(&info.app),
+                        info.throughput,
+                        info.wheel
+                    );
+                }
+                s.push(']');
+            }
+            ServiceResponse::Failed { op, error } => {
+                let _ = write!(
+                    s,
+                    ",\"op\":\"{op}\",\"ok\":false,\"error\":\"{}\"",
+                    json_escape(&error.to_string())
+                );
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// One live session.
+#[derive(Debug, Clone)]
+struct Session {
+    app: ApplicationGraph,
+    allocation: Allocation,
+    #[allow(dead_code)]
+    stats: FlowStats,
+}
+
+/// The long-lived admission daemon: persistent residual platform state,
+/// a live-session registry, and a queue drained in deterministic
+/// batches. See the [module docs](self).
+pub struct AllocationService {
+    arch: ArchitectureGraph,
+    allocator: Allocator,
+    residual: PlatformState,
+    sessions: BTreeMap<SessionId, Session>,
+    next_session: u64,
+    queue: Vec<(u64, ServiceRequest)>,
+    next_seq: u64,
+    batches_drained: usize,
+    batch_capacity: usize,
+    parallel_speculation: bool,
+}
+
+impl std::fmt::Debug for AllocationService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AllocationService")
+            .field("live", &self.sessions.len())
+            .field("queue_depth", &self.queue.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl AllocationService {
+    /// A service over `arch` with the default [`ServiceConfig`]: empty
+    /// platform, no sessions, empty queue.
+    pub fn new(arch: &ArchitectureGraph) -> Self {
+        Self::from_config(arch, ServiceConfig::default())
+    }
+
+    /// A service over `arch` with the given configuration.
+    pub fn from_config(arch: &ArchitectureGraph, config: ServiceConfig) -> Self {
+        AllocationService {
+            arch: arch.clone(),
+            allocator: Allocator::from_config(config.flow),
+            residual: PlatformState::new(arch),
+            sessions: BTreeMap::new(),
+            next_session: 1,
+            queue: Vec::new(),
+            next_seq: 0,
+            batches_drained: 0,
+            batch_capacity: config.batch_capacity.max(1),
+            parallel_speculation: config.parallel_speculation,
+        }
+    }
+
+    /// Routes all service and flow events to `sink`.
+    #[must_use]
+    pub fn with_sink(mut self, sink: impl EventSink + 'static) -> Self {
+        self.allocator = self.allocator.with_sink(sink);
+        self
+    }
+
+    /// Routes all service and flow events to an already-boxed sink.
+    #[must_use]
+    pub fn with_boxed_sink(mut self, sink: Box<dyn EventSink>) -> Self {
+        self.allocator = self.allocator.with_boxed_sink(sink);
+        self
+    }
+
+    /// Attaches a metrics handle shared by every request the service
+    /// executes (session counters, the live gauge, the queue-depth
+    /// histogram, and all flow instruments).
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: impl Into<Metrics>) -> Self {
+        self.allocator = self.allocator.with_metrics(metrics);
+        self
+    }
+
+    /// The platform the service allocates on.
+    pub fn arch(&self) -> &ArchitectureGraph {
+        &self.arch
+    }
+
+    /// The residual platform state (everything claimed by live
+    /// sessions).
+    pub fn residual(&self) -> &PlatformState {
+        &self.residual
+    }
+
+    /// The remaining capacity of every tile, tile-index order.
+    pub fn residual_capacity(&self) -> Vec<TileCapacity> {
+        platform_residual(&self.arch, &self.residual)
+    }
+
+    /// Number of live sessions.
+    pub fn live_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Requests queued but not yet drained.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The current allocation of a live session.
+    pub fn allocation(&self, session: SessionId) -> Option<&Allocation> {
+        self.sessions.get(&session).map(|s| &s.allocation)
+    }
+
+    /// The application of a live session.
+    pub fn application(&self, session: SessionId) -> Option<&ApplicationGraph> {
+        self.sessions.get(&session).map(|s| &s.app)
+    }
+
+    /// Live session ids, admission order.
+    pub fn session_ids(&self) -> Vec<SessionId> {
+        self.sessions.keys().copied().collect()
+    }
+
+    /// Flushes the event sink (buffered trace files).
+    pub fn flush(&mut self) {
+        self.allocator.flush();
+    }
+
+    /// Runs the Sec 9 flow for `app` against the residual platform and,
+    /// on success, claims the allocation and registers a new session.
+    ///
+    /// # Errors
+    ///
+    /// Any [`MapError`] of the flow; the service state is untouched on
+    /// failure.
+    pub fn admit(&mut self, app: &ApplicationGraph) -> Result<SessionId, MapError> {
+        let (allocation, stats) = self.allocator.allocate(app, &self.arch, &self.residual)?;
+        allocation.claim_on(&self.arch, &mut self.residual);
+        let session = SessionId::from_raw(self.next_session);
+        self.next_session += 1;
+        self.sessions.insert(
+            session,
+            Session {
+                app: app.clone(),
+                allocation,
+                stats,
+            },
+        );
+        let live = self.sessions.len();
+        self.allocator.metric(|m| {
+            m.sessions_admitted.inc();
+            m.sessions_live.set(live as u64);
+        });
+        self.allocator.emit(|| FlowEvent::SessionAdmitted {
+            session: session.raw(),
+            app: app.graph().name().to_string(),
+            live,
+        });
+        Ok(session)
+    }
+
+    /// Removes a live session and releases everything its allocation
+    /// claimed, so later admissions see the freed budgets. Returns the
+    /// total reclaimed resources, summed over tiles.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownSession`] if the session is not live.
+    pub fn depart(&mut self, session: SessionId) -> Result<TileUsage, ServiceError> {
+        let entry = self
+            .sessions
+            .remove(&session)
+            .ok_or(ServiceError::UnknownSession(session))?;
+        entry.allocation.release_on(&self.arch, &mut self.residual);
+        let mut reclaimed = TileUsage::default();
+        for u in &entry.allocation.usage {
+            reclaimed.wheel += u.wheel;
+            reclaimed.memory += u.memory;
+            reclaimed.connections += u.connections;
+            reclaimed.bandwidth_in += u.bandwidth_in;
+            reclaimed.bandwidth_out += u.bandwidth_out;
+        }
+        let live = self.sessions.len();
+        self.allocator.metric(|m| {
+            m.sessions_departed.inc();
+            m.sessions_live.set(live as u64);
+        });
+        self.allocator.emit(|| FlowEvent::SessionDeparted {
+            session: session.raw(),
+            live,
+        });
+        Ok(reclaimed)
+    }
+
+    /// Re-runs the flow for a live session against the residual state
+    /// *without* the session's own claim — after departures freed
+    /// capacity, the session may find a better (smaller-slice) fit. If
+    /// re-allocation fails the old allocation is restored untouched; a
+    /// rebind never loses a valid session.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownSession`] if the session is not live.
+    pub fn rebind(&mut self, session: SessionId) -> Result<RebindOutcome, ServiceError> {
+        let entry = self
+            .sessions
+            .get(&session)
+            .ok_or(ServiceError::UnknownSession(session))?;
+        let old = entry.allocation.clone();
+        let app = entry.app.clone();
+        old.release_on(&self.arch, &mut self.residual);
+        let outcome = match self.allocator.allocate(&app, &self.arch, &self.residual) {
+            Ok((new_alloc, stats)) => {
+                new_alloc.claim_on(&self.arch, &mut self.residual);
+                let changed = new_alloc.binding != old.binding || new_alloc.slices != old.slices;
+                let throughput = new_alloc.guaranteed_throughput();
+                let entry = self.sessions.get_mut(&session).expect("session is live");
+                entry.allocation = new_alloc;
+                entry.stats = stats;
+                RebindOutcome {
+                    throughput,
+                    changed,
+                }
+            }
+            Err(_) => {
+                // The freed state can only be *more* permissive than the
+                // one the session was admitted on, but the heuristic flow
+                // gives no such guarantee — restore the old claim.
+                old.claim_on(&self.arch, &mut self.residual);
+                RebindOutcome {
+                    throughput: old.guaranteed_throughput(),
+                    changed: false,
+                }
+            }
+        };
+        self.allocator.metric(|m| m.sessions_rebound.inc());
+        self.allocator.emit(|| FlowEvent::SessionRebound {
+            session: session.raw(),
+            changed: outcome.changed,
+        });
+        Ok(outcome)
+    }
+
+    /// A point-in-time view: live sessions (admission order), queue
+    /// depth, and total claimed resources.
+    pub fn status(&self) -> ServiceStatus {
+        ServiceStatus {
+            sessions: self
+                .sessions
+                .iter()
+                .map(|(&session, entry)| SessionInfo {
+                    session,
+                    app: entry.app.graph().name().to_string(),
+                    throughput: entry.allocation.guaranteed_throughput(),
+                    wheel: entry.allocation.usage.iter().map(|u| u.wheel).sum(),
+                })
+                .collect(),
+            queue_depth: self.queue.len(),
+            claimed: self.residual.total_usage(),
+        }
+    }
+
+    /// Accepts a request into the queue and returns its sequence number
+    /// (the id its [`drain`](Self::drain) response will carry).
+    pub fn enqueue(&mut self, request: ServiceRequest) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.allocator.metric(|m| m.service_requests.inc());
+        let op = request.op();
+        self.allocator
+            .emit(|| FlowEvent::ServiceRequestQueued { seq, op });
+        self.queue.push((seq, request));
+        seq
+    }
+
+    /// Executes every queued request in batches of at most
+    /// `batch_capacity`, in arrival order, and returns `(seq, response)`
+    /// pairs in the same order.
+    ///
+    /// Each batch's admissions are first allocated speculatively in
+    /// parallel against a snapshot of the residual state (warming the
+    /// shared cache); the commit then re-runs every request
+    /// sequentially, so the result is identical to executing the
+    /// requests one by one — batching changes wall-clock time, never
+    /// outcomes.
+    pub fn drain(&mut self) -> Vec<(u64, ServiceResponse)> {
+        let mut pending = std::mem::take(&mut self.queue);
+        let mut responses = Vec::with_capacity(pending.len());
+        let mut pending = pending.drain(..);
+        loop {
+            let batch: Vec<(u64, ServiceRequest)> =
+                pending.by_ref().take(self.batch_capacity).collect();
+            if batch.is_empty() {
+                break;
+            }
+            self.speculate(&batch);
+            let requests = batch.len();
+            for (seq, request) in batch {
+                let response = self.execute(request);
+                responses.push((seq, response));
+            }
+            let batch_no = self.batches_drained;
+            self.batches_drained += 1;
+            self.allocator
+                .metric(|m| m.service_queue_depth.observe(requests as u64));
+            self.allocator.emit(|| FlowEvent::ServiceBatchDrained {
+                batch: batch_no,
+                requests,
+            });
+        }
+        responses
+    }
+
+    /// Speculatively allocates the batch's admissions in parallel
+    /// against the current residual state, through forks of the shared
+    /// cache that are absorbed back before the sequential commit. The
+    /// first admission of the batch then replays entirely from the
+    /// cache; later ones do whenever no earlier commit changed the
+    /// state. Pure cache-warming: results are discarded.
+    fn speculate(&mut self, batch: &[(u64, ServiceRequest)]) {
+        if !self.parallel_speculation {
+            return;
+        }
+        let admits: Vec<&ApplicationGraph> = batch
+            .iter()
+            .filter_map(|(_, r)| match r {
+                ServiceRequest::Admit { app } => Some(app.as_ref()),
+                _ => None,
+            })
+            .collect();
+        if admits.len() < 2 {
+            return;
+        }
+        let config = *self.allocator.config();
+        let snapshot = self.residual.clone();
+        let forks = {
+            let arch = &self.arch;
+            let cache = self.allocator.cache();
+            maybe_par_map(true, &admits, |app| {
+                let mut speculative = Allocator::from_config(config).with_cache(cache.fork());
+                let _ = speculative.allocate(app, arch, &snapshot);
+                speculative.into_cache()
+            })
+        };
+        for fork in forks {
+            self.allocator.cache_mut().absorb(fork);
+        }
+    }
+
+    /// Applies one request to the service state.
+    fn execute(&mut self, request: ServiceRequest) -> ServiceResponse {
+        match request {
+            ServiceRequest::Admit { app } => {
+                let name = app.graph().name().to_string();
+                match self.admit(&app) {
+                    Ok(session) => {
+                        let allocation = &self.sessions[&session].allocation;
+                        ServiceResponse::Admitted {
+                            session,
+                            app: name,
+                            throughput: allocation.guaranteed_throughput(),
+                            wheel: allocation.usage.iter().map(|u| u.wheel).sum(),
+                        }
+                    }
+                    Err(error) => ServiceResponse::Rejected { app: name, error },
+                }
+            }
+            ServiceRequest::Depart { session } => match self.depart(session) {
+                Ok(reclaimed) => ServiceResponse::Departed { session, reclaimed },
+                Err(error) => ServiceResponse::Failed {
+                    op: "depart",
+                    error,
+                },
+            },
+            ServiceRequest::Rebind { session } => match self.rebind(session) {
+                Ok(outcome) => ServiceResponse::Rebound { session, outcome },
+                Err(error) => ServiceResponse::Failed {
+                    op: "rebind",
+                    error,
+                },
+            },
+            ServiceRequest::Status => ServiceResponse::Status(self.status()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdfrs_appmodel::apps::{example_platform, paper_example};
+
+    fn service() -> AllocationService {
+        AllocationService::new(&example_platform())
+    }
+
+    #[test]
+    fn admit_claims_and_depart_releases() {
+        let mut s = service();
+        let empty = s.residual().clone();
+        let id = s.admit(&paper_example()).unwrap();
+        assert_ne!(s.residual(), &empty);
+        assert_eq!(s.live_count(), 1);
+        let reclaimed = s.depart(id).unwrap();
+        assert!(reclaimed.wheel > 0);
+        assert_eq!(s.residual(), &empty, "depart must release the exact claim");
+        assert_eq!(s.live_count(), 0);
+    }
+
+    #[test]
+    fn session_ids_are_never_reused() {
+        let mut s = service();
+        let a = s.admit(&paper_example()).unwrap();
+        s.depart(a).unwrap();
+        let b = s.admit(&paper_example()).unwrap();
+        assert!(b > a);
+        assert_eq!(
+            s.depart(a),
+            Err(ServiceError::UnknownSession(a)),
+            "a departed ticket must stay invalid"
+        );
+    }
+
+    #[test]
+    fn drain_matches_direct_calls() {
+        let app = paper_example();
+        let mut online = service();
+        let mut batched = AllocationService::from_config(
+            &example_platform(),
+            ServiceConfig {
+                batch_capacity: 8,
+                ..ServiceConfig::default()
+            },
+        );
+        let requests = [
+            ServiceRequest::Admit {
+                app: Box::new(app.clone()),
+            },
+            ServiceRequest::Admit {
+                app: Box::new(app.clone()),
+            },
+            ServiceRequest::Depart {
+                session: SessionId::from_raw(2),
+            },
+            ServiceRequest::Status,
+        ];
+        let mut online_responses = Vec::new();
+        for r in &requests {
+            let seq = online.enqueue(r.clone());
+            let mut drained = online.drain();
+            assert_eq!(drained.len(), 1);
+            let (got_seq, response) = drained.pop().unwrap();
+            assert_eq!(got_seq, seq);
+            online_responses.push(response);
+        }
+        for r in &requests {
+            batched.enqueue(r.clone());
+        }
+        let batched_responses: Vec<ServiceResponse> =
+            batched.drain().into_iter().map(|(_, r)| r).collect();
+        assert_eq!(online_responses, batched_responses);
+        assert_eq!(online.residual(), batched.residual());
+    }
+
+    #[test]
+    fn status_reports_sessions_in_admission_order() {
+        let mut s = service();
+        let a = s.admit(&paper_example()).unwrap();
+        let b = s.admit(&paper_example()).unwrap();
+        let status = s.status();
+        assert_eq!(status.sessions.len(), 2);
+        assert_eq!(status.sessions[0].session, a);
+        assert_eq!(status.sessions[1].session, b);
+        assert_eq!(status.claimed, s.residual().total_usage());
+        assert_eq!(status.queue_depth, 0);
+    }
+
+    #[test]
+    fn responses_render_as_single_json_lines() {
+        let mut s = service();
+        for request in [
+            ServiceRequest::Admit {
+                app: Box::new(paper_example()),
+            },
+            ServiceRequest::Status,
+            ServiceRequest::Depart {
+                session: SessionId::from_raw(99),
+            },
+        ] {
+            s.enqueue(request);
+        }
+        for (seq, response) in s.drain() {
+            let line = response.to_json_line(seq);
+            assert!(
+                line.starts_with(&format!("{{\"id\":{seq},\"op\":\"")),
+                "{line}"
+            );
+            assert!(line.ends_with('}'), "{line}");
+            assert!(!line.contains('\n'), "{line}");
+        }
+    }
+}

@@ -108,6 +108,19 @@ impl PlatformState {
         u.bandwidth_out = u.bandwidth_out.saturating_add(add.bandwidth_out);
     }
 
+    /// Releases previously claimed resources on a tile (saturating): the
+    /// exact inverse of [`claim`](Self::claim) as long as nothing
+    /// saturated, which is what lets a departing application hand its
+    /// budgets back to later admissions.
+    pub fn release(&mut self, tile: TileId, sub: TileUsage) {
+        let u = &mut self.usage[tile.index()];
+        u.wheel = u.wheel.saturating_sub(sub.wheel);
+        u.memory = u.memory.saturating_sub(sub.memory);
+        u.connections = u.connections.saturating_sub(sub.connections);
+        u.bandwidth_in = u.bandwidth_in.saturating_sub(sub.bandwidth_in);
+        u.bandwidth_out = u.bandwidth_out.saturating_sub(sub.bandwidth_out);
+    }
+
     /// Total usage summed over all tiles (for resource-efficiency
     /// reporting, Table 5).
     pub fn total_usage(&self) -> TileUsage {
@@ -178,6 +191,56 @@ mod tests {
         assert_eq!(s.available_bandwidth_in(&a, t1), 35);
         assert_eq!(s.available_bandwidth_out(&a, t1), 40);
         assert_eq!(s.usage(t1).wheel, 5);
+    }
+
+    #[test]
+    fn release_undoes_claim_exactly() {
+        let (a, t1, t2) = arch();
+        let mut s = PlatformState::new(&a);
+        let before = s.clone();
+        let use1 = TileUsage {
+            wheel: 3,
+            memory: 40,
+            connections: 1,
+            bandwidth_in: 10,
+            bandwidth_out: 20,
+        };
+        let use2 = TileUsage {
+            wheel: 7,
+            memory: 30,
+            connections: 2,
+            bandwidth_in: 5,
+            bandwidth_out: 0,
+        };
+        s.claim(t1, use1);
+        s.claim(t2, use2);
+        s.release(t1, use1);
+        s.release(t2, use2);
+        assert_eq!(s, before, "claim followed by release must be a no-op");
+    }
+
+    #[test]
+    fn over_release_saturates_at_zero() {
+        let (a, t1, _) = arch();
+        let mut s = PlatformState::new(&a);
+        s.claim(
+            t1,
+            TileUsage {
+                wheel: 2,
+                ..TileUsage::default()
+            },
+        );
+        s.release(
+            t1,
+            TileUsage {
+                wheel: 999,
+                memory: 999,
+                connections: 9,
+                bandwidth_in: 9,
+                bandwidth_out: 9,
+            },
+        );
+        assert_eq!(s.usage(t1), TileUsage::default());
     }
 
     #[test]

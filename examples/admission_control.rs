@@ -6,10 +6,11 @@
 //! cargo run --release --example admission_control
 //! ```
 
-use sdfrs_core::admission::{allocate_skipping_failures, dimension_platform, AdmissionOrder};
+use sdfrs_core::admission::{dimension_platform, AdmissionOrder, AdmissionPolicy};
 use sdfrs_core::cost::CostWeights;
 use sdfrs_core::flow::FlowConfig;
 use sdfrs_core::multi_app::allocate_until_failure;
+use sdfrs_core::Allocator;
 use sdfrs_gen::{AppGenerator, GeneratorConfig};
 use sdfrs_platform::mesh::{mesh_platform, MeshConfig};
 use sdfrs_platform::ProcessorType;
@@ -34,19 +35,27 @@ fn main() {
         apps.len()
     );
 
-    // Run-time mechanism: skip rejected applications.
-    for order in [
-        AdmissionOrder::Arrival,
-        AdmissionOrder::LightestFirst,
-        AdmissionOrder::HeaviestFirst,
-        AdmissionOrder::TightestConstraintFirst,
+    // Run-time mechanism: skip rejected applications, under every
+    // admission policy the unified `admit_with` front-end offers. One
+    // allocator serves all runs, so later policies reuse the cached
+    // throughput evaluations of earlier ones.
+    let mut allocator = Allocator::from_config(flow);
+    for policy in [
+        AdmissionPolicy::FirstFit(AdmissionOrder::Arrival),
+        AdmissionPolicy::FirstFit(AdmissionOrder::LightestFirst),
+        AdmissionPolicy::FirstFit(AdmissionOrder::HeaviestFirst),
+        AdmissionPolicy::FirstFit(AdmissionOrder::TightestConstraintFirst),
+        AdmissionPolicy::BestFit,
     ] {
-        let result = allocate_skipping_failures(&apps, &arch, &flow, order);
+        let result = allocator.admit_with(&apps, &arch, policy);
         println!(
-            "skip-failures, {order:?}: {} admitted, {} rejected",
+            "{policy:?}: {} admitted, {} rejected",
             result.admitted_count(),
             result.rejected.len()
         );
+        if let Some((app_id, _, _)) = result.admitted.first() {
+            println!("  first admitted: {app_id}");
+        }
     }
 
     // Design-time mechanism: grow a mesh until a fixed set fits entirely.
