@@ -326,6 +326,16 @@ impl BindingAwareGraph {
         TdmaSlice::new(self.wheels[tile.index()], self.slices[tile.index()])
     }
 
+    /// The sync actors and the tile whose slice each one waits for:
+    /// `(sync_actor, destination_tile)` pairs. A sync actor's execution
+    /// time is `w − ω` of its destination tile, so it is the one actor
+    /// kind whose timing changes under [`set_slices`](Self::set_slices) —
+    /// the incremental re-analysis uses this to know which tile's slice a
+    /// sync firing depends on.
+    pub fn sync_actors(&self) -> &[(ActorId, TileId)] {
+        &self.sync_actors
+    }
+
     /// Re-targets the graph to a new slice allocation: sync-actor
     /// execution times become `w − ω` of their destination tile and the
     /// TDMA configurations returned by [`tdma`](Self::tdma) follow.

@@ -76,6 +76,7 @@ pub mod tdma;
 pub mod thru_cache;
 pub mod tutorial;
 pub mod verify;
+pub mod warm;
 
 pub use admission::{AdmissionOrder, AdmissionPolicy, AdmissionResult};
 pub use allocator::Allocator;
@@ -98,3 +99,4 @@ pub use service::{
     AllocationService, ServiceConfig, ServiceError, ServiceRequest, ServiceResponse, ServiceStatus,
 };
 pub use thru_cache::ThroughputCache;
+pub use warm::{WarmPool, WarmStats};

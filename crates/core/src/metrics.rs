@@ -315,6 +315,9 @@ const REFINE_ITER_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128];
 /// Histogram bounds for requests executed per drained service batch.
 const QUEUE_DEPTH_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128];
 
+/// Histogram bounds for memoized transitions invalidated per warm probe.
+const INVALIDATED_BOUNDS: &[u64] = &[1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576];
+
 /// Name, help text, and snapshot order of every registry counter.
 /// The single source the exporters and [`MetricsSnapshot::counter`]
 /// agree on.
@@ -395,6 +398,22 @@ const COUNTERS: &[(&str, &str)] = &[
         "sessions_rebound",
         "Service sessions re-allocated after departures freed capacity.",
     ),
+    (
+        "warm_hits",
+        "Probe transitions replayed from the warm-start exploration memo.",
+    ),
+    (
+        "warm_misses",
+        "Probe transitions recomputed by the constrained executor.",
+    ),
+    (
+        "warm_trajectory_hits",
+        "Warm probes answered entirely from a memoized trajectory.",
+    ),
+    (
+        "cache_ancestor_hits",
+        "Cache misses with a memoized ancestor differing in one tile slice.",
+    ),
 ];
 
 /// The full set of instruments the flow records into.
@@ -450,6 +469,14 @@ pub struct MetricsRegistry {
     pub sessions_departed: Counter,
     /// Service sessions re-allocated after departures freed capacity.
     pub sessions_rebound: Counter,
+    /// Probe transitions replayed from the warm-start exploration memo.
+    pub warm_hits: Counter,
+    /// Probe transitions recomputed by the constrained executor.
+    pub warm_misses: Counter,
+    /// Warm probes answered entirely from a memoized trajectory.
+    pub warm_trajectory_hits: Counter,
+    /// Cache misses with a memoized ancestor differing in one tile slice.
+    pub cache_ancestor_hits: Counter,
     /// Distinct configurations currently memoized by the cache.
     pub cache_entries: Gauge,
     /// Currently live service sessions.
@@ -460,6 +487,8 @@ pub struct MetricsRegistry {
     pub refine_search_iters: Histogram,
     /// Requests executed per drained service batch.
     pub service_queue_depth: Histogram,
+    /// Memoized transitions invalidated per warm-started probe.
+    pub states_invalidated: Histogram,
     /// Bind attempts per candidate tile index.
     pub bind_attempts_per_tile: IndexedCounter,
     /// Wall time per span of the flow → bind/schedule/slice → probe
@@ -499,11 +528,16 @@ impl MetricsRegistry {
             sessions_admitted: Counter::default(),
             sessions_departed: Counter::default(),
             sessions_rebound: Counter::default(),
+            warm_hits: Counter::default(),
+            warm_misses: Counter::default(),
+            warm_trajectory_hits: Counter::default(),
+            cache_ancestor_hits: Counter::default(),
             cache_entries: Gauge::default(),
             sessions_live: Gauge::default(),
             probe_states: Histogram::new(PROBE_STATE_BOUNDS),
             refine_search_iters: Histogram::new(REFINE_ITER_BOUNDS),
             service_queue_depth: Histogram::new(QUEUE_DEPTH_BOUNDS),
+            states_invalidated: Histogram::new(INVALIDATED_BOUNDS),
             bind_attempts_per_tile: IndexedCounter::default(),
             profiler: Profiler::default(),
         }
@@ -533,6 +567,10 @@ impl MetricsRegistry {
             "sessions_admitted" => self.sessions_admitted.get(),
             "sessions_departed" => self.sessions_departed.get(),
             "sessions_rebound" => self.sessions_rebound.get(),
+            "warm_hits" => self.warm_hits.get(),
+            "warm_misses" => self.warm_misses.get(),
+            "warm_trajectory_hits" => self.warm_trajectory_hits.get(),
+            "cache_ancestor_hits" => self.cache_ancestor_hits.get(),
             other => unreachable!("unregistered counter `{other}`"),
         }
     }
@@ -631,6 +669,10 @@ impl MetricsRegistry {
                 self.service_queue_depth.snapshot(
                     "service_queue_depth",
                     "Requests executed per drained service batch.",
+                ),
+                self.states_invalidated.snapshot(
+                    "states_invalidated",
+                    "Memoized transitions invalidated per warm-started probe.",
                 ),
             ],
             phases: SpanKind::ALL

@@ -422,6 +422,13 @@ impl AllocationService {
         self.sessions.len()
     }
 
+    /// Cumulative warm-start statistics of the allocator's shared
+    /// exploration memo, or `None` when the service runs with
+    /// `warm_start: false`.
+    pub fn warm_stats(&self) -> Option<crate::warm::WarmStats> {
+        self.allocator.cache().warm_stats()
+    }
+
     /// Requests queued but not yet drained.
     pub fn queue_depth(&self) -> usize {
         self.queue.len()
@@ -518,6 +525,12 @@ impl AllocationService {
     /// capacity, the session may find a better (smaller-slice) fit. If
     /// re-allocation fails the old allocation is restored untouched; a
     /// rebind never loses a valid session.
+    ///
+    /// A rebind's throughput probes differ from the session's previous
+    /// allocation mostly in single tile slices, so they warm-start from
+    /// the allocator's shared exploration memo (see
+    /// [`warm_stats`](Self::warm_stats)) instead of re-exploring the
+    /// state space from scratch.
     ///
     /// # Errors
     ///

@@ -11,6 +11,14 @@
 //!    equal-fraction solution, using `⌊l_p(t)·ω_t / max_t' l_p(t')⌋` as a
 //!    lower bound — imperfectly balanced load means lightly loaded tiles
 //!    need less wheel time.
+//!
+//! Successive probes of either search differ in one tile's slice (the
+//! global search moves all slices in lock-step, the refinement moves
+//! exactly one), so every probe routed through the [`ThroughputCache`]
+//! warm-starts from the shared exploration memo of the
+//! [`warm`](crate::warm) module: only transitions that read the changed
+//! slice are re-executed. The parallel refinement's forked caches share
+//! one warm pool, so concurrent tasks warm each other too.
 
 use sdfrs_appmodel::ApplicationGraph;
 #[cfg(test)]

@@ -1,0 +1,790 @@
+//! Warm-started incremental throughput re-analysis.
+//!
+//! The slice searches and admission protocols evaluate the *same*
+//! binding-aware graph under many closely-related slice vectors. A cold
+//! [`ConstrainedExecutor::throughput`] run re-discovers the entire state
+//! space every time, even though a slice change only alters the
+//! transitions that actually *read* the changed tile's slice.
+//!
+//! [`ExplorationContext`] makes the re-analysis incremental while staying
+//! bit-for-bit exact:
+//!
+//! * **Shared interner arena.** Every state reached under any slice
+//!   vector of one *base* (graph structure, binding, schedules, wheels,
+//!   reference — everything except the slice values) is interned once
+//!   into a single [`StateInterner`]; probes address states by dense id.
+//! * **Guarded transition memo.** For each interned state the context
+//!   memoizes its single successor transition together with the set of
+//!   `(tile, slice)` pairs the transition read — the tiles of bound
+//!   actors whose lanes progressed, plus the destination tile of every
+//!   sync actor that started (a sync actor's execution time is `w − ω`
+//!   of that tile). A memo entry is valid exactly when every recorded
+//!   slice matches the probe's current slice; otherwise the executor is
+//!   re-entered at the decoded state and the entry is recomputed
+//!   (counted as *invalidated*). Determinism of the constrained
+//!   execution makes this sound: a transition that reads the same state
+//!   and the same slice values produces the same successor, elapsed
+//!   time, and reference completions.
+//! * **Trajectory memo.** A completed probe records the union of its
+//!   slice reads and its outcome. A later probe whose slices match every
+//!   recorded read *is* the same trajectory and is answered without
+//!   walking it, with the budget semantics of a from-scratch run
+//!   re-applied to the caller's budget.
+//!
+//! Budget accounting replays the cold loop exactly: each
+//! complete/start/advance round counts one state against the budget, in
+//! the same order, so `states_explored` and every
+//! [`SdfError::BudgetExceeded`] / [`SdfError::Deadlock`] outcome is
+//! identical to a from-scratch exploration. See DESIGN.md §14 for the
+//! full argument.
+
+use std::sync::{Arc, Mutex, PoisonError};
+
+use sdfrs_sdf::analysis::interner::StateInterner;
+use sdfrs_sdf::analysis::selftimed::ThroughputResult;
+use sdfrs_sdf::{ActorId, Rational, SdfError};
+
+use crate::binding_aware::BindingAwareGraph;
+use crate::constrained::{ConstrainedExecutor, TileSchedules, Transition};
+
+/// Successor memo entry kinds.
+const KIND_MISSING: u8 = 0;
+const KIND_ADVANCED: u8 = 1;
+const KIND_DEADLOCK: u8 = 2;
+
+/// The memoized successor transition of one interned state.
+#[derive(Debug, Clone, Copy)]
+struct MemoEntry {
+    kind: u8,
+    /// Budget-counted rounds the transition consumed (1, or 2 when a
+    /// zero-time instant precedes a deadlock).
+    rounds: u8,
+    /// Successor state id (`KIND_ADVANCED` only).
+    next: u32,
+    /// Wall time elapsed across the transition.
+    dt: u64,
+    /// Reference-actor completions across the transition.
+    df: u64,
+    /// Slice reads of the transition: `touched_pool[start..start+len]`.
+    touched_start: u32,
+    touched_len: u32,
+}
+
+const MISSING: MemoEntry = MemoEntry {
+    kind: KIND_MISSING,
+    rounds: 0,
+    next: 0,
+    dt: 0,
+    df: 0,
+    touched_start: 0,
+    touched_len: 0,
+};
+
+/// Per-probe visit payload: the accumulated `(time, firings)` at which a
+/// state was reached, valid only when `epoch` matches the current probe.
+#[derive(Debug, Clone, Copy)]
+struct Visit {
+    epoch: u64,
+    time: u64,
+    fires: u64,
+}
+
+/// A completed probe's outcome, replayable under any budget.
+#[derive(Debug, Clone)]
+enum TrajOutcome {
+    /// Recurrence closed; `result.states_explored` rounds were counted.
+    Done { result: ThroughputResult },
+    /// Execution stalled after `states` budget-counted rounds.
+    Deadlock { states: usize },
+    /// A zero-time recurrent cycle was detected at round `states`.
+    ZeroCycle { states: usize },
+}
+
+/// A completed trajectory with the slices it depends on.
+#[derive(Debug, Clone)]
+struct TrajEntry {
+    /// Sorted `(tile, slice)` pairs: every slice value any transition of
+    /// the trajectory read. Matching all of them reproduces the whole
+    /// trajectory.
+    deps: Vec<(u32, u64)>,
+    outcome: TrajOutcome,
+}
+
+/// Bound on remembered whole-trajectory outcomes per context.
+const MAX_TRAJECTORIES: usize = 64;
+
+/// Per-probe reuse statistics, reported by [`explore_warm`].
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ProbeStats {
+    /// The probe was answered entirely from a memoized trajectory.
+    pub trajectory_hit: bool,
+    /// Transitions replayed from the memo.
+    pub replayed: u64,
+    /// Transitions recomputed by running the executor.
+    pub recomputed: u64,
+    /// Recomputed transitions that overwrote a slice-guarded entry.
+    pub invalidated: u64,
+}
+
+/// Cumulative warm-start statistics of a [`WarmPool`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WarmStats {
+    /// Probes served by the warm-start path at all.
+    pub probes: u64,
+    /// Probes answered entirely from a memoized trajectory.
+    pub trajectory_hits: u64,
+    /// Transitions replayed from the shared memo.
+    pub replayed_transitions: u64,
+    /// Transitions recomputed by the executor (cold or invalidated).
+    pub recomputed_transitions: u64,
+    /// Recomputed transitions that invalidated a guarded memo entry.
+    pub invalidated_transitions: u64,
+    /// Context resets forced by a base-fingerprint change or eviction.
+    pub resets: u64,
+}
+
+impl WarmStats {
+    /// Replayed + trajectory-served work as a fraction of all warm
+    /// transitions — the headline "warm-start hit rate".
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.replayed_transitions as f64;
+        let total = (self.replayed_transitions + self.recomputed_transitions) as f64;
+        if total == 0.0 {
+            return 0.0;
+        }
+        hits / total
+    }
+}
+
+/// The memoized exploration state of one base configuration.
+///
+/// All interned states, successor memos and trajectory records refer to
+/// one *base fingerprint* — the binding-aware graph and schedules with
+/// the slice-dependent values masked out. Probes with different slice
+/// vectors of the same base share everything here.
+#[derive(Debug)]
+pub struct ExplorationContext {
+    /// The base fingerprint this context's states belong to.
+    base_fp: Vec<u64>,
+    interner: StateInterner,
+    /// Successor memo, indexed by interned state id.
+    memo: Vec<MemoEntry>,
+    /// Flattened `(tile, slice)` runs referenced by memo entries.
+    touched_pool: Vec<(u32, u64)>,
+    /// Pool entries orphaned by invalidation overwrites.
+    pool_garbage: usize,
+    /// Per-state visit payloads, epoch-stamped per probe.
+    visits: Vec<Visit>,
+    epoch: u64,
+    trajectories: Vec<TrajEntry>,
+    /// Per tile: epoch stamp marking it as a dependency of this probe.
+    dep_mark: Vec<u64>,
+    /// Tiles depended on by the current probe (deduplicated).
+    dep_tiles: Vec<u32>,
+    /// LRU tick assigned by the owning pool.
+    last_used: u64,
+}
+
+impl ExplorationContext {
+    fn new(base_fp: Vec<u64>) -> Self {
+        ExplorationContext {
+            base_fp,
+            interner: StateInterner::new(),
+            memo: Vec::new(),
+            touched_pool: Vec::new(),
+            pool_garbage: 0,
+            visits: Vec::new(),
+            epoch: 0,
+            trajectories: Vec::new(),
+            dep_mark: Vec::new(),
+            dep_tiles: Vec::new(),
+            last_used: 0,
+        }
+    }
+
+    /// Distinct states interned so far.
+    pub fn states(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// Pre-sizes the interner for roughly `states` entries (the
+    /// nearest-ancestor hint from the cache; never changes results).
+    pub(crate) fn reserve(&mut self, states: usize) {
+        self.interner
+            .reserve(states.saturating_sub(self.interner.len()));
+    }
+
+    fn begin_probe(&mut self, tile_count: usize) {
+        self.epoch += 1;
+        if self.dep_mark.len() < tile_count {
+            self.dep_mark.resize(tile_count, 0);
+        }
+        self.dep_tiles.clear();
+        // Compact the touched pool when overwrites orphaned most of it.
+        if self.pool_garbage > self.touched_pool.len() / 2 && self.touched_pool.len() > 1 << 16 {
+            self.compact_touched();
+        }
+    }
+
+    fn compact_touched(&mut self) {
+        let live = self.touched_pool.len() - self.pool_garbage;
+        let mut pool = Vec::with_capacity(live);
+        for e in self.memo.iter_mut() {
+            if e.kind == KIND_MISSING {
+                continue;
+            }
+            let start = e.touched_start as usize;
+            let len = e.touched_len as usize;
+            e.touched_start = pool.len() as u32;
+            pool.extend_from_slice(&self.touched_pool[start..start + len]);
+        }
+        self.touched_pool = pool;
+        self.pool_garbage = 0;
+    }
+
+    fn intern(&mut self, words: &[u64]) -> u32 {
+        let (id, fresh) = self.interner.intern(words);
+        if fresh {
+            self.memo.push(MISSING);
+            self.visits.push(Visit {
+                epoch: 0,
+                time: 0,
+                fires: 0,
+            });
+        }
+        id
+    }
+
+    fn visit(&mut self, id: u32, time: u64, fires: u64) {
+        self.visits[id as usize] = Visit {
+            epoch: self.epoch,
+            time,
+            fires,
+        };
+    }
+
+    fn visited(&self, id: u32) -> Option<(u64, u64)> {
+        let v = self.visits[id as usize];
+        (v.epoch == self.epoch).then_some((v.time, v.fires))
+    }
+
+    fn mark_dep(&mut self, tile: u32) {
+        if self.dep_mark[tile as usize] != self.epoch {
+            self.dep_mark[tile as usize] = self.epoch;
+            self.dep_tiles.push(tile);
+        }
+    }
+
+    /// Validates the memo entry of `id` against the probe's slices and
+    /// registers its slice reads as probe dependencies when valid.
+    fn lookup_memo(&mut self, id: u32, slices: &[u64]) -> Lookup {
+        let e = self.memo[id as usize];
+        if e.kind == KIND_MISSING {
+            return Lookup::Missing;
+        }
+        let start = e.touched_start as usize;
+        let len = e.touched_len as usize;
+        for k in 0..len {
+            let (tile, slice) = self.touched_pool[start + k];
+            if slices[tile as usize] != slice {
+                return Lookup::Invalid;
+            }
+        }
+        for k in 0..len {
+            let tile = self.touched_pool[start + k].0;
+            self.mark_dep(tile);
+        }
+        Lookup::Valid(e)
+    }
+
+    /// Overwrites the memo entry of `id`, appending its slice reads.
+    fn record(&mut self, id: u32, mut entry: MemoEntry, touched: &[u32], slices: &[u64]) {
+        let old = self.memo[id as usize];
+        if old.kind != KIND_MISSING {
+            self.pool_garbage += old.touched_len as usize;
+        }
+        entry.touched_start = self.touched_pool.len() as u32;
+        entry.touched_len = touched.len() as u32;
+        for &tile in touched {
+            self.touched_pool.push((tile, slices[tile as usize]));
+            self.mark_dep(tile);
+        }
+        self.memo[id as usize] = entry;
+    }
+
+    /// A memoized trajectory matching every slice the probe would read.
+    fn lookup_trajectory(
+        &self,
+        slices: &[u64],
+        budget: usize,
+        reference: ActorId,
+    ) -> Option<Result<ThroughputResult, SdfError>> {
+        self.trajectories
+            .iter()
+            .find(|e| e.deps.iter().all(|&(t, s)| slices[t as usize] == s))
+            .map(|e| synthesize(&e.outcome, budget, reference))
+    }
+
+    fn record_trajectory(&mut self, slices: &[u64], outcome: &TrajOutcome) {
+        let mut tiles = std::mem::take(&mut self.dep_tiles);
+        tiles.sort_unstable();
+        let deps: Vec<(u32, u64)> = tiles.iter().map(|&t| (t, slices[t as usize])).collect();
+        tiles.clear();
+        self.dep_tiles = tiles;
+        if let Some(existing) = self.trajectories.iter_mut().find(|e| e.deps == deps) {
+            existing.outcome = outcome.clone();
+            return;
+        }
+        if self.trajectories.len() >= MAX_TRAJECTORIES {
+            self.trajectories.remove(0);
+        }
+        self.trajectories.push(TrajEntry {
+            deps,
+            outcome: outcome.clone(),
+        });
+    }
+}
+
+enum Lookup {
+    Valid(MemoEntry),
+    Invalid,
+    Missing,
+}
+
+/// Replays a completed trajectory's outcome under `budget`, reproducing
+/// the per-round budget checks of a from-scratch run: the recorded
+/// outcome stands when the budget covers every counted round, and a
+/// smaller budget fails at round `budget + 1` exactly as the cold loop
+/// would.
+fn synthesize(
+    outcome: &TrajOutcome,
+    budget: usize,
+    reference: ActorId,
+) -> Result<ThroughputResult, SdfError> {
+    let over = Err(SdfError::BudgetExceeded {
+        analysis: "constrained state space",
+        budget,
+    });
+    match outcome {
+        TrajOutcome::Done { result } => {
+            if result.states_explored <= budget {
+                Ok(result.clone())
+            } else {
+                over
+            }
+        }
+        TrajOutcome::Deadlock { states } => {
+            if *states <= budget {
+                Err(SdfError::Deadlock { actor: reference })
+            } else {
+                over
+            }
+        }
+        TrajOutcome::ZeroCycle { states } => {
+            if *states <= budget {
+                Err(SdfError::BudgetExceeded {
+                    analysis: "constrained state space (zero-time cycle)",
+                    budget,
+                })
+            } else {
+                over
+            }
+        }
+    }
+}
+
+/// Runs one constrained-throughput probe through the warm context —
+/// bit-for-bit equal to `ConstrainedExecutor::throughput` on the same
+/// inputs, reusing every memoized transition whose slice guards hold.
+pub(crate) fn explore_warm(
+    ba: &BindingAwareGraph,
+    schedules: &TileSchedules,
+    reference: ActorId,
+    budget: usize,
+    ctx: &mut ExplorationContext,
+) -> (Result<ThroughputResult, SdfError>, ProbeStats) {
+    let mut stats = ProbeStats::default();
+    let slices = ConstrainedExecutor::slice_vector_of(ba, schedules);
+    ctx.begin_probe(slices.len());
+
+    if let Some(result) = ctx.lookup_trajectory(&slices, budget, reference) {
+        stats.trajectory_hit = true;
+        return (result, stats);
+    }
+
+    let mut exec = ConstrainedExecutor::new(ba, schedules).with_touch_recording();
+    debug_assert_eq!(exec.slice_vector(), slices);
+
+    let budget_err = || SdfError::BudgetExceeded {
+        analysis: "constrained state space",
+        budget,
+    };
+    let mut scratch = Vec::new();
+    exec.encode_state_into(&mut scratch);
+    let mut id = ctx.intern(&scratch);
+    let mut states = 0usize;
+    let mut acc_time = 0u64;
+    let mut acc_fires = 0u64;
+    ctx.visit(id, acc_time, acc_fires);
+    // Whether `exec` currently holds the decoded state `id` (replay jumps
+    // leave it behind; it is re-synchronized lazily on the next cold step).
+    let mut loaded = true;
+
+    let outcome = loop {
+        match ctx.lookup_memo(id, &slices) {
+            Lookup::Valid(entry) => {
+                stats.replayed += 1;
+                states += entry.rounds as usize;
+                if states > budget {
+                    return (Err(budget_err()), stats);
+                }
+                if entry.kind == KIND_DEADLOCK {
+                    break TrajOutcome::Deadlock { states };
+                }
+                acc_time += entry.dt;
+                acc_fires += entry.df;
+                id = entry.next;
+                loaded = false;
+            }
+            lookup => {
+                if matches!(lookup, Lookup::Invalid) {
+                    stats.invalidated += 1;
+                }
+                stats.recomputed += 1;
+                if !loaded {
+                    exec.load_state(ctx.interner.get(id));
+                    loaded = true;
+                }
+                exec.clear_touched();
+                let t0 = exec.time();
+                let f0 = exec.completions_of(reference);
+                let step = exec.transition();
+                let rounds = step.rounds();
+                debug_assert!(rounds <= 2, "a transition spans at most two rounds");
+                states += rounds as usize;
+                let over = states > budget;
+                match step {
+                    Transition::Deadlock { .. } => {
+                        let entry = MemoEntry {
+                            kind: KIND_DEADLOCK,
+                            rounds: rounds as u8,
+                            ..MISSING
+                        };
+                        ctx.record(id, entry, exec.touched(), &slices);
+                        if over {
+                            return (Err(budget_err()), stats);
+                        }
+                        break TrajOutcome::Deadlock { states };
+                    }
+                    Transition::Advanced { .. } => {
+                        exec.encode_state_into(&mut scratch);
+                        let next = ctx.intern(&scratch);
+                        let entry = MemoEntry {
+                            kind: KIND_ADVANCED,
+                            rounds: rounds as u8,
+                            next,
+                            dt: exec.time() - t0,
+                            df: exec.completions_of(reference) - f0,
+                            touched_start: 0,
+                            touched_len: 0,
+                        };
+                        ctx.record(id, entry, exec.touched(), &slices);
+                        if over {
+                            return (Err(budget_err()), stats);
+                        }
+                        acc_time += entry.dt;
+                        acc_fires += entry.df;
+                        id = next;
+                    }
+                }
+            }
+        }
+        // The probe advanced to `id`: close the lasso on a re-visit.
+        if let Some((t0, f0)) = ctx.visited(id) {
+            let period = acc_time - t0;
+            let firings = acc_fires - f0;
+            if period == 0 {
+                break TrajOutcome::ZeroCycle { states };
+            }
+            let actor_throughput = Rational::new(firings as i128, period as i128);
+            let gamma = match ba.graph().repetition_vector() {
+                Ok(g) => g,
+                Err(e) => return (Err(e), stats),
+            };
+            let iteration_throughput =
+                actor_throughput / Rational::from_integer(gamma[reference] as i128);
+            break TrajOutcome::Done {
+                result: ThroughputResult {
+                    actor_throughput,
+                    iteration_throughput,
+                    reference,
+                    period,
+                    firings_in_period: firings,
+                    states_explored: states,
+                    transient_time: t0,
+                },
+            };
+        }
+        ctx.visit(id, acc_time, acc_fires);
+    };
+    ctx.record_trajectory(&slices, &outcome);
+    (synthesize(&outcome, budget, reference), stats)
+}
+
+/// Evict contexts (LRU first) until at most this many states are held.
+const MAX_POOL_STATES: usize = 2_000_000;
+/// Maximum number of live contexts.
+const MAX_POOL_CONTEXTS: usize = 8;
+
+/// A small LRU pool of [`ExplorationContext`]s, one per base
+/// fingerprint, shared (behind `Arc<Mutex<_>>`) by a cache and all its
+/// forks so parallel searches and repeated admissions warm each other.
+#[derive(Debug, Default)]
+pub struct WarmPool {
+    contexts: Vec<ExplorationContext>,
+    tick: u64,
+    stats: WarmStats,
+}
+
+/// A sharable handle to a [`WarmPool`].
+pub type SharedWarmPool = Arc<Mutex<WarmPool>>;
+
+impl WarmPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A fresh shared handle.
+    pub fn shared() -> SharedWarmPool {
+        Arc::new(Mutex::new(WarmPool::new()))
+    }
+
+    /// Cumulative statistics across all contexts (including evicted ones).
+    pub fn stats(&self) -> WarmStats {
+        self.stats
+    }
+
+    /// Total interned states across live contexts.
+    pub fn states(&self) -> usize {
+        self.contexts.iter().map(ExplorationContext::states).sum()
+    }
+
+    /// Live contexts.
+    pub fn contexts(&self) -> usize {
+        self.contexts.len()
+    }
+
+    pub(crate) fn apply(&mut self, probe: &ProbeStats) {
+        self.stats.probes += 1;
+        if probe.trajectory_hit {
+            self.stats.trajectory_hits += 1;
+        }
+        self.stats.replayed_transitions += probe.replayed;
+        self.stats.recomputed_transitions += probe.recomputed;
+        self.stats.invalidated_transitions += probe.invalidated;
+    }
+
+    /// The context for `base_fp`, creating (and evicting LRU contexts if
+    /// over budget) as needed.
+    pub(crate) fn context_for(&mut self, base_fp: &[u64]) -> &mut ExplorationContext {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(i) = self.contexts.iter().position(|c| c.base_fp == base_fp) {
+            let ctx = &mut self.contexts[i];
+            ctx.last_used = tick;
+            return &mut self.contexts[i];
+        }
+        while self.contexts.len() >= MAX_POOL_CONTEXTS
+            || (!self.contexts.is_empty() && self.states() > MAX_POOL_STATES)
+        {
+            let lru = self
+                .contexts
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, c)| c.last_used)
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            self.contexts.swap_remove(lru);
+            self.stats.resets += 1;
+        }
+        let mut ctx = ExplorationContext::new(base_fp.to_vec());
+        ctx.last_used = tick;
+        self.contexts.push(ctx);
+        self.contexts.last_mut().expect("just pushed")
+    }
+}
+
+/// Locks a shared pool, recovering from a poisoned mutex (the memo is
+/// internally consistent after a panicking probe: entries are written
+/// whole before being published).
+pub(crate) fn lock_pool(pool: &SharedWarmPool) -> std::sync::MutexGuard<'_, WarmPool> {
+    pool.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binding::Binding;
+    use crate::constrained::constrained_throughput;
+    use crate::schedule::StaticOrderSchedule;
+    use sdfrs_appmodel::apps::{example_platform, paper_example};
+    use sdfrs_platform::TileId;
+
+    fn setup(slices: [u64; 2]) -> (BindingAwareGraph, TileSchedules, ActorId) {
+        let app = paper_example();
+        let arch = example_platform();
+        let g = app.graph();
+        let mut binding = Binding::new(g.actor_count());
+        binding.bind(g.actor_by_name("a1").unwrap(), TileId::from_index(0));
+        binding.bind(g.actor_by_name("a2").unwrap(), TileId::from_index(0));
+        binding.bind(g.actor_by_name("a3").unwrap(), TileId::from_index(1));
+        let ba = BindingAwareGraph::build(&app, &arch, &binding, &slices).unwrap();
+        let schedules = crate::list_sched::construct_schedules(&ba).unwrap();
+        let reference = ba.ba_actor(app.output_actor());
+        (ba, schedules, reference)
+    }
+
+    fn cold(
+        ba: &BindingAwareGraph,
+        schedules: &TileSchedules,
+        reference: ActorId,
+        budget: usize,
+    ) -> Result<ThroughputResult, SdfError> {
+        ConstrainedExecutor::new(ba, schedules)
+            .with_state_budget(budget)
+            .throughput(reference)
+    }
+
+    #[test]
+    fn warm_matches_cold_across_slice_sweep() {
+        let (mut ba, schedules, reference) = setup([5, 5]);
+        let mut ctx = ExplorationContext::new(Vec::new());
+        // Interleave revisits so guarded entries are invalidated back and
+        // forth between slice vectors.
+        let sweep: &[[u64; 2]] = &[
+            [5, 5],
+            [1, 1],
+            [5, 5],
+            [3, 2],
+            [1, 5],
+            [3, 2],
+            [2, 4],
+            [5, 5],
+            [1, 1],
+            [4, 4],
+        ];
+        for &slices in sweep {
+            ba.set_slices(&slices);
+            let expect = cold(&ba, &schedules, reference, 100_000);
+            let (got, _) = explore_warm(&ba, &schedules, reference, 100_000, &mut ctx);
+            assert_eq!(got, expect, "slices {slices:?}");
+        }
+    }
+
+    #[test]
+    fn warm_matches_cold_on_budget_errors() {
+        let (ba, schedules, reference) = setup([5, 5]);
+        let mut ctx = ExplorationContext::new(Vec::new());
+        for budget in [1usize, 2, 3, 5, 10, 100_000] {
+            let expect = cold(&ba, &schedules, reference, budget);
+            let (got, _) = explore_warm(&ba, &schedules, reference, budget, &mut ctx);
+            assert_eq!(got, expect, "budget {budget}");
+            // A repeat under the same budget synthesizes from the
+            // trajectory memo when one was recorded — still identical.
+            let (again, _) = explore_warm(&ba, &schedules, reference, budget, &mut ctx);
+            assert_eq!(again, expect, "budget {budget} repeat");
+        }
+    }
+
+    #[test]
+    fn warm_matches_cold_on_deadlock() {
+        let (ba, _, _) = setup([5, 5]);
+        let a1 = ba.graph().actor_by_name("a1").unwrap();
+        let a2 = ba.graph().actor_by_name("a2").unwrap();
+        let a3 = ba.graph().actor_by_name("a3").unwrap();
+        // a2 before a1 with no token on d1: a2 can never fire first.
+        let mut schedules = TileSchedules::new(2);
+        schedules.set(
+            TileId::from_index(0),
+            StaticOrderSchedule::new(vec![], vec![a2, a1]),
+        );
+        schedules.set(
+            TileId::from_index(1),
+            StaticOrderSchedule::new(vec![], vec![a3]),
+        );
+        let expect = constrained_throughput(&ba, &schedules, a3);
+        assert!(matches!(expect, Err(SdfError::Deadlock { .. })));
+        let mut ctx = ExplorationContext::new(Vec::new());
+        let (got, first) = explore_warm(&ba, &schedules, a3, 100_000, &mut ctx);
+        assert_eq!(got, expect);
+        assert!(!first.trajectory_hit);
+        let (again, second) = explore_warm(&ba, &schedules, a3, 100_000, &mut ctx);
+        assert_eq!(again, expect);
+        assert!(second.trajectory_hit);
+    }
+
+    #[test]
+    fn repeat_probe_is_a_trajectory_hit() {
+        let (mut ba, schedules, reference) = setup([5, 5]);
+        let mut ctx = ExplorationContext::new(Vec::new());
+        let (first, s1) = explore_warm(&ba, &schedules, reference, 100_000, &mut ctx);
+        assert!(!s1.trajectory_hit);
+        assert!(s1.recomputed > 0);
+        let (second, s2) = explore_warm(&ba, &schedules, reference, 100_000, &mut ctx);
+        assert!(s2.trajectory_hit);
+        assert_eq!(first, second);
+        // Returning to previously seen slices after a change is also a
+        // whole-trajectory hit: the old trajectory record still matches.
+        ba.set_slices(&[2, 3]);
+        let (_, churn) = explore_warm(&ba, &schedules, reference, 100_000, &mut ctx);
+        assert!(!churn.trajectory_hit);
+        ba.set_slices(&[5, 5]);
+        let (third, s3) = explore_warm(&ba, &schedules, reference, 100_000, &mut ctx);
+        assert!(s3.trajectory_hit);
+        assert_eq!(first, third);
+    }
+
+    #[test]
+    fn single_slice_change_replays_untouched_transitions() {
+        let (mut ba, schedules, reference) = setup([5, 5]);
+        let mut ctx = ExplorationContext::new(Vec::new());
+        explore_warm(&ba, &schedules, reference, 100_000, &mut ctx)
+            .0
+            .unwrap();
+        ba.set_slices(&[5, 4]);
+        let expect = cold(&ba, &schedules, reference, 100_000);
+        let (got, stats) = explore_warm(&ba, &schedules, reference, 100_000, &mut ctx);
+        assert_eq!(got, expect);
+        // The perturbed probe must reuse at least part of the memo.
+        assert!(
+            stats.replayed > 0,
+            "single-slice change should warm-start: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn pool_keys_contexts_by_base_and_tracks_stats() {
+        let mut pool = WarmPool::new();
+        let (ba, schedules, reference) = setup([5, 5]);
+        let base_a = vec![1, 2, 3];
+        let base_b = vec![4, 5, 6];
+        {
+            let ctx = pool.context_for(&base_a);
+            let (_, probe) = explore_warm(&ba, &schedules, reference, 100_000, ctx);
+            pool.apply(&probe);
+        }
+        assert_eq!(pool.contexts(), 1);
+        assert!(pool.states() > 0);
+        let _ = pool.context_for(&base_b);
+        assert_eq!(pool.contexts(), 2);
+        // Re-requesting an existing base does not create a context.
+        let _ = pool.context_for(&base_a);
+        assert_eq!(pool.contexts(), 2);
+        let stats = pool.stats();
+        assert_eq!(stats.probes, 1);
+        assert!(stats.recomputed_transitions > 0);
+        assert_eq!(stats.replayed_transitions, 0);
+        assert!(stats.hit_rate() < 1e-9);
+    }
+}

@@ -79,6 +79,25 @@ impl StateInterner {
         self.arena.len()
     }
 
+    /// Forgets every interned state but keeps the allocated arena and
+    /// slot table, so a sequence of explorations can reuse one interner
+    /// without re-growing it from scratch each time.
+    pub fn clear(&mut self) {
+        self.arena.clear();
+        self.offsets.clear();
+        self.offsets.push(0);
+        self.slots.fill((0, EMPTY));
+    }
+
+    /// Grows the slot table (if needed) so that roughly `states` entries
+    /// fit before the next resize. Existing entries are preserved.
+    pub fn reserve(&mut self, states: usize) {
+        let needed = ((self.len() + states) * 2).next_power_of_two().max(16);
+        while self.slots.len() < needed {
+            self.grow();
+        }
+    }
+
     /// The encoded words of state `id`.
     ///
     /// # Panics
@@ -181,6 +200,34 @@ mod tests {
             assert!(!fresh);
             assert_eq!(it.get(id), k.as_slice());
         }
+    }
+
+    #[test]
+    fn clear_retains_capacity_and_restarts_ids() {
+        let mut it = StateInterner::new();
+        for i in 0..100u64 {
+            it.intern(&[i, i + 1]);
+        }
+        let slots_before = it.slots.len();
+        it.clear();
+        assert!(it.is_empty());
+        assert_eq!(it.arena_words(), 0);
+        assert_eq!(it.slots.len(), slots_before);
+        let (id, fresh) = it.intern(&[42]);
+        assert_eq!((id, fresh), (0, true));
+        assert_eq!(it.get(0), &[42]);
+    }
+
+    #[test]
+    fn reserve_avoids_incremental_growth() {
+        let mut it = StateInterner::with_capacity(4);
+        it.reserve(1000);
+        let slots = it.slots.len();
+        for i in 0..900u64 {
+            it.intern(&[i]);
+        }
+        assert_eq!(it.slots.len(), slots, "no regrowth after reserve");
+        assert_eq!(it.len(), 900);
     }
 
     #[test]

@@ -310,11 +310,29 @@ impl<'g> SelfTimedExecutor<'g> {
     /// * [`SdfError::BudgetExceeded`] if no recurrence is found within the
     ///   state budget (e.g. on graphs whose token counts grow without bound
     ///   because some actor is not on any cycle).
-    pub fn throughput(mut self, reference: ActorId) -> Result<ThroughputResult, SdfError> {
+    pub fn throughput(self, reference: ActorId) -> Result<ThroughputResult, SdfError> {
+        let mut seen = StateInterner::new();
+        self.throughput_with_interner(reference, &mut seen)
+    }
+
+    /// [`throughput`](Self::throughput), but interning states into a
+    /// caller-owned arena. The interner is cleared first (its ids are
+    /// private to one exploration) while its allocations are retained, so
+    /// repeated analyses — e.g. a sweep over execution-time variants —
+    /// skip the arena/table regrowth of a cold interner.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`throughput`](Self::throughput).
+    pub fn throughput_with_interner(
+        mut self,
+        reference: ActorId,
+        seen: &mut StateInterner,
+    ) -> Result<ThroughputResult, SdfError> {
         // Interned exploration: each state is flat-encoded once into a
         // reusable scratch buffer; `(time, firings)` payloads live in a
         // dense vector indexed by state id.
-        let mut seen = StateInterner::new();
+        seen.clear();
         let mut at_state: Vec<(u64, u64)> = Vec::new();
         let mut scratch = Vec::new();
         self.state.encode_into(&mut scratch);
@@ -486,6 +504,31 @@ mod tests {
         assert_eq!(r.iteration_throughput, Rational::new(1, 5));
         let r = self_timed_throughput(&g, b).unwrap();
         assert_eq!(r.actor_throughput, Rational::new(1, 5));
+    }
+
+    /// A shared, repeatedly-cleared interner produces bit-identical
+    /// results to a cold one, across graphs of different shapes.
+    #[test]
+    fn shared_interner_matches_cold_runs() {
+        let mut g1 = SdfGraph::new("ring");
+        let a = g1.add_actor("a", 2);
+        let b = g1.add_actor("b", 3);
+        g1.add_channel("ab", a, 1, b, 1, 0);
+        g1.add_channel("ba", b, 1, a, 1, 1);
+        let mut g2 = SdfGraph::new("auto");
+        let c = g2.add_actor("c", 4);
+        g2.add_channel("cc", c, 1, c, 1, 2);
+        let mut seen = crate::analysis::interner::StateInterner::new();
+        for _ in 0..3 {
+            let warm = SelfTimedExecutor::new(&g1)
+                .throughput_with_interner(a, &mut seen)
+                .unwrap();
+            assert_eq!(warm, SelfTimedExecutor::new(&g1).throughput(a).unwrap());
+            let warm = SelfTimedExecutor::new(&g2)
+                .throughput_with_interner(c, &mut seen)
+                .unwrap();
+            assert_eq!(warm, SelfTimedExecutor::new(&g2).throughput(c).unwrap());
+        }
     }
 
     /// With two tokens in the ring, both actors pipeline; the bottleneck is

@@ -1,0 +1,149 @@
+//! Property tests: warm-started incremental re-analysis ≡ from-scratch.
+//!
+//! The warm-start layer (shared interner arena, slice-guarded transition
+//! memo, trajectory memo, schedule memo) claims *exactness*: every result
+//! it produces is bit-identical to a cold exploration of the same
+//! configuration. This suite pins that claim over seeded generated
+//! scenarios and the committed regression corpus:
+//!
+//! * whole flows with the incremental layer on vs off, including
+//!   infeasible scenarios (both sides must reject identically);
+//! * cache-level single-tile slice perturbations, where one shared warm
+//!   pool replays its memo across a churn of slice vectors and budgets —
+//!   including budgets small enough to force `BudgetExceeded` — against
+//!   from-scratch explorations.
+
+use std::path::{Path, PathBuf};
+
+use sdfrs_conform::corpus;
+use sdfrs_core::thru_cache::ThroughputCache;
+use sdfrs_core::{Allocator, BindingAwareGraph, FlowConfig};
+use sdfrs_gen::Scenario;
+use sdfrs_platform::PlatformState;
+
+/// Seed block for the generated sweep. Smaller than the oracle panel's:
+/// every seed runs several full explorations per used tile.
+const SEEDS: std::ops::Range<u64> = 0..16;
+
+/// Exploration budgets the perturbation sweep compares under. The small
+/// ones force `BudgetExceeded` on most scenarios; the large one lets the
+/// exploration finish.
+const BUDGETS: [usize; 4] = [1, 3, 50, 100_000_000];
+
+fn committed_corpus() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus")
+}
+
+fn flow_cfg(warm: bool) -> FlowConfig {
+    FlowConfig::builder()
+        .warm_start(warm)
+        .build()
+        .expect("the default config with warm_start toggled is valid")
+}
+
+/// A full allocation with the incremental layer on must be structurally
+/// identical to one with the layer off — same binding, schedules, slices
+/// and achieved throughput, or the very same rejection.
+fn assert_flow_equivalence(label: &str, scenario: &Scenario) {
+    let state = PlatformState::new(&scenario.arch);
+    let warm = Allocator::from_config(flow_cfg(true))
+        .with_cache_disabled()
+        .allocate(&scenario.app, &scenario.arch, &state);
+    let cold = Allocator::from_config(flow_cfg(false))
+        .with_cache_disabled()
+        .allocate(&scenario.app, &scenario.arch, &state);
+    match (warm, cold) {
+        (Ok((a, _)), Ok((b, _))) => {
+            assert_eq!(a.binding, b.binding, "{label}: bindings diverged");
+            assert_eq!(a.schedules, b.schedules, "{label}: schedules diverged");
+            assert_eq!(a.slices, b.slices, "{label}: slices diverged");
+            assert_eq!(a.achieved, b.achieved, "{label}: throughput diverged");
+        }
+        (Err(a), Err(b)) => {
+            assert_eq!(a.to_string(), b.to_string(), "{label}: rejections diverged");
+        }
+        (warm, cold) => panic!(
+            "{label}: warm allocated = {}, from-scratch allocated = {}",
+            warm.is_ok(),
+            cold.is_ok()
+        ),
+    }
+}
+
+/// Churns single-tile slice perturbations through one shared warm cache
+/// (the rebind / binary-search probe pattern) and checks every evaluation
+/// — successes, `BudgetExceeded`, everything — against a from-scratch
+/// exploration of the same configuration.
+fn assert_perturbation_equivalence(label: &str, scenario: &Scenario) {
+    let state = PlatformState::new(&scenario.arch);
+    let Ok((alloc, _)) =
+        Allocator::from_config(flow_cfg(true)).allocate(&scenario.app, &scenario.arch, &state)
+    else {
+        // Infeasible scenarios are covered by the flow-level check.
+        return;
+    };
+    let reference = alloc.achieved.reference;
+    // One warm cache across the whole churn: later trials replay (and
+    // partially invalidate) the memo earlier trials recorded.
+    let mut warm_cache = ThroughputCache::disabled();
+
+    for tile in 0..alloc.slices.len() {
+        let base = alloc.slices[tile];
+        if base == 0 {
+            continue; // unused tile
+        }
+        // Shrink the tile's slice by 1 and by half, interleaved with
+        // returns to the allocated vector so the trajectory memo sees
+        // repeats, not just fresh vectors.
+        let mut trials = vec![base.saturating_sub(1).max(1), base];
+        if base > 2 {
+            trials.push(base / 2);
+            trials.push(base);
+        }
+        for slice in trials {
+            let mut slices = alloc.slices.clone();
+            slices[tile] = slice;
+            let ba =
+                BindingAwareGraph::build(&scenario.app, &scenario.arch, &alloc.binding, &slices)
+                    .expect("the perturbed slice vector still builds");
+            for budget in BUDGETS {
+                let warm = warm_cache.throughput(&ba, &alloc.schedules, reference, budget);
+                let cold = ThroughputCache::disabled().without_warm_start().throughput(
+                    &ba,
+                    &alloc.schedules,
+                    reference,
+                    budget,
+                );
+                assert_eq!(
+                    warm, cold,
+                    "{label}: tile {tile} slice {slice} budget {budget}: \
+                     warm-started result diverged from from-scratch"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn generated_scenarios_warm_equals_from_scratch() {
+    for seed in SEEDS {
+        let scenario = Scenario::sample(seed);
+        let label = format!("seed {seed} ({})", scenario.name);
+        assert_flow_equivalence(&label, &scenario);
+        assert_perturbation_equivalence(&label, &scenario);
+    }
+}
+
+#[test]
+fn corpus_replays_through_the_warm_path() {
+    let entries = corpus::load_dir(&committed_corpus()).expect("corpus loads");
+    assert!(
+        !entries.is_empty(),
+        "committed corpus is empty — nothing replayed"
+    );
+    for (path, scenario) in entries {
+        let label = format!("corpus {}", path.display());
+        assert_flow_equivalence(&label, &scenario);
+        assert_perturbation_equivalence(&label, &scenario);
+    }
+}
