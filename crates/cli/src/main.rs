@@ -16,7 +16,7 @@
 //! sdfrs verify <app.sdfa> <platform.sdfp>    allocate, then independently
 //!                                            re-verify the result
 //! sdfrs serve <platform.sdfp> [--input <req.jsonl>] [--batch <n>]
-//!                                            online admission service: read
+//!             [--regions <n>]                online admission service: read
 //!                                            JSONL requests (stdin or file),
 //!                                            write one JSON response per line
 //! sdfrs generate <set> <seed> <count> [dir]  emit generated applications
@@ -33,7 +33,11 @@
 //! as `"id"` and are deterministic (no timestamps). `--batch <n>` drains
 //! the queue every `n` requests (default 1: each request is answered
 //! before the next is read), enabling the service's parallel speculative
-//! admission without changing any outcome.
+//! admission without changing any outcome. `--regions <n>` partitions the
+//! platform into `n` contiguous tile regions: admits run region-locally
+//! (escalating to neighbors, then globally, when the home region is full)
+//! and batched admits commit region-parallel — responses are still
+//! byte-identical to the sequential order (conform oracle 7).
 //!
 //! The global `--trace <file>` option writes every flow event of the
 //! allocating commands (`flow`, `trace`, `verify`, `multiapp`, `serve`)
@@ -605,6 +609,16 @@ fn parse_batch(spec: &str) -> Result<usize, String> {
     Ok(n)
 }
 
+fn parse_regions(spec: &str) -> Result<usize, String> {
+    let n: usize = spec
+        .parse()
+        .map_err(|_| format!("bad region count {spec:?}"))?;
+    if n == 0 {
+        return Err("region count must be at least 1".into());
+    }
+    Ok(n)
+}
+
 fn serve(
     platform_path: &str,
     options: &[String],
@@ -618,6 +632,7 @@ fn serve(
         .map_err(|e| format!("{platform_path}: {e}"))?;
     let mut input_path: Option<String> = None;
     let mut batch: usize = 1;
+    let mut regions: usize = 1;
     let mut iter = options.iter();
     while let Some(a) = iter.next() {
         if a == "--input" {
@@ -628,6 +643,10 @@ fn serve(
             batch = parse_batch(iter.next().ok_or("--batch needs a count")?)?;
         } else if let Some(n) = a.strip_prefix("--batch=") {
             batch = parse_batch(n)?;
+        } else if a == "--regions" {
+            regions = parse_regions(iter.next().ok_or("--regions needs a count")?)?;
+        } else if let Some(n) = a.strip_prefix("--regions=") {
+            regions = parse_regions(n)?;
         } else {
             return Err(format!("unknown option {a:?}"));
         }
@@ -655,6 +674,7 @@ fn serve(
     }
     let mut config = ServiceConfig::default();
     config.batch_capacity = batch;
+    config.regions = regions;
     let mut service = AllocationService::from_config(&arch, config)
         .with_boxed_sink(sink)
         .with_metrics(metrics.clone());

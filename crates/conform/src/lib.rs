@@ -6,8 +6,9 @@
 //! the workspace's own redundancy (cached vs. uncached evaluation,
 //! parallel vs. sequential search, the independent verifier, the event
 //! stream vs. the aggregated stats, the online admission service vs. the
-//! batch protocols) gives us five more. This crate runs seeded random
-//! [`Scenario`]s through the whole panel:
+//! batch protocols, region-parallel vs. sequential admission commits)
+//! gives us six more. This crate runs seeded random [`Scenario`]s through
+//! the whole panel:
 //!
 //! 1. **HSDF equivalence** — self-timed throughput of the binding-aware
 //!    graph vs. `γ/MCM` of its HSDF conversion
@@ -27,7 +28,12 @@
 //!    answers identically whether drained one request at a time or as a
 //!    single batch, and the surviving sessions match a fresh
 //!    `allocate_sequence` of the same applications (departures reclaim
-//!    *exactly* what was claimed).
+//!    *exactly* what was claimed);
+//! 7. **region-parallel equivalence** — with the platform partitioned
+//!    into regions (including single-tile regions that force the
+//!    escalation path), a region-parallel batched drain must answer
+//!    byte-for-byte identically to a sequential-commit drain of the same
+//!    trace and leave the identical residual.
 //!
 //! A failing scenario is [`shrink`](shrink::shrink)-able to a minimal
 //! reproduction and persisted as a `.ron` [`corpus`] file, which the
@@ -112,6 +118,9 @@ pub enum OracleId {
     /// Online (request-at-a-time) vs. batched service drains, and the
     /// surviving sessions vs. a fresh batch allocation.
     OnlineBatchEquivalence,
+    /// Region-parallel vs. sequential-commit drains of a partitioned
+    /// service (responses byte-for-byte, residual, live sessions).
+    RegionEquivalence,
 }
 
 impl OracleId {
@@ -124,6 +133,7 @@ impl OracleId {
             OracleId::Invariants => "invariants",
             OracleId::EventReconciliation => "event_reconciliation",
             OracleId::OnlineBatchEquivalence => "online_batch_equivalence",
+            OracleId::RegionEquivalence => "region_parallel_equivalence",
         }
     }
 }

@@ -1,4 +1,4 @@
-//! The six-oracle panel (see the crate docs for the rationale).
+//! The seven-oracle panel (see the crate docs for the rationale).
 //!
 //! Every oracle is *differential*: it never needs to know the right
 //! answer for a scenario, only that two independent routes to the answer
@@ -120,6 +120,11 @@ pub(crate) fn run_panel(scenario: &Scenario, config: &HarnessConfig) -> Scenario
     // and as one speculative batch, and its survivors must match a fresh
     // sequence allocation.
     online_service_oracle(scenario, config, &mut failures);
+
+    // Oracle 7 — region-parallel equivalence: with the platform
+    // partitioned into regions, the region-parallel batched commit path
+    // must answer byte-for-byte like the sequential-commit path.
+    region_equivalence_oracle(scenario, config, &mut failures, &mut skipped);
 
     // Oracle 1 — HSDF equivalence (the paper's own claim).
     hsdf_oracle(scenario, config, &base, &mut failures, &mut skipped);
@@ -470,6 +475,119 @@ fn online_service_oracle(
                      (departure did not reclaim exactly its claim)"
                 .into(),
         });
+    }
+}
+
+/// Oracle 7: region-parallel vs. sequential-commit admission.
+///
+/// Partitions the scenario platform into regions — a coarse split (2
+/// regions) and the finest split (one tile per region, which starves
+/// most home regions and forces the escalation chain) — and runs the
+/// same admit/depart trace through two services with identical region
+/// maps: one draining with `region_parallel_commit` off (sequential,
+/// the pinned reference) and one with it on (phase-A speculative
+/// allocation plus direct commits). The JSONL response lines must match
+/// byte-for-byte, and residual state and live sessions must be
+/// identical — the determinism claim of DESIGN.md §15.
+fn region_equivalence_oracle(
+    scenario: &Scenario,
+    config: &HarnessConfig,
+    failures: &mut Vec<OracleFailure>,
+    skipped: &mut Vec<(OracleId, String)>,
+) {
+    use sdfrs_core::service::{AllocationService, ServiceConfig, ServiceRequest, ServiceResponse};
+    use sdfrs_core::SessionId;
+
+    let oracle = OracleId::RegionEquivalence;
+    let app = &scenario.app;
+    let arch = &scenario.arch;
+    if arch.tile_count() < 2 {
+        skipped.push((oracle, "single-tile platform has only one region".into()));
+        return;
+    }
+
+    let mut region_counts = vec![2usize, arch.tile_count()];
+    region_counts.dedup();
+
+    for regions in region_counts {
+        // The trace: enough admits to spread over several homes, one
+        // departure in the middle (a barrier that dirties a region), a
+        // bogus departure and a status probe.
+        let trace_len = 7;
+        let build = |parallel: bool| {
+            let mut svc_config = ServiceConfig::default();
+            svc_config.flow = config.flow;
+            svc_config.regions = regions;
+            svc_config.region_parallel_commit = parallel;
+            svc_config.batch_capacity = trace_len;
+            AllocationService::from_config(arch, svc_config)
+        };
+        let drive = |svc: &mut AllocationService| -> Vec<(u64, ServiceResponse)> {
+            let admit = || ServiceRequest::Admit {
+                app: Box::new(app.clone()),
+            };
+            let mut out = Vec::new();
+            for req in [admit(), admit(), admit(), admit()] {
+                svc.enqueue(req);
+            }
+            out.extend(svc.drain());
+            // Depart the first live session (if any), then admit twice
+            // more in a fresh batch against the dirtied platform.
+            let target = svc
+                .session_ids()
+                .first()
+                .copied()
+                .unwrap_or(SessionId::from_raw(u64::MAX));
+            for req in [
+                ServiceRequest::Depart { session: target },
+                admit(),
+                admit(),
+                ServiceRequest::Status,
+            ] {
+                svc.enqueue(req);
+            }
+            out.extend(svc.drain());
+            out
+        };
+
+        let mut sequential = build(false);
+        let mut parallel = build(true);
+        let seq_out = drive(&mut sequential);
+        let par_out = drive(&mut parallel);
+
+        let seq_lines: Vec<String> = seq_out.iter().map(|(s, r)| r.to_json_line(*s)).collect();
+        let par_lines: Vec<String> = par_out.iter().map(|(s, r)| r.to_json_line(*s)).collect();
+        if seq_lines != par_lines {
+            let first = seq_lines.iter().zip(&par_lines).position(|(a, b)| a != b);
+            failures.push(OracleFailure {
+                oracle,
+                detail: format!(
+                    "regions={regions}: sequential and region-parallel commits disagree \
+                     (first divergent response line: {first:?})"
+                ),
+            });
+            return;
+        }
+        if sequential.residual() != parallel.residual() {
+            failures.push(OracleFailure {
+                oracle,
+                detail: format!(
+                    "regions={regions}: sequential and region-parallel commits leave \
+                     different residual platform state"
+                ),
+            });
+            return;
+        }
+        if sequential.session_ids() != parallel.session_ids() {
+            failures.push(OracleFailure {
+                oracle,
+                detail: format!(
+                    "regions={regions}: sequential and region-parallel commits hold \
+                     different live sessions"
+                ),
+            });
+            return;
+        }
     }
 }
 

@@ -168,7 +168,7 @@ pub fn allocate_best_fit_with(
         round += 1;
         match best {
             Some((i, alloc, stats, _)) => {
-                alloc.claim_on(arch, &mut state);
+                alloc.claim_set().apply(&mut state);
                 allocator.metric(|m| m.admission_admitted.inc());
                 allocator.emit(|| FlowEvent::AdmissionDecision {
                     index: i,
@@ -252,7 +252,7 @@ pub fn allocate_skipping_failures_with(
     for i in ordered {
         match allocator.allocate(&apps[i], arch, &state) {
             Ok((alloc, stats)) => {
-                alloc.claim_on(arch, &mut state);
+                alloc.claim_set().apply(&mut state);
                 allocator.metric(|m| m.admission_admitted.inc());
                 allocator.emit(|| FlowEvent::AdmissionDecision {
                     index: i,

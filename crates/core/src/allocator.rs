@@ -38,7 +38,7 @@ use std::time::Instant;
 use sdfrs_appmodel::ApplicationGraph;
 use sdfrs_platform::{ArchitectureGraph, PlatformState};
 
-use crate::admission::{AdmissionOrder, AdmissionPolicy, AdmissionResult};
+use crate::admission::{AdmissionPolicy, AdmissionResult};
 use crate::cost::CostWeights;
 use crate::dse::DseResult;
 use crate::error::MapError;
@@ -286,36 +286,6 @@ impl Allocator {
             }
             AdmissionPolicy::BestFit => crate::admission::allocate_best_fit_with(self, apps, arch),
         }
-    }
-
-    /// Admission in the given order, *skipping* applications that fail
-    /// instead of stopping (the run-time mechanism of Sec 10.1).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `admit_with(apps, arch, AdmissionPolicy::FirstFit(order))`"
-    )]
-    pub fn admit(
-        &mut self,
-        apps: &[ApplicationGraph],
-        arch: &ArchitectureGraph,
-        order: AdmissionOrder,
-    ) -> AdmissionResult {
-        self.admit_with(apps, arch, AdmissionPolicy::FirstFit(order))
-    }
-
-    /// Dynamic best-fit admission: each round speculatively allocates
-    /// every remaining application and admits the one claiming the least
-    /// wheel time.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `admit_with(apps, arch, AdmissionPolicy::BestFit)`"
-    )]
-    pub fn admit_best_fit(
-        &mut self,
-        apps: &[ApplicationGraph],
-        arch: &ArchitectureGraph,
-    ) -> AdmissionResult {
-        self.admit_with(apps, arch, AdmissionPolicy::BestFit)
     }
 
     /// Sweeps the given Eqn 2 weight settings under both connection

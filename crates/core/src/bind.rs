@@ -49,16 +49,24 @@ impl BindConfig {
 }
 
 /// Candidate tiles for one actor: every tile whose processor type the
-/// actor supports, in tile order.
+/// actor supports and which still has at least one free wheel unit, in
+/// tile order. The wheel filter is exact: `tile_constraints_hold`
+/// demands one remaining wheel unit for any tile that hosts an actor, so
+/// a fully claimed tile can never be accepted in either pass (and in the
+/// optimization pass the actor's original tile always retains its own
+/// claimed-free unit, so the restore fallback is unaffected).
 fn candidate_tiles(
     app: &ApplicationGraph,
     arch: &ArchitectureGraph,
+    state: &PlatformState,
     actor: ActorId,
 ) -> Vec<TileId> {
     arch.tiles()
-        .filter(|(_, tile)| {
-            app.actor_requirements(actor)
-                .supports(tile.processor_type())
+        .filter(|&(id, tile)| {
+            state.usage(id).wheel < tile.wheel_size()
+                && app
+                    .actor_requirements(actor)
+                    .supports(tile.processor_type())
         })
         .map(|(id, _)| id)
         .collect()
@@ -98,8 +106,13 @@ fn rank_tiles(
                 tile_cost(weights, tile_loads(app, arch, state, binding, t)?)
             }
             RankScope::AllTiles => {
+                // Exact restriction of "max over every tile": a tile with
+                // no bound actor has zero demand and zero processing share,
+                // and `fraction` maps zero use to zero load even on
+                // zero-capacity resources, so its Eqn 2 cost is exactly 0 —
+                // the value `worst` starts from.
                 let mut worst = 0.0f64;
-                for u in arch.tile_ids() {
+                for u in binding.used_tiles() {
                     worst = worst.max(tile_cost(
                         weights,
                         tile_loads(app, arch, state, binding, u)?,
@@ -186,7 +199,7 @@ pub fn bind_actors_observed(
 
     // First-fit in criticality order.
     for &actor in &order {
-        let tiles = candidate_tiles(app, arch, actor);
+        let tiles = candidate_tiles(app, arch, state, actor);
         let ranked = rank_tiles(
             app,
             arch,
@@ -233,7 +246,7 @@ pub fn bind_actors_observed(
         for &actor in order.iter().rev() {
             let original = binding.tile_of(actor).expect("first pass bound everything");
             binding.unbind(actor);
-            let tiles = candidate_tiles(app, arch, actor);
+            let tiles = candidate_tiles(app, arch, state, actor);
             let ranked = rank_tiles(
                 app,
                 arch,

@@ -13,7 +13,7 @@
 use std::time::Duration;
 
 use sdfrs_appmodel::ApplicationGraph;
-use sdfrs_platform::{ArchitectureGraph, PlatformState, TileUsage};
+use sdfrs_platform::{ArchitectureGraph, ClaimSet, PlatformState, TileUsage};
 use sdfrs_sdf::analysis::selftimed::ThroughputResult;
 use sdfrs_sdf::Rational;
 
@@ -310,21 +310,38 @@ impl Allocation {
         self.achieved.iteration_throughput
     }
 
+    /// The transactional per-tile resource footprint of this allocation:
+    /// the sparse, sorted set of non-zero claims to
+    /// [`apply`](ClaimSet::apply) to or [`revert`](ClaimSet::revert) from
+    /// a [`PlatformState`] as one unit. This is the claim/release surface
+    /// the admission layers use; it also carries the region bookkeeping
+    /// ([`ClaimSet::region_footprint`], [`ClaimSet::within`]) that powers
+    /// region-parallel commits.
+    pub fn claim_set(&self) -> ClaimSet {
+        ClaimSet::from_usage(&self.usage)
+    }
+
     /// Claims this allocation's resources on a platform state, making them
     /// unavailable to later applications.
-    pub fn claim_on(&self, arch: &ArchitectureGraph, state: &mut PlatformState) {
-        for t in arch.tile_ids() {
-            state.claim(t, self.usage[t.index()]);
-        }
+    #[deprecated(
+        since = "0.7.0",
+        note = "use `claim_set().apply(state)` — the `ClaimSet` API is \
+                transactional and region-aware"
+    )]
+    pub fn claim_on(&self, _arch: &ArchitectureGraph, state: &mut PlatformState) {
+        self.claim_set().apply(state);
     }
 
     /// Releases this allocation's resources from a platform state — the
     /// exact inverse of [`claim_on`](Self::claim_on), used when an
     /// application departs and its budgets return to the pool.
-    pub fn release_on(&self, arch: &ArchitectureGraph, state: &mut PlatformState) {
-        for t in arch.tile_ids() {
-            state.release(t, self.usage[t.index()]);
-        }
+    #[deprecated(
+        since = "0.7.0",
+        note = "use `claim_set().revert(state)` — the `ClaimSet` API is \
+                transactional and region-aware"
+    )]
+    pub fn release_on(&self, _arch: &ArchitectureGraph, state: &mut PlatformState) {
+        self.claim_set().revert(state);
     }
 }
 
@@ -510,12 +527,12 @@ mod tests {
     }
 
     #[test]
-    fn claim_on_accumulates_usage() {
+    fn claim_set_accumulates_usage() {
         let app = paper_example();
         let arch = example_platform();
         let mut state = PlatformState::new(&arch);
         let (alloc, _) = Allocator::new().allocate(&app, &arch, &state).unwrap();
-        alloc.claim_on(&arch, &mut state);
+        alloc.claim_set().apply(&mut state);
         for t in alloc.binding.used_tiles() {
             assert_eq!(state.usage(t).wheel, alloc.slices[t.index()]);
             assert!(state.usage(t).memory > 0);
@@ -530,7 +547,7 @@ mod tests {
         let mut state = PlatformState::new(&arch);
         let mut allocator = Allocator::new();
         let (first, _) = allocator.allocate(&app, &arch, &state).unwrap();
-        first.claim_on(&arch, &mut state);
+        first.claim_set().apply(&mut state);
         let second = allocator.allocate(&app, &arch, &state);
         // Whether it fits depends on the wheel left; either a valid
         // allocation or a clean infeasibility — never a panic.
@@ -573,16 +590,34 @@ mod tests {
     }
 
     #[test]
-    fn release_on_undoes_claim_on() {
+    fn claim_set_revert_undoes_apply() {
         let app = paper_example();
         let arch = example_platform();
         let mut state = PlatformState::new(&arch);
         let (alloc, _) = Allocator::new().allocate(&app, &arch, &state).unwrap();
         let before = state.clone();
-        alloc.claim_on(&arch, &mut state);
+        let claim = alloc.claim_set();
+        assert!(claim.fits(&arch, &state));
+        claim.apply(&mut state);
         assert_ne!(state, before, "the allocation must claim something");
-        alloc.release_on(&arch, &mut state);
-        assert_eq!(state, before, "release must reclaim exactly the claim");
+        claim.revert(&mut state);
+        assert_eq!(state, before, "revert must reclaim exactly the claim");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_claim_shims_forward_to_claim_set() {
+        let app = paper_example();
+        let arch = example_platform();
+        let mut state = PlatformState::new(&arch);
+        let (alloc, _) = Allocator::new().allocate(&app, &arch, &state).unwrap();
+        let before = state.clone();
+        let mut via_shim = state.clone();
+        alloc.claim_on(&arch, &mut via_shim);
+        alloc.claim_set().apply(&mut state);
+        assert_eq!(via_shim, state, "shim must match the ClaimSet path");
+        alloc.release_on(&arch, &mut via_shim);
+        assert_eq!(via_shim, before);
     }
 
     #[test]

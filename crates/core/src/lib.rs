@@ -97,6 +97,7 @@ pub use metrics::{Metrics, MetricsRegistry, MetricsSnapshot, NullMetrics};
 pub use schedule::StaticOrderSchedule;
 pub use service::{
     AllocationService, ServiceConfig, ServiceError, ServiceRequest, ServiceResponse, ServiceStatus,
+    MAX_ESCALATION_NEIGHBORS,
 };
 pub use thru_cache::ThroughputCache;
 pub use warm::{WarmPool, WarmStats};

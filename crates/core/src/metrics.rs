@@ -318,6 +318,11 @@ const QUEUE_DEPTH_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128];
 /// Histogram bounds for memoized transitions invalidated per warm probe.
 const INVALIDATED_BOUNDS: &[u64] = &[1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576];
 
+/// Histogram bounds for the escalation depth at which a regional
+/// admission committed (0 = home region; the overflow bucket catches the
+/// global fallback on deep neighbor chains).
+const ESCALATION_DEPTH_BOUNDS: &[u64] = &[0, 1, 2, 3];
+
 /// Name, help text, and snapshot order of every registry counter.
 /// The single source the exporters and [`MetricsSnapshot::counter`]
 /// agree on.
@@ -414,6 +419,22 @@ const COUNTERS: &[(&str, &str)] = &[
         "cache_ancestor_hits",
         "Cache misses with a memoized ancestor differing in one tile slice.",
     ),
+    (
+        "region_admits_local",
+        "Regional admissions committed entirely inside their home region.",
+    ),
+    (
+        "region_escalations",
+        "Regional admissions that escalated beyond their home region.",
+    ),
+    (
+        "region_commits_speculative",
+        "Region-parallel drain commits that reused the speculative regional allocation.",
+    ),
+    (
+        "region_commits_inline",
+        "Region-parallel drain commits recomputed inline against the global residual.",
+    ),
 ];
 
 /// The full set of instruments the flow records into.
@@ -477,10 +498,23 @@ pub struct MetricsRegistry {
     pub warm_trajectory_hits: Counter,
     /// Cache misses with a memoized ancestor differing in one tile slice.
     pub cache_ancestor_hits: Counter,
+    /// Regional admissions committed entirely inside their home region.
+    pub region_admits_local: Counter,
+    /// Regional admissions that escalated beyond their home region.
+    pub region_escalations: Counter,
+    /// Region-parallel drain commits that reused the speculative
+    /// regional allocation.
+    pub region_commits_speculative: Counter,
+    /// Region-parallel drain commits recomputed inline against the
+    /// global residual.
+    pub region_commits_inline: Counter,
     /// Distinct configurations currently memoized by the cache.
     pub cache_entries: Gauge,
     /// Currently live service sessions.
     pub sessions_live: Gauge,
+    /// Regions the admission service partitions the platform into
+    /// (1 = regional admission disabled).
+    pub regions_configured: Gauge,
     /// States explored per constrained-throughput probe (misses only).
     pub probe_states: Histogram,
     /// Binary-search iterations per per-tile refinement task.
@@ -489,8 +523,13 @@ pub struct MetricsRegistry {
     pub service_queue_depth: Histogram,
     /// Memoized transitions invalidated per warm-started probe.
     pub states_invalidated: Histogram,
+    /// Escalation depth at which each regional admission committed
+    /// (0 = home region; overflow = global fallback).
+    pub region_escalation_depth: Histogram,
     /// Bind attempts per candidate tile index.
     pub bind_attempts_per_tile: IndexedCounter,
+    /// Admissions committed per home region index.
+    pub region_admits_per_region: IndexedCounter,
     /// Wall time per span of the flow → bind/schedule/slice → probe
     /// hierarchy.
     pub profiler: Profiler,
@@ -532,13 +571,20 @@ impl MetricsRegistry {
             warm_misses: Counter::default(),
             warm_trajectory_hits: Counter::default(),
             cache_ancestor_hits: Counter::default(),
+            region_admits_local: Counter::default(),
+            region_escalations: Counter::default(),
+            region_commits_speculative: Counter::default(),
+            region_commits_inline: Counter::default(),
             cache_entries: Gauge::default(),
             sessions_live: Gauge::default(),
+            regions_configured: Gauge::default(),
             probe_states: Histogram::new(PROBE_STATE_BOUNDS),
             refine_search_iters: Histogram::new(REFINE_ITER_BOUNDS),
             service_queue_depth: Histogram::new(QUEUE_DEPTH_BOUNDS),
             states_invalidated: Histogram::new(INVALIDATED_BOUNDS),
+            region_escalation_depth: Histogram::new(ESCALATION_DEPTH_BOUNDS),
             bind_attempts_per_tile: IndexedCounter::default(),
+            region_admits_per_region: IndexedCounter::default(),
             profiler: Profiler::default(),
         }
     }
@@ -571,6 +617,10 @@ impl MetricsRegistry {
             "warm_misses" => self.warm_misses.get(),
             "warm_trajectory_hits" => self.warm_trajectory_hits.get(),
             "cache_ancestor_hits" => self.cache_ancestor_hits.get(),
+            "region_admits_local" => self.region_admits_local.get(),
+            "region_escalations" => self.region_escalations.get(),
+            "region_commits_speculative" => self.region_commits_speculative.get(),
+            "region_commits_inline" => self.region_commits_inline.get(),
             other => unreachable!("unregistered counter `{other}`"),
         }
     }
@@ -656,7 +706,9 @@ impl MetricsRegistry {
                 .collect(),
             cache_entries: self.cache_entries.get(),
             sessions_live: self.sessions_live.get(),
+            regions_configured: self.regions_configured.get(),
             bind_attempts_per_tile: self.bind_attempts_per_tile.values(),
+            region_admits_per_region: self.region_admits_per_region.values(),
             histograms: vec![
                 self.probe_states.snapshot(
                     "probe_states",
@@ -673,6 +725,10 @@ impl MetricsRegistry {
                 self.states_invalidated.snapshot(
                     "states_invalidated",
                     "Memoized transitions invalidated per warm-started probe.",
+                ),
+                self.region_escalation_depth.snapshot(
+                    "region_escalation_depth",
+                    "Escalation depth at which each regional admission committed.",
                 ),
             ],
             phases: SpanKind::ALL
@@ -816,8 +872,12 @@ pub struct MetricsSnapshot {
     pub cache_entries: u64,
     /// The live-session gauge.
     pub sessions_live: u64,
+    /// The configured-regions gauge (1 = regional admission disabled).
+    pub regions_configured: u64,
     /// Bind attempts per tile index.
     pub bind_attempts_per_tile: Vec<u64>,
+    /// Admissions committed per home region index.
+    pub region_admits_per_region: Vec<u64>,
     /// Every histogram, fixed registration order.
     pub histograms: Vec<HistogramSnapshot>,
     /// Every profiler span node, hierarchy order.
@@ -865,6 +925,23 @@ impl MetricsSnapshot {
         out.push_str("# HELP sdfrs_sessions_live Currently live service sessions.\n");
         out.push_str("# TYPE sdfrs_sessions_live gauge\n");
         let _ = writeln!(out, "sdfrs_sessions_live {}", self.sessions_live);
+        out.push_str(
+            "# HELP sdfrs_regions_configured Regions the admission service partitions into.\n",
+        );
+        out.push_str("# TYPE sdfrs_regions_configured gauge\n");
+        let _ = writeln!(out, "sdfrs_regions_configured {}", self.regions_configured);
+        if !self.region_admits_per_region.is_empty() {
+            out.push_str(
+                "# HELP sdfrs_region_admits_per_region_total Admissions committed per home region.\n",
+            );
+            out.push_str("# TYPE sdfrs_region_admits_per_region_total counter\n");
+            for (region, value) in self.region_admits_per_region.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "sdfrs_region_admits_per_region_total{{region=\"{region}\"}} {value}"
+                );
+            }
+        }
         if !self.bind_attempts_per_tile.is_empty() {
             out.push_str(
                 "# HELP sdfrs_bind_attempts_per_tile_total Bind attempts per candidate tile.\n",
@@ -928,11 +1005,18 @@ impl MetricsSnapshot {
         }
         let _ = write!(
             out,
-            "}},\"gauges\":{{\"cache_entries\":{},\"sessions_live\":{}}}",
-            self.cache_entries, self.sessions_live
+            "}},\"gauges\":{{\"cache_entries\":{},\"sessions_live\":{},\"regions_configured\":{}}}",
+            self.cache_entries, self.sessions_live, self.regions_configured
         );
         out.push_str(",\"bind_attempts_per_tile\":[");
         for (i, v) in self.bind_attempts_per_tile.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{v}");
+        }
+        out.push_str("],\"region_admits_per_region\":[");
+        for (i, v) in self.region_admits_per_region.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }

@@ -82,7 +82,7 @@ pub fn allocate_until_failure_with(
     for (index, app) in apps.iter().enumerate() {
         match allocator.allocate(app, arch, &state) {
             Ok((alloc, s)) => {
-                alloc.claim_on(arch, &mut state);
+                alloc.claim_set().apply(&mut state);
                 allocations.push(alloc);
                 stats.push(s);
                 allocator.metric(|m| m.admission_admitted.inc());

@@ -5,46 +5,20 @@ use sdfrs_platform::{ArchitectureGraph, PlatformState, TileId, TileUsage};
 
 use crate::binding::Binding;
 
-/// The resources of one tile still available to the application under
-/// allocation (tile specification minus occupancy by earlier
-/// applications — the paper's "resources that are not available should not
-/// be specified").
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct TileCapacity {
-    /// Remaining TDMA wheel time `w − Ω(t)`.
-    pub wheel: u64,
-    /// Remaining memory (bits).
-    pub memory: u64,
-    /// Remaining NI connections.
-    pub connections: u32,
-    /// Remaining incoming bandwidth.
-    pub bandwidth_in: u64,
-    /// Remaining outgoing bandwidth.
-    pub bandwidth_out: u64,
-}
+pub use sdfrs_platform::TileCapacity;
 
 /// Computes the remaining capacity of `tile`.
+///
+/// Thin convenience wrapper over
+/// [`PlatformState::tile_capacity`]; the per-platform residual view that
+/// used to live here as `platform_residual` is now
+/// [`PlatformState::residual_capacities`].
 pub fn tile_capacity(
     arch: &ArchitectureGraph,
     state: &PlatformState,
     tile: TileId,
 ) -> TileCapacity {
-    TileCapacity {
-        wheel: state.available_wheel(arch, tile),
-        memory: state.available_memory(arch, tile),
-        connections: state.available_connections(arch, tile),
-        bandwidth_in: state.available_bandwidth_in(arch, tile),
-        bandwidth_out: state.available_bandwidth_out(arch, tile),
-    }
-}
-
-/// The remaining capacity of every tile, tile-index order — the residual
-/// view an [`AllocationService`](crate::service::AllocationService)
-/// reports in its status and that departures replenish.
-pub fn platform_residual(arch: &ArchitectureGraph, state: &PlatformState) -> Vec<TileCapacity> {
-    arch.tile_ids()
-        .map(|t| tile_capacity(arch, state, t))
-        .collect()
+    state.tile_capacity(arch, tile)
 }
 
 /// The resources the current (partial) binding demands from one tile:
@@ -293,28 +267,6 @@ mod tests {
         assert_eq!(usage[1].wheel, 6);
         assert_eq!(usage[0].memory, 225);
         assert_eq!(usage[1].memory, 210);
-    }
-
-    #[test]
-    fn residual_reflects_claims_and_releases() {
-        let (_, arch, _) = example_binding();
-        let mut state = PlatformState::new(&arch);
-        let fresh = platform_residual(&arch, &state);
-        assert_eq!(fresh.len(), arch.tile_count());
-        let use0 = TileUsage {
-            wheel: 4,
-            memory: 100,
-            connections: 1,
-            bandwidth_in: 10,
-            bandwidth_out: 20,
-        };
-        state.claim(TileId::from_index(0), use0);
-        let claimed = platform_residual(&arch, &state);
-        assert_eq!(claimed[0].wheel, fresh[0].wheel - 4);
-        assert_eq!(claimed[0].memory, fresh[0].memory - 100);
-        assert_eq!(claimed[1], fresh[1]);
-        state.release(TileId::from_index(0), use0);
-        assert_eq!(platform_residual(&arch, &state), fresh);
     }
 
     #[test]

@@ -33,6 +33,31 @@
 //! requests one by one. The conformance harness pins exactly that
 //! equivalence (oracle 6).
 //!
+//! # Regional admission
+//!
+//! With [`ServiceConfig::regions`] ` > 1` the platform is partitioned
+//! into a [`RegionMap`] of contiguous tile regions, and every admission
+//! is assigned a *home region* round-robin. The flow then runs against a
+//! [masked view](RegionMap::masked_state) of the residual state in which
+//! tiles outside the home region appear fully occupied, so the
+//! allocation — if one exists — stays inside the home region and only
+//! ranks the home region's tiles. When the home region cannot fit the
+//! application, admission *escalates*: the mask widens to the home
+//! region plus its nearest neighbor regions (up to
+//! [`MAX_ESCALATION_NEIGHBORS`]), and finally falls back to the
+//! unmasked global flow.
+//!
+//! Because a masked allocation is a pure function of its regions'
+//! residual share, admits homed in *different* regions commute; with
+//! [`ServiceConfig::region_parallel_commit`] a drained run of
+//! consecutive admits is grouped by home region, allocated per region in
+//! parallel, and the results are **committed directly** in arrival
+//! order — no re-run — whenever no earlier inline commit dirtied the
+//! home region. Escalations and admits into dirtied regions are
+//! recomputed inline, exactly as the sequential path would. Conform
+//! oracle 7 pins region-parallel commit ≡ sequential commit,
+//! byte-for-byte, including forced-escalation scenarios.
+//!
 //! # Example
 //!
 //! ```
@@ -54,7 +79,7 @@ use std::collections::BTreeMap;
 
 use sdfrs_appmodel::ApplicationGraph;
 use sdfrs_fastutil::par::maybe_par_map;
-use sdfrs_platform::{ArchitectureGraph, PlatformState, TileUsage};
+use sdfrs_platform::{ArchitectureGraph, PlatformState, RegionId, RegionMap, TileUsage};
 use sdfrs_sdf::Rational;
 
 use crate::allocator::Allocator;
@@ -63,7 +88,12 @@ use crate::events::{json_escape, EventSink, FlowEvent};
 use crate::flow::{Allocation, FlowConfig, FlowStats};
 use crate::ids::SessionId;
 use crate::metrics::Metrics;
-use crate::resources::{platform_residual, TileCapacity};
+use crate::resources::TileCapacity;
+
+/// Neighbor regions an escalating admission may widen its mask by before
+/// falling back to the global unmasked flow: the chain is
+/// `{home}`, `{home, n₁}`, `{home, n₁, n₂}`, global.
+pub const MAX_ESCALATION_NEIGHBORS: usize = 2;
 
 /// Configuration of an [`AllocationService`].
 ///
@@ -83,6 +113,17 @@ pub struct ServiceConfig {
     /// parallel before the sequential commit. Never changes results —
     /// only how warm the shared cache is when the commit runs.
     pub parallel_speculation: bool,
+    /// Regions the platform is partitioned into for regional admission
+    /// (clamped to `1..=tile_count`). `1` — the default — disables
+    /// regional admission entirely: every admit runs the global flow,
+    /// byte-identical to earlier releases.
+    pub regions: usize,
+    /// Whether [`drain`](AllocationService::drain) commits runs of
+    /// consecutive admits region-parallel (see the
+    /// [module docs](self#regional-admission)). Only takes effect with
+    /// `regions > 1`; results are pinned byte-identical to the
+    /// sequential commit by conform oracle 7.
+    pub region_parallel_commit: bool,
 }
 
 impl Default for ServiceConfig {
@@ -91,6 +132,8 @@ impl Default for ServiceConfig {
             flow: FlowConfig::default(),
             batch_capacity: 16,
             parallel_speculation: true,
+            regions: 1,
+            region_parallel_commit: true,
         }
     }
 }
@@ -344,6 +387,12 @@ pub struct AllocationService {
     batches_drained: usize,
     batch_capacity: usize,
     parallel_speculation: bool,
+    region_map: RegionMap,
+    region_parallel_commit: bool,
+    /// Round-robin home-region counter. Pure arrival-order state — never
+    /// load-dependent — so the sequential and region-parallel commit
+    /// paths assign identical homes to identical request streams.
+    region_rr: u64,
 }
 
 impl std::fmt::Debug for AllocationService {
@@ -375,6 +424,9 @@ impl AllocationService {
             batches_drained: 0,
             batch_capacity: config.batch_capacity.max(1),
             parallel_speculation: config.parallel_speculation,
+            region_map: RegionMap::contiguous(arch, config.regions.max(1)),
+            region_parallel_commit: config.region_parallel_commit,
+            region_rr: 0,
         }
     }
 
@@ -398,6 +450,8 @@ impl AllocationService {
     #[must_use]
     pub fn with_metrics(mut self, metrics: impl Into<Metrics>) -> Self {
         self.allocator = self.allocator.with_metrics(metrics);
+        let regions = self.region_map.region_count() as u64;
+        self.allocator.metric(|m| m.regions_configured.set(regions));
         self
     }
 
@@ -414,7 +468,13 @@ impl AllocationService {
 
     /// The remaining capacity of every tile, tile-index order.
     pub fn residual_capacity(&self) -> Vec<TileCapacity> {
-        platform_residual(&self.arch, &self.residual)
+        self.residual.residual_capacities(&self.arch)
+    }
+
+    /// The region partition admissions run against (a single region when
+    /// regional admission is disabled).
+    pub fn region_map(&self) -> &RegionMap {
+        &self.region_map
     }
 
     /// Number of live sessions.
@@ -457,13 +517,112 @@ impl AllocationService {
     /// Runs the Sec 9 flow for `app` against the residual platform and,
     /// on success, claims the allocation and registers a new session.
     ///
+    /// With regional admission enabled ([`ServiceConfig::regions`]
+    /// ` > 1`) the flow first runs masked to the request's round-robin
+    /// home region and escalates through neighbor regions to the global
+    /// fallback (see the [module docs](self#regional-admission)).
+    ///
     /// # Errors
     ///
-    /// Any [`MapError`] of the flow; the service state is untouched on
+    /// Any [`MapError`] of the flow (the *global* attempt's error when
+    /// every escalation step failed); the service state is untouched on
     /// failure.
     pub fn admit(&mut self, app: &ApplicationGraph) -> Result<SessionId, MapError> {
-        let (allocation, stats) = self.allocator.allocate(app, &self.arch, &self.residual)?;
-        allocation.claim_on(&self.arch, &mut self.residual);
+        if self.region_map.region_count() <= 1 {
+            let (allocation, stats) = self.allocator.allocate(app, &self.arch, &self.residual)?;
+            return Ok(self.commit_admission(app, allocation, stats));
+        }
+        let home = self.next_home();
+        self.admit_regional_at(app, home, 0)
+            .map(|(session, _)| session)
+    }
+
+    /// Advances the round-robin home-region counter by one admit.
+    fn next_home(&mut self) -> RegionId {
+        let count = self.region_map.region_count() as u64;
+        let home = RegionId::from_index((self.region_rr % count) as usize);
+        self.region_rr += 1;
+        home
+    }
+
+    /// The escalation chain for `home`: depth 0 masks to the home region
+    /// alone, each further depth adds the next of (at most
+    /// [`MAX_ESCALATION_NEIGHBORS`]) sorted neighbor regions, and the
+    /// final `None` entry is the unmasked global fallback.
+    fn escalation_masks(&self, home: RegionId) -> Vec<Option<Vec<RegionId>>> {
+        let neighbors = self.region_map.neighbors(home);
+        let steps = neighbors.len().min(MAX_ESCALATION_NEIGHBORS);
+        let mut masks = Vec::with_capacity(steps + 2);
+        for depth in 0..=steps {
+            let mut allowed = vec![home];
+            allowed.extend_from_slice(&neighbors[..depth]);
+            allowed.sort();
+            masks.push(Some(allowed));
+        }
+        masks.push(None);
+        masks
+    }
+
+    /// Runs the escalation chain of `home` starting at `start_depth`
+    /// and commits the first allocation that succeeds. Returns the new
+    /// session and the depth it committed at. `start_depth` exists for
+    /// the region-parallel drain: when the speculative depth-0 attempt
+    /// already failed against an identical masked state, re-running it
+    /// would be pure waste.
+    fn admit_regional_at(
+        &mut self,
+        app: &ApplicationGraph,
+        home: RegionId,
+        start_depth: usize,
+    ) -> Result<(SessionId, usize), MapError> {
+        let masks = self.escalation_masks(home);
+        let mut last_err = None;
+        for (depth, mask) in masks.iter().enumerate().skip(start_depth) {
+            let attempt = match mask {
+                Some(allowed) => {
+                    let masked = self
+                        .region_map
+                        .masked_state(&self.arch, &self.residual, allowed);
+                    self.allocator.allocate(app, &self.arch, &masked)
+                }
+                None => self.allocator.allocate(app, &self.arch, &self.residual),
+            };
+            match attempt {
+                Ok((allocation, stats)) => {
+                    self.record_regional_commit(home, depth);
+                    let session = self.commit_admission(app, allocation, stats);
+                    return Ok((session, depth));
+                }
+                Err(error) => last_err = Some(error),
+            }
+        }
+        Err(last_err.expect("escalation chain is never empty"))
+    }
+
+    /// Records the per-region instruments for one committed regional
+    /// admission.
+    fn record_regional_commit(&mut self, home: RegionId, depth: usize) {
+        self.allocator.metric(|m| {
+            m.region_admits_per_region.add(home.index(), 1);
+            m.region_escalation_depth.observe(depth as u64);
+            if depth == 0 {
+                m.region_admits_local.inc();
+            } else {
+                m.region_escalations.inc();
+            }
+        });
+    }
+
+    /// Claims a successful allocation on the residual state and
+    /// registers the new session — the shared tail of every admission
+    /// path (global, regional escalation, region-parallel commit).
+    fn commit_admission(
+        &mut self,
+        app: &ApplicationGraph,
+        allocation: Allocation,
+        stats: FlowStats,
+    ) -> SessionId {
+        allocation.claim_set().apply(&mut self.residual);
         let session = SessionId::from_raw(self.next_session);
         self.next_session += 1;
         self.sessions.insert(
@@ -484,7 +643,7 @@ impl AllocationService {
             app: app.graph().name().to_string(),
             live,
         });
-        Ok(session)
+        session
     }
 
     /// Removes a live session and releases everything its allocation
@@ -499,15 +658,9 @@ impl AllocationService {
             .sessions
             .remove(&session)
             .ok_or(ServiceError::UnknownSession(session))?;
-        entry.allocation.release_on(&self.arch, &mut self.residual);
-        let mut reclaimed = TileUsage::default();
-        for u in &entry.allocation.usage {
-            reclaimed.wheel += u.wheel;
-            reclaimed.memory += u.memory;
-            reclaimed.connections += u.connections;
-            reclaimed.bandwidth_in += u.bandwidth_in;
-            reclaimed.bandwidth_out += u.bandwidth_out;
-        }
+        let claim = entry.allocation.claim_set();
+        claim.revert(&mut self.residual);
+        let reclaimed = claim.total();
         let live = self.sessions.len();
         self.allocator.metric(|m| {
             m.sessions_departed.inc();
@@ -542,10 +695,14 @@ impl AllocationService {
             .ok_or(ServiceError::UnknownSession(session))?;
         let old = entry.allocation.clone();
         let app = entry.app.clone();
-        old.release_on(&self.arch, &mut self.residual);
+        // Rebind always runs the global flow, even under regional
+        // admission: the point of a rebind is to exploit capacity freed
+        // *anywhere* by departures, so masking it to a region would
+        // defeat it.
+        old.claim_set().revert(&mut self.residual);
         let outcome = match self.allocator.allocate(&app, &self.arch, &self.residual) {
             Ok((new_alloc, stats)) => {
-                new_alloc.claim_on(&self.arch, &mut self.residual);
+                new_alloc.claim_set().apply(&mut self.residual);
                 let changed = new_alloc.binding != old.binding || new_alloc.slices != old.slices;
                 let throughput = new_alloc.guaranteed_throughput();
                 let entry = self.sessions.get_mut(&session).expect("session is live");
@@ -560,7 +717,7 @@ impl AllocationService {
                 // The freed state can only be *more* permissive than the
                 // one the session was admitted on, but the heuristic flow
                 // gives no such guarantee — restore the old claim.
-                old.claim_on(&self.arch, &mut self.residual);
+                old.claim_set().apply(&mut self.residual);
                 RebindOutcome {
                     throughput: old.guaranteed_throughput(),
                     changed: false,
@@ -617,7 +774,16 @@ impl AllocationService {
     /// sequentially, so the result is identical to executing the
     /// requests one by one — batching changes wall-clock time, never
     /// outcomes.
+    ///
+    /// Under regional admission with
+    /// [`ServiceConfig::region_parallel_commit`], runs of consecutive
+    /// admits are instead allocated *per home region* in parallel and
+    /// committed directly without a re-run (see
+    /// [`commit_admit_run`](self#regional-admission) in the module
+    /// docs); the responses and residual state stay byte-identical to
+    /// the sequential commit (conform oracle 7).
     pub fn drain(&mut self) -> Vec<(u64, ServiceResponse)> {
+        let regional = self.region_map.region_count() > 1 && self.region_parallel_commit;
         let mut pending = std::mem::take(&mut self.queue);
         let mut responses = Vec::with_capacity(pending.len());
         let mut pending = pending.drain(..);
@@ -627,11 +793,15 @@ impl AllocationService {
             if batch.is_empty() {
                 break;
             }
-            self.speculate(&batch);
             let requests = batch.len();
-            for (seq, request) in batch {
-                let response = self.execute(request);
-                responses.push((seq, response));
+            if regional {
+                self.execute_batch_regional(batch, &mut responses);
+            } else {
+                self.speculate(&batch);
+                for (seq, request) in batch {
+                    let response = self.execute(request);
+                    responses.push((seq, response));
+                }
             }
             let batch_no = self.batches_drained;
             self.batches_drained += 1;
@@ -643,6 +813,177 @@ impl AllocationService {
             });
         }
         responses
+    }
+
+    /// Executes one batch under region-parallel commit: maximal runs of
+    /// consecutive admits go through [`commit_admit_run`](Self::commit_admit_run);
+    /// every other request (a state barrier — departures and rebinds
+    /// mutate arbitrary regions) flushes the current run and executes
+    /// inline.
+    fn execute_batch_regional(
+        &mut self,
+        batch: Vec<(u64, ServiceRequest)>,
+        responses: &mut Vec<(u64, ServiceResponse)>,
+    ) {
+        let mut run: Vec<(u64, Box<ApplicationGraph>)> = Vec::new();
+        for (seq, request) in batch {
+            match request {
+                ServiceRequest::Admit { app } => run.push((seq, app)),
+                other => {
+                    self.commit_admit_run(&mut run, responses);
+                    let response = self.execute(other);
+                    responses.push((seq, response));
+                }
+            }
+        }
+        self.commit_admit_run(&mut run, responses);
+    }
+
+    /// Commits a run of consecutive admits region-parallel, in two
+    /// phases:
+    ///
+    /// **Phase A (parallel):** admits are assigned home regions
+    /// round-robin and grouped by home; each group allocates in arrival
+    /// order against an evolving *masked clone* of the run-start
+    /// snapshot (forked caches, absorbed afterwards). A masked
+    /// allocation depends only on its home region's residual share, so
+    /// the groups are independent.
+    ///
+    /// **Phase B (sequential, arrival order):** a phase-A success whose
+    /// home region no earlier inline commit dirtied is committed
+    /// *directly* — its claim footprint provably lies inside the home
+    /// region, and the home region's evolution was replayed exactly by
+    /// phase A. A phase-A failure escalates inline from depth 1 (the
+    /// depth-0 attempt would fail against the identical masked state).
+    /// Admits whose home region was dirtied recompute inline from depth
+    /// 0. Every inline commit marks its claim-footprint regions dirty.
+    ///
+    /// The result — responses, session ids, residual state — is
+    /// byte-identical to executing the run's admits one by one through
+    /// [`admit`](Self::admit).
+    fn commit_admit_run(
+        &mut self,
+        run: &mut Vec<(u64, Box<ApplicationGraph>)>,
+        responses: &mut Vec<(u64, ServiceResponse)>,
+    ) {
+        if run.is_empty() {
+            return;
+        }
+        if run.len() == 1 {
+            let (seq, app) = run.pop().expect("run has one admit");
+            let response = self.execute(ServiceRequest::Admit { app });
+            responses.push((seq, response));
+            return;
+        }
+        let run_len = run.len();
+        let region_count = self.region_map.region_count();
+        let homes: Vec<RegionId> = (0..run_len as u64)
+            .map(|k| RegionId::from_index(((self.region_rr + k) % region_count as u64) as usize))
+            .collect();
+        let mut by_region: Vec<Vec<usize>> = vec![Vec::new(); region_count];
+        for (k, home) in homes.iter().enumerate() {
+            by_region[home.index()].push(k);
+        }
+        // Phase A: per-region speculative allocation against masked
+        // clones of the snapshot, in parallel across regions.
+        let snapshot = self.residual.clone();
+        let config = *self.allocator.config();
+        let results = {
+            let arch = &self.arch;
+            let map = &self.region_map;
+            let cache = self.allocator.cache();
+            let run = &*run;
+            let by_region = &by_region;
+            let regions: Vec<usize> = (0..region_count)
+                .filter(|&r| !by_region[r].is_empty())
+                .collect();
+            maybe_par_map(true, &regions, move |&r| {
+                let allowed = [RegionId::from_index(r)];
+                let mut masked = map.masked_state(arch, &snapshot, &allowed);
+                let mut speculative = Allocator::from_config(config).with_cache(cache.fork());
+                let mut outs = Vec::with_capacity(by_region[r].len());
+                for &k in &by_region[r] {
+                    let result = speculative.allocate(&run[k].1, arch, &masked);
+                    if let Ok((alloc, _)) = &result {
+                        alloc.claim_set().apply(&mut masked);
+                    }
+                    outs.push((k, result));
+                }
+                (outs, speculative.into_cache())
+            })
+        };
+        let mut phase_a: Vec<Option<Result<(Allocation, FlowStats), MapError>>> =
+            (0..run_len).map(|_| None).collect();
+        for (outs, fork) in results {
+            self.allocator.cache_mut().absorb(fork);
+            for (k, result) in outs {
+                phase_a[k] = Some(result);
+            }
+        }
+        // Phase B: sequential commit in arrival order.
+        let mut dirty = vec![false; region_count];
+        for (k, (seq, app)) in run.drain(..).enumerate() {
+            let home = homes[k];
+            let name = app.graph().name().to_string();
+            let speculative = phase_a[k].take().expect("phase A covered every admit");
+            let response = if !dirty[home.index()] {
+                match speculative {
+                    Ok((allocation, stats)) => {
+                        debug_assert!(
+                            allocation.claim_set().within(&self.region_map, &[home]),
+                            "masked allocation escaped its home region"
+                        );
+                        let throughput = allocation.guaranteed_throughput();
+                        let wheel = allocation.usage.iter().map(|u| u.wheel).sum();
+                        self.record_regional_commit(home, 0);
+                        self.allocator
+                            .metric(|m| m.region_commits_speculative.inc());
+                        let session = self.commit_admission(&app, allocation, stats);
+                        ServiceResponse::Admitted {
+                            session,
+                            app: name,
+                            throughput,
+                            wheel,
+                        }
+                    }
+                    Err(_) => self.admit_inline(&app, name, home, 1, &mut dirty),
+                }
+            } else {
+                self.admit_inline(&app, name, home, 0, &mut dirty)
+            };
+            responses.push((seq, response));
+        }
+        self.region_rr += run_len as u64;
+    }
+
+    /// One inline (non-speculative) admit of the region-parallel commit:
+    /// runs the escalation chain from `start_depth` against the true
+    /// residual state and dirties the committed claim's footprint
+    /// regions.
+    fn admit_inline(
+        &mut self,
+        app: &ApplicationGraph,
+        name: String,
+        home: RegionId,
+        start_depth: usize,
+        dirty: &mut [bool],
+    ) -> ServiceResponse {
+        self.allocator.metric(|m| m.region_commits_inline.inc());
+        match self.admit_regional_at(app, home, start_depth) {
+            Ok((session, _)) => {
+                let allocation = &self.sessions[&session].allocation;
+                for region in allocation.claim_set().region_footprint(&self.region_map) {
+                    dirty[region.index()] = true;
+                }
+                ServiceResponse::Admitted {
+                    session,
+                    app: name,
+                    throughput: allocation.guaranteed_throughput(),
+                    wheel: allocation.usage.iter().map(|u| u.wheel).sum(),
+                }
+            }
+            Err(error) => ServiceResponse::Rejected { app: name, error },
+        }
     }
 
     /// Speculatively allocates the batch's admissions in parallel

@@ -29,9 +29,11 @@ pub mod graph;
 pub mod mesh;
 pub mod presets;
 pub mod proc_type;
+pub mod region;
 pub mod routing;
 pub mod state;
 
 pub use graph::{ArchitectureGraph, Connection, ConnectionId, Tile, TileId};
 pub use proc_type::ProcessorType;
-pub use state::{PlatformState, TileUsage};
+pub use region::{ClaimSet, RegionId, RegionMap};
+pub use state::{PlatformState, TileCapacity, TileUsage};

@@ -114,6 +114,67 @@ pub fn mesh_platform(name: impl Into<String>, config: &MeshConfig) -> Architectu
     arch
 }
 
+/// Builds a grid mesh platform: each tile is connected (both ways) only to
+/// its 4-neighborhood, with latency `hop_latency`. Unlike
+/// [`mesh_platform`] the connection count grows linearly in the tile
+/// count, which is what makes platforms in the thousands-of-tiles range
+/// (the region-partition benchmarks) representable at all — a fully
+/// connected 64×64 mesh would need ~16.7M connections. Actors whose
+/// channels would span non-adjacent tiles are simply unroutable there, so
+/// binding keeps communicating actors on the same or adjacent tiles.
+///
+/// # Panics
+///
+/// Panics if `rows·cols` is zero or `processor_types` is empty.
+///
+/// # Examples
+///
+/// ```
+/// use sdfrs_platform::mesh::{grid_mesh_platform, MeshConfig};
+/// let arch = grid_mesh_platform("g", &MeshConfig::default());
+/// assert_eq!(arch.tile_count(), 9);
+/// // 2 · (rows·(cols−1) + cols·(rows−1)) directed edges.
+/// assert_eq!(arch.connection_count(), 24);
+/// ```
+pub fn grid_mesh_platform(name: impl Into<String>, config: &MeshConfig) -> ArchitectureGraph {
+    assert!(config.rows * config.cols > 0, "mesh must have tiles");
+    assert!(
+        !config.processor_types.is_empty(),
+        "mesh needs at least one processor type"
+    );
+    let mut arch = ArchitectureGraph::new(name);
+    let mut k = 0usize;
+    for r in 0..config.rows {
+        for c in 0..config.cols {
+            let pt = config.processor_types[k % config.processor_types.len()].clone();
+            arch.add_tile(Tile::new(
+                format!("t{r}_{c}"),
+                pt,
+                config.wheel_size,
+                config.memory,
+                config.max_connections,
+                config.bandwidth_in,
+                config.bandwidth_out,
+            ));
+            k += 1;
+        }
+    }
+    let idx = |r: usize, c: usize| TileId::from_index(r * config.cols + c);
+    for r in 0..config.rows {
+        for c in 0..config.cols {
+            if c + 1 < config.cols {
+                arch.add_connection(idx(r, c), idx(r, c + 1), config.hop_latency);
+                arch.add_connection(idx(r, c + 1), idx(r, c), config.hop_latency);
+            }
+            if r + 1 < config.rows {
+                arch.add_connection(idx(r, c), idx(r + 1, c), config.hop_latency);
+                arch.add_connection(idx(r + 1, c), idx(r, c), config.hop_latency);
+            }
+        }
+    }
+    arch
+}
+
 /// The three 3×3 experiment platforms of Sec 10.1: identical except for
 /// memory size and supported NI connections.
 ///
@@ -195,6 +256,20 @@ mod tests {
         let t22 = arch.tile_by_name("t22").unwrap();
         assert_eq!(arch.connection_between(t00, t01).unwrap().1.latency(), 1);
         assert_eq!(arch.connection_between(t00, t22).unwrap().1.latency(), 4);
+    }
+
+    #[test]
+    fn grid_mesh_links_four_neighborhood_only() {
+        let arch = grid_mesh_platform("g", &MeshConfig::default());
+        assert_eq!(arch.tile_count(), 9);
+        assert_eq!(arch.connection_count(), 24);
+        let t = |name: &str| arch.tile_by_name(name).unwrap();
+        assert!(arch.connection_between(t("t0_0"), t("t0_1")).is_some());
+        assert!(arch.connection_between(t("t0_1"), t("t0_0")).is_some());
+        assert!(arch.connection_between(t("t1_1"), t("t2_1")).is_some());
+        // No diagonal or long-range links.
+        assert!(arch.connection_between(t("t0_0"), t("t1_1")).is_none());
+        assert!(arch.connection_between(t("t0_0"), t("t2_2")).is_none());
     }
 
     #[test]

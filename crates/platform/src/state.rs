@@ -8,6 +8,25 @@
 //! [`PlatformState`] tracks the used share of all five tile resources.
 
 use crate::graph::{ArchitectureGraph, TileId};
+use crate::region::{RegionId, RegionMap};
+
+/// The resources of one tile still available to the application under
+/// allocation (tile specification minus occupancy by earlier
+/// applications — the paper's "resources that are not available should not
+/// be specified").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileCapacity {
+    /// Remaining TDMA wheel time `w − Ω(t)`.
+    pub wheel: u64,
+    /// Remaining memory (bits).
+    pub memory: u64,
+    /// Remaining NI connections.
+    pub connections: u32,
+    /// Remaining incoming bandwidth.
+    pub bandwidth_in: u64,
+    /// Remaining outgoing bandwidth.
+    pub bandwidth_out: u64,
+}
 
 /// Amount of every tile resource used by already-allocated applications.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -119,6 +138,40 @@ impl PlatformState {
         u.connections = u.connections.saturating_sub(sub.connections);
         u.bandwidth_in = u.bandwidth_in.saturating_sub(sub.bandwidth_in);
         u.bandwidth_out = u.bandwidth_out.saturating_sub(sub.bandwidth_out);
+    }
+
+    /// Remaining capacity of one tile across all five resources.
+    pub fn tile_capacity(&self, arch: &ArchitectureGraph, tile: TileId) -> TileCapacity {
+        TileCapacity {
+            wheel: self.available_wheel(arch, tile),
+            memory: self.available_memory(arch, tile),
+            connections: self.available_connections(arch, tile),
+            bandwidth_in: self.available_bandwidth_in(arch, tile),
+            bandwidth_out: self.available_bandwidth_out(arch, tile),
+        }
+    }
+
+    /// The remaining capacity of every tile, tile-index order — the
+    /// residual view an allocation service reports in its status and that
+    /// departures replenish.
+    pub fn residual_capacities(&self, arch: &ArchitectureGraph) -> Vec<TileCapacity> {
+        arch.tile_ids()
+            .map(|t| self.tile_capacity(arch, t))
+            .collect()
+    }
+
+    /// The remaining capacity of one region's tiles, ascending tile
+    /// index, paired with the tile ids they belong to.
+    pub fn region_residual_capacities(
+        &self,
+        arch: &ArchitectureGraph,
+        map: &RegionMap,
+        region: RegionId,
+    ) -> Vec<(TileId, TileCapacity)> {
+        map.tiles(region)
+            .iter()
+            .map(|&t| (t, self.tile_capacity(arch, t)))
+            .collect()
     }
 
     /// Total usage summed over all tiles (for resource-efficiency
@@ -255,6 +308,39 @@ mod tests {
             },
         );
         assert_eq!(s.available_wheel(&a, t1), 0);
+    }
+
+    #[test]
+    fn residual_capacities_reflect_claims_and_releases() {
+        let (a, t1, _) = arch();
+        let mut s = PlatformState::new(&a);
+        let fresh = s.residual_capacities(&a);
+        assert_eq!(fresh.len(), a.tile_count());
+        let use1 = TileUsage {
+            wheel: 4,
+            memory: 40,
+            connections: 1,
+            bandwidth_in: 10,
+            bandwidth_out: 20,
+        };
+        s.claim(t1, use1);
+        let claimed = s.residual_capacities(&a);
+        assert_eq!(claimed[0].wheel, fresh[0].wheel - 4);
+        assert_eq!(claimed[0].memory, fresh[0].memory - 40);
+        assert_eq!(claimed[1], fresh[1]);
+        s.release(t1, use1);
+        assert_eq!(s.residual_capacities(&a), fresh);
+    }
+
+    #[test]
+    fn region_residual_pairs_tiles_with_capacity() {
+        let (a, t1, t2) = arch();
+        let map = RegionMap::contiguous(&a, 2);
+        let s = PlatformState::new(&a);
+        let r0 = s.region_residual_capacities(&a, &map, RegionId::from_index(0));
+        assert_eq!(r0, vec![(t1, s.tile_capacity(&a, t1))]);
+        let r1 = s.region_residual_capacities(&a, &map, RegionId::from_index(1));
+        assert_eq!(r1, vec![(t2, s.tile_capacity(&a, t2))]);
     }
 
     #[test]

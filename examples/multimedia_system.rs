@@ -52,7 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             app.throughput_constraint().recip(),
             stats.throughput_checks
         );
-        alloc.claim_on(&arch, &mut state);
+        alloc.claim_set().apply(&mut state);
     }
 
     println!("\nfinal platform occupancy:");

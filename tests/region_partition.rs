@@ -1,0 +1,219 @@
+//! Integration tests for the region-composable platform API and the
+//! region-local admission built on it: `ClaimSet` apply/revert
+//! round-trips, partition/mask/neighbor properties of `RegionMap`,
+//! forced escalation out of starved home regions, and the determinism
+//! of the region-parallel batched drain across thread counts.
+
+use sdfrs_appmodel::apps::{example_platform, paper_example};
+use sdfrs_appmodel::{ActorRequirements, ApplicationGraph, ChannelRequirements};
+use sdfrs_core::service::{AllocationService, ServiceConfig, ServiceRequest, ServiceResponse};
+use sdfrs_core::{Allocator, Metrics, SessionId};
+use sdfrs_platform::mesh::{grid_mesh_platform, MeshConfig};
+use sdfrs_platform::{ArchitectureGraph, PlatformState, ProcessorType, RegionId, RegionMap};
+use sdfrs_sdf::{Rational, SdfGraph};
+
+fn grid(rows: usize, cols: usize) -> ArchitectureGraph {
+    let config = MeshConfig {
+        rows,
+        cols,
+        ..MeshConfig::default()
+    };
+    grid_mesh_platform("grid", &config)
+}
+
+/// `ClaimSet::apply` followed by `revert` restores the platform state
+/// exactly, and the set's region footprint names precisely the regions
+/// whose residual it moved.
+#[test]
+fn claim_set_apply_revert_round_trips_per_region() {
+    let app = paper_example();
+    let arch = example_platform();
+    let state = PlatformState::new(&arch);
+    let (alloc, _) = Allocator::new().allocate(&app, &arch, &state).unwrap();
+    let map = RegionMap::contiguous(&arch, 2);
+
+    let claim = alloc.claim_set();
+    assert!(!claim.is_empty());
+    assert!(claim.fits(&arch, &state));
+
+    let mut working = state.clone();
+    claim.apply(&mut working);
+    let footprint = claim.region_footprint(&map);
+    for region in map.region_ids() {
+        let before: Vec<_> = state.region_residual_capacities(&arch, &map, region);
+        let after: Vec<_> = working.region_residual_capacities(&arch, &map, region);
+        if footprint.contains(&region) {
+            assert_ne!(before, after, "footprint region {region} must change");
+        } else {
+            assert_eq!(before, after, "untouched region {region} must not move");
+        }
+    }
+    claim.revert(&mut working);
+    assert_eq!(working, state, "revert must undo apply exactly");
+}
+
+/// `RegionMap::contiguous` covers every tile exactly once for any region
+/// count, neighbor links are symmetric, and masking to a region set
+/// zeroes the residual of every tile outside it.
+#[test]
+fn contiguous_partition_and_masking_properties() {
+    let arch = grid(4, 4);
+    for count in [1, 2, 3, 5, 8, 16] {
+        let map = RegionMap::contiguous(&arch, count);
+        assert_eq!(map.region_count(), count.min(arch.tile_count()));
+        let mut seen = vec![0usize; arch.tile_count()];
+        for region in map.region_ids() {
+            for &tile in map.tiles(region) {
+                assert_eq!(map.region_of(tile), region);
+                seen[tile.index()] += 1;
+            }
+            for &n in map.neighbors(region) {
+                assert_ne!(n, region, "a region never neighbors itself");
+                assert!(
+                    map.neighbors(n).contains(&region),
+                    "grid links are bidirectional, so neighbor sets are symmetric"
+                );
+            }
+        }
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "each tile in exactly one region"
+        );
+
+        let state = PlatformState::new(&arch);
+        let allowed = [RegionId::from_index(0)];
+        let masked = map.masked_state(&arch, &state, &allowed);
+        for (tile, _) in arch.tiles() {
+            let cap = masked.tile_capacity(&arch, tile);
+            if map.region_of(tile) == allowed[0] {
+                assert!(cap.wheel > 0, "allowed tiles keep their capacity");
+            } else {
+                assert_eq!(
+                    (
+                        cap.wheel,
+                        cap.memory,
+                        cap.connections,
+                        cap.bandwidth_in,
+                        cap.bandwidth_out
+                    ),
+                    (0, 0, 0, 0, 0),
+                    "masked-out tiles expose no residual capacity"
+                );
+            }
+        }
+    }
+}
+
+/// An application whose two actors each fit either paper-platform tile
+/// alone but never share one (combined memory 800 exceeds both t1's 700
+/// and t2's 500) — its binding is forced to span tiles.
+fn split_app() -> ApplicationGraph {
+    let p1 = ProcessorType::new("p1");
+    let p2 = ProcessorType::new("p2");
+    let mut g = SdfGraph::new("split");
+    let a = g.add_actor("a", 0);
+    let b = g.add_actor("b", 0);
+    let d = g.add_channel("d", a, 1, b, 1, 0);
+    ApplicationGraph::builder(g, Rational::new(1, 100))
+        .actor(
+            a,
+            ActorRequirements::new()
+                .on(p1.clone(), 1, 400)
+                .on(p2.clone(), 1, 400),
+        )
+        .actor(b, ActorRequirements::new().on(p1, 1, 400).on(p2, 1, 400))
+        .channel(d, ChannelRequirements::new(1, 1, 1, 1, 10))
+        .output_actor(b)
+        .build()
+        .expect("the split app is a valid application graph")
+}
+
+/// With single-tile regions an application that cannot fit one tile
+/// cannot fit its home region either, so the admission must walk the
+/// escalation chain — and still succeed, with the metrics recording the
+/// escalation.
+#[test]
+fn starved_home_regions_force_escalation() {
+    let arch = example_platform();
+    let metrics = Metrics::collecting();
+    let mut config = ServiceConfig::default();
+    config.regions = arch.tile_count(); // one tile per region
+    let mut svc = AllocationService::from_config(&arch, config).with_metrics(metrics.clone());
+
+    let session = svc.admit(&split_app()).expect("escalation finds room");
+    assert!(svc.allocation(session).is_some());
+
+    let snapshot = metrics.snapshot().unwrap();
+    assert_eq!(snapshot.counter("sessions_admitted"), 1);
+    assert_eq!(
+        snapshot.counter("region_escalations"),
+        1,
+        "the admit cannot have been region-local"
+    );
+    assert_eq!(snapshot.counter("region_admits_local"), 0);
+    assert_eq!(snapshot.regions_configured, arch.tile_count() as u64);
+}
+
+fn drive(svc: &mut AllocationService) -> (Vec<String>, PlatformState) {
+    let admit = || ServiceRequest::Admit {
+        app: Box::new(paper_example()),
+    };
+    let mut out: Vec<(u64, ServiceResponse)> = Vec::new();
+    for req in [admit(), admit(), admit(), admit()] {
+        svc.enqueue(req);
+    }
+    out.extend(svc.drain());
+    let target = svc
+        .session_ids()
+        .first()
+        .copied()
+        .unwrap_or(SessionId::from_raw(u64::MAX));
+    for req in [
+        ServiceRequest::Depart { session: target },
+        admit(),
+        ServiceRequest::Status,
+    ] {
+        svc.enqueue(req);
+    }
+    out.extend(svc.drain());
+    let lines = out.iter().map(|(s, r)| r.to_json_line(*s)).collect();
+    (lines, svc.residual().clone())
+}
+
+fn regional_service(parallel_commit: bool) -> AllocationService {
+    let arch = example_platform();
+    let mut config = ServiceConfig::default();
+    config.regions = 2;
+    config.region_parallel_commit = parallel_commit;
+    config.batch_capacity = 8;
+    AllocationService::from_config(&arch, config)
+}
+
+/// The region-parallel commit path answers byte-for-byte like the
+/// sequential commit path and leaves the identical residual.
+#[test]
+fn region_parallel_drain_matches_sequential_commit() {
+    let (seq_lines, seq_residual) = drive(&mut regional_service(false));
+    let (par_lines, par_residual) = drive(&mut regional_service(true));
+    assert_eq!(seq_lines, par_lines);
+    assert_eq!(seq_residual, par_residual);
+}
+
+/// The region-parallel drain is deterministic in the worker count: the
+/// `SDFRS_THREADS` pin must never change a response byte or the
+/// residual. One test walks all counts sequentially — the variable is
+/// process-global.
+#[test]
+fn region_parallel_drain_deterministic_across_thread_counts() {
+    let mut outcomes = Vec::new();
+    for threads in ["1", "2", "4"] {
+        std::env::set_var("SDFRS_THREADS", threads);
+        outcomes.push(drive(&mut regional_service(true)));
+    }
+    std::env::remove_var("SDFRS_THREADS");
+    let (base_lines, base_residual) = &outcomes[0];
+    for (lines, residual) in &outcomes[1..] {
+        assert_eq!(lines, base_lines);
+        assert_eq!(residual, base_residual);
+    }
+}
