@@ -267,6 +267,22 @@ pub fn mp3_decoder(lambda: Rational) -> ApplicationGraph {
         .expect("mp3 model is a valid application graph")
 }
 
+/// The bundled example application behind a stable name — the set the
+/// CLI's `example` command and the admission service's wire protocol
+/// (`{"op":"admit","example":"paper"}`) agree on. Constraints match the
+/// paper's experiments; `None` for an unknown name.
+pub fn bundled(name: &str) -> Option<ApplicationGraph> {
+    use crate::classic;
+    Some(match name {
+        "paper" => paper_example(),
+        "h263" => h263_decoder(0, Rational::new(1, 100_000)),
+        "mp3" => mp3_decoder(Rational::new(1, 3_000)),
+        "cd2dat" => classic::cd_to_dat(Rational::new(1, 40_000)),
+        "satellite" => classic::satellite_receiver(Rational::new(1, 2_000)),
+        _ => return None,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

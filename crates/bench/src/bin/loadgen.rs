@@ -1,0 +1,260 @@
+//! `sdfrs-loadgen` — closed-loop load and fault harness for the
+//! networked allocation service.
+//!
+//! ```text
+//! sdfrs-loadgen [output.json] [--addr HOST:PORT] [--clients N]
+//!               [--requests N] [--seed N]
+//! ```
+//!
+//! Two modes:
+//!
+//! * **Self-hosted** (default): spawns a loopback
+//!   [`sdfrs_net::NetServer`] around a
+//!   fresh service on the paper's example platform and drives two
+//!   phases — `steady` (default watermark, nothing sheds) and
+//!   `overload` (watermark 2, backpressure engages). After each phase
+//!   the server is drained and its commit log replayed offline; a
+//!   residual-digest mismatch is a **hard failure** (exit 1) — the
+//!   load run doubles as a determinism check.
+//! * **External** (`--addr`): drives one `steady` phase against an
+//!   already-running `sdfrs serve --listen` instance. No server-side
+//!   stats or replay check are available in this mode; the commit-log
+//!   diff is the CI job's responsibility.
+//!
+//! The report (default `BENCH_service.json`) records, per phase:
+//! p50/p99/mean latency in microseconds, admissions per second, shed
+//! rate, the full client-side outcome tally, and — self-hosted only —
+//! the server's queue-depth histogram and commit count.
+
+use std::env;
+use std::net::SocketAddr;
+use std::process::ExitCode;
+
+use sdfrs_appmodel::apps::example_platform;
+use sdfrs_core::metrics::HistogramSnapshot;
+use sdfrs_core::service::{replay_commit_log, AllocationService, CommitLog, ServiceConfig};
+use sdfrs_net::loadgen::{self, LoadgenOptions};
+use sdfrs_net::server::{NetServer, ServerOptions};
+
+/// One measured phase of the run.
+struct Phase {
+    name: &'static str,
+    report: loadgen::LoadReport,
+    /// Server-side queue-depth histogram (self-hosted only).
+    queue_depth: Option<HistogramSnapshot>,
+    /// Commit-log length (self-hosted only).
+    commits_logged: Option<u64>,
+    /// Replay-equality verdict (self-hosted only).
+    replay_ok: Option<bool>,
+}
+
+impl Phase {
+    fn json(&self) -> String {
+        let r = &self.report;
+        let mut fields = vec![
+            format!("\"name\": \"{}\"", self.name),
+            format!("\"wall_ms\": {:.3}", r.elapsed.as_secs_f64() * 1e3),
+            format!("\"clients\": {}", r.clients),
+            format!("\"requests\": {}", r.requests),
+            format!("\"admitted\": {}", r.admitted),
+            format!("\"rejected\": {}", r.rejected),
+            format!("\"departed\": {}", r.departed),
+            format!("\"rebound\": {}", r.rebound),
+            format!("\"status\": {}", r.status),
+            format!("\"failed\": {}", r.failed),
+            format!("\"shed\": {}", r.shed),
+            format!("\"deadline_expired\": {}", r.deadline_expired),
+            format!("\"parse_errors\": {}", r.parse_errors),
+            format!("\"lost\": {}", r.lost),
+            format!("\"p50_us\": {}", r.latency_percentile_us(0.50)),
+            format!("\"p99_us\": {}", r.latency_percentile_us(0.99)),
+            format!("\"mean_us\": {}", r.latency_mean_us()),
+            format!("\"admissions_per_sec\": {:.3}", r.admissions_per_sec()),
+            format!("\"shed_rate\": {:.4}", r.shed_rate()),
+        ];
+        if let Some(commits) = self.commits_logged {
+            fields.push(format!("\"commits_logged\": {commits}"));
+        }
+        if let Some(ok) = self.replay_ok {
+            fields.push(format!("\"replay_ok\": {ok}"));
+        }
+        if let Some(h) = &self.queue_depth {
+            let bounds: Vec<String> = h.bounds.iter().map(u64::to_string).collect();
+            let counts: Vec<String> = h.counts.iter().map(u64::to_string).collect();
+            fields.push(format!(
+                "\"queue_depth\": {{ \"bounds\": [{}], \"counts\": [{}] }}",
+                bounds.join(", "),
+                counts.join(", ")
+            ));
+        }
+        format!("    {{ {} }}", fields.join(", "))
+    }
+}
+
+struct Args {
+    out_path: String,
+    addr: Option<SocketAddr>,
+    options: LoadgenOptions,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        out_path: "BENCH_service.json".into(),
+        addr: None,
+        options: LoadgenOptions::default(),
+    };
+    let mut it = env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => {
+                let value = take("--addr")?;
+                args.addr = Some(value.parse().map_err(|e| format!("--addr {value}: {e}"))?);
+            }
+            "--clients" => {
+                let value = take("--clients")?;
+                args.options.clients = value
+                    .parse()
+                    .map_err(|e| format!("--clients {value}: {e}"))?;
+            }
+            "--requests" => {
+                let value = take("--requests")?;
+                args.options.requests_per_client = value
+                    .parse()
+                    .map_err(|e| format!("--requests {value}: {e}"))?;
+            }
+            "--seed" => {
+                let value = take("--seed")?;
+                args.options.seed = value.parse().map_err(|e| format!("--seed {value}: {e}"))?;
+            }
+            other if !other.starts_with("--") => args.out_path = other.to_string(),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Runs one self-hosted phase: fresh server, loadgen, drain, replay.
+fn hosted_phase(
+    name: &'static str,
+    queue_watermark: usize,
+    options: &LoadgenOptions,
+) -> Result<Phase, String> {
+    let arch = example_platform();
+    let server_options = ServerOptions {
+        queue_watermark,
+        ..ServerOptions::default()
+    };
+    let server = NetServer::spawn(
+        AllocationService::new(&arch),
+        CommitLog::new(),
+        server_options,
+        "127.0.0.1:0",
+    )
+    .map_err(|e| format!("bind loopback: {e}"))?;
+    let report = loadgen::run(server.local_addr(), options).map_err(|e| format!("loadgen: {e}"))?;
+    let server_report = server.shutdown();
+
+    let lines = server_report.commit_log.lines().iter().map(String::as_str);
+    let replayed = replay_commit_log(&arch, ServiceConfig::default(), lines)
+        .map_err(|e| format!("{name}: commit log does not replay: {e}"))?;
+    let replay_ok = replayed.residual_digest() == server_report.residual_digest();
+    // Shed requests never commit and every commit was answered: with no
+    // lost responses the client-side tally must equal the log exactly.
+    if report.lost == 0 && report.commits() != server_report.commit_log.len() as u64 {
+        return Err(format!(
+            "{name}: clients observed {} commits but the log holds {}",
+            report.commits(),
+            server_report.commit_log.len()
+        ));
+    }
+    Ok(Phase {
+        name,
+        report,
+        queue_depth: Some(server_report.stats.queue_depth.clone()),
+        commits_logged: Some(server_report.commit_log.len() as u64),
+        replay_ok: Some(replay_ok),
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("sdfrs-loadgen: {e}");
+            eprintln!(
+                "usage: sdfrs-loadgen [output.json] [--addr HOST:PORT] \
+                 [--clients N] [--requests N] [--seed N]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let phases: Result<Vec<Phase>, String> = match args.addr {
+        Some(addr) => loadgen::run(addr, &args.options)
+            .map(|report| {
+                vec![Phase {
+                    name: "steady",
+                    report,
+                    queue_depth: None,
+                    commits_logged: None,
+                    replay_ok: None,
+                }]
+            })
+            .map_err(|e| format!("loadgen against {addr}: {e}")),
+        None => hosted_phase(
+            "steady",
+            ServerOptions::default().queue_watermark,
+            &args.options,
+        )
+        .and_then(|steady| Ok(vec![steady, hosted_phase("overload", 2, &args.options)?])),
+    };
+    let phases = match phases {
+        Ok(phases) => phases,
+        Err(e) => {
+            eprintln!("sdfrs-loadgen: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for phase in &phases {
+        let r = &phase.report;
+        println!(
+            "{:<9} {:>6} requests  {:>7.1} admissions/s  p50 {:>6}us  p99 {:>7}us  \
+             shed {:>5.1}%  lost {}",
+            phase.name,
+            r.requests,
+            r.admissions_per_sec(),
+            r.latency_percentile_us(0.50),
+            r.latency_percentile_us(0.99),
+            r.shed_rate() * 100.0,
+            r.lost,
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"harness\": \"loadgen\",\n  \"clients\": {},\n  \"requests_per_client\": {},\n  \
+         \"seed\": {},\n  \"phases\": [\n{}\n  ]\n}}\n",
+        args.options.clients,
+        args.options.requests_per_client,
+        args.options.seed,
+        phases
+            .iter()
+            .map(Phase::json)
+            .collect::<Vec<_>>()
+            .join(",\n"),
+    );
+    if let Err(e) = std::fs::write(&args.out_path, json) {
+        eprintln!("sdfrs-loadgen: writing {}: {e}", args.out_path);
+        return ExitCode::FAILURE;
+    }
+    println!("report written to {}", args.out_path);
+
+    if phases.iter().any(|p| p.replay_ok == Some(false)) {
+        eprintln!("sdfrs-loadgen: commit-log replay diverged from the live residual");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -17,8 +17,10 @@
 //!                                            re-verify the result
 //! sdfrs serve <platform.sdfp> [--input <req.jsonl>] [--batch <n>]
 //!             [--regions <n>]                online admission service: read
-//!                                            JSONL requests (stdin or file),
-//!                                            write one JSON response per line
+//!             [--commit-log <f>]             JSONL requests (stdin or file),
+//!             [--final-state <f>]            write one JSON response per line
+//!             [--listen <host:port>]         …or serve them over TCP
+//!             [--watermark <n>] [--deadline-ms <n>] [--max-requests <n>]
 //! sdfrs generate <set> <seed> <count> [dir]  emit generated applications
 //! sdfrs example <name>                       print a bundled model; names:
 //!     paper h263 mp3 cd2dat satellite platform
@@ -38,6 +40,18 @@
 //! (escalating to neighbors, then globally, when the home region is full)
 //! and batched admits commit region-parallel — responses are still
 //! byte-identical to the sequential order (conform oracle 7).
+//!
+//! `serve --listen <host:port>` runs the same service as a concurrent
+//! TCP server (JSONL in, JSONL out, one connection per client; see
+//! `sdfrs_net`). `--watermark <n>` sheds requests with a typed
+//! `overloaded` response once `n` are queued, `--deadline-ms <n>`
+//! expires requests (and slow-loris connections) with a typed
+//! `deadline` response. The server drains gracefully after
+//! `--max-requests <n>` request lines, or on stdin EOF. `--commit-log
+//! <file>` streams every *committed* mutation as replayable JSONL —
+//! `serve --input <that file>` reproduces the residual platform state
+//! byte-for-byte (conform oracle 8) — and `--final-state <file>` writes
+//! the residual-state digest at drain for exactly that comparison.
 //!
 //! The global `--trace <file>` option writes every flow event of the
 //! allocating commands (`flow`, `trace`, `verify`, `multiapp`, `serve`)
@@ -61,7 +75,6 @@ use sdfrs_gen::{AppGenerator, GeneratorConfig};
 use sdfrs_platform::{PlatformState, ProcessorType};
 use sdfrs_sdf::analysis::deadlock::check_deadlock_free;
 use sdfrs_sdf::hsdf::hsdf_size;
-use sdfrs_sdf::Rational;
 
 use sdfrs_appmodel::textio as format;
 
@@ -544,61 +557,6 @@ fn multiapp(
     Ok(())
 }
 
-/// Parses one `serve` request line: a flat JSON object with an `"op"`
-/// field (see the crate docs for the accepted shapes).
-fn parse_serve_request(line: &str) -> Result<sdfrs_core::ServiceRequest, String> {
-    use sdfrs_core::{ServiceRequest, SessionId};
-    let op = json_str_field(line, "op").ok_or("missing \"op\" field")?;
-    match op.as_str() {
-        "admit" => {
-            let app = if let Some(name) = json_str_field(line, "example") {
-                bundled_app(&name).ok_or_else(|| format!("unknown example {name:?}"))?
-            } else if let Some(path) = json_str_field(line, "app_file") {
-                load_app(&path)?
-            } else {
-                return Err("admit needs \"example\" or \"app_file\"".into());
-            };
-            Ok(ServiceRequest::Admit { app: Box::new(app) })
-        }
-        "depart" => Ok(ServiceRequest::Depart {
-            session: SessionId::from_raw(
-                json_u64_field(line, "session").ok_or("depart needs a numeric \"session\"")?,
-            ),
-        }),
-        "rebind" => Ok(ServiceRequest::Rebind {
-            session: SessionId::from_raw(
-                json_u64_field(line, "session").ok_or("rebind needs a numeric \"session\"")?,
-            ),
-        }),
-        "status" => Ok(ServiceRequest::Status),
-        other => Err(format!("unknown op {other:?} (admit|depart|rebind|status)")),
-    }
-}
-
-/// The raw text after `"key":` in a flat JSON object, or `None`.
-fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
-    let needle = format!("\"{key}\"");
-    let at = line.find(&needle)?;
-    let rest = line[at + needle.len()..].trim_start();
-    Some(rest.strip_prefix(':')?.trim_start())
-}
-
-/// A string-valued field of a flat JSON object (no escape handling:
-/// request values are op names, example names and file paths).
-fn json_str_field(line: &str, key: &str) -> Option<String> {
-    let rest = json_field(line, key)?.strip_prefix('"')?;
-    Some(rest[..rest.find('"')?].to_string())
-}
-
-/// An unsigned-number field of a flat JSON object.
-fn json_u64_field(line: &str, key: &str) -> Option<u64> {
-    let rest = json_field(line, key)?;
-    let digits: &str = &rest[..rest
-        .find(|c: char| !c.is_ascii_digit())
-        .unwrap_or(rest.len())];
-    digits.parse().ok()
-}
-
 fn parse_batch(spec: &str) -> Result<usize, String> {
     let n: usize = spec
         .parse()
@@ -619,6 +577,94 @@ fn parse_regions(spec: &str) -> Result<usize, String> {
     Ok(n)
 }
 
+/// Options of the `serve` command, offline and networked.
+struct ServeOptions {
+    input_path: Option<String>,
+    batch: usize,
+    regions: usize,
+    listen: Option<String>,
+    watermark: usize,
+    deadline_ms: u64,
+    max_requests: Option<u64>,
+    commit_log_path: Option<String>,
+    final_state_path: Option<String>,
+}
+
+fn parse_serve_options(options: &[String]) -> Result<ServeOptions, String> {
+    let mut parsed = ServeOptions {
+        input_path: None,
+        batch: 1,
+        regions: 1,
+        listen: None,
+        watermark: 256,
+        deadline_ms: 10_000,
+        max_requests: None,
+        commit_log_path: None,
+        final_state_path: None,
+    };
+    let parse_u64 = |what: &str, spec: &str| -> Result<u64, String> {
+        spec.parse().map_err(|_| format!("bad {what} {spec:?}"))
+    };
+    let mut iter = options.iter();
+    while let Some(a) = iter.next() {
+        if a == "--input" {
+            parsed.input_path = Some(iter.next().ok_or("--input needs a file path")?.clone());
+        } else if let Some(p) = a.strip_prefix("--input=") {
+            parsed.input_path = Some(p.to_string());
+        } else if a == "--batch" {
+            parsed.batch = parse_batch(iter.next().ok_or("--batch needs a count")?)?;
+        } else if let Some(n) = a.strip_prefix("--batch=") {
+            parsed.batch = parse_batch(n)?;
+        } else if a == "--regions" {
+            parsed.regions = parse_regions(iter.next().ok_or("--regions needs a count")?)?;
+        } else if let Some(n) = a.strip_prefix("--regions=") {
+            parsed.regions = parse_regions(n)?;
+        } else if a == "--listen" {
+            parsed.listen = Some(iter.next().ok_or("--listen needs host:port")?.clone());
+        } else if let Some(addr) = a.strip_prefix("--listen=") {
+            parsed.listen = Some(addr.to_string());
+        } else if a == "--watermark" {
+            parsed.watermark =
+                parse_u64("watermark", iter.next().ok_or("--watermark needs a count")?)? as usize;
+        } else if let Some(n) = a.strip_prefix("--watermark=") {
+            parsed.watermark = parse_u64("watermark", n)? as usize;
+        } else if a == "--deadline-ms" {
+            parsed.deadline_ms = parse_u64(
+                "deadline",
+                iter.next().ok_or("--deadline-ms needs milliseconds")?,
+            )?;
+        } else if let Some(n) = a.strip_prefix("--deadline-ms=") {
+            parsed.deadline_ms = parse_u64("deadline", n)?;
+        } else if a == "--max-requests" {
+            parsed.max_requests = Some(parse_u64(
+                "request count",
+                iter.next().ok_or("--max-requests needs a count")?,
+            )?);
+        } else if let Some(n) = a.strip_prefix("--max-requests=") {
+            parsed.max_requests = Some(parse_u64("request count", n)?);
+        } else if a == "--commit-log" {
+            parsed.commit_log_path =
+                Some(iter.next().ok_or("--commit-log needs a file path")?.clone());
+        } else if let Some(p) = a.strip_prefix("--commit-log=") {
+            parsed.commit_log_path = Some(p.to_string());
+        } else if a == "--final-state" {
+            parsed.final_state_path = Some(
+                iter.next()
+                    .ok_or("--final-state needs a file path")?
+                    .clone(),
+            );
+        } else if let Some(p) = a.strip_prefix("--final-state=") {
+            parsed.final_state_path = Some(p.to_string());
+        } else {
+            return Err(format!("unknown option {a:?}"));
+        }
+    }
+    if parsed.listen.is_some() && parsed.input_path.is_some() {
+        return Err("--listen and --input are mutually exclusive".into());
+    }
+    Ok(parsed)
+}
+
 fn serve(
     platform_path: &str,
     options: &[String],
@@ -626,32 +672,27 @@ fn serve(
     metrics: &Metrics,
     out: &mut dyn Write,
 ) -> Result<(), String> {
-    use sdfrs_core::service::{AllocationService, ServiceConfig};
+    use sdfrs_core::service::{parse_request_line, AllocationService, CommitLog, ServiceConfig};
 
     let arch = format::parse_platform(&read(platform_path)?)
         .map_err(|e| format!("{platform_path}: {e}"))?;
-    let mut input_path: Option<String> = None;
-    let mut batch: usize = 1;
-    let mut regions: usize = 1;
-    let mut iter = options.iter();
-    while let Some(a) = iter.next() {
-        if a == "--input" {
-            input_path = Some(iter.next().ok_or("--input needs a file path")?.clone());
-        } else if let Some(p) = a.strip_prefix("--input=") {
-            input_path = Some(p.to_string());
-        } else if a == "--batch" {
-            batch = parse_batch(iter.next().ok_or("--batch needs a count")?)?;
-        } else if let Some(n) = a.strip_prefix("--batch=") {
-            batch = parse_batch(n)?;
-        } else if a == "--regions" {
-            regions = parse_regions(iter.next().ok_or("--regions needs a count")?)?;
-        } else if let Some(n) = a.strip_prefix("--regions=") {
-            regions = parse_regions(n)?;
-        } else {
-            return Err(format!("unknown option {a:?}"));
-        }
+    let opts = parse_serve_options(options)?;
+    let mut config = ServiceConfig::default();
+    config.batch_capacity = opts.batch;
+    config.regions = opts.regions;
+
+    let mut log = match &opts.commit_log_path {
+        Some(p) => CommitLog::with_writer(
+            fs::File::create(p).map_err(|e| format!("cannot create commit log {p}: {e}"))?,
+        ),
+        None => CommitLog::new(),
+    };
+
+    if opts.listen.is_some() {
+        return serve_listen(&arch, config, &opts, log, sink, metrics, out);
     }
-    let text = match &input_path {
+
+    let text = match &opts.input_path {
         Some(p) => read(p)?,
         None => {
             use std::io::Read as _;
@@ -669,27 +710,110 @@ fn serve(
         if line.is_empty() {
             continue;
         }
-        requests
-            .push(parse_serve_request(line).map_err(|e| format!("request line {}: {e}", no + 1))?);
+        requests.push(parse_request_line(line).map_err(|e| e.at_line(no + 1).to_string())?);
     }
-    let mut config = ServiceConfig::default();
-    config.batch_capacity = batch;
-    config.regions = regions;
     let mut service = AllocationService::from_config(&arch, config)
         .with_boxed_sink(sink)
         .with_metrics(metrics.clone());
     // Responses always come out in request order: `drain` commits
     // sequentially regardless of the speculative parallelism inside.
-    for chunk in requests.chunks(batch) {
+    for chunk in requests.chunks(opts.batch) {
         for r in chunk {
             service.enqueue(r.clone());
         }
-        for (seq, response) in service.drain() {
-            outln!(out, "{}", response.to_json_line(seq));
+        let responses = service.drain();
+        for ((seq, response), request) in responses.iter().zip(chunk) {
+            if response.commits() {
+                log.append(request);
+            }
+            outln!(out, "{}", response.to_json_line(*seq));
         }
     }
     service.flush();
+    if let Some(p) = &opts.final_state_path {
+        fs::write(p, format!("{}\n", service.residual_digest()))
+            .map_err(|e| format!("cannot write final state {p}: {e}"))?;
+    }
     Ok(())
+}
+
+/// `serve --listen`: run the network front-end until the stop
+/// condition, then drain gracefully and report.
+///
+/// With `--max-requests <n>` the server drains once `n` request lines
+/// have been received (the CI smoke test's stop condition); without it,
+/// the server drains when stdin reaches EOF — run it under a pipe and
+/// close the pipe to stop.
+fn serve_listen(
+    arch: &sdfrs_platform::ArchitectureGraph,
+    config: sdfrs_core::service::ServiceConfig,
+    opts: &ServeOptions,
+    log: sdfrs_core::service::CommitLog,
+    sink: Box<dyn EventSink>,
+    metrics: &Metrics,
+    out: &mut dyn Write,
+) -> Result<(), String> {
+    use sdfrs_core::service::AllocationService;
+    use sdfrs_net::{NetServer, ServerOptions};
+
+    let addr = opts
+        .listen
+        .as_deref()
+        .expect("listen address checked by caller");
+    let server_options = ServerOptions {
+        deadline: std::time::Duration::from_millis(opts.deadline_ms),
+        queue_watermark: opts.watermark,
+        metrics: metrics.enabled().then(|| metrics.clone()),
+        ..ServerOptions::default()
+    };
+    let service = AllocationService::from_config(arch, config).with_boxed_sink(sink);
+    let server = NetServer::spawn(service, log, server_options, addr)
+        .map_err(|e| format!("cannot listen on {addr}: {e}"))?;
+    outln!(out, "listening on {}", server.local_addr());
+    out.flush().map_err(|e| format!("write failed: {e}"))?;
+    wait_for_stop(&server, opts.max_requests)?;
+    let report = server.shutdown();
+    if let Some(p) = &opts.final_state_path {
+        fs::write(p, format!("{}\n", report.residual_digest()))
+            .map_err(|e| format!("cannot write final state {p}: {e}"))?;
+    }
+    outln!(out, "{}", report.stats.to_json_line());
+    Ok(())
+}
+
+/// Blocks until the `serve --listen` stop condition (see
+/// [`serve_listen`]): `n` requests received, or stdin EOF.
+fn wait_for_stop(server: &sdfrs_net::NetServer, max_requests: Option<u64>) -> Result<(), String> {
+    match max_requests {
+        Some(target) => loop {
+            let received = server
+                .metrics()
+                .snapshot()
+                .and_then(|s| {
+                    s.counters
+                        .iter()
+                        .find(|(n, _)| *n == "net_requests_received")
+                        .map(|&(_, v)| v)
+                })
+                .unwrap_or(0);
+            if received >= target {
+                return Ok(());
+            }
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        },
+        None => {
+            use std::io::Read as _;
+            let mut buf = [0u8; 256];
+            let mut stdin = io::stdin().lock();
+            loop {
+                match stdin.read(&mut buf) {
+                    Ok(0) => return Ok(()),
+                    Ok(_) => {} // ignore chatter; only EOF stops the server
+                    Err(e) => return Err(format!("cannot read stdin: {e}")),
+                }
+            }
+        }
+    }
 }
 
 fn buffers(path: &str, out: &mut dyn Write) -> Result<(), String> {
@@ -758,23 +882,9 @@ fn generate(
     Ok(())
 }
 
-/// The bundled example application behind a name accepted by
-/// `sdfrs example` and by `serve` admit requests.
-fn bundled_app(name: &str) -> Option<sdfrs_appmodel::ApplicationGraph> {
-    use sdfrs_appmodel::classic;
-    Some(match name {
-        "paper" => apps::paper_example(),
-        "h263" => apps::h263_decoder(0, Rational::new(1, 100_000)),
-        "mp3" => apps::mp3_decoder(Rational::new(1, 3_000)),
-        "cd2dat" => classic::cd_to_dat(Rational::new(1, 40_000)),
-        "satellite" => classic::satellite_receiver(Rational::new(1, 2_000)),
-        _ => return None,
-    })
-}
-
 fn example(name: &str, out: &mut dyn Write) -> Result<(), String> {
     use sdfrs_platform::presets;
-    if let Some(app) = bundled_app(name) {
+    if let Some(app) = apps::bundled(name) {
         outp!(out, "{}", format::write_application(&app));
         return Ok(());
     }
@@ -887,31 +997,35 @@ mod tests {
     }
 
     #[test]
-    fn serve_requests_parse() {
+    fn serve_requests_parse_via_shared_parser() {
+        // The CLI defers request parsing to the shared
+        // `sdfrs_core::service::parse_request_line`; pin that the shapes
+        // the CLI documents keep parsing through it.
+        use sdfrs_core::service::parse_request_line;
         use sdfrs_core::{ServiceRequest, SessionId};
-        match parse_serve_request(r#"{"op":"admit","example":"paper"}"#).unwrap() {
+        match parse_request_line(r#"{"op":"admit","example":"paper"}"#).unwrap() {
             ServiceRequest::Admit { app } => assert_eq!(app.graph().name(), "paper_example"),
             other => panic!("expected admit, got {other:?}"),
         }
-        match parse_serve_request(r#"{ "op" : "depart" , "session" : 42 }"#).unwrap() {
+        match parse_request_line(r#"{ "op" : "depart" , "session" : 42 }"#).unwrap() {
             ServiceRequest::Depart { session } => {
                 assert_eq!(session, SessionId::from_raw(42));
             }
             other => panic!("expected depart, got {other:?}"),
         }
         assert!(matches!(
-            parse_serve_request(r#"{"op":"rebind","session":7}"#).unwrap(),
+            parse_request_line(r#"{"op":"rebind","session":7}"#).unwrap(),
             ServiceRequest::Rebind { .. }
         ));
         assert!(matches!(
-            parse_serve_request(r#"{"op":"status"}"#).unwrap(),
+            parse_request_line(r#"{"op":"status"}"#).unwrap(),
             ServiceRequest::Status
         ));
-        assert!(parse_serve_request(r#"{"op":"admit"}"#).is_err());
-        assert!(parse_serve_request(r#"{"op":"admit","example":"nope"}"#).is_err());
-        assert!(parse_serve_request(r#"{"op":"depart"}"#).is_err());
-        assert!(parse_serve_request(r#"{"session":3}"#).is_err());
-        assert!(parse_serve_request(r#"{"op":"evict","session":3}"#).is_err());
+        assert!(parse_request_line(r#"{"op":"admit"}"#).is_err());
+        assert!(parse_request_line(r#"{"op":"admit","example":"nope"}"#).is_err());
+        assert!(parse_request_line(r#"{"op":"depart"}"#).is_err());
+        assert!(parse_request_line(r#"{"session":3}"#).is_err());
+        assert!(parse_request_line(r#"{"op":"evict","session":3}"#).is_err());
     }
 
     #[test]
@@ -919,6 +1033,38 @@ mod tests {
         assert_eq!(parse_batch("4").unwrap(), 4);
         assert!(parse_batch("0").is_err());
         assert!(parse_batch("many").is_err());
+    }
+
+    #[test]
+    fn serve_options_parse() {
+        let opts = parse_serve_options(&[
+            "--listen=127.0.0.1:0".into(),
+            "--watermark=8".into(),
+            "--deadline-ms=500".into(),
+            "--max-requests=100".into(),
+            "--commit-log=log.jsonl".into(),
+            "--final-state=state.txt".into(),
+        ])
+        .unwrap();
+        assert_eq!(opts.listen.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(opts.watermark, 8);
+        assert_eq!(opts.deadline_ms, 500);
+        assert_eq!(opts.max_requests, Some(100));
+        assert_eq!(opts.commit_log_path.as_deref(), Some("log.jsonl"));
+        assert_eq!(opts.final_state_path.as_deref(), Some("state.txt"));
+
+        let defaults = parse_serve_options(&[]).unwrap();
+        assert_eq!(defaults.listen, None);
+        assert_eq!(defaults.watermark, 256);
+        assert_eq!(defaults.deadline_ms, 10_000);
+        assert_eq!(defaults.max_requests, None);
+
+        assert!(parse_serve_options(&["--listen".into()]).is_err());
+        assert!(parse_serve_options(&["--watermark=lots".into()]).is_err());
+        assert!(
+            parse_serve_options(&["--listen=127.0.0.1:0".into(), "--input=x".into()]).is_err(),
+            "--listen and --input are mutually exclusive"
+        );
     }
 
     #[test]

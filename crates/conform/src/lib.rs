@@ -6,9 +6,9 @@
 //! the workspace's own redundancy (cached vs. uncached evaluation,
 //! parallel vs. sequential search, the independent verifier, the event
 //! stream vs. the aggregated stats, the online admission service vs. the
-//! batch protocols, region-parallel vs. sequential admission commits)
-//! gives us six more. This crate runs seeded random [`Scenario`]s through
-//! the whole panel:
+//! batch protocols, region-parallel vs. sequential admission commits,
+//! the networked front-end vs. its own commit log) gives us seven more.
+//! This crate runs seeded random [`Scenario`]s through the whole panel:
 //!
 //! 1. **HSDF equivalence** — self-timed throughput of the binding-aware
 //!    graph vs. `γ/MCM` of its HSDF conversion
@@ -33,7 +33,12 @@
 //!    into regions (including single-tile regions that force the
 //!    escalation path), a region-parallel batched drain must answer
 //!    byte-for-byte identically to a sequential-commit drain of the same
-//!    trace and leave the identical residual.
+//!    trace and leave the identical residual;
+//! 8. **network/replay equivalence** — the same trace driven through a
+//!    real loopback [`NetServer`](sdfrs_net::NetServer) over TCP (two
+//!    interleaved connections) must leave a commit log whose offline
+//!    [`replay_commit_log`](sdfrs_core::service::replay_commit_log)
+//!    reproduces the live server's residual state byte-for-byte.
 //!
 //! A failing scenario is [`shrink`](shrink::shrink)-able to a minimal
 //! reproduction and persisted as a `.ron` [`corpus`] file, which the
@@ -121,6 +126,9 @@ pub enum OracleId {
     /// Region-parallel vs. sequential-commit drains of a partitioned
     /// service (responses byte-for-byte, residual, live sessions).
     RegionEquivalence,
+    /// Networked service run vs. offline replay of its commit log
+    /// (residual digest, live sessions, commit accounting).
+    NetReplay,
 }
 
 impl OracleId {
@@ -134,6 +142,7 @@ impl OracleId {
             OracleId::EventReconciliation => "event_reconciliation",
             OracleId::OnlineBatchEquivalence => "online_batch_equivalence",
             OracleId::RegionEquivalence => "region_parallel_equivalence",
+            OracleId::NetReplay => "net_replay_equivalence",
         }
     }
 }

@@ -1,4 +1,4 @@
-//! The seven-oracle panel (see the crate docs for the rationale).
+//! The eight-oracle panel (see the crate docs for the rationale).
 //!
 //! Every oracle is *differential*: it never needs to know the right
 //! answer for a scenario, only that two independent routes to the answer
@@ -125,6 +125,11 @@ pub(crate) fn run_panel(scenario: &Scenario, config: &HarnessConfig) -> Scenario
     // partitioned into regions, the region-parallel batched commit path
     // must answer byte-for-byte like the sequential-commit path.
     region_equivalence_oracle(scenario, config, &mut failures, &mut skipped);
+
+    // Oracle 8 — network/replay equivalence: the same trace pushed
+    // through a real loopback TCP server must leave a commit log whose
+    // offline replay reproduces the live residual byte-for-byte.
+    net_replay_oracle(scenario, config, &mut failures);
 
     // Oracle 1 — HSDF equivalence (the paper's own claim).
     hsdf_oracle(scenario, config, &base, &mut failures, &mut skipped);
@@ -588,6 +593,193 @@ fn region_equivalence_oracle(
             });
             return;
         }
+    }
+}
+
+/// Oracle 8: network run vs. commit-log replay.
+///
+/// Spins up a real loopback [`sdfrs_net::NetServer`] around a fresh
+/// service, drives the scenario's admit/depart trace through *two*
+/// interleaved TCP connections (strict per-request lockstep, so the
+/// global order is deterministic while still exercising the
+/// multi-connection path), then shuts the server down and replays its
+/// commit log offline through
+/// [`replay_commit_log`](sdfrs_core::service::replay_commit_log). The
+/// replayed service must hold the identical
+/// residual digest and live-session count, and the number of committed
+/// responses observed on the wire must equal the commit-log length —
+/// the determinism contract of DESIGN.md §16.
+fn net_replay_oracle(
+    scenario: &Scenario,
+    config: &HarnessConfig,
+    failures: &mut Vec<OracleFailure>,
+) {
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+    use std::time::Duration;
+
+    use sdfrs_core::service::{
+        replay_commit_log, AllocationService, CommitLog, ServiceConfig, ServiceRequest,
+    };
+    use sdfrs_net::server::{NetServer, ServerOptions};
+    use sdfrs_net::wire::{response_ok, response_u64, FrameBuffer};
+
+    let oracle = OracleId::NetReplay;
+    let app = &scenario.app;
+    let arch = &scenario.arch;
+
+    let mut svc_config = ServiceConfig::default();
+    svc_config.flow = config.flow;
+
+    // One lockstep JSONL client; io errors surface as oracle failures
+    // rather than killing the whole sweep.
+    struct Conn {
+        stream: TcpStream,
+        frames: FrameBuffer,
+    }
+    impl Conn {
+        fn open(addr: std::net::SocketAddr) -> std::io::Result<Conn> {
+            let stream = TcpStream::connect(addr)?;
+            stream.set_nodelay(true)?;
+            stream.set_read_timeout(Some(Duration::from_millis(20)))?;
+            Ok(Conn {
+                stream,
+                frames: FrameBuffer::default(),
+            })
+        }
+        fn round_trip(&mut self, line: &str) -> std::io::Result<String> {
+            self.stream.write_all(line.as_bytes())?;
+            self.stream.write_all(b"\n")?;
+            let deadline = std::time::Instant::now() + Duration::from_secs(60);
+            let mut buf = [0u8; 4096];
+            loop {
+                if let Some(line) = self
+                    .frames
+                    .next_line()
+                    .map_err(|e| std::io::Error::other(e.to_string()))?
+                {
+                    return Ok(line);
+                }
+                if std::time::Instant::now() >= deadline {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        "no response within 60s",
+                    ));
+                }
+                match self.stream.read(&mut buf) {
+                    Ok(0) => {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::UnexpectedEof,
+                            "server closed the connection",
+                        ))
+                    }
+                    Ok(n) => self.frames.push_bytes(&buf[..n]),
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut => {}
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+    }
+
+    let run = || -> std::io::Result<Option<String>> {
+        let options = ServerOptions {
+            deadline: Duration::from_secs(120),
+            queue_watermark: 4096,
+            ..ServerOptions::default()
+        };
+        let server = NetServer::spawn(
+            AllocationService::from_config(arch, svc_config),
+            CommitLog::new(),
+            options,
+            "127.0.0.1:0",
+        )?;
+        let addr = server.local_addr();
+        let mut first = Conn::open(addr)?;
+        let mut second = Conn::open(addr)?;
+
+        // The oracle-6 trace shape, alternated across the connections:
+        // admit, admit, depart latest, depart bogus, admit, status.
+        let admit_line = ServiceRequest::Admit {
+            app: Box::new(app.clone()),
+        }
+        .to_json_line(0);
+        let mut latest: Option<u64> = None;
+        let mut commits = 0u64;
+        fn observe(response: &str, commits: &mut u64, latest: &mut Option<u64>) {
+            if response_ok(response) == Some(true)
+                && response_u64(response, "id").is_some()
+                && sdfrs_net::wire::response_str(response, "op").as_deref() != Some("status")
+            {
+                *commits += 1;
+                if let Some(session) = response_u64(response, "session") {
+                    *latest = Some(session);
+                }
+            }
+        }
+        observe(&first.round_trip(&admit_line)?, &mut commits, &mut latest);
+        observe(&second.round_trip(&admit_line)?, &mut commits, &mut latest);
+        let target = latest.unwrap_or(u64::MAX);
+        observe(
+            &first.round_trip(&format!("{{\"op\":\"depart\",\"session\":{target}}}"))?,
+            &mut commits,
+            &mut latest,
+        );
+        observe(
+            &second.round_trip("{\"op\":\"depart\",\"session\":18446744073709551615}")?,
+            &mut commits,
+            &mut latest,
+        );
+        observe(&first.round_trip(&admit_line)?, &mut commits, &mut latest);
+        observe(
+            &second.round_trip("{\"op\":\"status\"}")?,
+            &mut commits,
+            &mut latest,
+        );
+        drop(first);
+        drop(second);
+
+        let report = server.shutdown();
+        if report.stats.requests_shed != 0 {
+            return Ok(Some(format!(
+                "{} requests shed despite the relaxed watermark",
+                report.stats.requests_shed
+            )));
+        }
+        if report.commit_log.len() as u64 != commits {
+            return Ok(Some(format!(
+                "wire observed {commits} commits but the log holds {}",
+                report.commit_log.len()
+            )));
+        }
+        let lines = report.commit_log.lines().iter().map(String::as_str);
+        let replayed = match replay_commit_log(arch, svc_config, lines) {
+            Ok(replayed) => replayed,
+            Err(e) => return Ok(Some(format!("commit log does not replay: {e}"))),
+        };
+        if replayed.residual_digest() != report.residual_digest() {
+            return Ok(Some(
+                "replayed residual digest differs from the live server's".into(),
+            ));
+        }
+        if replayed.live_count() != report.service.live_count() {
+            return Ok(Some(format!(
+                "replay holds {} live sessions, the server {}",
+                replayed.live_count(),
+                report.service.live_count()
+            )));
+        }
+        Ok(None)
+    };
+
+    match run() {
+        Ok(None) => {}
+        Ok(Some(detail)) => failures.push(OracleFailure { oracle, detail }),
+        Err(e) => failures.push(OracleFailure {
+            oracle,
+            detail: format!("network round trip failed: {e}"),
+        }),
     }
 }
 

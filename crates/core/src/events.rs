@@ -640,7 +640,11 @@ impl FlowEvent {
     }
 }
 
-pub(crate) fn json_escape(s: &str) -> String {
+/// Escapes `s` for embedding inside a JSON string literal (quotes,
+/// backslashes, and control characters; everything else verbatim).
+/// Shared by the event sinks, the service wire protocol, and the
+/// network front-end's error responses.
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

@@ -135,7 +135,10 @@ impl Histogram {
         self.count.get()
     }
 
-    fn snapshot(&self, name: &'static str, help: &'static str) -> HistogramSnapshot {
+    /// A point-in-time copy of the buckets under `name`/`help` — also
+    /// used by out-of-registry histograms (the net server's queue-depth
+    /// instrument) that render through the same snapshot type.
+    pub fn snapshot(&self, name: &'static str, help: &'static str) -> HistogramSnapshot {
         HistogramSnapshot {
             name,
             help,
@@ -323,6 +326,14 @@ const INVALIDATED_BOUNDS: &[u64] = &[1, 4, 16, 64, 256, 1024, 4096, 16384, 65536
 /// global fallback on deep neighbor chains).
 const ESCALATION_DEPTH_BOUNDS: &[u64] = &[0, 1, 2, 3];
 
+/// Histogram bounds for network request latency in microseconds
+/// (arrival to response write): sub-ms through multi-second, ×4 steps.
+/// Unlike every other instrument, observations are wall-clock and thus
+/// load-dependent — never compare them across runs.
+const NET_LATENCY_BOUNDS: &[u64] = &[
+    100, 400, 1_600, 6_400, 25_600, 102_400, 409_600, 1_638_400, 6_553_600,
+];
+
 /// Name, help text, and snapshot order of every registry counter.
 /// The single source the exporters and [`MetricsSnapshot::counter`]
 /// agree on.
@@ -435,6 +446,34 @@ const COUNTERS: &[(&str, &str)] = &[
         "region_commits_inline",
         "Region-parallel drain commits recomputed inline against the global residual.",
     ),
+    (
+        "net_connections_opened",
+        "TCP connections accepted by the network front-end.",
+    ),
+    (
+        "net_connections_closed",
+        "Network connections closed (client disconnect, fault, or drain).",
+    ),
+    (
+        "net_requests_received",
+        "Requests parsed off network connections.",
+    ),
+    (
+        "net_requests_shed",
+        "Requests shed with a typed Overloaded response at the queue watermark.",
+    ),
+    (
+        "net_deadlines_expired",
+        "Requests answered with a typed deadline response instead of executing.",
+    ),
+    (
+        "net_parse_errors",
+        "Malformed request lines answered with a typed parse-error response.",
+    ),
+    (
+        "net_commits_logged",
+        "Committed mutations appended to the deterministic commit log.",
+    ),
 ];
 
 /// The full set of instruments the flow records into.
@@ -508,6 +547,22 @@ pub struct MetricsRegistry {
     /// Region-parallel drain commits recomputed inline against the
     /// global residual.
     pub region_commits_inline: Counter,
+    /// TCP connections accepted by the network front-end.
+    pub net_connections_opened: Counter,
+    /// Network connections closed (disconnect, fault, or drain).
+    pub net_connections_closed: Counter,
+    /// Requests parsed off network connections.
+    pub net_requests_received: Counter,
+    /// Requests shed with a typed `Overloaded` response because the
+    /// service queue crossed the backpressure watermark.
+    pub net_requests_shed: Counter,
+    /// Requests answered with a typed deadline response (queued past
+    /// their deadline, or trickled in slower than the read deadline).
+    pub net_deadlines_expired: Counter,
+    /// Malformed request lines answered with a typed parse error.
+    pub net_parse_errors: Counter,
+    /// Committed mutations appended to the deterministic commit log.
+    pub net_commits_logged: Counter,
     /// Distinct configurations currently memoized by the cache.
     pub cache_entries: Gauge,
     /// Currently live service sessions.
@@ -515,6 +570,8 @@ pub struct MetricsRegistry {
     /// Regions the admission service partitions the platform into
     /// (1 = regional admission disabled).
     pub regions_configured: Gauge,
+    /// Currently open network connections.
+    pub net_connections_live: Gauge,
     /// States explored per constrained-throughput probe (misses only).
     pub probe_states: Histogram,
     /// Binary-search iterations per per-tile refinement task.
@@ -526,6 +583,10 @@ pub struct MetricsRegistry {
     /// Escalation depth at which each regional admission committed
     /// (0 = home region; overflow = global fallback).
     pub region_escalation_depth: Histogram,
+    /// Wall-clock request latency of the network front-end in
+    /// microseconds (arrival → response write). Load-dependent — the
+    /// one instrument that is *not* deterministic for a fixed workload.
+    pub net_request_latency_us: Histogram,
     /// Bind attempts per candidate tile index.
     pub bind_attempts_per_tile: IndexedCounter,
     /// Admissions committed per home region index.
@@ -575,14 +636,23 @@ impl MetricsRegistry {
             region_escalations: Counter::default(),
             region_commits_speculative: Counter::default(),
             region_commits_inline: Counter::default(),
+            net_connections_opened: Counter::default(),
+            net_connections_closed: Counter::default(),
+            net_requests_received: Counter::default(),
+            net_requests_shed: Counter::default(),
+            net_deadlines_expired: Counter::default(),
+            net_parse_errors: Counter::default(),
+            net_commits_logged: Counter::default(),
             cache_entries: Gauge::default(),
             sessions_live: Gauge::default(),
             regions_configured: Gauge::default(),
+            net_connections_live: Gauge::default(),
             probe_states: Histogram::new(PROBE_STATE_BOUNDS),
             refine_search_iters: Histogram::new(REFINE_ITER_BOUNDS),
             service_queue_depth: Histogram::new(QUEUE_DEPTH_BOUNDS),
             states_invalidated: Histogram::new(INVALIDATED_BOUNDS),
             region_escalation_depth: Histogram::new(ESCALATION_DEPTH_BOUNDS),
+            net_request_latency_us: Histogram::new(NET_LATENCY_BOUNDS),
             bind_attempts_per_tile: IndexedCounter::default(),
             region_admits_per_region: IndexedCounter::default(),
             profiler: Profiler::default(),
@@ -621,6 +691,13 @@ impl MetricsRegistry {
             "region_escalations" => self.region_escalations.get(),
             "region_commits_speculative" => self.region_commits_speculative.get(),
             "region_commits_inline" => self.region_commits_inline.get(),
+            "net_connections_opened" => self.net_connections_opened.get(),
+            "net_connections_closed" => self.net_connections_closed.get(),
+            "net_requests_received" => self.net_requests_received.get(),
+            "net_requests_shed" => self.net_requests_shed.get(),
+            "net_deadlines_expired" => self.net_deadlines_expired.get(),
+            "net_parse_errors" => self.net_parse_errors.get(),
+            "net_commits_logged" => self.net_commits_logged.get(),
             other => unreachable!("unregistered counter `{other}`"),
         }
     }
@@ -707,6 +784,7 @@ impl MetricsRegistry {
             cache_entries: self.cache_entries.get(),
             sessions_live: self.sessions_live.get(),
             regions_configured: self.regions_configured.get(),
+            net_connections_live: self.net_connections_live.get(),
             bind_attempts_per_tile: self.bind_attempts_per_tile.values(),
             region_admits_per_region: self.region_admits_per_region.values(),
             histograms: vec![
@@ -729,6 +807,10 @@ impl MetricsRegistry {
                 self.region_escalation_depth.snapshot(
                     "region_escalation_depth",
                     "Escalation depth at which each regional admission committed.",
+                ),
+                self.net_request_latency_us.snapshot(
+                    "net_request_latency_us",
+                    "Wall-clock network request latency in microseconds (load-dependent).",
                 ),
             ],
             phases: SpanKind::ALL
@@ -874,6 +956,8 @@ pub struct MetricsSnapshot {
     pub sessions_live: u64,
     /// The configured-regions gauge (1 = regional admission disabled).
     pub regions_configured: u64,
+    /// The open-network-connections gauge.
+    pub net_connections_live: u64,
     /// Bind attempts per tile index.
     pub bind_attempts_per_tile: Vec<u64>,
     /// Admissions committed per home region index.
@@ -930,6 +1014,13 @@ impl MetricsSnapshot {
         );
         out.push_str("# TYPE sdfrs_regions_configured gauge\n");
         let _ = writeln!(out, "sdfrs_regions_configured {}", self.regions_configured);
+        out.push_str("# HELP sdfrs_net_connections_live Currently open network connections.\n");
+        out.push_str("# TYPE sdfrs_net_connections_live gauge\n");
+        let _ = writeln!(
+            out,
+            "sdfrs_net_connections_live {}",
+            self.net_connections_live
+        );
         if !self.region_admits_per_region.is_empty() {
             out.push_str(
                 "# HELP sdfrs_region_admits_per_region_total Admissions committed per home region.\n",
@@ -1005,8 +1096,8 @@ impl MetricsSnapshot {
         }
         let _ = write!(
             out,
-            "}},\"gauges\":{{\"cache_entries\":{},\"sessions_live\":{},\"regions_configured\":{}}}",
-            self.cache_entries, self.sessions_live, self.regions_configured
+            "}},\"gauges\":{{\"cache_entries\":{},\"sessions_live\":{},\"regions_configured\":{},\"net_connections_live\":{}}}",
+            self.cache_entries, self.sessions_live, self.regions_configured, self.net_connections_live
         );
         out.push_str(",\"bind_attempts_per_tile\":[");
         for (i, v) in self.bind_attempts_per_tile.iter().enumerate() {

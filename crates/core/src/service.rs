@@ -144,7 +144,7 @@ impl Default for ServiceConfig {
 /// Marked `#[non_exhaustive]`: a long-lived service will grow more
 /// operations (constraint renegotiation, priority eviction).
 #[non_exhaustive]
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ServiceRequest {
     /// Admit an application as a new session.
     Admit {
@@ -175,6 +175,29 @@ impl ServiceRequest {
             ServiceRequest::Rebind { .. } => "rebind",
             ServiceRequest::Status => "status",
         }
+    }
+
+    /// Renders the request as one self-contained deterministic JSON
+    /// line tagged `"seq":seq` — the commit-log record format, accepted
+    /// back by [`parse_request_line`]. An admit embeds the full
+    /// application as escaped [`textio`](sdfrs_appmodel::textio) text,
+    /// so a log line needs no out-of-band files to replay.
+    pub fn to_json_line(&self, seq: u64) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::with_capacity(64);
+        let _ = write!(s, "{{\"seq\":{seq},\"op\":\"{}\"", self.op());
+        match self {
+            ServiceRequest::Admit { app } => {
+                let text = sdfrs_appmodel::textio::write_application(app);
+                let _ = write!(s, ",\"app\":\"{}\"", json_escape(&text));
+            }
+            ServiceRequest::Depart { session } | ServiceRequest::Rebind { session } => {
+                let _ = write!(s, ",\"session\":{}", session.raw());
+            }
+            ServiceRequest::Status => {}
+        }
+        s.push('}');
+        s
     }
 }
 
@@ -280,6 +303,20 @@ pub enum ServiceResponse {
 }
 
 impl ServiceResponse {
+    /// `true` when the response reports a *committed mutation* of the
+    /// service state — an admission that admitted, a departure that
+    /// departed, or a rebind that answered (a kept-in-place rebind still
+    /// replays deterministically). Rejections, failures and status
+    /// probes leave the state untouched and never enter the commit log.
+    pub fn commits(&self) -> bool {
+        matches!(
+            self,
+            ServiceResponse::Admitted { .. }
+                | ServiceResponse::Departed { .. }
+                | ServiceResponse::Rebound { .. }
+        )
+    }
+
     /// Renders the response as one deterministic JSON object (no
     /// timestamps, no timing data), tagged with the request's sequence
     /// number — the line format of the CLI `serve` mode.
@@ -1022,6 +1059,38 @@ impl AllocationService {
         }
     }
 
+    /// Applies one request to the service state immediately, bypassing
+    /// the queue — the entry point of the network front-end, whose
+    /// single service thread executes requests in arrival order.
+    pub fn execute_request(&mut self, request: ServiceRequest) -> ServiceResponse {
+        self.execute(request)
+    }
+
+    /// Applies one request and, when the response reports a committed
+    /// mutation ([`ServiceResponse::commits`]), appends the request to
+    /// `log` — the hook every networked mutation goes through, so that
+    /// replaying the log through a fresh sequential service reproduces
+    /// the residual [`PlatformState`] byte-for-byte.
+    pub fn execute_logged(
+        &mut self,
+        request: ServiceRequest,
+        log: &mut CommitLog,
+    ) -> ServiceResponse {
+        let logged = request.clone();
+        let response = self.execute(request);
+        if response.commits() {
+            log.append(&logged);
+            self.allocator.metric(|m| m.net_commits_logged.inc());
+        }
+        response
+    }
+
+    /// The [`PlatformState::digest`] of the residual state — the
+    /// byte-equality witness the commit-log replay compares against.
+    pub fn residual_digest(&self) -> String {
+        self.residual.digest()
+    }
+
     /// Applies one request to the service state.
     fn execute(&mut self, request: ServiceRequest) -> ServiceResponse {
         match request {
@@ -1057,6 +1126,416 @@ impl AllocationService {
             ServiceRequest::Status => ServiceResponse::Status(self.status()),
         }
     }
+}
+
+/// Why a request line could not be parsed into a [`ServiceRequest`].
+///
+/// One shared error type covers every ingress path — the CLI's
+/// `serve --input` batch files, the network front-end's live framing,
+/// and commit-log replay — so malformed input is reported identically
+/// everywhere: the 1-based line number (when the source has one), the
+/// offending field, and what was wrong with it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestParseError {
+    /// 1-based line number in the source file or stream, if known.
+    pub line: Option<usize>,
+    /// The JSON field the error is about (`"op"`, `"session"`, …), if
+    /// the error is attributable to one.
+    pub field: Option<&'static str>,
+    /// What was wrong.
+    pub detail: String,
+}
+
+impl RequestParseError {
+    /// An error about one field of the request object.
+    pub fn field(field: &'static str, detail: impl Into<String>) -> Self {
+        RequestParseError {
+            line: None,
+            field: Some(field),
+            detail: detail.into(),
+        }
+    }
+
+    /// An error about the line as a whole (framing, not a field).
+    pub fn malformed(detail: impl Into<String>) -> Self {
+        RequestParseError {
+            line: None,
+            field: None,
+            detail: detail.into(),
+        }
+    }
+
+    /// Attaches the 1-based source line number.
+    #[must_use]
+    pub fn at_line(mut self, line: usize) -> Self {
+        self.line = Some(line);
+        self
+    }
+
+    /// Renders the error as the network front-end's typed response line:
+    /// `{"id":id,"ok":false,"kind":"parse",...}` with the field and
+    /// detail carried along.
+    pub fn to_json_line(&self, id: u64) -> String {
+        use std::fmt::Write as _;
+        let mut s = format!("{{\"id\":{id},\"ok\":false,\"kind\":\"parse\"");
+        if let Some(field) = self.field {
+            let _ = write!(s, ",\"field\":\"{field}\"");
+        }
+        let _ = write!(s, ",\"detail\":\"{}\"}}", json_escape(&self.detail));
+        s
+    }
+}
+
+impl std::fmt::Display for RequestParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if let Some(line) = self.line {
+            write!(f, "request line {line}: ")?;
+        }
+        if let Some(field) = self.field {
+            write!(f, "field \"{field}\": ")?;
+        }
+        write!(f, "{}", self.detail)
+    }
+}
+
+impl std::error::Error for RequestParseError {}
+
+/// One decoded value of a flat request object.
+#[derive(Debug, Clone, PartialEq)]
+enum JsonValue {
+    Str(String),
+    Num(u64),
+    Other,
+}
+
+/// Scans a single-line JSON object into `(key, value)` pairs.
+///
+/// A real tokenizer rather than substring search: keys appearing
+/// *inside* string values (an embedded application text mentioning
+/// `"session"`) must never be mistaken for fields. Nested objects and
+/// arrays are skipped structurally and reported as [`JsonValue::Other`].
+fn scan_object(line: &str) -> Result<Vec<(String, JsonValue)>, RequestParseError> {
+    let bytes = line.as_bytes();
+    let mut i = 0usize;
+    let skip_ws = |i: &mut usize| {
+        while *i < bytes.len() && bytes[*i].is_ascii_whitespace() {
+            *i += 1;
+        }
+    };
+    skip_ws(&mut i);
+    if i >= bytes.len() || bytes[i] != b'{' {
+        return Err(RequestParseError::malformed("not a JSON object"));
+    }
+    i += 1;
+    let mut fields = Vec::new();
+    loop {
+        skip_ws(&mut i);
+        if i < bytes.len() && bytes[i] == b'}' {
+            return Ok(fields);
+        }
+        let (key, after) = scan_string(line, i)?;
+        i = after;
+        skip_ws(&mut i);
+        if i >= bytes.len() || bytes[i] != b':' {
+            return Err(RequestParseError::malformed(format!(
+                "missing `:` after key \"{key}\""
+            )));
+        }
+        i += 1;
+        skip_ws(&mut i);
+        if i >= bytes.len() {
+            return Err(RequestParseError::malformed("truncated object"));
+        }
+        match bytes[i] {
+            b'"' => {
+                let (value, after) = scan_string(line, i)?;
+                i = after;
+                fields.push((key, JsonValue::Str(value)));
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let number: u64 = line[start..i]
+                    .parse()
+                    .map_err(|_| RequestParseError::malformed("number out of range"))?;
+                fields.push((key, JsonValue::Num(number)));
+            }
+            _ => {
+                i = skip_value(line, i)?;
+                fields.push((key, JsonValue::Other));
+            }
+        }
+        skip_ws(&mut i);
+        if i < bytes.len() && bytes[i] == b',' {
+            i += 1;
+            continue;
+        }
+        if i < bytes.len() && bytes[i] == b'}' {
+            return Ok(fields);
+        }
+        return Err(RequestParseError::malformed("missing `,` or `}`"));
+    }
+}
+
+/// Decodes the JSON string starting at byte `at` (which must be `"`),
+/// returning the decoded value and the index just past the closing
+/// quote.
+fn scan_string(line: &str, at: usize) -> Result<(String, usize), RequestParseError> {
+    let bytes = line.as_bytes();
+    if at >= bytes.len() || bytes[at] != b'"' {
+        return Err(RequestParseError::malformed("expected a string"));
+    }
+    let mut out = String::new();
+    let mut chars = line[at + 1..].char_indices();
+    while let Some((off, c)) = chars.next() {
+        match c {
+            '"' => return Ok((out, at + 1 + off + 1)),
+            '\\' => match chars.next() {
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, '/')) => out.push('/'),
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 'r')) => out.push('\r'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, 'u')) => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        let (_, h) = chars
+                            .next()
+                            .ok_or_else(|| RequestParseError::malformed("truncated \\u escape"))?;
+                        code = code * 16
+                            + h.to_digit(16).ok_or_else(|| {
+                                RequestParseError::malformed("bad \\u escape digit")
+                            })?;
+                    }
+                    out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                }
+                other => {
+                    return Err(RequestParseError::malformed(format!(
+                        "unsupported escape {:?}",
+                        other.map(|(_, c)| c)
+                    )))
+                }
+            },
+            c => out.push(c),
+        }
+    }
+    Err(RequestParseError::malformed("unterminated string"))
+}
+
+/// Skips one non-string, non-number JSON value (literal, array, or
+/// object) starting at `at`, returning the index just past it.
+fn skip_value(line: &str, at: usize) -> Result<usize, RequestParseError> {
+    let bytes = line.as_bytes();
+    match bytes[at] {
+        b'{' | b'[' => {
+            let mut depth = 0usize;
+            let mut i = at;
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'"' => {
+                        let (_, after) = scan_string(line, i)?;
+                        i = after;
+                        continue;
+                    }
+                    b'{' | b'[' => depth += 1,
+                    b'}' | b']' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return Ok(i + 1);
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+            Err(RequestParseError::malformed("unbalanced brackets"))
+        }
+        _ => {
+            let mut i = at;
+            while i < bytes.len()
+                && (bytes[i].is_ascii_alphanumeric() || matches!(bytes[i], b'.' | b'-' | b'+'))
+            {
+                i += 1;
+            }
+            if i == at {
+                return Err(RequestParseError::malformed("unparseable value"));
+            }
+            Ok(i)
+        }
+    }
+}
+
+/// Parses one wire/commit-log/batch-file request line into a
+/// [`ServiceRequest`].
+///
+/// Accepted shapes (flat JSON objects; unknown fields like the commit
+/// log's `"seq"` are ignored):
+///
+/// * `{"op":"admit","app":"<escaped .sdfa text>"}` — inline application;
+/// * `{"op":"admit","example":"paper"}` — a
+///   [bundled](sdfrs_appmodel::apps::bundled) example;
+/// * `{"op":"admit","app_file":"x.sdfa"}` — read from disk;
+/// * `{"op":"depart","session":1}` / `{"op":"rebind","session":2}`;
+/// * `{"op":"status"}`.
+///
+/// # Errors
+///
+/// A [`RequestParseError`] naming the offending field; attach the
+/// source line number with [`RequestParseError::at_line`].
+pub fn parse_request_line(line: &str) -> Result<ServiceRequest, RequestParseError> {
+    let fields = scan_object(line)?;
+    let str_field = |name: &str| {
+        fields.iter().find_map(|(k, v)| match v {
+            JsonValue::Str(s) if k == name => Some(s.clone()),
+            _ => None,
+        })
+    };
+    let num_field = |name: &'static str| -> Result<u64, RequestParseError> {
+        fields
+            .iter()
+            .find_map(|(k, v)| match v {
+                JsonValue::Num(n) if k == name => Some(*n),
+                _ => None,
+            })
+            .ok_or_else(|| RequestParseError::field(name, format!("needs an unsigned \"{name}\"")))
+    };
+    let op = str_field("op").ok_or_else(|| RequestParseError::field("op", "missing field"))?;
+    match op.as_str() {
+        "admit" => {
+            let app = if let Some(text) = str_field("app") {
+                sdfrs_appmodel::textio::parse_application(&text)
+                    .map_err(|e| RequestParseError::field("app", e.to_string()))?
+            } else if let Some(name) = str_field("example") {
+                sdfrs_appmodel::apps::bundled(&name).ok_or_else(|| {
+                    RequestParseError::field("example", format!("unknown example {name:?}"))
+                })?
+            } else if let Some(path) = str_field("app_file") {
+                let text = std::fs::read_to_string(&path).map_err(|e| {
+                    RequestParseError::field("app_file", format!("cannot read {path}: {e}"))
+                })?;
+                sdfrs_appmodel::textio::parse_application(&text)
+                    .map_err(|e| RequestParseError::field("app_file", format!("{path}: {e}")))?
+            } else {
+                return Err(RequestParseError::field(
+                    "app",
+                    "admit needs \"app\", \"example\" or \"app_file\"",
+                ));
+            };
+            Ok(ServiceRequest::Admit { app: Box::new(app) })
+        }
+        "depart" => Ok(ServiceRequest::Depart {
+            session: SessionId::from_raw(num_field("session")?),
+        }),
+        "rebind" => Ok(ServiceRequest::Rebind {
+            session: SessionId::from_raw(num_field("session")?),
+        }),
+        "status" => Ok(ServiceRequest::Status),
+        other => Err(RequestParseError::field(
+            "op",
+            format!("unknown op {other:?} (admit|depart|rebind|status)"),
+        )),
+    }
+}
+
+/// The deterministic commit log of a service: one
+/// [`ServiceRequest::to_json_line`] record per *committed* mutation
+/// (admits that admitted, departs that departed, rebinds that answered
+/// — never rejections, status probes, shed or expired requests), with
+/// monotonically increasing `"seq"` numbers in commit order.
+///
+/// Replaying the records in order through a fresh sequential
+/// [`AllocationService`] ([`replay_commit_log`]) reproduces the residual
+/// [`PlatformState`] byte-for-byte: session ids are assigned in commit
+/// order on both sides, and every allocation is a deterministic function
+/// of the evolving residual state.
+#[derive(Default)]
+pub struct CommitLog {
+    lines: Vec<String>,
+    writer: Option<Box<dyn std::io::Write + Send>>,
+}
+
+impl std::fmt::Debug for CommitLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CommitLog")
+            .field("records", &self.lines.len())
+            .field("streaming", &self.writer.is_some())
+            .finish()
+    }
+}
+
+impl CommitLog {
+    /// An empty in-memory log.
+    pub fn new() -> Self {
+        CommitLog::default()
+    }
+
+    /// An empty log that additionally streams every record to `writer`
+    /// (line-buffered: one `write_all` + newline per record).
+    pub fn with_writer(writer: impl std::io::Write + Send + 'static) -> Self {
+        CommitLog {
+            lines: Vec::new(),
+            writer: Some(Box::new(writer)),
+        }
+    }
+
+    /// Appends one committed request, returning its sequence number.
+    pub fn append(&mut self, request: &ServiceRequest) -> u64 {
+        let seq = self.lines.len() as u64;
+        let line = request.to_json_line(seq);
+        if let Some(w) = &mut self.writer {
+            // A failed log write must not corrupt the in-memory record;
+            // the server surfaces stream health in its final stats line.
+            let _ = writeln!(w, "{line}");
+            let _ = w.flush();
+        }
+        self.lines.push(line);
+        seq
+    }
+
+    /// Records appended so far, commit order.
+    pub fn lines(&self) -> &[String] {
+        &self.lines
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// `true` when nothing committed yet.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+}
+
+/// Replays commit-log `lines` through a fresh sequential
+/// [`AllocationService`] over `arch` and returns the resulting service
+/// (compare [`AllocationService::residual_digest`] against the live
+/// run's). Empty lines are skipped; region and batching configuration
+/// are irrelevant to the replay result and run at their defaults.
+///
+/// # Errors
+///
+/// A [`RequestParseError`] (with the 1-based line number attached) when
+/// a record does not parse.
+pub fn replay_commit_log<'a>(
+    arch: &ArchitectureGraph,
+    config: ServiceConfig,
+    lines: impl IntoIterator<Item = &'a str>,
+) -> Result<AllocationService, RequestParseError> {
+    let mut service = AllocationService::from_config(arch, config);
+    for (no, line) in lines.into_iter().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let request = parse_request_line(line).map_err(|e| e.at_line(no + 1))?;
+        service.execute_request(request);
+    }
+    Ok(service)
 }
 
 #[cfg(test)]

@@ -1,0 +1,61 @@
+//! # sdfrs-net — the networked allocation service
+//!
+//! A TCP front-end over [`sdfrs_core::service::AllocationService`]:
+//! newline-delimited JSON requests in, deterministic JSON responses
+//! out, many concurrent connections, per-request deadlines,
+//! queue-depth backpressure, and a graceful drain that hands back the
+//! service, the commit log and a final stats line.
+//!
+//! The crate is three layers:
+//!
+//! * [`wire`] — JSONL framing ([`wire::FrameBuffer`]) plus the field
+//!   helpers clients use to read response lines;
+//! * [`server`] — the threaded server ([`server::NetServer`]) and its
+//!   drain report;
+//! * [`loadgen`] — a closed-loop, seeded load generator
+//!   ([`loadgen::run`]) backing the `sdfrs-loadgen` binary and the
+//!   `BENCH_service.json` harness.
+//!
+//! ## The determinism story
+//!
+//! The server never promises that a concurrent run equals a particular
+//! sequential run — arrival interleaving is real. It promises something
+//! stronger and testable: every run *documents itself*. The commit log
+//! records exactly the mutations that committed, in commit order, and
+//! replaying it through the offline `serve --input` path reproduces the
+//! server's residual platform state byte-for-byte (conform oracle 8).
+//!
+//! ```no_run
+//! use sdfrs_appmodel::apps::example_platform;
+//! use sdfrs_core::service::{
+//!     replay_commit_log, AllocationService, CommitLog, ServiceConfig,
+//! };
+//! use sdfrs_net::server::{NetServer, ServerOptions};
+//!
+//! let arch = example_platform();
+//! let service = AllocationService::new(&arch);
+//! let server = NetServer::spawn(
+//!     service,
+//!     CommitLog::new(),
+//!     ServerOptions::default(),
+//!     "127.0.0.1:0",
+//! )
+//! .unwrap();
+//! let addr = server.local_addr();
+//! // ... clients connect to `addr` and send JSONL requests ...
+//! let report = server.shutdown();
+//! let lines = report.commit_log.lines().iter().map(String::as_str);
+//! let replayed = replay_commit_log(&arch, ServiceConfig::default(), lines).unwrap();
+//! assert_eq!(replayed.residual_digest(), report.residual_digest());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod loadgen;
+pub mod server;
+pub mod wire;
+
+pub use loadgen::{LoadReport, LoadgenOptions};
+pub use server::{NetServer, NetStats, ServerOptions, ServerReport};
+pub use wire::{FrameBuffer, FrameError};

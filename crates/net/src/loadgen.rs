@@ -1,0 +1,296 @@
+//! A closed-loop load generator for the network front-end.
+//!
+//! Each client thread opens one TCP connection and runs a seeded
+//! request mix — admit / depart / rebind / status — strictly
+//! closed-loop (the next request is sent only after the previous
+//! response arrives), recording per-request wall-clock latency and the
+//! typed outcome of every response. The request *mix* is deterministic
+//! per seed; the latencies and the admit/reject split are not (they
+//! depend on interleaving), which is exactly what the commit log is
+//! for.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use sdfrs_fastutil::rng::SmallRng;
+
+use crate::wire::{response_kind, response_ok, response_str, response_u64, FrameBuffer};
+
+/// Tunables of one load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadgenOptions {
+    /// Concurrent closed-loop client connections.
+    pub clients: usize,
+    /// Requests each client sends.
+    pub requests_per_client: usize,
+    /// Base seed; client `i` derives its own stream from it.
+    pub seed: u64,
+    /// How long a client waits for one response before giving up and
+    /// counting a disconnect.
+    pub response_timeout: Duration,
+}
+
+impl Default for LoadgenOptions {
+    fn default() -> Self {
+        LoadgenOptions {
+            clients: 8,
+            requests_per_client: 64,
+            seed: 0xC0FF_EE00,
+            response_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Aggregated outcome of one load-generation run.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Client connections that completed their scripts.
+    pub clients: usize,
+    /// Requests sent.
+    pub requests: u64,
+    /// Admissions that admitted.
+    pub admitted: u64,
+    /// Admissions the service rejected (no valid allocation).
+    pub rejected: u64,
+    /// Departures that departed.
+    pub departed: u64,
+    /// Rebinds that answered.
+    pub rebound: u64,
+    /// Status probes answered.
+    pub status: u64,
+    /// Session-addressed requests that failed (unknown session).
+    pub failed: u64,
+    /// Requests shed with `"kind":"overloaded"`.
+    pub shed: u64,
+    /// Requests answered `"kind":"deadline"`.
+    pub deadline_expired: u64,
+    /// Typed parse errors received.
+    pub parse_errors: u64,
+    /// Responses that never arrived (disconnect or timeout).
+    pub lost: u64,
+    /// Wall-clock of the whole run.
+    pub elapsed: Duration,
+    /// Per-request latencies, microseconds, sorted ascending.
+    pub latencies_us: Vec<u64>,
+}
+
+impl LoadReport {
+    /// Committed mutations observed client-side
+    /// (admitted + departed + rebound) — must equal the server's
+    /// commit-log length.
+    pub fn commits(&self) -> u64 {
+        self.admitted + self.departed + self.rebound
+    }
+
+    /// Exact latency percentile (`0.0..=1.0`) over the recorded
+    /// per-request latencies.
+    pub fn latency_percentile_us(&self, q: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.latencies_us.len() as f64).ceil() as usize;
+        self.latencies_us[rank.max(1) - 1]
+    }
+
+    /// Mean latency in microseconds.
+    pub fn latency_mean_us(&self) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let sum: u64 = self.latencies_us.iter().sum();
+        sum / self.latencies_us.len() as u64
+    }
+
+    /// Admissions committed per second of wall-clock.
+    pub fn admissions_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.admitted as f64 / secs
+    }
+
+    /// Fraction of sent requests shed by backpressure.
+    pub fn shed_rate(&self) -> f64 {
+        if self.requests == 0 {
+            return 0.0;
+        }
+        self.shed as f64 / self.requests as f64
+    }
+
+    fn absorb(&mut self, other: ClientReport) {
+        self.clients += 1;
+        self.requests += other.requests;
+        self.admitted += other.admitted;
+        self.rejected += other.rejected;
+        self.departed += other.departed;
+        self.rebound += other.rebound;
+        self.status += other.status;
+        self.failed += other.failed;
+        self.shed += other.shed;
+        self.deadline_expired += other.deadline_expired;
+        self.parse_errors += other.parse_errors;
+        self.lost += other.lost;
+        self.latencies_us.extend(other.latencies_us);
+    }
+}
+
+#[derive(Debug, Default)]
+struct ClientReport {
+    requests: u64,
+    admitted: u64,
+    rejected: u64,
+    departed: u64,
+    rebound: u64,
+    status: u64,
+    failed: u64,
+    shed: u64,
+    deadline_expired: u64,
+    parse_errors: u64,
+    lost: u64,
+    latencies_us: Vec<u64>,
+}
+
+/// Runs `options.clients` concurrent closed-loop clients against
+/// `addr` and aggregates their outcomes.
+///
+/// # Errors
+///
+/// Propagates the *first* connection failure; mid-script socket errors
+/// are absorbed into [`LoadReport::lost`] instead.
+pub fn run(addr: SocketAddr, options: &LoadgenOptions) -> std::io::Result<LoadReport> {
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for client in 0..options.clients {
+        let options = options.clone();
+        handles.push(std::thread::spawn(move || {
+            run_client(addr, client, &options)
+        }));
+    }
+    let mut report = LoadReport::default();
+    let mut first_error = None;
+    for handle in handles {
+        match handle.join().expect("loadgen client panicked") {
+            Ok(client_report) => report.absorb(client_report),
+            Err(e) => first_error = first_error.or(Some(e)),
+        }
+    }
+    if report.clients == 0 {
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+    }
+    report.elapsed = started.elapsed();
+    report.latencies_us.sort_unstable();
+    Ok(report)
+}
+
+fn run_client(
+    addr: SocketAddr,
+    client: usize,
+    options: &LoadgenOptions,
+) -> std::io::Result<ClientReport> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_millis(20)))?;
+    let mut rng =
+        SmallRng::seed_from_u64(options.seed ^ (client as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut frames = FrameBuffer::default();
+    let mut sessions: Vec<u64> = Vec::new();
+    let mut report = ClientReport::default();
+    for _ in 0..options.requests_per_client {
+        let line = next_request(&mut rng, &mut sessions);
+        report.requests += 1;
+        let sent = Instant::now();
+        if stream.write_all(line.as_bytes()).is_err() || stream.write_all(b"\n").is_err() {
+            report.lost += 1;
+            break;
+        }
+        match read_response(&mut stream, &mut frames, options.response_timeout) {
+            Some(response) => {
+                let latency = sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                report.latencies_us.push(latency);
+                classify(&response, &mut sessions, &mut report);
+            }
+            None => {
+                report.lost += 1;
+                break;
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Picks the next request in the seeded mix. The departed session is
+/// removed from the local list eagerly; if the depart later sheds, a
+/// live session simply stops being exercised — harmless, and it keeps
+/// the mix independent of response timing.
+fn next_request(rng: &mut SmallRng, sessions: &mut Vec<u64>) -> String {
+    let roll = rng.gen_f64();
+    if sessions.is_empty() || roll < 0.55 {
+        "{\"op\":\"admit\",\"example\":\"paper\"}".to_string()
+    } else if roll < 0.80 {
+        let at = rng.below(sessions.len() as u64) as usize;
+        let session = sessions.swap_remove(at);
+        format!("{{\"op\":\"depart\",\"session\":{session}}}")
+    } else if roll < 0.92 {
+        let at = rng.below(sessions.len() as u64) as usize;
+        let session = sessions[at];
+        format!("{{\"op\":\"rebind\",\"session\":{session}}}")
+    } else {
+        "{\"op\":\"status\"}".to_string()
+    }
+}
+
+fn read_response(
+    stream: &mut TcpStream,
+    frames: &mut FrameBuffer,
+    timeout: Duration,
+) -> Option<String> {
+    let waiting_since = Instant::now();
+    let mut read_buf = [0u8; 4096];
+    loop {
+        if let Ok(Some(line)) = frames.next_line() {
+            return Some(line);
+        }
+        if waiting_since.elapsed() > timeout {
+            return None;
+        }
+        match stream.read(&mut read_buf) {
+            Ok(0) => return None,
+            Ok(n) => frames.push_bytes(&read_buf[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => return None,
+        }
+    }
+}
+
+fn classify(response: &str, sessions: &mut Vec<u64>, report: &mut ClientReport) {
+    if let Some(kind) = response_kind(response) {
+        match kind.as_str() {
+            "overloaded" => report.shed += 1,
+            "deadline" => report.deadline_expired += 1,
+            _ => report.parse_errors += 1,
+        }
+        return;
+    }
+    let op = response_str(response, "op").unwrap_or_default();
+    let ok = response_ok(response).unwrap_or(false);
+    match (op.as_str(), ok) {
+        ("admit", true) => {
+            report.admitted += 1;
+            if let Some(session) = response_u64(response, "session") {
+                sessions.push(session);
+            }
+        }
+        ("admit", false) => report.rejected += 1,
+        ("depart", true) => report.departed += 1,
+        ("rebind", true) => report.rebound += 1,
+        ("status", true) => report.status += 1,
+        (_, false) => report.failed += 1,
+        _ => {}
+    }
+}

@@ -1,0 +1,566 @@
+//! The threaded TCP server wrapping one [`AllocationService`].
+//!
+//! # Architecture
+//!
+//! Three thread roles, all on `std::net` (the build environment has no
+//! async runtime):
+//!
+//! * one **acceptor** polls the listener and spawns a reader per
+//!   connection;
+//! * one **reader per connection** reassembles JSONL frames
+//!   ([`FrameBuffer`]), parses each line with the shared
+//!   [`parse_request_line`], answers parse errors and backpressure
+//!   sheds directly, and enqueues everything else;
+//! * one **service thread** owns the [`AllocationService`] and the
+//!   [`CommitLog`] and executes queued requests strictly in arrival
+//!   order.
+//!
+//! # Determinism contract
+//!
+//! Concurrency never changes what a committed state *is* — only which
+//! requests commit. Every committed mutation (and nothing else) is
+//! appended to the commit log by [`AllocationService::execute_logged`];
+//! shed, expired, malformed and rejected requests never reach it.
+//! Because session ids are assigned in commit order on both sides,
+//! replaying the log through a fresh sequential service
+//! ([`sdfrs_core::service::replay_commit_log`]) reproduces the live
+//! server's residual [`PlatformState`](sdfrs_platform::PlatformState)
+//! byte-for-byte — conform oracle 8 pins this over a real loopback
+//! socket.
+//!
+//! # Typed failure responses
+//!
+//! | condition | response |
+//! |---|---|
+//! | queue at watermark | `{"id":K,"ok":false,"kind":"overloaded","queue_depth":D}` |
+//! | waited past deadline | `{"id":K,"ok":false,"kind":"deadline"}` |
+//! | slow-loris partial line | `{"id":K,"ok":false,"kind":"deadline","detail":"..."}`, then close |
+//! | malformed line | `{"id":K,"ok":false,"kind":"parse",...}` (connection stays open) |
+//! | oversize / non-UTF-8 frame | `kind":"parse"` response, then close |
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use sdfrs_core::metrics::{Histogram, HistogramSnapshot, Metrics};
+use sdfrs_core::service::{parse_request_line, AllocationService, CommitLog, ServiceRequest};
+
+use crate::wire::{FrameBuffer, FrameError, DEFAULT_MAX_LINE_BYTES};
+
+/// Queue-depth-at-enqueue histogram bounds (requests already waiting
+/// when one more arrives).
+pub const QUEUE_DEPTH_BOUNDS: &[u64] = &[0, 1, 2, 4, 8, 16, 32, 64, 128, 256];
+
+/// How often blocked reads and queue waits wake up to poll the
+/// shutdown flag and the slow-loris deadline.
+const POLL_INTERVAL: Duration = Duration::from_millis(20);
+
+/// Tunables of one [`NetServer`].
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Per-request deadline, measured from frame arrival: requests
+    /// still queued past it are answered `"kind":"deadline"` without
+    /// touching the service, and a connection that leaves a request
+    /// line unfinished this long is expired and closed.
+    pub deadline: Duration,
+    /// Backpressure watermark: a request arriving while this many are
+    /// already queued is shed with `"kind":"overloaded"` instead of
+    /// enqueued. `0` sheds everything (useful in tests).
+    pub queue_watermark: usize,
+    /// Per-line byte ceiling (see [`FrameBuffer`]).
+    pub max_line_bytes: usize,
+    /// A collecting [`Metrics`] handle to share with the service (so a
+    /// caller's exporter sees the `net_*` instruments too). `None` — or
+    /// a null handle — makes the server create its own.
+    pub metrics: Option<Metrics>,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            deadline: Duration::from_secs(10),
+            queue_watermark: 256,
+            max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+            metrics: None,
+        }
+    }
+}
+
+/// The write half of one connection, shared between its reader (parse
+/// and shed responses) and the service thread (execution responses).
+struct ConnWriter {
+    stream: Mutex<Option<TcpStream>>,
+}
+
+impl ConnWriter {
+    fn new(stream: TcpStream) -> Self {
+        ConnWriter {
+            stream: Mutex::new(Some(stream)),
+        }
+    }
+
+    /// Writes one response line; a failed or already-closed peer is
+    /// ignored — a client that disconnected before its response simply
+    /// never learns the outcome (any committed mutation stands and is
+    /// in the commit log).
+    fn write_line(&self, line: &str) {
+        let mut guard = self.stream.lock().unwrap();
+        if let Some(stream) = guard.as_mut() {
+            let ok = stream
+                .write_all(line.as_bytes())
+                .and_then(|()| stream.write_all(b"\n"))
+                .is_ok();
+            if !ok {
+                *guard = None;
+            }
+        }
+    }
+}
+
+/// One parsed request waiting for the service thread.
+struct Job {
+    conn: Arc<ConnWriter>,
+    id: u64,
+    request: ServiceRequest,
+    arrival: Instant,
+}
+
+/// State shared by every thread of one server.
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    /// Stops the acceptor and the readers (drain begins).
+    shutdown: AtomicBool,
+    /// Set once every reader has exited; the service thread drains the
+    /// queue and stops only after this (in-flight requests flush).
+    readers_done: AtomicBool,
+    metrics: Metrics,
+    options: ServerOptions,
+    live_connections: AtomicU64,
+    queue_depth: Histogram,
+}
+
+impl Shared {
+    fn connection_opened(&self) {
+        let live = self.live_connections.fetch_add(1, Ordering::Relaxed) + 1;
+        self.metrics.record(|m| {
+            m.net_connections_opened.inc();
+            m.net_connections_live.set(live);
+        });
+    }
+
+    fn connection_closed(&self) {
+        let live = self.live_connections.fetch_sub(1, Ordering::Relaxed) - 1;
+        self.metrics.record(|m| {
+            m.net_connections_closed.inc();
+            m.net_connections_live.set(live);
+        });
+    }
+}
+
+/// Final counters of one server run, harvested at
+/// [`NetServer::shutdown`].
+#[derive(Debug, Clone)]
+pub struct NetStats {
+    /// Connections accepted.
+    pub connections_opened: u64,
+    /// Connections closed (every accepted connection closes by drain).
+    pub connections_closed: u64,
+    /// Request lines received (including malformed and shed ones).
+    pub requests_received: u64,
+    /// Requests shed with `"kind":"overloaded"`.
+    pub requests_shed: u64,
+    /// Requests answered `"kind":"deadline"` (queued past the deadline
+    /// or slow-loris expiry).
+    pub deadlines_expired: u64,
+    /// Lines answered with a typed parse error.
+    pub parse_errors: u64,
+    /// Committed mutations appended to the commit log.
+    pub commits_logged: u64,
+    /// Wall-clock request latency in microseconds (arrival → response
+    /// write). Load-dependent, never compared for determinism.
+    pub latency_us: HistogramSnapshot,
+    /// Queue depth observed at each enqueue.
+    pub queue_depth: HistogramSnapshot,
+}
+
+impl NetStats {
+    /// Estimated latency percentile (`0.0..=1.0`) from the histogram:
+    /// the upper bound of the bucket containing the quantile (the
+    /// overflow bucket reports the last bound).
+    pub fn latency_percentile_us(&self, q: f64) -> u64 {
+        histogram_percentile(&self.latency_us, q)
+    }
+
+    /// One machine-readable final stats line, printed by the CLI when
+    /// a `serve --listen` run drains.
+    pub fn to_json_line(&self) -> String {
+        format!(
+            "{{\"stats\":\"net\",\"connections\":{},\"requests\":{},\"shed\":{},\"deadlines\":{},\"parse_errors\":{},\"commits\":{},\"p50_us\":{},\"p99_us\":{}}}",
+            self.connections_opened,
+            self.requests_received,
+            self.requests_shed,
+            self.deadlines_expired,
+            self.parse_errors,
+            self.commits_logged,
+            self.latency_percentile_us(0.50),
+            self.latency_percentile_us(0.99),
+        )
+    }
+}
+
+/// Upper-bound percentile estimate over a bucketed histogram.
+pub fn histogram_percentile(snapshot: &HistogramSnapshot, q: f64) -> u64 {
+    if snapshot.count == 0 {
+        return 0;
+    }
+    let rank = (q.clamp(0.0, 1.0) * snapshot.count as f64).ceil() as u64;
+    let mut seen = 0u64;
+    for (i, &count) in snapshot.counts.iter().enumerate() {
+        seen += count;
+        if seen >= rank.max(1) {
+            return snapshot
+                .bounds
+                .get(i)
+                .copied()
+                .unwrap_or_else(|| snapshot.bounds.last().copied().unwrap_or(0));
+        }
+    }
+    snapshot.bounds.last().copied().unwrap_or(0)
+}
+
+/// Everything a drained server hands back: the service (with its live
+/// sessions and residual state), the commit log, and the counters.
+#[derive(Debug)]
+pub struct ServerReport {
+    /// The service as it stood when the drain finished.
+    pub service: AllocationService,
+    /// Every committed mutation, commit order.
+    pub commit_log: CommitLog,
+    /// Final counters and latency/queue histograms.
+    pub stats: NetStats,
+}
+
+impl ServerReport {
+    /// The residual-state digest — compare against a
+    /// [`replay_commit_log`](sdfrs_core::service::replay_commit_log)
+    /// of [`Self::commit_log`] to witness replay equality.
+    pub fn residual_digest(&self) -> String {
+        self.service.residual_digest()
+    }
+}
+
+/// A running network front-end. Dropping the handle leaks the threads;
+/// call [`NetServer::shutdown`] for a graceful drain.
+pub struct NetServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_handle: JoinHandle<Vec<JoinHandle<()>>>,
+    service_handle: JoinHandle<(AllocationService, CommitLog)>,
+}
+
+impl std::fmt::Debug for NetServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetServer")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl NetServer {
+    /// Binds `addr` (use `127.0.0.1:0` for an ephemeral test port) and
+    /// spawns the acceptor and service threads.
+    ///
+    /// The server attaches its own collecting [`Metrics`] handle to
+    /// `service` so net counters and service counters share one
+    /// registry (readable live via [`NetServer::metrics`]); `log`
+    /// usually [`CommitLog::new`], or
+    /// [`CommitLog::with_writer`] to stream records to disk as they
+    /// commit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener bind/configuration failures.
+    pub fn spawn(
+        service: AllocationService,
+        log: CommitLog,
+        options: ServerOptions,
+        addr: impl ToSocketAddrs,
+    ) -> std::io::Result<NetServer> {
+        let metrics = match &options.metrics {
+            Some(handle) if handle.enabled() => handle.clone(),
+            _ => Metrics::collecting(),
+        };
+        let service = service.with_metrics(metrics.clone());
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            readers_done: AtomicBool::new(false),
+            metrics,
+            options,
+            live_connections: AtomicU64::new(0),
+            queue_depth: Histogram::new(QUEUE_DEPTH_BOUNDS),
+        });
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_handle = std::thread::spawn(move || accept_loop(listener, accept_shared));
+        let service_shared = Arc::clone(&shared);
+        let service_handle = std::thread::spawn(move || service_loop(service, log, service_shared));
+
+        Ok(NetServer {
+            addr,
+            shared,
+            accept_handle,
+            service_handle,
+        })
+    }
+
+    /// The bound address (resolves the ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared metrics handle (service counters + `net_*`
+    /// instruments), readable while the server runs.
+    pub fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// Graceful drain: stop accepting, let readers finish their
+    /// buffered frames, flush every queued request through the
+    /// service, and return the final [`ServerReport`].
+    pub fn shutdown(self) -> ServerReport {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        let readers = self.accept_handle.join().expect("acceptor panicked");
+        for reader in readers {
+            let _ = reader.join();
+        }
+        // Readers are gone: nothing enqueues any more, so the service
+        // thread may stop once the queue is empty.
+        self.shared.readers_done.store(true, Ordering::SeqCst);
+        self.shared.available.notify_all();
+        let (service, commit_log) = self.service_handle.join().expect("service panicked");
+        let stats = harvest_stats(&self.shared);
+        ServerReport {
+            service,
+            commit_log,
+            stats,
+        }
+    }
+}
+
+fn harvest_stats(shared: &Shared) -> NetStats {
+    let snapshot = shared
+        .metrics
+        .snapshot()
+        .expect("server metrics are always collecting");
+    let counter = |name: &str| {
+        snapshot
+            .counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    };
+    let latency_us = snapshot
+        .histograms
+        .iter()
+        .find(|h| h.name == "net_request_latency_us")
+        .cloned()
+        .expect("net latency histogram is registered");
+    NetStats {
+        connections_opened: counter("net_connections_opened"),
+        connections_closed: counter("net_connections_closed"),
+        requests_received: counter("net_requests_received"),
+        requests_shed: counter("net_requests_shed"),
+        deadlines_expired: counter("net_deadlines_expired"),
+        parse_errors: counter("net_parse_errors"),
+        commits_logged: counter("net_commits_logged"),
+        latency_us,
+        queue_depth: shared
+            .queue_depth
+            .snapshot("net_queue_depth", "Queue depth observed at each enqueue."),
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) -> Vec<JoinHandle<()>> {
+    let mut readers = Vec::new();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let conn_shared = Arc::clone(&shared);
+                readers.push(std::thread::spawn(move || {
+                    conn_shared.connection_opened();
+                    read_connection(stream, &conn_shared);
+                    conn_shared.connection_closed();
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => break,
+        }
+    }
+    readers
+}
+
+fn read_connection(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let writer = match stream.try_clone() {
+        Ok(clone) => Arc::new(ConnWriter::new(clone)),
+        Err(_) => return,
+    };
+    let mut frames = FrameBuffer::new(shared.options.max_line_bytes);
+    let mut read_buf = [0u8; 4096];
+    let mut next_id: u64 = 0;
+    let mut partial_since: Option<Instant> = None;
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match stream.read(&mut read_buf) {
+            Ok(0) => return, // clean disconnect (possibly mid-line)
+            Ok(n) => {
+                frames.push_bytes(&read_buf[..n]);
+                loop {
+                    match frames.next_line() {
+                        Ok(Some(line)) => {
+                            partial_since = None;
+                            next_id += 1;
+                            handle_line(&line, next_id, &writer, shared);
+                        }
+                        Ok(None) => {
+                            partial_since = if frames.has_partial() {
+                                partial_since.or_else(|| Some(Instant::now()))
+                            } else {
+                                None
+                            };
+                            break;
+                        }
+                        Err(frame_error) => {
+                            next_id += 1;
+                            shared.metrics.record(|m| {
+                                m.net_requests_received.inc();
+                                m.net_parse_errors.inc();
+                            });
+                            writer.write_line(&format!(
+                                "{{\"id\":{next_id},\"ok\":false,\"kind\":\"parse\",\"detail\":\"{frame_error}\"}}"
+                            ));
+                            match frame_error {
+                                // Oversize leaves the stream
+                                // unsynchronizable; a non-UTF-8 line
+                                // consumed only itself but the peer is
+                                // clearly not speaking the protocol.
+                                FrameError::Oversize { .. } | FrameError::Utf8 => return,
+                            }
+                        }
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if let Some(since) = partial_since {
+                    if since.elapsed() > shared.options.deadline {
+                        // Slow loris: a line has been incomplete for a
+                        // whole deadline. Expire it and drop the peer.
+                        next_id += 1;
+                        shared.metrics.record(|m| m.net_deadlines_expired.inc());
+                        writer.write_line(&format!(
+                            "{{\"id\":{next_id},\"ok\":false,\"kind\":\"deadline\",\"detail\":\"request line not completed within deadline\"}}"
+                        ));
+                        return;
+                    }
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn handle_line(line: &str, id: u64, writer: &Arc<ConnWriter>, shared: &Shared) {
+    shared.metrics.record(|m| m.net_requests_received.inc());
+    if line.trim().is_empty() {
+        return; // blank keep-alive lines are free
+    }
+    let request = match parse_request_line(line) {
+        Ok(request) => request,
+        Err(error) => {
+            shared.metrics.record(|m| m.net_parse_errors.inc());
+            writer.write_line(&error.to_json_line(id));
+            return;
+        }
+    };
+    let mut queue = shared.queue.lock().unwrap();
+    let depth = queue.len();
+    if depth >= shared.options.queue_watermark {
+        drop(queue);
+        shared.metrics.record(|m| m.net_requests_shed.inc());
+        writer.write_line(&format!(
+            "{{\"id\":{id},\"ok\":false,\"kind\":\"overloaded\",\"queue_depth\":{depth}}}"
+        ));
+        return;
+    }
+    shared.queue_depth.observe(depth as u64);
+    queue.push_back(Job {
+        conn: Arc::clone(writer),
+        id,
+        request,
+        arrival: Instant::now(),
+    });
+    drop(queue);
+    shared.available.notify_one();
+}
+
+fn service_loop(
+    mut service: AllocationService,
+    mut log: CommitLog,
+    shared: Arc<Shared>,
+) -> (AllocationService, CommitLog) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break Some(job);
+                }
+                if shared.readers_done.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (guard, _) = shared.available.wait_timeout(queue, POLL_INTERVAL).unwrap();
+                queue = guard;
+            }
+        };
+        let Some(job) = job else {
+            return (service, log);
+        };
+        if job.arrival.elapsed() > shared.options.deadline {
+            shared.metrics.record(|m| m.net_deadlines_expired.inc());
+            job.conn.write_line(&format!(
+                "{{\"id\":{},\"ok\":false,\"kind\":\"deadline\"}}",
+                job.id
+            ));
+            continue;
+        }
+        let response = service.execute_logged(job.request, &mut log);
+        let line = response.to_json_line(job.id);
+        let latency_us = job.arrival.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        shared
+            .metrics
+            .record(|m| m.net_request_latency_us.observe(latency_us));
+        job.conn.write_line(&line);
+    }
+}

@@ -1,0 +1,245 @@
+//! Newline-delimited JSON framing for the network front-end.
+//!
+//! The wire protocol is deliberately minimal: every request and every
+//! response is one JSON object on one line, terminated by `\n`. All
+//! structured content (embedded application text, error details) is
+//! JSON-escaped, so a frame never contains a literal newline — the
+//! framing layer only has to find `\n` boundaries and enforce a
+//! maximum line length against slow-loris and memory-exhaustion
+//! clients.
+
+use std::collections::VecDeque;
+
+/// Default per-line byte ceiling (1 MiB) — generous for admits that
+/// embed a full application as escaped text, small enough that a
+/// misbehaving client cannot balloon server memory.
+pub const DEFAULT_MAX_LINE_BYTES: usize = 1 << 20;
+
+/// Why a frame could not be decoded into a line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// A line exceeded the configured byte ceiling (counted without
+    /// the terminating newline). The connection should be dropped:
+    /// the rest of the oversize line cannot be resynchronized.
+    Oversize {
+        /// The configured ceiling that was exceeded.
+        limit: usize,
+    },
+    /// A complete line was not valid UTF-8. The offending line is
+    /// consumed; the stream itself remains framed.
+    Utf8,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Oversize { limit } => {
+                write!(f, "request line exceeds {limit} bytes")
+            }
+            FrameError::Utf8 => write!(f, "request line is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// An incremental line reassembler: push raw socket bytes in whatever
+/// chunks the transport delivers, pull complete lines out.
+///
+/// Bytes may be split at *any* boundary — mid-escape, mid-UTF-8
+/// sequence, mid-number — and reassembly is byte-exact (pinned by the
+/// wire proptests).
+#[derive(Debug)]
+pub struct FrameBuffer {
+    buf: VecDeque<u8>,
+    max_line: usize,
+}
+
+impl Default for FrameBuffer {
+    fn default() -> Self {
+        FrameBuffer::new(DEFAULT_MAX_LINE_BYTES)
+    }
+}
+
+impl FrameBuffer {
+    /// An empty buffer enforcing `max_line` bytes per line (clamped to
+    /// at least 1).
+    pub fn new(max_line: usize) -> Self {
+        FrameBuffer {
+            buf: VecDeque::new(),
+            max_line: max_line.max(1),
+        }
+    }
+
+    /// Appends raw bytes from the transport.
+    pub fn push_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend(bytes.iter().copied());
+    }
+
+    /// `true` when an unterminated partial line is buffered — the
+    /// signal the server's slow-loris deadline watches.
+    pub fn has_partial(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Bytes currently buffered (complete or partial).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pops the next complete line, without its `\n` (a preceding `\r`
+    /// is stripped too, so `\r\n` clients work).
+    ///
+    /// Returns `Ok(None)` when no complete line is buffered yet.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Oversize`] when the buffered (partial or
+    /// complete) line exceeds the ceiling — the buffer is left
+    /// unusable by design and the connection should be dropped.
+    /// [`FrameError::Utf8`] when a complete line is not UTF-8; that
+    /// line is consumed and later lines remain readable.
+    pub fn next_line(&mut self) -> Result<Option<String>, FrameError> {
+        match self.buf.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if pos > self.max_line {
+                    return Err(FrameError::Oversize {
+                        limit: self.max_line,
+                    });
+                }
+                let mut line: Vec<u8> = self.buf.drain(..=pos).collect();
+                line.pop(); // the newline
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                match String::from_utf8(line) {
+                    Ok(s) => Ok(Some(s)),
+                    Err(_) => Err(FrameError::Utf8),
+                }
+            }
+            None => {
+                if self.buf.len() > self.max_line {
+                    return Err(FrameError::Oversize {
+                        limit: self.max_line,
+                    });
+                }
+                Ok(None)
+            }
+        }
+    }
+}
+
+/// Finds the raw JSON value following `"key":` at the top level of one
+/// of our own generated lines and returns the remainder of the line
+/// starting at the value.
+///
+/// This is safe on lines produced by the crate's serializers (never on
+/// untrusted input): inside a JSON string every `"` is escaped as
+/// `\"`, so the byte sequence `"key":` cannot occur within a string
+/// body and a plain substring search cannot mis-anchor.
+fn raw_value<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let at = line.find(&needle)?;
+    Some(&line[at + needle.len()..])
+}
+
+/// Reads the boolean `"ok"` field of a response line.
+pub fn response_ok(line: &str) -> Option<bool> {
+    let rest = raw_value(line, "ok")?;
+    if rest.starts_with("true") {
+        Some(true)
+    } else if rest.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+/// Reads a string field (`"kind"`, `"op"`, …) of a response line.
+/// Returns the raw (still-escaped) string body; the fields this is
+/// used for (`kind`, `op`) never contain escapes.
+pub fn response_str(line: &str, key: &str) -> Option<String> {
+    let rest = raw_value(line, key)?;
+    let rest = rest.strip_prefix('"')?;
+    let mut out = String::new();
+    let mut escaped = false;
+    for c in rest.chars() {
+        if escaped {
+            out.push(c);
+            escaped = false;
+        } else if c == '\\' {
+            out.push(c);
+            escaped = true;
+        } else if c == '"' {
+            return Some(out);
+        } else {
+            out.push(c);
+        }
+    }
+    None
+}
+
+/// Reads an unsigned numeric field (`"id"`, `"session"`, …) of a
+/// response line.
+pub fn response_u64(line: &str, key: &str) -> Option<u64> {
+    let rest = raw_value(line, key)?;
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    if digits.is_empty() {
+        None
+    } else {
+        digits.parse().ok()
+    }
+}
+
+/// The typed failure kind of a response line (`"overloaded"`,
+/// `"deadline"`, `"parse"`), `None` for ordinary service responses.
+pub fn response_kind(line: &str) -> Option<String> {
+    response_str(line, "kind")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reassembles_across_arbitrary_splits() {
+        let text = b"{\"id\":1}\n{\"id\":2,\"s\":\"a\\nb\"}\n";
+        let mut fb = FrameBuffer::default();
+        for chunk in text.chunks(3) {
+            fb.push_bytes(chunk);
+        }
+        assert_eq!(fb.next_line().unwrap().as_deref(), Some("{\"id\":1}"));
+        assert_eq!(
+            fb.next_line().unwrap().as_deref(),
+            Some("{\"id\":2,\"s\":\"a\\nb\"}")
+        );
+        assert_eq!(fb.next_line().unwrap(), None);
+        assert!(!fb.has_partial());
+    }
+
+    #[test]
+    fn oversize_partial_is_rejected() {
+        let mut fb = FrameBuffer::new(8);
+        fb.push_bytes(&[b'x'; 9]);
+        assert_eq!(fb.next_line(), Err(FrameError::Oversize { limit: 8 }));
+    }
+
+    #[test]
+    fn invalid_utf8_consumes_only_the_bad_line() {
+        let mut fb = FrameBuffer::default();
+        fb.push_bytes(&[0xFF, 0xFE, b'\n', b'o', b'k', b'\n']);
+        assert_eq!(fb.next_line(), Err(FrameError::Utf8));
+        assert_eq!(fb.next_line().unwrap().as_deref(), Some("ok"));
+    }
+
+    #[test]
+    fn field_helpers_read_generated_lines() {
+        let line =
+            "{\"id\":7,\"op\":\"admit\",\"ok\":true,\"session\":3,\"app\":\"x \\\"ok\\\":y\"}";
+        assert_eq!(response_ok(line), Some(true));
+        assert_eq!(response_u64(line, "id"), Some(7));
+        assert_eq!(response_u64(line, "session"), Some(3));
+        assert_eq!(response_str(line, "op").as_deref(), Some("admit"));
+        assert_eq!(response_kind(line), None);
+    }
+}

@@ -174,6 +174,27 @@ impl PlatformState {
             .collect()
     }
 
+    /// A deterministic one-line digest of the full per-tile usage
+    /// vector — `t<i>:wheel/memory/connections/bw_in/bw_out` joined by
+    /// `;`. Two states are byte-equal iff their digests are: this is the
+    /// equality witness the networked admission service and its offline
+    /// commit-log replay compare across process boundaries.
+    pub fn digest(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(self.usage.len() * 16);
+        for (i, u) in self.usage.iter().enumerate() {
+            if i > 0 {
+                out.push(';');
+            }
+            let _ = write!(
+                out,
+                "t{i}:{}/{}/{}/{}/{}",
+                u.wheel, u.memory, u.connections, u.bandwidth_in, u.bandwidth_out
+            );
+        }
+        out
+    }
+
     /// Total usage summed over all tiles (for resource-efficiency
     /// reporting, Table 5).
     pub fn total_usage(&self) -> TileUsage {

@@ -217,3 +217,58 @@ fn tile_ids_in_errors_are_stable_across_display() {
     let e = MapError::ConstraintUnsatisfiable;
     assert!(e.to_string().contains("constraint"), "{}", e.to_string());
 }
+
+#[test]
+fn request_parse_errors_report_line_and_field() {
+    use sdfrs_core::service::{parse_request_line, RequestParseError};
+
+    // Every ingress path — `serve --input`, the network front-end and
+    // commit-log replay — shares one error type; these strings are the
+    // contract the CLI e2e test and the net fault tests match against.
+    let err = parse_request_line("{\"nope\":1}").unwrap_err();
+    assert_eq!(err.to_string(), "field \"op\": missing field");
+
+    let err = parse_request_line("{\"op\":\"evict\"}").unwrap_err();
+    assert_eq!(
+        err.at_line(2).to_string(),
+        "request line 2: field \"op\": unknown op \"evict\" (admit|depart|rebind|status)"
+    );
+
+    let err = parse_request_line("{\"op\":\"depart\"}").unwrap_err();
+    assert_eq!(
+        err.to_string(),
+        "field \"session\": needs an unsigned \"session\""
+    );
+
+    let err = parse_request_line("{\"op\":\"admit\"}").unwrap_err();
+    assert_eq!(
+        err.to_string(),
+        "field \"app\": admit needs \"app\", \"example\" or \"app_file\""
+    );
+
+    let err = parse_request_line("{\"op\":\"admit\",\"example\":\"mpeg7\"}").unwrap_err();
+    assert_eq!(
+        err.to_string(),
+        "field \"example\": unknown example \"mpeg7\""
+    );
+
+    // The typed network rendering carries the same field and detail.
+    let err = parse_request_line("{\"op\":\"evict\"}").unwrap_err();
+    assert_eq!(
+        err.to_json_line(7),
+        "{\"id\":7,\"ok\":false,\"kind\":\"parse\",\"field\":\"op\",\
+         \"detail\":\"unknown op \\\"evict\\\" (admit|depart|rebind|status)\"}"
+    );
+
+    // Frame-level errors have no field; the line number still prefixes.
+    let framing = RequestParseError::malformed("request line is not valid UTF-8").at_line(9);
+    assert_eq!(
+        framing.to_string(),
+        "request line 9: request line is not valid UTF-8"
+    );
+    assert_eq!(
+        framing.to_json_line(1),
+        "{\"id\":1,\"ok\":false,\"kind\":\"parse\",\
+         \"detail\":\"request line is not valid UTF-8\"}"
+    );
+}

@@ -1,0 +1,124 @@
+//! Property tests for the wire layer, in the repo's in-tree style:
+//! seeded deterministic case loops over [`SmallRng`] (the build
+//! environment has no proptest crate).
+//!
+//! The pinned properties:
+//!
+//! * request → `to_json_line` → `parse_request_line` is the identity
+//!   (structural equality, including the embedded application);
+//! * any JSONL stream, split at arbitrary byte boundaries, reassembles
+//!   byte-exactly through [`FrameBuffer`];
+//! * the response field helpers agree with the serializers.
+
+use sdfrs_appmodel::apps;
+use sdfrs_core::ids::SessionId;
+use sdfrs_core::service::{parse_request_line, AllocationService, ServiceRequest};
+use sdfrs_fastutil::rng::SmallRng;
+use sdfrs_net::wire::{response_ok, response_str, response_u64, FrameBuffer};
+
+const CASES: usize = 64;
+const EXAMPLES: &[&str] = &["paper", "h263", "mp3", "cd2dat", "satellite"];
+
+fn random_request(rng: &mut SmallRng) -> ServiceRequest {
+    match rng.below(4) {
+        0 => {
+            let name = EXAMPLES[rng.below(EXAMPLES.len() as u64) as usize];
+            let app = apps::bundled(name).expect("bundled example");
+            ServiceRequest::Admit { app: Box::new(app) }
+        }
+        1 => ServiceRequest::Depart {
+            session: SessionId::from_raw(rng.below(1 << 40)),
+        },
+        2 => ServiceRequest::Rebind {
+            session: SessionId::from_raw(rng.below(1 << 40)),
+        },
+        _ => ServiceRequest::Status,
+    }
+}
+
+/// Serialize → parse is the identity for every request shape,
+/// including admits that embed a full application as escaped text.
+#[test]
+fn request_lines_round_trip() {
+    let mut rng = SmallRng::seed_from_u64(0x5DF5_0001);
+    for case in 0..CASES {
+        let request = random_request(&mut rng);
+        let seq = rng.below(1 << 32);
+        let line = request.to_json_line(seq);
+        let parsed =
+            parse_request_line(&line).unwrap_or_else(|e| panic!("case {case}: {e}\nline: {line}"));
+        assert_eq!(parsed, request, "case {case} round-trip mismatch");
+        assert_eq!(response_u64(&line, "seq"), Some(seq), "case {case} seq");
+    }
+}
+
+/// A whole JSONL stream — realistic request and response lines mixed —
+/// reassembles byte-exactly through `FrameBuffer` no matter how the
+/// transport splits it.
+#[test]
+fn framing_survives_arbitrary_split_boundaries() {
+    let mut rng = SmallRng::seed_from_u64(0x5DF5_0002);
+
+    // Realistic traffic: request lines plus the responses of a real
+    // service run (covers admits, rejects, departs, failures, status).
+    let mut service = AllocationService::new(&apps::example_platform());
+    let mut lines: Vec<String> = Vec::new();
+    for i in 0..12 {
+        let request = random_request(&mut rng);
+        lines.push(request.to_json_line(i));
+        lines.push(service.execute_request(request).to_json_line(i));
+    }
+
+    for case in 0..CASES {
+        let stream: String = lines.iter().map(|l| format!("{l}\n")).collect();
+        let bytes = stream.as_bytes();
+        let mut buffer = FrameBuffer::default();
+        let mut reassembled = Vec::new();
+        let mut at = 0;
+        while at < bytes.len() {
+            let chunk = (rng.below(17) + 1) as usize;
+            let end = (at + chunk).min(bytes.len());
+            buffer.push_bytes(&bytes[at..end]);
+            at = end;
+            while let Some(line) = buffer.next_line().expect("clean frames") {
+                reassembled.push(line);
+            }
+        }
+        assert_eq!(reassembled, lines, "case {case} reassembly mismatch");
+        assert!(!buffer.has_partial(), "case {case} trailing bytes");
+    }
+}
+
+/// The field helpers read back exactly what the serializers wrote,
+/// even with hostile content (quotes, newlines, backslashes) embedded
+/// in string fields.
+#[test]
+fn field_helpers_agree_with_serializers() {
+    let mut rng = SmallRng::seed_from_u64(0x5DF5_0003);
+    for case in 0..CASES {
+        let request = random_request(&mut rng);
+        let seq = rng.below(1 << 20);
+        let line = request.to_json_line(seq);
+        assert_eq!(
+            response_str(&line, "op").as_deref(),
+            Some(request.op()),
+            "case {case} op"
+        );
+        match &request {
+            ServiceRequest::Depart { session } | ServiceRequest::Rebind { session } => {
+                assert_eq!(
+                    response_u64(&line, "session"),
+                    Some(session.raw()),
+                    "case {case} session"
+                );
+            }
+            _ => {}
+        }
+        // Typed error lines parse with the same helpers.
+        let error = sdfrs_core::service::RequestParseError::field("op", "unknown op \"x\"")
+            .to_json_line(seq);
+        assert_eq!(response_ok(&error), Some(false), "case {case}");
+        assert_eq!(response_u64(&error, "id"), Some(seq), "case {case}");
+        assert_eq!(response_str(&error, "kind").as_deref(), Some("parse"));
+    }
+}

@@ -1,0 +1,331 @@
+//! Concurrency tests for the networked allocation service: many real
+//! TCP clients against one server, with the commit-log replay as the
+//! equality witness.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use sdfrs_appmodel::apps::example_platform;
+use sdfrs_core::service::{
+    replay_commit_log, AllocationService, CommitLog, ServiceConfig, ServiceRequest,
+};
+use sdfrs_net::server::{NetServer, ServerOptions};
+use sdfrs_net::wire::{response_kind, response_ok, response_str, response_u64, FrameBuffer};
+
+/// A test client: one connection, strict request/response lockstep.
+struct Client {
+    stream: TcpStream,
+    frames: FrameBuffer,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_millis(20)))
+            .unwrap();
+        Client {
+            stream,
+            frames: FrameBuffer::default(),
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.stream.write_all(line.as_bytes()).expect("send");
+        self.stream.write_all(b"\n").expect("send newline");
+    }
+
+    fn recv(&mut self) -> String {
+        let deadline = std::time::Instant::now() + Duration::from_secs(60);
+        let mut buf = [0u8; 4096];
+        loop {
+            if let Some(line) = self.frames.next_line().expect("well-framed response") {
+                return line;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "no response within 60s"
+            );
+            match self.stream.read(&mut buf) {
+                Ok(0) => panic!("server closed the connection unexpectedly"),
+                Ok(n) => self.frames.push_bytes(&buf[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut => {}
+                Err(e) => panic!("read error: {e}"),
+            }
+        }
+    }
+
+    fn round_trip(&mut self, line: &str) -> String {
+        self.send(line);
+        self.recv()
+    }
+}
+
+fn spawn_server(options: ServerOptions) -> NetServer {
+    let arch = example_platform();
+    NetServer::spawn(
+        AllocationService::new(&arch),
+        CommitLog::new(),
+        options,
+        "127.0.0.1:0",
+    )
+    .expect("bind loopback")
+}
+
+fn relaxed_options() -> ServerOptions {
+    ServerOptions {
+        deadline: Duration::from_secs(120),
+        queue_watermark: 4096,
+        ..ServerOptions::default()
+    }
+}
+
+/// One connection sending a fixed script gets byte-identical responses
+/// to driving the service directly — the network layer adds nothing to
+/// the payload.
+#[test]
+fn single_connection_matches_direct_service() {
+    let server = spawn_server(relaxed_options());
+    let mut client = Client::connect(server.local_addr());
+    let script = [
+        "{\"op\":\"admit\",\"example\":\"paper\"}",
+        "{\"op\":\"status\"}",
+        "{\"op\":\"rebind\",\"session\":1}",
+        "{\"op\":\"admit\",\"example\":\"paper\"}",
+        "{\"op\":\"depart\",\"session\":1}",
+        "{\"op\":\"depart\",\"session\":99}",
+        "{\"op\":\"status\"}",
+    ];
+    let over_wire: Vec<String> = script.iter().map(|l| client.round_trip(l)).collect();
+
+    let mut direct = AllocationService::new(&example_platform());
+    let mut commits = 0;
+    for (i, line) in script.iter().enumerate() {
+        let request = sdfrs_core::service::parse_request_line(line).expect("script parses");
+        let response = direct.execute_request(request);
+        if response.commits() {
+            commits += 1;
+        }
+        let expected = response.to_json_line(i as u64 + 1);
+        assert_eq!(over_wire[i], expected, "response {i} differs");
+    }
+
+    let report = server.shutdown();
+    assert!(commits >= 3, "admit, rebind and depart all commit");
+    assert_eq!(report.commit_log.len(), commits);
+    assert_eq!(report.residual_digest(), direct.residual_digest());
+    assert_eq!(report.stats.connections_opened, 1);
+    assert_eq!(report.stats.requests_received, script.len() as u64);
+    assert_eq!(report.stats.requests_shed, 0);
+}
+
+/// Eight concurrent clients interleaving admits, rebinds, departs and
+/// status probes: whatever interleaving the scheduler produced, the
+/// commit log replays to the exact residual state, and client-observed
+/// commits equal the log length.
+#[test]
+fn concurrent_clients_replay_to_identical_residual() {
+    let server = spawn_server(relaxed_options());
+    let addr = server.local_addr();
+    let clients = 8;
+    let per_client = 12;
+    let mut handles = Vec::new();
+    for _ in 0..clients {
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr);
+            let mut sessions: Vec<u64> = Vec::new();
+            let mut commits = 0u64;
+            for i in 0..per_client {
+                let line = if i % 3 == 0 || sessions.is_empty() {
+                    "{\"op\":\"admit\",\"example\":\"paper\"}".to_string()
+                } else if i % 3 == 1 {
+                    format!("{{\"op\":\"rebind\",\"session\":{}}}", sessions[0])
+                } else {
+                    format!("{{\"op\":\"depart\",\"session\":{}}}", sessions.remove(0))
+                };
+                let response = client.round_trip(&line);
+                assert_eq!(response_u64(&response, "id"), Some(i as u64 + 1));
+                assert_eq!(response_kind(&response), None, "no typed failures expected");
+                let op = response_str(&response, "op").unwrap();
+                let ok = response_ok(&response).unwrap();
+                match (op.as_str(), ok) {
+                    ("admit", true) => {
+                        commits += 1;
+                        sessions.push(response_u64(&response, "session").unwrap());
+                    }
+                    ("admit", false) => {} // platform full: rejected, no commit
+                    ("depart", true) | ("rebind", true) => commits += 1,
+                    other => panic!("unexpected response {other:?}: {response}"),
+                }
+            }
+            commits
+        }));
+    }
+    let client_commits: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+
+    let report = server.shutdown();
+    assert_eq!(
+        report.commit_log.len() as u64,
+        client_commits,
+        "every commit was observed by exactly one client"
+    );
+    let arch = example_platform();
+    let lines = report.commit_log.lines().iter().map(String::as_str);
+    let replayed = replay_commit_log(&arch, ServiceConfig::default(), lines).expect("log replays");
+    assert_eq!(
+        replayed.residual_digest(),
+        report.residual_digest(),
+        "replayed residual differs from the live server's"
+    );
+    assert_eq!(replayed.live_count(), report.service.live_count());
+    assert_eq!(report.stats.connections_opened, clients as u64);
+    assert_eq!(
+        report.stats.requests_received,
+        (clients * per_client) as u64
+    );
+}
+
+/// Sequence numbers in the commit log are dense and monotonic, and
+/// every record parses back into a request.
+#[test]
+fn commit_log_records_are_dense_and_parseable() {
+    let server = spawn_server(relaxed_options());
+    let mut client = Client::connect(server.local_addr());
+    client.round_trip("{\"op\":\"admit\",\"example\":\"paper\"}");
+    client.round_trip("{\"op\":\"rebind\",\"session\":1}");
+    client.round_trip("{\"op\":\"depart\",\"session\":1}");
+    let report = server.shutdown();
+    assert_eq!(report.commit_log.len(), 3);
+    for (seq, line) in report.commit_log.lines().iter().enumerate() {
+        assert_eq!(response_u64(line, "seq"), Some(seq as u64), "dense seq");
+        let request = sdfrs_core::service::parse_request_line(line).expect("record parses");
+        let expected = match seq {
+            0 => "admit",
+            1 => "rebind",
+            _ => "depart",
+        };
+        assert_eq!(request.op(), expected);
+        if seq == 0 {
+            assert!(matches!(request, ServiceRequest::Admit { .. }));
+        }
+    }
+}
+
+/// With a zero watermark every request is shed with a typed
+/// `overloaded` response; none of them reaches the service or the
+/// commit log, and the residual state stays untouched.
+#[test]
+fn backpressure_sheds_typed_overloaded_and_never_commits() {
+    let options = ServerOptions {
+        queue_watermark: 0,
+        ..relaxed_options()
+    };
+    let server = spawn_server(options);
+    let addr = server.local_addr();
+    let clients = 8;
+    let per_client = 6;
+    let mut handles = Vec::new();
+    for _ in 0..clients {
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr);
+            for i in 0..per_client {
+                let response = client.round_trip("{\"op\":\"admit\",\"example\":\"paper\"}");
+                assert_eq!(response_kind(&response).as_deref(), Some("overloaded"));
+                assert_eq!(response_ok(&response), Some(false));
+                assert_eq!(response_u64(&response, "id"), Some(i as u64 + 1));
+                assert_eq!(response_u64(&response, "queue_depth"), Some(0));
+            }
+        }));
+    }
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    let report = server.shutdown();
+    assert_eq!(report.stats.requests_shed, (clients * per_client) as u64);
+    assert!(report.commit_log.is_empty(), "shed requests never commit");
+    assert_eq!(report.service.live_count(), 0);
+    assert_eq!(
+        report.residual_digest(),
+        AllocationService::new(&example_platform()).residual_digest(),
+        "residual untouched by shed traffic"
+    );
+}
+
+/// An open-loop burst against a tiny watermark: some requests shed,
+/// some commit, and the accounting invariant holds regardless of the
+/// interleaving — client-observed commits equal the commit-log length,
+/// and shed + answered covers everything.
+#[test]
+fn burst_past_watermark_keeps_accounting_exact() {
+    let options = ServerOptions {
+        queue_watermark: 2,
+        ..relaxed_options()
+    };
+    let server = spawn_server(options);
+    let addr = server.local_addr();
+    let clients = 8;
+    let per_client = 8;
+    let mut handles = Vec::new();
+    for _ in 0..clients {
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr);
+            // Open loop: blast every request, then collect responses.
+            for _ in 0..per_client {
+                client.send("{\"op\":\"admit\",\"example\":\"paper\"}");
+            }
+            let mut commits = 0u64;
+            let mut shed = 0u64;
+            for _ in 0..per_client {
+                let response = client.recv();
+                match response_kind(&response).as_deref() {
+                    Some("overloaded") => shed += 1,
+                    Some(other) => panic!("unexpected kind {other:?}"),
+                    None => {
+                        if response_ok(&response) == Some(true) {
+                            commits += 1;
+                        }
+                    }
+                }
+            }
+            (commits, shed)
+        }));
+    }
+    let mut commits = 0u64;
+    let mut shed = 0u64;
+    for handle in handles {
+        let (c, s) = handle.join().unwrap();
+        commits += c;
+        shed += s;
+    }
+    let report = server.shutdown();
+    assert_eq!(report.commit_log.len() as u64, commits);
+    assert_eq!(report.stats.requests_shed, shed);
+    assert_eq!(
+        report.stats.requests_received,
+        (clients * per_client) as u64
+    );
+    let arch = example_platform();
+    let lines = report.commit_log.lines().iter().map(String::as_str);
+    let replayed = replay_commit_log(&arch, ServiceConfig::default(), lines).expect("log replays");
+    assert_eq!(replayed.residual_digest(), report.residual_digest());
+}
+
+/// The drain is graceful: requests already queued when shutdown starts
+/// are still executed and answered.
+#[test]
+fn shutdown_flushes_in_flight_requests() {
+    let server = spawn_server(relaxed_options());
+    let mut client = Client::connect(server.local_addr());
+    client.round_trip("{\"op\":\"admit\",\"example\":\"paper\"}");
+    let report = server.shutdown();
+    assert_eq!(report.stats.connections_opened, 1);
+    assert_eq!(report.stats.connections_closed, 1);
+    assert_eq!(report.service.live_count(), 1);
+    let stats_line = report.stats.to_json_line();
+    assert!(stats_line.contains("\"stats\":\"net\""));
+    assert!(stats_line.contains("\"commits\":1"));
+}
