@@ -144,6 +144,31 @@ fn bench_observer_overhead(c: &mut Criterion) {
             out
         })
     });
+
+    // Request tracing off: no event tap installed — the per-site cost
+    // is one `tap.is_some()` branch, so this must stay within ~1% of
+    // `flow_null_sink`.
+    group.bench_function("flow_trace_off", |b| {
+        b.iter(|| {
+            let mut allocator = Allocator::new();
+            allocator.set_event_tap(None);
+            allocator.allocate(&app, &arch, &state).unwrap()
+        })
+    });
+
+    // Request tracing on: a tap records every event into the span tree
+    // buffer regardless of the primary sink — the per-request price of
+    // a flight-recorder entry.
+    group.bench_function("flow_trace_on", |b| {
+        b.iter(|| {
+            let tap = RecordingSink::new();
+            let mut allocator = Allocator::new();
+            allocator.set_event_tap(Some(tap.clone()));
+            let out = allocator.allocate(&app, &arch, &state).unwrap();
+            black_box(tap.len());
+            out
+        })
+    });
     group.finish();
 }
 

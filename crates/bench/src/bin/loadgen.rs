@@ -22,19 +22,38 @@
 //!   diff is the CI job's responsibility.
 //!
 //! The report (default `BENCH_service.json`) records, per phase:
-//! p50/p99/mean latency in microseconds, admissions per second, shed
-//! rate, the full client-side outcome tally, and — self-hosted only —
-//! the server's queue-depth histogram and commit count.
+//! p50/p99/mean latency in microseconds, a full client-side latency
+//! histogram (same bucket bounds as the server's
+//! `net_request_latency_us`), the top-3 slowest requests with their
+//! trace ids, admissions per second, shed rate, the full client-side
+//! outcome tally, and — self-hosted only — the server's queue-depth
+//! histogram, flight-recorder tallies and commit count. Histogram
+//! `bounds` arrays carry an explicit `"+Inf"` overflow label so
+//! `bounds` and `counts` always have matching, self-describing lengths.
 
 use std::env;
 use std::net::SocketAddr;
 use std::process::ExitCode;
 
 use sdfrs_appmodel::apps::example_platform;
-use sdfrs_core::metrics::HistogramSnapshot;
+use sdfrs_core::metrics::{HistogramSnapshot, NET_LATENCY_BOUNDS};
 use sdfrs_core::service::{replay_commit_log, AllocationService, CommitLog, ServiceConfig};
 use sdfrs_net::loadgen::{self, LoadgenOptions};
 use sdfrs_net::server::{NetServer, ServerOptions};
+
+/// Flight-recorder capacity for self-hosted phases: large enough that
+/// nothing a default run pins is ever evicted, so the shed-capture
+/// check below is exact.
+const HOSTED_FLIGHT_CAPACITY: usize = 4096;
+
+/// Server-side flight-recorder tallies of one self-hosted phase.
+struct FlightStats {
+    recorded: u64,
+    pinned: u64,
+    /// Pinned entries whose anomaly is `"shed"` — must equal the
+    /// client-observed shed count when no response was lost.
+    shed_pinned: u64,
+}
 
 /// One measured phase of the run.
 struct Phase {
@@ -46,6 +65,37 @@ struct Phase {
     commits_logged: Option<u64>,
     /// Replay-equality verdict (self-hosted only).
     replay_ok: Option<bool>,
+    /// Flight-recorder tallies (self-hosted only).
+    flight: Option<FlightStats>,
+}
+
+/// Renders one histogram as `{ "bounds": [...,"+Inf"], "counts": [...] }`.
+///
+/// The overflow bucket gets an explicit `"+Inf"` bound so the two
+/// arrays always have the same length and the encoding is
+/// self-describing — consumers never need to know the
+/// `counts.len() == bounds.len() + 1` convention.
+fn hist_json(bounds: &[u64], counts: &[u64]) -> String {
+    debug_assert_eq!(counts.len(), bounds.len() + 1);
+    let mut bound_labels: Vec<String> = bounds.iter().map(u64::to_string).collect();
+    bound_labels.push("\"+Inf\"".into());
+    let counts: Vec<String> = counts.iter().map(u64::to_string).collect();
+    format!(
+        "{{ \"bounds\": [{}], \"counts\": [{}] }}",
+        bound_labels.join(", "),
+        counts.join(", ")
+    )
+}
+
+/// Buckets client-observed latencies into the server's
+/// [`NET_LATENCY_BOUNDS`] shape (one extra overflow bucket).
+fn latency_counts(latencies_us: &[u64]) -> Vec<u64> {
+    let mut counts = vec![0u64; NET_LATENCY_BOUNDS.len() + 1];
+    for &value in latencies_us {
+        let i = NET_LATENCY_BOUNDS.partition_point(|&b| b < value);
+        counts[i] += 1;
+    }
+    counts
 }
 
 impl Phase {
@@ -66,9 +116,25 @@ impl Phase {
             format!("\"deadline_expired\": {}", r.deadline_expired),
             format!("\"parse_errors\": {}", r.parse_errors),
             format!("\"lost\": {}", r.lost),
+            format!("\"trace_mismatches\": {}", r.trace_mismatches),
             format!("\"p50_us\": {}", r.latency_percentile_us(0.50)),
             format!("\"p99_us\": {}", r.latency_percentile_us(0.99)),
             format!("\"mean_us\": {}", r.latency_mean_us()),
+            format!(
+                "\"latency_us\": {}",
+                hist_json(NET_LATENCY_BOUNDS, &latency_counts(&r.latencies_us))
+            ),
+            format!(
+                "\"slowest\": [{}]",
+                r.slowest
+                    .iter()
+                    .map(|s| format!(
+                        "{{ \"trace\": \"{}\", \"latency_us\": {}, \"op\": \"{}\" }}",
+                        s.trace, s.latency_us, s.op
+                    ))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
             format!("\"admissions_per_sec\": {:.3}", r.admissions_per_sec()),
             format!("\"shed_rate\": {:.4}", r.shed_rate()),
         ];
@@ -79,13 +145,15 @@ impl Phase {
             fields.push(format!("\"replay_ok\": {ok}"));
         }
         if let Some(h) = &self.queue_depth {
-            let bounds: Vec<String> = h.bounds.iter().map(u64::to_string).collect();
-            let counts: Vec<String> = h.counts.iter().map(u64::to_string).collect();
             fields.push(format!(
-                "\"queue_depth\": {{ \"bounds\": [{}], \"counts\": [{}] }}",
-                bounds.join(", "),
-                counts.join(", ")
+                "\"queue_depth\": {}",
+                hist_json(&h.bounds, &h.counts)
             ));
+        }
+        if let Some(f) = &self.flight {
+            fields.push(format!("\"flight_recorded\": {}", f.recorded));
+            fields.push(format!("\"flight_pinned\": {}", f.pinned));
+            fields.push(format!("\"flight_shed_pinned\": {}", f.shed_pinned));
         }
         format!("    {{ {} }}", fields.join(", "))
     }
@@ -145,6 +213,7 @@ fn hosted_phase(
     let arch = example_platform();
     let server_options = ServerOptions {
         queue_watermark,
+        flight_recorder: HOSTED_FLIGHT_CAPACITY,
         ..ServerOptions::default()
     };
     let server = NetServer::spawn(
@@ -170,12 +239,38 @@ fn hosted_phase(
             server_report.commit_log.len()
         ));
     }
+    let recorder = &server_report.flight_recorder;
+    let flight = FlightStats {
+        recorded: recorder.recorded(),
+        pinned: recorder.pinned_total(),
+        shed_pinned: recorder
+            .pinned()
+            .iter()
+            .filter(|e| e.anomaly == Some("shed"))
+            .count() as u64,
+    };
+    // Every shed response the clients saw must be pinned in the flight
+    // recorder with its span tree — the observability contract the CI
+    // smoke job relies on.
+    if report.lost == 0 && flight.shed_pinned != report.shed {
+        return Err(format!(
+            "{name}: clients observed {} shed requests but the flight recorder pinned {}",
+            report.shed, flight.shed_pinned
+        ));
+    }
+    if report.trace_mismatches != 0 {
+        return Err(format!(
+            "{name}: {} responses echoed a wrong trace id",
+            report.trace_mismatches
+        ));
+    }
     Ok(Phase {
         name,
         report,
         queue_depth: Some(server_report.stats.queue_depth.clone()),
         commits_logged: Some(server_report.commit_log.len() as u64),
         replay_ok: Some(replay_ok),
+        flight: Some(flight),
     })
 }
 
@@ -201,6 +296,7 @@ fn main() -> ExitCode {
                     queue_depth: None,
                     commits_logged: None,
                     replay_ok: None,
+                    flight: None,
                 }]
             })
             .map_err(|e| format!("loadgen against {addr}: {e}")),
@@ -232,6 +328,12 @@ fn main() -> ExitCode {
             r.shed_rate() * 100.0,
             r.lost,
         );
+        for slow in &r.slowest {
+            println!(
+                "          slowest: {:>7}us  {:<7} trace {}",
+                slow.latency_us, slow.op, slow.trace
+            );
+        }
     }
 
     let json = format!(

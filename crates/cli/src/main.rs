@@ -21,6 +21,7 @@
 //!             [--final-state <f>]            write one JSON response per line
 //!             [--listen <host:port>]         …or serve them over TCP
 //!             [--watermark <n>] [--deadline-ms <n>] [--max-requests <n>]
+//!             [--flight-recorder <n>] [--slow-ms <n>] [--trace-dump <f>]
 //! sdfrs generate <set> <seed> <count> [dir]  emit generated applications
 //! sdfrs example <name>                       print a bundled model; names:
 //!     paper h263 mp3 cd2dat satellite platform
@@ -52,6 +53,13 @@
 //! `serve --input <that file>` reproduces the residual platform state
 //! byte-for-byte (conform oracle 8) — and `--final-state <file>` writes
 //! the residual-state digest at drain for exactly that comparison.
+//!
+//! Every TCP request is traced: `--flight-recorder <n>` sizes the ring
+//! of retained span trees (default 64), `--slow-ms <n>` additionally
+//! pins any request slower than `n` milliseconds as anomalous, and
+//! `--trace-dump <file>` writes the flight recorder's contents as JSONL
+//! at shutdown. Clients may also ask the server directly with
+//! `{"kind":"introspect","what":"metrics"|"health"|"sessions"|"traces"}`.
 //!
 //! The global `--trace <file>` option writes every flow event of the
 //! allocating commands (`flow`, `trace`, `verify`, `multiapp`, `serve`)
@@ -588,6 +596,9 @@ struct ServeOptions {
     max_requests: Option<u64>,
     commit_log_path: Option<String>,
     final_state_path: Option<String>,
+    flight_recorder: usize,
+    slow_ms: Option<u64>,
+    trace_dump_path: Option<String>,
 }
 
 fn parse_serve_options(options: &[String]) -> Result<ServeOptions, String> {
@@ -601,6 +612,9 @@ fn parse_serve_options(options: &[String]) -> Result<ServeOptions, String> {
         max_requests: None,
         commit_log_path: None,
         final_state_path: None,
+        flight_recorder: 64,
+        slow_ms: None,
+        trace_dump_path: None,
     };
     let parse_u64 = |what: &str, spec: &str| -> Result<u64, String> {
         spec.parse().map_err(|_| format!("bad {what} {spec:?}"))
@@ -655,6 +669,25 @@ fn parse_serve_options(options: &[String]) -> Result<ServeOptions, String> {
             );
         } else if let Some(p) = a.strip_prefix("--final-state=") {
             parsed.final_state_path = Some(p.to_string());
+        } else if a == "--flight-recorder" {
+            parsed.flight_recorder = parse_u64(
+                "flight recorder capacity",
+                iter.next().ok_or("--flight-recorder needs a capacity")?,
+            )? as usize;
+        } else if let Some(n) = a.strip_prefix("--flight-recorder=") {
+            parsed.flight_recorder = parse_u64("flight recorder capacity", n)? as usize;
+        } else if a == "--slow-ms" {
+            parsed.slow_ms = Some(parse_u64(
+                "slow threshold",
+                iter.next().ok_or("--slow-ms needs milliseconds")?,
+            )?);
+        } else if let Some(n) = a.strip_prefix("--slow-ms=") {
+            parsed.slow_ms = Some(parse_u64("slow threshold", n)?);
+        } else if a == "--trace-dump" {
+            parsed.trace_dump_path =
+                Some(iter.next().ok_or("--trace-dump needs a file path")?.clone());
+        } else if let Some(p) = a.strip_prefix("--trace-dump=") {
+            parsed.trace_dump_path = Some(p.to_string());
         } else {
             return Err(format!("unknown option {a:?}"));
         }
@@ -764,6 +797,8 @@ fn serve_listen(
         deadline: std::time::Duration::from_millis(opts.deadline_ms),
         queue_watermark: opts.watermark,
         metrics: metrics.enabled().then(|| metrics.clone()),
+        flight_recorder: opts.flight_recorder,
+        slow_threshold: opts.slow_ms.map(std::time::Duration::from_millis),
         ..ServerOptions::default()
     };
     let service = AllocationService::from_config(arch, config).with_boxed_sink(sink);
@@ -776,6 +811,10 @@ fn serve_listen(
     if let Some(p) = &opts.final_state_path {
         fs::write(p, format!("{}\n", report.residual_digest()))
             .map_err(|e| format!("cannot write final state {p}: {e}"))?;
+    }
+    if let Some(p) = &opts.trace_dump_path {
+        fs::write(p, report.flight_recorder.dump_jsonl())
+            .map_err(|e| format!("cannot write trace dump {p}: {e}"))?;
     }
     outln!(out, "{}", report.stats.to_json_line());
     Ok(())
@@ -1044,6 +1083,10 @@ mod tests {
             "--max-requests=100".into(),
             "--commit-log=log.jsonl".into(),
             "--final-state=state.txt".into(),
+            "--flight-recorder=128".into(),
+            "--slow-ms".into(),
+            "250".into(),
+            "--trace-dump=traces.jsonl".into(),
         ])
         .unwrap();
         assert_eq!(opts.listen.as_deref(), Some("127.0.0.1:0"));
@@ -1052,15 +1095,23 @@ mod tests {
         assert_eq!(opts.max_requests, Some(100));
         assert_eq!(opts.commit_log_path.as_deref(), Some("log.jsonl"));
         assert_eq!(opts.final_state_path.as_deref(), Some("state.txt"));
+        assert_eq!(opts.flight_recorder, 128);
+        assert_eq!(opts.slow_ms, Some(250));
+        assert_eq!(opts.trace_dump_path.as_deref(), Some("traces.jsonl"));
 
         let defaults = parse_serve_options(&[]).unwrap();
         assert_eq!(defaults.listen, None);
         assert_eq!(defaults.watermark, 256);
         assert_eq!(defaults.deadline_ms, 10_000);
         assert_eq!(defaults.max_requests, None);
+        assert_eq!(defaults.flight_recorder, 64);
+        assert_eq!(defaults.slow_ms, None);
+        assert_eq!(defaults.trace_dump_path, None);
 
         assert!(parse_serve_options(&["--listen".into()]).is_err());
         assert!(parse_serve_options(&["--watermark=lots".into()]).is_err());
+        assert!(parse_serve_options(&["--slow-ms=soon".into()]).is_err());
+        assert!(parse_serve_options(&["--trace-dump".into()]).is_err());
         assert!(
             parse_serve_options(&["--listen=127.0.0.1:0".into(), "--input=x".into()]).is_err(),
             "--listen and --input are mutually exclusive"

@@ -7,7 +7,8 @@
 //! parallel vs. sequential search, the independent verifier, the event
 //! stream vs. the aggregated stats, the online admission service vs. the
 //! batch protocols, region-parallel vs. sequential admission commits,
-//! the networked front-end vs. its own commit log) gives us seven more.
+//! the networked front-end vs. its own commit log, the request span
+//! tree vs. the metrics registry) gives us eight more.
 //! This crate runs seeded random [`Scenario`]s through the whole panel:
 //!
 //! 1. **HSDF equivalence** — self-timed throughput of the binding-aware
@@ -38,7 +39,13 @@
 //!    real loopback [`NetServer`](sdfrs_net::NetServer) over TCP (two
 //!    interleaved connections) must leave a commit log whose offline
 //!    [`replay_commit_log`](sdfrs_core::service::replay_commit_log)
-//!    reproduces the live server's residual state byte-for-byte.
+//!    reproduces the live server's residual state byte-for-byte;
+//! 9. **trace reconciliation** — a traced service admit's span tree
+//!    (the [`RequestTrace`](sdfrs_core::RequestTrace) event capture)
+//!    must fold through the independent event→metrics bridge into
+//!    exactly the flow counters the service's own registry accumulated,
+//!    and the trace id must not influence the allocation (identical
+//!    event streams under different ids).
 //!
 //! A failing scenario is [`shrink`](shrink::shrink)-able to a minimal
 //! reproduction and persisted as a `.ron` [`corpus`] file, which the
@@ -129,6 +136,10 @@ pub enum OracleId {
     /// Networked service run vs. offline replay of its commit log
     /// (residual digest, live sessions, commit accounting).
     NetReplay,
+    /// Request span tree vs. the metrics registry (per-request event
+    /// capture folds into the same flow counters), plus trace-id
+    /// independence of the allocation.
+    TraceReconciliation,
 }
 
 impl OracleId {
@@ -143,6 +154,7 @@ impl OracleId {
             OracleId::OnlineBatchEquivalence => "online_batch_equivalence",
             OracleId::RegionEquivalence => "region_parallel_equivalence",
             OracleId::NetReplay => "net_replay_equivalence",
+            OracleId::TraceReconciliation => "trace_reconciliation",
         }
     }
 }

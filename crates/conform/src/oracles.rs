@@ -1,4 +1,4 @@
-//! The eight-oracle panel (see the crate docs for the rationale).
+//! The nine-oracle panel (see the crate docs for the rationale).
 //!
 //! Every oracle is *differential*: it never needs to know the right
 //! answer for a scenario, only that two independent routes to the answer
@@ -130,6 +130,12 @@ pub(crate) fn run_panel(scenario: &Scenario, config: &HarnessConfig) -> Scenario
     // through a real loopback TCP server must leave a commit log whose
     // offline replay reproduces the live residual byte-for-byte.
     net_replay_oracle(scenario, config, &mut failures);
+
+    // Oracle 9 — trace reconciliation: a traced service admit's span
+    // tree must fold into exactly the flow counters the service's own
+    // registry accumulated, and trace ids must not influence the
+    // allocation.
+    trace_reconciliation_oracle(scenario, config, &mut failures);
 
     // Oracle 1 — HSDF equivalence (the paper's own claim).
     hsdf_oracle(scenario, config, &base, &mut failures, &mut skipped);
@@ -937,4 +943,139 @@ fn fallback_binding(scenario: &Scenario) -> Option<(Binding, Vec<u64>)> {
     }
     let slices = arch.tiles().map(|(_, t)| t.wheel_size()).collect();
     Some((binding, slices))
+}
+
+/// Oracle 9 — trace reconciliation.
+///
+/// Runs one traced admit through the service and checks three things:
+///
+/// * the per-request event capture (the span tree's `execute` events),
+///   folded through the independent event→metrics bridge
+///   ([`MetricsRegistry::record_event`](sdfrs_core::MetricsRegistry::record_event)),
+///   reproduces exactly the flow counters the service's own registry
+///   accumulated at the instrumentation sites;
+/// * the trace id never influences the allocation — a second run under
+///   a different id must produce the identical event stream (modulo
+///   timestamps) and the identical response;
+/// * the trace's annotations are complete: the outcome matches the
+///   response, and a committed admit carries the warm-cache-hit flag.
+fn trace_reconciliation_oracle(
+    scenario: &Scenario,
+    config: &HarnessConfig,
+    failures: &mut Vec<OracleFailure>,
+) {
+    use sdfrs_core::service::{CommitLog, ServiceConfig, ServiceRequest, ServiceResponse};
+    use sdfrs_core::trace::{RequestTrace, TraceId, TraceOutcome};
+    use sdfrs_core::AllocationService;
+
+    let oracle = OracleId::TraceReconciliation;
+    let mut svc_config = ServiceConfig::default();
+    svc_config.flow = config.flow;
+
+    let traced_admit = |trace_id: u64| {
+        let metrics = Metrics::collecting();
+        let mut service = AllocationService::from_config(&scenario.arch, svc_config)
+            .with_metrics(metrics.clone());
+        let mut log = CommitLog::new();
+        let mut trace = RequestTrace::begin(TraceId::from_raw(trace_id), "admit");
+        trace.mark_parsed();
+        trace.mark_dequeued(0);
+        let request = ServiceRequest::Admit {
+            app: Box::new(scenario.app.clone()),
+        };
+        let response = service.execute_traced(request, &mut log, &mut trace);
+        let completed = trace.finish(TraceOutcome::from_response(&response));
+        (response, completed, metrics.snapshot())
+    };
+
+    let (response, completed, snapshot) = traced_admit(0x0123_4567_89AB_CDEF);
+    let (response_b, completed_b, _) = traced_admit(0xFEDC_BA98_7654_3210);
+
+    // Trace-id independence: same scenario, different id, identical
+    // allocation outcome and event stream.
+    if response != response_b {
+        failures.push(OracleFailure {
+            oracle,
+            detail: "response differs under a different trace id".into(),
+        });
+    }
+    let kinds: Vec<&str> = completed.events.iter().map(|(_, e)| e.kind()).collect();
+    let kinds_b: Vec<&str> = completed_b.events.iter().map(|(_, e)| e.kind()).collect();
+    if kinds != kinds_b {
+        failures.push(OracleFailure {
+            oracle,
+            detail: format!(
+                "event stream differs under a different trace id ({} vs {} events)",
+                kinds.len(),
+                kinds_b.len()
+            ),
+        });
+    }
+
+    // Outcome annotation agrees with the response.
+    let expected_label = match &response {
+        ServiceResponse::Admitted { .. } => "admitted",
+        ServiceResponse::Rejected { .. } => "rejected",
+        other => {
+            failures.push(OracleFailure {
+                oracle,
+                detail: format!("admit answered neither admitted nor rejected: {other:?}"),
+            });
+            return;
+        }
+    };
+    if completed.outcome.label() != expected_label {
+        failures.push(OracleFailure {
+            oracle,
+            detail: format!(
+                "trace outcome {:?} but the response says {expected_label}",
+                completed.outcome.label()
+            ),
+        });
+    }
+    if matches!(response, ServiceResponse::Admitted { .. }) && completed.warm_cache_hit.is_none() {
+        failures.push(OracleFailure {
+            oracle,
+            detail: "committed admit is missing the warm_cache_hit annotation".into(),
+        });
+    }
+
+    // Fold the span tree's events into a fresh registry through the
+    // event→metrics bridge and compare the flow counters the bridge
+    // reconstructs against the service registry's direct-site tallies.
+    let rebuilt = Metrics::collecting();
+    rebuilt.record(|registry| {
+        for (_, event) in &completed.events {
+            registry.record_event(event);
+        }
+    });
+    let (Some(direct), Some(rebuilt)) = (snapshot, rebuilt.snapshot()) else {
+        failures.push(OracleFailure {
+            oracle,
+            detail: "collecting metrics handle returned no snapshot".into(),
+        });
+        return;
+    };
+    for name in [
+        "flows_started",
+        "bind_attempts",
+        "throughput_checks",
+        "global_slice_iterations",
+        "refine_slice_iterations",
+        "cache_hits",
+        "cache_misses",
+        "schedule_states",
+    ] {
+        let want = direct.counter(name);
+        let got = rebuilt.counter(name);
+        if want != got {
+            failures.push(OracleFailure {
+                oracle,
+                detail: format!(
+                    "span-tree events rebuild {name} = {got} but the service registry \
+                     counted {want}"
+                ),
+            });
+        }
+    }
 }

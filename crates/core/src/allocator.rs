@@ -42,7 +42,7 @@ use crate::admission::{AdmissionPolicy, AdmissionResult};
 use crate::cost::CostWeights;
 use crate::dse::DseResult;
 use crate::error::MapError;
-use crate::events::{EventSink, FlowEvent, FlowObserver, NullSink};
+use crate::events::{EventSink, FlowEvent, FlowObserver, NullSink, RecordingSink, TapSink};
 use crate::flow::{Allocation, FlowConfig, FlowStats};
 use crate::metrics::{Metrics, MetricsRegistry};
 use crate::multi_app::MultiAppResult;
@@ -58,6 +58,11 @@ pub struct Allocator {
     config: FlowConfig,
     cache: ThroughputCache,
     sink: Box<dyn EventSink>,
+    /// Per-request event tap: when installed, every event is *also*
+    /// captured here (even with a `NullSink` primary) so the service
+    /// can attach the trail to a request trace. `None` — the default —
+    /// costs one branch per emission site.
+    tap: Option<RecordingSink>,
     metrics: Metrics,
     epoch: Instant,
 }
@@ -96,6 +101,7 @@ impl Allocator {
             config,
             cache,
             sink: Box::new(NullSink),
+            tap: None,
             metrics: Metrics::null(),
             epoch: Instant::now(),
         }
@@ -191,6 +197,17 @@ impl Allocator {
         self
     }
 
+    /// Installs (or removes) a per-request event tap. While a tap is
+    /// installed every event is recorded into it *in addition to* the
+    /// configured sink; the tracing layer installs one around each
+    /// traced request and drains it into the trace afterwards. The tap
+    /// is observational only — it never changes allocation results —
+    /// and with no tap installed the cost is one branch per site
+    /// (pinned by the `observer_overhead` bench).
+    pub fn set_event_tap(&mut self, tap: Option<RecordingSink>) {
+        self.tap = tap;
+    }
+
     /// The flow configuration.
     pub fn config(&self) -> &FlowConfig {
         &self.config
@@ -251,11 +268,26 @@ impl Allocator {
             config,
             cache,
             sink,
+            tap,
             metrics,
             epoch,
         } = self;
-        let mut obs = FlowObserver::with_epoch(sink.as_mut(), *epoch).with_metrics(metrics.clone());
-        crate::flow::allocate_inner(app, arch, state, config, cache, &mut obs)
+        match tap {
+            Some(tap) => {
+                let mut tee = TapSink {
+                    primary: sink.as_mut(),
+                    tap: tap.clone(),
+                };
+                let mut obs =
+                    FlowObserver::with_epoch(&mut tee, *epoch).with_metrics(metrics.clone());
+                crate::flow::allocate_inner(app, arch, state, config, cache, &mut obs)
+            }
+            None => {
+                let mut obs =
+                    FlowObserver::with_epoch(sink.as_mut(), *epoch).with_metrics(metrics.clone());
+                crate::flow::allocate_inner(app, arch, state, config, cache, &mut obs)
+            }
+        }
     }
 
     /// Allocates `apps` in order onto one platform until the first
@@ -307,9 +339,15 @@ impl Allocator {
     /// Emits one event through this allocator's sink (used by the
     /// admission and multi-application protocols for their own events).
     pub(crate) fn emit(&mut self, make: impl FnOnce() -> FlowEvent) {
-        if self.sink.enabled() {
+        if self.sink.enabled() || self.tap.is_some() {
             let at = self.epoch.elapsed();
-            self.sink.record(at, &make());
+            let event = make();
+            if self.sink.enabled() {
+                self.sink.record(at, &event);
+            }
+            if let Some(tap) = &mut self.tap {
+                tap.record(at, &event);
+            }
         }
     }
 

@@ -835,6 +835,12 @@ impl RecordingSink {
     pub fn clear(&self) {
         self.events.lock().expect("recording sink lock").clear();
     }
+
+    /// Takes everything recorded so far, leaving the sink empty — how
+    /// the per-request event tap drains into a trace without cloning.
+    pub fn take(&self) -> Vec<(Duration, FlowEvent)> {
+        std::mem::take(&mut *self.events.lock().expect("recording sink lock"))
+    }
 }
 
 impl EventSink for RecordingSink {
@@ -843,6 +849,29 @@ impl EventSink for RecordingSink {
             .lock()
             .expect("recording sink lock")
             .push((at, event.clone()));
+    }
+}
+
+/// Tee used by the allocator's per-request event tap: every event goes
+/// to the tap unconditionally and to the primary sink only when the
+/// primary wants it. Reporting `enabled() == true` is what makes
+/// instrumentation sites construct events while a tap is installed,
+/// even over a `NullSink` primary.
+pub(crate) struct TapSink<'a> {
+    pub(crate) primary: &'a mut dyn EventSink,
+    pub(crate) tap: RecordingSink,
+}
+
+impl EventSink for TapSink<'_> {
+    fn record(&mut self, at: Duration, event: &FlowEvent) {
+        if self.primary.enabled() {
+            self.primary.record(at, event);
+        }
+        self.tap.record(at, event);
+    }
+
+    fn flush(&mut self) {
+        self.primary.flush();
     }
 }
 

@@ -74,6 +74,7 @@ pub mod service;
 pub mod slice;
 pub mod tdma;
 pub mod thru_cache;
+pub mod trace;
 pub mod tutorial;
 pub mod verify;
 pub mod warm;
@@ -96,8 +97,9 @@ pub use ids::{AppId, SessionId};
 pub use metrics::{Metrics, MetricsRegistry, MetricsSnapshot, NullMetrics};
 pub use schedule::StaticOrderSchedule;
 pub use service::{
-    AllocationService, ServiceConfig, ServiceError, ServiceRequest, ServiceResponse, ServiceStatus,
-    MAX_ESCALATION_NEIGHBORS,
+    peek_request_meta, AllocationService, RequestMeta, ServiceConfig, ServiceError, ServiceRequest,
+    ServiceResponse, ServiceStatus, MAX_ESCALATION_NEIGHBORS,
 };
 pub use thru_cache::ThroughputCache;
+pub use trace::{CompletedTrace, FlightEntry, FlightRecorder, RequestTrace, TraceId, TraceOutcome};
 pub use warm::{WarmPool, WarmStats};

@@ -330,7 +330,9 @@ const ESCALATION_DEPTH_BOUNDS: &[u64] = &[0, 1, 2, 3];
 /// (arrival to response write): sub-ms through multi-second, ×4 steps.
 /// Unlike every other instrument, observations are wall-clock and thus
 /// load-dependent — never compare them across runs.
-const NET_LATENCY_BOUNDS: &[u64] = &[
+/// Public so the bench loadgen can bucket its client-side latencies
+/// into the same histogram shape the server reports.
+pub const NET_LATENCY_BOUNDS: &[u64] = &[
     100, 400, 1_600, 6_400, 25_600, 102_400, 409_600, 1_638_400, 6_553_600,
 ];
 
@@ -474,6 +476,18 @@ const COUNTERS: &[(&str, &str)] = &[
         "net_commits_logged",
         "Committed mutations appended to the deterministic commit log.",
     ),
+    (
+        "net_introspects",
+        "Introspection requests answered over the wire.",
+    ),
+    (
+        "traces_recorded",
+        "Completed request traces recorded by the flight recorder.",
+    ),
+    (
+        "traces_pinned",
+        "Anomalous request traces pinned by the flight recorder.",
+    ),
 ];
 
 /// The full set of instruments the flow records into.
@@ -563,6 +577,12 @@ pub struct MetricsRegistry {
     pub net_parse_errors: Counter,
     /// Committed mutations appended to the deterministic commit log.
     pub net_commits_logged: Counter,
+    /// Introspection requests answered over the wire.
+    pub net_introspects: Counter,
+    /// Completed request traces recorded by the flight recorder.
+    pub traces_recorded: Counter,
+    /// Anomalous request traces pinned by the flight recorder.
+    pub traces_pinned: Counter,
     /// Distinct configurations currently memoized by the cache.
     pub cache_entries: Gauge,
     /// Currently live service sessions.
@@ -643,6 +663,9 @@ impl MetricsRegistry {
             net_deadlines_expired: Counter::default(),
             net_parse_errors: Counter::default(),
             net_commits_logged: Counter::default(),
+            net_introspects: Counter::default(),
+            traces_recorded: Counter::default(),
+            traces_pinned: Counter::default(),
             cache_entries: Gauge::default(),
             sessions_live: Gauge::default(),
             regions_configured: Gauge::default(),
@@ -698,6 +721,9 @@ impl MetricsRegistry {
             "net_deadlines_expired" => self.net_deadlines_expired.get(),
             "net_parse_errors" => self.net_parse_errors.get(),
             "net_commits_logged" => self.net_commits_logged.get(),
+            "net_introspects" => self.net_introspects.get(),
+            "traces_recorded" => self.traces_recorded.get(),
+            "traces_pinned" => self.traces_pinned.get(),
             other => unreachable!("unregistered counter `{other}`"),
         }
     }

@@ -84,7 +84,7 @@ use sdfrs_sdf::Rational;
 
 use crate::allocator::Allocator;
 use crate::error::MapError;
-use crate::events::{json_escape, EventSink, FlowEvent};
+use crate::events::{json_escape, EventSink, FlowEvent, RecordingSink};
 use crate::flow::{Allocation, FlowConfig, FlowStats};
 use crate::ids::SessionId;
 use crate::metrics::Metrics;
@@ -406,7 +406,8 @@ impl ServiceResponse {
 struct Session {
     app: ApplicationGraph,
     allocation: Allocation,
-    #[allow(dead_code)]
+    /// The flow stats of the run that produced `allocation` — what the
+    /// tracing layer's warm-cache-hit annotation reads.
     stats: FlowStats,
 }
 
@@ -430,6 +431,10 @@ pub struct AllocationService {
     /// load-dependent — so the sequential and region-parallel commit
     /// paths assign identical homes to identical request streams.
     region_rr: u64,
+    /// Escalation depth of the most recent regional commit — the
+    /// tracing layer reads it after each traced request. Observational
+    /// only; nothing in the admission path consults it.
+    last_escalation_depth: Option<u64>,
 }
 
 impl std::fmt::Debug for AllocationService {
@@ -464,6 +469,7 @@ impl AllocationService {
             region_map: RegionMap::contiguous(arch, config.regions.max(1)),
             region_parallel_commit: config.region_parallel_commit,
             region_rr: 0,
+            last_escalation_depth: None,
         }
     }
 
@@ -639,6 +645,7 @@ impl AllocationService {
     /// Records the per-region instruments for one committed regional
     /// admission.
     fn record_regional_commit(&mut self, home: RegionId, depth: usize) {
+        self.last_escalation_depth = Some(depth as u64);
         self.allocator.metric(|m| {
             m.region_admits_per_region.add(home.index(), 1);
             m.region_escalation_depth.observe(depth as u64);
@@ -1085,6 +1092,39 @@ impl AllocationService {
         response
     }
 
+    /// [`execute_logged`](Self::execute_logged) under a request trace:
+    /// installs an event tap on the allocator for the duration of the
+    /// request, then drains the captured flow events and the
+    /// escalation-depth / warm-cache-hit annotations into `trace`.
+    ///
+    /// Tracing is observational only — the response, the residual
+    /// state, and the commit log are byte-identical with and without
+    /// it (the `trace_reconciliation` conformance oracle pins the
+    /// event trail against the metrics registry on top of that).
+    pub fn execute_traced(
+        &mut self,
+        request: ServiceRequest,
+        log: &mut CommitLog,
+        trace: &mut crate::trace::RequestTrace,
+    ) -> ServiceResponse {
+        self.last_escalation_depth = None;
+        let tap = RecordingSink::new();
+        self.allocator.set_event_tap(Some(tap.clone()));
+        let response = self.execute_logged(request, log);
+        self.allocator.set_event_tap(None);
+        trace.set_escalation_depth(self.last_escalation_depth);
+        let committed_session = match &response {
+            ServiceResponse::Admitted { session, .. }
+            | ServiceResponse::Rebound { session, .. } => Some(*session),
+            _ => None,
+        };
+        if let Some(entry) = committed_session.and_then(|s| self.sessions.get(&s)) {
+            trace.set_warm_cache_hit(entry.stats.cache_hits > 0);
+        }
+        trace.attach_events(tap.take());
+        response
+    }
+
     /// The [`PlatformState::digest`] of the residual state — the
     /// byte-equality witness the commit-log replay compares against.
     pub fn residual_digest(&self) -> String {
@@ -1437,6 +1477,43 @@ pub fn parse_request_line(line: &str) -> Result<ServiceRequest, RequestParseErro
             "op",
             format!("unknown op {other:?} (admit|depart|rebind|status)"),
         )),
+    }
+}
+
+/// Pre-parse metadata of one wire request line: the optional
+/// client-supplied trace id and the introspection selectors. All
+/// fields are optional and unknown to [`parse_request_line`], which
+/// ignores them — metadata never changes what a request *does*.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RequestMeta {
+    /// The top-level `"trace"` string field, verbatim.
+    pub trace: Option<String>,
+    /// The top-level `"kind"` string field (`"introspect"`).
+    pub kind: Option<String>,
+    /// The top-level `"what"` string field (introspection target).
+    pub what: Option<String>,
+}
+
+/// Scans the trace / introspection metadata off a request line without
+/// fully parsing it. Runs the same tokenizer as [`parse_request_line`]
+/// (safe on untrusted input); a line that does not scan as a JSON
+/// object yields an all-`None` meta, and the parse error is reported by
+/// the request parse that follows.
+#[must_use]
+pub fn peek_request_meta(line: &str) -> RequestMeta {
+    let Ok(fields) = scan_object(line) else {
+        return RequestMeta::default();
+    };
+    let get = |name: &str| {
+        fields.iter().find_map(|(key, value)| match value {
+            JsonValue::Str(s) if key == name => Some(s.clone()),
+            _ => None,
+        })
+    };
+    RequestMeta {
+        trace: get("trace"),
+        kind: get("kind"),
+        what: get("what"),
     }
 }
 

@@ -13,9 +13,14 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
+use sdfrs_core::trace::TraceId;
 use sdfrs_fastutil::rng::SmallRng;
 
 use crate::wire::{response_kind, response_ok, response_str, response_u64, FrameBuffer};
+
+/// How many of the slowest requests each report keeps, with their
+/// trace ids — the handle an operator greps the flight recorder for.
+pub const SLOWEST_KEPT: usize = 3;
 
 /// Tunables of one load-generation run.
 #[derive(Debug, Clone)]
@@ -69,10 +74,27 @@ pub struct LoadReport {
     pub parse_errors: u64,
     /// Responses that never arrived (disconnect or timeout).
     pub lost: u64,
+    /// Responses whose echoed `"trace"` field did not match the id the
+    /// client sent — always 0 against a correct server.
+    pub trace_mismatches: u64,
     /// Wall-clock of the whole run.
     pub elapsed: Duration,
     /// Per-request latencies, microseconds, sorted ascending.
     pub latencies_us: Vec<u64>,
+    /// The [`SLOWEST_KEPT`] slowest requests, slowest first.
+    pub slowest: Vec<SlowRequest>,
+}
+
+/// One of the slowest requests of a run, identified by its trace id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowRequest {
+    /// Observed client-side latency, microseconds.
+    pub latency_us: u64,
+    /// The trace id the client attached (16 hex digits) — look it up
+    /// in the server's flight recorder or trace dump.
+    pub trace: String,
+    /// The operation sent.
+    pub op: &'static str,
 }
 
 impl LoadReport {
@@ -132,7 +154,12 @@ impl LoadReport {
         self.deadline_expired += other.deadline_expired;
         self.parse_errors += other.parse_errors;
         self.lost += other.lost;
+        self.trace_mismatches += other.trace_mismatches;
         self.latencies_us.extend(other.latencies_us);
+        self.slowest.extend(other.slowest);
+        self.slowest
+            .sort_by(|a, b| b.latency_us.cmp(&a.latency_us).then(a.trace.cmp(&b.trace)));
+        self.slowest.truncate(SLOWEST_KEPT);
     }
 }
 
@@ -149,7 +176,9 @@ struct ClientReport {
     deadline_expired: u64,
     parse_errors: u64,
     lost: u64,
+    trace_mismatches: u64,
     latencies_us: Vec<u64>,
+    slowest: Vec<SlowRequest>,
 }
 
 /// Runs `options.clients` concurrent closed-loop clients against
@@ -199,8 +228,14 @@ fn run_client(
     let mut frames = FrameBuffer::default();
     let mut sessions: Vec<u64> = Vec::new();
     let mut report = ClientReport::default();
-    for _ in 0..options.requests_per_client {
-        let line = next_request(&mut rng, &mut sessions);
+    let trace_base = options.seed ^ (client as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    for i in 0..options.requests_per_client {
+        let (line, op) = next_request(&mut rng, &mut sessions);
+        // Every request carries a deterministic client-side trace id,
+        // so a slow or anomalous request found in this report can be
+        // looked up in the server's flight recorder directly.
+        let trace = TraceId::derive(trace_base, i as u64 + 1).to_string();
+        let line = format!("{},\"trace\":\"{trace}\"}}", &line[..line.len() - 1]);
         report.requests += 1;
         let sent = Instant::now();
         if stream.write_all(line.as_bytes()).is_err() || stream.write_all(b"\n").is_err() {
@@ -211,6 +246,17 @@ fn run_client(
             Some(response) => {
                 let latency = sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
                 report.latencies_us.push(latency);
+                if response_str(&response, "trace").as_deref() != Some(trace.as_str()) {
+                    report.trace_mismatches += 1;
+                }
+                report.slowest.push(SlowRequest {
+                    latency_us: latency,
+                    trace,
+                    op,
+                });
+                if report.slowest.len() > SLOWEST_KEPT * 4 {
+                    prune_slowest(&mut report.slowest);
+                }
                 classify(&response, &mut sessions, &mut report);
             }
             None => {
@@ -219,27 +265,44 @@ fn run_client(
             }
         }
     }
+    prune_slowest(&mut report.slowest);
     Ok(report)
+}
+
+/// Keeps only the [`SLOWEST_KEPT`] slowest entries, slowest first
+/// (ties broken by trace id for a deterministic order).
+fn prune_slowest(slowest: &mut Vec<SlowRequest>) {
+    slowest.sort_by(|a, b| b.latency_us.cmp(&a.latency_us).then(a.trace.cmp(&b.trace)));
+    slowest.truncate(SLOWEST_KEPT);
 }
 
 /// Picks the next request in the seeded mix. The departed session is
 /// removed from the local list eagerly; if the depart later sheds, a
 /// live session simply stops being exercised — harmless, and it keeps
 /// the mix independent of response timing.
-fn next_request(rng: &mut SmallRng, sessions: &mut Vec<u64>) -> String {
+fn next_request(rng: &mut SmallRng, sessions: &mut Vec<u64>) -> (String, &'static str) {
     let roll = rng.gen_f64();
     if sessions.is_empty() || roll < 0.55 {
-        "{\"op\":\"admit\",\"example\":\"paper\"}".to_string()
+        (
+            "{\"op\":\"admit\",\"example\":\"paper\"}".to_string(),
+            "admit",
+        )
     } else if roll < 0.80 {
         let at = rng.below(sessions.len() as u64) as usize;
         let session = sessions.swap_remove(at);
-        format!("{{\"op\":\"depart\",\"session\":{session}}}")
+        (
+            format!("{{\"op\":\"depart\",\"session\":{session}}}"),
+            "depart",
+        )
     } else if roll < 0.92 {
         let at = rng.below(sessions.len() as u64) as usize;
         let session = sessions[at];
-        format!("{{\"op\":\"rebind\",\"session\":{session}}}")
+        (
+            format!("{{\"op\":\"rebind\",\"session\":{session}}}"),
+            "rebind",
+        )
     } else {
-        "{\"op\":\"status\"}".to_string()
+        ("{\"op\":\"status\"}".to_string(), "status")
     }
 }
 

@@ -9,20 +9,56 @@
 //!   connection;
 //! * one **reader per connection** reassembles JSONL frames
 //!   ([`FrameBuffer`]), parses each line with the shared
-//!   [`parse_request_line`], answers parse errors and backpressure
-//!   sheds directly, and enqueues everything else;
+//!   [`parse_request_line`], answers parse errors, backpressure sheds
+//!   and most introspection requests directly, and enqueues everything
+//!   else;
 //! * one **service thread** owns the [`AllocationService`] and the
 //!   [`CommitLog`] and executes queued requests strictly in arrival
 //!   order.
+//!
+//! Every internal lock is taken through a poison-recovering helper: a
+//! reader thread that panics mid-request degrades its own connection,
+//! never the server (pinned by a regression test below).
+//!
+//! # Request tracing
+//!
+//! Every request line carries a [`TraceId`] — the client's top-level
+//! `"trace"` field when present and valid hex, a deterministic
+//! server-derived id otherwise — echoed back as a `"trace"` field on
+//! *every* response kind. A [`RequestTrace`] follows the request
+//! through parse → queue → execute, collecting the allocator's flow
+//! events plus queue-wait / deadline-remaining / escalation-depth /
+//! warm-cache-hit annotations, and is recorded into the shared
+//! [`FlightRecorder`] when the response is written. Anomalous requests
+//! (shed, deadline, rejection, parse error, or latency above
+//! [`ServerOptions::slow_threshold`]) are pinned so they survive ring
+//! eviction.
+//!
+//! # Introspection dialect
+//!
+//! A line of the form `{"kind":"introspect","what":...}` is answered
+//! on the same connection without touching the commit log:
+//!
+//! | `what` | answer |
+//! |---|---|
+//! | `"metrics"` | full [`MetricsSnapshot`](sdfrs_core::MetricsSnapshot) JSON under `"metrics"` |
+//! | `"health"` | queue depth, watermark, live connections, drain state, recorder counters |
+//! | `"sessions"` | live-session summary (routed through the service thread for a consistent view) |
+//! | `"traces"` | recent + pinned flight-recorder entries |
+//!
+//! Introspection requests count toward `net_requests_received` (so
+//! `serve --max-requests` sees them) and `net_introspects`, but never
+//! the latency or queue-depth histograms.
 //!
 //! # Determinism contract
 //!
 //! Concurrency never changes what a committed state *is* — only which
 //! requests commit. Every committed mutation (and nothing else) is
 //! appended to the commit log by [`AllocationService::execute_logged`];
-//! shed, expired, malformed and rejected requests never reach it.
-//! Because session ids are assigned in commit order on both sides,
-//! replaying the log through a fresh sequential service
+//! shed, expired, malformed and rejected requests never reach it, and
+//! trace ids, timestamps and introspection never influence what a
+//! request computes. Because session ids are assigned in commit order
+//! on both sides, replaying the log through a fresh sequential service
 //! ([`sdfrs_core::service::replay_commit_log`]) reproduces the live
 //! server's residual [`PlatformState`](sdfrs_platform::PlatformState)
 //! byte-for-byte — conform oracle 8 pins this over a real loopback
@@ -32,22 +68,27 @@
 //!
 //! | condition | response |
 //! |---|---|
-//! | queue at watermark | `{"id":K,"ok":false,"kind":"overloaded","queue_depth":D}` |
-//! | waited past deadline | `{"id":K,"ok":false,"kind":"deadline"}` |
+//! | queue at watermark | `{"id":K,"ok":false,"kind":"overloaded","queue_depth":D,...}` |
+//! | waited past deadline | `{"id":K,"ok":false,"kind":"deadline",...}` |
 //! | slow-loris partial line | `{"id":K,"ok":false,"kind":"deadline","detail":"..."}`, then close |
 //! | malformed line | `{"id":K,"ok":false,"kind":"parse",...}` (connection stays open) |
 //! | oversize / non-UTF-8 frame | `kind":"parse"` response, then close |
 
 use std::collections::VecDeque;
+use std::fmt::Write as _;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use sdfrs_core::metrics::{Histogram, HistogramSnapshot, Metrics};
-use sdfrs_core::service::{parse_request_line, AllocationService, CommitLog, ServiceRequest};
+use sdfrs_core::service::{
+    parse_request_line, peek_request_meta, AllocationService, CommitLog, ServiceRequest,
+    ServiceStatus,
+};
+use sdfrs_core::trace::{FlightRecorder, RequestTrace, TraceId, TraceOutcome};
 
 use crate::wire::{FrameBuffer, FrameError, DEFAULT_MAX_LINE_BYTES};
 
@@ -58,6 +99,14 @@ pub const QUEUE_DEPTH_BOUNDS: &[u64] = &[0, 1, 2, 4, 8, 16, 32, 64, 128, 256];
 /// How often blocked reads and queue waits wake up to poll the
 /// shutdown flag and the slow-loris deadline.
 const POLL_INTERVAL: Duration = Duration::from_millis(20);
+
+/// Locks a mutex, recovering from poisoning: the protected data
+/// (queue, write half, recorder slot) stays structurally valid under
+/// every panic point we have, so a panicked holder must degrade only
+/// itself — never cascade a crash through every other connection.
+fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Tunables of one [`NetServer`].
 #[derive(Debug, Clone)]
@@ -77,6 +126,12 @@ pub struct ServerOptions {
     /// caller's exporter sees the `net_*` instruments too). `None` — or
     /// a null handle — makes the server create its own.
     pub metrics: Option<Metrics>,
+    /// Flight-recorder ring capacity: how many recent request span
+    /// trees are retained (anomalous ones are additionally pinned).
+    pub flight_recorder: usize,
+    /// Latency at or above which a completed request is pinned as
+    /// `"slow"` in the flight recorder. `None` disables the class.
+    pub slow_threshold: Option<Duration>,
 }
 
 impl Default for ServerOptions {
@@ -86,6 +141,8 @@ impl Default for ServerOptions {
             queue_watermark: 256,
             max_line_bytes: DEFAULT_MAX_LINE_BYTES,
             metrics: None,
+            flight_recorder: 64,
+            slow_threshold: None,
         }
     }
 }
@@ -108,7 +165,7 @@ impl ConnWriter {
     /// never learns the outcome (any committed mutation stands and is
     /// in the commit log).
     fn write_line(&self, line: &str) {
-        let mut guard = self.stream.lock().unwrap();
+        let mut guard = lock_recover(&self.stream);
         if let Some(stream) = guard.as_mut() {
             let ok = stream
                 .write_all(line.as_bytes())
@@ -121,12 +178,32 @@ impl ConnWriter {
     }
 }
 
+/// Appends the trace echo to one of our own generated response lines
+/// (they all end in `}`).
+fn with_trace(mut line: String, id: TraceId) -> String {
+    debug_assert!(line.ends_with('}'));
+    line.pop();
+    let _ = write!(line, ",\"trace\":\"{id}\"}}");
+    line
+}
+
+/// What the service thread is asked to do for one queued job.
+enum Work {
+    /// Execute a parsed service request (traced, possibly committing).
+    Request(ServiceRequest),
+    /// Answer an `introspect what=sessions` probe — routed through the
+    /// service thread so the summary is a consistent point-in-time
+    /// view, but never traced, logged, or counted as request latency.
+    Sessions,
+}
+
 /// One parsed request waiting for the service thread.
 struct Job {
     conn: Arc<ConnWriter>,
     id: u64,
-    request: ServiceRequest,
+    work: Work,
     arrival: Instant,
+    trace: RequestTrace,
 }
 
 /// State shared by every thread of one server.
@@ -141,7 +218,11 @@ struct Shared {
     metrics: Metrics,
     options: ServerOptions,
     live_connections: AtomicU64,
+    /// Monotonic connection counter — the per-connection half of the
+    /// server-derived [`TraceId`].
+    next_conn: AtomicU64,
     queue_depth: Histogram,
+    recorder: Arc<FlightRecorder>,
 }
 
 impl Shared {
@@ -160,6 +241,18 @@ impl Shared {
             m.net_connections_live.set(live);
         });
     }
+
+    /// Seals `trace` with `outcome` and records it into the flight
+    /// recorder, bumping the trace counters.
+    fn record_trace(&self, trace: RequestTrace, outcome: TraceOutcome) {
+        let pinned = self.recorder.record(trace.finish(outcome)).is_some();
+        self.metrics.record(|m| {
+            m.traces_recorded.inc();
+            if pinned {
+                m.traces_pinned.inc();
+            }
+        });
+    }
 }
 
 /// Final counters of one server run, harvested at
@@ -170,7 +263,8 @@ pub struct NetStats {
     pub connections_opened: u64,
     /// Connections closed (every accepted connection closes by drain).
     pub connections_closed: u64,
-    /// Request lines received (including malformed and shed ones).
+    /// Request lines received (including malformed, shed, and
+    /// introspection ones).
     pub requests_received: u64,
     /// Requests shed with `"kind":"overloaded"`.
     pub requests_shed: u64,
@@ -181,6 +275,12 @@ pub struct NetStats {
     pub parse_errors: u64,
     /// Committed mutations appended to the commit log.
     pub commits_logged: u64,
+    /// Introspection requests answered.
+    pub introspects: u64,
+    /// Request traces recorded by the flight recorder.
+    pub traces_recorded: u64,
+    /// Anomalous traces pinned by the flight recorder.
+    pub traces_pinned: u64,
     /// Wall-clock request latency in microseconds (arrival → response
     /// write). Load-dependent, never compared for determinism.
     pub latency_us: HistogramSnapshot,
@@ -200,13 +300,16 @@ impl NetStats {
     /// a `serve --listen` run drains.
     pub fn to_json_line(&self) -> String {
         format!(
-            "{{\"stats\":\"net\",\"connections\":{},\"requests\":{},\"shed\":{},\"deadlines\":{},\"parse_errors\":{},\"commits\":{},\"p50_us\":{},\"p99_us\":{}}}",
+            "{{\"stats\":\"net\",\"connections\":{},\"requests\":{},\"shed\":{},\"deadlines\":{},\"parse_errors\":{},\"commits\":{},\"introspects\":{},\"traces_recorded\":{},\"traces_pinned\":{},\"p50_us\":{},\"p99_us\":{}}}",
             self.connections_opened,
             self.requests_received,
             self.requests_shed,
             self.deadlines_expired,
             self.parse_errors,
             self.commits_logged,
+            self.introspects,
+            self.traces_recorded,
+            self.traces_pinned,
             self.latency_percentile_us(0.50),
             self.latency_percentile_us(0.99),
         )
@@ -234,7 +337,8 @@ pub fn histogram_percentile(snapshot: &HistogramSnapshot, q: f64) -> u64 {
 }
 
 /// Everything a drained server hands back: the service (with its live
-/// sessions and residual state), the commit log, and the counters.
+/// sessions and residual state), the commit log, the counters, and the
+/// flight recorder.
 #[derive(Debug)]
 pub struct ServerReport {
     /// The service as it stood when the drain finished.
@@ -243,6 +347,9 @@ pub struct ServerReport {
     pub commit_log: CommitLog,
     /// Final counters and latency/queue histograms.
     pub stats: NetStats,
+    /// The run's flight recorder (recent + pinned request traces) —
+    /// what `serve --trace-dump` writes out.
+    pub flight_recorder: Arc<FlightRecorder>,
 }
 
 impl ServerReport {
@@ -299,6 +406,10 @@ impl NetServer {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let recorder = Arc::new(FlightRecorder::new(
+            options.flight_recorder,
+            options.slow_threshold,
+        ));
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
@@ -307,7 +418,9 @@ impl NetServer {
             metrics,
             options,
             live_connections: AtomicU64::new(0),
+            next_conn: AtomicU64::new(0),
             queue_depth: Histogram::new(QUEUE_DEPTH_BOUNDS),
+            recorder,
         });
 
         let accept_shared = Arc::clone(&shared);
@@ -334,6 +447,11 @@ impl NetServer {
         &self.shared.metrics
     }
 
+    /// The shared flight recorder, readable while the server runs.
+    pub fn flight_recorder(&self) -> &Arc<FlightRecorder> {
+        &self.shared.recorder
+    }
+
     /// Graceful drain: stop accepting, let readers finish their
     /// buffered frames, flush every queued request through the
     /// service, and return the final [`ServerReport`].
@@ -353,6 +471,7 @@ impl NetServer {
             service,
             commit_log,
             stats,
+            flight_recorder: Arc::clone(&self.shared.recorder),
         }
     }
 }
@@ -384,6 +503,9 @@ fn harvest_stats(shared: &Shared) -> NetStats {
         deadlines_expired: counter("net_deadlines_expired"),
         parse_errors: counter("net_parse_errors"),
         commits_logged: counter("net_commits_logged"),
+        introspects: counter("net_introspects"),
+        traces_recorded: counter("traces_recorded"),
+        traces_pinned: counter("traces_pinned"),
         latency_us,
         queue_depth: shared
             .queue_depth
@@ -399,10 +521,11 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) -> Vec<JoinHandle<()>
         }
         match listener.accept() {
             Ok((stream, _)) => {
+                let conn = shared.next_conn.fetch_add(1, Ordering::Relaxed) + 1;
                 let conn_shared = Arc::clone(&shared);
                 readers.push(std::thread::spawn(move || {
                     conn_shared.connection_opened();
-                    read_connection(stream, &conn_shared);
+                    read_connection(stream, conn, &conn_shared);
                     conn_shared.connection_closed();
                 }));
             }
@@ -415,7 +538,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) -> Vec<JoinHandle<()>
     readers
 }
 
-fn read_connection(mut stream: TcpStream, shared: &Shared) {
+fn read_connection(mut stream: TcpStream, conn: u64, shared: &Shared) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
     let writer = match stream.try_clone() {
@@ -439,7 +562,7 @@ fn read_connection(mut stream: TcpStream, shared: &Shared) {
                         Ok(Some(line)) => {
                             partial_since = None;
                             next_id += 1;
-                            handle_line(&line, next_id, &writer, shared);
+                            handle_line(&line, next_id, conn, &writer, shared);
                         }
                         Ok(None) => {
                             partial_since = if frames.has_partial() {
@@ -451,13 +574,20 @@ fn read_connection(mut stream: TcpStream, shared: &Shared) {
                         }
                         Err(frame_error) => {
                             next_id += 1;
+                            let trace_id = TraceId::derive(conn, next_id);
+                            let mut trace = RequestTrace::begin(trace_id, "line");
                             shared.metrics.record(|m| {
                                 m.net_requests_received.inc();
                                 m.net_parse_errors.inc();
                             });
-                            writer.write_line(&format!(
-                                "{{\"id\":{next_id},\"ok\":false,\"kind\":\"parse\",\"detail\":\"{frame_error}\"}}"
+                            writer.write_line(&with_trace(
+                                format!(
+                                    "{{\"id\":{next_id},\"ok\":false,\"kind\":\"parse\",\"detail\":\"{frame_error}\"}}"
+                                ),
+                                trace_id,
                             ));
+                            trace.mark_parsed();
+                            shared.record_trace(trace, TraceOutcome::ParseError);
                             match frame_error {
                                 // Oversize leaves the stream
                                 // unsynchronizable; a non-UTF-8 line
@@ -478,10 +608,16 @@ fn read_connection(mut stream: TcpStream, shared: &Shared) {
                         // Slow loris: a line has been incomplete for a
                         // whole deadline. Expire it and drop the peer.
                         next_id += 1;
+                        let trace_id = TraceId::derive(conn, next_id);
+                        let trace = RequestTrace::begin(trace_id, "line");
                         shared.metrics.record(|m| m.net_deadlines_expired.inc());
-                        writer.write_line(&format!(
-                            "{{\"id\":{next_id},\"ok\":false,\"kind\":\"deadline\",\"detail\":\"request line not completed within deadline\"}}"
+                        writer.write_line(&with_trace(
+                            format!(
+                                "{{\"id\":{next_id},\"ok\":false,\"kind\":\"deadline\",\"detail\":\"request line not completed within deadline\"}}"
+                            ),
+                            trace_id,
                         ));
+                        shared.record_trace(trace, TraceOutcome::DeadlineExpired);
                         return;
                     }
                 }
@@ -491,38 +627,167 @@ fn read_connection(mut stream: TcpStream, shared: &Shared) {
     }
 }
 
-fn handle_line(line: &str, id: u64, writer: &Arc<ConnWriter>, shared: &Shared) {
+fn handle_line(line: &str, id: u64, conn: u64, writer: &Arc<ConnWriter>, shared: &Shared) {
     shared.metrics.record(|m| m.net_requests_received.inc());
     if line.trim().is_empty() {
         return; // blank keep-alive lines are free
+    }
+    let meta = peek_request_meta(line);
+    let trace_id = meta
+        .trace
+        .as_deref()
+        .and_then(TraceId::from_hex)
+        .unwrap_or_else(|| TraceId::derive(conn, id));
+    let mut trace = RequestTrace::begin(trace_id, "line");
+    if meta.kind.as_deref() == Some("introspect") {
+        answer_introspect(meta.what.as_deref(), id, trace, writer, shared);
+        return;
     }
     let request = match parse_request_line(line) {
         Ok(request) => request,
         Err(error) => {
             shared.metrics.record(|m| m.net_parse_errors.inc());
-            writer.write_line(&error.to_json_line(id));
+            writer.write_line(&with_trace(error.to_json_line(id), trace_id));
+            trace.mark_parsed();
+            shared.record_trace(trace, TraceOutcome::ParseError);
             return;
         }
     };
-    let mut queue = shared.queue.lock().unwrap();
+    trace.set_op(request.op());
+    trace.mark_parsed();
+    let mut queue = lock_recover(&shared.queue);
     let depth = queue.len();
     if depth >= shared.options.queue_watermark {
         drop(queue);
         shared.metrics.record(|m| m.net_requests_shed.inc());
-        writer.write_line(&format!(
-            "{{\"id\":{id},\"ok\":false,\"kind\":\"overloaded\",\"queue_depth\":{depth}}}"
+        writer.write_line(&with_trace(
+            format!("{{\"id\":{id},\"ok\":false,\"kind\":\"overloaded\",\"queue_depth\":{depth}}}"),
+            trace_id,
         ));
+        shared.record_trace(
+            trace,
+            TraceOutcome::Shed {
+                queue_depth: depth as u64,
+            },
+        );
         return;
     }
     shared.queue_depth.observe(depth as u64);
     queue.push_back(Job {
         conn: Arc::clone(writer),
         id,
-        request,
+        work: Work::Request(request),
         arrival: Instant::now(),
+        trace,
     });
     drop(queue);
     shared.available.notify_one();
+}
+
+/// Answers one introspection request. `metrics`, `health` and `traces`
+/// are answered directly by the reader (they read shared state);
+/// `sessions` is routed through the service thread for a consistent
+/// view of the session registry.
+fn answer_introspect(
+    what: Option<&str>,
+    id: u64,
+    trace: RequestTrace,
+    writer: &Arc<ConnWriter>,
+    shared: &Shared,
+) {
+    shared.metrics.record(|m| m.net_introspects.inc());
+    let trace_id = trace.id();
+    match what {
+        Some("metrics") => {
+            let snapshot = shared
+                .metrics
+                .snapshot()
+                .expect("server metrics are always collecting");
+            writer.write_line(&with_trace(
+                format!(
+                    "{{\"id\":{id},\"ok\":true,\"kind\":\"introspect\",\"what\":\"metrics\",\"metrics\":{}}}",
+                    snapshot.to_json()
+                ),
+                trace_id,
+            ));
+        }
+        Some("health") => {
+            let queue_depth = lock_recover(&shared.queue).len();
+            let line = format!(
+                "{{\"id\":{id},\"ok\":true,\"kind\":\"introspect\",\"what\":\"health\",\"queue_depth\":{},\"queue_watermark\":{},\"live_connections\":{},\"draining\":{},\"deadline_ms\":{},\"flight_recorded\":{},\"flight_pinned\":{}}}",
+                queue_depth,
+                shared.options.queue_watermark,
+                shared.live_connections.load(Ordering::Relaxed),
+                shared.shutdown.load(Ordering::SeqCst),
+                shared.options.deadline.as_millis(),
+                shared.recorder.recorded(),
+                shared.recorder.pinned_total(),
+            );
+            writer.write_line(&with_trace(line, trace_id));
+        }
+        Some("sessions") => {
+            let mut queue = lock_recover(&shared.queue);
+            queue.push_back(Job {
+                conn: Arc::clone(writer),
+                id,
+                work: Work::Sessions,
+                arrival: Instant::now(),
+                trace,
+            });
+            drop(queue);
+            shared.available.notify_one();
+        }
+        Some("traces") => {
+            let entries = shared.recorder.entries();
+            let mut line = format!(
+                "{{\"id\":{id},\"ok\":true,\"kind\":\"introspect\",\"what\":\"traces\",\"recorded\":{},\"pinned\":{},\"entries\":[",
+                shared.recorder.recorded(),
+                shared.recorder.pinned_total(),
+            );
+            for (i, entry) in entries.iter().enumerate() {
+                if i > 0 {
+                    line.push(',');
+                }
+                line.push_str(&entry.to_json());
+            }
+            line.push_str("]}");
+            writer.write_line(&with_trace(line, trace_id));
+        }
+        other => {
+            let what = other.unwrap_or("");
+            writer.write_line(&with_trace(
+                format!(
+                    "{{\"id\":{id},\"ok\":false,\"kind\":\"introspect\",\"detail\":\"unknown introspection target {what:?} (metrics|health|sessions|traces)\"}}"
+                ),
+                trace_id,
+            ));
+        }
+    }
+}
+
+/// Renders the `introspect what=sessions` answer from a service status.
+fn sessions_json(id: u64, status: &ServiceStatus) -> String {
+    let mut s = format!(
+        "{{\"id\":{id},\"ok\":true,\"kind\":\"introspect\",\"what\":\"sessions\",\"live\":{},\"queue_depth\":{},\"claimed_wheel\":{},\"sessions\":[",
+        status.sessions.len(),
+        status.queue_depth,
+        status.claimed.wheel,
+    );
+    for (i, info) in status.sessions.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"session\":{},\"app\":\"{}\",\"throughput\":\"{}\",\"wheel\":{}}}",
+            info.session.raw(),
+            sdfrs_core::events::json_escape(&info.app),
+            info.throughput,
+            info.wheel
+        );
+    }
+    s.push_str("]}");
+    s
 }
 
 fn service_loop(
@@ -532,7 +797,7 @@ fn service_loop(
 ) -> (AllocationService, CommitLog) {
     loop {
         let job = {
-            let mut queue = shared.queue.lock().unwrap();
+            let mut queue = lock_recover(&shared.queue);
             loop {
                 if let Some(job) = queue.pop_front() {
                     break Some(job);
@@ -540,27 +805,102 @@ fn service_loop(
                 if shared.readers_done.load(Ordering::SeqCst) {
                     break None;
                 }
-                let (guard, _) = shared.available.wait_timeout(queue, POLL_INTERVAL).unwrap();
-                queue = guard;
+                queue = match shared.available.wait_timeout(queue, POLL_INTERVAL) {
+                    Ok((guard, _)) => guard,
+                    Err(poisoned) => poisoned.into_inner().0,
+                };
             }
         };
-        let Some(job) = job else {
+        let Some(mut job) = job else {
             return (service, log);
         };
-        if job.arrival.elapsed() > shared.options.deadline {
+        let waited = job.arrival.elapsed();
+        let deadline_remaining_us = shared.options.deadline.as_micros() as i64
+            - waited.as_micros().min(i64::MAX as u128) as i64;
+        job.trace.mark_dequeued(deadline_remaining_us);
+        if waited > shared.options.deadline {
             shared.metrics.record(|m| m.net_deadlines_expired.inc());
-            job.conn.write_line(&format!(
-                "{{\"id\":{},\"ok\":false,\"kind\":\"deadline\"}}",
-                job.id
+            job.conn.write_line(&with_trace(
+                format!("{{\"id\":{},\"ok\":false,\"kind\":\"deadline\"}}", job.id),
+                job.trace.id(),
             ));
+            shared.record_trace(job.trace, TraceOutcome::DeadlineExpired);
             continue;
         }
-        let response = service.execute_logged(job.request, &mut log);
-        let line = response.to_json_line(job.id);
-        let latency_us = job.arrival.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
-        shared
-            .metrics
-            .record(|m| m.net_request_latency_us.observe(latency_us));
-        job.conn.write_line(&line);
+        match job.work {
+            Work::Request(request) => {
+                let response = service.execute_traced(request, &mut log, &mut job.trace);
+                let line = with_trace(response.to_json_line(job.id), job.trace.id());
+                let latency_us = job.arrival.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                shared
+                    .metrics
+                    .record(|m| m.net_request_latency_us.observe(latency_us));
+                job.conn.write_line(&line);
+                shared.record_trace(job.trace, TraceOutcome::from_response(&response));
+            }
+            Work::Sessions => {
+                let status = service.status();
+                job.conn
+                    .write_line(&with_trace(sessions_json(job.id, &status), job.trace.id()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A panicked lock holder must not take the queue down with it:
+    /// the poison-recovering lock hands later threads the (still
+    /// structurally valid) data. Regression test for the reader-panic
+    /// cascade this replaces — with plain `.lock().unwrap()` the
+    /// second access would panic too, crashing the whole server.
+    #[test]
+    fn poisoned_queue_lock_recovers() {
+        let queue: Arc<Mutex<VecDeque<u64>>> = Arc::new(Mutex::new(VecDeque::new()));
+        let poisoner = Arc::clone(&queue);
+        let _ = std::thread::spawn(move || {
+            let mut guard = lock_recover(&poisoner);
+            guard.push_back(1);
+            panic!("simulated reader panic while holding the queue lock");
+        })
+        .join();
+        assert!(queue.is_poisoned(), "the panic must have poisoned the lock");
+        let mut guard = lock_recover(&queue);
+        assert_eq!(guard.pop_front(), Some(1), "data survives the poison");
+        guard.push_back(2);
+        assert_eq!(guard.len(), 1);
+    }
+
+    /// Same recovery contract for the condvar wait the service thread
+    /// parks on.
+    #[test]
+    fn poisoned_condvar_wait_recovers() {
+        let shared = Arc::new((Mutex::new(0u64), Condvar::new()));
+        let poisoner = Arc::clone(&shared);
+        let _ = std::thread::spawn(move || {
+            let _guard = lock_recover(&poisoner.0);
+            panic!("simulated panic while holding the wait mutex");
+        })
+        .join();
+        let guard = lock_recover(&shared.0);
+        let guard = match shared.1.wait_timeout(guard, Duration::from_millis(1)) {
+            Ok((g, _)) => g,
+            Err(poisoned) => poisoned.into_inner().0,
+        };
+        assert_eq!(*guard, 0);
+    }
+
+    #[test]
+    fn trace_echo_appends_to_generated_lines() {
+        let line = with_trace(
+            "{\"id\":3,\"ok\":true}".to_string(),
+            TraceId::from_raw(0xFEED),
+        );
+        assert_eq!(
+            line,
+            "{\"id\":3,\"ok\":true,\"trace\":\"000000000000feed\"}"
+        );
     }
 }

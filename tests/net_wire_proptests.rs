@@ -8,11 +8,14 @@
 //!   (structural equality, including the embedded application);
 //! * any JSONL stream, split at arbitrary byte boundaries, reassembles
 //!   byte-exactly through [`FrameBuffer`];
-//! * the response field helpers agree with the serializers.
+//! * the response field helpers agree with the serializers;
+//! * a client-supplied trace id round-trips through every response
+//!   kind the server can emit.
 
 use sdfrs_appmodel::apps;
 use sdfrs_core::ids::SessionId;
 use sdfrs_core::service::{parse_request_line, AllocationService, ServiceRequest};
+use sdfrs_core::trace::TraceId;
 use sdfrs_fastutil::rng::SmallRng;
 use sdfrs_net::wire::{response_ok, response_str, response_u64, FrameBuffer};
 
@@ -121,4 +124,195 @@ fn field_helpers_agree_with_serializers() {
         assert_eq!(response_u64(&error, "id"), Some(seq), "case {case}");
         assert_eq!(response_str(&error, "kind").as_deref(), Some("parse"));
     }
+}
+
+/// Minimal lock-step TCP client for the trace round-trip property.
+mod client {
+    use std::io::{Read, Write};
+    use std::net::{SocketAddr, TcpStream};
+    use std::time::Duration;
+
+    use sdfrs_net::wire::FrameBuffer;
+
+    pub struct Client {
+        stream: TcpStream,
+        frames: FrameBuffer,
+    }
+
+    impl Client {
+        pub fn connect(addr: SocketAddr) -> Client {
+            let stream = TcpStream::connect(addr).expect("connect");
+            stream.set_nodelay(true).unwrap();
+            stream
+                .set_read_timeout(Some(Duration::from_millis(20)))
+                .unwrap();
+            Client {
+                stream,
+                frames: FrameBuffer::default(),
+            }
+        }
+
+        pub fn round_trip(&mut self, line: &str) -> String {
+            self.stream.write_all(line.as_bytes()).expect("send");
+            self.stream.write_all(b"\n").expect("send newline");
+            let deadline = std::time::Instant::now() + Duration::from_secs(60);
+            let mut buf = [0u8; 4096];
+            loop {
+                if let Some(line) = self.frames.next_line().expect("well-framed") {
+                    return line;
+                }
+                assert!(std::time::Instant::now() < deadline, "no response in 60s");
+                match self.stream.read(&mut buf) {
+                    Ok(0) => panic!("server closed the connection"),
+                    Ok(n) => self.frames.push_bytes(&buf[..n]),
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut => {}
+                    Err(e) => panic!("read error: {e}"),
+                }
+            }
+        }
+    }
+}
+
+/// A client-supplied trace id — any 1..=16 hex digits — comes back
+/// canonicalized (16 digits, zero-padded) on **every** response kind:
+/// admitted, rejected, departed, rebound, status, failed, parse error,
+/// overloaded, deadline, and all introspection answers.
+#[test]
+fn client_trace_ids_round_trip_through_every_response_kind() {
+    use sdfrs_core::service::CommitLog;
+    use sdfrs_net::server::{NetServer, ServerOptions};
+    use std::time::Duration;
+
+    let spawn = |options: ServerOptions| {
+        NetServer::spawn(
+            AllocationService::new(&apps::example_platform()),
+            CommitLog::new(),
+            options,
+            "127.0.0.1:0",
+        )
+        .expect("bind loopback")
+    };
+    let relaxed = ServerOptions {
+        deadline: Duration::from_secs(120),
+        queue_watermark: 4096,
+        ..ServerOptions::default()
+    };
+    let normal = spawn(relaxed.clone());
+    let shedding = spawn(ServerOptions {
+        queue_watermark: 0,
+        ..relaxed.clone()
+    });
+    let expiring = spawn(ServerOptions {
+        deadline: Duration::ZERO,
+        ..relaxed.clone()
+    });
+    let mut normal_client = client::Client::connect(normal.local_addr());
+    let mut shed_client = client::Client::connect(shedding.local_addr());
+    let mut expire_client = client::Client::connect(expiring.local_addr());
+
+    let mut rng = SmallRng::seed_from_u64(0x5DF5_0004);
+    let mut sessions: Vec<u64> = Vec::new();
+    let mut seen: Vec<String> = Vec::new();
+
+    // A random hex id of 1..=16 digits and its canonical echo.
+    let random_trace = |rng: &mut SmallRng| {
+        let digits = (rng.below(16) + 1) as usize;
+        let mask = if digits == 16 {
+            u64::MAX
+        } else {
+            (1u64 << (4 * digits)) - 1
+        };
+        let hex = format!("{:0digits$x}", rng.below(u64::MAX) & mask);
+        let canonical = TraceId::from_hex(&hex).expect("valid hex").to_string();
+        (hex, canonical)
+    };
+    let with_trace =
+        |line: &str, hex: &str| format!("{},\"trace\":\"{hex}\"}}", &line[..line.len() - 1]);
+
+    for case in 0..CASES {
+        let (hex, canonical) = random_trace(&mut rng);
+        let (client, line): (&mut client::Client, String) = match rng.below(8) {
+            // Parseable-but-invalid request: the trace still echoes on
+            // the typed parse error.
+            0 => (
+                &mut normal_client,
+                with_trace("{\"op\":\"evict\",\"session\":3}", &hex),
+            ),
+            // Introspection answers echo too.
+            1 => {
+                let what =
+                    ["metrics", "health", "sessions", "traces", "nope"][rng.below(5) as usize];
+                (
+                    &mut normal_client,
+                    with_trace(
+                        &format!("{{\"kind\":\"introspect\",\"what\":\"{what}\"}}"),
+                        &hex,
+                    ),
+                )
+            }
+            // Shed and deadline responses.
+            2 => (&mut shed_client, with_trace("{\"op\":\"status\"}", &hex)),
+            3 => (&mut expire_client, with_trace("{\"op\":\"status\"}", &hex)),
+            // The normal service mix (admit until the platform fills,
+            // so rejections appear; departs/rebinds of both live and
+            // bogus sessions, so ok and failed answers appear).
+            _ => {
+                let roll = rng.below(4);
+                let line = if sessions.is_empty() || roll == 0 {
+                    "{\"op\":\"admit\",\"example\":\"paper\"}".to_string()
+                } else if roll == 1 {
+                    let at = rng.below(sessions.len() as u64) as usize;
+                    format!(
+                        "{{\"op\":\"depart\",\"session\":{}}}",
+                        sessions.swap_remove(at)
+                    )
+                } else if roll == 2 {
+                    format!("{{\"op\":\"rebind\",\"session\":{}}}", rng.below(1 << 40))
+                } else {
+                    "{\"op\":\"status\"}".to_string()
+                };
+                (&mut normal_client, with_trace(&line, &hex))
+            }
+        };
+        let response = client.round_trip(&line);
+        // The echo is always the response's final field (embedded span
+        // trees in the `traces` answer carry their own `"trace"` keys,
+        // so a first-match search would be wrong here).
+        assert!(
+            response.ends_with(&format!(",\"trace\":\"{canonical}\"}}")),
+            "case {case}: sent trace {hex:?}, response {response}"
+        );
+        if response_str(&response, "op").as_deref() == Some("admit")
+            && response_ok(&response) == Some(true)
+        {
+            sessions.push(response_u64(&response, "session").expect("admitted session"));
+        }
+        let kind = response_str(&response, "kind")
+            .or_else(|| {
+                response_str(&response, "op")
+                    .map(|op| format!("{op}:{}", response_ok(&response) == Some(true)))
+            })
+            .unwrap_or_default();
+        if !seen.contains(&kind) {
+            seen.push(kind);
+        }
+    }
+    // The mix genuinely exercised the breadth of the dialect.
+    for kind in [
+        "parse",
+        "overloaded",
+        "deadline",
+        "introspect",
+        "admit:true",
+    ] {
+        assert!(
+            seen.iter().any(|k| k == kind),
+            "response kind {kind} never seen; got {seen:?}"
+        );
+    }
+    normal.shutdown();
+    shedding.shutdown();
+    expiring.shutdown();
 }

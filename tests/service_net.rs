@@ -76,6 +76,15 @@ fn spawn_server(options: ServerOptions) -> NetServer {
     .expect("bind loopback")
 }
 
+/// Removes the trailing trace echo (`,"trace":"…"`) from a response
+/// line, recovering the bare service payload.
+fn strip_trace(line: &str) -> String {
+    match line.rfind(",\"trace\":\"") {
+        Some(at) if line.ends_with("\"}") => format!("{}}}", &line[..at]),
+        _ => line.to_string(),
+    }
+}
+
 fn relaxed_options() -> ServerOptions {
     ServerOptions {
         deadline: Duration::from_secs(120),
@@ -110,8 +119,15 @@ fn single_connection_matches_direct_service() {
         if response.commits() {
             commits += 1;
         }
+        // The wire adds exactly one thing to the payload: the trace
+        // echo (a server-derived id here, no client-supplied one).
+        assert!(
+            response_str(&over_wire[i], "trace").is_some(),
+            "response {i} lacks a trace echo: {}",
+            over_wire[i]
+        );
         let expected = response.to_json_line(i as u64 + 1);
-        assert_eq!(over_wire[i], expected, "response {i} differs");
+        assert_eq!(strip_trace(&over_wire[i]), expected, "response {i} differs");
     }
 
     let report = server.shutdown();

@@ -1,0 +1,337 @@
+//! Request-tracing tests for the networked allocation service: the
+//! golden span tree of one admit, the introspection dialect, and the
+//! flight recorder's anomaly pinning — all over real loopback TCP.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use sdfrs_appmodel::apps::example_platform;
+use sdfrs_core::service::{AllocationService, CommitLog};
+use sdfrs_core::Metrics;
+use sdfrs_net::server::{NetServer, ServerOptions};
+use sdfrs_net::wire::{response_ok, response_str, response_u64, FrameBuffer};
+
+/// A test client: one connection, strict request/response lockstep.
+struct Client {
+    stream: TcpStream,
+    frames: FrameBuffer,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_millis(20)))
+            .unwrap();
+        Client {
+            stream,
+            frames: FrameBuffer::default(),
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.stream.write_all(line.as_bytes()).expect("send");
+        self.stream.write_all(b"\n").expect("send newline");
+    }
+
+    fn recv(&mut self) -> String {
+        let deadline = std::time::Instant::now() + Duration::from_secs(60);
+        let mut buf = [0u8; 4096];
+        loop {
+            if let Some(line) = self.frames.next_line().expect("well-framed response") {
+                return line;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "no response within 60s"
+            );
+            match self.stream.read(&mut buf) {
+                Ok(0) => panic!("server closed the connection unexpectedly"),
+                Ok(n) => self.frames.push_bytes(&buf[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut => {}
+                Err(e) => panic!("read error: {e}"),
+            }
+        }
+    }
+
+    fn round_trip(&mut self, line: &str) -> String {
+        self.send(line);
+        self.recv()
+    }
+}
+
+fn spawn_server(options: ServerOptions) -> NetServer {
+    let arch = example_platform();
+    NetServer::spawn(
+        AllocationService::new(&arch),
+        CommitLog::new(),
+        options,
+        "127.0.0.1:0",
+    )
+    .expect("bind loopback")
+}
+
+fn relaxed_options() -> ServerOptions {
+    ServerOptions {
+        deadline: Duration::from_secs(120),
+        queue_watermark: 4096,
+        ..ServerOptions::default()
+    }
+}
+
+/// Zeroes every wall-clock microsecond value (`…_us":N`, including the
+/// events' `"t_us"`) so span trees compare structurally: everything
+/// else in a trace line is deterministic.
+fn normalize_times(line: &str) -> String {
+    let bytes = line.as_bytes();
+    let mut out = String::with_capacity(line.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        out.push(bytes[i] as char);
+        if line[..=i].ends_with("_us\":") {
+            i += 1;
+            if bytes.get(i) == Some(&b'-') {
+                i += 1;
+            }
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            out.push('0');
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// The span tree of one admitted request, pinned structurally: stable
+/// modulo timestamps. A client-supplied trace id names the tree, the
+/// `parse`/`queue`/`execute` children are all present, and the
+/// `execute` span carries the allocator's full event stream.
+#[test]
+fn golden_span_tree_for_one_admit() {
+    let server = spawn_server(relaxed_options());
+    let mut client = Client::connect(server.local_addr());
+    let response =
+        client.round_trip("{\"op\":\"admit\",\"example\":\"paper\",\"trace\":\"deadbeef\"}");
+    assert_eq!(
+        response_str(&response, "trace").as_deref(),
+        Some("00000000deadbeef")
+    );
+
+    let report = server.shutdown();
+    let entries = report.flight_recorder.entries();
+    let entry = entries
+        .iter()
+        .find(|e| e.trace.id.to_string() == "00000000deadbeef")
+        .expect("the admit's trace is in the flight recorder ring");
+    assert_eq!(
+        entry.anomaly, None,
+        "a fast successful admit is not anomalous"
+    );
+
+    let golden = concat!(
+        "{\"trace\":\"00000000deadbeef\",\"op\":\"admit\",\"outcome\":\"admitted\",",
+        "\"total_us\":0,\"annotations\":{\"queue_wait_us\":0,\"deadline_remaining_us\":0,",
+        "\"warm_cache_hit\":true},",
+        "\"span\":{\"name\":\"request\",\"start_us\":0,\"end_us\":0,\"children\":[",
+        "{\"name\":\"parse\",\"start_us\":0,\"end_us\":0},",
+        "{\"name\":\"queue\",\"start_us\":0,\"end_us\":0},",
+        "{\"name\":\"execute\",\"start_us\":0,\"end_us\":0,\"events\":[",
+        "{\"t_us\":0,\"event\":\"flow_started\",\"app\":\"paper_example\",",
+        "\"actors\":3,\"channels\":3,\"tiles\":2,\"constraint\":\"1/30\"},",
+    );
+    let normalized = normalize_times(&entry.trace.to_json());
+    assert!(
+        normalized.starts_with(golden),
+        "span tree drifted from the golden prefix:\n got {normalized}\nwant {golden}…"
+    );
+    // The execute span's event stream is the allocator's full flow
+    // bracket, in order.
+    let events_at = normalized
+        .find("\"events\":[")
+        .expect("execute span has events");
+    let events = &normalized[events_at..];
+    let first_kind = events
+        .find("\"event\":\"")
+        .map(|at| &events[at + 9..at + 9 + 12]);
+    assert_eq!(first_kind, Some("flow_started"), "in {events}");
+    assert!(
+        events.contains("\"event\":\"flow_finished\""),
+        "flow bracket closes: {events}"
+    );
+    assert!(
+        events.contains("\"event\":\"session_admitted\""),
+        "the service's admission event is captured: {events}"
+    );
+}
+
+/// The `introspect what=metrics` answer embeds byte-for-byte the same
+/// snapshot the server's registry renders locally — the live dialect
+/// and the exporter can be diffed against each other.
+#[test]
+fn introspect_metrics_matches_registry_snapshot() {
+    let metrics = Metrics::collecting();
+    let server = spawn_server(ServerOptions {
+        metrics: Some(metrics.clone()),
+        ..relaxed_options()
+    });
+    let mut client = Client::connect(server.local_addr());
+    let admit = client.round_trip("{\"op\":\"admit\",\"example\":\"paper\"}");
+    assert_eq!(response_ok(&admit), Some(true));
+
+    let answer = client.round_trip("{\"kind\":\"introspect\",\"what\":\"metrics\"}");
+    assert_eq!(response_ok(&answer), Some(true));
+    assert_eq!(response_str(&answer, "what").as_deref(), Some("metrics"));
+
+    // Nothing has touched the registry since the introspect was
+    // answered (single lock-step connection), so the local snapshot
+    // must render identically.
+    let embedded_at = answer
+        .find("\"metrics\":")
+        .expect("answer embeds a snapshot");
+    let embedded = &answer[embedded_at + "\"metrics\":".len()..];
+    let embedded = &embedded[..embedded.rfind(",\"trace\":\"").expect("trace echo")];
+    let local = metrics.snapshot().expect("collecting handle").to_json();
+    assert_eq!(embedded, local);
+    server.shutdown();
+}
+
+/// `health`, `sessions` and `traces` answer live state; an unknown
+/// target gets a typed error. All four echo the request's trace id.
+#[test]
+fn introspect_health_sessions_traces_and_unknown() {
+    let server = spawn_server(relaxed_options());
+    let mut client = Client::connect(server.local_addr());
+    let admit = client.round_trip("{\"op\":\"admit\",\"example\":\"paper\"}");
+    assert_eq!(response_ok(&admit), Some(true));
+
+    let health =
+        client.round_trip("{\"kind\":\"introspect\",\"what\":\"health\",\"trace\":\"ab\"}");
+    assert_eq!(response_ok(&health), Some(true));
+    assert_eq!(response_u64(&health, "queue_watermark"), Some(4096));
+    assert_eq!(response_u64(&health, "live_connections"), Some(1));
+    assert_eq!(response_u64(&health, "flight_recorded"), Some(1));
+    assert_eq!(response_u64(&health, "flight_pinned"), Some(0));
+    assert_eq!(
+        response_str(&health, "trace").as_deref(),
+        Some("00000000000000ab")
+    );
+
+    let sessions = client.round_trip("{\"kind\":\"introspect\",\"what\":\"sessions\"}");
+    assert_eq!(response_ok(&sessions), Some(true));
+    assert_eq!(response_u64(&sessions, "live"), Some(1));
+    assert!(
+        sessions.contains("\"app\":\"paper_example\""),
+        "session summary names the app: {sessions}"
+    );
+
+    let traces = client.round_trip("{\"kind\":\"introspect\",\"what\":\"traces\"}");
+    assert_eq!(response_ok(&traces), Some(true));
+    assert_eq!(response_u64(&traces, "recorded"), Some(1));
+    assert!(
+        traces.contains("\"outcome\":\"admitted\""),
+        "the admit's span tree is in the dump: {traces}"
+    );
+
+    let unknown = client.round_trip("{\"kind\":\"introspect\",\"what\":\"nope\"}");
+    assert_eq!(response_ok(&unknown), Some(false));
+    assert!(unknown.contains("unknown introspection target"));
+    server.shutdown();
+}
+
+/// Introspection requests count toward `--max-requests` accounting but
+/// never enter the latency histogram or the flight recorder.
+#[test]
+fn introspects_are_counted_but_not_traced() {
+    let metrics = Metrics::collecting();
+    let server = spawn_server(ServerOptions {
+        metrics: Some(metrics.clone()),
+        ..relaxed_options()
+    });
+    let mut client = Client::connect(server.local_addr());
+    client.round_trip("{\"kind\":\"introspect\",\"what\":\"health\"}");
+    client.round_trip("{\"kind\":\"introspect\",\"what\":\"sessions\"}");
+    let report = server.shutdown();
+    assert_eq!(report.stats.requests_received, 2);
+    assert_eq!(report.stats.introspects, 2);
+    assert_eq!(report.stats.traces_recorded, 0);
+    assert_eq!(report.stats.latency_us.count, 0);
+    assert_eq!(report.flight_recorder.recorded(), 0);
+}
+
+/// Every anomaly class observable over the wire — shed, deadline
+/// expiry, parse error, slow completion — lands pinned in the flight
+/// recorder with a complete span tree.
+#[test]
+fn anomalies_are_pinned_over_tcp() {
+    // Shed: watermark 0 sheds every request at arrival.
+    let server = spawn_server(ServerOptions {
+        queue_watermark: 0,
+        ..relaxed_options()
+    });
+    let mut client = Client::connect(server.local_addr());
+    let shed = client.round_trip("{\"op\":\"admit\",\"example\":\"paper\",\"trace\":\"5ed\"}");
+    assert_eq!(response_str(&shed, "kind").as_deref(), Some("overloaded"));
+    let report = server.shutdown();
+    let pinned = report.flight_recorder.pinned();
+    assert_eq!(pinned.len(), 1);
+    assert_eq!(pinned[0].anomaly, Some("shed"));
+    assert_eq!(pinned[0].trace.id.to_string(), "00000000000005ed");
+    assert!(pinned[0].trace.to_json().contains("\"queue_depth\":0"));
+
+    // Deadline: a zero deadline expires every queued request.
+    let server = spawn_server(ServerOptions {
+        deadline: Duration::ZERO,
+        ..relaxed_options()
+    });
+    let mut client = Client::connect(server.local_addr());
+    let expired = client.round_trip("{\"op\":\"status\"}");
+    assert_eq!(response_str(&expired, "kind").as_deref(), Some("deadline"));
+    let report = server.shutdown();
+    let pinned = report.flight_recorder.pinned();
+    assert_eq!(pinned.len(), 1);
+    assert_eq!(pinned[0].anomaly, Some("deadline"));
+
+    // Parse error and slow completion share a server: a zero slow
+    // threshold pins every completed request by latency.
+    let server = spawn_server(ServerOptions {
+        slow_threshold: Some(Duration::ZERO),
+        ..relaxed_options()
+    });
+    let mut client = Client::connect(server.local_addr());
+    let garbage = client.round_trip("this is not json");
+    assert_eq!(response_ok(&garbage), Some(false));
+    let ok = client.round_trip("{\"op\":\"status\"}");
+    assert_eq!(response_ok(&ok), Some(true));
+    let report = server.shutdown();
+    let pinned = report.flight_recorder.pinned();
+    let anomalies: Vec<_> = pinned.iter().filter_map(|e| e.anomaly).collect();
+    assert!(
+        anomalies.contains(&"parse_error") && anomalies.contains(&"slow"),
+        "expected parse_error and slow pins, got {anomalies:?}"
+    );
+    // Every pinned trace renders a complete span tree.
+    for entry in &pinned {
+        let json = entry.to_json();
+        assert!(json.contains("\"span\":{\"name\":\"request\""), "{json}");
+        assert!(
+            json.contains("\"name\":\"parse\"") || entry.anomaly == Some("deadline"),
+            "{json}"
+        );
+    }
+
+    // The trace dump is one well-formed JSONL line per entry.
+    let dump = report.flight_recorder.dump_jsonl();
+    assert_eq!(dump.lines().count(), report.flight_recorder.entries().len());
+    for line in dump.lines() {
+        assert!(
+            line.starts_with("{\"seq\":") && line.ends_with('}'),
+            "{line}"
+        );
+    }
+}
