@@ -4,6 +4,7 @@
 //! ```text
 //! sdfrs-loadgen [output.json] [--addr HOST:PORT] [--clients N]
 //!               [--requests N] [--seed N]
+//!               [--policy greedy|best-fit|exact|portfolio]
 //! ```
 //!
 //! Two modes:
@@ -36,6 +37,7 @@ use std::net::SocketAddr;
 use std::process::ExitCode;
 
 use sdfrs_appmodel::apps::example_platform;
+use sdfrs_core::admission::AdmissionPolicy;
 use sdfrs_core::metrics::{HistogramSnapshot, NET_LATENCY_BOUNDS};
 use sdfrs_core::service::{replay_commit_log, AllocationService, CommitLog, ServiceConfig};
 use sdfrs_net::loadgen::{self, LoadgenOptions};
@@ -162,6 +164,9 @@ impl Phase {
 struct Args {
     out_path: String,
     addr: Option<SocketAddr>,
+    /// Admission policy of the self-hosted service (and its replay
+    /// check). Ignored with `--addr`: an external server has its own.
+    policy: AdmissionPolicy,
     options: LoadgenOptions,
 }
 
@@ -169,6 +174,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         out_path: "BENCH_service.json".into(),
         addr: None,
+        policy: AdmissionPolicy::default(),
         options: LoadgenOptions::default(),
     };
     let mut it = env::args().skip(1);
@@ -197,6 +203,12 @@ fn parse_args() -> Result<Args, String> {
                 let value = take("--seed")?;
                 args.options.seed = value.parse().map_err(|e| format!("--seed {value}: {e}"))?;
             }
+            "--policy" => {
+                let value = take("--policy")?;
+                args.policy = value
+                    .parse()
+                    .map_err(|e| format!("--policy {value}: {e}"))?;
+            }
             other if !other.starts_with("--") => args.out_path = other.to_string(),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -205,19 +217,28 @@ fn parse_args() -> Result<Args, String> {
 }
 
 /// Runs one self-hosted phase: fresh server, loadgen, drain, replay.
+/// The policy reaches both the served service and the replay check —
+/// the replay must re-admit with the same backend to reproduce the
+/// residual digest.
 fn hosted_phase(
     name: &'static str,
     queue_watermark: usize,
+    policy: AdmissionPolicy,
     options: &LoadgenOptions,
 ) -> Result<Phase, String> {
     let arch = example_platform();
+    let service_config = || {
+        let mut c = ServiceConfig::default();
+        c.policy = policy;
+        c
+    };
     let server_options = ServerOptions {
         queue_watermark,
         flight_recorder: HOSTED_FLIGHT_CAPACITY,
         ..ServerOptions::default()
     };
     let server = NetServer::spawn(
-        AllocationService::new(&arch),
+        AllocationService::from_config(&arch, service_config()),
         CommitLog::new(),
         server_options,
         "127.0.0.1:0",
@@ -227,7 +248,7 @@ fn hosted_phase(
     let server_report = server.shutdown();
 
     let lines = server_report.commit_log.lines().iter().map(String::as_str);
-    let replayed = replay_commit_log(&arch, ServiceConfig::default(), lines)
+    let replayed = replay_commit_log(&arch, service_config(), lines)
         .map_err(|e| format!("{name}: commit log does not replay: {e}"))?;
     let replay_ok = replayed.residual_digest() == server_report.residual_digest();
     // Shed requests never commit and every commit was answered: with no
@@ -281,7 +302,8 @@ fn main() -> ExitCode {
             eprintln!("sdfrs-loadgen: {e}");
             eprintln!(
                 "usage: sdfrs-loadgen [output.json] [--addr HOST:PORT] \
-                 [--clients N] [--requests N] [--seed N]"
+                 [--clients N] [--requests N] [--seed N] \
+                 [--policy greedy|best-fit|exact|portfolio]"
             );
             return ExitCode::from(2);
         }
@@ -303,9 +325,15 @@ fn main() -> ExitCode {
         None => hosted_phase(
             "steady",
             ServerOptions::default().queue_watermark,
+            args.policy,
             &args.options,
         )
-        .and_then(|steady| Ok(vec![steady, hosted_phase("overload", 2, &args.options)?])),
+        .and_then(|steady| {
+            Ok(vec![
+                steady,
+                hosted_phase("overload", 2, args.policy, &args.options)?,
+            ])
+        }),
     };
     let phases = match phases {
         Ok(phases) => phases,

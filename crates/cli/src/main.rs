@@ -8,11 +8,12 @@
 //! sdfrs throughput <app.sdfa>                best-case single-tile throughput
 //! sdfrs flow <app.sdfa> <platform.sdfp>      run the full allocation strategy
 //!       [--weights c1,c2,c3] [--pipelined-noc]
+//!       [--policy greedy|best-fit|exact|portfolio] [--node-budget <n>]
 //! sdfrs trace <app.sdfa> <platform.sdfp> <horizon>
 //!                                            allocate, then print a Gantt chart
 //! sdfrs buffers <app.sdfa>                   minimal storage distribution for λ
 //! sdfrs multiapp <platform.sdfp> <app.sdfa>...
-//!                                            allocate applications in sequence
+//!       [--policy <p>] [--node-budget <n>]   allocate applications in sequence
 //! sdfrs verify <app.sdfa> <platform.sdfp>    allocate, then independently
 //!                                            re-verify the result
 //! sdfrs serve <platform.sdfp> [--input <req.jsonl>] [--batch <n>]
@@ -22,6 +23,7 @@
 //!             [--listen <host:port>]         …or serve them over TCP
 //!             [--watermark <n>] [--deadline-ms <n>] [--max-requests <n>]
 //!             [--flight-recorder <n>] [--slow-ms <n>] [--trace-dump <f>]
+//!             [--policy <p>] [--node-budget <n>]
 //! sdfrs generate <set> <seed> <count> [dir]  emit generated applications
 //! sdfrs example <name>                       print a bundled model; names:
 //!     paper h263 mp3 cd2dat satellite platform
@@ -61,6 +63,14 @@
 //! at shutdown. Clients may also ask the server directly with
 //! `{"kind":"introspect","what":"metrics"|"health"|"sessions"|"traces"}`.
 //!
+//! The allocating commands `flow`, `multiapp` and `serve` share one
+//! solver vocabulary: `--policy greedy|best-fit|exact|portfolio`
+//! selects the admission backend (default `greedy`, the paper's
+//! heuristic), and `--node-budget <n>` caps the branch-and-bound search
+//! of `exact`/`portfolio`. Solver-backed runs print (or, for `serve`,
+//! embed in each `admitted` JSONL response) the certified throughput
+//! bound pair, the optimality gap, and proof-of-work node counts.
+//!
 //! The global `--trace <file>` option writes every flow event of the
 //! allocating commands (`flow`, `trace`, `verify`, `multiapp`, `serve`)
 //! as JSON Lines; `--verbose` streams the same events human-readably on
@@ -76,6 +86,7 @@ use std::io::{self, Write};
 use std::process::ExitCode;
 
 use sdfrs_appmodel::apps;
+use sdfrs_core::admission::AdmissionPolicy;
 use sdfrs_core::cost::CostWeights;
 use sdfrs_core::flow::FlowConfig;
 use sdfrs_core::{Allocator, EventSink, JsonlSink, LogSink, Metrics, MultiSink, NullSink};
@@ -315,6 +326,10 @@ fn dispatch(
                 out,
                 "                --metrics-out <file> (export allocator metrics), --metrics-format prom|json"
             );
+            outln!(
+                out,
+                "policy options (flow, multiapp, serve): --policy greedy|best-fit|exact|portfolio, --node-budget <n>"
+            );
             Ok(())
         }
         other => Err(format!("unknown command {other:?} (try help)")),
@@ -388,6 +403,42 @@ fn parse_weights(spec: &str) -> Result<CostWeights, String> {
     Ok(CostWeights::new(vals[0], vals[1], vals[2]))
 }
 
+/// Splits the shared `--policy <greedy|best-fit|exact|portfolio>` and
+/// `--node-budget <n>` options off an argument list — the one policy
+/// vocabulary `flow`, `multiapp`, `serve` and `sdfrs-loadgen` agree on.
+/// Returns `None` when no `--policy` was given (commands keep their
+/// historical default path).
+fn split_policy(options: &[String]) -> Result<(Option<AdmissionPolicy>, Vec<String>), String> {
+    let mut policy: Option<AdmissionPolicy> = None;
+    let mut node_budget: Option<u64> = None;
+    let mut rest = Vec::new();
+    let mut iter = options.iter();
+    while let Some(a) = iter.next() {
+        let parse = |spec: &str| -> Result<AdmissionPolicy, String> {
+            spec.parse().map_err(|e| format!("--policy {spec:?}: {e}"))
+        };
+        if a == "--policy" {
+            policy = Some(parse(iter.next().ok_or("--policy needs a name")?)?);
+        } else if let Some(p) = a.strip_prefix("--policy=") {
+            policy = Some(parse(p)?);
+        } else if a == "--node-budget" {
+            let n = iter.next().ok_or("--node-budget needs a count")?;
+            node_budget = Some(n.parse().map_err(|_| format!("bad node budget {n:?}"))?);
+        } else if let Some(n) = a.strip_prefix("--node-budget=") {
+            node_budget = Some(n.parse().map_err(|_| format!("bad node budget {n:?}"))?);
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    if let Some(budget) = node_budget {
+        match policy {
+            Some(p) if p.exact_config().is_some() => policy = Some(p.with_node_budget(budget)),
+            _ => return Err("--node-budget needs --policy exact or --policy portfolio".into()),
+        }
+    }
+    Ok((policy, rest))
+}
+
 fn flow_config(options: &[String]) -> Result<FlowConfig, String> {
     let mut config = FlowConfig::with_weights(CostWeights::BALANCED);
     for opt in options {
@@ -414,18 +465,54 @@ fn flow(
     let app = load_app(app_path)?;
     let arch = format::parse_platform(&read(platform_path)?)
         .map_err(|e| format!("{platform_path}: {e}"))?;
-    let config = flow_config(options)?;
+    let (policy, options) = split_policy(options)?;
+    let config = flow_config(&options)?;
     let state = PlatformState::new(&arch);
     let mut allocator = Allocator::from_config(config)
         .with_boxed_sink(sink)
         .with_metrics(metrics.clone());
-    let result = allocator.allocate(&app, &arch, &state);
+    let policy = policy.unwrap_or_default();
+    if policy.is_heuristic() {
+        let result = allocator.allocate(&app, &arch, &state);
+        allocator.flush();
+        let (alloc, stats) = result.map_err(|e| e.to_string())?;
+        outp!(
+            out,
+            "{}",
+            sdfrs_core::report::render_allocation(&app, &arch, &alloc, Some(&stats))
+        );
+        return Ok(());
+    }
+    let backend = policy.solver_backend();
+    let result = allocator.solve_with(backend.as_ref(), &app, &arch, &state);
     allocator.flush();
-    let (alloc, stats) = result.map_err(|e| e.to_string())?;
+    let outcome = result.map_err(|e| e.to_string())?;
     outp!(
         out,
         "{}",
-        sdfrs_core::report::render_allocation(&app, &arch, &alloc, Some(&stats))
+        sdfrs_core::report::render_allocation(
+            &app,
+            &arch,
+            &outcome.allocation,
+            Some(&outcome.stats)
+        )
+    );
+    let r = &outcome.report;
+    outln!(out, "solver {} certificate:", r.kind.name());
+    outln!(
+        out,
+        "  throughput bounds [{}, {}] gap {}",
+        r.lower,
+        r.upper,
+        r.gap
+    );
+    outln!(
+        out,
+        "  proven optimal: {} ({} nodes, {} LP pivots, {} leaves)",
+        r.proven_optimal,
+        r.nodes_expanded,
+        r.lp_pivots,
+        r.leaves_evaluated
     );
     Ok(())
 }
@@ -514,11 +601,12 @@ fn verify(
 
 fn multiapp(
     platform_path: &str,
-    app_paths: &[String],
+    app_args: &[String],
     sink: Box<dyn EventSink>,
     metrics: &Metrics,
     out: &mut dyn Write,
 ) -> Result<(), String> {
+    let (policy, app_paths) = split_policy(app_args)?;
     if app_paths.is_empty() {
         return Err("multiapp needs at least one application file".into());
     }
@@ -526,13 +614,51 @@ fn multiapp(
         .map_err(|e| format!("{platform_path}: {e}"))?;
     // Each file may hold a single application or a bundle of them.
     let mut apps = Vec::new();
-    for p in app_paths {
+    for p in &app_paths {
         let parsed = format::parse_applications(&read(p)?).map_err(|e| format!("{p}: {e}"))?;
         apps.extend(parsed);
     }
     let mut allocator = Allocator::new()
         .with_boxed_sink(sink)
         .with_metrics(metrics.clone());
+    // With an explicit `--policy`, admit through the unified solver
+    // front-end (skip rejected applications, report certified bounds);
+    // without one, keep the paper's stop-at-first-failure sequence.
+    if let Some(policy) = policy {
+        let result = allocator.admit_with(&apps, &arch, policy);
+        allocator.flush();
+        for (app_id, alloc, stats) in &result.admitted {
+            let app = &apps[app_id.index()];
+            outp!(
+                out,
+                "{}",
+                sdfrs_core::report::render_allocation(app, &arch, alloc, Some(stats))
+            );
+            if let Some(report) = result.report_for(*app_id) {
+                outln!(
+                    out,
+                    "  solver {}: bounds [{}, {}] gap {} ({} nodes)",
+                    report.kind.name(),
+                    report.lower,
+                    report.upper,
+                    report.gap,
+                    report.nodes_expanded
+                );
+            }
+            outln!(out);
+        }
+        for (app_id, e) in &result.rejected {
+            outln!(out, "rejected {app_id}: {e}");
+        }
+        outln!(
+            out,
+            "policy {}: {} of {} applications admitted",
+            policy.name(),
+            result.admitted_count(),
+            apps.len()
+        );
+        return Ok(());
+    }
     let result = allocator.allocate_sequence(&apps, &arch);
     allocator.flush();
     for (i, alloc) in result.allocations.iter().enumerate() {
@@ -587,6 +713,7 @@ fn parse_regions(spec: &str) -> Result<usize, String> {
 
 /// Options of the `serve` command, offline and networked.
 struct ServeOptions {
+    policy: AdmissionPolicy,
     input_path: Option<String>,
     batch: usize,
     regions: usize,
@@ -602,7 +729,9 @@ struct ServeOptions {
 }
 
 fn parse_serve_options(options: &[String]) -> Result<ServeOptions, String> {
+    let (policy, options) = split_policy(options)?;
     let mut parsed = ServeOptions {
+        policy: policy.unwrap_or_default(),
         input_path: None,
         batch: 1,
         regions: 1,
@@ -711,6 +840,7 @@ fn serve(
         .map_err(|e| format!("{platform_path}: {e}"))?;
     let opts = parse_serve_options(options)?;
     let mut config = ServiceConfig::default();
+    config.policy = opts.policy;
     config.batch_capacity = opts.batch;
     config.regions = opts.regions;
 
@@ -985,6 +1115,30 @@ mod tests {
         assert!(run(&["help".into()], &mut out).is_ok());
         let help = String::from_utf8(out).unwrap();
         assert!(help.contains("--trace"));
+        assert!(help.contains("--policy greedy|best-fit|exact|portfolio"));
+    }
+
+    #[test]
+    fn policy_options_split() {
+        let (p, rest) =
+            split_policy(&["--policy".into(), "exact".into(), "x.sdfa".into()]).unwrap();
+        assert_eq!(p, Some(AdmissionPolicy::exact()));
+        assert_eq!(rest, vec!["x.sdfa".to_string()]);
+
+        let (p, rest) =
+            split_policy(&["--policy=portfolio".into(), "--node-budget=9".into()]).unwrap();
+        let p = p.unwrap();
+        assert_eq!(p.name(), "portfolio");
+        assert_eq!(p.exact_config().unwrap().node_budget, 9);
+        assert!(rest.is_empty());
+
+        let (p, _) = split_policy(&["--weights=1,1,1".into()]).unwrap();
+        assert!(p.is_none());
+
+        // The budget only means something to the searching backends.
+        assert!(split_policy(&["--node-budget".into(), "5".into()]).is_err());
+        assert!(split_policy(&["--policy=greedy".into(), "--node-budget=5".into()]).is_err());
+        assert!(split_policy(&["--policy".into(), "simplex".into()]).is_err());
     }
 
     #[test]

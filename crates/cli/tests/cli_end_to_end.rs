@@ -384,6 +384,124 @@ fn serve_rejects_malformed_requests_with_line_numbers() {
 }
 
 #[test]
+fn help_pins_the_unified_policy_flag() {
+    let (out, _, ok) = sdfrs(&["help"]);
+    assert!(ok);
+    assert!(
+        out.contains("--policy greedy|best-fit|exact|portfolio"),
+        "help names the one policy vocabulary: {out}"
+    );
+    assert!(out.contains("--node-budget"), "{out}");
+}
+
+#[test]
+fn flow_policy_exact_prints_a_certificate() {
+    let (app_text, _, _) = sdfrs(&["example", "paper"]);
+    let (platform_text, _, _) = sdfrs(&["example", "platform"]);
+    let app = write_temp("e_app.sdfa", &app_text);
+    let platform = write_temp("e_platform.sdfp", &platform_text);
+
+    let (out, err, ok) = sdfrs(&[
+        "flow",
+        app.to_str().unwrap(),
+        platform.to_str().unwrap(),
+        "--policy",
+        "exact",
+    ]);
+    assert!(ok, "stdout: {out}\nstderr: {err}");
+    assert!(out.contains("solver exact certificate:"), "{out}");
+    assert!(out.contains("throughput bounds ["), "{out}");
+    assert!(out.contains("proven optimal:"), "{out}");
+
+    // The searching policies are the only ones that accept a node budget.
+    let (_, err, ok) = sdfrs(&[
+        "flow",
+        app.to_str().unwrap(),
+        platform.to_str().unwrap(),
+        "--policy=greedy",
+        "--node-budget=5",
+    ]);
+    assert!(!ok);
+    assert!(err.contains("--node-budget needs --policy exact"), "{err}");
+
+    let _ = std::fs::remove_file(app);
+    let _ = std::fs::remove_file(platform);
+}
+
+/// `serve --policy exact` certifies every admitted response with the
+/// solver's bound pair; the default greedy transcript stays free of the
+/// solver fields (golden-transcript compatibility).
+#[test]
+fn serve_policy_exact_reports_solver_fields_in_jsonl() {
+    let (platform_text, _, _) = sdfrs(&["example", "platform"]);
+    let platform = write_temp("sp_platform.sdfp", &platform_text);
+    let reqs = write_temp(
+        "sp_reqs.jsonl",
+        "{\"op\":\"admit\",\"example\":\"paper\"}\n{\"op\":\"status\"}\n",
+    );
+
+    let (out, err, ok) = sdfrs(&[
+        "serve",
+        platform.to_str().unwrap(),
+        "--input",
+        reqs.to_str().unwrap(),
+        "--policy",
+        "exact",
+    ]);
+    assert!(ok, "stdout: {out}\nstderr: {err}");
+    let admitted = out
+        .lines()
+        .find(|l| l.contains("\"op\":\"admit\"") && l.contains("\"ok\":true"))
+        .expect("an admitted response");
+    assert!(admitted.contains("\"solver\":\"exact\""), "{admitted}");
+    for field in [
+        "\"lower\":",
+        "\"upper\":",
+        "\"gap\":",
+        "\"proven_optimal\":",
+        "\"nodes\":",
+    ] {
+        assert!(admitted.contains(field), "missing {field}: {admitted}");
+    }
+
+    let (out, _, ok) = sdfrs(&[
+        "serve",
+        platform.to_str().unwrap(),
+        "--input",
+        reqs.to_str().unwrap(),
+    ]);
+    assert!(ok);
+    assert!(
+        !out.contains("\"solver\""),
+        "greedy transcripts carry no solver fields: {out}"
+    );
+
+    let _ = std::fs::remove_file(platform);
+    let _ = std::fs::remove_file(reqs);
+}
+
+#[test]
+fn multiapp_policy_portfolio_admits_and_certifies() {
+    let (app_text, _, _) = sdfrs(&["example", "paper"]);
+    let (platform_text, _, _) = sdfrs(&["example", "platform"]);
+    let app = write_temp("mp_app.sdfa", &app_text);
+    let platform = write_temp("mp_platform.sdfp", &platform_text);
+    let (out, err, ok) = sdfrs(&[
+        "multiapp",
+        platform.to_str().unwrap(),
+        "--policy",
+        "portfolio",
+        app.to_str().unwrap(),
+        app.to_str().unwrap(),
+    ]);
+    assert!(ok, "stdout: {out}\nstderr: {err}");
+    assert!(out.contains("policy portfolio:"), "{out}");
+    assert!(out.contains("solver portfolio: bounds ["), "{out}");
+    let _ = std::fs::remove_file(app);
+    let _ = std::fs::remove_file(platform);
+}
+
+#[test]
 fn preset_platforms_parse_back() {
     for name in ["daytona", "eclipse", "hijdra", "stepnp"] {
         let (text, _, ok) = sdfrs(&["example", name]);

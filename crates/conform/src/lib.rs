@@ -45,7 +45,14 @@
 //!    must fold through the independent event→metrics bridge into
 //!    exactly the flow counters the service's own registry accumulated,
 //!    and the trace id must not influence the allocation (identical
-//!    event streams under different ids).
+//!    event streams under different ids);
+//! 10. **exact optimality** — on instances small enough to enumerate
+//!     (≤ 4 actors, ≤ 2 tiles), the branch-and-bound
+//!     [`exact`](sdfrs_core::exact) solver must match the budget-free
+//!     exhaustive enumeration bit-for-bit (binding, schedules, slices,
+//!     achieved throughput), must never report a worse lower bound than
+//!     the greedy heuristic achieves, and both must satisfy the
+//!     throughput constraint λ whenever they admit.
 //!
 //! A failing scenario is [`shrink`](shrink::shrink)-able to a minimal
 //! reproduction and persisted as a `.ron` [`corpus`] file, which the
@@ -140,6 +147,10 @@ pub enum OracleId {
     /// capture folds into the same flow counters), plus trace-id
     /// independence of the allocation.
     TraceReconciliation,
+    /// Branch-and-bound exact solver vs. exhaustive enumeration (bit
+    /// identical on enumerable instances) and vs. the greedy heuristic
+    /// (never worse, both constraint-satisfying).
+    ExactOptimality,
 }
 
 impl OracleId {
@@ -155,6 +166,7 @@ impl OracleId {
             OracleId::RegionEquivalence => "region_parallel_equivalence",
             OracleId::NetReplay => "net_replay_equivalence",
             OracleId::TraceReconciliation => "trace_reconciliation",
+            OracleId::ExactOptimality => "exact_optimality",
         }
     }
 }

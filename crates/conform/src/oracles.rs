@@ -6,6 +6,7 @@
 //! then require both routes to reject with the same error.
 
 use sdfrs_core::dse::{self, DseResult};
+use sdfrs_core::exact::enumerate_exhaustive;
 use sdfrs_core::flow::{Allocation, FlowStats};
 use sdfrs_core::verify::verify_allocation;
 use sdfrs_core::{
@@ -139,6 +140,11 @@ pub(crate) fn run_panel(scenario: &Scenario, config: &HarnessConfig) -> Scenario
 
     // Oracle 1 — HSDF equivalence (the paper's own claim).
     hsdf_oracle(scenario, config, &base, &mut failures, &mut skipped);
+
+    // Oracle 10 — exact optimality: on enumerable instances the
+    // branch-and-bound solver must equal the exhaustive optimum
+    // bit-for-bit and never trail the greedy heuristic.
+    exact_optimality_oracle(scenario, config, &base, &mut failures, &mut skipped);
 
     ScenarioReport {
         seed: None,
@@ -925,6 +931,143 @@ fn hsdf_oracle(
             oracle,
             detail: format!("self-timed analysis failed on the binding-aware graph: {e}"),
         }),
+    }
+}
+
+/// Oracle 10 — exact optimality.
+///
+/// Gated to instances small enough to enumerate every (binding,
+/// static-order, slice) assignment outright (≤ 4 actors, ≤ 2 tiles);
+/// everything larger is recorded as a skip. On enumerable instances:
+///
+/// * the branch-and-bound solver (default budget) must reproduce the
+///   exhaustive enumeration's outcome **bit-for-bit** — identical
+///   binding, schedules, slices, and achieved throughput, or the
+///   identical rejection — which pins both the bound soundness (pruning
+///   never removes the optimum) and the deterministic tie-breaking;
+/// * when the greedy heuristic admits, the exact solver must admit too,
+///   with a certified lower bound no worse than greedy's achieved
+///   throughput;
+/// * every admitting route must satisfy the throughput constraint λ.
+fn exact_optimality_oracle(
+    scenario: &Scenario,
+    config: &HarnessConfig,
+    base: &FlowOutcome,
+    failures: &mut Vec<OracleFailure>,
+    skipped: &mut Vec<(OracleId, String)>,
+) {
+    let app = &scenario.app;
+    let arch = &scenario.arch;
+    let oracle = OracleId::ExactOptimality;
+    let actors = app.graph().actor_count();
+    let tiles = arch.tile_count();
+    if actors > 4 || tiles > 2 {
+        skipped.push((
+            oracle,
+            format!("{actors} actors × {tiles} tiles is beyond exhaustive enumeration"),
+        ));
+        return;
+    }
+    let state = PlatformState::new(arch);
+    let fail = |failures: &mut Vec<OracleFailure>, detail: String| {
+        failures.push(OracleFailure { oracle, detail });
+    };
+
+    let exact = Allocator::from_config(config.flow).solve_with(
+        &sdfrs_core::Exact::default(),
+        app,
+        arch,
+        &state,
+    );
+    let exhaustive =
+        enumerate_exhaustive(&mut Allocator::from_config(config.flow), app, arch, &state);
+
+    match (&exact, &exhaustive) {
+        (Ok(e), Ok(x)) => {
+            if let Some(diff) = diff_allocations(&e.allocation, &x.allocation) {
+                fail(
+                    failures,
+                    format!("exact vs exhaustive allocations diverge: {diff}"),
+                );
+            }
+            if e.report.lower != x.report.lower {
+                fail(
+                    failures,
+                    format!(
+                        "exact lower bound {} but the exhaustive optimum is {}",
+                        e.report.lower, x.report.lower
+                    ),
+                );
+            }
+            if !e.report.proven_optimal {
+                fail(
+                    failures,
+                    "exact search left a gap on an enumerable instance".into(),
+                );
+            }
+        }
+        (Err(a), Err(b)) => {
+            if a.to_string() != b.to_string() {
+                fail(
+                    failures,
+                    format!("exact rejected with `{a}` but exhaustive with `{b}`"),
+                );
+            }
+        }
+        (Ok(_), Err(e)) => fail(
+            failures,
+            format!("exact admitted but exhaustive enumeration rejected with `{e}`"),
+        ),
+        (Err(e), Ok(_)) => fail(
+            failures,
+            format!("exhaustive enumeration admits but exact rejected with `{e}`"),
+        ),
+    }
+
+    // Exact dominates greedy, and every admitting route satisfies λ.
+    let lambda = app.throughput_constraint();
+    if let Ok((alloc, _)) = base {
+        let greedy_achieved = alloc.guaranteed_throughput();
+        if greedy_achieved < lambda {
+            fail(
+                failures,
+                format!("greedy admitted below λ: {greedy_achieved} < {lambda}"),
+            );
+        }
+        match &exact {
+            Ok(e) => {
+                if e.report.lower < greedy_achieved {
+                    fail(
+                        failures,
+                        format!(
+                            "exact lower bound {} trails greedy's achieved {}",
+                            e.report.lower, greedy_achieved
+                        ),
+                    );
+                }
+            }
+            Err(e) => fail(
+                failures,
+                format!("greedy admitted but exact rejected with `{e}`"),
+            ),
+        }
+    }
+    if let Ok(e) = &exact {
+        if e.report.lower < lambda {
+            fail(
+                failures,
+                format!("exact admitted below λ: {} < {lambda}", e.report.lower),
+            );
+        }
+        if e.report.upper < e.report.lower {
+            fail(
+                failures,
+                format!(
+                    "exact bound pair is inverted: [{}, {}]",
+                    e.report.lower, e.report.upper
+                ),
+            );
+        }
     }
 }
 

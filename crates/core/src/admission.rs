@@ -15,8 +15,10 @@ use sdfrs_sdf::Rational;
 use crate::allocator::Allocator;
 use crate::error::MapError;
 use crate::events::FlowEvent;
+use crate::exact::ExactConfig;
 use crate::flow::{Allocation, FlowConfig, FlowStats};
 use crate::ids::AppId;
+use crate::solver::{Exact, Greedy, Portfolio, SolveReport, SolverBackend};
 
 /// Strategies for ordering applications before allocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +39,17 @@ pub enum AdmissionOrder {
 /// How [`Allocator::admit_with`](crate::Allocator::admit_with) decides
 /// which applications to admit.
 ///
+/// This enum is now a thin *constructor facade* over the open
+/// [`SolverBackend`] trait: build values with the constructors
+/// ([`greedy`](AdmissionPolicy::greedy), [`best_fit`](AdmissionPolicy::best_fit),
+/// [`exact`](AdmissionPolicy::exact), [`portfolio`](AdmissionPolicy::portfolio),
+/// …), parse them from CLI strings with [`FromStr`](std::str::FromStr),
+/// and dispatch through
+/// [`solver_backend`](AdmissionPolicy::solver_backend) /
+/// [`Allocator::admit_with`] rather than matching on the variants —
+/// direct variant access is deprecated and will become private once the
+/// migration window closes (see CHANGELOG.md).
+///
 /// Marked `#[non_exhaustive]`: further protocols (e.g. utilization-aware
 /// or energy-aware fits) will grow more variants.
 #[non_exhaustive]
@@ -44,11 +57,165 @@ pub enum AdmissionOrder {
 pub enum AdmissionPolicy {
     /// Allocate in a static order ([`AdmissionOrder`]), skipping
     /// applications that fail — the run-time mechanism of Sec 10.1.
+    #[deprecated(
+        since = "0.10.0",
+        note = "construct with AdmissionPolicy::greedy() / first_fit(order) and dispatch through solver_backend()"
+    )]
     FirstFit(AdmissionOrder),
     /// Dynamic best-fit: each round speculatively allocates every
     /// remaining application and admits the one claiming the least total
     /// wheel time.
+    #[deprecated(
+        since = "0.10.0",
+        note = "construct with AdmissionPolicy::best_fit() and dispatch through solver_backend()"
+    )]
     BestFit,
+    /// Per-application branch-and-bound ([`crate::exact`]): admissions are
+    /// proved optimal (or bounded within a certified gap) instead of
+    /// merely heuristic.
+    #[deprecated(
+        since = "0.10.0",
+        note = "construct with AdmissionPolicy::exact() / exact_with(config) and dispatch through solver_backend()"
+    )]
+    Exact(ExactConfig),
+    /// Greedy-first with an exact-search-tightened bound pair per
+    /// admission ([`crate::solver::Portfolio`]).
+    #[deprecated(
+        since = "0.10.0",
+        note = "construct with AdmissionPolicy::portfolio() / portfolio_with(config) and dispatch through solver_backend()"
+    )]
+    Portfolio(ExactConfig),
+}
+
+#[allow(deprecated)]
+impl AdmissionPolicy {
+    /// The paper's heuristic in arrival order — the default policy.
+    pub fn greedy() -> Self {
+        AdmissionPolicy::FirstFit(AdmissionOrder::Arrival)
+    }
+
+    /// Static-order first fit with an explicit [`AdmissionOrder`].
+    pub fn first_fit(order: AdmissionOrder) -> Self {
+        AdmissionPolicy::FirstFit(order)
+    }
+
+    /// Dynamic best-fit (least claimed wheel time wins each round).
+    pub fn best_fit() -> Self {
+        AdmissionPolicy::BestFit
+    }
+
+    /// Branch-and-bound admission with the default [`ExactConfig`].
+    pub fn exact() -> Self {
+        AdmissionPolicy::Exact(ExactConfig::default())
+    }
+
+    /// Branch-and-bound admission with an explicit search budget.
+    pub fn exact_with(config: ExactConfig) -> Self {
+        AdmissionPolicy::Exact(config)
+    }
+
+    /// Greedy-first, exact-tightened admission with the default
+    /// [`ExactConfig`].
+    pub fn portfolio() -> Self {
+        AdmissionPolicy::Portfolio(ExactConfig::default())
+    }
+
+    /// Greedy-first, exact-tightened admission with an explicit budget.
+    pub fn portfolio_with(config: ExactConfig) -> Self {
+        AdmissionPolicy::Portfolio(config)
+    }
+
+    /// The stable lower-case label used by `--policy` flags and JSONL
+    /// fields (`"greedy"`, `"best-fit"`, `"exact"`, `"portfolio"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            AdmissionPolicy::FirstFit(_) => "greedy",
+            AdmissionPolicy::BestFit => "best-fit",
+            AdmissionPolicy::Exact(_) => "exact",
+            AdmissionPolicy::Portfolio(_) => "portfolio",
+        }
+    }
+
+    /// `true` for the heuristic policies (greedy first fit, best fit) —
+    /// the ones eligible for speculative region-parallel admission, whose
+    /// transcripts and metrics are bit-compatible with pre-solver
+    /// releases.
+    pub fn is_heuristic(&self) -> bool {
+        matches!(
+            self,
+            AdmissionPolicy::FirstFit(_) | AdmissionPolicy::BestFit
+        )
+    }
+
+    /// The [`SolverBackend`] this policy dispatches each admission
+    /// through. The heuristic policies resolve to [`Greedy`] (their
+    /// batch-level ordering/best-fit behavior lives in
+    /// [`Allocator::admit_with`], which special-cases them for
+    /// transcript compatibility).
+    pub fn solver_backend(&self) -> Box<dyn SolverBackend> {
+        match self {
+            AdmissionPolicy::FirstFit(_) | AdmissionPolicy::BestFit => Box::new(Greedy),
+            AdmissionPolicy::Exact(config) => Box::new(Exact::new(*config)),
+            AdmissionPolicy::Portfolio(config) => Box::new(Portfolio::new(*config)),
+        }
+    }
+
+    /// The branch-and-bound configuration, for the solver-backed
+    /// policies.
+    pub fn exact_config(&self) -> Option<ExactConfig> {
+        match self {
+            AdmissionPolicy::Exact(config) | AdmissionPolicy::Portfolio(config) => Some(*config),
+            _ => None,
+        }
+    }
+
+    /// Overrides the branch-and-bound node budget on the solver-backed
+    /// policies; a no-op on the heuristic ones.
+    pub fn with_node_budget(self, node_budget: u64) -> Self {
+        match self {
+            AdmissionPolicy::Exact(config) => AdmissionPolicy::Exact(ExactConfig {
+                node_budget,
+                ..config
+            }),
+            AdmissionPolicy::Portfolio(config) => AdmissionPolicy::Portfolio(ExactConfig {
+                node_budget,
+                ..config
+            }),
+            other => other,
+        }
+    }
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        AdmissionPolicy::greedy()
+    }
+}
+
+impl std::fmt::Display for AdmissionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for AdmissionPolicy {
+    type Err = MapError;
+
+    /// Parses the `--policy` vocabulary shared by `run`, `serve` and the
+    /// load generator: `greedy`, `best-fit`, `exact`, `portfolio`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "greedy" => Ok(AdmissionPolicy::greedy()),
+            "best-fit" => Ok(AdmissionPolicy::best_fit()),
+            "exact" => Ok(AdmissionPolicy::exact()),
+            "portfolio" => Ok(AdmissionPolicy::portfolio()),
+            other => Err(MapError::InvalidConfig {
+                reason: format!(
+                    "unknown policy `{other}` (expected greedy, best-fit, exact or portfolio)"
+                ),
+            }),
+        }
+    }
 }
 
 /// The γ-weighted worst-case computation demand of an application: the
@@ -199,6 +366,7 @@ pub fn allocate_best_fit_with(
         admitted,
         rejected,
         final_state: state,
+        reports: Vec::new(),
     }
 }
 
@@ -211,12 +379,77 @@ pub struct AdmissionResult {
     pub rejected: Vec<(AppId, MapError)>,
     /// Platform state after all admissions.
     pub final_state: PlatformState,
+    /// Per-admission certified bound reports, in admission order. Empty
+    /// for the heuristic policies (greedy first fit / best fit), one
+    /// entry per admitted application under a solver-backed policy.
+    pub reports: Vec<(AppId, SolveReport)>,
 }
 
 impl AdmissionResult {
     /// Number of admitted applications.
     pub fn admitted_count(&self) -> usize {
         self.admitted.len()
+    }
+
+    /// The certified bound report of an admitted application, when the
+    /// policy produced one.
+    pub fn report_for(&self, app: AppId) -> Option<&SolveReport> {
+        self.reports
+            .iter()
+            .find(|(id, _)| *id == app)
+            .map(|(_, r)| r)
+    }
+}
+
+/// Arrival-order admission through an arbitrary [`SolverBackend`]: each
+/// application is solved against the evolving platform state, admitted
+/// applications claim their allocation, failing applications are skipped
+/// (the run-time mechanism of Sec 10.1). Mirrors
+/// [`allocate_skipping_failures_with`] — same
+/// [`AdmissionDecision`](FlowEvent::AdmissionDecision) events, same
+/// admitted/rejected accounting — but additionally returns the
+/// [`SolveReport`] of every admission.
+pub fn allocate_solver_with(
+    allocator: &mut Allocator,
+    apps: &[ApplicationGraph],
+    arch: &ArchitectureGraph,
+    backend: &dyn SolverBackend,
+) -> AdmissionResult {
+    let mut state = PlatformState::new(arch);
+    let mut admitted = Vec::new();
+    let mut rejected = Vec::new();
+    let mut reports = Vec::new();
+    for (i, app) in apps.iter().enumerate() {
+        match backend.solve(allocator, app, arch, &state) {
+            Ok(outcome) => {
+                outcome.allocation.claim_set().apply(&mut state);
+                allocator.metric(|m| m.admission_admitted.inc());
+                allocator.emit(|| FlowEvent::AdmissionDecision {
+                    index: i,
+                    app: app.graph().name().to_string(),
+                    admitted: true,
+                    detail: String::new(),
+                });
+                reports.push((AppId::from_index(i), outcome.report));
+                admitted.push((AppId::from_index(i), outcome.allocation, outcome.stats));
+            }
+            Err(e) => {
+                allocator.metric(|m| m.admission_rejected.inc());
+                allocator.emit(|| FlowEvent::AdmissionDecision {
+                    index: i,
+                    app: app.graph().name().to_string(),
+                    admitted: false,
+                    detail: e.to_string(),
+                });
+                rejected.push((AppId::from_index(i), e));
+            }
+        }
+    }
+    AdmissionResult {
+        admitted,
+        rejected,
+        final_state: state,
+        reports,
     }
 }
 
@@ -278,6 +511,7 @@ pub fn allocate_skipping_failures_with(
         admitted,
         rejected,
         final_state: state,
+        reports: Vec::new(),
     }
 }
 

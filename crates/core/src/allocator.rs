@@ -301,11 +301,15 @@ impl Allocator {
         crate::multi_app::allocate_until_failure_with(self, apps, arch)
     }
 
-    /// Batch admission under the chosen [`AdmissionPolicy`]: either a
+    /// Batch admission under the chosen [`AdmissionPolicy`]: a
     /// static-order first fit that *skips* applications that fail (the
-    /// run-time mechanism of Sec 10.1) or the dynamic best fit that each
+    /// run-time mechanism of Sec 10.1), the dynamic best fit that each
     /// round speculatively allocates every remaining application and
-    /// admits the one claiming the least wheel time.
+    /// admits the one claiming the least wheel time, or a solver-backed
+    /// policy (exact / portfolio) that additionally certifies a bound
+    /// pair per admission (see
+    /// [`AdmissionResult::reports`](crate::admission::AdmissionResult)).
+    #[allow(deprecated)]
     pub fn admit_with(
         &mut self,
         apps: &[ApplicationGraph],
@@ -317,7 +321,29 @@ impl Allocator {
                 crate::admission::allocate_skipping_failures_with(self, apps, arch, order)
             }
             AdmissionPolicy::BestFit => crate::admission::allocate_best_fit_with(self, apps, arch),
+            AdmissionPolicy::Exact(_) | AdmissionPolicy::Portfolio(_) => {
+                let backend = policy.solver_backend();
+                crate::admission::allocate_solver_with(self, apps, arch, backend.as_ref())
+            }
         }
+    }
+
+    /// Solves one application through an arbitrary
+    /// [`SolverBackend`](crate::solver::SolverBackend), sharing this
+    /// allocator's cache, sink and metrics — the single-application
+    /// analogue of [`admit_with`](Allocator::admit_with).
+    ///
+    /// # Errors
+    ///
+    /// As [`SolverBackend::solve`](crate::solver::SolverBackend::solve).
+    pub fn solve_with(
+        &mut self,
+        backend: &dyn crate::solver::SolverBackend,
+        app: &ApplicationGraph,
+        arch: &ArchitectureGraph,
+        state: &PlatformState,
+    ) -> Result<crate::solver::SolveOutcome, MapError> {
+        backend.solve(self, app, arch, state)
     }
 
     /// Sweeps the given Eqn 2 weight settings under both connection

@@ -278,6 +278,44 @@ pub enum FlowEvent {
         /// Whether the new allocation differs from the old one.
         changed: bool,
     },
+    /// A non-greedy [`SolverBackend`](crate::solver::SolverBackend)
+    /// started solving one application.
+    SolverStarted {
+        /// Backend name (`exact`, `portfolio`).
+        backend: &'static str,
+    },
+    /// The branch-and-bound search improved its incumbent.
+    ExactIncumbent {
+        /// Nodes expanded when the improvement was found (0 for the
+        /// greedy seed).
+        node: u64,
+        /// Guaranteed iteration throughput of the new incumbent.
+        throughput: Rational,
+    },
+    /// A non-greedy solver finished; the certified bound pair and the
+    /// proof-of-work counters of its [`SolveReport`](crate::solver::SolveReport).
+    SolverFinished {
+        /// Backend name (`exact`, `portfolio`).
+        backend: &'static str,
+        /// Certified lower throughput bound (the incumbent).
+        lower: Rational,
+        /// Certified upper throughput bound.
+        upper: Rational,
+        /// Relative optimality gap.
+        gap: Rational,
+        /// Whether the search proved the incumbent optimal.
+        proven_optimal: bool,
+        /// Branch-and-bound nodes expanded.
+        nodes: u64,
+        /// Simplex pivots across all LP relaxations.
+        lp_pivots: u64,
+        /// Subtrees pruned by the LP/structural bound.
+        pruned_bound: u64,
+        /// Children discarded as resource-infeasible.
+        pruned_infeasible: u64,
+        /// Complete bindings evaluated.
+        leaves: u64,
+    },
 }
 
 impl FlowEvent {
@@ -302,6 +340,9 @@ impl FlowEvent {
             FlowEvent::SessionAdmitted { .. } => "session_admitted",
             FlowEvent::SessionDeparted { .. } => "session_departed",
             FlowEvent::SessionRebound { .. } => "session_rebound",
+            FlowEvent::SolverStarted { .. } => "solver_started",
+            FlowEvent::ExactIncumbent { .. } => "exact_incumbent",
+            FlowEvent::SolverFinished { .. } => "solver_finished",
         }
     }
 
@@ -478,6 +519,29 @@ impl FlowEvent {
             FlowEvent::SessionRebound { session, changed } => {
                 let _ = write!(s, ",\"session\":{session},\"changed\":{changed}");
             }
+            FlowEvent::SolverStarted { backend } => {
+                let _ = write!(s, ",\"backend\":\"{backend}\"");
+            }
+            FlowEvent::ExactIncumbent { node, throughput } => {
+                let _ = write!(s, ",\"node\":{node},\"throughput\":\"{throughput}\"");
+            }
+            FlowEvent::SolverFinished {
+                backend,
+                lower,
+                upper,
+                gap,
+                proven_optimal,
+                nodes,
+                lp_pivots,
+                pruned_bound,
+                pruned_infeasible,
+                leaves,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"backend\":\"{backend}\",\"lower\":\"{lower}\",\"upper\":\"{upper}\",\"gap\":\"{gap}\",\"proven_optimal\":{proven_optimal},\"nodes\":{nodes},\"lp_pivots\":{lp_pivots},\"pruned_bound\":{pruned_bound},\"pruned_infeasible\":{pruned_infeasible},\"leaves\":{leaves}"
+                );
+            }
         }
         s.push('}');
         s
@@ -633,6 +697,30 @@ impl FlowEvent {
                     s,
                     "service: s{session} rebound ({})",
                     if *changed { "moved" } else { "unchanged" }
+                );
+            }
+            FlowEvent::SolverStarted { backend } => {
+                let _ = write!(s, "solver[{backend}]: start");
+            }
+            FlowEvent::ExactIncumbent { node, throughput } => {
+                let _ = write!(s, "solver[exact]: incumbent {throughput} at node {node}");
+            }
+            FlowEvent::SolverFinished {
+                backend,
+                lower,
+                upper,
+                gap,
+                proven_optimal,
+                nodes,
+                lp_pivots,
+                pruned_bound,
+                pruned_infeasible,
+                leaves,
+            } => {
+                let _ = write!(
+                    s,
+                    "solver[{backend}]: bounds [{lower}, {upper}] gap {gap}{}, {nodes} nodes, {lp_pivots} pivots, pruned {pruned_bound}+{pruned_infeasible}, {leaves} leaves",
+                    if *proven_optimal { " (optimal)" } else { "" }
                 );
             }
         }
@@ -1175,6 +1263,23 @@ mod tests {
             FlowEvent::SessionRebound {
                 session: 3,
                 changed: true,
+            },
+            FlowEvent::SolverStarted { backend: "exact" },
+            FlowEvent::ExactIncumbent {
+                node: 12,
+                throughput: Rational::new(1, 30),
+            },
+            FlowEvent::SolverFinished {
+                backend: "exact",
+                lower: Rational::new(1, 30),
+                upper: Rational::new(1, 25),
+                gap: Rational::new(1, 6),
+                proven_optimal: false,
+                nodes: 40,
+                lp_pivots: 120,
+                pruned_bound: 7,
+                pruned_infeasible: 3,
+                leaves: 5,
             },
         ];
         for e in &events {

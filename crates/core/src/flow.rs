@@ -320,29 +320,6 @@ impl Allocation {
     pub fn claim_set(&self) -> ClaimSet {
         ClaimSet::from_usage(&self.usage)
     }
-
-    /// Claims this allocation's resources on a platform state, making them
-    /// unavailable to later applications.
-    #[deprecated(
-        since = "0.7.0",
-        note = "use `claim_set().apply(state)` — the `ClaimSet` API is \
-                transactional and region-aware"
-    )]
-    pub fn claim_on(&self, _arch: &ArchitectureGraph, state: &mut PlatformState) {
-        self.claim_set().apply(state);
-    }
-
-    /// Releases this allocation's resources from a platform state — the
-    /// exact inverse of [`claim_on`](Self::claim_on), used when an
-    /// application departs and its budgets return to the pool.
-    #[deprecated(
-        since = "0.7.0",
-        note = "use `claim_set().revert(state)` — the `ClaimSet` API is \
-                transactional and region-aware"
-    )]
-    pub fn release_on(&self, _arch: &ArchitectureGraph, state: &mut PlatformState) {
-        self.claim_set().revert(state);
-    }
 }
 
 /// The instrumented flow body behind
@@ -602,22 +579,6 @@ mod tests {
         assert_ne!(state, before, "the allocation must claim something");
         claim.revert(&mut state);
         assert_eq!(state, before, "revert must reclaim exactly the claim");
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_claim_shims_forward_to_claim_set() {
-        let app = paper_example();
-        let arch = example_platform();
-        let mut state = PlatformState::new(&arch);
-        let (alloc, _) = Allocator::new().allocate(&app, &arch, &state).unwrap();
-        let before = state.clone();
-        let mut via_shim = state.clone();
-        alloc.claim_on(&arch, &mut via_shim);
-        alloc.claim_set().apply(&mut state);
-        assert_eq!(via_shim, state, "shim must match the ClaimSet path");
-        alloc.release_on(&arch, &mut via_shim);
-        assert_eq!(via_shim, before);
     }
 
     #[test]

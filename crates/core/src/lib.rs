@@ -61,6 +61,7 @@ pub mod cost;
 pub mod dse;
 pub mod error;
 pub mod events;
+pub mod exact;
 pub mod flow;
 pub mod gantt;
 pub mod ids;
@@ -71,7 +72,9 @@ pub mod report;
 pub mod resources;
 pub mod schedule;
 pub mod service;
+pub mod simplex;
 pub mod slice;
+pub mod solver;
 pub mod tdma;
 pub mod thru_cache;
 pub mod trace;
@@ -92,6 +95,7 @@ pub use events::{
     EventSink, FlowEvent, FlowPhase, JsonlSink, LogSink, MetricsSink, MultiSink, NullSink,
     RecordingSink,
 };
+pub use exact::{enumerate_exhaustive, ExactConfig};
 pub use flow::{Allocation, FlowConfig, FlowStats};
 pub use ids::{AppId, SessionId};
 pub use metrics::{Metrics, MetricsRegistry, MetricsSnapshot, NullMetrics};
@@ -100,6 +104,7 @@ pub use service::{
     peek_request_meta, AllocationService, RequestMeta, ServiceConfig, ServiceError, ServiceRequest,
     ServiceResponse, ServiceStatus, MAX_ESCALATION_NEIGHBORS,
 };
+pub use solver::{Exact, Greedy, Portfolio, SolveOutcome, SolveReport, SolverBackend, SolverKind};
 pub use thru_cache::ThroughputCache;
 pub use trace::{CompletedTrace, FlightEntry, FlightRecorder, RequestTrace, TraceId, TraceOutcome};
 pub use warm::{WarmPool, WarmStats};

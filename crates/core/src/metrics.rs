@@ -488,6 +488,34 @@ const COUNTERS: &[(&str, &str)] = &[
         "traces_pinned",
         "Anomalous request traces pinned by the flight recorder.",
     ),
+    (
+        "solver_runs_exact",
+        "Branch-and-bound solver runs started (exact or portfolio backend).",
+    ),
+    (
+        "exact_nodes_expanded",
+        "Branch-and-bound nodes expanded across all exact runs.",
+    ),
+    (
+        "exact_lp_pivots",
+        "Rational simplex pivots across all LP-relaxation bounds.",
+    ),
+    (
+        "exact_prunes_bound",
+        "Subtrees pruned by the LP/structural bound.",
+    ),
+    (
+        "exact_prunes_infeasible",
+        "Children discarded for resource infeasibility.",
+    ),
+    (
+        "exact_leaves_evaluated",
+        "Complete bindings evaluated with the throughput machinery.",
+    ),
+    (
+        "exact_proven_optimal",
+        "Exact runs that closed the gap and proved optimality.",
+    ),
 ];
 
 /// The full set of instruments the flow records into.
@@ -583,6 +611,20 @@ pub struct MetricsRegistry {
     pub traces_recorded: Counter,
     /// Anomalous request traces pinned by the flight recorder.
     pub traces_pinned: Counter,
+    /// Branch-and-bound solver runs started (exact or portfolio backend).
+    pub solver_runs_exact: Counter,
+    /// Branch-and-bound nodes expanded across all exact runs.
+    pub exact_nodes_expanded: Counter,
+    /// Rational simplex pivots across all LP-relaxation bounds.
+    pub exact_lp_pivots: Counter,
+    /// Subtrees pruned by the LP/structural bound.
+    pub exact_prunes_bound: Counter,
+    /// Children discarded for resource infeasibility.
+    pub exact_prunes_infeasible: Counter,
+    /// Complete bindings evaluated with the throughput machinery.
+    pub exact_leaves_evaluated: Counter,
+    /// Exact runs that closed the gap and proved optimality.
+    pub exact_proven_optimal: Counter,
     /// Distinct configurations currently memoized by the cache.
     pub cache_entries: Gauge,
     /// Currently live service sessions.
@@ -666,6 +708,13 @@ impl MetricsRegistry {
             net_introspects: Counter::default(),
             traces_recorded: Counter::default(),
             traces_pinned: Counter::default(),
+            solver_runs_exact: Counter::default(),
+            exact_nodes_expanded: Counter::default(),
+            exact_lp_pivots: Counter::default(),
+            exact_prunes_bound: Counter::default(),
+            exact_prunes_infeasible: Counter::default(),
+            exact_leaves_evaluated: Counter::default(),
+            exact_proven_optimal: Counter::default(),
             cache_entries: Gauge::default(),
             sessions_live: Gauge::default(),
             regions_configured: Gauge::default(),
@@ -724,6 +773,13 @@ impl MetricsRegistry {
             "net_introspects" => self.net_introspects.get(),
             "traces_recorded" => self.traces_recorded.get(),
             "traces_pinned" => self.traces_pinned.get(),
+            "solver_runs_exact" => self.solver_runs_exact.get(),
+            "exact_nodes_expanded" => self.exact_nodes_expanded.get(),
+            "exact_lp_pivots" => self.exact_lp_pivots.get(),
+            "exact_prunes_bound" => self.exact_prunes_bound.get(),
+            "exact_prunes_infeasible" => self.exact_prunes_infeasible.get(),
+            "exact_leaves_evaluated" => self.exact_leaves_evaluated.get(),
+            "exact_proven_optimal" => self.exact_proven_optimal.get(),
             other => unreachable!("unregistered counter `{other}`"),
         }
     }
@@ -796,6 +852,25 @@ impl MetricsRegistry {
                 self.sessions_live.set(*live as u64);
             }
             FlowEvent::SessionRebound { .. } => self.sessions_rebound.inc(),
+            FlowEvent::SolverStarted { .. } => self.solver_runs_exact.inc(),
+            FlowEvent::SolverFinished {
+                proven_optimal,
+                nodes,
+                lp_pivots,
+                pruned_bound,
+                pruned_infeasible,
+                leaves,
+                ..
+            } => {
+                self.exact_nodes_expanded.add(*nodes);
+                self.exact_lp_pivots.add(*lp_pivots);
+                self.exact_prunes_bound.add(*pruned_bound);
+                self.exact_prunes_infeasible.add(*pruned_infeasible);
+                self.exact_leaves_evaluated.add(*leaves);
+                if *proven_optimal {
+                    self.exact_proven_optimal.inc();
+                }
+            }
             _ => {}
         }
     }

@@ -82,6 +82,7 @@ use sdfrs_fastutil::par::maybe_par_map;
 use sdfrs_platform::{ArchitectureGraph, PlatformState, RegionId, RegionMap, TileUsage};
 use sdfrs_sdf::Rational;
 
+use crate::admission::AdmissionPolicy;
 use crate::allocator::Allocator;
 use crate::error::MapError;
 use crate::events::{json_escape, EventSink, FlowEvent, RecordingSink};
@@ -89,6 +90,7 @@ use crate::flow::{Allocation, FlowConfig, FlowStats};
 use crate::ids::SessionId;
 use crate::metrics::Metrics;
 use crate::resources::TileCapacity;
+use crate::solver::SolveReport;
 
 /// Neighbor regions an escalating admission may widen its mask by before
 /// falling back to the global unmasked flow: the chain is
@@ -124,6 +126,14 @@ pub struct ServiceConfig {
     /// `regions > 1`; results are pinned byte-identical to the
     /// sequential commit by conform oracle 7.
     pub region_parallel_commit: bool,
+    /// The admission policy every admit and rebind dispatches through.
+    /// The default ([`AdmissionPolicy::greedy`]) preserves the
+    /// pre-solver behavior byte-for-byte; the solver-backed policies
+    /// (exact / portfolio) attach a certified [`SolveReport`] to every
+    /// admission and disable the speculative regional/parallel fast
+    /// paths (which are only proven result-identical for the heuristic
+    /// flow).
+    pub policy: AdmissionPolicy,
 }
 
 impl Default for ServiceConfig {
@@ -134,6 +144,7 @@ impl Default for ServiceConfig {
             parallel_speculation: true,
             regions: 1,
             region_parallel_commit: true,
+            policy: AdmissionPolicy::greedy(),
         }
     }
 }
@@ -269,6 +280,10 @@ pub enum ServiceResponse {
         throughput: Rational,
         /// Total wheel time claimed across all tiles.
         wheel: u64,
+        /// The certified bound report, when the admission ran under a
+        /// solver-backed policy (`None` under the heuristic policies —
+        /// their JSONL lines stay byte-identical to earlier releases).
+        report: Option<SolveReport>,
     },
     /// An admission failed; no session was created.
     Rejected {
@@ -330,6 +345,7 @@ impl ServiceResponse {
                 app,
                 throughput,
                 wheel,
+                report,
             } => {
                 let _ = write!(
                     s,
@@ -337,6 +353,19 @@ impl ServiceResponse {
                     session.raw(),
                     json_escape(app)
                 );
+                if let Some(r) = report {
+                    let _ = write!(
+                        s,
+                        ",\"solver\":\"{}\",\"lower\":\"{}\",\"upper\":\"{}\",\"gap\":\"{}\",\"proven_optimal\":{},\"nodes\":{},\"lp_pivots\":{}",
+                        r.kind.name(),
+                        r.lower,
+                        r.upper,
+                        r.gap,
+                        r.proven_optimal,
+                        r.nodes_expanded,
+                        r.lp_pivots
+                    );
+                }
             }
             ServiceResponse::Rejected { app, error } => {
                 let _ = write!(
@@ -409,6 +438,10 @@ struct Session {
     /// The flow stats of the run that produced `allocation` — what the
     /// tracing layer's warm-cache-hit annotation reads.
     stats: FlowStats,
+    /// The certified bound report of the admitting solve, when the
+    /// session was admitted (or last rebound) under a solver-backed
+    /// policy.
+    report: Option<SolveReport>,
 }
 
 /// The long-lived admission daemon: persistent residual platform state,
@@ -435,6 +468,8 @@ pub struct AllocationService {
     /// tracing layer reads it after each traced request. Observational
     /// only; nothing in the admission path consults it.
     last_escalation_depth: Option<u64>,
+    /// The admission policy every admit and rebind dispatches through.
+    policy: AdmissionPolicy,
 }
 
 impl std::fmt::Debug for AllocationService {
@@ -470,7 +505,13 @@ impl AllocationService {
             region_parallel_commit: config.region_parallel_commit,
             region_rr: 0,
             last_escalation_depth: None,
+            policy: config.policy,
         }
+    }
+
+    /// The admission policy this service dispatches through.
+    pub fn policy(&self) -> AdmissionPolicy {
+        self.policy
     }
 
     /// Routes all service and flow events to `sink`.
@@ -571,9 +612,22 @@ impl AllocationService {
     /// every escalation step failed); the service state is untouched on
     /// failure.
     pub fn admit(&mut self, app: &ApplicationGraph) -> Result<SessionId, MapError> {
+        if !self.policy.is_heuristic() {
+            // Solver-backed admission always runs the global flow: the
+            // speculative regional fast path is only proven
+            // result-identical for the heuristic allocator.
+            let backend = self.policy.solver_backend();
+            let outcome = backend.solve(&mut self.allocator, app, &self.arch, &self.residual)?;
+            return Ok(self.commit_admission(
+                app,
+                outcome.allocation,
+                outcome.stats,
+                Some(outcome.report),
+            ));
+        }
         if self.region_map.region_count() <= 1 {
             let (allocation, stats) = self.allocator.allocate(app, &self.arch, &self.residual)?;
-            return Ok(self.commit_admission(app, allocation, stats));
+            return Ok(self.commit_admission(app, allocation, stats, None));
         }
         let home = self.next_home();
         self.admit_regional_at(app, home, 0)
@@ -633,7 +687,7 @@ impl AllocationService {
             match attempt {
                 Ok((allocation, stats)) => {
                     self.record_regional_commit(home, depth);
-                    let session = self.commit_admission(app, allocation, stats);
+                    let session = self.commit_admission(app, allocation, stats, None);
                     return Ok((session, depth));
                 }
                 Err(error) => last_err = Some(error),
@@ -665,6 +719,7 @@ impl AllocationService {
         app: &ApplicationGraph,
         allocation: Allocation,
         stats: FlowStats,
+        report: Option<SolveReport>,
     ) -> SessionId {
         allocation.claim_set().apply(&mut self.residual);
         let session = SessionId::from_raw(self.next_session);
@@ -675,6 +730,7 @@ impl AllocationService {
                 app: app.clone(),
                 allocation,
                 stats,
+                report,
             },
         );
         let live = self.sessions.len();
@@ -744,14 +800,25 @@ impl AllocationService {
         // *anywhere* by departures, so masking it to a region would
         // defeat it.
         old.claim_set().revert(&mut self.residual);
-        let outcome = match self.allocator.allocate(&app, &self.arch, &self.residual) {
-            Ok((new_alloc, stats)) => {
+        let attempt = if self.policy.is_heuristic() {
+            self.allocator
+                .allocate(&app, &self.arch, &self.residual)
+                .map(|(allocation, stats)| (allocation, stats, None))
+        } else {
+            let backend = self.policy.solver_backend();
+            backend
+                .solve(&mut self.allocator, &app, &self.arch, &self.residual)
+                .map(|outcome| (outcome.allocation, outcome.stats, Some(outcome.report)))
+        };
+        let outcome = match attempt {
+            Ok((new_alloc, stats, report)) => {
                 new_alloc.claim_set().apply(&mut self.residual);
                 let changed = new_alloc.binding != old.binding || new_alloc.slices != old.slices;
                 let throughput = new_alloc.guaranteed_throughput();
                 let entry = self.sessions.get_mut(&session).expect("session is live");
                 entry.allocation = new_alloc;
                 entry.stats = stats;
+                entry.report = report;
                 RebindOutcome {
                     throughput,
                     changed,
@@ -827,7 +894,12 @@ impl AllocationService {
     /// docs); the responses and residual state stay byte-identical to
     /// the sequential commit (conform oracle 7).
     pub fn drain(&mut self) -> Vec<(u64, ServiceResponse)> {
-        let regional = self.region_map.region_count() > 1 && self.region_parallel_commit;
+        // The region-parallel commit replays heuristic allocations
+        // speculatively; under a solver-backed policy every admit runs
+        // the global search inline instead.
+        let regional = self.policy.is_heuristic()
+            && self.region_map.region_count() > 1
+            && self.region_parallel_commit;
         let mut pending = std::mem::take(&mut self.queue);
         let mut responses = Vec::with_capacity(pending.len());
         let mut pending = pending.drain(..);
@@ -982,12 +1054,13 @@ impl AllocationService {
                         self.record_regional_commit(home, 0);
                         self.allocator
                             .metric(|m| m.region_commits_speculative.inc());
-                        let session = self.commit_admission(&app, allocation, stats);
+                        let session = self.commit_admission(&app, allocation, stats, None);
                         ServiceResponse::Admitted {
                             session,
                             app: name,
                             throughput,
                             wheel,
+                            report: None,
                         }
                     }
                     Err(_) => self.admit_inline(&app, name, home, 1, &mut dirty),
@@ -1024,6 +1097,7 @@ impl AllocationService {
                     app: name,
                     throughput: allocation.guaranteed_throughput(),
                     wheel: allocation.usage.iter().map(|u| u.wheel).sum(),
+                    report: None,
                 }
             }
             Err(error) => ServiceResponse::Rejected { app: name, error },
@@ -1037,7 +1111,10 @@ impl AllocationService {
     /// cache; later ones do whenever no earlier commit changed the
     /// state. Pure cache-warming: results are discarded.
     fn speculate(&mut self, batch: &[(u64, ServiceRequest)]) {
-        if !self.parallel_speculation {
+        // Speculation warms the cache with *heuristic* runs; under a
+        // solver-backed policy the exact search explores far past the
+        // greedy trajectory, so the warm-up is not worth the work.
+        if !self.parallel_speculation || !self.policy.is_heuristic() {
             return;
         }
         let admits: Vec<&ApplicationGraph> = batch
@@ -1138,12 +1215,14 @@ impl AllocationService {
                 let name = app.graph().name().to_string();
                 match self.admit(&app) {
                     Ok(session) => {
-                        let allocation = &self.sessions[&session].allocation;
+                        let entry = &self.sessions[&session];
+                        let allocation = &entry.allocation;
                         ServiceResponse::Admitted {
                             session,
                             app: name,
                             throughput: allocation.guaranteed_throughput(),
                             wheel: allocation.usage.iter().map(|u| u.wheel).sum(),
+                            report: entry.report,
                         }
                     }
                     Err(error) => ServiceResponse::Rejected { app: name, error },

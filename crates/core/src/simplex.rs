@@ -1,0 +1,481 @@
+//! Exact rational linear programming: a small dense two-phase simplex
+//! over [`Rational`], used by the branch-and-bound backend
+//! ([`exact`](crate::exact)) to compute certified throughput upper
+//! bounds from the LP relaxation of the tile-capacity constraints.
+//!
+//! Design constraints, in order:
+//!
+//! * **Exactness** — every pivot is performed in `i128`-backed rational
+//!   arithmetic; there is no floating point anywhere, so a bound proved
+//!   here is a *certificate*, not an approximation.
+//! * **Determinism** — entering and leaving variables are chosen by
+//!   Bland's rule (lowest eligible index). Bland's rule both prevents
+//!   cycling (termination is guaranteed) and makes the pivot sequence —
+//!   and therefore the reported pivot count — a pure function of the
+//!   input problem, which the bit-reproducibility argument of the
+//!   branch-and-bound search relies on.
+//! * **No dependencies** — the build environment has no external solver
+//!   and no crates.io access; ~300 lines of dense tableau simplex cover
+//!   the few-dozen-variable relaxations the search needs.
+//!
+//! The kernel is intentionally *not* sparse, revised, or otherwise
+//! clever: relaxations in this workspace have `actors × tiles + 1`
+//! variables and `actors + tiles` rows, where both factors are small by
+//! construction (the exact backend is for small instances).
+
+use sdfrs_sdf::Rational;
+
+/// How one [`LpConstraint`] relates its left-hand side to its bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpRelation {
+    /// `coeffs · x ≤ rhs`.
+    Le,
+    /// `coeffs · x = rhs`.
+    Eq,
+    /// `coeffs · x ≥ rhs`.
+    Ge,
+}
+
+/// One linear constraint `coeffs · x (≤ | = | ≥) rhs`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LpConstraint {
+    /// Dense coefficient row, one entry per structural variable.
+    pub coeffs: Vec<Rational>,
+    /// The relation between the row and its right-hand side.
+    pub relation: LpRelation,
+    /// The right-hand side.
+    pub rhs: Rational,
+}
+
+/// A linear program `minimize objective · x subject to constraints,
+/// x ≥ 0`.
+///
+/// All structural variables are non-negative; bounded variables are
+/// expressed through explicit constraints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LpProblem {
+    /// Number of structural variables.
+    pub num_vars: usize,
+    /// Dense objective row (minimized), one entry per variable.
+    pub objective: Vec<Rational>,
+    /// The constraint rows.
+    pub constraints: Vec<LpConstraint>,
+}
+
+/// An optimal basic feasible solution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LpSolution {
+    /// The minimized objective value.
+    pub objective: Rational,
+    /// The value of every structural variable.
+    pub values: Vec<Rational>,
+    /// Simplex pivots performed across both phases — the proof-of-work
+    /// figure reported in [`SolveReport`](crate::solver::SolveReport).
+    pub pivots: u64,
+}
+
+/// Why a problem has no optimal solution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpError {
+    /// The feasible region is empty.
+    Infeasible,
+    /// The objective is unbounded below on the feasible region.
+    Unbounded,
+}
+
+impl std::fmt::Display for LpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "infeasible linear program"),
+            LpError::Unbounded => write!(f, "unbounded linear program"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// Dense simplex tableau: `rows[r]` holds the coefficients of every
+/// column plus the right-hand side in the final position.
+struct Tableau {
+    rows: Vec<Vec<Rational>>,
+    /// Basic variable (column index) of each row.
+    basis: Vec<usize>,
+    /// Total columns excluding the right-hand side.
+    ncols: usize,
+    pivots: u64,
+}
+
+impl Tableau {
+    fn rhs(&self, r: usize) -> Rational {
+        self.rows[r][self.ncols]
+    }
+
+    /// Pivots on `(r, c)`: row `r` is scaled so column `c` becomes 1,
+    /// then eliminated from every other row. `cost` rides along as an
+    /// extra row so reduced costs stay current.
+    fn pivot(&mut self, r: usize, c: usize, cost: &mut [Rational]) {
+        let p = self.rows[r][c];
+        debug_assert!(!p.is_zero(), "pivot element must be non-zero");
+        let inv = p.recip();
+        for v in self.rows[r].iter_mut() {
+            *v = *v * inv;
+        }
+        let pivot_row = self.rows[r].clone();
+        for (i, row) in self.rows.iter_mut().enumerate() {
+            if i == r {
+                continue;
+            }
+            let f = row[c];
+            if f.is_zero() {
+                continue;
+            }
+            for (v, pv) in row.iter_mut().zip(&pivot_row) {
+                *v = *v - f * *pv;
+            }
+        }
+        let f = cost[c];
+        if !f.is_zero() {
+            for (v, pv) in cost.iter_mut().zip(&pivot_row) {
+                *v = *v - f * *pv;
+            }
+        }
+        self.basis[r] = c;
+        self.pivots += 1;
+    }
+
+    /// Reduces `cost` against the current basis so basic columns have
+    /// zero reduced cost.
+    fn reduce_cost(&self, cost: &mut [Rational]) {
+        for (r, &b) in self.basis.iter().enumerate() {
+            let f = cost[b];
+            if f.is_zero() {
+                continue;
+            }
+            for (v, rv) in cost.iter_mut().zip(&self.rows[r]) {
+                *v = *v - f * *rv;
+            }
+        }
+    }
+
+    /// Runs Bland-rule simplex iterations until optimality, restricted
+    /// to columns where `allowed` is true.
+    fn optimize(&mut self, cost: &mut [Rational], allowed: &[bool]) -> Result<(), LpError> {
+        loop {
+            // Entering: lowest-index allowed column with negative
+            // reduced cost (Bland's rule, part 1).
+            let entering = (0..self.ncols).find(|&c| allowed[c] && cost[c] < Rational::ZERO);
+            let Some(c) = entering else {
+                return Ok(());
+            };
+            // Leaving: minimum ratio rhs / coeff over positive
+            // coefficients; ties broken by the lowest basic-variable
+            // index (Bland's rule, part 2).
+            let mut leave: Option<(usize, Rational)> = None;
+            for r in 0..self.rows.len() {
+                let a = self.rows[r][c];
+                if a <= Rational::ZERO {
+                    continue;
+                }
+                let ratio = self.rhs(r) / a;
+                match &leave {
+                    None => leave = Some((r, ratio)),
+                    Some((best_r, best)) => {
+                        if ratio < *best || (ratio == *best && self.basis[r] < self.basis[*best_r])
+                        {
+                            leave = Some((r, ratio));
+                        }
+                    }
+                }
+            }
+            let Some((r, _)) = leave else {
+                return Err(LpError::Unbounded);
+            };
+            self.pivot(r, c, cost);
+        }
+    }
+}
+
+/// Solves `problem` with the deterministic two-phase simplex.
+///
+/// # Errors
+///
+/// [`LpError::Infeasible`] when the feasible region is empty,
+/// [`LpError::Unbounded`] when the objective is unbounded below.
+pub fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
+    let n = problem.num_vars;
+    debug_assert_eq!(problem.objective.len(), n);
+    let m = problem.constraints.len();
+
+    // Normalize every row to `rhs ≥ 0` (flipping the relation when the
+    // row is negated), then count auxiliary columns: one slack per ≤
+    // row, one surplus per ≥ row, one artificial per ≥ / = row.
+    let mut rows_norm: Vec<(Vec<Rational>, LpRelation, Rational)> = Vec::with_capacity(m);
+    for c in &problem.constraints {
+        debug_assert_eq!(c.coeffs.len(), n);
+        if c.rhs < Rational::ZERO {
+            let coeffs = c.coeffs.iter().map(|&v| -v).collect();
+            let relation = match c.relation {
+                LpRelation::Le => LpRelation::Ge,
+                LpRelation::Ge => LpRelation::Le,
+                LpRelation::Eq => LpRelation::Eq,
+            };
+            rows_norm.push((coeffs, relation, -c.rhs));
+        } else {
+            rows_norm.push((c.coeffs.clone(), c.relation, c.rhs));
+        }
+    }
+    let slacks = rows_norm
+        .iter()
+        .filter(|(_, rel, _)| matches!(rel, LpRelation::Le | LpRelation::Ge))
+        .count();
+    let artificials = rows_norm
+        .iter()
+        .filter(|(_, rel, _)| matches!(rel, LpRelation::Ge | LpRelation::Eq))
+        .count();
+    let ncols = n + slacks + artificials;
+
+    let mut rows: Vec<Vec<Rational>> = Vec::with_capacity(m);
+    let mut basis = Vec::with_capacity(m);
+    let mut next_slack = n;
+    let mut next_artificial = n + slacks;
+    let art_start = n + slacks;
+    for (coeffs, relation, rhs) in &rows_norm {
+        let mut row = vec![Rational::ZERO; ncols + 1];
+        row[..n].copy_from_slice(coeffs);
+        row[ncols] = *rhs;
+        match relation {
+            LpRelation::Le => {
+                row[next_slack] = Rational::ONE;
+                basis.push(next_slack);
+                next_slack += 1;
+            }
+            LpRelation::Ge => {
+                row[next_slack] = -Rational::ONE;
+                next_slack += 1;
+                row[next_artificial] = Rational::ONE;
+                basis.push(next_artificial);
+                next_artificial += 1;
+            }
+            LpRelation::Eq => {
+                row[next_artificial] = Rational::ONE;
+                basis.push(next_artificial);
+                next_artificial += 1;
+            }
+        }
+        rows.push(row);
+    }
+    let mut tableau = Tableau {
+        rows,
+        basis,
+        ncols,
+        pivots: 0,
+    };
+
+    // Phase 1: minimize the sum of artificials.
+    if artificials > 0 {
+        let mut cost = vec![Rational::ZERO; ncols + 1];
+        cost[art_start..ncols].fill(Rational::ONE);
+        tableau.reduce_cost(&mut cost);
+        let allowed = vec![true; ncols];
+        tableau.optimize(&mut cost, &allowed)?;
+        // `-cost[rhs]` is the phase-1 objective value.
+        if -cost[ncols] != Rational::ZERO {
+            return Err(LpError::Infeasible);
+        }
+        // Drive remaining (degenerate, zero-valued) artificials out of
+        // the basis; a row with no non-artificial coefficient left is a
+        // redundant constraint and is dropped.
+        let mut r = 0;
+        while r < tableau.rows.len() {
+            if tableau.basis[r] >= art_start {
+                let c = (0..art_start).find(|&c| !tableau.rows[r][c].is_zero());
+                match c {
+                    Some(c) => tableau.pivot(r, c, &mut cost),
+                    None => {
+                        tableau.rows.remove(r);
+                        tableau.basis.remove(r);
+                        continue;
+                    }
+                }
+            }
+            r += 1;
+        }
+    }
+
+    // Phase 2: minimize the real objective over non-artificial columns.
+    let mut cost = vec![Rational::ZERO; ncols + 1];
+    cost[..n].copy_from_slice(&problem.objective);
+    tableau.reduce_cost(&mut cost);
+    let mut allowed = vec![true; ncols];
+    for a in allowed.iter_mut().skip(art_start) {
+        *a = false;
+    }
+    tableau.optimize(&mut cost, &allowed)?;
+
+    let mut values = vec![Rational::ZERO; n];
+    for (r, &b) in tableau.basis.iter().enumerate() {
+        if b < n {
+            values[b] = tableau.rhs(r);
+        }
+    }
+    let objective = problem
+        .objective
+        .iter()
+        .zip(&values)
+        .fold(Rational::ZERO, |acc, (&c, &x)| acc + c * x);
+    Ok(LpSolution {
+        objective,
+        values,
+        pivots: tableau.pivots,
+    })
+}
+
+/// `true` when `values` satisfies every constraint of `problem` and the
+/// non-negativity bounds — the invariant the property tests (and debug
+/// assertions in the exact backend) check on every returned solution.
+pub fn is_feasible(problem: &LpProblem, values: &[Rational]) -> bool {
+    if values.len() != problem.num_vars || values.iter().any(|&v| v < Rational::ZERO) {
+        return false;
+    }
+    problem.constraints.iter().all(|c| {
+        let lhs = c
+            .coeffs
+            .iter()
+            .zip(values)
+            .fold(Rational::ZERO, |acc, (&a, &x)| acc + a * x);
+        match c.relation {
+            LpRelation::Le => lhs <= c.rhs,
+            LpRelation::Eq => lhs == c.rhs,
+            LpRelation::Ge => lhs >= c.rhs,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(num: i128, den: i128) -> Rational {
+        Rational::new(num, den)
+    }
+
+    fn le(coeffs: &[i128], rhs: i128) -> LpConstraint {
+        LpConstraint {
+            coeffs: coeffs.iter().map(|&v| Rational::from_integer(v)).collect(),
+            relation: LpRelation::Le,
+            rhs: Rational::from_integer(rhs),
+        }
+    }
+
+    fn eq(coeffs: &[i128], rhs: i128) -> LpConstraint {
+        LpConstraint {
+            coeffs: coeffs.iter().map(|&v| Rational::from_integer(v)).collect(),
+            relation: LpRelation::Eq,
+            rhs: Rational::from_integer(rhs),
+        }
+    }
+
+    fn minimize(objective: &[i128], constraints: Vec<LpConstraint>) -> LpProblem {
+        LpProblem {
+            num_vars: objective.len(),
+            objective: objective
+                .iter()
+                .map(|&v| Rational::from_integer(v))
+                .collect(),
+            constraints,
+        }
+    }
+
+    #[test]
+    fn textbook_maximization_via_negation() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → (2, 6), 36.
+        let p = minimize(
+            &[-3, -5],
+            vec![le(&[1, 0], 4), le(&[0, 2], 12), le(&[3, 2], 18)],
+        );
+        let s = solve(&p).unwrap();
+        assert_eq!(s.objective, Rational::from_integer(-36));
+        assert_eq!(s.values, vec![r(2, 1), r(6, 1)]);
+        assert!(is_feasible(&p, &s.values));
+    }
+
+    #[test]
+    fn equality_rows_force_phase_one() {
+        // min x + y s.t. x + y = 2, x - y = 0 → (1, 1), 2.
+        let p = minimize(&[1, 1], vec![eq(&[1, 1], 2), eq(&[1, -1], 0)]);
+        let s = solve(&p).unwrap();
+        assert_eq!(s.objective, Rational::from_integer(2));
+        assert_eq!(s.values, vec![Rational::ONE, Rational::ONE]);
+    }
+
+    #[test]
+    fn infeasible_system_is_reported() {
+        // x ≤ 1 and x ≥ 3 cannot hold together.
+        let p = minimize(
+            &[1],
+            vec![
+                le(&[1], 1),
+                LpConstraint {
+                    coeffs: vec![Rational::ONE],
+                    relation: LpRelation::Ge,
+                    rhs: Rational::from_integer(3),
+                },
+            ],
+        );
+        assert_eq!(solve(&p), Err(LpError::Infeasible));
+    }
+
+    #[test]
+    fn unbounded_objective_is_reported() {
+        // min -x with only x ≥ 0: unbounded below.
+        let p = minimize(&[-1], vec![]);
+        assert_eq!(solve(&p), Err(LpError::Unbounded));
+    }
+
+    #[test]
+    fn negative_rhs_rows_are_normalized() {
+        // -x ≤ -2 ⇔ x ≥ 2; min x → 2.
+        let p = minimize(&[1], vec![le(&[-1], -2)]);
+        let s = solve(&p).unwrap();
+        assert_eq!(s.objective, Rational::from_integer(2));
+    }
+
+    #[test]
+    fn redundant_equalities_are_dropped() {
+        // The duplicated row leaves a zero-value artificial that cannot
+        // be driven out; the solver must drop it, not loop or fail.
+        let p = minimize(&[1, 1], vec![eq(&[1, 1], 2), eq(&[1, 1], 2)]);
+        let s = solve(&p).unwrap();
+        assert_eq!(s.objective, Rational::from_integer(2));
+    }
+
+    #[test]
+    fn rational_coefficients_stay_exact() {
+        // min P s.t. P ≥ 7/3, P ≥ 5/2 → exactly 5/2, no rounding.
+        let ge = |rhs: Rational| LpConstraint {
+            coeffs: vec![Rational::ONE],
+            relation: LpRelation::Ge,
+            rhs,
+        };
+        let p = LpProblem {
+            num_vars: 1,
+            objective: vec![Rational::ONE],
+            constraints: vec![ge(r(7, 3)), ge(r(5, 2))],
+        };
+        let s = solve(&p).unwrap();
+        assert_eq!(s.objective, r(5, 2));
+    }
+
+    #[test]
+    fn pivot_count_is_deterministic() {
+        let p = minimize(
+            &[-3, -5],
+            vec![le(&[1, 0], 4), le(&[0, 2], 12), le(&[3, 2], 18)],
+        );
+        let a = solve(&p).unwrap();
+        let b = solve(&p).unwrap();
+        assert_eq!(a.pivots, b.pivots);
+        assert_eq!(a.values, b.values);
+        assert!(a.pivots > 0);
+    }
+}

@@ -41,11 +41,13 @@ fn main() {
     // throughput evaluations of earlier ones.
     let mut allocator = Allocator::from_config(flow);
     for policy in [
-        AdmissionPolicy::FirstFit(AdmissionOrder::Arrival),
-        AdmissionPolicy::FirstFit(AdmissionOrder::LightestFirst),
-        AdmissionPolicy::FirstFit(AdmissionOrder::HeaviestFirst),
-        AdmissionPolicy::FirstFit(AdmissionOrder::TightestConstraintFirst),
-        AdmissionPolicy::BestFit,
+        AdmissionPolicy::greedy(),
+        AdmissionPolicy::first_fit(AdmissionOrder::LightestFirst),
+        AdmissionPolicy::first_fit(AdmissionOrder::HeaviestFirst),
+        AdmissionPolicy::first_fit(AdmissionOrder::TightestConstraintFirst),
+        AdmissionPolicy::best_fit(),
+        AdmissionPolicy::exact(),
+        AdmissionPolicy::portfolio(),
     ] {
         let result = allocator.admit_with(&apps, &arch, policy);
         println!(
@@ -55,6 +57,14 @@ fn main() {
         );
         if let Some((app_id, _, _)) = result.admitted.first() {
             println!("  first admitted: {app_id}");
+        }
+        // Solver-backed policies certify every admission with a bound
+        // pair; print the optimality gap of the first.
+        if let Some((app_id, report)) = result.reports.first() {
+            println!(
+                "  certified {app_id}: [{}, {}] gap {} ({} nodes)",
+                report.lower, report.upper, report.gap, report.nodes_expanded
+            );
         }
     }
 

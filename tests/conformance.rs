@@ -69,6 +69,54 @@ fn fixed_seed_block_passes_all_five_oracles() {
     );
 }
 
+/// Oracle 10 must actually run — a sweep over scenarios pinned to the
+/// enumerable regime (≤ 4 actors on 2 tiles) where the exhaustive
+/// enumeration is tractable on every seed, so the exact solver is
+/// checked bit-for-bit against it, never skipped.
+#[test]
+fn exact_optimality_oracle_runs_on_enumerable_scenarios() {
+    let config = HarnessConfig {
+        scenario: sdfrs_conform::ScenarioConfig {
+            actors: 3..=4,
+            tiles: 2..=2,
+            ..sdfrs_conform::ScenarioConfig::default()
+        },
+        ..HarnessConfig::default()
+    };
+    let reports = run_seeds(0..16, &config);
+    for report in &reports {
+        assert!(
+            report.passed(),
+            "seed {:?} ({}) diverged: {:?}",
+            report.seed,
+            report.scenario,
+            report.failures
+        );
+        assert!(
+            report
+                .skipped
+                .iter()
+                .all(|(o, _)| *o != OracleId::ExactOptimality),
+            "exact-optimality oracle skipped on an enumerable scenario: {:?}",
+            report.skipped
+        );
+    }
+    // The default block must exercise the oracle too, on its small tail.
+    let default_reports = run_seeds(SEEDS, &HarnessConfig::default());
+    let checked = default_reports
+        .iter()
+        .filter(|r| {
+            r.skipped
+                .iter()
+                .all(|(o, _)| *o != OracleId::ExactOptimality)
+        })
+        .count();
+    assert!(
+        checked >= 1,
+        "the default smoke block never reaches the enumerable regime"
+    );
+}
+
 #[test]
 fn injected_fault_is_caught_and_shrunk_to_a_corpus_case() {
     let faulty = HarnessConfig {

@@ -7,7 +7,7 @@
 use std::time::Duration;
 
 use sdfrs_appmodel::apps::{example_platform, paper_example};
-use sdfrs_core::admission::{AdmissionOrder, AdmissionPolicy};
+use sdfrs_core::admission::AdmissionPolicy;
 use sdfrs_core::flow::{Allocation, FlowStats};
 use sdfrs_core::{Allocator, FlowEvent, RecordingSink};
 use sdfrs_platform::PlatformState;
@@ -302,7 +302,7 @@ fn best_fit_admission_emits_round_events() {
     let apps = vec![paper_example(), paper_example()];
     let sink = RecordingSink::new();
     let mut allocator = Allocator::new().with_sink(sink.clone());
-    let result = allocator.admit_with(&apps, &arch, AdmissionPolicy::BestFit);
+    let result = allocator.admit_with(&apps, &arch, AdmissionPolicy::best_fit());
     assert_eq!(result.admitted.len(), 2);
     let rounds: Vec<(usize, usize)> = sink
         .events()
@@ -323,11 +323,7 @@ fn skipping_admission_reports_each_application() {
     let apps = vec![paper_example(), paper_example(), paper_example()];
     let sink = RecordingSink::new();
     let mut allocator = Allocator::new().with_sink(sink.clone());
-    let result = allocator.admit_with(
-        &apps,
-        &arch,
-        AdmissionPolicy::FirstFit(AdmissionOrder::Arrival),
-    );
+    let result = allocator.admit_with(&apps, &arch, AdmissionPolicy::greedy());
     let decisions = sink
         .events()
         .iter()
